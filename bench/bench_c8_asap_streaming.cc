@@ -1,0 +1,135 @@
+// C8 -- the ASAP streaming claim: "Results from child nodes are passed up
+// the tree as soon as they are generated. ... this ASAP data push
+// strategy ensures that even in the case of a query that takes a very
+// long time to complete, the user starts seeing results almost
+// immediately."
+//
+// We measure time-to-first-row vs time-to-completion across QET shapes:
+// pure streaming scans, blocking sorts, set operations (which block on
+// one side), and LIMIT early-out cancellation.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "query/query_engine.h"
+
+namespace sdss::bench {
+namespace {
+
+using catalog::ObjectStore;
+using query::ExecStats;
+using query::QueryEngine;
+using query::RowBatch;
+
+void PrintC8() {
+  ObjectStore store = MakeBenchStore(2.0);
+  QueryEngine engine(&store);
+
+  struct Case {
+    const char* label;
+    const char* sql;
+  };
+  Case cases[] = {
+      {"streaming scan", "SELECT obj_id, r FROM photo WHERE r < 22"},
+      {"streaming + spatial",
+       "SELECT obj_id FROM photo WHERE BAND('GAL', 35, 80) AND r < 22"},
+      {"blocking sort",
+       "SELECT obj_id, r FROM photo WHERE r < 22 ORDER BY r"},
+      {"union (streams both)",
+       "SELECT obj_id FROM photo WHERE r < 18 UNION SELECT obj_id FROM "
+       "photo WHERE g < 18"},
+      {"intersect (blocks rhs)",
+       "SELECT obj_id FROM photo WHERE r < 20 INTERSECT SELECT obj_id "
+       "FROM photo WHERE g - r > 0.7"},
+      {"limit early-out", "SELECT obj_id FROM photo LIMIT 100"},
+  };
+
+  PrintHeader(
+      "C8  ASAP streaming: time to first result vs time to completion");
+  std::printf("catalog: %llu objects\n\n",
+              static_cast<unsigned long long>(store.object_count()));
+  std::printf("%-26s %10s %12s %12s %8s\n", "plan shape", "rows",
+              "first row", "complete", "ratio");
+  for (const Case& c : cases) {
+    auto stats = engine.ExecuteStreaming(
+        c.sql, [](const RowBatch&) { return true; });
+    if (!stats.ok()) {
+      std::printf("%-26s ERROR %s\n", c.label,
+                  stats.status().ToString().c_str());
+      continue;
+    }
+    double ratio = stats->seconds_to_first_row > 0
+                       ? stats->seconds_total / stats->seconds_to_first_row
+                       : 0.0;
+    std::printf("%-26s %10llu %9.2f ms %9.2f ms %7.1fx\n", c.label,
+                static_cast<unsigned long long>(stats->rows_emitted),
+                stats->seconds_to_first_row * 1e3,
+                stats->seconds_total * 1e3, ratio);
+  }
+  std::printf(
+      "\nShape check: streaming plans deliver the first row a large "
+      "factor before\ncompletion; sort/intersect shapes collapse the gap "
+      "(they must drain a side\nfirst) -- exactly the paper's blocking-node "
+      "caveat. LIMIT cancels upstream work.\n");
+}
+
+void BM_TimeToFirstRow(benchmark::State& state) {
+  ObjectStore store = MakeBenchStore(1.0);
+  QueryEngine engine(&store);
+  for (auto _ : state) {
+    bool got_first = false;
+    auto stats = engine.ExecuteStreaming(
+        "SELECT obj_id FROM photo WHERE r < 22",
+        [&](const RowBatch&) {
+          got_first = true;
+          return false;  // Stop at the first batch.
+        });
+    benchmark::DoNotOptimize(got_first);
+  }
+}
+BENCHMARK(BM_TimeToFirstRow)->Unit(benchmark::kMicrosecond)->UseRealTime();
+
+void BM_FullCompletion(benchmark::State& state) {
+  ObjectStore store = MakeBenchStore(1.0);
+  QueryEngine engine(&store);
+  for (auto _ : state) {
+    uint64_t rows = 0;
+    auto stats = engine.ExecuteStreaming(
+        "SELECT obj_id FROM photo WHERE r < 22",
+        [&](const RowBatch& b) {
+          rows += b.size();
+          return true;
+        });
+    benchmark::DoNotOptimize(rows);
+  }
+}
+BENCHMARK(BM_FullCompletion)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_LimitCancellation(benchmark::State& state) {
+  // LIMIT n should cost far less than the full scan for small n.
+  ObjectStore store = MakeBenchStore(1.0);
+  QueryEngine engine(&store);
+  int64_t limit = state.range(0);
+  std::string sql =
+      "SELECT obj_id FROM photo LIMIT " + std::to_string(limit);
+  for (auto _ : state) {
+    uint64_t rows = 0;
+    auto stats = engine.ExecuteStreaming(sql, [&](const RowBatch& b) {
+      rows += b.size();
+      return true;
+    });
+    benchmark::DoNotOptimize(rows);
+  }
+}
+BENCHMARK(BM_LimitCancellation)->Arg(10)->Arg(1000)->Arg(100000)
+    ->Unit(benchmark::kMicrosecond)->UseRealTime();
+
+}  // namespace
+}  // namespace sdss::bench
+
+int main(int argc, char** argv) {
+  sdss::bench::PrintC8();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,119 @@
+// F2 -- Figure 2: the archive data-flow with publication delays.
+//
+// Replays a 60-night observing campaign (20 GB/night, per the paper's
+// data-loading section) through the T -> OA -> MSA -> LA -> MPA -> PA
+// pipeline and reports when each tier sees the data -- reproducing the
+// figure's "1 day / 2 weeks / 1 month / 1-2 years" annotations -- plus a
+// recalibration event that re-publishes early chunks.
+
+#include <benchmark/benchmark.h>
+
+#include "archive/archive.h"
+#include "bench_util.h"
+#include "core/sim_clock.h"
+
+namespace sdss::bench {
+namespace {
+
+using archive::ArchivePipeline;
+using archive::LocalArchiveSet;
+using archive::Tier;
+
+constexpr uint64_t kObjectsPerNight = 500'000;   // ~20 GB / 40 KB rows.
+constexpr uint64_t kBytesPerNight = 20'000'000'000ull;  // "about 20 GB".
+
+ArchivePipeline ReplayCampaign(int nights) {
+  ArchivePipeline p;
+  for (int n = 0; n < nights; ++n) {
+    (void)p.ObserveChunk(n, kObjectsPerNight, kBytesPerNight,
+                         static_cast<SimSeconds>(n) * kSimDay);
+  }
+  return p;
+}
+
+void PrintFigure2() {
+  const int kNights = 60;
+  ArchivePipeline p = ReplayCampaign(kNights);
+
+  PrintHeader("F2  Figure 2: archive data flow and publication latency");
+  std::printf("Campaign: %d nights x %s/night\n\n", kNights,
+              FormatBytes(kBytesPerNight).c_str());
+
+  // Latency of the first chunk through each tier (the figure's arrows).
+  auto rec = p.GetChunk(0);
+  std::printf("%-6s %-28s %14s   (paper annotation)\n", "tier",
+              "description", "latency");
+  const char* notes[] = {"observation (tapes)",  "reduced + calibrated",
+                         "organized for science", "replicated to sites",
+                         "science-verified",      "public access"};
+  const char* paper[] = {"-", "1 day", "2 weeks", "1 month", "1-2 years",
+                         "+1 week"};
+  for (int t = 0; t < archive::kNumTiers; ++t) {
+    std::printf("%-6s %-28s %14s   (%s)\n",
+                archive::TierName(static_cast<Tier>(t)), notes[t],
+                FormatSimDuration(rec->visible_at[t] -
+                                  rec->visible_at[0])
+                    .c_str(),
+                paper[t]);
+  }
+
+  // Data volume growth per tier over the campaign.
+  std::printf("\nBytes visible per tier over time:\n");
+  std::printf("%10s %12s %12s %12s %12s\n", "day", "OA", "MSA", "LA", "PA");
+  for (double day : {1.0, 15.0, 30.0, 60.0, 90.0, 400.0, 600.0}) {
+    SimSeconds t = day * kSimDay;
+    std::printf("%10.0f %12s %12s %12s %12s\n", day,
+                FormatBytes(p.BytesVisible(Tier::kOperational, t)).c_str(),
+                FormatBytes(p.BytesVisible(Tier::kMasterScience, t)).c_str(),
+                FormatBytes(p.BytesVisible(Tier::kLocal, t)).c_str(),
+                FormatBytes(p.BytesVisible(Tier::kPublic, t)).c_str());
+  }
+
+  // Recalibration: version 2 of the first 30 nights at day 120.
+  (void)p.Recalibrate(29, 120 * kSimDay);
+  auto rec2 = p.GetChunk(10);
+  std::printf("\nRecalibration at day 120 (nights 0-29): night 10 is now "
+              "version %d,\n  MSA re-publication at day %.0f, public at day "
+              "%.0f\n",
+              rec2->version,
+              rec2->visible_at[static_cast<int>(Tier::kMasterScience)] /
+                  kSimDay,
+              rec2->visible_at[static_cast<int>(Tier::kPublic)] / kSimDay);
+
+  LocalArchiveSet sites({0.0, 2 * kSimDay, 7 * kSimDay});
+  std::printf("\nLocal archive staleness bound: %s across %zu sites\n",
+              FormatSimDuration(sites.MaxLag()).c_str(),
+              sites.site_count());
+}
+
+void BM_CampaignReplay(benchmark::State& state) {
+  int nights = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    ArchivePipeline p = ReplayCampaign(nights);
+    benchmark::DoNotOptimize(
+        p.ObjectsVisible(Tier::kPublic, 1000 * kSimDay));
+  }
+  state.SetItemsProcessed(state.iterations() * nights);
+}
+BENCHMARK(BM_CampaignReplay)->Arg(60)->Arg(365)->Arg(1825);
+
+void BM_VisibilityQuery(benchmark::State& state) {
+  ArchivePipeline p = ReplayCampaign(1825);  // Full five-year survey.
+  double day = 0;
+  for (auto _ : state) {
+    day += 1.0;
+    benchmark::DoNotOptimize(
+        p.ObjectsVisible(Tier::kMasterScience, day * kSimDay));
+  }
+}
+BENCHMARK(BM_VisibilityQuery);
+
+}  // namespace
+}  // namespace sdss::bench
+
+int main(int argc, char** argv) {
+  sdss::bench::PrintFigure2();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

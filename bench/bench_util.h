@@ -1,0 +1,64 @@
+// Shared helpers for the reproduction benchmarks: canonical synthetic
+// skies and table-printing utilities. Every bench binary prints the
+// paper-artifact reproduction first (deterministic, simulated-time based)
+// and then runs its google-benchmark microbenchmarks.
+
+#ifndef SDSS_BENCH_BENCH_UTIL_H_
+#define SDSS_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+
+#include "catalog/object_store.h"
+#include "catalog/sky_generator.h"
+#include "core/sim_clock.h"
+
+namespace sdss::bench {
+
+/// The canonical benchmark sky: clustered galaxies + stars + quasars on
+/// the north-galactic-cap footprint. `scale` multiplies the default
+/// 100k-object mix.
+inline catalog::SkyModel BenchSkyModel(double scale = 1.0,
+                                       uint64_t seed = 42) {
+  catalog::SkyModel m;
+  m.seed = seed;
+  m.num_galaxies = static_cast<uint64_t>(50'000 * scale);
+  m.num_stars = static_cast<uint64_t>(48'000 * scale);
+  m.num_quasars = static_cast<uint64_t>(500 * scale);
+  return m;
+}
+
+inline catalog::ObjectStore MakeBenchStore(double scale = 1.0,
+                                           uint64_t seed = 42,
+                                           int cluster_level = 6) {
+  catalog::StoreOptions opt;
+  opt.cluster_level = cluster_level;
+  catalog::ObjectStore store(opt);
+  auto objs = catalog::SkyGenerator(BenchSkyModel(scale, seed)).Generate();
+  // Generated positions always produce valid container ids.
+  (void)store.BulkLoad(std::move(objs));
+  return store;
+}
+
+/// Survey-scale extrapolation factor: generated objects -> the paper's
+/// 3x10^8 catalog objects.
+inline double SurveyScaleFactor(uint64_t generated_objects) {
+  return 3.0e8 / static_cast<double>(generated_objects);
+}
+
+inline void PrintRule() {
+  std::printf(
+      "-----------------------------------------------------------------"
+      "-------------\n");
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n");
+  PrintRule();
+  std::printf("%s\n", title.c_str());
+  PrintRule();
+}
+
+}  // namespace sdss::bench
+
+#endif  // SDSS_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,133 @@
+// Gravitational lens search on the hash machine.
+//
+// The paper's pair query: "find objects within 10 arcsec of each other
+// which have identical colors, but may have a different brightness" --
+// a high-dimensional neighborhood search (sky position x 4-color space)
+// that no single-object index answers. We run it as the paper proposes:
+// a two-phase parallel hash machine over a simulated commodity cluster.
+//
+//   $ ./gravitational_lens_search [num_nodes]
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "catalog/object_store.h"
+#include "catalog/sky_generator.h"
+#include "core/angle.h"
+#include "core/coords.h"
+#include "core/random.h"
+#include "dataflow/hash_machine.h"
+
+using namespace sdss;
+using catalog::kNumBands;
+using catalog::ObjClass;
+using catalog::PhotoObj;
+
+namespace {
+
+// Lens criterion: all four adjacent colors equal within photometric
+// error; brightness free.
+bool IdenticalColors(const PhotoObj& a, const PhotoObj& b) {
+  for (int i = 0; i < kNumBands - 1; ++i) {
+    float ca = a.mag[i] - a.mag[i + 1];
+    float cb = b.mag[i] - b.mag[i + 1];
+    if (std::fabs(ca - cb) > 0.05f) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t nodes = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 20;
+
+  // Synthetic sky with planted lens systems: each lensed quasar gets a
+  // second image within 8 arcsec, same colors, dimmed by 0.5-2 mag.
+  catalog::SkyModel model;
+  model.seed = 99;
+  model.num_galaxies = 40'000;
+  model.num_stars = 30'000;
+  model.num_quasars = 600;
+  auto objects = catalog::SkyGenerator(model).Generate();
+
+  Rng rng(7);
+  std::vector<PhotoObj> images;
+  uint64_t next_id = 10'000'000;
+  for (const PhotoObj& o : objects) {
+    if (o.obj_class != ObjClass::kQuasar || !rng.Bernoulli(0.2)) continue;
+    PhotoObj img = o;
+    img.obj_id = next_id++;
+    img.pos = rng.UnitCap(o.pos, ArcsecToRad(8.0)).Normalized();
+    SphericalFromUnitVector(img.pos, &img.ra_deg, &img.dec_deg);
+    float dimming = static_cast<float>(rng.Uniform(0.5, 2.0));
+    for (int b = 0; b < kNumBands; ++b) img.mag[b] += dimming;
+    images.push_back(img);
+  }
+  size_t planted = images.size();
+  objects.insert(objects.end(), images.begin(), images.end());
+
+  catalog::ObjectStore store;
+  if (auto s = store.BulkLoad(std::move(objects)); !s.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("catalog: %llu objects, %zu planted lens systems\n",
+              (unsigned long long)store.object_count(), planted);
+
+  // Partition across the simulated cluster.
+  dataflow::ClusterConfig cfg;
+  cfg.num_nodes = nodes;
+  dataflow::ClusterSim cluster(cfg);
+  if (auto s = cluster.LoadPartitioned(store); !s.ok()) {
+    std::fprintf(stderr, "partition failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("cluster: %zu nodes x %.0f MB/s disks\n\n", cluster.num_nodes(),
+              cfg.node.disk_mbps);
+
+  // Phase 1 hashes every object to its HTM bucket (with edge ghosts);
+  // phase 2 compares within buckets.
+  dataflow::HashMachine machine(&cluster);
+  dataflow::HashReport report;
+  auto pairs = machine.FindPairs(
+      [](const PhotoObj&) { return true; },  // Whole catalog.
+      /*max_sep_arcsec=*/10.0, IdenticalColors,
+      dataflow::PairSearchOptions{}, &report);
+
+  std::printf("phase 1: %llu objects hashed into %llu buckets "
+              "(+%llu edge ghosts), %s modeled\n",
+              (unsigned long long)report.selected,
+              (unsigned long long)report.buckets,
+              (unsigned long long)report.ghosts,
+              FormatSimDuration(report.phase1_sim_seconds).c_str());
+  std::printf("phase 2: %llu pair tests, %s modeled\n",
+              (unsigned long long)report.pair_tests,
+              FormatSimDuration(report.phase2_sim_seconds).c_str());
+  std::printf("\nfound %zu lens-candidate pairs "
+              "(planted %zu; extras are chance color matches)\n\n",
+              pairs.size(), planted);
+
+  std::printf("first candidates:\n%14s %14s %10s\n", "obj A", "obj B",
+              "sep (\")");
+  for (size_t i = 0; i < pairs.size() && i < 8; ++i) {
+    std::printf("%14llu %14llu %10.2f\n",
+                (unsigned long long)pairs[i].obj_id_a,
+                (unsigned long long)pairs[i].obj_id_b,
+                pairs[i].separation_arcsec);
+  }
+
+  // Compare against the quadratic baseline on the quasar subset only
+  // (the full-catalog brute force would be prohibitive -- that is the
+  // point of the hash machine).
+  uint64_t brute_tests = 0;
+  auto brute = machine.FindPairsBruteForce(
+      [](const PhotoObj& o) { return o.obj_class == ObjClass::kQuasar; },
+      10.0, IdenticalColors, &brute_tests);
+  std::printf("\nbrute force on just the quasar subset: %zu pairs, "
+              "%llu pair tests\n(the bucketed machine used %llu over the "
+              "whole catalog)\n",
+              brute.size(), (unsigned long long)brute_tests,
+              (unsigned long long)report.pair_tests);
+  return 0;
+}

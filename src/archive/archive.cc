@@ -1,0 +1,144 @@
+#include "archive/archive.h"
+
+#include <algorithm>
+
+namespace sdss::archive {
+
+const char* TierName(Tier t) {
+  switch (t) {
+    case Tier::kTelescope:
+      return "T";
+    case Tier::kOperational:
+      return "OA";
+    case Tier::kMasterScience:
+      return "MSA";
+    case Tier::kLocal:
+      return "LA";
+    case Tier::kMasterPublic:
+      return "MPA";
+    case Tier::kPublic:
+      return "PA";
+  }
+  return "?";
+}
+
+ArchivePipeline::ArchivePipeline(PipelineDelays delays) : delays_(delays) {}
+
+void ArchivePipeline::Publish(ChunkRecord* rec, SimSeconds observed_at) {
+  double t = observed_at;
+  rec->visible_at[static_cast<int>(Tier::kTelescope)] = t;
+  t += delays_.telescope_to_operational;
+  rec->visible_at[static_cast<int>(Tier::kOperational)] = t;
+  t += delays_.operational_to_master;
+  rec->visible_at[static_cast<int>(Tier::kMasterScience)] = t;
+  rec->visible_at[static_cast<int>(Tier::kLocal)] =
+      t + delays_.master_to_local;
+  double mpa = t + delays_.master_to_master_public;
+  rec->visible_at[static_cast<int>(Tier::kMasterPublic)] = mpa;
+  rec->visible_at[static_cast<int>(Tier::kPublic)] =
+      mpa + delays_.master_public_to_public;
+
+  for (int tier = 0; tier < kNumTiers; ++tier) {
+    events_.push_back({rec->night, static_cast<Tier>(tier), rec->version,
+                       rec->visible_at[tier]});
+  }
+}
+
+Status ArchivePipeline::ObserveChunk(int night, uint64_t objects,
+                                     uint64_t bytes, SimSeconds t) {
+  if (chunks_.count(night) > 0) {
+    return Status::AlreadyExists("chunk for night " + std::to_string(night));
+  }
+  ChunkRecord rec;
+  rec.night = night;
+  rec.objects = objects;
+  rec.bytes = bytes;
+  Publish(&rec, t);
+  chunks_[night] = rec;
+  return Status::OK();
+}
+
+Status ArchivePipeline::Recalibrate(int through_night, SimSeconds t) {
+  bool any = false;
+  for (auto& [night, rec] : chunks_) {
+    if (night > through_night) continue;
+    any = true;
+    ++rec.version;
+    // The new calibration starts at the MSA and flows downstream; the
+    // telescope/OA copies are unaffected (raw data does not change).
+    rec.visible_at[static_cast<int>(Tier::kMasterScience)] = t;
+    rec.visible_at[static_cast<int>(Tier::kLocal)] =
+        t + delays_.master_to_local;
+    double mpa = t + delays_.master_to_master_public;
+    rec.visible_at[static_cast<int>(Tier::kMasterPublic)] = mpa;
+    rec.visible_at[static_cast<int>(Tier::kPublic)] =
+        mpa + delays_.master_public_to_public;
+    for (int tier = static_cast<int>(Tier::kMasterScience);
+         tier < kNumTiers; ++tier) {
+      events_.push_back({night, static_cast<Tier>(tier), rec.version,
+                         rec.visible_at[tier]});
+    }
+  }
+  if (!any) {
+    return Status::NotFound("no chunks at or before night " +
+                            std::to_string(through_night));
+  }
+  return Status::OK();
+}
+
+Result<ChunkRecord> ArchivePipeline::GetChunk(int night) const {
+  auto it = chunks_.find(night);
+  if (it == chunks_.end()) {
+    return Status::NotFound("no chunk for night " + std::to_string(night));
+  }
+  return it->second;
+}
+
+uint64_t ArchivePipeline::ObjectsVisible(Tier tier, SimSeconds t) const {
+  uint64_t n = 0;
+  for (const auto& [night, rec] : chunks_) {
+    if (rec.visible_at[static_cast<int>(tier)] <= t) n += rec.objects;
+  }
+  return n;
+}
+
+uint64_t ArchivePipeline::BytesVisible(Tier tier, SimSeconds t) const {
+  uint64_t n = 0;
+  for (const auto& [night, rec] : chunks_) {
+    if (rec.visible_at[static_cast<int>(tier)] <= t) n += rec.bytes;
+  }
+  return n;
+}
+
+Result<SimSeconds> ArchivePipeline::TimeToPublic(int night) const {
+  auto rec = GetChunk(night);
+  if (!rec.ok()) return rec.status();
+  return rec->visible_at[static_cast<int>(Tier::kPublic)] -
+         rec->visible_at[static_cast<int>(Tier::kTelescope)];
+}
+
+std::vector<ArchiveEvent> ArchivePipeline::Events() const {
+  std::vector<ArchiveEvent> out = events_;
+  std::sort(out.begin(), out.end(),
+            [](const ArchiveEvent& a, const ArchiveEvent& b) {
+              if (a.at != b.at) return a.at < b.at;
+              if (a.night != b.night) return a.night < b.night;
+              return static_cast<int>(a.tier) < static_cast<int>(b.tier);
+            });
+  return out;
+}
+
+uint64_t LocalArchiveSet::ObjectsVisible(const ArchivePipeline& pipeline,
+                                         size_t site, SimSeconds t) const {
+  if (site >= lags_.size()) return 0;
+  // Visible at a site when visible at the MSA at least `lag` ago.
+  return pipeline.ObjectsVisible(Tier::kMasterScience, t - lags_[site]);
+}
+
+SimSeconds LocalArchiveSet::MaxLag() const {
+  SimSeconds m = 0.0;
+  for (SimSeconds l : lags_) m = std::max(m, l);
+  return m;
+}
+
+}  // namespace sdss::archive

@@ -1,0 +1,130 @@
+// The multi-tier archive pipeline of Figure 2.
+//
+// "Telescope data (T) is shipped on tapes to FNAL, where it is processed
+// into the Operational Archive (OA). Calibrated data is transferred into
+// the Master Science Archive (MSA) and then to Local Archives (LA). The
+// data gets into the public archives (MPA, PA) after approximately 1-2
+// years of science verification, and recalibration (if necessary)."
+//
+// ArchivePipeline tracks every observation chunk through the tiers on
+// simulated time, supports recalibration (version bumps that re-publish),
+// and answers "what is visible at tier X at time t" -- the F2 benchmark
+// replays an observing campaign through it.
+
+#ifndef SDSS_ARCHIVE_ARCHIVE_H_
+#define SDSS_ARCHIVE_ARCHIVE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/sim_clock.h"
+#include "core/status.h"
+
+namespace sdss::archive {
+
+/// Archive tiers, in pipeline order (Figure 2).
+enum class Tier {
+  kTelescope = 0,      ///< T: raw tapes at the mountain.
+  kOperational = 1,    ///< OA: reduced + calibrated, behind the firewall.
+  kMasterScience = 2,  ///< MSA: organized for science use.
+  kLocal = 3,          ///< LA: replicas at collaboration sites.
+  kMasterPublic = 4,   ///< MPA: verified public master.
+  kPublic = 5,         ///< PA: public replicas / WWW access.
+};
+
+inline constexpr int kNumTiers = 6;
+
+const char* TierName(Tier t);
+
+/// Per-hop publication delays (defaults follow Figure 2's annotations).
+struct PipelineDelays {
+  SimSeconds telescope_to_operational = 1 * kSimDay;     ///< Tape shipment.
+  SimSeconds operational_to_master = 14 * kSimDay;       ///< "2 weeks".
+  SimSeconds master_to_local = 14 * kSimDay;             ///< "2 weeks".
+  SimSeconds master_to_master_public = 547 * kSimDay;    ///< "1-2 years".
+  SimSeconds master_public_to_public = 7 * kSimDay;      ///< "1 week".
+};
+
+/// The lifecycle record of one observation chunk.
+struct ChunkRecord {
+  int night = 0;
+  uint64_t objects = 0;
+  uint64_t bytes = 0;
+  int version = 1;  ///< Calibration version; bumps re-publish downstream.
+  /// Time the current version becomes visible per tier.
+  double visible_at[kNumTiers] = {0, 0, 0, 0, 0, 0};
+};
+
+/// One tier-transition event, for audit logs / plots.
+struct ArchiveEvent {
+  int night = 0;
+  Tier tier = Tier::kTelescope;
+  int version = 1;
+  SimSeconds at = 0.0;
+};
+
+/// The archive publication pipeline.
+class ArchivePipeline {
+ public:
+  explicit ArchivePipeline(PipelineDelays delays = {});
+
+  /// Records a chunk observed (written to tape) at simulated time `t`.
+  Status ObserveChunk(int night, uint64_t objects, uint64_t bytes,
+                      SimSeconds t);
+
+  /// Recalibration at time `t` of all chunks with night <= `through_night`:
+  /// bumps their version; the new version flows MSA -> LA -> MPA -> PA
+  /// with the regular delays starting at `t` ("the archive, or at least a
+  /// part of it, be dynamic").
+  Status Recalibrate(int through_night, SimSeconds t);
+
+  /// Chunk state; NotFound for unknown nights.
+  Result<ChunkRecord> GetChunk(int night) const;
+
+  /// Objects visible at `tier` at time `t` (current versions only).
+  uint64_t ObjectsVisible(Tier tier, SimSeconds t) const;
+  uint64_t BytesVisible(Tier tier, SimSeconds t) const;
+
+  /// Latency from observation to public availability for one chunk.
+  Result<SimSeconds> TimeToPublic(int night) const;
+
+  /// All transition events, time-ordered.
+  std::vector<ArchiveEvent> Events() const;
+
+  size_t chunk_count() const { return chunks_.size(); }
+
+ private:
+  void Publish(ChunkRecord* rec, SimSeconds observed_at);
+
+  PipelineDelays delays_;
+  std::map<int, ChunkRecord> chunks_;
+  std::vector<ArchiveEvent> events_;
+};
+
+/// A set of local-archive replicas with per-site replication lag on top
+/// of the MSA availability ("Science archive data is replicated to Local
+/// Archives"). Site 0 is the closest mirror.
+class LocalArchiveSet {
+ public:
+  /// `site_lags` holds each site's extra delay after MSA visibility.
+  explicit LocalArchiveSet(std::vector<SimSeconds> site_lags)
+      : lags_(std::move(site_lags)) {}
+
+  size_t site_count() const { return lags_.size(); }
+
+  /// Objects visible at `site` at `t`, given the pipeline state.
+  uint64_t ObjectsVisible(const ArchivePipeline& pipeline, size_t site,
+                          SimSeconds t) const;
+
+  /// Maximum replication lag across sites for a chunk (staleness bound).
+  SimSeconds MaxLag() const;
+
+ private:
+  std::vector<SimSeconds> lags_;
+};
+
+}  // namespace sdss::archive
+
+#endif  // SDSS_ARCHIVE_ARCHIVE_H_

@@ -1,0 +1,47 @@
+// Catalog cross-identification.
+//
+// "As the reference astronomical data set, each subsequent astronomical
+// survey will want to cross-identify its objects with the SDSS catalog."
+// CrossMatch pairs objects of two stores within an angular tolerance
+// using the HTM container index on both sides, so cost scales with the
+// overlap area rather than the catalog product.
+
+#ifndef SDSS_CATALOG_CROSS_MATCH_H_
+#define SDSS_CATALOG_CROSS_MATCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "catalog/object_store.h"
+
+namespace sdss::catalog {
+
+/// One cross-identified pair.
+struct MatchPair {
+  uint64_t obj_id_a = 0;
+  uint64_t obj_id_b = 0;
+  double separation_arcsec = 0.0;
+};
+
+/// Options for cross matching.
+struct CrossMatchOptions {
+  double radius_arcsec = 2.0;  ///< Match tolerance.
+  bool best_match_only = true;  ///< Keep only the nearest B per A object.
+};
+
+/// Statistics of one cross-match run.
+struct CrossMatchStats {
+  uint64_t candidates_tested = 0;  ///< Pairwise distance evaluations.
+  uint64_t matches = 0;
+};
+
+/// Cross-identifies every object of `a` against `b`. For each object in
+/// `a`, candidate B objects are drawn only from the containers whose
+/// trixels intersect the match cap, via the HTM cover.
+std::vector<MatchPair> CrossMatch(const ObjectStore& a, const ObjectStore& b,
+                                  const CrossMatchOptions& options,
+                                  CrossMatchStats* stats = nullptr);
+
+}  // namespace sdss::catalog
+
+#endif  // SDSS_CATALOG_CROSS_MATCH_H_

@@ -1,0 +1,118 @@
+#include "catalog/finding_chart.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "core/angle.h"
+#include "core/coords.h"
+#include "htm/region.h"
+
+namespace sdss::catalog {
+namespace {
+
+char GlyphFor(const PhotoObj& o, float faint_threshold) {
+  if (o.mag[kR] > faint_threshold) return '.';
+  switch (o.obj_class) {
+    case ObjClass::kStar:
+      return '*';
+    case ObjClass::kGalaxy:
+      return 'o';
+    case ObjClass::kQuasar:
+      return 'Q';
+    case ObjClass::kUnknown:
+      return '?';
+  }
+  return '?';
+}
+
+}  // namespace
+
+Result<FindingChart> RenderFindingChart(const ObjectStore& store,
+                                        const ChartOptions& options) {
+  if (options.radius_deg <= 0.0) {
+    return Status::InvalidArgument("chart radius must be positive");
+  }
+  if (options.columns < 3 || options.rows < 3) {
+    return Status::InvalidArgument("chart raster too small");
+  }
+
+  Vec3 center = UnitVectorFromSpherical(options.ra_deg, options.dec_deg);
+  htm::Region cone =
+      htm::Region::CircleAround(center, options.radius_deg);
+
+  FindingChart chart;
+  store.QueryRegion(cone, [&](const PhotoObj& o) {
+    if (o.mag[kR] > options.faint_limit_r) return;
+    ChartEntry e;
+    e.obj_id = o.obj_id;
+    e.ra_deg = o.ra_deg;
+    e.dec_deg = o.dec_deg;
+    e.r_mag = o.mag[kR];
+    e.obj_class = o.obj_class;
+    // "Faint" rendering threshold: 2 magnitudes above the cut.
+    e.glyph = GlyphFor(o, options.faint_limit_r - 2.0f);
+    chart.entries.push_back(e);
+  });
+  std::sort(chart.entries.begin(), chart.entries.end(),
+            [](const ChartEntry& a, const ChartEntry& b) {
+              if (a.r_mag != b.r_mag) return a.r_mag < b.r_mag;
+              return a.obj_id < b.obj_id;
+            });
+
+  // Raster: gnomonic-ish projection, East left (astronomical convention).
+  std::vector<std::string> raster(options.rows,
+                                  std::string(options.columns, ' '));
+  double cos_dec = std::max(0.05, std::cos(DegToRad(options.dec_deg)));
+  double half_w = options.radius_deg;
+  double half_h = options.radius_deg;
+  for (const ChartEntry& e : chart.entries) {
+    double dra = NormalizeDeg180(e.ra_deg - options.ra_deg) * cos_dec;
+    double ddec = e.dec_deg - options.dec_deg;
+    if (std::fabs(dra) > half_w || std::fabs(ddec) > half_h) continue;
+    auto col = static_cast<size_t>(
+        std::lround((half_w - dra) / (2.0 * half_w) *
+                    static_cast<double>(options.columns - 1)));
+    auto row = static_cast<size_t>(
+        std::lround((half_h - ddec) / (2.0 * half_h) *
+                    static_cast<double>(options.rows - 1)));
+    if (row < options.rows && col < options.columns) {
+      char& cell = raster[row][col];
+      // Brightest glyph wins a contested cell ('.' never overwrites).
+      if (cell == ' ' || cell == '.') cell = e.glyph;
+    }
+  }
+  raster[options.rows / 2][options.columns / 2] = '+';
+
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "Finding chart  ra=%.5f dec=%+.5f  radius=%.3f deg  "
+                "(r <= %.1f)\n",
+                options.ra_deg, options.dec_deg, options.radius_deg,
+                options.faint_limit_r);
+  chart.ascii = buf;
+  std::string border(options.columns + 2, '-');
+  chart.ascii += border + "\n";
+  for (const std::string& line : raster) {
+    chart.ascii += "|" + line + "|\n";
+  }
+  chart.ascii += border + "\n";
+  chart.ascii +=
+      "legend: * star  o galaxy  Q quasar  . faint  + field center\n";
+
+  size_t n = std::min(chart.entries.size(), options.max_table_rows);
+  if (n > 0) {
+    chart.ascii += "\n  brightest objects:\n";
+    chart.ascii += "  obj_id            ra          dec        r\n";
+    for (size_t i = 0; i < n; ++i) {
+      const ChartEntry& e = chart.entries[i];
+      std::snprintf(buf, sizeof(buf), "  %-12llu %11.5f %+11.5f %8.2f %c\n",
+                    static_cast<unsigned long long>(e.obj_id), e.ra_deg,
+                    e.dec_deg, e.r_mag, e.glyph);
+      chart.ascii += buf;
+    }
+  }
+  return chart;
+}
+
+}  // namespace sdss::catalog

@@ -1,0 +1,56 @@
+// Finding charts.
+//
+// The paper: "At the simplest level these include the on-demand creation
+// of (color) finding charts, with position information." A finding chart
+// is a small annotated map of a sky neighborhood an observer takes to the
+// telescope. This service renders one from the catalog: objects in a cone
+// are projected onto a tangent-plane grid and drawn by class and
+// brightness, with a legend and the position table.
+
+#ifndef SDSS_CATALOG_FINDING_CHART_H_
+#define SDSS_CATALOG_FINDING_CHART_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/object_store.h"
+#include "core/status.h"
+
+namespace sdss::catalog {
+
+/// Chart parameters.
+struct ChartOptions {
+  double ra_deg = 0.0;
+  double dec_deg = 0.0;
+  double radius_deg = 0.25;
+  float faint_limit_r = 21.0f;  ///< Objects fainter than this are omitted.
+  size_t columns = 61;          ///< Chart raster size (odd keeps the
+  size_t rows = 31;             ///< target on the center cell).
+  size_t max_table_rows = 12;   ///< Position-table length.
+};
+
+/// One charted object.
+struct ChartEntry {
+  uint64_t obj_id = 0;
+  double ra_deg = 0.0;
+  double dec_deg = 0.0;
+  float r_mag = 0.0f;
+  ObjClass obj_class = ObjClass::kUnknown;
+  char glyph = '?';
+};
+
+/// A rendered chart: the ASCII raster plus the entries drawn on it.
+struct FindingChart {
+  std::string ascii;                ///< Ready to print.
+  std::vector<ChartEntry> entries;  ///< Sorted brightest first.
+};
+
+/// Renders a finding chart from the store (spatially indexed lookup).
+/// Glyphs: '*' star, 'o' galaxy, 'Q' quasar, '.' faint anything,
+/// '+' the requested center.
+Result<FindingChart> RenderFindingChart(const ObjectStore& store,
+                                        const ChartOptions& options);
+
+}  // namespace sdss::catalog
+
+#endif  // SDSS_CATALOG_FINDING_CHART_H_

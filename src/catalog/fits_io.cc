@@ -1,0 +1,221 @@
+#include "catalog/fits_io.h"
+
+#include "core/coords.h"
+#include "htm/trixel.h"
+
+namespace sdss::catalog {
+
+using fits::ColumnSpec;
+using fits::ColumnType;
+using fits::Table;
+
+std::vector<ColumnSpec> PhotoObjFitsSchema() {
+  std::vector<ColumnSpec> cols;
+  cols.push_back({"OBJ_ID", ColumnType::kInt64, 0, ""});
+  cols.push_back({"CX", ColumnType::kDouble, 0, ""});
+  cols.push_back({"CY", ColumnType::kDouble, 0, ""});
+  cols.push_back({"CZ", ColumnType::kDouble, 0, ""});
+  for (int b = 0; b < kNumBands; ++b) {
+    std::string n = kBandNames[b];
+    for (char& c : n) c = static_cast<char>(std::toupper(c));
+    cols.push_back({"MAG_" + n, ColumnType::kFloat, 0, "mag"});
+  }
+  for (int b = 0; b < kNumBands; ++b) {
+    std::string n = kBandNames[b];
+    for (char& c : n) c = static_cast<char>(std::toupper(c));
+    cols.push_back({"ERR_" + n, ColumnType::kFloat, 0, "mag"});
+  }
+  for (int i = 0; i < kProfileBins; ++i) {
+    cols.push_back({"PROF_" + std::to_string(i), ColumnType::kFloat, 0, ""});
+  }
+  cols.push_back({"PETRORAD", ColumnType::kFloat, 0, "arcsec"});
+  cols.push_back({"SB", ColumnType::kFloat, 0, "mag/arcsec2"});
+  cols.push_back({"REDSHIFT", ColumnType::kFloat, 0, ""});
+  cols.push_back({"FLAGS", ColumnType::kInt32, 0, ""});
+  cols.push_back({"CLASS", ColumnType::kInt32, 0, ""});
+  return cols;
+}
+
+std::vector<ColumnSpec> TagObjFitsSchema() {
+  std::vector<ColumnSpec> cols;
+  cols.push_back({"OBJ_ID", ColumnType::kInt64, 0, ""});
+  cols.push_back({"CX", ColumnType::kFloat, 0, ""});
+  cols.push_back({"CY", ColumnType::kFloat, 0, ""});
+  cols.push_back({"CZ", ColumnType::kFloat, 0, ""});
+  for (int b = 0; b < kNumBands; ++b) {
+    std::string n = kBandNames[b];
+    for (char& c : n) c = static_cast<char>(std::toupper(c));
+    cols.push_back({"MAG_" + n, ColumnType::kFloat, 0, "mag"});
+  }
+  cols.push_back({"SIZE", ColumnType::kFloat, 0, "arcsec"});
+  cols.push_back({"CLASS", ColumnType::kInt32, 0, ""});
+  return cols;
+}
+
+namespace {
+
+std::vector<Table::Cell> PhotoObjToCells(const PhotoObj& o) {
+  std::vector<Table::Cell> cells;
+  cells.emplace_back(static_cast<int64_t>(o.obj_id));
+  cells.emplace_back(o.pos.x);
+  cells.emplace_back(o.pos.y);
+  cells.emplace_back(o.pos.z);
+  for (int b = 0; b < kNumBands; ++b) cells.emplace_back(o.mag[b]);
+  for (int b = 0; b < kNumBands; ++b) cells.emplace_back(o.mag_err[b]);
+  for (int i = 0; i < kProfileBins; ++i) cells.emplace_back(o.profile[i]);
+  cells.emplace_back(o.petro_radius_arcsec);
+  cells.emplace_back(o.surface_brightness);
+  cells.emplace_back(o.redshift);
+  cells.emplace_back(static_cast<int32_t>(o.flags));
+  cells.emplace_back(static_cast<int32_t>(o.obj_class));
+  return cells;
+}
+
+Result<PhotoObj> PhotoObjFromRow(const Table& t, size_t r) {
+  PhotoObj o;
+  size_t c = 0;
+  auto i64 = t.GetInt64(r, c++);
+  if (!i64.ok()) return i64.status();
+  o.obj_id = static_cast<uint64_t>(*i64);
+  auto x = t.GetDouble(r, c++);
+  auto y = t.GetDouble(r, c++);
+  auto z = t.GetDouble(r, c++);
+  if (!x.ok() || !y.ok() || !z.ok()) {
+    return Status::Corruption("bad position columns");
+  }
+  o.pos = Vec3(*x, *y, *z).Normalized();
+  for (int b = 0; b < kNumBands; ++b) {
+    auto m = t.GetFloat(r, c++);
+    if (!m.ok()) return m.status();
+    o.mag[b] = *m;
+  }
+  for (int b = 0; b < kNumBands; ++b) {
+    auto m = t.GetFloat(r, c++);
+    if (!m.ok()) return m.status();
+    o.mag_err[b] = *m;
+  }
+  for (int i = 0; i < kProfileBins; ++i) {
+    auto p = t.GetFloat(r, c++);
+    if (!p.ok()) return p.status();
+    o.profile[i] = *p;
+  }
+  auto petro = t.GetFloat(r, c++);
+  auto sb = t.GetFloat(r, c++);
+  auto redshift = t.GetFloat(r, c++);
+  auto flags = t.GetInt32(r, c++);
+  auto cls = t.GetInt32(r, c++);
+  if (!petro.ok() || !sb.ok() || !redshift.ok() || !flags.ok() || !cls.ok()) {
+    return Status::Corruption("bad scalar columns");
+  }
+  o.petro_radius_arcsec = *petro;
+  o.surface_brightness = *sb;
+  o.redshift = *redshift;
+  o.flags = static_cast<uint32_t>(*flags);
+  o.obj_class = static_cast<ObjClass>(*cls);
+  SphericalFromUnitVector(o.pos, &o.ra_deg, &o.dec_deg);
+  o.htm_leaf = htm::LookupId(o.pos, kGeneratorHtmLevel).raw();
+  return o;
+}
+
+}  // namespace
+
+Table PhotoObjsToTable(const std::vector<PhotoObj>& objects) {
+  Table t(PhotoObjFitsSchema());
+  for (const PhotoObj& o : objects) {
+    // Schema matches construction; cannot fail.
+    (void)t.AppendRow(PhotoObjToCells(o));
+  }
+  return t;
+}
+
+Result<std::vector<PhotoObj>> PhotoObjsFromTable(const Table& table) {
+  std::vector<PhotoObj> out;
+  out.reserve(table.num_rows());
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    auto o = PhotoObjFromRow(table, r);
+    if (!o.ok()) return o.status();
+    out.push_back(std::move(o).value());
+  }
+  return out;
+}
+
+Table TagObjsToTable(const std::vector<TagObj>& tags) {
+  Table t(TagObjFitsSchema());
+  for (const TagObj& tag : tags) {
+    std::vector<Table::Cell> cells;
+    cells.emplace_back(static_cast<int64_t>(tag.obj_id));
+    cells.emplace_back(tag.cx);
+    cells.emplace_back(tag.cy);
+    cells.emplace_back(tag.cz);
+    for (int b = 0; b < kNumBands; ++b) cells.emplace_back(tag.mag[b]);
+    cells.emplace_back(tag.size_arcsec);
+    cells.emplace_back(static_cast<int32_t>(tag.obj_class));
+    (void)t.AppendRow(cells);
+  }
+  return t;
+}
+
+Result<std::vector<TagObj>> TagObjsFromTable(const Table& table) {
+  std::vector<TagObj> out;
+  out.reserve(table.num_rows());
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    TagObj tag;
+    size_t c = 0;
+    auto id = table.GetInt64(r, c++);
+    if (!id.ok()) return id.status();
+    tag.obj_id = static_cast<uint64_t>(*id);
+    auto x = table.GetFloat(r, c++);
+    auto y = table.GetFloat(r, c++);
+    auto z = table.GetFloat(r, c++);
+    if (!x.ok() || !y.ok() || !z.ok()) {
+      return Status::Corruption("bad tag position");
+    }
+    tag.cx = *x;
+    tag.cy = *y;
+    tag.cz = *z;
+    for (int b = 0; b < kNumBands; ++b) {
+      auto m = table.GetFloat(r, c++);
+      if (!m.ok()) return m.status();
+      tag.mag[b] = *m;
+    }
+    auto size = table.GetFloat(r, c++);
+    auto cls = table.GetInt32(r, c++);
+    if (!size.ok() || !cls.ok()) return Status::Corruption("bad tag scalars");
+    tag.size_arcsec = *size;
+    tag.obj_class = static_cast<uint8_t>(*cls);
+    out.push_back(tag);
+  }
+  return out;
+}
+
+std::string StoreToPacketStream(const ObjectStore& store,
+                                size_t rows_per_packet,
+                                fits::StreamEncoding encoding) {
+  fits::PacketStreamWriter writer(
+      PhotoObjFitsSchema(),
+      {.rows_per_packet = rows_per_packet, .encoding = encoding});
+  store.ForEachObject([&](const PhotoObj& o) {
+    (void)writer.Append(PhotoObjToCells(o));
+  });
+  (void)writer.Finish();
+  return writer.TakeOutput();
+}
+
+Result<ObjectStore> StoreFromPacketStream(const std::string& bytes,
+                                          StoreOptions options) {
+  ObjectStore store(options);
+  std::vector<PhotoObj> batch;
+  Status st = fits::PacketStreamReader::Consume(
+      bytes, [&](const Table& packet, const fits::PacketStreamReader::
+                                          PacketInfo&) {
+        auto objs = PhotoObjsFromTable(packet);
+        if (!objs.ok()) return false;  // Surfaceable via final status.
+        for (PhotoObj& o : *objs) batch.push_back(std::move(o));
+        return true;
+      });
+  if (!st.ok()) return st;
+  SDSS_RETURN_IF_ERROR(store.BulkLoad(std::move(batch)));
+  return store;
+}
+
+}  // namespace sdss::catalog

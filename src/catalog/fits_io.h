@@ -1,0 +1,44 @@
+// FITS import/export of catalog objects: the bridge between the object
+// store and the interchange layer (binary FITS tables and the blocked
+// packet stream the paper proposes for archive-to-archive transfer).
+
+#ifndef SDSS_CATALOG_FITS_IO_H_
+#define SDSS_CATALOG_FITS_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/object_store.h"
+#include "catalog/photo_obj.h"
+#include "core/status.h"
+#include "fits/packet_stream.h"
+#include "fits/table.h"
+
+namespace sdss::catalog {
+
+/// The FITS schema of a serialized PhotoObj row.
+std::vector<fits::ColumnSpec> PhotoObjFitsSchema();
+
+/// The FITS schema of a serialized TagObj row.
+std::vector<fits::ColumnSpec> TagObjFitsSchema();
+
+/// Converts objects to a FITS table (and back).
+fits::Table PhotoObjsToTable(const std::vector<PhotoObj>& objects);
+Result<std::vector<PhotoObj>> PhotoObjsFromTable(const fits::Table& table);
+
+fits::Table TagObjsToTable(const std::vector<TagObj>& tags);
+Result<std::vector<TagObj>> TagObjsFromTable(const fits::Table& table);
+
+/// Serializes a whole store as a blocked binary FITS packet stream
+/// (rows_per_packet objects per packet) and reloads it. Round-trips the
+/// full photometric rows.
+std::string StoreToPacketStream(const ObjectStore& store,
+                                size_t rows_per_packet = 2048,
+                                fits::StreamEncoding encoding =
+                                    fits::StreamEncoding::kBinary);
+Result<ObjectStore> StoreFromPacketStream(const std::string& bytes,
+                                          StoreOptions options = {});
+
+}  // namespace sdss::catalog
+
+#endif  // SDSS_CATALOG_FITS_IO_H_

@@ -1,0 +1,194 @@
+#include "catalog/object_store.h"
+
+#include <algorithm>
+
+#include "core/random.h"
+
+namespace sdss::catalog {
+
+using htm::Coverage;
+using htm::CoverResult;
+using htm::HtmId;
+using htm::Region;
+using htm::Trixel;
+
+ObjectStore::ObjectStore(StoreOptions options)
+    : options_(options), index_(options.cluster_level) {}
+
+Status ObjectStore::Insert(const PhotoObj& obj) {
+  HtmId trixel = index_.Locate(obj.pos);
+  Container& c = containers_[trixel.raw()];
+  if (!c.trixel.valid()) c.trixel = trixel;
+  c.objects.push_back(obj);
+  if (options_.build_tags) c.tags.push_back(TagObj::FromPhoto(obj));
+  ++object_count_;
+  return Status::OK();
+}
+
+Status ObjectStore::BulkLoad(std::vector<PhotoObj> objects) {
+  // Phase 1: compute container keys and sort so each container is touched
+  // exactly once.
+  std::vector<std::pair<uint64_t, size_t>> keys;
+  keys.reserve(objects.size());
+  for (size_t i = 0; i < objects.size(); ++i) {
+    keys.emplace_back(index_.Locate(objects[i].pos).raw(), i);
+  }
+  std::sort(keys.begin(), keys.end());
+
+  // Phase 2: one pass, one container at a time.
+  size_t i = 0;
+  while (i < keys.size()) {
+    uint64_t raw = keys[i].first;
+    size_t j = i;
+    while (j < keys.size() && keys[j].first == raw) ++j;
+    Container& c = containers_[raw];
+    if (!c.trixel.valid()) {
+      auto id = HtmId::FromRaw(raw);
+      if (!id.ok()) return id.status();
+      c.trixel = *id;
+    }
+    c.objects.reserve(c.objects.size() + (j - i));
+    if (options_.build_tags) c.tags.reserve(c.tags.size() + (j - i));
+    for (size_t k = i; k < j; ++k) {
+      const PhotoObj& obj = objects[keys[k].second];
+      c.objects.push_back(obj);
+      if (options_.build_tags) c.tags.push_back(TagObj::FromPhoto(obj));
+    }
+    object_count_ += j - i;
+    i = j;
+  }
+  return Status::OK();
+}
+
+StoreStats ObjectStore::Stats() const {
+  StoreStats s;
+  s.object_count = object_count_;
+  s.container_count = containers_.size();
+  for (const auto& [raw, c] : containers_) {
+    s.full_bytes += c.FullBytes();
+    s.tag_bytes += c.TagBytes();
+    s.max_container_objects =
+        std::max<uint64_t>(s.max_container_objects, c.objects.size());
+  }
+  s.mean_container_objects =
+      containers_.empty()
+          ? 0.0
+          : static_cast<double>(object_count_) /
+                static_cast<double>(containers_.size());
+  return s;
+}
+
+const Container* ObjectStore::FindContainer(HtmId trixel) const {
+  auto it = containers_.find(trixel.raw());
+  return it == containers_.end() ? nullptr : &it->second;
+}
+
+std::map<uint64_t, uint64_t> ObjectStore::DensityMap() const {
+  std::map<uint64_t, uint64_t> dm;
+  for (const auto& [raw, c] : containers_) dm[raw] = c.objects.size();
+  return dm;
+}
+
+void ObjectStore::ForEachObject(
+    const std::function<void(const PhotoObj&)>& fn) const {
+  for (const auto& [raw, c] : containers_) {
+    for (const PhotoObj& o : c.objects) fn(o);
+  }
+}
+
+void ObjectStore::ForEachTag(
+    const std::function<void(const TagObj&)>& fn) const {
+  for (const auto& [raw, c] : containers_) {
+    for (const TagObj& t : c.tags) fn(t);
+  }
+}
+
+ObjectStore::SpatialScanStats ObjectStore::QueryRegion(
+    const Region& region,
+    const std::function<void(const PhotoObj&)>& fn) const {
+  SpatialScanStats stats;
+  CoverResult cover = index_.CoverRegion(region);
+
+  // FULL trixels may be coarser than the cluster level: walk the id range.
+  for (HtmId id : cover.full) {
+    uint64_t first, last;
+    id.RangeAtLevel(options_.cluster_level, &first, &last);
+    for (auto it = containers_.lower_bound(first);
+         it != containers_.end() && it->first < last; ++it) {
+      ++stats.full_containers;
+      stats.bytes_touched += it->second.FullBytes();
+      for (const PhotoObj& o : it->second.objects) {
+        ++stats.accepted;
+        fn(o);
+      }
+    }
+  }
+  for (HtmId id : cover.partial) {
+    uint64_t first, last;
+    id.RangeAtLevel(options_.cluster_level, &first, &last);
+    for (auto it = containers_.lower_bound(first);
+         it != containers_.end() && it->first < last; ++it) {
+      ++stats.partial_containers;
+      stats.bytes_touched += it->second.FullBytes();
+      for (const PhotoObj& o : it->second.objects) {
+        ++stats.objects_tested;
+        if (region.Contains(o.pos)) {
+          ++stats.accepted;
+          fn(o);
+        }
+      }
+    }
+  }
+  return stats;
+}
+
+ObjectStore::Prediction ObjectStore::PredictRegion(
+    const Region& region) const {
+  Prediction p;
+  CoverResult cover = index_.CoverRegion(region);
+  for (HtmId id : cover.full) {
+    uint64_t first, last;
+    id.RangeAtLevel(options_.cluster_level, &first, &last);
+    for (auto it = containers_.lower_bound(first);
+         it != containers_.end() && it->first < last; ++it) {
+      p.min_objects += it->second.objects.size();
+      p.bytes_to_scan += it->second.FullBytes();
+    }
+  }
+  uint64_t partial_objects = 0;
+  for (HtmId id : cover.partial) {
+    uint64_t first, last;
+    id.RangeAtLevel(options_.cluster_level, &first, &last);
+    for (auto it = containers_.lower_bound(first);
+         it != containers_.end() && it->first < last; ++it) {
+      partial_objects += it->second.objects.size();
+      p.bytes_to_scan += it->second.FullBytes();
+    }
+  }
+  p.max_objects = p.min_objects + partial_objects;
+  // Expectation: a bisected container contributes roughly half its
+  // objects (boundary trixels are about half inside on average).
+  p.expected_objects = static_cast<double>(p.min_objects) +
+                       0.5 * static_cast<double>(partial_objects);
+  return p;
+}
+
+ObjectStore ObjectStore::Sample(double fraction, uint64_t seed) const {
+  ObjectStore out(options_);
+  Rng rng(seed);
+  std::vector<PhotoObj> picked;
+  ForEachObject([&](const PhotoObj& o) {
+    if (rng.Bernoulli(fraction)) picked.push_back(o);
+  });
+  // BulkLoad only fails on malformed trixel ids, which cannot happen for
+  // ids produced by Locate().
+  (void)out.BulkLoad(std::move(picked));
+  return out;
+}
+
+void ObjectStore::Clear() {
+  containers_.clear();
+  object_count_ = 0;
+}
+
+}  // namespace sdss::catalog

@@ -1,0 +1,145 @@
+// The container-clustered object store: this reproduction's stand-in for
+// the Objectivity/DB federation of the Science Archive.
+//
+// Objects are clustered into containers keyed by their HTM trixel at a
+// configurable depth (the paper's "clustering units"). The container
+// directory doubles as the coarse-grained density map the paper uses to
+// predict output volume and search time; spatial queries accept FULL
+// containers wholesale and filter PARTIAL containers per object, exactly
+// as the index section of the paper describes.
+
+#ifndef SDSS_CATALOG_OBJECT_STORE_H_
+#define SDSS_CATALOG_OBJECT_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "catalog/photo_obj.h"
+#include "core/status.h"
+#include "htm/cover.h"
+#include "htm/htm_index.h"
+#include "htm/region.h"
+
+namespace sdss::catalog {
+
+/// Store configuration.
+struct StoreOptions {
+  /// HTM depth of the clustering containers (level 6 -> 32768 trixels,
+  /// a few thousand occupied for a partial-sky survey).
+  int cluster_level = 6;
+
+  /// Maintain the tag vertical partition alongside the full objects.
+  bool build_tags = true;
+};
+
+/// One clustering unit: the objects of a single trixel, stored
+/// contiguously, plus the tag partition of the same objects.
+struct Container {
+  htm::HtmId trixel;
+  std::vector<PhotoObj> objects;
+  std::vector<TagObj> tags;  ///< Parallel to `objects` when tags enabled.
+
+  uint64_t FullBytes() const {
+    return objects.size() * sizeof(PhotoObj);
+  }
+  uint64_t TagBytes() const { return tags.size() * sizeof(TagObj); }
+};
+
+/// Aggregate store statistics (the density map rolled up).
+struct StoreStats {
+  uint64_t object_count = 0;
+  uint64_t container_count = 0;
+  uint64_t full_bytes = 0;
+  uint64_t tag_bytes = 0;
+  uint64_t max_container_objects = 0;
+  double mean_container_objects = 0.0;
+};
+
+/// The in-memory Science Archive object warehouse.
+///
+/// Thread-compatibility: loads are single-writer; all query/scan methods
+/// are const and safe to call concurrently once loading is done.
+class ObjectStore {
+ public:
+  explicit ObjectStore(StoreOptions options = {});
+
+  const StoreOptions& options() const { return options_; }
+  int cluster_level() const { return options_.cluster_level; }
+
+  /// Inserts one object (computes its container from pos). Prefer
+  /// BulkLoad for chunks -- this is the "naive load" path.
+  Status Insert(const PhotoObj& obj);
+
+  /// Inserts a batch grouped by container in one pass per container (the
+  /// paper's two-phase clustered load is built on this; see ChunkLoader).
+  Status BulkLoad(std::vector<PhotoObj> objects);
+
+  uint64_t object_count() const { return object_count_; }
+  size_t container_count() const { return containers_.size(); }
+  StoreStats Stats() const;
+
+  /// Container lookup by trixel id; nullptr when empty/absent.
+  const Container* FindContainer(htm::HtmId trixel) const;
+
+  /// The container directory: (trixel raw id -> object count), i.e. the
+  /// coarse density map.
+  std::map<uint64_t, uint64_t> DensityMap() const;
+
+  /// Sequential scan over every object (the scan-machine access path).
+  void ForEachObject(const std::function<void(const PhotoObj&)>& fn) const;
+
+  /// Scan over every tag (the fast vertical-partition path).
+  void ForEachTag(const std::function<void(const TagObj&)>& fn) const;
+
+  /// Spatial query: calls `fn` exactly once for every object inside
+  /// `region`. Containers FULLy inside are accepted without per-object
+  /// tests; PARTIAL containers are filtered with the exact Region test.
+  /// Returns the number of objects visited (accepted).
+  struct SpatialScanStats {
+    uint64_t accepted = 0;
+    uint64_t full_containers = 0;
+    uint64_t partial_containers = 0;
+    uint64_t objects_tested = 0;  ///< Per-object tests in PARTIAL units.
+    uint64_t bytes_touched = 0;
+  };
+  SpatialScanStats QueryRegion(
+      const htm::Region& region,
+      const std::function<void(const PhotoObj&)>& fn) const;
+
+  /// Predicts result count and bytes touched for `region` from the
+  /// density map alone (the paper: "a prediction of the output data
+  /// volume and search time can be computed from the intersection
+  /// volume"). No object data is read.
+  struct Prediction {
+    double expected_objects = 0.0;  ///< FULL count + half of PARTIAL.
+    uint64_t max_objects = 0;       ///< FULL + all PARTIAL.
+    uint64_t min_objects = 0;       ///< FULL only.
+    uint64_t bytes_to_scan = 0;     ///< Data that must be read.
+  };
+  Prediction PredictRegion(const htm::Region& region) const;
+
+  /// All objects of one container id range (used by the partitioner).
+  const std::map<uint64_t, Container>& containers() const {
+    return containers_;
+  }
+
+  /// Random sample of the catalog ("1% subsets allow debugging ...").
+  /// Deterministic for a fixed seed; returns a new store with the same
+  /// options.
+  ObjectStore Sample(double fraction, uint64_t seed) const;
+
+  /// Removes everything.
+  void Clear();
+
+ private:
+  StoreOptions options_;
+  htm::HtmIndex index_;
+  std::map<uint64_t, Container> containers_;  // Keyed by trixel raw id.
+  uint64_t object_count_ = 0;
+};
+
+}  // namespace sdss::catalog
+
+#endif  // SDSS_CATALOG_OBJECT_STORE_H_

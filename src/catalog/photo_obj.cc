@@ -1,0 +1,113 @@
+#include "catalog/photo_obj.h"
+
+#include <algorithm>
+#include <cctype>
+#include <vector>
+
+namespace sdss::catalog {
+
+const char* ObjClassName(ObjClass c) {
+  switch (c) {
+    case ObjClass::kUnknown:
+      return "UNKNOWN";
+    case ObjClass::kStar:
+      return "STAR";
+    case ObjClass::kGalaxy:
+      return "GALAXY";
+    case ObjClass::kQuasar:
+      return "QSO";
+  }
+  return "?";
+}
+
+Result<ObjClass> ObjClassFromName(const std::string& name) {
+  std::string n;
+  for (char c : name) n.push_back(static_cast<char>(std::toupper(c)));
+  if (n == "UNKNOWN") return ObjClass::kUnknown;
+  if (n == "STAR") return ObjClass::kStar;
+  if (n == "GALAXY" || n == "GAL") return ObjClass::kGalaxy;
+  if (n == "QSO" || n == "QUASAR") return ObjClass::kQuasar;
+  return Status::InvalidArgument("unknown object class: " + name);
+}
+
+TagObj TagObj::FromPhoto(const PhotoObj& p) {
+  TagObj t;
+  t.obj_id = p.obj_id;
+  t.cx = static_cast<float>(p.pos.x);
+  t.cy = static_cast<float>(p.pos.y);
+  t.cz = static_cast<float>(p.pos.z);
+  t.mag = p.mag;
+  t.size_arcsec = p.petro_radius_arcsec;
+  t.obj_class = static_cast<uint8_t>(p.obj_class);
+  return t;
+}
+
+Result<double> GetAttribute(const PhotoObj& obj, const std::string& name) {
+  if (name == "obj_id") return static_cast<double>(obj.obj_id);
+  if (name == "ra") return obj.ra_deg;
+  if (name == "dec") return obj.dec_deg;
+  if (name == "cx") return obj.pos.x;
+  if (name == "cy") return obj.pos.y;
+  if (name == "cz") return obj.pos.z;
+  for (int b = 0; b < kNumBands; ++b) {
+    if (name == kBandNames[b]) return static_cast<double>(obj.mag[b]);
+    if (name == std::string("err_") + kBandNames[b]) {
+      return static_cast<double>(obj.mag_err[b]);
+    }
+  }
+  if (name == "size") return static_cast<double>(obj.petro_radius_arcsec);
+  if (name == "sb") return static_cast<double>(obj.surface_brightness);
+  if (name == "redshift") return static_cast<double>(obj.redshift);
+  if (name == "flags") return static_cast<double>(obj.flags);
+  if (name == "class") return static_cast<double>(obj.obj_class);
+  if (name == "htm") return static_cast<double>(obj.htm_leaf);
+  if (name.rfind("profile", 0) == 0 && name.size() == 8) {
+    int bin = name[7] - '0';
+    if (bin >= 0 && bin < kProfileBins) {
+      return static_cast<double>(obj.profile[static_cast<size_t>(bin)]);
+    }
+  }
+  return Status::NotFound("unknown attribute: " + name);
+}
+
+Result<double> GetTagAttribute(const TagObj& tag, const std::string& name) {
+  if (name == "obj_id") return static_cast<double>(tag.obj_id);
+  if (name == "cx") return static_cast<double>(tag.cx);
+  if (name == "cy") return static_cast<double>(tag.cy);
+  if (name == "cz") return static_cast<double>(tag.cz);
+  for (int b = 0; b < kNumBands; ++b) {
+    if (name == kBandNames[b]) return static_cast<double>(tag.mag[b]);
+  }
+  if (name == "size") return static_cast<double>(tag.size_arcsec);
+  if (name == "class") return static_cast<double>(tag.obj_class);
+  return Status::NotFound("not a tag attribute: " + name);
+}
+
+bool IsTagAttribute(const std::string& name) {
+  static const std::vector<std::string>* kTagNames =
+      new std::vector<std::string>{"obj_id", "cx", "cy", "cz",  "u",
+                                   "g",      "r",  "i",  "z",   "size",
+                                   "class"};
+  return std::find(kTagNames->begin(), kTagNames->end(), name) !=
+         kTagNames->end();
+}
+
+const std::vector<std::string>& PhotoAttributeNames() {
+  static const std::vector<std::string>* kNames = [] {
+    auto* v = new std::vector<std::string>{
+        "obj_id", "ra", "dec", "cx", "cy", "cz"};
+    for (int b = 0; b < kNumBands; ++b) v->push_back(kBandNames[b]);
+    for (int b = 0; b < kNumBands; ++b) {
+      v->push_back(std::string("err_") + kBandNames[b]);
+    }
+    for (int i = 0; i < kProfileBins; ++i) {
+      v->push_back("profile" + std::to_string(i));
+    }
+    v->insert(v->end(),
+              {"size", "sb", "redshift", "flags", "class", "htm"});
+    return v;
+  }();
+  return *kNames;
+}
+
+}  // namespace sdss::catalog

@@ -1,0 +1,69 @@
+// Runtime schema metadata and multi-representation emitters.
+//
+// The paper: "The schema is defined in a high level format, and an
+// automated script generator creates the .h files for the C++ classes,
+// and the .ddl files for Objectivity/DB. This approach enables us to
+// easily create new data model representations in the future (SQL, IDL,
+// XML, etc)." This module is that pipeline at runtime: one schema
+// definition, emitted as SQL DDL, Objectivity-style DDL, or XML.
+
+#ifndef SDSS_CATALOG_SCHEMA_H_
+#define SDSS_CATALOG_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+
+namespace sdss::catalog {
+
+/// Field primitive types in the schema definition language.
+enum class FieldType { kInt64, kInt32, kFloat, kDouble, kString, kEnum };
+
+const char* FieldTypeName(FieldType t);
+
+/// One attribute of a schema class.
+struct FieldDef {
+  std::string name;
+  FieldType type = FieldType::kDouble;
+  size_t array_length = 0;  ///< 0 = scalar.
+  std::string unit;
+  std::string doc;
+};
+
+/// One class (table) of the archive schema.
+struct ClassDef {
+  std::string name;
+  std::string doc;
+  std::vector<FieldDef> fields;
+
+  /// Approximate serialized bytes per instance.
+  size_t BytesPerInstance() const;
+};
+
+/// The archive schema: an ordered set of classes.
+class Schema {
+ public:
+  void AddClass(ClassDef def) { classes_.push_back(std::move(def)); }
+  const std::vector<ClassDef>& classes() const { return classes_; }
+  Result<ClassDef> FindClass(const std::string& name) const;
+
+  /// SQL DDL (CREATE TABLE ...) for every class.
+  std::string ToSqlDdl() const;
+
+  /// Objectivity-style .ddl class declarations.
+  std::string ToObjectivityDdl() const;
+
+  /// XML representation (the paper's planned interchange metadata).
+  std::string ToXml() const;
+
+  /// The built-in SDSS archive schema: PhotoObj, TagObj, SpecObj, Chunk.
+  static Schema Sdss();
+
+ private:
+  std::vector<ClassDef> classes_;
+};
+
+}  // namespace sdss::catalog
+
+#endif  // SDSS_CATALOG_SCHEMA_H_

@@ -1,0 +1,285 @@
+#include "catalog/sky_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/angle.h"
+#include "core/coords.h"
+#include "htm/trixel.h"
+
+namespace sdss::catalog {
+namespace {
+
+// Euclidean number counts: N(<m) ~ 10^(0.6 m). Inverse-CDF sample of an
+// apparent magnitude between bright and faint limits.
+double SampleMagnitude(Rng* rng, double bright, double faint) {
+  double a = std::pow(10.0, 0.6 * bright);
+  double b = std::pow(10.0, 0.6 * faint);
+  double u = rng->Uniform();
+  return std::log10(a + u * (b - a)) / 0.6;
+}
+
+float MagErr(float mag, float faint_limit) {
+  return 0.02f +
+         0.12f * std::pow(10.0f, 0.4f * (mag - faint_limit));
+}
+
+// Common strong lines (rest wavelengths, Angstrom).
+constexpr float kHAlpha = 6563.0f;
+constexpr float kHBeta = 4861.0f;
+constexpr float kOiii = 5007.0f;
+constexpr float kOii = 3727.0f;
+constexpr float kMgii = 2798.0f;
+constexpr float kLyAlpha = 1216.0f;
+
+}  // namespace
+
+SkyGenerator::SkyGenerator(SkyModel model) : model_(model) {}
+
+Vec3 SkyGenerator::SampleFootprintPosition(Rng* rng) const {
+  if (model_.footprint_min_gal_lat_deg <= 0.0) return rng->UnitSphere();
+  // Rejection sample the northern galactic cap b >= min_lat. The cap pole
+  // in equatorial coordinates:
+  Vec3 ngp = RotationToEquatorial(Frame::kGalactic) * Vec3{0, 0, 1};
+  double max_angle = DegToRad(90.0 - model_.footprint_min_gal_lat_deg);
+  return rng->UnitCap(ngp, max_angle);
+}
+
+void SkyGenerator::FinishCommon(PhotoObj* obj) const {
+  SphericalFromUnitVector(obj->pos, &obj->ra_deg, &obj->dec_deg);
+  obj->htm_leaf = htm::LookupId(obj->pos, kGeneratorHtmLevel).raw();
+  for (int b = 0; b < kNumBands; ++b) {
+    obj->mag_err[b] = MagErr(obj->mag[b], model_.r_mag_faint);
+  }
+}
+
+PhotoObj SkyGenerator::MakeGalaxy(uint64_t id, const Vec3& pos,
+                                  Rng* rng) const {
+  PhotoObj o;
+  o.obj_id = id;
+  o.pos = pos;
+  o.obj_class = ObjClass::kGalaxy;
+
+  float r = static_cast<float>(
+      SampleMagnitude(rng, model_.r_mag_bright, model_.r_mag_faint));
+  float gr = static_cast<float>(rng->Gaussian(0.7, 0.15));
+  float ug = static_cast<float>(rng->Gaussian(1.3, 0.3));
+  float ri = static_cast<float>(rng->Gaussian(0.4, 0.1));
+  float iz = static_cast<float>(rng->Gaussian(0.3, 0.1));
+  o.mag[kR] = r;
+  o.mag[kG] = r + gr;
+  o.mag[kU] = o.mag[kG] + ug;
+  o.mag[kI] = r - ri;
+  o.mag[kZ] = o.mag[kI] - iz;
+
+  // Brighter galaxies are bigger; lognormal scatter.
+  float radius = std::pow(10.0f, 0.15f * (22.0f - r)) *
+                 static_cast<float>(std::exp(rng->Gaussian(0.0, 0.25)));
+  o.petro_radius_arcsec = std::clamp(radius, 0.8f, 40.0f);
+  o.surface_brightness =
+      r + 2.5f * static_cast<float>(std::log10(
+              2.0 * kPi * o.petro_radius_arcsec * o.petro_radius_arcsec));
+  // Exponential radial profile.
+  for (int k = 0; k < kProfileBins; ++k) {
+    o.profile[k] = std::exp(-static_cast<float>(k) / 2.5f);
+  }
+  if (rng->Bernoulli(0.04)) o.flags |= kFlagBlended;
+  return o;
+}
+
+PhotoObj SkyGenerator::MakeStar(uint64_t id, const Vec3& pos,
+                                Rng* rng) const {
+  PhotoObj o;
+  o.obj_id = id;
+  o.pos = pos;
+  o.obj_class = ObjClass::kStar;
+
+  float r = static_cast<float>(
+      SampleMagnitude(rng, model_.r_mag_bright, model_.r_mag_faint));
+  // Stellar locus parameterized by spectral type t in [0, 1] (blue->red).
+  double t = rng->Uniform();
+  float gr = static_cast<float>(-0.3 + 1.6 * t + rng->Gaussian(0, 0.04));
+  float ug = static_cast<float>(0.8 + 2.0 * t * t + rng->Gaussian(0, 0.06));
+  float ri = static_cast<float>(-0.1 + 1.1 * t * t + rng->Gaussian(0, 0.04));
+  float iz = static_cast<float>(-0.05 + 0.6 * t * t + rng->Gaussian(0, 0.04));
+  o.mag[kR] = r;
+  o.mag[kG] = r + gr;
+  o.mag[kU] = o.mag[kG] + ug;
+  o.mag[kI] = r - ri;
+  o.mag[kZ] = o.mag[kI] - iz;
+
+  // Point source: size is the seeing PSF.
+  o.petro_radius_arcsec = static_cast<float>(1.4 + rng->Gaussian(0, 0.1));
+  o.surface_brightness = r;
+  for (int k = 0; k < kProfileBins; ++k) {
+    // PSF-like Gaussian falloff, much steeper than galaxies.
+    o.profile[k] = std::exp(-static_cast<float>(k * k) / 2.0f);
+  }
+  if (r > 20.0f && rng->Bernoulli(0.01)) o.flags |= kFlagSaturated;
+  if (rng->Bernoulli(0.005)) o.flags |= kFlagVariable;
+  return o;
+}
+
+PhotoObj SkyGenerator::MakeQuasar(uint64_t id, const Vec3& pos,
+                                  Rng* rng) const {
+  PhotoObj o;
+  o.obj_id = id;
+  o.pos = pos;
+  o.obj_class = ObjClass::kQuasar;
+
+  float r = static_cast<float>(rng->Uniform(17.0, 22.0));
+  // Quasars sit blueward of the stellar locus in u-g.
+  float ug = static_cast<float>(rng->Gaussian(0.0, 0.12));
+  float gr = static_cast<float>(rng->Gaussian(0.2, 0.1));
+  float ri = static_cast<float>(rng->Gaussian(0.15, 0.08));
+  float iz = static_cast<float>(rng->Gaussian(0.1, 0.08));
+  o.mag[kR] = r;
+  o.mag[kG] = r + gr;
+  o.mag[kU] = o.mag[kG] + ug;
+  o.mag[kI] = r - ri;
+  o.mag[kZ] = o.mag[kI] - iz;
+
+  o.petro_radius_arcsec = static_cast<float>(1.4 + rng->Gaussian(0, 0.1));
+  o.surface_brightness = r;
+  for (int k = 0; k < kProfileBins; ++k) {
+    o.profile[k] = std::exp(-static_cast<float>(k * k) / 2.0f);
+  }
+  o.redshift = static_cast<float>(rng->Uniform(0.3, 5.0));
+  o.flags |= kFlagSpectroTarget;
+  if (rng->Bernoulli(0.1)) o.flags |= kFlagVariable;
+  return o;
+}
+
+std::vector<PhotoObj> SkyGenerator::Generate() {
+  Rng rng(model_.seed);
+  std::vector<PhotoObj> out;
+  out.reserve(model_.num_galaxies + model_.num_stars + model_.num_quasars);
+  uint64_t next_id = 1;
+
+  // Cluster centers (with per-cluster redshift for the red sequence).
+  struct ClusterSeed {
+    Vec3 center;
+    float redshift;
+  };
+  std::vector<ClusterSeed> clusters;
+  clusters.reserve(model_.num_clusters);
+  for (uint64_t i = 0; i < model_.num_clusters; ++i) {
+    clusters.push_back({SampleFootprintPosition(&rng),
+                        static_cast<float>(rng.Uniform(0.05, 0.3))});
+  }
+
+  // Galaxies: field + cluster members.
+  for (uint64_t i = 0; i < model_.num_galaxies; ++i) {
+    bool in_cluster =
+        !clusters.empty() && rng.Bernoulli(model_.cluster_fraction);
+    Vec3 pos;
+    const ClusterSeed* cl = nullptr;
+    if (in_cluster) {
+      cl = &clusters[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(clusters.size()) - 1))];
+      // Concentrated profile: most members well inside the radius.
+      double frac = std::fabs(rng.Gaussian(0.0, 0.5));
+      pos = rng.UnitCap(cl->center,
+                        DegToRad(model_.cluster_radius_deg *
+                                 std::min(1.0, frac)));
+    } else {
+      pos = SampleFootprintPosition(&rng);
+    }
+    PhotoObj g = MakeGalaxy(next_id++, pos, &rng);
+    if (cl != nullptr) {
+      // Red-sequence members: tighter, redder colors.
+      float gr = static_cast<float>(rng.Gaussian(0.9, 0.05));
+      g.mag[kG] = g.mag[kR] + gr;
+      g.mag[kU] = g.mag[kG] + static_cast<float>(rng.Gaussian(1.6, 0.15));
+    }
+    bool bright = g.mag[kR] < 17.8f;  // The paper's main galaxy sample cut.
+    if (bright || rng.Bernoulli(model_.spectro_target_fraction)) {
+      g.flags |= kFlagSpectroTarget;
+      g.redshift = cl != nullptr
+                       ? cl->redshift +
+                             static_cast<float>(rng.Gaussian(0.0, 0.004))
+                       : static_cast<float>(
+                             std::max(0.01, rng.Gaussian(0.12, 0.06)));
+    }
+    FinishCommon(&g);
+    out.push_back(std::move(g));
+  }
+
+  // Stars: concentrated toward the galactic plane edge of the footprint.
+  for (uint64_t i = 0; i < model_.num_stars; ++i) {
+    Vec3 pos;
+    for (;;) {
+      pos = SampleFootprintPosition(&rng);
+      if (model_.footprint_min_gal_lat_deg <= 0.0) break;
+      SphericalCoord gal = ToSpherical(pos, Frame::kGalactic);
+      double w = std::exp(-(gal.lat_deg - model_.footprint_min_gal_lat_deg) /
+                          25.0);
+      if (rng.Bernoulli(std::min(1.0, w + 0.15))) break;
+    }
+    PhotoObj s = MakeStar(next_id++, pos, &rng);
+    FinishCommon(&s);
+    out.push_back(std::move(s));
+  }
+
+  // Quasars: sparse, uniform over the footprint.
+  for (uint64_t i = 0; i < model_.num_quasars; ++i) {
+    PhotoObj q = MakeQuasar(next_id++, SampleFootprintPosition(&rng), &rng);
+    FinishCommon(&q);
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
+std::vector<Chunk> SkyGenerator::GenerateChunks(int num_nights) {
+  std::vector<PhotoObj> all = Generate();
+  std::vector<Chunk> chunks(static_cast<size_t>(std::max(1, num_nights)));
+  double width = 360.0 / static_cast<double>(chunks.size());
+  for (size_t n = 0; n < chunks.size(); ++n) {
+    chunks[n].night = static_cast<int>(n);
+    chunks[n].ra_min_deg = width * static_cast<double>(n);
+    chunks[n].ra_max_deg = width * static_cast<double>(n + 1);
+  }
+  for (PhotoObj& o : all) {
+    auto idx = static_cast<size_t>(o.ra_deg / width);
+    if (idx >= chunks.size()) idx = chunks.size() - 1;
+    chunks[idx].objects.push_back(std::move(o));
+  }
+  return chunks;
+}
+
+std::vector<SpecObj> SkyGenerator::GenerateSpectra(
+    const std::vector<PhotoObj>& photo) {
+  Rng rng(model_.seed ^ 0xabcdef);
+  std::vector<SpecObj> out;
+  uint64_t next_spec = 1;
+  for (const PhotoObj& p : photo) {
+    if ((p.flags & kFlagSpectroTarget) == 0) continue;
+    SpecObj s;
+    s.spec_id = next_spec++;
+    s.photo_obj_id = p.obj_id;
+    s.spec_class = p.obj_class;
+    s.redshift = p.redshift >= 0.0f
+                     ? p.redshift
+                     : static_cast<float>(std::max(0.0, rng.Gaussian(0.1,
+                                                                     0.05)));
+    s.redshift_err = 1e-4f *
+                     (1.0f + static_cast<float>(std::fabs(rng.Gaussian(0,
+                                                                       1))));
+    switch (p.obj_class) {
+      case ObjClass::kGalaxy:
+        s.line_wavelengths = {kHAlpha, kHBeta, kOiii, kOii};
+        break;
+      case ObjClass::kQuasar:
+        s.line_wavelengths = {kLyAlpha, kMgii, kHBeta, 0.0f};
+        break;
+      case ObjClass::kStar:
+      case ObjClass::kUnknown:
+        s.line_wavelengths = {kHAlpha, kHBeta, 0.0f, 0.0f};
+        break;
+    }
+    out.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace sdss::catalog

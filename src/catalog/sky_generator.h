@@ -1,0 +1,99 @@
+// Synthetic survey generator: the reproduction's stand-in for the SDSS
+// photometric pipeline output (see DESIGN.md, substitutions).
+//
+// The generated sky has the statistical features the paper's data
+// structures are designed around: strong galaxy clustering (large density
+// contrasts, [Csabai97]), a stellar population concentrated toward the
+// galactic plane, sparse blue quasars, correlated color loci per class,
+// and a survey footprint around the North Galactic Cap. All output is
+// deterministic in the seed.
+
+#ifndef SDSS_CATALOG_SKY_GENERATOR_H_
+#define SDSS_CATALOG_SKY_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "catalog/photo_obj.h"
+#include "core/random.h"
+
+namespace sdss::catalog {
+
+/// Tunable sky model.
+struct SkyModel {
+  uint64_t seed = 42;
+
+  // Class mix. The survey expects ~100M galaxies, ~100M stars, ~1M
+  // quasars; defaults keep the same 100:100:1 proportions at demo scale.
+  uint64_t num_galaxies = 50'000;
+  uint64_t num_stars = 50'000;
+  uint64_t num_quasars = 500;
+
+  /// Fraction of galaxies placed inside clusters (density contrast).
+  double cluster_fraction = 0.35;
+  /// Number of galaxy clusters scattered over the footprint.
+  uint64_t num_clusters = 60;
+  /// Characteristic cluster angular radius, degrees.
+  double cluster_radius_deg = 0.4;
+
+  /// Survey footprint: galactic latitude |b| >= footprint_min_gal_lat
+  /// restricted to the northern galactic cap (b > 0), approximating the
+  /// paper's 10,000 sq deg around the North Galactic Cap. Set to 0 for
+  /// full sky.
+  double footprint_min_gal_lat_deg = 30.0;
+
+  /// Fraction of bright galaxies flagged as spectroscopic targets.
+  double spectro_target_fraction = 0.01;
+
+  /// Magnitude range of the photometric survey (r band limits).
+  float r_mag_bright = 14.0f;
+  float r_mag_faint = 23.0f;
+};
+
+/// An observing chunk: "several segments of the sky that were scanned in
+/// a single night" -- the unit the Operational Archive exports to the
+/// Science Archive (~20 GB/day in the paper).
+struct Chunk {
+  int night = 0;
+  double ra_min_deg = 0.0;  ///< Drift-scan stripe bounds.
+  double ra_max_deg = 0.0;
+  std::vector<PhotoObj> objects;
+
+  /// Logical chunk size at paper scale (full photometric rows).
+  uint64_t PaperBytes() const {
+    return objects.size() * kPaperBytesPerPhotoObj;
+  }
+};
+
+/// Deterministic synthetic sky generator.
+class SkyGenerator {
+ public:
+  explicit SkyGenerator(SkyModel model = {});
+
+  const SkyModel& model() const { return model_; }
+
+  /// Generates the full object list (order: galaxies, stars, quasars;
+  /// ids are sequential).
+  std::vector<PhotoObj> Generate();
+
+  /// Generates the same sky split into `num_nights` drift-scan chunks by
+  /// right ascension, mimicking the OA -> SA nightly export.
+  std::vector<Chunk> GenerateChunks(int num_nights);
+
+  /// Generates matching spectroscopic objects for the flagged targets of
+  /// `photo` (redshifts per class, line lists).
+  std::vector<SpecObj> GenerateSpectra(const std::vector<PhotoObj>& photo);
+
+ private:
+  Vec3 SampleFootprintPosition(Rng* rng) const;
+  PhotoObj MakeGalaxy(uint64_t id, const Vec3& pos, Rng* rng) const;
+  PhotoObj MakeStar(uint64_t id, const Vec3& pos, Rng* rng) const;
+  PhotoObj MakeQuasar(uint64_t id, const Vec3& pos, Rng* rng) const;
+  void FinishCommon(PhotoObj* obj) const;
+
+  SkyModel model_;
+};
+
+}  // namespace sdss::catalog
+
+#endif  // SDSS_CATALOG_SKY_GENERATOR_H_

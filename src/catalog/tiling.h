@@ -1,0 +1,110 @@
+// Spectroscopic target selection and tiling.
+//
+// The paper: "The spectroscopic survey will target over a million objects
+// chosen from the photometric survey ... The primary targets will be
+// galaxies, selected by a magnitude and surface brightness limit in the r
+// band. This sample of 900,000 galaxies will be complemented with 100,000
+// very red galaxies ... An automated algorithm will select 100,000 quasar
+// candidates ... The spectroscopic observations will be done in
+// overlapping 3-degree circular 'tiles'. The tile centers are determined
+// by an optimization algorithm, which maximizes overlaps at areas of
+// highest target density. The spectroscopic survey will utilize two
+// multi-fiber medium resolution spectrographs, with a total of 640
+// optical fibers."
+//
+// This module implements all three stages: the per-class selection cuts,
+// a greedy density-driven tile placement over the HTM density map, and
+// per-tile fiber assignment with a minimum fiber separation constraint.
+
+#ifndef SDSS_CATALOG_TILING_H_
+#define SDSS_CATALOG_TILING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "catalog/object_store.h"
+#include "core/status.h"
+#include "core/vec3.h"
+
+namespace sdss::catalog {
+
+/// Why an object was selected for spectroscopy.
+enum class TargetClass : uint8_t {
+  kMainGalaxy = 0,   ///< Magnitude + surface-brightness limited sample.
+  kRedGalaxy = 1,    ///< "very red galaxies ... brightest at cluster cores".
+  kQuasar = 2,       ///< UV-excess candidates.
+};
+
+const char* TargetClassName(TargetClass c);
+
+/// One spectroscopic target.
+struct Target {
+  uint64_t obj_id = 0;
+  Vec3 pos;
+  TargetClass target_class = TargetClass::kMainGalaxy;
+};
+
+/// The paper's selection cuts (defaults follow the survey's design).
+struct SelectionCuts {
+  float main_r_limit = 17.8f;          ///< Main galaxy magnitude limit.
+  float main_sb_limit = 24.5f;         ///< Surface-brightness limit.
+  float red_color_min = 0.85f;         ///< g-r cut for the red sample.
+  float red_r_limit = 19.5f;           ///< Fainter limit for red galaxies.
+  float quasar_ug_max = 0.2f;          ///< UV excess cut.
+  float quasar_r_limit = 22.0f;
+};
+
+/// Selects targets from a photometric store. The three classes are
+/// disjoint: main-sample membership wins over red-galaxy, which wins
+/// over quasar candidacy.
+std::vector<Target> SelectTargets(const ObjectStore& store,
+                                  const SelectionCuts& cuts = {});
+
+/// Tiling parameters (defaults follow the instrument).
+struct TilingOptions {
+  double tile_radius_deg = 1.5;     ///< 3-degree circular tiles.
+  int fibers_per_tile = 640;        ///< Two 320-fiber spectrographs.
+  /// Fibers cannot be placed closer than this on one tile (plate
+  /// mechanics; the survey's value was 55 arcsec).
+  double fiber_collision_arcsec = 55.0;
+  /// Stop when this fraction of targets is covered (1.0 = all reachable).
+  double target_coverage = 0.98;
+  /// Hard cap on tiles (0 = unlimited).
+  size_t max_tiles = 0;
+  /// HTM level whose trixel centers serve as candidate tile centers
+  /// (level 6 spacing ~1.1 deg < tile radius, so no coverage gaps).
+  int candidate_level = 6;
+};
+
+/// One placed tile.
+struct Tile {
+  Vec3 center;
+  std::vector<uint64_t> assigned;   ///< Target obj_ids with fibers.
+  size_t collisions_skipped = 0;    ///< Targets lost to fiber separation.
+};
+
+/// Tiling result.
+struct TilingResult {
+  std::vector<Tile> tiles;
+  uint64_t targets_total = 0;
+  uint64_t targets_assigned = 0;
+  uint64_t targets_unreachable = 0;  ///< Not inside any candidate tile.
+
+  double CoverageFraction() const {
+    return targets_total == 0
+               ? 1.0
+               : static_cast<double>(targets_assigned) /
+                     static_cast<double>(targets_total);
+  }
+};
+
+/// Greedy tile placement: repeatedly picks the candidate center covering
+/// the most unassigned targets ("maximizes overlaps at areas of highest
+/// target density"), then assigns fibers subject to the collision limit.
+/// Deterministic for fixed input.
+Result<TilingResult> PlaceTiles(const std::vector<Target>& targets,
+                                const TilingOptions& options = {});
+
+}  // namespace sdss::catalog
+
+#endif  // SDSS_CATALOG_TILING_H_

@@ -1,0 +1,57 @@
+// Angle units and conversions.
+//
+// Astronomy mixes degrees (catalog coordinates), arcminutes/arcseconds
+// (search radii, "within 5 arcsec"), and radians (math). These helpers make
+// the unit explicit at every conversion site.
+
+#ifndef SDSS_CORE_ANGLE_H_
+#define SDSS_CORE_ANGLE_H_
+
+#include <cmath>
+
+namespace sdss {
+
+inline constexpr double kPi = 3.14159265358979323846;
+inline constexpr double kDegPerRad = 180.0 / kPi;
+inline constexpr double kRadPerDeg = kPi / 180.0;
+inline constexpr double kArcminPerDeg = 60.0;
+inline constexpr double kArcsecPerDeg = 3600.0;
+
+/// Full sky solid angle in square degrees (~41252.96).
+inline constexpr double kSquareDegreesOnSky = 360.0 * 360.0 / kPi;
+
+constexpr double DegToRad(double deg) { return deg * kRadPerDeg; }
+constexpr double RadToDeg(double rad) { return rad * kDegPerRad; }
+constexpr double ArcminToDeg(double arcmin) { return arcmin / kArcminPerDeg; }
+constexpr double ArcsecToDeg(double arcsec) { return arcsec / kArcsecPerDeg; }
+constexpr double DegToArcsec(double deg) { return deg * kArcsecPerDeg; }
+constexpr double ArcsecToRad(double arcsec) {
+  return DegToRad(ArcsecToDeg(arcsec));
+}
+constexpr double RadToArcsec(double rad) {
+  return DegToArcsec(RadToDeg(rad));
+}
+
+/// Normalizes an angle in degrees to [0, 360).
+inline double NormalizeDeg360(double deg) {
+  double d = std::fmod(deg, 360.0);
+  if (d < 0.0) d += 360.0;
+  return d;
+}
+
+/// Normalizes an angle in degrees to [-180, 180).
+inline double NormalizeDeg180(double deg) {
+  double d = NormalizeDeg360(deg);
+  return d >= 180.0 ? d - 360.0 : d;
+}
+
+/// Clamps a latitude-like angle to [-90, 90].
+inline double ClampLatitudeDeg(double deg) {
+  if (deg > 90.0) return 90.0;
+  if (deg < -90.0) return -90.0;
+  return deg;
+}
+
+}  // namespace sdss
+
+#endif  // SDSS_CORE_ANGLE_H_

@@ -1,0 +1,160 @@
+#include "core/coords.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "core/angle.h"
+
+namespace sdss {
+namespace {
+
+// J2000 direction of the North Galactic Pole and the Galactic Center,
+// used to construct the Equatorial->Galactic rotation.
+constexpr double kNgpRaDeg = 192.859508;
+constexpr double kNgpDecDeg = 27.128336;
+constexpr double kGalCenterRaDeg = 266.405100;
+constexpr double kGalCenterDecDeg = -28.936175;
+
+// Supergalactic frame (de Vaucouleurs), defined in Galactic coordinates:
+// the supergalactic north pole is at (l, b) = (47.37, +6.32) and the
+// origin of supergalactic longitude is at (l, b) = (137.37, 0).
+constexpr double kSgpGalLonDeg = 47.37;
+constexpr double kSgpGalLatDeg = 6.32;
+constexpr double kSgOriginGalLonDeg = 137.37;
+constexpr double kSgOriginGalLatDeg = 0.0;
+
+// Builds an orthonormal rotation whose +Z row is `pole` and whose +X row is
+// the component of `origin` perpendicular to `pole`. Both inputs are unit
+// vectors in the source frame; the result maps source-frame vectors into
+// the frame defined by (origin-projected, pole).
+Matrix3 FrameRotation(const Vec3& pole, const Vec3& origin) {
+  Vec3 z = pole.Normalized();
+  Vec3 x = (origin - z * origin.Dot(z)).Normalized();
+  Vec3 y = z.Cross(x);
+  return Matrix3::FromRows(x, y, z);
+}
+
+Matrix3 BuildEquatorialToGalactic() {
+  Vec3 pole = UnitVectorFromSpherical(kNgpRaDeg, kNgpDecDeg);
+  Vec3 center = UnitVectorFromSpherical(kGalCenterRaDeg, kGalCenterDecDeg);
+  return FrameRotation(pole, center);
+}
+
+Matrix3 BuildEquatorialToSupergalactic() {
+  Matrix3 eq_to_gal = BuildEquatorialToGalactic();
+  Vec3 pole_gal = UnitVectorFromSpherical(kSgpGalLonDeg, kSgpGalLatDeg);
+  Vec3 origin_gal =
+      UnitVectorFromSpherical(kSgOriginGalLonDeg, kSgOriginGalLatDeg);
+  Matrix3 gal_to_sg = FrameRotation(pole_gal, origin_gal);
+  return gal_to_sg * eq_to_gal;
+}
+
+struct FrameMatrices {
+  Matrix3 identity = Matrix3::Identity();
+  Matrix3 eq_to_gal = BuildEquatorialToGalactic();
+  Matrix3 gal_to_eq = eq_to_gal.Transposed();
+  Matrix3 eq_to_sg = BuildEquatorialToSupergalactic();
+  Matrix3 sg_to_eq = eq_to_sg.Transposed();
+};
+
+const FrameMatrices& Matrices() {
+  static const FrameMatrices* kMatrices = new FrameMatrices();
+  return *kMatrices;
+}
+
+}  // namespace
+
+const char* FrameName(Frame frame) {
+  switch (frame) {
+    case Frame::kEquatorial:
+      return "Equatorial";
+    case Frame::kGalactic:
+      return "Galactic";
+    case Frame::kSupergalactic:
+      return "Supergalactic";
+  }
+  return "Unknown";
+}
+
+Result<Frame> FrameFromName(const std::string& name) {
+  std::string n;
+  n.reserve(name.size());
+  for (char c : name) n.push_back(static_cast<char>(std::tolower(c)));
+  if (n == "equatorial" || n == "eq" || n == "j2000") {
+    return Frame::kEquatorial;
+  }
+  if (n == "galactic" || n == "gal") return Frame::kGalactic;
+  if (n == "supergalactic" || n == "sgal" || n == "sg") {
+    return Frame::kSupergalactic;
+  }
+  return Status::InvalidArgument("unknown coordinate frame: " + name);
+}
+
+Vec3 UnitVectorFromSpherical(double lon_deg, double lat_deg) {
+  double lon = DegToRad(lon_deg);
+  double lat = DegToRad(lat_deg);
+  double cl = std::cos(lat);
+  return {cl * std::cos(lon), cl * std::sin(lon), std::sin(lat)};
+}
+
+void SphericalFromUnitVector(const Vec3& v, double* lon_deg, double* lat_deg) {
+  double z = std::clamp(v.z, -1.0, 1.0);
+  *lat_deg = RadToDeg(std::asin(z));
+  if (std::fabs(v.x) < 1e-15 && std::fabs(v.y) < 1e-15) {
+    *lon_deg = 0.0;  // Longitude is undefined at the poles.
+    return;
+  }
+  *lon_deg = NormalizeDeg360(RadToDeg(std::atan2(v.y, v.x)));
+}
+
+const Matrix3& RotationFromEquatorial(Frame frame) {
+  switch (frame) {
+    case Frame::kEquatorial:
+      return Matrices().identity;
+    case Frame::kGalactic:
+      return Matrices().eq_to_gal;
+    case Frame::kSupergalactic:
+      return Matrices().eq_to_sg;
+  }
+  return Matrices().identity;
+}
+
+const Matrix3& RotationToEquatorial(Frame frame) {
+  switch (frame) {
+    case Frame::kEquatorial:
+      return Matrices().identity;
+    case Frame::kGalactic:
+      return Matrices().gal_to_eq;
+    case Frame::kSupergalactic:
+      return Matrices().sg_to_eq;
+  }
+  return Matrices().identity;
+}
+
+Vec3 TransformFrame(const Vec3& v, Frame from, Frame to) {
+  if (from == to) return v;
+  Vec3 eq = RotationToEquatorial(from) * v;
+  return RotationFromEquatorial(to) * eq;
+}
+
+Vec3 EquatorialUnitVector(const SphericalCoord& c) {
+  Vec3 v = UnitVectorFromSpherical(c.lon_deg, c.lat_deg);
+  return RotationToEquatorial(c.frame) * v;
+}
+
+SphericalCoord ToSpherical(const Vec3& equatorial_unit, Frame frame) {
+  Vec3 v = RotationFromEquatorial(frame) * equatorial_unit;
+  SphericalCoord out;
+  out.frame = frame;
+  SphericalFromUnitVector(v, &out.lon_deg, &out.lat_deg);
+  return out;
+}
+
+double AngularDistanceDeg(double ra1_deg, double dec1_deg, double ra2_deg,
+                          double dec2_deg) {
+  Vec3 a = UnitVectorFromSpherical(ra1_deg, dec1_deg);
+  Vec3 b = UnitVectorFromSpherical(ra2_deg, dec2_deg);
+  return RadToDeg(AngularDistanceRad(a, b));
+}
+
+}  // namespace sdss

@@ -1,0 +1,78 @@
+// Celestial coordinate systems and Cartesian <-> spherical conversion.
+//
+// The paper: "We store the angular coordinates in a Cartesian form ... The
+// coordinates in the different celestial coordinate systems (Equatorial,
+// Galactic, Supergalactic, etc) can be constructed from the Cartesian
+// coordinates on the fly." This module provides exactly that: a single unit
+// vector per object plus rotation matrices between frames, so constraints
+// expressed in any frame become linear half-space tests on (x, y, z).
+
+#ifndef SDSS_CORE_COORDS_H_
+#define SDSS_CORE_COORDS_H_
+
+#include <string>
+
+#include "core/status.h"
+#include "core/vec3.h"
+
+namespace sdss {
+
+/// Celestial reference frames supported by the archive.
+enum class Frame {
+  kEquatorial,    ///< J2000 right ascension / declination.
+  kGalactic,      ///< Galactic longitude / latitude (l, b).
+  kSupergalactic  ///< de Vaucouleurs supergalactic (SGL, SGB).
+};
+
+/// Returns "Equatorial", "Galactic" or "Supergalactic".
+const char* FrameName(Frame frame);
+
+/// Parses a frame name (case-insensitive); accepts "eq"/"gal"/"sgal" too.
+Result<Frame> FrameFromName(const std::string& name);
+
+/// A position on the celestial sphere in a named frame, in degrees.
+/// lon is RA / l / SGL in [0, 360); lat is Dec / b / SGB in [-90, 90].
+struct SphericalCoord {
+  double lon_deg = 0.0;
+  double lat_deg = 0.0;
+  Frame frame = Frame::kEquatorial;
+};
+
+/// Converts spherical (degrees, in its own frame) to a unit vector in the
+/// same frame's Cartesian basis.
+Vec3 UnitVectorFromSpherical(double lon_deg, double lat_deg);
+
+/// Converts a unit vector (assumed normalized) to spherical degrees in the
+/// same frame. lon in [0, 360), lat in [-90, 90]. At the poles lon is 0.
+void SphericalFromUnitVector(const Vec3& v, double* lon_deg, double* lat_deg);
+
+/// Rotation matrix that maps Equatorial(J2000) unit vectors into `frame`.
+/// Identity for kEquatorial.
+const Matrix3& RotationFromEquatorial(Frame frame);
+
+/// Rotation matrix that maps `frame` unit vectors back into Equatorial.
+const Matrix3& RotationToEquatorial(Frame frame);
+
+/// Transforms a unit vector between frames.
+Vec3 TransformFrame(const Vec3& v, Frame from, Frame to);
+
+/// Converts a spherical coordinate in any frame to the Equatorial unit
+/// vector used as the canonical internal representation.
+Vec3 EquatorialUnitVector(const SphericalCoord& c);
+
+/// Converts a canonical Equatorial unit vector to spherical degrees in the
+/// requested frame.
+SphericalCoord ToSpherical(const Vec3& equatorial_unit, Frame frame);
+
+/// Great-circle (angular) distance between two unit vectors, radians.
+inline double AngularDistanceRad(const Vec3& a, const Vec3& b) {
+  return a.AngleTo(b);
+}
+
+/// Great-circle distance between (ra, dec) pairs in degrees, result degrees.
+double AngularDistanceDeg(double ra1_deg, double dec1_deg, double ra2_deg,
+                          double dec2_deg);
+
+}  // namespace sdss
+
+#endif  // SDSS_CORE_COORDS_H_

@@ -1,0 +1,23 @@
+#include "core/random.h"
+
+#include <cmath>
+
+namespace sdss {
+
+Vec3 Rng::UnitCap(const Vec3& center, double radius_rad) {
+  // Sample uniformly over the cap: cos(theta) uniform in [cos(r), 1].
+  double cos_r = std::cos(radius_rad);
+  double cos_t = Uniform(cos_r, 1.0);
+  double sin_t = std::sqrt(std::max(0.0, 1.0 - cos_t * cos_t));
+  double phi = Uniform(0.0, 2.0 * 3.14159265358979323846);
+
+  // Build an orthonormal basis (u, v, w) with w = center.
+  Vec3 w = center.Normalized();
+  Vec3 helper = std::fabs(w.x) < 0.9 ? Vec3{1, 0, 0} : Vec3{0, 1, 0};
+  Vec3 u = w.Cross(helper).Normalized();
+  Vec3 v = w.Cross(u);
+  return (w * cos_t + u * (sin_t * std::cos(phi)) + v * (sin_t * std::sin(phi)))
+      .Normalized();
+}
+
+}  // namespace sdss

@@ -1,0 +1,40 @@
+#include "core/sim_clock.h"
+
+#include <cstdio>
+
+namespace sdss {
+
+std::string FormatSimDuration(SimSeconds s) {
+  char buf[64];
+  if (s < kSimMinute) {
+    std::snprintf(buf, sizeof(buf), "%.2f s", s);
+  } else if (s < kSimHour) {
+    std::snprintf(buf, sizeof(buf), "%.2f min", s / kSimMinute);
+  } else if (s < kSimDay) {
+    std::snprintf(buf, sizeof(buf), "%.2f h", s / kSimHour);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f d", s / kSimDay);
+  }
+  return buf;
+}
+
+std::string FormatBytes(uint64_t bytes) {
+  char buf[64];
+  constexpr uint64_t kKb = 1000, kMb = kKb * 1000, kGb = kMb * 1000,
+                     kTb = kGb * 1000;
+  if (bytes < kKb) {
+    std::snprintf(buf, sizeof(buf), "%llu B",
+                  static_cast<unsigned long long>(bytes));
+  } else if (bytes < kMb) {
+    std::snprintf(buf, sizeof(buf), "%.1f KB", bytes / double(kKb));
+  } else if (bytes < kGb) {
+    std::snprintf(buf, sizeof(buf), "%.1f MB", bytes / double(kMb));
+  } else if (bytes < kTb) {
+    std::snprintf(buf, sizeof(buf), "%.2f GB", bytes / double(kGb));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f TB", bytes / double(kTb));
+  }
+  return buf;
+}
+
+}  // namespace sdss

@@ -1,0 +1,65 @@
+#include "core/vec3.h"
+
+#include <cstdio>
+
+namespace sdss {
+
+std::string Vec3::ToString() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "(%.9f, %.9f, %.9f)", x, y, z);
+  return buf;
+}
+
+Matrix3 Matrix3::FromRows(const Vec3& r0, const Vec3& r1, const Vec3& r2) {
+  Matrix3 r;
+  r.m = {{{r0.x, r0.y, r0.z}, {r1.x, r1.y, r1.z}, {r2.x, r2.y, r2.z}}};
+  return r;
+}
+
+Matrix3 Matrix3::RotationZ(double a) {
+  double c = std::cos(a), s = std::sin(a);
+  Matrix3 r;
+  r.m = {{{c, -s, 0}, {s, c, 0}, {0, 0, 1}}};
+  return r;
+}
+
+Matrix3 Matrix3::RotationY(double a) {
+  double c = std::cos(a), s = std::sin(a);
+  Matrix3 r;
+  r.m = {{{c, 0, s}, {0, 1, 0}, {-s, 0, c}}};
+  return r;
+}
+
+Matrix3 Matrix3::RotationX(double a) {
+  double c = std::cos(a), s = std::sin(a);
+  Matrix3 r;
+  r.m = {{{1, 0, 0}, {0, c, -s}, {0, s, c}}};
+  return r;
+}
+
+Matrix3 Matrix3::operator*(const Matrix3& o) const {
+  Matrix3 r;
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      double sum = 0.0;
+      for (int k = 0; k < 3; ++k) sum += m[i][k] * o.m[k][j];
+      r.m[i][j] = sum;
+    }
+  }
+  return r;
+}
+
+Matrix3 Matrix3::Transposed() const {
+  Matrix3 r;
+  for (int i = 0; i < 3; ++i)
+    for (int j = 0; j < 3; ++j) r.m[i][j] = m[j][i];
+  return r;
+}
+
+double Matrix3::Determinant() const {
+  return m[0][0] * (m[1][1] * m[2][2] - m[1][2] * m[2][1]) -
+         m[0][1] * (m[1][0] * m[2][2] - m[1][2] * m[2][0]) +
+         m[0][2] * (m[1][0] * m[2][1] - m[1][1] * m[2][0]);
+}
+
+}  // namespace sdss

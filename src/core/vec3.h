@@ -1,0 +1,131 @@
+// 3-vector and 3x3 matrix primitives for spherical geometry.
+//
+// The paper stores angular coordinates as Cartesian unit vectors (x, y, z)
+// so that spherical-cap and coordinate-system constraints become linear
+// tests (dot products) rather than trigonometric expressions. Vec3 is the
+// foundation of that representation.
+
+#ifndef SDSS_CORE_VEC3_H_
+#define SDSS_CORE_VEC3_H_
+
+#include <array>
+#include <cmath>
+#include <string>
+
+namespace sdss {
+
+/// A 3-component double vector. Used both as a free vector and as a unit
+/// direction on the celestial sphere.
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  constexpr Vec3() = default;
+  constexpr Vec3(double xx, double yy, double zz) : x(xx), y(yy), z(zz) {}
+
+  constexpr Vec3 operator+(const Vec3& o) const {
+    return {x + o.x, y + o.y, z + o.z};
+  }
+  constexpr Vec3 operator-(const Vec3& o) const {
+    return {x - o.x, y - o.y, z - o.z};
+  }
+  constexpr Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+  constexpr Vec3 operator/(double s) const { return {x / s, y / s, z / s}; }
+  constexpr Vec3 operator-() const { return {-x, -y, -z}; }
+
+  Vec3& operator+=(const Vec3& o) {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    return *this;
+  }
+  Vec3& operator-=(const Vec3& o) {
+    x -= o.x;
+    y -= o.y;
+    z -= o.z;
+    return *this;
+  }
+  Vec3& operator*=(double s) {
+    x *= s;
+    y *= s;
+    z *= s;
+    return *this;
+  }
+
+  constexpr bool operator==(const Vec3& o) const {
+    return x == o.x && y == o.y && z == o.z;
+  }
+
+  /// Inner product.
+  constexpr double Dot(const Vec3& o) const {
+    return x * o.x + y * o.y + z * o.z;
+  }
+
+  /// Cross product (right-handed).
+  constexpr Vec3 Cross(const Vec3& o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+
+  double NormSquared() const { return Dot(*this); }
+  double Norm() const { return std::sqrt(NormSquared()); }
+
+  /// Returns this vector scaled to unit length. Returns the zero vector
+  /// unchanged (callers must not normalize degenerate inputs).
+  Vec3 Normalized() const {
+    double n = Norm();
+    return n > 0.0 ? (*this) / n : *this;
+  }
+
+  /// Angle in radians between this and `o`, both treated as directions.
+  /// Numerically robust near 0 and pi (uses atan2 of cross/dot).
+  double AngleTo(const Vec3& o) const {
+    return std::atan2(Cross(o).Norm(), Dot(o));
+  }
+
+  std::string ToString() const;
+};
+
+constexpr Vec3 operator*(double s, const Vec3& v) { return v * s; }
+
+/// True if vectors are component-wise within `eps`.
+inline bool ApproxEqual(const Vec3& a, const Vec3& b, double eps = 1e-12) {
+  return std::fabs(a.x - b.x) <= eps && std::fabs(a.y - b.y) <= eps &&
+         std::fabs(a.z - b.z) <= eps;
+}
+
+/// Row-major 3x3 matrix, used for celestial coordinate-frame rotations.
+struct Matrix3 {
+  // m[row][col]
+  std::array<std::array<double, 3>, 3> m = {{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}}};
+
+  static Matrix3 Identity() { return Matrix3{}; }
+
+  /// Builds a matrix from three row vectors.
+  static Matrix3 FromRows(const Vec3& r0, const Vec3& r1, const Vec3& r2);
+
+  /// Rotation about the +Z axis by `angle_rad` (right-handed).
+  static Matrix3 RotationZ(double angle_rad);
+  /// Rotation about the +Y axis by `angle_rad` (right-handed).
+  static Matrix3 RotationY(double angle_rad);
+  /// Rotation about the +X axis by `angle_rad` (right-handed).
+  static Matrix3 RotationX(double angle_rad);
+
+  Vec3 operator*(const Vec3& v) const {
+    return {m[0][0] * v.x + m[0][1] * v.y + m[0][2] * v.z,
+            m[1][0] * v.x + m[1][1] * v.y + m[1][2] * v.z,
+            m[2][0] * v.x + m[2][1] * v.y + m[2][2] * v.z};
+  }
+
+  Matrix3 operator*(const Matrix3& o) const;
+
+  /// Matrix transpose; for rotation matrices this is the inverse.
+  Matrix3 Transposed() const;
+
+  /// Determinant (rotations have determinant +1).
+  double Determinant() const;
+};
+
+}  // namespace sdss
+
+#endif  // SDSS_CORE_VEC3_H_

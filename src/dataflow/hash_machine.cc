@@ -1,0 +1,201 @@
+#include "dataflow/hash_machine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <mutex>
+#include <unordered_map>
+
+#include "core/angle.h"
+#include "htm/cover.h"
+#include "htm/region.h"
+#include "htm/trixel.h"
+
+namespace sdss::dataflow {
+
+using catalog::PhotoObj;
+
+std::vector<ObjectPair> HashMachine::FindPairs(
+    const std::function<bool(const PhotoObj&)>& select, double max_sep_arcsec,
+    const std::function<bool(const PhotoObj&, const PhotoObj&)>&
+        pair_predicate,
+    const PairSearchOptions& options, HashReport* report) {
+  HashReport rep;
+  double max_sep_deg = ArcsecToDeg(max_sep_arcsec);
+  double cos_sep = std::cos(ArcsecToRad(max_sep_arcsec));
+
+  // Phase 1: shared scan; selected objects hash to their home trixel as
+  // "primaries" and to every other trixel intersecting the max_sep cap
+  // around them as "ghosts".
+  struct Entry {
+    const PhotoObj* obj;
+    bool primary;
+  };
+  std::unordered_map<uint64_t, std::vector<Entry>> buckets;
+  std::mutex mu;
+  cluster_->ParallelScan([&](size_t, const PhotoObj& o) {
+    if (!select(o)) return;
+    uint64_t home = htm::LookupId(o.pos, options.bucket_level).raw();
+    htm::CoverResult cover = htm::Cover(
+        htm::Region::CircleAround(o.pos, max_sep_deg), options.bucket_level);
+    std::lock_guard<std::mutex> lock(mu);
+    ++rep.selected;
+    buckets[home].push_back({&o, true});
+    auto ghost_into = [&](htm::HtmId id) {
+      uint64_t first, last;
+      id.RangeAtLevel(options.bucket_level, &first, &last);
+      for (uint64_t raw = first; raw < last; ++raw) {
+        if (raw == home) continue;
+        buckets[raw].push_back({&o, false});
+        ++rep.ghosts;
+      }
+    };
+    for (htm::HtmId id : cover.full) ghost_into(id);
+    for (htm::HtmId id : cover.partial) ghost_into(id);
+  });
+
+  rep.buckets = buckets.size();
+  for (const auto& [raw, entries] : buckets) {
+    rep.max_bucket = std::max<uint64_t>(rep.max_bucket, entries.size());
+  }
+
+  // Phase 2: per-bucket pairwise comparison. A pair (a, b) is emitted in
+  // the home bucket of the lower-id member only, so each unordered pair
+  // appears exactly once.
+  std::vector<const std::vector<Entry>*> bucket_list;
+  bucket_list.reserve(buckets.size());
+  for (const auto& [raw, entries] : buckets) bucket_list.push_back(&entries);
+
+  std::vector<ObjectPair> pairs;
+  std::mutex pairs_mu;
+  ThreadPool pool(std::min<size_t>(cluster_->num_nodes(), 16));
+  std::atomic<uint64_t> tests{0};
+  pool.ParallelFor(bucket_list.size(), [&](size_t bi) {
+    const std::vector<Entry>& entries = *bucket_list[bi];
+    std::vector<ObjectPair> local;
+    for (size_t x = 0; x < entries.size(); ++x) {
+      if (!entries[x].primary) continue;
+      const PhotoObj* a = entries[x].obj;
+      for (size_t y = 0; y < entries.size(); ++y) {
+        if (x == y) continue;
+        const PhotoObj* b = entries[y].obj;
+        if (a->obj_id >= b->obj_id) continue;  // Lower-id member emits.
+        // Emit in a's home bucket only: a must be primary here (checked),
+        // and to avoid double emission when both are primary in this
+        // bucket it is still unique because a pair shares at most one
+        // bucket where the lower id is primary... both primaries in the
+        // same bucket is fine: the pair is seen once (x ranges over a).
+        tests.fetch_add(1, std::memory_order_relaxed);
+        if (a->pos.Dot(b->pos) < cos_sep) continue;
+        if (!pair_predicate(*a, *b)) continue;
+        ObjectPair p;
+        p.obj_id_a = a->obj_id;
+        p.obj_id_b = b->obj_id;
+        p.separation_arcsec = RadToArcsec(a->pos.AngleTo(b->pos));
+        local.push_back(p);
+      }
+    }
+    if (!local.empty()) {
+      std::lock_guard<std::mutex> lock(pairs_mu);
+      pairs.insert(pairs.end(), local.begin(), local.end());
+    }
+  });
+
+  rep.pair_tests = tests.load();
+  rep.pairs_found = pairs.size();
+
+  // Timing model: phase 1 is a full I/O-bound scan; phase 2 is CPU bound,
+  // parallel over nodes * cpus.
+  rep.phase1_sim_seconds = cluster_->FullScanSimSeconds();
+  double total_cpus = static_cast<double>(cluster_->num_nodes()) *
+                      static_cast<double>(cluster_->config().node.cpus);
+  rep.phase2_sim_seconds = static_cast<double>(rep.pair_tests) *
+                           options.seconds_per_pair_test / total_cpus;
+  rep.total_sim_seconds = rep.phase1_sim_seconds + rep.phase2_sim_seconds;
+  if (report != nullptr) *report = rep;
+
+  // Deterministic output order for tests.
+  std::sort(pairs.begin(), pairs.end(),
+            [](const ObjectPair& a, const ObjectPair& b) {
+              if (a.obj_id_a != b.obj_id_a) return a.obj_id_a < b.obj_id_a;
+              return a.obj_id_b < b.obj_id_b;
+            });
+  return pairs;
+}
+
+HashReport HashMachine::ProcessBuckets(
+    const std::function<bool(const PhotoObj&)>& select,
+    const std::function<int64_t(const PhotoObj&)>& bucket_key,
+    const std::function<void(int64_t,
+                             const std::vector<const PhotoObj*>&)>& process) {
+  HashReport rep;
+  std::unordered_map<int64_t, std::vector<const PhotoObj*>> buckets;
+  std::mutex mu;
+  cluster_->ParallelScan([&](size_t, const PhotoObj& o) {
+    if (!select(o)) return;
+    int64_t key = bucket_key(o);
+    std::lock_guard<std::mutex> lock(mu);
+    ++rep.selected;
+    buckets[key].push_back(&o);
+  });
+  rep.buckets = buckets.size();
+
+  std::vector<std::pair<int64_t, const std::vector<const PhotoObj*>*>> list;
+  list.reserve(buckets.size());
+  for (const auto& [key, members] : buckets) {
+    rep.max_bucket = std::max<uint64_t>(rep.max_bucket, members.size());
+    list.emplace_back(key, &members);
+  }
+  ThreadPool pool(std::min<size_t>(cluster_->num_nodes(), 16));
+  pool.ParallelFor(list.size(), [&](size_t i) {
+    process(list[i].first, *list[i].second);
+  });
+
+  rep.phase1_sim_seconds = cluster_->FullScanSimSeconds();
+  rep.total_sim_seconds = rep.phase1_sim_seconds;
+  return rep;
+}
+
+std::vector<ObjectPair> HashMachine::FindPairsBruteForce(
+    const std::function<bool(const PhotoObj&)>& select, double max_sep_arcsec,
+    const std::function<bool(const PhotoObj&, const PhotoObj&)>&
+        pair_predicate,
+    uint64_t* pair_tests) {
+  std::vector<const PhotoObj*> selected;
+  std::mutex mu;
+  cluster_->ParallelScan([&](size_t, const PhotoObj& o) {
+    if (!select(o)) return;
+    std::lock_guard<std::mutex> lock(mu);
+    selected.push_back(&o);
+  });
+
+  double cos_sep = std::cos(ArcsecToRad(max_sep_arcsec));
+  uint64_t tests = 0;
+  std::vector<ObjectPair> pairs;
+  for (size_t i = 0; i < selected.size(); ++i) {
+    for (size_t j = i + 1; j < selected.size(); ++j) {
+      const PhotoObj* a = selected[i];
+      const PhotoObj* b = selected[j];
+      ++tests;
+      if (a->pos.Dot(b->pos) < cos_sep) continue;
+      if (a->obj_id == b->obj_id) continue;
+      const PhotoObj* lo = a->obj_id < b->obj_id ? a : b;
+      const PhotoObj* hi = a->obj_id < b->obj_id ? b : a;
+      if (!pair_predicate(*lo, *hi)) continue;
+      ObjectPair p;
+      p.obj_id_a = lo->obj_id;
+      p.obj_id_b = hi->obj_id;
+      p.separation_arcsec = RadToArcsec(a->pos.AngleTo(b->pos));
+      pairs.push_back(p);
+    }
+  }
+  if (pair_tests != nullptr) *pair_tests = tests;
+  std::sort(pairs.begin(), pairs.end(),
+            [](const ObjectPair& a, const ObjectPair& b) {
+              if (a.obj_id_a != b.obj_id_a) return a.obj_id_a < b.obj_id_a;
+              return a.obj_id_b < b.obj_id_b;
+            });
+  return pairs;
+}
+
+}  // namespace sdss::dataflow

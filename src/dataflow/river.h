@@ -1,0 +1,86 @@
+// River dataflow graphs.
+//
+// "We propose to let astronomers construct dataflow graphs where the
+// nodes consume one or more data streams, filter and combine the data,
+// and then produce one or more result streams. ... The simplest river
+// systems are sorting networks." [Arpaci-Dusseau 99, DeWitt92, Graefe93]
+//
+// A River is a linear pipeline of operators (filter, map, repartition,
+// sort) applied with partition parallelism: the source is split into P
+// partitions, per-partition stages run on real threads, a repartition
+// stage exchanges records between partitions, and an ordered sink merges
+// sorted partitions (the sorting-network case the paper cites from the
+// Sort Benchmark).
+
+#ifndef SDSS_DATAFLOW_RIVER_H_
+#define SDSS_DATAFLOW_RIVER_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "dataflow/cluster.h"
+
+namespace sdss::dataflow {
+
+/// Run metrics of a river execution.
+struct RiverStats {
+  uint64_t records_in = 0;
+  uint64_t records_out = 0;
+  double real_seconds = 0.0;       ///< Wall time of the real computation.
+  SimSeconds sim_seconds = 0.0;    ///< Modeled time (I/O-bound source).
+  double sim_mbps = 0.0;           ///< Modeled throughput.
+};
+
+/// A linear dataflow pipeline over PhotoObj records.
+class River {
+ public:
+  using Record = catalog::PhotoObj;
+  using FilterFn = std::function<bool(const Record&)>;
+  using MapFn = std::function<Record(const Record&)>;
+  using KeyFn = std::function<double(const Record&)>;
+  using PartitionFn = std::function<size_t(const Record&)>;
+
+  /// Builds a river fed by a cluster's partitioned data; one river
+  /// partition per cluster node.
+  explicit River(const ClusterSim* cluster);
+
+  /// Appends a filter stage (per-partition, parallel).
+  River& Filter(FilterFn fn);
+
+  /// Appends a transform stage (per-partition, parallel).
+  River& Map(MapFn fn);
+
+  /// Appends an exchange: records are re-bucketed into `partitions`
+  /// output partitions by `fn` (the hash-machine shuffle as a river
+  /// stage).
+  River& Repartition(PartitionFn fn, size_t partitions);
+
+  /// Appends a sort stage: each partition sorts locally by `key`; the
+  /// sink then performs an ordered k-way merge, making the whole output
+  /// globally ordered iff a range Repartition preceded the sort, and
+  /// partition-ordered otherwise.
+  River& SortBy(KeyFn key);
+
+  /// Executes the pipeline. `sink` sees every output record; when the
+  /// last stage was SortBy, records arrive in ascending key order merged
+  /// across partitions. Returns run metrics.
+  RiverStats Run(const std::function<void(const Record&)>& sink);
+
+ private:
+  struct Stage {
+    enum class Kind { kFilter, kMap, kRepartition, kSort } kind;
+    FilterFn filter;
+    MapFn map;
+    PartitionFn partition;
+    size_t partitions = 0;
+    KeyFn key;
+  };
+
+  const ClusterSim* cluster_;
+  std::vector<Stage> stages_;
+};
+
+}  // namespace sdss::dataflow
+
+#endif  // SDSS_DATAFLOW_RIVER_H_

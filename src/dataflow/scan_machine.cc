@@ -1,0 +1,70 @@
+#include "dataflow/scan_machine.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace sdss::dataflow {
+
+uint64_t ScanMachine::Admit(
+    std::function<bool(const catalog::PhotoObj&)> predicate, SimSeconds now) {
+  ScanQuery q;
+  q.id = next_id_++;
+  q.predicate = std::move(predicate);
+  q.admitted_at = now;
+  uint64_t id = q.id;
+  pending_.push_back(std::move(q));
+  return id;
+}
+
+std::vector<ScanCompletion> ScanMachine::RunUntilDrained() {
+  std::vector<ScanCompletion> out;
+  if (pending_.empty()) return out;
+
+  // Evaluate every query's predicate over the full dataset in shared
+  // passes. Queries admitted within the same cycle window share a pass.
+  std::sort(pending_.begin(), pending_.end(),
+            [](const ScanQuery& a, const ScanQuery& b) {
+              return a.admitted_at < b.admitted_at;
+            });
+  SimSeconds cycle = CycleSimSeconds();
+
+  size_t i = 0;
+  while (i < pending_.size()) {
+    // One shared pass serves every query admitted before this pass's
+    // sweep completes its wrap for them; group queries whose admission
+    // times fall within one cycle window of the group leader.
+    SimSeconds window_start = pending_[i].admitted_at;
+    size_t j = i;
+    while (j < pending_.size() &&
+           pending_[j].admitted_at < window_start + cycle) {
+      ++j;
+    }
+
+    // Real shared evaluation: one pass over the data for the group.
+    std::vector<std::atomic<uint64_t>> matches(j - i);
+    cluster_->ParallelScan([&](size_t, const catalog::PhotoObj& o) {
+      for (size_t k = i; k < j; ++k) {
+        if (pending_[k].predicate(o)) {
+          matches[k - i].fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+    ++cycles_run_;
+
+    for (size_t k = i; k < j; ++k) {
+      ScanCompletion c;
+      c.query_id = pending_[k].id;
+      c.admitted_at = pending_[k].admitted_at;
+      // The sweep is continuous: a query admitted at time t completes
+      // after exactly one full rotation.
+      c.completed_at = pending_[k].admitted_at + cycle;
+      c.matches = matches[k - i].load();
+      out.push_back(c);
+    }
+    i = j;
+  }
+  pending_.clear();
+  return out;
+}
+
+}  // namespace sdss::dataflow

@@ -1,0 +1,191 @@
+#include "fits/card.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace sdss::fits {
+namespace {
+
+std::string PadTo(std::string s, size_t n) {
+  if (s.size() < n) s.append(n - s.size(), ' ');
+  return s;
+}
+
+std::string Trim(const std::string& s) {
+  size_t b = s.find_first_not_of(' ');
+  if (b == std::string::npos) return "";
+  size_t e = s.find_last_not_of(' ');
+  return s.substr(b, e - b + 1);
+}
+
+// FITS fixed format: value right-justified so it ends at column 30
+// (index 29), for numbers and logicals.
+std::string FixedValue(const std::string& v) {
+  std::string out;
+  if (v.size() < 20) out.append(20 - v.size(), ' ');
+  out += v;
+  return out;
+}
+
+}  // namespace
+
+std::string Card::Serialize() const {
+  std::string rec;
+  rec.reserve(80);
+
+  std::string key = key_;
+  for (char& c : key) c = static_cast<char>(std::toupper(c));
+  if (key.size() > 8) key.resize(8);
+
+  if (is_end()) {
+    rec = PadTo("END", 80);
+    return rec;
+  }
+  if (is_comment()) {
+    rec = PadTo(key, 8) + "  " + comment_;
+    rec = PadTo(rec, 80);
+    rec.resize(80);
+    return rec;
+  }
+
+  rec = PadTo(key, 8) + "= ";
+  std::visit(
+      [&rec](const auto& v) {
+        using T = std::decay_t<decltype(v)>;
+        char buf[64];
+        if constexpr (std::is_same_v<T, std::monostate>) {
+          rec += FixedValue("");
+        } else if constexpr (std::is_same_v<T, bool>) {
+          rec += FixedValue(v ? "T" : "F");
+        } else if constexpr (std::is_same_v<T, int64_t>) {
+          std::snprintf(buf, sizeof(buf), "%lld",
+                        static_cast<long long>(v));
+          rec += FixedValue(buf);
+        } else if constexpr (std::is_same_v<T, double>) {
+          std::snprintf(buf, sizeof(buf), "%.15G", v);
+          rec += FixedValue(buf);
+        } else {  // std::string
+          std::string quoted = "'";
+          for (char c : v) {
+            quoted += c;
+            if (c == '\'') quoted += '\'';  // FITS escapes ' by doubling.
+          }
+          // Strings are padded to at least 8 chars inside the quotes.
+          while (quoted.size() < 9) quoted += ' ';
+          quoted += "'";
+          rec += quoted;
+        }
+      },
+      value_);
+
+  if (!comment_.empty()) {
+    rec += " / ";
+    rec += comment_;
+  }
+  rec = PadTo(rec, 80);
+  rec.resize(80);
+  return rec;
+}
+
+Result<Card> Card::Parse(const std::string& record) {
+  if (record.size() != 80) {
+    return Status::Corruption("FITS card is not 80 chars (" +
+                              std::to_string(record.size()) + ")");
+  }
+  std::string key = Trim(record.substr(0, 8));
+  if (key == "END") return Card::End();
+  if (key == "COMMENT" || key == "HISTORY" || record.substr(8, 2) != "= ") {
+    Card c;
+    c.key_ = key.empty() ? "COMMENT" : key;
+    c.comment_ = Trim(record.substr(std::min<size_t>(10, record.size())));
+    return c;
+  }
+
+  std::string body = record.substr(10);
+  Card c;
+  c.key_ = key;
+
+  std::string value_part = body;
+  // Split off the inline comment. For strings the '/' must come after the
+  // closing quote.
+  std::string trimmed = Trim(body);
+  if (!trimmed.empty() && trimmed[0] == '\'') {
+    size_t start = body.find('\'');
+    size_t i = start + 1;
+    std::string s;
+    bool closed = false;
+    while (i < body.size()) {
+      if (body[i] == '\'') {
+        if (i + 1 < body.size() && body[i + 1] == '\'') {
+          s += '\'';
+          i += 2;
+          continue;
+        }
+        closed = true;
+        ++i;
+        break;
+      }
+      s += body[i++];
+    }
+    if (!closed) return Status::Corruption("unterminated FITS string");
+    // Trailing blanks inside the quotes are not significant.
+    size_t e = s.find_last_not_of(' ');
+    c.value_ = (e == std::string::npos) ? std::string() : s.substr(0, e + 1);
+    size_t slash = body.find('/', i);
+    if (slash != std::string::npos) c.comment_ = Trim(body.substr(slash + 1));
+    return c;
+  }
+
+  size_t slash = body.find('/');
+  if (slash != std::string::npos) {
+    value_part = body.substr(0, slash);
+    c.comment_ = Trim(body.substr(slash + 1));
+  }
+  std::string v = Trim(value_part);
+  if (v.empty()) {
+    c.value_ = std::monostate{};
+  } else if (v == "T") {
+    c.value_ = true;
+  } else if (v == "F") {
+    c.value_ = false;
+  } else if (v.find_first_of(".EeDd") != std::string::npos &&
+             v.find_first_not_of("+-0123456789.EeDd") == std::string::npos) {
+    // FITS allows D exponents.
+    std::string norm = v;
+    for (char& ch : norm) {
+      if (ch == 'D' || ch == 'd') ch = 'E';
+    }
+    c.value_ = std::strtod(norm.c_str(), nullptr);
+  } else if (v.find_first_not_of("+-0123456789") == std::string::npos) {
+    c.value_ = static_cast<int64_t>(std::strtoll(v.c_str(), nullptr, 10));
+  } else {
+    return Status::Corruption("unparseable FITS value: '" + v + "'");
+  }
+  return c;
+}
+
+Result<bool> Card::AsBool() const {
+  if (auto* p = std::get_if<bool>(&value_)) return *p;
+  return Status::NotFound("card " + key_ + " is not logical");
+}
+
+Result<int64_t> Card::AsInt() const {
+  if (auto* p = std::get_if<int64_t>(&value_)) return *p;
+  return Status::NotFound("card " + key_ + " is not integer");
+}
+
+Result<double> Card::AsDouble() const {
+  if (auto* p = std::get_if<double>(&value_)) return *p;
+  if (auto* p = std::get_if<int64_t>(&value_)) {
+    return static_cast<double>(*p);
+  }
+  return Status::NotFound("card " + key_ + " is not numeric");
+}
+
+Result<std::string> Card::AsString() const {
+  if (auto* p = std::get_if<std::string>(&value_)) return *p;
+  return Status::NotFound("card " + key_ + " is not a string");
+}
+
+}  // namespace sdss::fits

@@ -1,0 +1,80 @@
+// FITS header cards: the 80-character key/value records of the Flexible
+// Image Transport System [Wells81], which the paper adopts as the
+// interchange format between astronomy archives.
+
+#ifndef SDSS_FITS_CARD_H_
+#define SDSS_FITS_CARD_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "core/status.h"
+
+namespace sdss::fits {
+
+/// FITS physical record size in bytes. Headers and data are both padded
+/// to a multiple of this.
+inline constexpr size_t kBlockSize = 2880;
+
+/// One header record: exactly 80 ASCII characters when serialized.
+class Card {
+ public:
+  using Value = std::variant<std::monostate, bool, int64_t, double,
+                             std::string>;
+
+  Card() = default;
+  Card(std::string key, Value value, std::string comment = "")
+      : key_(std::move(key)), value_(std::move(value)),
+        comment_(std::move(comment)) {}
+
+  /// A comment-only card (COMMENT / HISTORY style).
+  static Card Comment(std::string text) {
+    Card c;
+    c.key_ = "COMMENT";
+    c.comment_ = std::move(text);
+    return c;
+  }
+
+  /// The END card closing a header.
+  static Card End() {
+    Card c;
+    c.key_ = "END";
+    return c;
+  }
+
+  const std::string& key() const { return key_; }
+  const Value& value() const { return value_; }
+  const std::string& comment() const { return comment_; }
+
+  bool is_end() const { return key_ == "END"; }
+  bool is_comment() const {
+    return key_ == "COMMENT" || key_ == "HISTORY";
+  }
+
+  /// Serializes to exactly 80 characters. Keys are upper-cased and padded
+  /// to 8; values use the fixed-format convention (right-justified to
+  /// column 30 for numbers and logicals, quoted strings starting at
+  /// column 11).
+  std::string Serialize() const;
+
+  /// Parses one 80-character record. Returns Corruption on malformed
+  /// input.
+  static Result<Card> Parse(const std::string& record);
+
+  // Typed accessors; return NotFound-flavored errors if the value holds a
+  // different type.
+  Result<bool> AsBool() const;
+  Result<int64_t> AsInt() const;
+  Result<double> AsDouble() const;
+  Result<std::string> AsString() const;
+
+ private:
+  std::string key_;
+  Value value_;
+  std::string comment_;
+};
+
+}  // namespace sdss::fits
+
+#endif  // SDSS_FITS_CARD_H_

@@ -1,0 +1,94 @@
+#include "fits/header.h"
+
+namespace sdss::fits {
+
+void Header::Set(const std::string& key, Card::Value value,
+                 std::string comment) {
+  for (Card& c : cards_) {
+    if (c.key() == key && !c.is_comment()) {
+      c = Card(key, std::move(value), std::move(comment));
+      return;
+    }
+  }
+  cards_.emplace_back(key, std::move(value), std::move(comment));
+}
+
+Result<Card> Header::Find(const std::string& key) const {
+  for (const Card& c : cards_) {
+    if (c.key() == key) return c;
+  }
+  return Status::NotFound("header card not found: " + key);
+}
+
+Result<bool> Header::GetBool(const std::string& key) const {
+  auto c = Find(key);
+  if (!c.ok()) return c.status();
+  return c->AsBool();
+}
+
+Result<int64_t> Header::GetInt(const std::string& key) const {
+  auto c = Find(key);
+  if (!c.ok()) return c.status();
+  return c->AsInt();
+}
+
+Result<double> Header::GetDouble(const std::string& key) const {
+  auto c = Find(key);
+  if (!c.ok()) return c.status();
+  return c->AsDouble();
+}
+
+Result<std::string> Header::GetString(const std::string& key) const {
+  auto c = Find(key);
+  if (!c.ok()) return c.status();
+  return c->AsString();
+}
+
+std::string Header::Serialize() const {
+  std::string out;
+  out.reserve((cards_.size() + 1) * 80);
+  for (const Card& c : cards_) {
+    if (c.is_end()) continue;  // END is emitted exactly once, below.
+    out += c.Serialize();
+  }
+  out += Card::End().Serialize();
+  size_t rem = out.size() % kBlockSize;
+  if (rem != 0) out.append(kBlockSize - rem, ' ');
+  return out;
+}
+
+Result<Header> Header::Parse(const std::string& data, size_t* offset) {
+  Header h;
+  size_t pos = *offset;
+  bool saw_end = false;
+  while (pos + 80 <= data.size()) {
+    auto card = Card::Parse(data.substr(pos, 80));
+    pos += 80;
+    if (!card.ok()) return card.status();
+    if (card->is_end()) {
+      saw_end = true;
+      break;
+    }
+    // Skip pure-blank padding records.
+    if (card->key().empty() ||
+        (card->is_comment() && card->comment().empty() &&
+         card->key() == "COMMENT")) {
+      continue;
+    }
+    h.Append(std::move(card).value());
+  }
+  if (!saw_end) {
+    return Status::Corruption("FITS header missing END card");
+  }
+  // Advance to the next block boundary.
+  size_t consumed = pos - *offset;
+  size_t rem = consumed % kBlockSize;
+  if (rem != 0) pos += kBlockSize - rem;
+  if (pos > data.size()) {
+    return Status::Corruption("FITS header padding truncated");
+  }
+  *offset = pos;
+  return h;
+}
+
+}  // namespace sdss::fits

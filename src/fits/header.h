@@ -1,0 +1,55 @@
+// A FITS header: an ordered card list serialized in 2880-byte blocks.
+
+#ifndef SDSS_FITS_HEADER_H_
+#define SDSS_FITS_HEADER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "fits/card.h"
+
+namespace sdss::fits {
+
+/// An ordered collection of header cards with typed access by key.
+/// Serialization appends END and pads with blanks to a block multiple.
+class Header {
+ public:
+  Header() = default;
+
+  /// Appends a card (replacing nothing; FITS permits repeated COMMENTs).
+  void Append(Card card) { cards_.push_back(std::move(card)); }
+
+  /// Sets `key` to `value`, replacing the first existing card with that
+  /// key or appending a new one.
+  void Set(const std::string& key, Card::Value value,
+           std::string comment = "");
+
+  /// First card with `key`, or NotFound.
+  Result<Card> Find(const std::string& key) const;
+
+  bool Has(const std::string& key) const { return Find(key).ok(); }
+
+  Result<bool> GetBool(const std::string& key) const;
+  Result<int64_t> GetInt(const std::string& key) const;
+  Result<double> GetDouble(const std::string& key) const;
+  Result<std::string> GetString(const std::string& key) const;
+
+  const std::vector<Card>& cards() const { return cards_; }
+  size_t size() const { return cards_.size(); }
+
+  /// Serializes cards + END, blank-padded to a multiple of kBlockSize.
+  std::string Serialize() const;
+
+  /// Parses a header starting at `data[offset]`; advances `offset` past
+  /// the blank padding to the first data block.
+  static Result<Header> Parse(const std::string& data, size_t* offset);
+
+ private:
+  std::vector<Card> cards_;
+};
+
+}  // namespace sdss::fits
+
+#endif  // SDSS_FITS_HEADER_H_

@@ -1,0 +1,107 @@
+#include "fits/image.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sdss::fits {
+namespace {
+
+void PutI16(std::string* out, int16_t v) {
+  auto u = static_cast<uint16_t>(v);
+  out->push_back(static_cast<char>((u >> 8) & 0xff));
+  out->push_back(static_cast<char>(u & 0xff));
+}
+
+int16_t GetI16(const char* p) {
+  auto hi = static_cast<uint16_t>(static_cast<unsigned char>(p[0]));
+  auto lo = static_cast<uint16_t>(static_cast<unsigned char>(p[1]));
+  return static_cast<int16_t>(static_cast<uint16_t>((hi << 8) | lo));
+}
+
+}  // namespace
+
+double Image::TotalFlux() const {
+  double sum = 0.0;
+  for (float p : pixels_) sum += p;
+  return sum;
+}
+
+float Image::MinPixel() const {
+  float m = pixels_.empty() ? 0.0f : pixels_[0];
+  for (float p : pixels_) m = std::min(m, p);
+  return m;
+}
+
+float Image::MaxPixel() const {
+  float m = pixels_.empty() ? 0.0f : pixels_[0];
+  for (float p : pixels_) m = std::max(m, p);
+  return m;
+}
+
+std::string Image::Serialize(const Header& extra) const {
+  // Quantization: physical = BZERO + BSCALE * stored, stored in
+  // [-32767, 32767].
+  float lo = MinPixel(), hi = MaxPixel();
+  double bscale = (hi > lo) ? (hi - lo) / 65534.0 : 1.0;
+  double bzero = (static_cast<double>(hi) + lo) / 2.0;
+
+  Header h;
+  h.Set("SIMPLE", true, "conforms to FITS");
+  h.Set("BITPIX", int64_t{16}, "16-bit signed integers");
+  h.Set("NAXIS", int64_t{2});
+  h.Set("NAXIS1", static_cast<int64_t>(width_));
+  h.Set("NAXIS2", static_cast<int64_t>(height_));
+  h.Set("BSCALE", bscale, "physical = BZERO + BSCALE * stored");
+  h.Set("BZERO", bzero);
+  for (const Card& c : extra.cards()) h.Append(c);
+
+  std::string out = h.Serialize();
+  out.reserve(out.size() + pixels_.size() * 2 + kBlockSize);
+  for (float p : pixels_) {
+    double stored = (static_cast<double>(p) - bzero) / bscale;
+    stored = std::clamp(stored, -32767.0, 32767.0);
+    PutI16(&out, static_cast<int16_t>(std::lround(stored)));
+  }
+  size_t rem = out.size() % kBlockSize;
+  if (rem != 0) out.append(kBlockSize - rem, '\0');
+  return out;
+}
+
+Result<Image> Image::Parse(const std::string& data, size_t* offset,
+                           Header* header_out) {
+  auto header = Header::Parse(data, offset);
+  if (!header.ok()) return header.status();
+  auto simple = header->GetBool("SIMPLE");
+  if (!simple.ok() || !*simple) {
+    return Status::Corruption("not a primary FITS image (SIMPLE != T)");
+  }
+  auto bitpix = header->GetInt("BITPIX");
+  if (!bitpix.ok() || *bitpix != 16) {
+    return Status::NotSupported("only BITPIX = 16 images supported");
+  }
+  auto naxis1 = header->GetInt("NAXIS1");
+  auto naxis2 = header->GetInt("NAXIS2");
+  if (!naxis1.ok() || !naxis2.ok() || *naxis1 < 0 || *naxis2 < 0) {
+    return Status::Corruption("image missing NAXIS1/NAXIS2");
+  }
+  double bscale = header->GetDouble("BSCALE").value_or(1.0);
+  double bzero = header->GetDouble("BZERO").value_or(0.0);
+
+  Image img(static_cast<size_t>(*naxis1), static_cast<size_t>(*naxis2));
+  size_t bytes = img.pixels_.size() * 2;
+  if (*offset + bytes > data.size()) {
+    return Status::Corruption("image data truncated");
+  }
+  const char* p = data.data() + *offset;
+  for (float& px : img.pixels_) {
+    px = static_cast<float>(bzero + bscale * GetI16(p));
+    p += 2;
+  }
+  size_t rem = bytes % kBlockSize;
+  *offset += bytes + (rem ? kBlockSize - rem : 0);
+  if (*offset > data.size()) *offset = data.size();
+  if (header_out != nullptr) *header_out = std::move(header).value();
+  return img;
+}
+
+}  // namespace sdss::fits

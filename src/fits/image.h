@@ -1,0 +1,64 @@
+// FITS image HDUs.
+//
+// FITS "was primarily designed to handle images" [Wells81]; the archive's
+// atlas cutouts and the compressed sky map are image products. This
+// module implements the primary-HDU image format: SIMPLE/BITPIX/NAXIS
+// headers with 16-bit integer pixels, big-endian, BSCALE/BZERO quantized,
+// padded to 2880-byte blocks.
+
+#ifndef SDSS_FITS_IMAGE_H_
+#define SDSS_FITS_IMAGE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "fits/header.h"
+
+namespace sdss::fits {
+
+/// A 2-D float image with FITS int16 serialization.
+class Image {
+ public:
+  Image() = default;
+
+  /// Creates a zero-filled width x height image.
+  Image(size_t width, size_t height)
+      : width_(width), height_(height), pixels_(width * height, 0.0f) {}
+
+  size_t width() const { return width_; }
+  size_t height() const { return height_; }
+  bool empty() const { return pixels_.empty(); }
+
+  float at(size_t x, size_t y) const { return pixels_[y * width_ + x]; }
+  void set(size_t x, size_t y, float v) { pixels_[y * width_ + x] = v; }
+  void add(size_t x, size_t y, float v) { pixels_[y * width_ + x] += v; }
+
+  const std::vector<float>& pixels() const { return pixels_; }
+
+  /// Sum of all pixels (total flux).
+  double TotalFlux() const;
+  float MinPixel() const;
+  float MaxPixel() const;
+
+  /// Serializes as a standalone primary image HDU: BITPIX = 16 with
+  /// BSCALE/BZERO chosen to span the image's dynamic range. `extra`
+  /// cards are merged into the header.
+  std::string Serialize(const Header& extra = Header()) const;
+
+  /// Parses an image HDU at data[*offset]; advances past the padding.
+  /// Values are de-quantized through BSCALE/BZERO (so round-trips are
+  /// exact to ~1/65535 of the dynamic range).
+  static Result<Image> Parse(const std::string& data, size_t* offset,
+                             Header* header_out = nullptr);
+
+ private:
+  size_t width_ = 0;
+  size_t height_ = 0;
+  std::vector<float> pixels_;
+};
+
+}  // namespace sdss::fits
+
+#endif  // SDSS_FITS_IMAGE_H_

@@ -1,0 +1,138 @@
+#include "fits/packet_stream.h"
+
+namespace sdss::fits {
+
+PacketStreamWriter::PacketStreamWriter(std::vector<ColumnSpec> schema,
+                                       Options options,
+                                       std::function<void(std::string)> sink)
+    : schema_(std::move(schema)),
+      options_(options),
+      sink_(std::move(sink)),
+      pending_(schema_) {
+  if (options_.rows_per_packet == 0) options_.rows_per_packet = 1;
+}
+
+Status PacketStreamWriter::Append(const std::vector<Table::Cell>& row) {
+  if (finished_) {
+    return Status::FailedPrecondition("stream already finished");
+  }
+  SDSS_RETURN_IF_ERROR(pending_.AppendRow(row));
+  ++rows_written_;
+  if (pending_.num_rows() >= options_.rows_per_packet) {
+    EmitPacket(/*last=*/false);
+  }
+  return Status::OK();
+}
+
+Status PacketStreamWriter::Finish() {
+  if (finished_) {
+    return Status::FailedPrecondition("stream already finished");
+  }
+  EmitPacket(/*last=*/true);
+  finished_ = true;
+  return Status::OK();
+}
+
+void PacketStreamWriter::EmitPacket(bool last) {
+  Header extra;
+  extra.Set("PKTSEQ", static_cast<int64_t>(seq_), "packet sequence number");
+  extra.Set("PKTLAST", last, "true on the final packet of the stream");
+  std::string bytes = options_.encoding == StreamEncoding::kBinary
+                          ? BinaryTable::Serialize(pending_, extra)
+                          : AsciiTable::Serialize(pending_, extra);
+  if (sink_) {
+    sink_(std::move(bytes));
+  } else {
+    buffer_ += bytes;
+  }
+  ++seq_;
+  pending_ = Table(schema_);
+}
+
+Status PacketStreamReader::Consume(
+    const std::string& data,
+    const std::function<bool(const Table&, const PacketInfo&)>& on_packet) {
+  size_t offset = 0;
+  size_t expected_seq = 0;
+  bool saw_last = false;
+  while (offset < data.size()) {
+    if (saw_last) {
+      return Status::Corruption("data after PKTLAST packet");
+    }
+    Header header;
+    size_t probe = offset;
+    // Peek the XTENSION to pick the decoder.
+    auto peeked = Header::Parse(data, &probe);
+    if (!peeked.ok()) return peeked.status();
+    auto xt = peeked->GetString("XTENSION");
+    if (!xt.ok()) return Status::Corruption("packet missing XTENSION");
+
+    Result<Table> table = (*xt == "BINTABLE")
+                              ? BinaryTable::Parse(data, &offset, &header)
+                              : AsciiTable::Parse(data, &offset, &header);
+    if (!table.ok()) return table.status();
+
+    PacketInfo info;
+    auto seq = header.GetInt("PKTSEQ");
+    if (!seq.ok()) return Status::Corruption("packet missing PKTSEQ");
+    info.sequence = static_cast<size_t>(*seq);
+    if (info.sequence != expected_seq) {
+      return Status::Corruption(
+          "packet out of order: got " + std::to_string(info.sequence) +
+          " want " + std::to_string(expected_seq));
+    }
+    ++expected_seq;
+    auto last = header.GetBool("PKTLAST");
+    if (!last.ok()) return Status::Corruption("packet missing PKTLAST");
+    info.last = *last;
+    saw_last = info.last;
+
+    if (!on_packet(*table, info)) return Status::OK();
+  }
+  if (!saw_last) {
+    return Status::Corruption("stream ended without PKTLAST packet");
+  }
+  return Status::OK();
+}
+
+Result<Table> PacketStreamReader::ReadAll(const std::string& data) {
+  Table out;
+  bool first = true;
+  Status consume_status = Consume(
+      data, [&](const Table& packet, const PacketInfo&) {
+        if (first) {
+          out = Table(packet.columns());
+          first = false;
+        }
+        for (size_t r = 0; r < packet.num_rows(); ++r) {
+          std::vector<Table::Cell> cells;
+          for (size_t c = 0; c < packet.num_columns(); ++c) {
+            switch (packet.columns()[c].type) {
+              case ColumnType::kFloat:
+                cells.emplace_back(*packet.GetFloat(r, c));
+                break;
+              case ColumnType::kDouble:
+                cells.emplace_back(*packet.GetDouble(r, c));
+                break;
+              case ColumnType::kInt32:
+                cells.emplace_back(*packet.GetInt32(r, c));
+                break;
+              case ColumnType::kInt64:
+                cells.emplace_back(*packet.GetInt64(r, c));
+                break;
+              case ColumnType::kString:
+                cells.emplace_back(*packet.GetString(r, c));
+                break;
+            }
+          }
+          // Schema matches: AppendRow cannot fail here.
+          (void)out.AppendRow(cells);
+        }
+        return true;
+      });
+  if (!consume_status.ok()) return consume_status;
+  if (first) return Status::Corruption("empty packet stream");
+  return out;
+}
+
+}  // namespace sdss::fits

@@ -1,0 +1,92 @@
+// Blocked FITS packet streaming.
+//
+// The paper: "Unfortunately, FITS files do not support streaming data,
+// although data could be blocked into separate FITS packets. We are
+// currently implementing both an ASCII and a binary FITS output stream,
+// using such a blocked approach." This module is that extension: a stream
+// is a sequence of self-contained FITS table HDUs ("packets"), each
+// carrying sequence keywords (PKTSEQ, PKTLAST) so a consumer can process
+// packets as they arrive and knows when the stream ends.
+
+#ifndef SDSS_FITS_PACKET_STREAM_H_
+#define SDSS_FITS_PACKET_STREAM_H_
+
+#include <functional>
+#include <string>
+
+#include "core/status.h"
+#include "fits/table.h"
+
+namespace sdss::fits {
+
+/// Stream encoding: binary BINTABLE packets or ASCII TABLE packets.
+enum class StreamEncoding { kBinary, kAscii };
+
+/// Splits a table stream into fixed-row-count FITS packets.
+///
+/// Usage:
+///   PacketStreamWriter w(schema, {.rows_per_packet = 1000});
+///   w.Append(row); ...
+///   w.Finish();           // Emits the trailing (PKTLAST = T) packet.
+///   consume(w.TakeOutput());
+class PacketStreamWriter {
+ public:
+  struct Options {
+    size_t rows_per_packet = 1000;
+    StreamEncoding encoding = StreamEncoding::kBinary;
+  };
+
+  /// `sink` is invoked with each completed packet's bytes, enabling true
+  /// streaming; pass nullptr to accumulate into an internal buffer.
+  PacketStreamWriter(std::vector<ColumnSpec> schema, Options options,
+                     std::function<void(std::string)> sink = nullptr);
+
+  /// Appends one row; flushes a packet when rows_per_packet is reached.
+  Status Append(const std::vector<Table::Cell>& row);
+
+  /// Flushes the final packet (possibly empty) marked PKTLAST = T.
+  /// No further Append calls are allowed.
+  Status Finish();
+
+  /// Accumulated bytes (when no sink was supplied).
+  std::string TakeOutput() { return std::move(buffer_); }
+
+  size_t packets_emitted() const { return seq_; }
+  size_t rows_written() const { return rows_written_; }
+
+ private:
+  void EmitPacket(bool last);
+
+  std::vector<ColumnSpec> schema_;
+  Options options_;
+  std::function<void(std::string)> sink_;
+  Table pending_;
+  std::string buffer_;
+  size_t seq_ = 0;
+  size_t rows_written_ = 0;
+  bool finished_ = false;
+};
+
+/// Reads a packet stream, invoking a callback per packet table. The
+/// callback may stop consumption early by returning false.
+class PacketStreamReader {
+ public:
+  struct PacketInfo {
+    size_t sequence = 0;
+    bool last = false;
+  };
+
+  /// Parses all packets in `data`. `on_packet` is called in order; a
+  /// false return stops (useful for ASAP consumers). Verifies sequence
+  /// numbering and that exactly the final packet carries PKTLAST = T.
+  static Status Consume(
+      const std::string& data,
+      const std::function<bool(const Table&, const PacketInfo&)>& on_packet);
+
+  /// Convenience: reassembles the whole stream into one table.
+  static Result<Table> ReadAll(const std::string& data);
+};
+
+}  // namespace sdss::fits
+
+#endif  // SDSS_FITS_PACKET_STREAM_H_

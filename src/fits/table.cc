@@ -1,0 +1,616 @@
+#include "fits/table.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace sdss::fits {
+namespace {
+
+// Big-endian byte packing, as the FITS standard requires.
+void PutU32(std::string* out, uint32_t v) {
+  out->push_back(static_cast<char>((v >> 24) & 0xff));
+  out->push_back(static_cast<char>((v >> 16) & 0xff));
+  out->push_back(static_cast<char>((v >> 8) & 0xff));
+  out->push_back(static_cast<char>(v & 0xff));
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  PutU32(out, static_cast<uint32_t>(v >> 32));
+  PutU32(out, static_cast<uint32_t>(v & 0xffffffffu));
+}
+
+uint32_t GetU32(const char* p) {
+  return (static_cast<uint32_t>(static_cast<unsigned char>(p[0])) << 24) |
+         (static_cast<uint32_t>(static_cast<unsigned char>(p[1])) << 16) |
+         (static_cast<uint32_t>(static_cast<unsigned char>(p[2])) << 8) |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[3]));
+}
+
+uint64_t GetU64(const char* p) {
+  return (static_cast<uint64_t>(GetU32(p)) << 32) | GetU32(p + 4);
+}
+
+void PadBlock(std::string* out, char fill) {
+  size_t rem = out->size() % kBlockSize;
+  if (rem != 0) out->append(kBlockSize - rem, fill);
+}
+
+std::string FormatTForm(const ColumnSpec& spec) {
+  if (spec.type == ColumnType::kString) {
+    return std::to_string(spec.width) + "A";
+  }
+  return std::string(1, TFormCode(spec.type));
+}
+
+Result<ColumnSpec> ParseTForm(const std::string& name,
+                              const std::string& tform) {
+  ColumnSpec spec;
+  spec.name = name;
+  if (tform.empty()) return Status::Corruption("empty TFORM");
+  char code = tform.back();
+  std::string count = tform.substr(0, tform.size() - 1);
+  switch (code) {
+    case 'E':
+      spec.type = ColumnType::kFloat;
+      break;
+    case 'D':
+      spec.type = ColumnType::kDouble;
+      break;
+    case 'J':
+      spec.type = ColumnType::kInt32;
+      break;
+    case 'K':
+      spec.type = ColumnType::kInt64;
+      break;
+    case 'A':
+      spec.type = ColumnType::kString;
+      spec.width = count.empty()
+                       ? 1
+                       : static_cast<size_t>(std::strtoull(
+                             count.c_str(), nullptr, 10));
+      break;
+    default:
+      return Status::Corruption("unsupported TFORM code: " + tform);
+  }
+  return spec;
+}
+
+}  // namespace
+
+char TFormCode(ColumnType t) {
+  switch (t) {
+    case ColumnType::kFloat:
+      return 'E';
+    case ColumnType::kDouble:
+      return 'D';
+    case ColumnType::kInt32:
+      return 'J';
+    case ColumnType::kInt64:
+      return 'K';
+    case ColumnType::kString:
+      return 'A';
+  }
+  return '?';
+}
+
+size_t TypeSize(ColumnType t) {
+  switch (t) {
+    case ColumnType::kFloat:
+    case ColumnType::kInt32:
+      return 4;
+    case ColumnType::kDouble:
+    case ColumnType::kInt64:
+      return 8;
+    case ColumnType::kString:
+      return 1;  // Per character; multiply by width.
+  }
+  return 0;
+}
+
+Table::Table(std::vector<ColumnSpec> columns) : specs_(std::move(columns)) {
+  data_.reserve(specs_.size());
+  for (const ColumnSpec& s : specs_) {
+    switch (s.type) {
+      case ColumnType::kFloat:
+        data_.emplace_back(std::vector<float>{});
+        break;
+      case ColumnType::kDouble:
+        data_.emplace_back(std::vector<double>{});
+        break;
+      case ColumnType::kInt32:
+        data_.emplace_back(std::vector<int32_t>{});
+        break;
+      case ColumnType::kInt64:
+        data_.emplace_back(std::vector<int64_t>{});
+        break;
+      case ColumnType::kString:
+        data_.emplace_back(std::vector<std::string>{});
+        break;
+    }
+  }
+}
+
+Result<size_t> Table::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < specs_.size(); ++i) {
+    if (specs_[i].name == name) return i;
+  }
+  return Status::NotFound("no column named " + name);
+}
+
+size_t Table::RowBytes() const {
+  size_t n = 0;
+  for (const ColumnSpec& s : specs_) {
+    n += s.type == ColumnType::kString ? s.width : TypeSize(s.type);
+  }
+  return n;
+}
+
+Status Table::AppendRow(const std::vector<Cell>& cells) {
+  if (cells.size() != specs_.size()) {
+    return Status::InvalidArgument(
+        "row has " + std::to_string(cells.size()) + " cells, table has " +
+        std::to_string(specs_.size()) + " columns");
+  }
+  // Validate before mutating so a failed append leaves the table intact.
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const Cell& c = cells[i];
+    bool ok = false;
+    switch (specs_[i].type) {
+      case ColumnType::kFloat:
+        ok = std::holds_alternative<float>(c);
+        break;
+      case ColumnType::kDouble:
+        ok = std::holds_alternative<double>(c) ||
+             std::holds_alternative<float>(c);
+        break;
+      case ColumnType::kInt32:
+        ok = std::holds_alternative<int32_t>(c);
+        break;
+      case ColumnType::kInt64:
+        ok = std::holds_alternative<int64_t>(c) ||
+             std::holds_alternative<int32_t>(c);
+        break;
+      case ColumnType::kString:
+        ok = std::holds_alternative<std::string>(c);
+        break;
+    }
+    if (!ok) {
+      return Status::InvalidArgument("cell " + std::to_string(i) +
+                                     " type mismatch for column " +
+                                     specs_[i].name);
+    }
+  }
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const Cell& c = cells[i];
+    switch (specs_[i].type) {
+      case ColumnType::kFloat:
+        std::get<std::vector<float>>(data_[i]).push_back(std::get<float>(c));
+        break;
+      case ColumnType::kDouble:
+        std::get<std::vector<double>>(data_[i]).push_back(
+            std::holds_alternative<float>(c)
+                ? static_cast<double>(std::get<float>(c))
+                : std::get<double>(c));
+        break;
+      case ColumnType::kInt32:
+        std::get<std::vector<int32_t>>(data_[i]).push_back(
+            std::get<int32_t>(c));
+        break;
+      case ColumnType::kInt64:
+        std::get<std::vector<int64_t>>(data_[i]).push_back(
+            std::holds_alternative<int32_t>(c)
+                ? static_cast<int64_t>(std::get<int32_t>(c))
+                : std::get<int64_t>(c));
+        break;
+      case ColumnType::kString: {
+        std::string s = std::get<std::string>(c);
+        if (s.size() > specs_[i].width) s.resize(specs_[i].width);
+        std::get<std::vector<std::string>>(data_[i]).push_back(std::move(s));
+        break;
+      }
+    }
+  }
+  ++num_rows_;
+  return Status::OK();
+}
+
+#define SDSS_TABLE_GETTER(METHOD, CPPTYPE, VECTYPE)                        \
+  Result<CPPTYPE> Table::METHOD(size_t row, size_t col) const {           \
+    if (col >= specs_.size())                                             \
+      return Status::OutOfRange("column " + std::to_string(col));         \
+    if (row >= num_rows_)                                                 \
+      return Status::OutOfRange("row " + std::to_string(row));            \
+    if (auto* v = std::get_if<std::vector<VECTYPE>>(&data_[col]))         \
+      return (*v)[row];                                                   \
+    return Status::InvalidArgument("column " + specs_[col].name +         \
+                                   " type mismatch");                     \
+  }
+
+SDSS_TABLE_GETTER(GetFloat, float, float)
+SDSS_TABLE_GETTER(GetDouble, double, double)
+SDSS_TABLE_GETTER(GetInt32, int32_t, int32_t)
+SDSS_TABLE_GETTER(GetInt64, int64_t, int64_t)
+SDSS_TABLE_GETTER(GetString, std::string, std::string)
+#undef SDSS_TABLE_GETTER
+
+Result<double> Table::GetNumeric(size_t row, size_t col) const {
+  if (col >= specs_.size()) {
+    return Status::OutOfRange("column " + std::to_string(col));
+  }
+  if (row >= num_rows_) return Status::OutOfRange("row " + std::to_string(row));
+  switch (specs_[col].type) {
+    case ColumnType::kFloat:
+      return static_cast<double>(std::get<std::vector<float>>(data_[col])[row]);
+    case ColumnType::kDouble:
+      return std::get<std::vector<double>>(data_[col])[row];
+    case ColumnType::kInt32:
+      return static_cast<double>(
+          std::get<std::vector<int32_t>>(data_[col])[row]);
+    case ColumnType::kInt64:
+      return static_cast<double>(
+          std::get<std::vector<int64_t>>(data_[col])[row]);
+    case ColumnType::kString:
+      return Status::InvalidArgument("column " + specs_[col].name +
+                                     " is a string");
+  }
+  return Status::Internal("unreachable");
+}
+
+// ---------------------------------------------------------------------
+// BinaryTable
+
+std::string BinaryTable::Serialize(const Table& table, const Header& extra) {
+  Header h;
+  h.Set("XTENSION", std::string("BINTABLE"), "binary table extension");
+  h.Set("BITPIX", int64_t{8});
+  h.Set("NAXIS", int64_t{2});
+  h.Set("NAXIS1", static_cast<int64_t>(table.RowBytes()), "bytes per row");
+  h.Set("NAXIS2", static_cast<int64_t>(table.num_rows()), "number of rows");
+  h.Set("PCOUNT", int64_t{0});
+  h.Set("GCOUNT", int64_t{1});
+  h.Set("TFIELDS", static_cast<int64_t>(table.num_columns()));
+  for (size_t i = 0; i < table.num_columns(); ++i) {
+    const ColumnSpec& spec = table.columns()[i];
+    std::string n = std::to_string(i + 1);
+    h.Set("TTYPE" + n, spec.name);
+    h.Set("TFORM" + n, FormatTForm(spec));
+    if (!spec.unit.empty()) h.Set("TUNIT" + n, spec.unit);
+  }
+  for (const Card& c : extra.cards()) h.Append(c);
+
+  std::string out = h.Serialize();
+
+  // Row-major big-endian data.
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      const ColumnSpec& spec = table.columns()[c];
+      switch (spec.type) {
+        case ColumnType::kFloat: {
+          float f = *table.GetFloat(r, c);
+          uint32_t bits;
+          std::memcpy(&bits, &f, 4);
+          PutU32(&out, bits);
+          break;
+        }
+        case ColumnType::kDouble: {
+          double d = *table.GetDouble(r, c);
+          uint64_t bits;
+          std::memcpy(&bits, &d, 8);
+          PutU64(&out, bits);
+          break;
+        }
+        case ColumnType::kInt32:
+          PutU32(&out, static_cast<uint32_t>(*table.GetInt32(r, c)));
+          break;
+        case ColumnType::kInt64:
+          PutU64(&out, static_cast<uint64_t>(*table.GetInt64(r, c)));
+          break;
+        case ColumnType::kString: {
+          std::string s = *table.GetString(r, c);
+          s.resize(spec.width, ' ');
+          out += s;
+          break;
+        }
+      }
+    }
+  }
+  PadBlock(&out, '\0');
+  return out;
+}
+
+Result<Table> BinaryTable::Parse(const std::string& data, size_t* offset,
+                                 Header* header_out) {
+  auto header = Header::Parse(data, offset);
+  if (!header.ok()) return header.status();
+  auto xt = header->GetString("XTENSION");
+  if (!xt.ok() || *xt != "BINTABLE") {
+    return Status::Corruption("not a BINTABLE extension");
+  }
+  auto naxis1 = header->GetInt("NAXIS1");
+  auto naxis2 = header->GetInt("NAXIS2");
+  auto tfields = header->GetInt("TFIELDS");
+  if (!naxis1.ok() || !naxis2.ok() || !tfields.ok()) {
+    return Status::Corruption("BINTABLE missing NAXIS1/NAXIS2/TFIELDS");
+  }
+
+  std::vector<ColumnSpec> specs;
+  for (int64_t i = 1; i <= *tfields; ++i) {
+    std::string n = std::to_string(i);
+    auto name = header->GetString("TTYPE" + n);
+    auto tform = header->GetString("TFORM" + n);
+    if (!name.ok() || !tform.ok()) {
+      return Status::Corruption("BINTABLE missing TTYPE/TFORM " + n);
+    }
+    auto spec = ParseTForm(*name, *tform);
+    if (!spec.ok()) return spec.status();
+    auto unit = header->GetString("TUNIT" + n);
+    if (unit.ok()) spec->unit = *unit;
+    specs.push_back(std::move(spec).value());
+  }
+
+  Table table(std::move(specs));
+  if (static_cast<int64_t>(table.RowBytes()) != *naxis1) {
+    return Status::Corruption("NAXIS1 does not match TFORM row width");
+  }
+  size_t data_bytes =
+      static_cast<size_t>(*naxis1) * static_cast<size_t>(*naxis2);
+  if (*offset + data_bytes > data.size()) {
+    return Status::Corruption("BINTABLE data truncated");
+  }
+
+  const char* p = data.data() + *offset;
+  for (int64_t r = 0; r < *naxis2; ++r) {
+    std::vector<Table::Cell> cells;
+    cells.reserve(table.num_columns());
+    for (const ColumnSpec& spec : table.columns()) {
+      switch (spec.type) {
+        case ColumnType::kFloat: {
+          uint32_t bits = GetU32(p);
+          float f;
+          std::memcpy(&f, &bits, 4);
+          cells.emplace_back(f);
+          p += 4;
+          break;
+        }
+        case ColumnType::kDouble: {
+          uint64_t bits = GetU64(p);
+          double d;
+          std::memcpy(&d, &bits, 8);
+          cells.emplace_back(d);
+          p += 8;
+          break;
+        }
+        case ColumnType::kInt32:
+          cells.emplace_back(static_cast<int32_t>(GetU32(p)));
+          p += 4;
+          break;
+        case ColumnType::kInt64:
+          cells.emplace_back(static_cast<int64_t>(GetU64(p)));
+          p += 8;
+          break;
+        case ColumnType::kString: {
+          std::string s(p, spec.width);
+          size_t e = s.find_last_not_of(' ');
+          s = (e == std::string::npos) ? std::string() : s.substr(0, e + 1);
+          cells.emplace_back(std::move(s));
+          p += spec.width;
+          break;
+        }
+      }
+    }
+    Status st = table.AppendRow(cells);
+    if (!st.ok()) return st;
+  }
+
+  size_t consumed = data_bytes;
+  size_t rem = consumed % kBlockSize;
+  *offset += consumed + (rem ? kBlockSize - rem : 0);
+  if (*offset > data.size()) *offset = data.size();
+  if (header_out != nullptr) *header_out = std::move(header).value();
+  return table;
+}
+
+// ---------------------------------------------------------------------
+// AsciiTable
+
+namespace {
+
+// Fixed ASCII field widths per type (generous, value-preserving).
+size_t AsciiWidth(const ColumnSpec& s) {
+  switch (s.type) {
+    case ColumnType::kFloat:
+      return 16;
+    case ColumnType::kDouble:
+      return 25;
+    case ColumnType::kInt32:
+      return 12;
+    case ColumnType::kInt64:
+      return 21;
+    case ColumnType::kString:
+      return s.width;
+  }
+  return 0;
+}
+
+std::string AsciiTFormFor(const ColumnSpec& s) {
+  switch (s.type) {
+    case ColumnType::kFloat:
+      return "E16.8";
+    case ColumnType::kDouble:
+      return "D25.17";
+    case ColumnType::kInt32:
+      return "I12";
+    case ColumnType::kInt64:
+      return "I21";
+    case ColumnType::kString:
+      return "A" + std::to_string(s.width);
+  }
+  return "";
+}
+
+}  // namespace
+
+std::string AsciiTable::Serialize(const Table& table, const Header& extra) {
+  size_t row_bytes = 0;
+  for (const ColumnSpec& s : table.columns()) row_bytes += AsciiWidth(s) + 1;
+
+  Header h;
+  h.Set("XTENSION", std::string("TABLE"), "ASCII table extension");
+  h.Set("BITPIX", int64_t{8});
+  h.Set("NAXIS", int64_t{2});
+  h.Set("NAXIS1", static_cast<int64_t>(row_bytes));
+  h.Set("NAXIS2", static_cast<int64_t>(table.num_rows()));
+  h.Set("PCOUNT", int64_t{0});
+  h.Set("GCOUNT", int64_t{1});
+  h.Set("TFIELDS", static_cast<int64_t>(table.num_columns()));
+  size_t col_start = 1;
+  for (size_t i = 0; i < table.num_columns(); ++i) {
+    const ColumnSpec& spec = table.columns()[i];
+    std::string n = std::to_string(i + 1);
+    h.Set("TTYPE" + n, spec.name);
+    h.Set("TFORM" + n, AsciiTFormFor(spec));
+    h.Set("TBCOL" + n, static_cast<int64_t>(col_start));
+    if (!spec.unit.empty()) h.Set("TUNIT" + n, spec.unit);
+    col_start += AsciiWidth(spec) + 1;
+  }
+  for (const Card& c : extra.cards()) h.Append(c);
+
+  std::string out = h.Serialize();
+  char buf[64];
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      const ColumnSpec& spec = table.columns()[c];
+      std::string field;
+      switch (spec.type) {
+        case ColumnType::kFloat:
+          std::snprintf(buf, sizeof(buf), "%16.8E",
+                        static_cast<double>(*table.GetFloat(r, c)));
+          field = buf;
+          break;
+        case ColumnType::kDouble:
+          std::snprintf(buf, sizeof(buf), "%25.17E", *table.GetDouble(r, c));
+          field = buf;
+          break;
+        case ColumnType::kInt32:
+          std::snprintf(buf, sizeof(buf), "%12d", *table.GetInt32(r, c));
+          field = buf;
+          break;
+        case ColumnType::kInt64:
+          std::snprintf(buf, sizeof(buf), "%21lld",
+                        static_cast<long long>(*table.GetInt64(r, c)));
+          field = buf;
+          break;
+        case ColumnType::kString: {
+          field = *table.GetString(r, c);
+          field.resize(spec.width, ' ');
+          break;
+        }
+      }
+      field.resize(AsciiWidth(spec), ' ');
+      out += field;
+      out += ' ';
+    }
+  }
+  PadBlock(&out, ' ');
+  return out;
+}
+
+Result<Table> AsciiTable::Parse(const std::string& data, size_t* offset,
+                                Header* header_out) {
+  auto header = Header::Parse(data, offset);
+  if (!header.ok()) return header.status();
+  auto xt = header->GetString("XTENSION");
+  if (!xt.ok() || *xt != "TABLE") {
+    return Status::Corruption("not an ASCII TABLE extension");
+  }
+  auto naxis1 = header->GetInt("NAXIS1");
+  auto naxis2 = header->GetInt("NAXIS2");
+  auto tfields = header->GetInt("TFIELDS");
+  if (!naxis1.ok() || !naxis2.ok() || !tfields.ok()) {
+    return Status::Corruption("TABLE missing NAXIS1/NAXIS2/TFIELDS");
+  }
+
+  std::vector<ColumnSpec> specs;
+  for (int64_t i = 1; i <= *tfields; ++i) {
+    std::string n = std::to_string(i);
+    auto name = header->GetString("TTYPE" + n);
+    auto tform = header->GetString("TFORM" + n);
+    if (!name.ok() || !tform.ok()) {
+      return Status::Corruption("TABLE missing TTYPE/TFORM " + n);
+    }
+    ColumnSpec spec;
+    spec.name = *name;
+    char code = (*tform)[0];
+    std::string rest = tform->substr(1);
+    size_t w = static_cast<size_t>(std::strtoull(rest.c_str(), nullptr, 10));
+    switch (code) {
+      case 'E':
+        spec.type = ColumnType::kFloat;
+        break;
+      case 'D':
+        spec.type = ColumnType::kDouble;
+        break;
+      case 'I':
+        spec.type = (w > 12) ? ColumnType::kInt64 : ColumnType::kInt32;
+        break;
+      case 'A':
+        spec.type = ColumnType::kString;
+        spec.width = w;
+        break;
+      default:
+        return Status::Corruption("unsupported ASCII TFORM: " + *tform);
+    }
+    auto unit = header->GetString("TUNIT" + n);
+    if (unit.ok()) spec.unit = *unit;
+    specs.push_back(std::move(spec));
+  }
+
+  Table table(specs);
+  size_t data_bytes =
+      static_cast<size_t>(*naxis1) * static_cast<size_t>(*naxis2);
+  if (*offset + data_bytes > data.size()) {
+    return Status::Corruption("TABLE data truncated");
+  }
+  const char* p = data.data() + *offset;
+  for (int64_t r = 0; r < *naxis2; ++r) {
+    std::vector<Table::Cell> cells;
+    for (const ColumnSpec& spec : specs) {
+      size_t w = AsciiWidth(spec);
+      std::string field(p, w);
+      p += w + 1;  // Field plus separating blank.
+      switch (spec.type) {
+        case ColumnType::kFloat:
+          cells.emplace_back(
+              static_cast<float>(std::strtod(field.c_str(), nullptr)));
+          break;
+        case ColumnType::kDouble:
+          cells.emplace_back(std::strtod(field.c_str(), nullptr));
+          break;
+        case ColumnType::kInt32:
+          cells.emplace_back(
+              static_cast<int32_t>(std::strtoll(field.c_str(), nullptr, 10)));
+          break;
+        case ColumnType::kInt64:
+          cells.emplace_back(
+              static_cast<int64_t>(std::strtoll(field.c_str(), nullptr, 10)));
+          break;
+        case ColumnType::kString: {
+          size_t e = field.find_last_not_of(' ');
+          cells.emplace_back(e == std::string::npos ? std::string()
+                                                    : field.substr(0, e + 1));
+          break;
+        }
+      }
+    }
+    Status st = table.AppendRow(cells);
+    if (!st.ok()) return st;
+  }
+
+  size_t rem = data_bytes % kBlockSize;
+  *offset += data_bytes + (rem ? kBlockSize - rem : 0);
+  if (*offset > data.size()) *offset = data.size();
+  if (header_out != nullptr) *header_out = std::move(header).value();
+  return table;
+}
+
+}  // namespace sdss::fits

@@ -1,0 +1,118 @@
+// FITS tables: an in-memory column-typed table plus binary (BINTABLE) and
+// ASCII (TABLE) serialization. The SDSS pipelines "exchange most of their
+// data as binary FITS files"; this module is that interchange layer.
+
+#ifndef SDSS_FITS_TABLE_H_
+#define SDSS_FITS_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "core/status.h"
+#include "fits/header.h"
+
+namespace sdss::fits {
+
+/// Supported FITS column types and their TFORM codes.
+enum class ColumnType {
+  kFloat,   ///< 'E'  IEEE float32, big-endian.
+  kDouble,  ///< 'D'  IEEE float64, big-endian.
+  kInt32,   ///< 'J'  two's-complement int32, big-endian.
+  kInt64,   ///< 'K'  two's-complement int64, big-endian.
+  kString,  ///< 'An' fixed-width ASCII, blank padded.
+};
+
+/// Returns the TFORM letter for a type.
+char TFormCode(ColumnType t);
+
+/// Bytes per element in a binary table (strings use the declared width).
+size_t TypeSize(ColumnType t);
+
+/// Declares one table column.
+struct ColumnSpec {
+  std::string name;
+  ColumnType type = ColumnType::kDouble;
+  size_t width = 0;  ///< For kString: fixed field width. Ignored otherwise.
+  std::string unit;  ///< Optional TUNITn value ("deg", "mag", ...).
+};
+
+/// A column-oriented table with a fixed schema. Cell access is typed;
+/// mismatched types are programming errors reported via Status.
+class Table {
+ public:
+  Table() = default;
+  explicit Table(std::vector<ColumnSpec> columns);
+
+  const std::vector<ColumnSpec>& columns() const { return specs_; }
+  size_t num_columns() const { return specs_.size(); }
+  size_t num_rows() const { return num_rows_; }
+
+  /// Index of a column by name, or NotFound.
+  Result<size_t> ColumnIndex(const std::string& name) const;
+
+  /// Bytes of one serialized binary row (NAXIS1).
+  size_t RowBytes() const;
+
+  // Typed column append: call once per column per row, then CommitRow().
+  // Simpler path: AppendRow with a variant list.
+  using Cell = std::variant<float, double, int32_t, int64_t, std::string>;
+
+  /// Appends a full row; the variant types must match the column specs
+  /// (ints widen, floats widen, but never narrow silently).
+  Status AppendRow(const std::vector<Cell>& cells);
+
+  // Typed readers; the row/col must exist and the type must match.
+  Result<float> GetFloat(size_t row, size_t col) const;
+  Result<double> GetDouble(size_t row, size_t col) const;
+  Result<int32_t> GetInt32(size_t row, size_t col) const;
+  Result<int64_t> GetInt64(size_t row, size_t col) const;
+  Result<std::string> GetString(size_t row, size_t col) const;
+
+  /// Numeric read with widening (any numeric column -> double).
+  Result<double> GetNumeric(size_t row, size_t col) const;
+
+ private:
+  friend class BinaryTable;
+  friend class AsciiTable;
+
+  using ColumnData =
+      std::variant<std::vector<float>, std::vector<double>,
+                   std::vector<int32_t>, std::vector<int64_t>,
+                   std::vector<std::string>>;
+
+  std::vector<ColumnSpec> specs_;
+  std::vector<ColumnData> data_;
+  size_t num_rows_ = 0;
+};
+
+/// Binary-table (XTENSION = 'BINTABLE') serialization.
+class BinaryTable {
+ public:
+  /// Serializes `table` as a standalone FITS extension HDU: header block(s)
+  /// + big-endian row data padded to kBlockSize. `extra` cards (e.g.
+  /// packet-sequence keywords) are merged into the header.
+  static std::string Serialize(const Table& table,
+                               const Header& extra = Header());
+
+  /// Parses one BINTABLE HDU starting at `data[*offset]`; advances
+  /// *offset past the data padding. `header_out` (optional) receives the
+  /// full parsed header.
+  static Result<Table> Parse(const std::string& data, size_t* offset,
+                             Header* header_out = nullptr);
+};
+
+/// ASCII-table serialization (human-readable interchange, the paper's
+/// "ASCII FITS output stream").
+class AsciiTable {
+ public:
+  static std::string Serialize(const Table& table,
+                               const Header& extra = Header());
+  static Result<Table> Parse(const std::string& data, size_t* offset,
+                             Header* header_out = nullptr);
+};
+
+}  // namespace sdss::fits
+
+#endif  // SDSS_FITS_TABLE_H_

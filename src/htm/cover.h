@@ -1,0 +1,83 @@
+// The recursive sky-cover algorithm of the paper (Figure 4).
+//
+// "Run a test between the query polyhedron and the spherical triangles
+// corresponding to the tree root nodes. ... Classify nodes, as fully
+// outside the query, fully inside the query or partially intersecting the
+// query polyhedron. If a node is rejected, that node's children can be
+// ignored. Only the children of bisected triangles need be further
+// investigated."
+//
+// Coverer walks the trixel quad-tree from the 8 octahedron roots down to a
+// configurable leaf level, classifying each node against a Region and
+// producing (a) coarse FULL trixels whose whole subtree is accepted and
+// (b) leaf-level PARTIAL trixels that require per-object filtering.
+
+#ifndef SDSS_HTM_COVER_H_
+#define SDSS_HTM_COVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "htm/range_set.h"
+#include "htm/region.h"
+#include "htm/trixel.h"
+
+namespace sdss::htm {
+
+/// The result of covering a Region with trixels.
+struct CoverResult {
+  int level = 0;  ///< Leaf level the cover was computed to.
+
+  /// Trixels (possibly coarser than `level`) entirely inside the region:
+  /// every object in them satisfies the spatial predicate with no test.
+  std::vector<HtmId> full;
+
+  /// Leaf-level trixels bisected by the region boundary: objects in them
+  /// need the exact Region::Contains test.
+  std::vector<HtmId> partial;
+
+  /// Per-level classification counts, for instrumentation (reproduces the
+  /// Figure 4 illustration of which triangles were selected per level).
+  struct LevelStats {
+    uint64_t tested = 0;
+    uint64_t full = 0;
+    uint64_t partial = 0;
+    uint64_t disjoint = 0;
+  };
+  std::vector<LevelStats> level_stats;
+
+  /// All accepted ids (full subtrees expanded + partials) as leaf ranges.
+  RangeSet ToRangeSet() const;
+
+  /// Leaf ranges of only the FULL portion.
+  RangeSet FullRangeSet() const;
+
+  /// Leaf ranges of only the PARTIAL portion.
+  RangeSet PartialRangeSet() const;
+
+  /// Total sky area of the accepted trixels (square degrees); FULL area
+  /// plus PARTIAL area. Used for the paper's output-volume prediction.
+  double FullAreaSquareDegrees() const;
+  double PartialAreaSquareDegrees() const;
+};
+
+/// Options controlling the cover recursion.
+struct CoverOptions {
+  /// Leaf level of the recursion (container clustering depth by default).
+  int level = 6;
+
+  /// Stop subdividing a PARTIAL trixel early once this many total output
+  /// trixels exist; remaining partials are emitted at their current level
+  /// expanded to leaves. 0 = unlimited (exact cover to `level`).
+  size_t max_trixels = 0;
+};
+
+/// Computes the trixel cover of `region`.
+CoverResult Cover(const Region& region, const CoverOptions& options);
+
+/// Convenience: cover at `level` with no trixel budget.
+CoverResult Cover(const Region& region, int level);
+
+}  // namespace sdss::htm
+
+#endif  // SDSS_HTM_COVER_H_

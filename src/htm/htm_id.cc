@@ -1,0 +1,59 @@
+#include "htm/htm_id.h"
+
+namespace sdss::htm {
+
+Result<HtmId> HtmId::FromRaw(uint64_t raw) {
+  if (Level(raw) < 0) {
+    return Status::InvalidArgument("malformed HTM id: " + std::to_string(raw));
+  }
+  return HtmId(raw);
+}
+
+Result<HtmId> HtmId::FromName(const std::string& name) {
+  if (name.size() < 2) {
+    return Status::InvalidArgument("HTM name too short: '" + name + "'");
+  }
+  uint64_t raw;
+  if (name[0] == 'N' || name[0] == 'n') {
+    raw = 3;  // 0b11
+  } else if (name[0] == 'S' || name[0] == 's') {
+    raw = 2;  // 0b10
+  } else {
+    return Status::InvalidArgument("HTM name must start with N or S: '" +
+                                   name + "'");
+  }
+  if (name.size() > static_cast<size_t>(kMaxLevel) + 2) {
+    return Status::InvalidArgument("HTM name deeper than kMaxLevel: '" + name +
+                                   "'");
+  }
+  for (size_t i = 1; i < name.size(); ++i) {
+    char c = name[i];
+    if (c < '0' || c > '3') {
+      return Status::InvalidArgument("HTM name digits must be 0-3: '" + name +
+                                     "'");
+    }
+    raw = (raw << 2) | static_cast<uint64_t>(c - '0');
+  }
+  return HtmId(raw);
+}
+
+HtmId HtmId::Base(int index) {
+  // 0..3 -> S0..S3 (raw 8..11), 4..7 -> N0..N3 (raw 12..15).
+  return HtmId(8ull + static_cast<uint64_t>(index & 7));
+}
+
+std::string HtmId::ToName() const {
+  if (!valid()) return "<invalid>";
+  int lv = level();
+  std::string name;
+  name.reserve(static_cast<size_t>(lv) + 2);
+  uint64_t top = raw_ >> (2 * lv);  // 8..15
+  name.push_back((top & 4) ? 'N' : 'S');
+  name.push_back(static_cast<char>('0' + (top & 3)));
+  for (int i = lv - 1; i >= 0; --i) {
+    name.push_back(static_cast<char>('0' + ((raw_ >> (2 * i)) & 3)));
+  }
+  return name;
+}
+
+}  // namespace sdss::htm

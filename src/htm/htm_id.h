@@ -1,0 +1,115 @@
+// Hierarchical Triangular Mesh identifiers.
+//
+// The paper (Figure 3) subdivides the sky starting from the 8 spherical
+// triangles of an octahedron; each triangle splits recursively into 4
+// children of approximately equal area, forming a quad-tree. An HtmId names
+// one node of that tree in a single 64-bit integer:
+//
+//   bits:  [1 N/S] [2-bit base index] [2 bits per level child index ...]
+//
+// Base trixels are ids 8..15 (S0=8..S3=11, N0=12..N3=15); a child id is
+// parent*4 + child_index. The bit length therefore encodes the depth, ids
+// at one level are contiguous, and a subtree is a contiguous id range --
+// the property the container clustering and range-set coverage rely on.
+
+#ifndef SDSS_HTM_HTM_ID_H_
+#define SDSS_HTM_HTM_ID_H_
+
+#include <bit>
+#include <cstdint>
+#include <string>
+
+#include "core/status.h"
+
+namespace sdss::htm {
+
+/// Deepest supported subdivision level. Level 24 trixels are ~5
+/// milli-arcsec across; ids stay well inside 64 bits (4 + 2*24 = 52 bits).
+inline constexpr int kMaxLevel = 24;
+
+/// Number of trixels at a given level: 8 * 4^level.
+constexpr uint64_t TrixelCountAtLevel(int level) {
+  return 8ull << (2 * level);
+}
+
+/// A validated HTM trixel identifier. The default-constructed id is
+/// invalid (raw 0); all real ids come from the factory functions.
+class HtmId {
+ public:
+  constexpr HtmId() = default;
+
+  /// Wraps a raw id. Returns InvalidArgument unless `raw` encodes a trixel
+  /// at a level in [0, kMaxLevel].
+  static Result<HtmId> FromRaw(uint64_t raw);
+
+  /// Parses a name like "N012" or "S3001". The leading letter selects the
+  /// hemisphere, the first digit the base face (0-3), and each further
+  /// digit (0-3) one subdivision step.
+  static Result<HtmId> FromName(const std::string& name);
+
+  /// The `index`-th base trixel: 0..3 -> S0..S3, 4..7 -> N0..N3.
+  static HtmId Base(int index);
+
+  /// True for every id produced by the factories; false for HtmId().
+  bool valid() const { return raw_ >= 8 && Level(raw_) >= 0; }
+
+  uint64_t raw() const { return raw_; }
+
+  /// Subdivision depth: 0 for base trixels.
+  int level() const { return Level(raw_); }
+
+  /// Name in the "N012" convention.
+  std::string ToName() const;
+
+  /// Parent trixel (one level up). Precondition: level() > 0.
+  HtmId Parent() const { return HtmId(raw_ >> 2); }
+
+  /// `child`-th child (0-3). Precondition: level() < kMaxLevel.
+  HtmId Child(int child) const {
+    return HtmId((raw_ << 2) | static_cast<uint64_t>(child & 3));
+  }
+
+  /// Which child of its parent this trixel is (0-3).
+  int ChildIndex() const { return static_cast<int>(raw_ & 3); }
+
+  /// Ancestor at `ancestor_level` <= level().
+  HtmId AncestorAt(int ancestor_level) const {
+    return HtmId(raw_ >> (2 * (level() - ancestor_level)));
+  }
+
+  /// True if this trixel's subtree contains `other` (or equals it).
+  bool Contains(HtmId other) const {
+    int dl = other.level() - level();
+    return dl >= 0 && (other.raw_ >> (2 * dl)) == raw_;
+  }
+
+  /// Half-open range [first, last) of descendant ids at `deeper_level`
+  /// (>= level()). Used to turn coarse FULL trixels into leaf ranges.
+  void RangeAtLevel(int deeper_level, uint64_t* first, uint64_t* last) const {
+    int shift = 2 * (deeper_level - level());
+    *first = raw_ << shift;
+    *last = (raw_ + 1) << shift;
+  }
+
+  bool operator==(const HtmId& o) const { return raw_ == o.raw_; }
+  bool operator!=(const HtmId& o) const { return raw_ != o.raw_; }
+  bool operator<(const HtmId& o) const { return raw_ < o.raw_; }
+
+ private:
+  constexpr explicit HtmId(uint64_t raw) : raw_(raw) {}
+
+  // Returns the level encoded in `raw`, or -1 if malformed.
+  static constexpr int Level(uint64_t raw) {
+    if (raw < 8) return -1;
+    int width = 64 - std::countl_zero(raw);
+    if ((width & 1) != 0) return -1;  // Valid widths are 4, 6, 8, ...
+    int level = (width - 4) / 2;
+    return level <= kMaxLevel ? level : -1;
+  }
+
+  uint64_t raw_ = 0;
+};
+
+}  // namespace sdss::htm
+
+#endif  // SDSS_HTM_HTM_ID_H_

@@ -1,0 +1,49 @@
+// Facade tying the HTM pieces together: point location, covers, and the
+// accept/filter decision the query engine applies per container.
+
+#ifndef SDSS_HTM_HTM_INDEX_H_
+#define SDSS_HTM_HTM_INDEX_H_
+
+#include "core/angle.h"
+#include "htm/cover.h"
+#include "htm/htm_id.h"
+#include "htm/range_set.h"
+#include "htm/region.h"
+#include "htm/trixel.h"
+
+namespace sdss::htm {
+
+/// A spatial index over the sky at a fixed leaf level. Stateless apart
+/// from the level; all methods are thread-safe.
+class HtmIndex {
+ public:
+  /// `level` is the subdivision depth used for both point location and
+  /// covers; the catalog's container clustering depth in practice.
+  explicit HtmIndex(int level = 6) : level_(level) {}
+
+  int level() const { return level_; }
+
+  /// Leaf trixel id of a unit vector / of (ra, dec) degrees.
+  HtmId Locate(const Vec3& p_eq) const { return LookupId(p_eq, level_); }
+  HtmId Locate(double ra_deg, double dec_deg) const {
+    return LookupId(ra_deg, dec_deg, level_);
+  }
+
+  /// Trixel cover of a region at this index's level.
+  CoverResult CoverRegion(const Region& region) const {
+    return Cover(region, level_);
+  }
+
+  /// Average trixel area at this level in square degrees.
+  double MeanTrixelAreaSquareDegrees() const {
+    return kSquareDegreesOnSky /
+           static_cast<double>(TrixelCountAtLevel(level_));
+  }
+
+ private:
+  int level_;
+};
+
+}  // namespace sdss::htm
+
+#endif  // SDSS_HTM_HTM_INDEX_H_

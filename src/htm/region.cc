@@ -1,0 +1,332 @@
+#include "htm/region.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/angle.h"
+
+namespace sdss::htm {
+namespace {
+
+constexpr double kEps = 1e-12;
+
+// Does the boundary circle of `h` (the small circle direction.p = dist)
+// intersect the great-circle arc from `a` to `b`? Points on the arc are
+// p(t) ~ (1-t)a + t b (normalized), t in [0,1]. Substituting into
+// direction.p = dist |p| and squaring yields a quadratic in t; each root
+// is validated against the unsquared equation's sign.
+bool EdgeIntersectsConstraint(const Vec3& a, const Vec3& b,
+                              const Halfspace& h) {
+  double g1 = a.Dot(h.direction);
+  double g2 = b.Dot(h.direction);
+  double u = a.Dot(b);
+  double c = h.dist;
+
+  // s(t) = g1 + t (g2 - g1);  |p(t)|^2 = 1 - 2 t (1-t) (1-u).
+  double dg = g2 - g1;
+  double k = c * c * (1.0 - u);  // Appears in the quadratic twice.
+  double qa = dg * dg - 2.0 * k;
+  double qb = 2.0 * g1 * dg + 2.0 * k;
+  double qc = g1 * g1 - c * c;
+
+  auto valid_root = [&](double t) {
+    if (t < -kEps || t > 1.0 + kEps) return false;
+    double s = g1 + t * dg;
+    // Sign of s must match sign of c (s = c * |p|, |p| > 0).
+    if (c > kEps) return s > -kEps;
+    if (c < -kEps) return s < kEps;
+    return true;  // c == 0: the squared equation is exact.
+  };
+
+  if (std::fabs(qa) < kEps) {
+    if (std::fabs(qb) < kEps) return false;  // Degenerate: no crossing.
+    return valid_root(-qc / qb);
+  }
+  double disc = qb * qb - 4.0 * qa * qc;
+  if (disc < 0.0) return false;
+  double sq = std::sqrt(disc);
+  return valid_root((-qb - sq) / (2.0 * qa)) ||
+         valid_root((-qb + sq) / (2.0 * qa));
+}
+
+bool AnyEdgeIntersects(const Trixel& t, const Halfspace& h) {
+  const auto& v = t.vertices();
+  return EdgeIntersectsConstraint(v[0], v[1], h) ||
+         EdgeIntersectsConstraint(v[1], v[2], h) ||
+         EdgeIntersectsConstraint(v[2], v[0], h);
+}
+
+// The meridian plane normal for longitude `lon_deg` in a frame's own
+// basis: points with longitude in [lon, lon+180] satisfy n . p >= 0.
+Vec3 MeridianNormal(double lon_deg) {
+  double lon = DegToRad(lon_deg);
+  return {-std::sin(lon), std::cos(lon), 0.0};
+}
+
+}  // namespace
+
+const char* CoverageName(Coverage c) {
+  switch (c) {
+    case Coverage::kDisjoint:
+      return "DISJOINT";
+    case Coverage::kPartial:
+      return "PARTIAL";
+    case Coverage::kFull:
+      return "FULL";
+  }
+  return "?";
+}
+
+bool Convex::Contains(const Vec3& p) const {
+  for (const Halfspace& h : constraints_) {
+    if (!h.Contains(p)) return false;
+  }
+  return true;
+}
+
+std::optional<Cap> Convex::BoundingCap() const {
+  const Halfspace* tightest = nullptr;
+  for (const Halfspace& h : constraints_) {
+    if (tightest == nullptr || h.dist > tightest->dist) tightest = &h;
+  }
+  if (tightest == nullptr || tightest->dist <= -1.0 + kEps) {
+    return std::nullopt;  // Unconstrained (covers the sphere).
+  }
+  return Cap{tightest->direction, tightest->RadiusRad()};
+}
+
+std::optional<Vec3> Convex::InteriorPoint() const {
+  if (constraints_.empty()) return Vec3{0, 0, 1};
+
+  std::vector<Vec3> candidates;
+  Vec3 sum{0, 0, 0};
+  for (const Halfspace& h : constraints_) {
+    candidates.push_back(h.direction);
+    sum += h.direction;
+  }
+  if (sum.Norm() > kEps) candidates.push_back(sum.Normalized());
+
+  // Pairwise boundary-circle intersections: solve p = x di + y dj + z dixdj
+  // with di.p = ci, dj.p = cj, |p| = 1.
+  for (size_t i = 0; i < constraints_.size(); ++i) {
+    for (size_t j = i + 1; j < constraints_.size(); ++j) {
+      const Halfspace& hi = constraints_[i];
+      const Halfspace& hj = constraints_[j];
+      double u = hi.direction.Dot(hj.direction);
+      double denom = 1.0 - u * u;
+      if (denom < kEps) {
+        if (u < 0.0 && hi.dist <= -hj.dist) {
+          // Antipodal pair (e.g. a latitude band): any point whose
+          // projection on di lies midway between the two cutoffs works.
+          double m = 0.5 * (hi.dist - hj.dist);
+          Vec3 helper =
+              std::fabs(hi.direction.x) < 0.9 ? Vec3{1, 0, 0} : Vec3{0, 1, 0};
+          Vec3 orth = hi.direction.Cross(helper).Normalized();
+          double t = std::sqrt(std::max(0.0, 1.0 - m * m));
+          candidates.push_back(hi.direction * m + orth * t);
+        }
+        continue;  // Parallel constraints.
+      }
+      double x = (hi.dist - hj.dist * u) / denom;
+      double y = (hj.dist - hi.dist * u) / denom;
+      double z2 = 1.0 - (x * x + y * y + 2.0 * x * y * u);
+      if (z2 < 0.0) continue;
+      Vec3 base = hi.direction * x + hj.direction * y;
+      Vec3 axis = hi.direction.Cross(hj.direction);
+      double z = std::sqrt(z2) / std::max(axis.Norm(), kEps);
+      candidates.push_back((base + axis * z).Normalized());
+      candidates.push_back((base - axis * z).Normalized());
+    }
+  }
+
+  for (const Vec3& c : candidates) {
+    // Accept points within tolerance of every constraint boundary.
+    bool ok = true;
+    for (const Halfspace& h : constraints_) {
+      if (h.direction.Dot(c) < h.dist - 1e-9) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) return c;
+  }
+  return std::nullopt;
+}
+
+Coverage Convex::Classify(const Trixel& t) const {
+  if (constraints_.empty()) return Coverage::kFull;  // Whole sphere.
+
+  // Cheap rejection: the convex lies inside its tightest constraint cap;
+  // if that cap cannot touch the trixel's bounding cap, they are disjoint.
+  if (auto cap = BoundingCap()) {
+    Cap tcap = t.BoundingCap();
+    double sep = cap->center.AngleTo(tcap.center);
+    if (sep > cap->radius_rad + tcap.radius_rad + kEps) {
+      return Coverage::kDisjoint;
+    }
+  }
+
+  int inside = 0;
+  for (const Vec3& v : t.vertices()) {
+    if (Contains(v)) ++inside;
+  }
+
+  if (inside == 3) {
+    // All corners inside. The trixel is fully covered unless a constraint
+    // boundary dips into it (crossing an edge, or a "hole": the excluded
+    // cap of a constraint lying wholly inside the triangle).
+    for (const Halfspace& h : constraints_) {
+      if (AnyEdgeIntersects(t, h)) return Coverage::kPartial;
+      if (h.dist > -1.0 + kEps && t.Contains(-h.direction)) {
+        return Coverage::kPartial;  // Excluded cap centered inside trixel.
+      }
+    }
+    return Coverage::kFull;
+  }
+
+  if (inside > 0) return Coverage::kPartial;
+
+  // No corner inside. Either truly disjoint, or the convex pierces the
+  // triangle (boundary crossing) or sits wholly inside it.
+  for (const Halfspace& h : constraints_) {
+    if (AnyEdgeIntersects(t, h)) return Coverage::kPartial;
+  }
+  if (auto p = InteriorPoint()) {
+    return t.Contains(*p) ? Coverage::kPartial : Coverage::kDisjoint;
+  }
+  // Could not produce a witness point (rare, possibly empty convex):
+  // degrade conservatively. Per-object filtering keeps results exact.
+  return Coverage::kPartial;
+}
+
+bool Region::Contains(const Vec3& p) const {
+  for (const Convex& c : convexes_) {
+    if (c.Contains(p)) return true;
+  }
+  return false;
+}
+
+Coverage Region::Classify(const Trixel& t) const {
+  bool any_partial = false;
+  for (const Convex& c : convexes_) {
+    switch (c.Classify(t)) {
+      case Coverage::kFull:
+        return Coverage::kFull;
+      case Coverage::kPartial:
+        any_partial = true;
+        break;
+      case Coverage::kDisjoint:
+        break;
+    }
+  }
+  return any_partial ? Coverage::kPartial : Coverage::kDisjoint;
+}
+
+Region Region::Circle(double lon_deg, double lat_deg, double radius_deg,
+                      Frame frame) {
+  SphericalCoord c{lon_deg, lat_deg, frame};
+  return CircleAround(EquatorialUnitVector(c), radius_deg);
+}
+
+Region Region::CircleAround(const Vec3& center_eq, double radius_deg) {
+  Region r;
+  Convex conv;
+  conv.Add(Halfspace::Cap(center_eq, DegToRad(radius_deg)));
+  r.Add(std::move(conv));
+  return r;
+}
+
+Region Region::LatBand(double lat_min_deg, double lat_max_deg, Frame frame) {
+  Vec3 pole = RotationToEquatorial(frame) * Vec3{0, 0, 1};
+  Region r;
+  Convex conv;
+  conv.Add({pole, std::sin(DegToRad(ClampLatitudeDeg(lat_min_deg)))});
+  conv.Add({-pole, -std::sin(DegToRad(ClampLatitudeDeg(lat_max_deg)))});
+  r.Add(std::move(conv));
+  return r;
+}
+
+Region Region::Rect(double lon_min_deg, double lon_max_deg,
+                    double lat_min_deg, double lat_max_deg, Frame frame) {
+  double width = lon_max_deg - lon_min_deg;
+  if (width < 0.0) width += 360.0;
+  if (width >= 360.0 - 1e-12) {
+    return LatBand(lat_min_deg, lat_max_deg, frame);
+  }
+  if (width > 180.0) {
+    // Split into two half-width rectangles (union of convexes).
+    double mid = lon_min_deg + width / 2.0;
+    Region left = Rect(lon_min_deg, mid, lat_min_deg, lat_max_deg, frame);
+    Region right = Rect(mid, lon_max_deg, lat_min_deg, lat_max_deg, frame);
+    return left.UnionWith(right);
+  }
+
+  const Matrix3& to_eq = RotationToEquatorial(frame);
+  Region r;
+  Convex conv;
+  conv.Add({to_eq * Vec3{0, 0, 1},
+            std::sin(DegToRad(ClampLatitudeDeg(lat_min_deg)))});
+  conv.Add({to_eq * Vec3{0, 0, -1},
+            -std::sin(DegToRad(ClampLatitudeDeg(lat_max_deg)))});
+  conv.Add({to_eq * MeridianNormal(lon_min_deg), 0.0});
+  conv.Add({to_eq * (-MeridianNormal(lon_max_deg)), 0.0});
+  r.Add(std::move(conv));
+  return r;
+}
+
+Result<Region> Region::Polygon(const std::vector<Vec3>& ccw_vertices_eq) {
+  if (ccw_vertices_eq.size() < 3) {
+    return Status::InvalidArgument("polygon needs >= 3 vertices");
+  }
+  Vec3 centroid{0, 0, 0};
+  for (const Vec3& v : ccw_vertices_eq) centroid += v;
+  if (centroid.Norm() < kEps) {
+    return Status::InvalidArgument("degenerate polygon (zero centroid)");
+  }
+  centroid = centroid.Normalized();
+
+  auto build = [&](bool reversed) {
+    Convex conv;
+    size_t n = ccw_vertices_eq.size();
+    for (size_t i = 0; i < n; ++i) {
+      const Vec3& a = ccw_vertices_eq[reversed ? (n - 1 - i) : i];
+      const Vec3& b =
+          ccw_vertices_eq[reversed ? (n - 1 - (i + 1) % n) : (i + 1) % n];
+      conv.Add({a.Cross(b).Normalized(), 0.0});
+    }
+    return conv;
+  };
+
+  Convex conv = build(false);
+  if (!conv.Contains(centroid)) {
+    conv = build(true);  // Accept clockwise input too.
+    if (!conv.Contains(centroid)) {
+      return Status::InvalidArgument(
+          "polygon is not convex (centroid outside its own edges)");
+    }
+  }
+  Region r;
+  r.Add(std::move(conv));
+  return r;
+}
+
+Region Region::IntersectWith(const Region& other) const {
+  Region out;
+  for (const Convex& a : convexes_) {
+    for (const Convex& b : other.convexes_) {
+      std::vector<Halfspace> merged = a.constraints();
+      merged.insert(merged.end(), b.constraints().begin(),
+                    b.constraints().end());
+      out.Add(Convex(std::move(merged)));
+    }
+  }
+  return out;
+}
+
+Region Region::UnionWith(const Region& other) const {
+  Region out = *this;
+  for (const Convex& c : other.convexes_) out.Add(c);
+  return out;
+}
+
+}  // namespace sdss::htm

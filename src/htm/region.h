@@ -1,0 +1,142 @@
+// Half-space constraint algebra on the celestial sphere.
+//
+// The paper: "Each query can be represented as a set of half-space
+// constraints, connected by Boolean operators, all in three-dimensional
+// space." A Halfspace is one such constraint (direction . p > dist); a
+// Convex is an AND of halfspaces; a Region is an OR of convexes. Every
+// spatial predicate in the archive (cone search, coordinate bands in any
+// frame, rectangles, polygons, the Figure 4 query) lowers to a Region.
+
+#ifndef SDSS_HTM_REGION_H_
+#define SDSS_HTM_REGION_H_
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/coords.h"
+#include "core/status.h"
+#include "core/vec3.h"
+#include "htm/trixel.h"
+
+namespace sdss::htm {
+
+/// One linear constraint on unit vectors: p is inside iff
+/// direction . p >= dist. dist = cos(angular radius) for a cap.
+struct Halfspace {
+  Vec3 direction;  ///< Unit vector: the cap axis.
+  double dist = 0.0;  ///< Plane offset in [-1, 1]; cos of the cap radius.
+
+  /// Cap of angular radius `radius_rad` around `center` (any frame's
+  /// vector; callers pass Equatorial canonical vectors).
+  static Halfspace Cap(const Vec3& center, double radius_rad) {
+    return {center.Normalized(), std::cos(radius_rad)};
+  }
+
+  bool Contains(const Vec3& p) const { return direction.Dot(p) >= dist; }
+
+  /// Angular radius of the cap in radians (pi for dist = -1).
+  double RadiusRad() const {
+    return std::acos(std::clamp(dist, -1.0, 1.0));
+  }
+};
+
+/// How a trixel relates to a constraint set -- the three classes the
+/// paper's recursive algorithm distinguishes (Figure 4): fully inside,
+/// fully outside, or bisected.
+enum class Coverage {
+  kDisjoint = 0,  ///< Trixel entirely outside: reject subtree.
+  kPartial = 1,   ///< Bisected: recurse or filter per object.
+  kFull = 2,      ///< Trixel entirely inside: accept subtree.
+};
+
+const char* CoverageName(Coverage c);
+
+/// An intersection (AND) of halfspaces: a convex area on the sphere.
+class Convex {
+ public:
+  Convex() = default;
+  explicit Convex(std::vector<Halfspace> constraints)
+      : constraints_(std::move(constraints)) {}
+
+  void Add(const Halfspace& h) { constraints_.push_back(h); }
+  const std::vector<Halfspace>& constraints() const { return constraints_; }
+  bool empty() const { return constraints_.empty(); }
+
+  /// True iff `p` satisfies every constraint. An empty Convex contains
+  /// everything (it is the whole sphere).
+  bool Contains(const Vec3& p) const;
+
+  /// Classifies `t` as kFull / kPartial / kDisjoint. Conservative:
+  /// inconclusive geometric cases degrade to kPartial (never wrong, only
+  /// finer recursion), so downstream results remain exact.
+  Coverage Classify(const Trixel& t) const;
+
+  /// The tightest single-cap bound: the convex lies inside the cap of its
+  /// largest-dist constraint. Empty optional when unconstrained.
+  std::optional<Cap> BoundingCap() const;
+
+  /// A point inside the convex, if one can be found cheaply. Used to
+  /// detect the convex-inside-trixel case.
+  std::optional<Vec3> InteriorPoint() const;
+
+ private:
+  std::vector<Halfspace> constraints_;
+};
+
+/// A union (OR) of convexes: an arbitrary sky area. This is the argument
+/// of the cover algorithm and of every spatial query predicate.
+class Region {
+ public:
+  Region() = default;
+
+  void Add(Convex convex) { convexes_.push_back(std::move(convex)); }
+  const std::vector<Convex>& convexes() const { return convexes_; }
+  bool empty() const { return convexes_.empty(); }
+
+  /// True iff `p` is inside any convex. The empty Region contains nothing.
+  bool Contains(const Vec3& p) const;
+
+  /// Classifies against the union: any kFull wins, else any kPartial.
+  Coverage Classify(const Trixel& t) const;
+
+  // -- Factory helpers for the common query shapes ------------------------
+
+  /// Cone search: all points within `radius_deg` of (lon, lat) in `frame`.
+  static Region Circle(double lon_deg, double lat_deg, double radius_deg,
+                       Frame frame = Frame::kEquatorial);
+
+  /// Circle around an Equatorial unit vector.
+  static Region CircleAround(const Vec3& center_eq, double radius_deg);
+
+  /// Latitude band lat in [lat_min, lat_max] of `frame` (the Figure 4
+  /// building block: a pair of parallel planes).
+  static Region LatBand(double lat_min_deg, double lat_max_deg,
+                        Frame frame = Frame::kEquatorial);
+
+  /// Spherical rectangle lon in [lon_min, lon_max], lat in [lat_min,
+  /// lat_max] in `frame`. Handles wrap-around and widths up to 360 deg.
+  static Region Rect(double lon_min_deg, double lon_max_deg,
+                     double lat_min_deg, double lat_max_deg,
+                     Frame frame = Frame::kEquatorial);
+
+  /// Convex spherical polygon from counterclockwise vertices (Equatorial
+  /// unit vectors). Returns InvalidArgument if fewer than 3 vertices.
+  static Result<Region> Polygon(const std::vector<Vec3>& ccw_vertices_eq);
+
+  /// Intersection of this region with another, distributing unions over
+  /// the convex intersections: (A|B) & (C|D) = AC|AD|BC|BD.
+  Region IntersectWith(const Region& other) const;
+
+  /// Union.
+  Region UnionWith(const Region& other) const;
+
+ private:
+  std::vector<Convex> convexes_;
+};
+
+}  // namespace sdss::htm
+
+#endif  // SDSS_HTM_REGION_H_

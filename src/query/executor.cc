@@ -1,0 +1,427 @@
+#include "query/executor.h"
+
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <unordered_set>
+
+#include "catalog/photo_obj.h"
+#include "core/random.h"
+
+namespace sdss::query {
+namespace {
+
+using catalog::Container;
+using catalog::GetAttribute;
+using catalog::GetTagAttribute;
+using catalog::PhotoObj;
+using catalog::TagObj;
+
+/// Shared run state: error propagation and scan counters.
+struct RunContext {
+  std::mutex mu;
+  Status first_error;
+  std::atomic<uint64_t> containers_scanned{0};
+  std::atomic<uint64_t> objects_examined{0};
+  std::atomic<uint64_t> objects_matched{0};
+  std::atomic<uint64_t> bytes_touched{0};
+
+  void ReportError(const Status& s) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (first_error.ok()) first_error = s;
+  }
+  bool has_error() {
+    std::lock_guard<std::mutex> lock(mu);
+    return !first_error.ok();
+  }
+};
+
+/// Everything a running node tree needs to tear down: channels to cancel
+/// and threads to join.
+struct NodeRuntime {
+  std::vector<std::thread> threads;
+  std::vector<std::shared_ptr<RowChannel>> channels;
+
+  void CancelAll() {
+    for (auto& ch : channels) ch->Cancel();
+  }
+  void JoinAll() {
+    for (auto& t : threads) {
+      if (t.joinable()) t.join();
+    }
+  }
+};
+
+// Projects one photo object into a row. Returns false (and reports) on
+// evaluation error.
+bool ProjectPhoto(const PhotoObj& o,
+                  const std::vector<std::string>& projection,
+                  RunContext* ctx, ResultRow* row) {
+  row->obj_id = o.obj_id;
+  row->values.clear();
+  row->values.reserve(projection.size());
+  for (const std::string& name : projection) {
+    auto v = GetAttribute(o, name);
+    if (!v.ok()) {
+      ctx->ReportError(v.status());
+      return false;
+    }
+    row->values.push_back(*v);
+  }
+  return true;
+}
+
+bool ProjectTag(const TagObj& t, const std::vector<std::string>& projection,
+                RunContext* ctx, ResultRow* row) {
+  row->obj_id = t.obj_id;
+  row->values.clear();
+  row->values.reserve(projection.size());
+  for (const std::string& name : projection) {
+    auto v = GetTagAttribute(t, name);
+    if (!v.ok()) {
+      ctx->ReportError(v.status());
+      return false;
+    }
+    row->values.push_back(*v);
+  }
+  return true;
+}
+
+}  // namespace
+
+Executor::Executor(const catalog::ObjectStore* store, Options options)
+    : store_(store), options_(options), pool_(options.scan_threads) {}
+
+Result<ExecStats> Executor::Run(
+    const Plan& plan, const std::function<bool(const RowBatch&)>& on_batch) {
+  if (!plan.root) return Status::InvalidArgument("empty plan");
+
+  auto ctx = std::make_shared<RunContext>();
+  NodeRuntime runtime;
+
+  // Recursive node launcher. Each call wires `node` to write into `out`.
+  std::function<void(const PlanNode*, std::shared_ptr<RowChannel>)> start =
+      [&](const PlanNode* node, std::shared_ptr<RowChannel> out) {
+        out->AddWriter();
+        switch (node->type) {
+          case PlanNodeType::kScan: {
+            runtime.threads.emplace_back([this, node, out, ctx] {
+              // Container list, pruned by the HTM cover when available.
+              std::vector<const Container*> containers;
+              if (node->has_region) {
+                htm::CoverResult cover =
+                    htm::Cover(node->region, store_->cluster_level());
+                auto add_range = [&](htm::HtmId id) {
+                  uint64_t first, last;
+                  id.RangeAtLevel(store_->cluster_level(), &first, &last);
+                  const auto& all = store_->containers();
+                  for (auto it = all.lower_bound(first);
+                       it != all.end() && it->first < last; ++it) {
+                    containers.push_back(&it->second);
+                  }
+                };
+                for (htm::HtmId id : cover.full) add_range(id);
+                for (htm::HtmId id : cover.partial) add_range(id);
+              } else {
+                for (const auto& [raw, c] : store_->containers()) {
+                  containers.push_back(&c);
+                }
+              }
+
+              std::atomic<uint64_t> salt{0};
+              pool_.ParallelFor(containers.size(), [&](size_t ci) {
+                if (out->cancelled() || ctx->has_error()) return;
+                const Container* c = containers[ci];
+                ctx->containers_scanned.fetch_add(1);
+                Rng rng(node->sample_seed + salt.fetch_add(1) * 7919 + ci);
+                RowBatch batch;
+                batch.reserve(options_.batch_size);
+                ResultRow row;
+
+                auto emit = [&](bool matched) {
+                  if (!matched) return true;
+                  ctx->objects_matched.fetch_add(1);
+                  batch.push_back(row);
+                  if (batch.size() >= options_.batch_size) {
+                    if (!out->Push(std::move(batch))) return false;
+                    batch.clear();
+                    batch.reserve(options_.batch_size);
+                  }
+                  return true;
+                };
+
+                if (node->table == TableRef::kTag) {
+                  ctx->bytes_touched.fetch_add(c->TagBytes());
+                  for (const TagObj& t : c->tags) {
+                    ctx->objects_examined.fetch_add(1);
+                    if (node->sample < 1.0 &&
+                        !rng.Bernoulli(node->sample)) {
+                      continue;
+                    }
+                    if (node->predicate) {
+                      RowAccessor acc{
+                          [&t](const std::string& n) {
+                            return GetTagAttribute(t, n);
+                          },
+                          t.Position()};
+                      auto ok = node->predicate->EvalBool(acc);
+                      if (!ok.ok()) {
+                        ctx->ReportError(ok.status());
+                        return;
+                      }
+                      if (!*ok) continue;
+                    }
+                    if (!ProjectTag(t, node->projection, ctx.get(), &row)) {
+                      return;
+                    }
+                    if (!emit(true)) return;
+                  }
+                } else {
+                  ctx->bytes_touched.fetch_add(c->FullBytes());
+                  for (const PhotoObj& o : c->objects) {
+                    ctx->objects_examined.fetch_add(1);
+                    if (node->sample < 1.0 &&
+                        !rng.Bernoulli(node->sample)) {
+                      continue;
+                    }
+                    if (node->predicate) {
+                      RowAccessor acc{
+                          [&o](const std::string& n) {
+                            return GetAttribute(o, n);
+                          },
+                          o.pos};
+                      auto ok = node->predicate->EvalBool(acc);
+                      if (!ok.ok()) {
+                        ctx->ReportError(ok.status());
+                        return;
+                      }
+                      if (!*ok) continue;
+                    }
+                    if (!ProjectPhoto(o, node->projection, ctx.get(),
+                                      &row)) {
+                      return;
+                    }
+                    if (!emit(true)) return;
+                  }
+                }
+                if (!batch.empty()) out->Push(std::move(batch));
+              });
+              out->CloseWriter();
+            });
+            break;
+          }
+
+          case PlanNodeType::kUnion: {
+            // Both children write into one shared channel; this node
+            // deduplicates by obj_id as batches stream through.
+            auto in = std::make_shared<RowChannel>();
+            runtime.channels.push_back(in);
+            for (const auto& child : node->children) {
+              start(child.get(), in);
+            }
+            runtime.threads.emplace_back([node, in, out] {
+              (void)node;
+              std::unordered_set<uint64_t> seen;
+              RowBatch batch;
+              while (in->Pop(&batch)) {
+                RowBatch unique;
+                for (ResultRow& r : batch) {
+                  if (seen.insert(r.obj_id).second) {
+                    unique.push_back(std::move(r));
+                  }
+                }
+                if (!unique.empty() && !out->Push(std::move(unique))) {
+                  in->Cancel();
+                  break;
+                }
+              }
+              out->CloseWriter();
+            });
+            break;
+          }
+
+          case PlanNodeType::kIntersect:
+          case PlanNodeType::kDifference: {
+            auto left = std::make_shared<RowChannel>();
+            auto right = std::make_shared<RowChannel>();
+            runtime.channels.push_back(left);
+            runtime.channels.push_back(right);
+            start(node->children[0].get(), left);
+            start(node->children[1].get(), right);
+            bool keep_if_present = node->type == PlanNodeType::kIntersect;
+            runtime.threads.emplace_back([left, right, out,
+                                          keep_if_present] {
+              // Build side: drain the right child completely first ("at
+              // least one of the child nodes must be complete").
+              std::unordered_set<uint64_t> right_ids;
+              RowBatch batch;
+              while (right->Pop(&batch)) {
+                for (const ResultRow& r : batch) right_ids.insert(r.obj_id);
+              }
+              // Probe side: stream the left child.
+              std::unordered_set<uint64_t> emitted;
+              while (left->Pop(&batch)) {
+                RowBatch keep;
+                for (ResultRow& r : batch) {
+                  bool present = right_ids.count(r.obj_id) > 0;
+                  if (present == keep_if_present &&
+                      emitted.insert(r.obj_id).second) {
+                    keep.push_back(std::move(r));
+                  }
+                }
+                if (!keep.empty() && !out->Push(std::move(keep))) {
+                  left->Cancel();
+                  break;
+                }
+              }
+              out->CloseWriter();
+            });
+            break;
+          }
+
+          case PlanNodeType::kSort: {
+            auto in = std::make_shared<RowChannel>();
+            runtime.channels.push_back(in);
+            start(node->children[0].get(), in);
+            size_t batch_size = options_.batch_size;
+            runtime.threads.emplace_back([node, in, out, batch_size] {
+              std::vector<ResultRow> all;
+              RowBatch batch;
+              while (in->Pop(&batch)) {
+                for (ResultRow& r : batch) all.push_back(std::move(r));
+              }
+              size_t col = node->sort_column;
+              bool desc = node->sort_desc;
+              std::sort(all.begin(), all.end(),
+                        [col, desc](const ResultRow& a, const ResultRow& b) {
+                          double av = a.values[col], bv = b.values[col];
+                          if (av != bv) return desc ? av > bv : av < bv;
+                          return a.obj_id < b.obj_id;  // Stable tie-break.
+                        });
+              for (size_t i = 0; i < all.size(); i += batch_size) {
+                RowBatch chunk(
+                    all.begin() + static_cast<ptrdiff_t>(i),
+                    all.begin() + static_cast<ptrdiff_t>(
+                                      std::min(i + batch_size, all.size())));
+                if (!out->Push(std::move(chunk))) break;
+              }
+              out->CloseWriter();
+            });
+            break;
+          }
+
+          case PlanNodeType::kLimit: {
+            auto in = std::make_shared<RowChannel>();
+            runtime.channels.push_back(in);
+            start(node->children[0].get(), in);
+            runtime.threads.emplace_back([node, in, out] {
+              int64_t remaining = node->limit;
+              RowBatch batch;
+              while (remaining > 0 && in->Pop(&batch)) {
+                if (static_cast<int64_t>(batch.size()) > remaining) {
+                  batch.resize(static_cast<size_t>(remaining));
+                }
+                remaining -= static_cast<int64_t>(batch.size());
+                if (!out->Push(std::move(batch))) break;
+              }
+              in->Cancel();  // Early-out: abort upstream work.
+              out->CloseWriter();
+            });
+            break;
+          }
+
+          case PlanNodeType::kAggregate: {
+            auto in = std::make_shared<RowChannel>();
+            runtime.channels.push_back(in);
+            start(node->children[0].get(), in);
+            runtime.threads.emplace_back([node, in, out] {
+              uint64_t count = 0;
+              double sum = 0.0;
+              double min_v = std::numeric_limits<double>::infinity();
+              double max_v = -std::numeric_limits<double>::infinity();
+              RowBatch batch;
+              while (in->Pop(&batch)) {
+                for (const ResultRow& r : batch) {
+                  ++count;
+                  if (!r.values.empty()) {
+                    double v = r.values[0];
+                    sum += v;
+                    min_v = std::min(min_v, v);
+                    max_v = std::max(max_v, v);
+                  }
+                }
+              }
+              ResultRow result;
+              result.obj_id = 0;
+              switch (node->agg) {
+                case AggFunc::kCount:
+                  result.values.push_back(static_cast<double>(count));
+                  break;
+                case AggFunc::kSum:
+                  result.values.push_back(sum);
+                  break;
+                case AggFunc::kAvg:
+                  result.values.push_back(count ? sum / double(count) : 0.0);
+                  break;
+                case AggFunc::kMin:
+                  result.values.push_back(count ? min_v : 0.0);
+                  break;
+                case AggFunc::kMax:
+                  result.values.push_back(count ? max_v : 0.0);
+                  break;
+                case AggFunc::kNone:
+                  break;
+              }
+              out->Push({std::move(result)});
+              out->CloseWriter();
+            });
+            break;
+          }
+        }
+      };
+
+  auto root_channel = std::make_shared<RowChannel>();
+  runtime.channels.push_back(root_channel);
+
+  auto t0 = std::chrono::steady_clock::now();
+  start(plan.root.get(), root_channel);
+
+  ExecStats stats;
+  bool first = true;
+  RowBatch batch;
+  while (root_channel->Pop(&batch)) {
+    if (first && !batch.empty()) {
+      stats.seconds_to_first_row =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        t0)
+              .count();
+      first = false;
+    }
+    stats.rows_emitted += batch.size();
+    if (!on_batch(batch)) {
+      stats.cancelled_early = true;
+      runtime.CancelAll();
+      break;
+    }
+  }
+  runtime.CancelAll();  // No-op if streams completed normally... except
+                        // cancel unblocks any stragglers for join.
+  runtime.JoinAll();
+
+  auto t1 = std::chrono::steady_clock::now();
+  stats.seconds_total = std::chrono::duration<double>(t1 - t0).count();
+  if (first) stats.seconds_to_first_row = stats.seconds_total;
+  stats.containers_scanned = ctx->containers_scanned.load();
+  stats.objects_examined = ctx->objects_examined.load();
+  stats.objects_matched = ctx->objects_matched.load();
+  stats.bytes_touched = ctx->bytes_touched.load();
+
+  {
+    std::lock_guard<std::mutex> lock(ctx->mu);
+    if (!ctx->first_error.ok()) return ctx->first_error;
+  }
+  return stats;
+}
+
+}  // namespace sdss::query

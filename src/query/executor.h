@@ -1,0 +1,65 @@
+// The multi-threaded ASAP-push executor for Query Execution Trees.
+//
+// Every node runs on its own thread and pushes row batches to its parent
+// through a bounded RowChannel as soon as they are produced, so the
+// consumer "starts seeing results almost immediately". Blocking nodes
+// (sort, aggregate, and the build side of intersect/difference) drain
+// before emitting, exactly as the paper specifies. Scan leaves fan out
+// across containers on a shared thread pool.
+
+#ifndef SDSS_QUERY_EXECUTOR_H_
+#define SDSS_QUERY_EXECUTOR_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+
+#include "catalog/object_store.h"
+#include "core/thread_pool.h"
+#include "query/qet.h"
+
+namespace sdss::query {
+
+/// Execution metrics, including the streaming latency the C8 benchmark
+/// reports (time to first row vs time to completion).
+struct ExecStats {
+  uint64_t rows_emitted = 0;
+  double seconds_to_first_row = 0.0;
+  double seconds_total = 0.0;
+
+  // Scan-side counters (summed over all scan leaves).
+  uint64_t containers_scanned = 0;
+  uint64_t objects_examined = 0;
+  uint64_t objects_matched = 0;
+  uint64_t bytes_touched = 0;
+  bool cancelled_early = false;  ///< Sink stopped consumption (LIMIT etc).
+};
+
+/// Executes plans against one store.
+class Executor {
+ public:
+  struct Options {
+    size_t scan_threads = 4;   ///< Pool width for container fan-out.
+    size_t batch_size = 512;   ///< Rows per pushed batch.
+  };
+
+  explicit Executor(const catalog::ObjectStore* store)
+      : Executor(store, Options()) {}
+  Executor(const catalog::ObjectStore* store, Options options);
+
+  /// Runs `plan`, invoking `on_batch` for every batch that reaches the
+  /// root (in ASAP order). The sink may return false to cancel the query
+  /// (remaining upstream work is aborted). Returns execution stats, or
+  /// the first error raised by any node.
+  Result<ExecStats> Run(const Plan& plan,
+                        const std::function<bool(const RowBatch&)>& on_batch);
+
+ private:
+  const catalog::ObjectStore* store_;
+  Options options_;
+  ThreadPool pool_;
+};
+
+}  // namespace sdss::query
+
+#endif  // SDSS_QUERY_EXECUTOR_H_

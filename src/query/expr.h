@@ -1,0 +1,108 @@
+// Predicate/expression AST for the archive query language.
+//
+// Expressions evaluate to doubles (booleans are nonzero/zero) against a
+// row accessor, so the same tree runs against full PhotoObj rows or tag
+// rows. Spatial predicates (cone/rect/band atoms) are first-class leaf
+// nodes carrying an htm::Region; the planner lifts them into container
+// pruning while the executor still evaluates them exactly per object.
+
+#ifndef SDSS_QUERY_EXPR_H_
+#define SDSS_QUERY_EXPR_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "core/vec3.h"
+#include "htm/region.h"
+
+namespace sdss::query {
+
+/// Binary operators, in precedence groups.
+enum class BinOp {
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kEq,
+  kNe,
+  kAnd,
+  kOr,
+};
+
+const char* BinOpName(BinOp op);
+
+/// A row the expression evaluator can read: attribute lookup by name plus
+/// the object's position for spatial atoms.
+struct RowAccessor {
+  std::function<Result<double>(const std::string&)> get;
+  Vec3 position;
+};
+
+/// One AST node. Trees are immutable after parse; shared_ptr children
+/// allow cheap subtree reuse by the planner.
+class Expr {
+ public:
+  enum class Kind { kLiteral, kAttr, kNeg, kNot, kBinary, kSpatial };
+
+  using Ptr = std::shared_ptr<const Expr>;
+
+  static Ptr Literal(double v);
+  static Ptr Attr(std::string name);
+  static Ptr Neg(Ptr operand);
+  static Ptr Not(Ptr operand);
+  static Ptr Binary(BinOp op, Ptr lhs, Ptr rhs);
+  /// A spatial atom: true iff the object position is inside `region`.
+  /// `description` is used in plan explanations ("CIRCLE(185,2,1.5)").
+  static Ptr Spatial(htm::Region region, std::string description);
+
+  Kind kind() const { return kind_; }
+  double literal() const { return literal_; }
+  const std::string& attr() const { return attr_; }
+  BinOp op() const { return op_; }
+  const Ptr& lhs() const { return lhs_; }
+  const Ptr& rhs() const { return rhs_; }
+  const htm::Region& region() const { return region_; }
+  const std::string& description() const { return description_; }
+
+  /// Evaluates against a row. Attribute lookups may fail (NotFound) when
+  /// the row type lacks the attribute -- the error propagates.
+  Result<double> Eval(const RowAccessor& row) const;
+
+  /// Boolean convenience: nonzero result = true.
+  Result<bool> EvalBool(const RowAccessor& row) const;
+
+  /// All attribute names referenced by this subtree (deduplicated).
+  void CollectAttrs(std::vector<std::string>* out) const;
+
+  /// Pretty-printer for plan explanations.
+  std::string ToString() const;
+
+ private:
+  explicit Expr(Kind kind) : kind_(kind) {}
+
+  Kind kind_;
+  double literal_ = 0.0;
+  std::string attr_;
+  BinOp op_ = BinOp::kAdd;
+  Ptr lhs_;
+  Ptr rhs_;
+  htm::Region region_;
+  std::string description_;
+};
+
+/// Extracts a sound spatial over-approximation of `expr`: every row
+/// satisfying the expression lies inside the returned region. Returns
+/// false (and leaves `out` untouched) when no bound tighter than the
+/// whole sky can be derived (e.g. no spatial atoms, or atoms under NOT).
+bool ExtractRegion(const Expr::Ptr& expr, htm::Region* out);
+
+}  // namespace sdss::query
+
+#endif  // SDSS_QUERY_EXPR_H_

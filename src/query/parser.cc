@@ -1,0 +1,563 @@
+#include "query/parser.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+#include "catalog/photo_obj.h"
+#include "core/coords.h"
+
+namespace sdss::query {
+namespace {
+
+enum class Tok {
+  kEnd,
+  kIdent,
+  kNumber,
+  kString,
+  kComma,
+  kLParen,
+  kRParen,
+  kStar,
+  kPlus,
+  kMinus,
+  kSlash,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kEq,
+  kNe,
+};
+
+struct Token {
+  Tok kind = Tok::kEnd;
+  std::string text;   // Identifier (upper-cased) or string literal (raw).
+  double number = 0;
+  size_t pos = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& src) : src_(src) {}
+
+  Result<std::vector<Token>> Run() {
+    std::vector<Token> out;
+    while (pos_ < src_.size()) {
+      char c = src_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+        continue;
+      }
+      Token t;
+      t.pos = pos_;
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        std::string ident;
+        while (pos_ < src_.size() &&
+               (std::isalnum(static_cast<unsigned char>(src_[pos_])) ||
+                src_[pos_] == '_')) {
+          ident.push_back(src_[pos_++]);
+        }
+        t.kind = Tok::kIdent;
+        for (char& ch : ident) {
+          ch = static_cast<char>(std::tolower(ch));
+        }
+        t.text = ident;
+      } else if (std::isdigit(static_cast<unsigned char>(c)) || c == '.') {
+        char* end = nullptr;
+        t.number = std::strtod(src_.c_str() + pos_, &end);
+        if (end == src_.c_str() + pos_) {
+          return Err("bad number");
+        }
+        pos_ = static_cast<size_t>(end - src_.c_str());
+        t.kind = Tok::kNumber;
+      } else if (c == '\'') {
+        ++pos_;
+        std::string s;
+        while (pos_ < src_.size() && src_[pos_] != '\'') {
+          s.push_back(src_[pos_++]);
+        }
+        if (pos_ >= src_.size()) return Err("unterminated string");
+        ++pos_;
+        t.kind = Tok::kString;
+        t.text = s;
+      } else {
+        switch (c) {
+          case ',':
+            t.kind = Tok::kComma;
+            ++pos_;
+            break;
+          case '(':
+            t.kind = Tok::kLParen;
+            ++pos_;
+            break;
+          case ')':
+            t.kind = Tok::kRParen;
+            ++pos_;
+            break;
+          case '*':
+            t.kind = Tok::kStar;
+            ++pos_;
+            break;
+          case '+':
+            t.kind = Tok::kPlus;
+            ++pos_;
+            break;
+          case '-':
+            t.kind = Tok::kMinus;
+            ++pos_;
+            break;
+          case '/':
+            t.kind = Tok::kSlash;
+            ++pos_;
+            break;
+          case '<':
+            ++pos_;
+            if (pos_ < src_.size() && src_[pos_] == '=') {
+              t.kind = Tok::kLe;
+              ++pos_;
+            } else if (pos_ < src_.size() && src_[pos_] == '>') {
+              t.kind = Tok::kNe;
+              ++pos_;
+            } else {
+              t.kind = Tok::kLt;
+            }
+            break;
+          case '>':
+            ++pos_;
+            if (pos_ < src_.size() && src_[pos_] == '=') {
+              t.kind = Tok::kGe;
+              ++pos_;
+            } else {
+              t.kind = Tok::kGt;
+            }
+            break;
+          case '=':
+            t.kind = Tok::kEq;
+            ++pos_;
+            break;
+          case '!':
+            ++pos_;
+            if (pos_ < src_.size() && src_[pos_] == '=') {
+              t.kind = Tok::kNe;
+              ++pos_;
+            } else {
+              return Err("expected != ");
+            }
+            break;
+          default:
+            return Err(std::string("unexpected character '") + c + "'");
+        }
+      }
+      out.push_back(std::move(t));
+    }
+    Token end;
+    end.kind = Tok::kEnd;
+    end.pos = src_.size();
+    out.push_back(end);
+    return out;
+  }
+
+ private:
+  Status Err(const std::string& msg) {
+    return Status::InvalidArgument(msg + " at position " +
+                                   std::to_string(pos_));
+  }
+  const std::string& src_;
+  size_t pos_ = 0;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : toks_(std::move(tokens)) {}
+
+  Result<ParsedQuery> Run() {
+    ParsedQuery q;
+    auto first = ParseSelect();
+    if (!first.ok()) return first.status();
+    q.first = std::move(first).value();
+    while (IsKeyword("union") || IsKeyword("intersect") ||
+           IsKeyword("except")) {
+      SetOp op = IsKeyword("union")
+                     ? SetOp::kUnion
+                     : (IsKeyword("intersect") ? SetOp::kIntersect
+                                               : SetOp::kExcept);
+      Advance();
+      auto next = ParseSelect();
+      if (!next.ok()) return next.status();
+      q.rest.emplace_back(op, std::move(next).value());
+    }
+    if (Cur().kind != Tok::kEnd) return Err("trailing tokens");
+    return q;
+  }
+
+ private:
+  const Token& Cur() const { return toks_[i_]; }
+  void Advance() { ++i_; }
+  bool IsKeyword(const char* kw) const {
+    return Cur().kind == Tok::kIdent && Cur().text == kw;
+  }
+  Status Err(const std::string& msg) const {
+    return Status::InvalidArgument(msg + " at position " +
+                                   std::to_string(Cur().pos));
+  }
+  Status Expect(Tok kind, const char* what) {
+    if (Cur().kind != kind) return Err(std::string("expected ") + what);
+    Advance();
+    return Status::OK();
+  }
+
+  Result<SelectQuery> ParseSelect() {
+    SelectQuery s;
+    if (!IsKeyword("select")) return Err("expected SELECT");
+    Advance();
+
+    // Projection.
+    if (Cur().kind == Tok::kStar) {
+      Advance();
+    } else if (Cur().kind == Tok::kIdent &&
+               (Cur().text == "count" || Cur().text == "min" ||
+                Cur().text == "max" || Cur().text == "avg" ||
+                Cur().text == "sum") &&
+               toks_[i_ + 1].kind == Tok::kLParen) {
+      std::string fn = Cur().text;
+      Advance();
+      Advance();  // '('
+      if (fn == "count") {
+        s.agg = AggFunc::kCount;
+        if (Cur().kind == Tok::kStar) {
+          Advance();
+        } else if (Cur().kind == Tok::kIdent) {
+          s.agg_attr = Cur().text;
+          Advance();
+        }
+      } else {
+        if (Cur().kind != Tok::kIdent) return Err("expected attribute");
+        s.agg_attr = Cur().text;
+        Advance();
+        if (fn == "min") s.agg = AggFunc::kMin;
+        if (fn == "max") s.agg = AggFunc::kMax;
+        if (fn == "avg") s.agg = AggFunc::kAvg;
+        if (fn == "sum") s.agg = AggFunc::kSum;
+      }
+      SDSS_RETURN_IF_ERROR(Expect(Tok::kRParen, ")"));
+    } else {
+      for (;;) {
+        if (Cur().kind != Tok::kIdent) return Err("expected attribute name");
+        s.projection.push_back(Cur().text);
+        Advance();
+        if (Cur().kind != Tok::kComma) break;
+        Advance();
+      }
+    }
+
+    if (!IsKeyword("from")) return Err("expected FROM");
+    Advance();
+    if (IsKeyword("photo")) {
+      s.table = TableRef::kPhoto;
+    } else if (IsKeyword("tag")) {
+      s.table = TableRef::kTag;
+    } else {
+      return Err("expected table PHOTO or TAG");
+    }
+    Advance();
+
+    if (IsKeyword("where")) {
+      Advance();
+      auto e = ParseExpr();
+      if (!e.ok()) return e.status();
+      s.where = std::move(e).value();
+    }
+    if (IsKeyword("order")) {
+      Advance();
+      if (!IsKeyword("by")) return Err("expected BY");
+      Advance();
+      if (Cur().kind != Tok::kIdent) return Err("expected attribute");
+      s.has_order = true;
+      s.order_by = Cur().text;
+      Advance();
+      if (IsKeyword("asc")) {
+        Advance();
+      } else if (IsKeyword("desc")) {
+        s.order_desc = true;
+        Advance();
+      }
+    }
+    if (IsKeyword("limit")) {
+      Advance();
+      if (Cur().kind != Tok::kNumber) return Err("expected LIMIT count");
+      s.limit = static_cast<int64_t>(Cur().number);
+      Advance();
+    }
+    if (IsKeyword("sample")) {
+      Advance();
+      if (Cur().kind != Tok::kNumber) return Err("expected SAMPLE fraction");
+      s.sample = Cur().number;
+      if (s.sample <= 0.0 || s.sample > 1.0) {
+        return Err("SAMPLE fraction must be in (0, 1]");
+      }
+      Advance();
+    }
+    return s;
+  }
+
+  // expr := and_expr (OR and_expr)*
+  Result<Expr::Ptr> ParseExpr() {
+    auto lhs = ParseAnd();
+    if (!lhs.ok()) return lhs;
+    Expr::Ptr e = std::move(lhs).value();
+    while (IsKeyword("or")) {
+      Advance();
+      auto rhs = ParseAnd();
+      if (!rhs.ok()) return rhs;
+      e = Expr::Binary(BinOp::kOr, e, std::move(rhs).value());
+    }
+    return e;
+  }
+
+  Result<Expr::Ptr> ParseAnd() {
+    auto lhs = ParseNot();
+    if (!lhs.ok()) return lhs;
+    Expr::Ptr e = std::move(lhs).value();
+    while (IsKeyword("and")) {
+      Advance();
+      auto rhs = ParseNot();
+      if (!rhs.ok()) return rhs;
+      e = Expr::Binary(BinOp::kAnd, e, std::move(rhs).value());
+    }
+    return e;
+  }
+
+  Result<Expr::Ptr> ParseNot() {
+    if (IsKeyword("not")) {
+      Advance();
+      auto operand = ParseNot();
+      if (!operand.ok()) return operand;
+      return Expr::Not(std::move(operand).value());
+    }
+    return ParseComparison();
+  }
+
+  Result<Expr::Ptr> ParseComparison() {
+    auto lhs = ParseAdditive();
+    if (!lhs.ok()) return lhs;
+    Expr::Ptr e = std::move(lhs).value();
+    BinOp op;
+    switch (Cur().kind) {
+      case Tok::kLt:
+        op = BinOp::kLt;
+        break;
+      case Tok::kLe:
+        op = BinOp::kLe;
+        break;
+      case Tok::kGt:
+        op = BinOp::kGt;
+        break;
+      case Tok::kGe:
+        op = BinOp::kGe;
+        break;
+      case Tok::kEq:
+        op = BinOp::kEq;
+        break;
+      case Tok::kNe:
+        op = BinOp::kNe;
+        break;
+      default:
+        return e;
+    }
+    Advance();
+    auto rhs = ParseAdditive();
+    if (!rhs.ok()) return rhs;
+    return Expr::Binary(op, e, std::move(rhs).value());
+  }
+
+  Result<Expr::Ptr> ParseAdditive() {
+    auto lhs = ParseMultiplicative();
+    if (!lhs.ok()) return lhs;
+    Expr::Ptr e = std::move(lhs).value();
+    for (;;) {
+      if (Cur().kind == Tok::kPlus) {
+        Advance();
+        auto rhs = ParseMultiplicative();
+        if (!rhs.ok()) return rhs;
+        e = Expr::Binary(BinOp::kAdd, e, std::move(rhs).value());
+      } else if (Cur().kind == Tok::kMinus) {
+        Advance();
+        auto rhs = ParseMultiplicative();
+        if (!rhs.ok()) return rhs;
+        e = Expr::Binary(BinOp::kSub, e, std::move(rhs).value());
+      } else {
+        return e;
+      }
+    }
+  }
+
+  Result<Expr::Ptr> ParseMultiplicative() {
+    auto lhs = ParseUnary();
+    if (!lhs.ok()) return lhs;
+    Expr::Ptr e = std::move(lhs).value();
+    for (;;) {
+      if (Cur().kind == Tok::kStar) {
+        Advance();
+        auto rhs = ParseUnary();
+        if (!rhs.ok()) return rhs;
+        e = Expr::Binary(BinOp::kMul, e, std::move(rhs).value());
+      } else if (Cur().kind == Tok::kSlash) {
+        Advance();
+        auto rhs = ParseUnary();
+        if (!rhs.ok()) return rhs;
+        e = Expr::Binary(BinOp::kDiv, e, std::move(rhs).value());
+      } else {
+        return e;
+      }
+    }
+  }
+
+  Result<Expr::Ptr> ParseUnary() {
+    if (Cur().kind == Tok::kMinus) {
+      Advance();
+      auto operand = ParseUnary();
+      if (!operand.ok()) return operand;
+      return Expr::Neg(std::move(operand).value());
+    }
+    return ParsePrimary();
+  }
+
+  // Parses the argument list of a spatial atom: an optional leading frame
+  // string followed by `n` numeric literals (possibly signed).
+  Result<std::vector<double>> SpatialArgs(size_t n, Frame* frame) {
+    SDSS_RETURN_IF_ERROR(Expect(Tok::kLParen, "("));
+    *frame = Frame::kEquatorial;
+    if (Cur().kind == Tok::kString) {
+      auto f = FrameFromName(Cur().text);
+      if (!f.ok()) return f.status();
+      *frame = *f;
+      Advance();
+      SDSS_RETURN_IF_ERROR(Expect(Tok::kComma, ","));
+    }
+    std::vector<double> args;
+    for (size_t k = 0; k < n; ++k) {
+      double sign = 1.0;
+      if (Cur().kind == Tok::kMinus) {
+        sign = -1.0;
+        Advance();
+      }
+      if (Cur().kind != Tok::kNumber) return Err("expected number");
+      args.push_back(sign * Cur().number);
+      Advance();
+      if (k + 1 < n) SDSS_RETURN_IF_ERROR(Expect(Tok::kComma, ","));
+    }
+    SDSS_RETURN_IF_ERROR(Expect(Tok::kRParen, ")"));
+    return args;
+  }
+
+  Result<Expr::Ptr> ParsePrimary() {
+    if (Cur().kind == Tok::kNumber) {
+      double v = Cur().number;
+      Advance();
+      return Expr::Literal(v);
+    }
+    if (Cur().kind == Tok::kString) {
+      // Class-name literal: 'GALAXY' -> numeric enum value.
+      auto cls = catalog::ObjClassFromName(Cur().text);
+      if (!cls.ok()) return cls.status();
+      Advance();
+      return Expr::Literal(static_cast<double>(*cls));
+    }
+    if (Cur().kind == Tok::kLParen) {
+      Advance();
+      auto e = ParseExpr();
+      if (!e.ok()) return e;
+      SDSS_RETURN_IF_ERROR(Expect(Tok::kRParen, ")"));
+      return e;
+    }
+    if (Cur().kind == Tok::kIdent) {
+      std::string name = Cur().text;
+      if (name == "circle" && toks_[i_ + 1].kind == Tok::kLParen) {
+        Advance();
+        Frame frame;
+        auto args = SpatialArgs(3, &frame);
+        if (!args.ok()) return args.status();
+        char desc[96];
+        std::snprintf(desc, sizeof(desc), "CIRCLE[%s](%g,%g,%g)",
+                      FrameName(frame), (*args)[0], (*args)[1], (*args)[2]);
+        return Expr::Spatial(
+            htm::Region::Circle((*args)[0], (*args)[1], (*args)[2], frame),
+            desc);
+      }
+      if (name == "rect" && toks_[i_ + 1].kind == Tok::kLParen) {
+        Advance();
+        Frame frame;
+        auto args = SpatialArgs(4, &frame);
+        if (!args.ok()) return args.status();
+        char desc[112];
+        std::snprintf(desc, sizeof(desc), "RECT[%s](%g,%g,%g,%g)",
+                      FrameName(frame), (*args)[0], (*args)[1], (*args)[2],
+                      (*args)[3]);
+        return Expr::Spatial(
+            htm::Region::Rect((*args)[0], (*args)[1], (*args)[2], (*args)[3],
+                              frame),
+            desc);
+      }
+      if (name == "band" && toks_[i_ + 1].kind == Tok::kLParen) {
+        Advance();
+        Frame frame;
+        auto args = SpatialArgs(2, &frame);
+        if (!args.ok()) return args.status();
+        char desc[96];
+        std::snprintf(desc, sizeof(desc), "BAND[%s](%g,%g)",
+                      FrameName(frame), (*args)[0], (*args)[1]);
+        return Expr::Spatial(
+            htm::Region::LatBand((*args)[0], (*args)[1], frame), desc);
+      }
+      Advance();
+      return Expr::Attr(name);
+    }
+    return Err("expected expression");
+  }
+
+  std::vector<Token> toks_;
+  size_t i_ = 0;
+};
+
+}  // namespace
+
+const char* AggFuncName(AggFunc f) {
+  switch (f) {
+    case AggFunc::kNone:
+      return "NONE";
+    case AggFunc::kCount:
+      return "COUNT";
+    case AggFunc::kMin:
+      return "MIN";
+    case AggFunc::kMax:
+      return "MAX";
+    case AggFunc::kAvg:
+      return "AVG";
+    case AggFunc::kSum:
+      return "SUM";
+  }
+  return "?";
+}
+
+const char* SetOpName(SetOp op) {
+  switch (op) {
+    case SetOp::kUnion:
+      return "UNION";
+    case SetOp::kIntersect:
+      return "INTERSECT";
+    case SetOp::kExcept:
+      return "EXCEPT";
+  }
+  return "?";
+}
+
+Result<ParsedQuery> Parse(const std::string& sql) {
+  Lexer lexer(sql);
+  auto tokens = lexer.Run();
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(std::move(tokens).value());
+  return parser.Run();
+}
+
+}  // namespace sdss::query

@@ -1,0 +1,80 @@
+// The archive query language: a small SQL dialect with first-class
+// spatial predicates, parsed into select + set-operation trees ("Each
+// query received from the User Interface is parsed into a Query
+// Execution Tree").
+//
+// Grammar (case-insensitive keywords):
+//
+//   query       := select ( (UNION | INTERSECT | EXCEPT) select )*
+//   select      := SELECT proj FROM table [WHERE expr]
+//                  [ORDER BY ident [ASC|DESC]] [LIMIT int] [SAMPLE frac]
+//   proj        := '*' | agg '(' (ident | '*') ')' | ident (',' ident)*
+//   agg         := COUNT | MIN | MAX | AVG | SUM
+//   table       := PHOTO | TAG
+//   expr        := boolean expression over attributes, numbers, + - * /,
+//                  comparisons, AND/OR/NOT, and the spatial atoms:
+//                    CIRCLE([frame,] lon, lat, radius_deg)
+//                    RECT([frame,] lon_min, lon_max, lat_min, lat_max)
+//                    BAND([frame,] lat_min, lat_max)
+//                  frame is an optional string: 'EQ' | 'GAL' | 'SGAL'.
+//   class names: class = 'GALAXY' | 'STAR' | 'QSO' parse to enum values.
+//
+// Example (the paper's quasar query, sans the neighbor join):
+//   SELECT obj_id, r FROM photo
+//   WHERE class = 'QSO' AND r < 22 AND CIRCLE('GAL', 0, 60, 10)
+
+#ifndef SDSS_QUERY_PARSER_H_
+#define SDSS_QUERY_PARSER_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/status.h"
+#include "query/expr.h"
+
+namespace sdss::query {
+
+/// Which physical table a select reads.
+enum class TableRef { kPhoto, kTag };
+
+/// Aggregate functions (at most one per select).
+enum class AggFunc { kNone, kCount, kMin, kMax, kAvg, kSum };
+
+const char* AggFuncName(AggFunc f);
+
+/// One SELECT block.
+struct SelectQuery {
+  TableRef table = TableRef::kPhoto;
+  /// Projected attribute names; empty with agg == kNone means SELECT *.
+  std::vector<std::string> projection;
+  AggFunc agg = AggFunc::kNone;
+  std::string agg_attr;  ///< Empty for COUNT(*).
+  Expr::Ptr where;       ///< Null = no predicate.
+  bool has_order = false;
+  std::string order_by;
+  bool order_desc = false;
+  int64_t limit = -1;    ///< -1 = unlimited.
+  double sample = 1.0;   ///< Bernoulli sampling fraction (SAMPLE clause).
+};
+
+/// Set operations combining selects, left-associative.
+enum class SetOp { kUnion, kIntersect, kExcept };
+
+const char* SetOpName(SetOp op);
+
+/// A full parsed query.
+struct ParsedQuery {
+  SelectQuery first;
+  std::vector<std::pair<SetOp, SelectQuery>> rest;
+
+  bool IsSetQuery() const { return !rest.empty(); }
+};
+
+/// Parses a query string. Errors carry position context.
+Result<ParsedQuery> Parse(const std::string& sql);
+
+}  // namespace sdss::query
+
+#endif  // SDSS_QUERY_PARSER_H_

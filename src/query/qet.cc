@@ -1,0 +1,325 @@
+#include "query/qet.h"
+
+#include <algorithm>
+
+#include "catalog/photo_obj.h"
+
+namespace sdss::query {
+
+// ---------------------------------------------------------------------
+// RowChannel
+
+void RowChannel::AddWriter() {
+  std::unique_lock<std::mutex> lock(mu_);
+  ++writers_;
+}
+
+void RowChannel::CloseWriter() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (--writers_ == 0) cv_pop_.notify_all();
+}
+
+bool RowChannel::Push(RowBatch batch) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_push_.wait(lock,
+                [this] { return cancelled_ || queue_.size() < capacity_; });
+  if (cancelled_) return false;
+  queue_.push_back(std::move(batch));
+  cv_pop_.notify_one();
+  return true;
+}
+
+bool RowChannel::Pop(RowBatch* batch) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_pop_.wait(lock, [this] {
+    return cancelled_ || !queue_.empty() || writers_ == 0;
+  });
+  if (cancelled_) return false;
+  if (queue_.empty()) return false;  // writers_ == 0: end of stream.
+  *batch = std::move(queue_.front());
+  queue_.pop_front();
+  cv_push_.notify_one();
+  return true;
+}
+
+void RowChannel::Cancel() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cancelled_ = true;
+  queue_.clear();
+  cv_push_.notify_all();
+  cv_pop_.notify_all();
+}
+
+bool RowChannel::cancelled() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return cancelled_;
+}
+
+// ---------------------------------------------------------------------
+// Plan explanation
+
+const char* PlanNodeTypeName(PlanNodeType t) {
+  switch (t) {
+    case PlanNodeType::kScan:
+      return "SCAN";
+    case PlanNodeType::kUnion:
+      return "UNION";
+    case PlanNodeType::kIntersect:
+      return "INTERSECT";
+    case PlanNodeType::kDifference:
+      return "DIFFERENCE";
+    case PlanNodeType::kSort:
+      return "SORT";
+    case PlanNodeType::kLimit:
+      return "LIMIT";
+    case PlanNodeType::kAggregate:
+      return "AGGREGATE";
+  }
+  return "?";
+}
+
+std::string PlanNode::Explain(int indent) const {
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  std::string out = pad + PlanNodeTypeName(type);
+  switch (type) {
+    case PlanNodeType::kScan:
+      out += table == TableRef::kTag ? " tag" : " photo";
+      if (has_region) out += " [spatially pruned]";
+      if (predicate) out += " where " + predicate->ToString();
+      if (sample < 1.0) {
+        out += " sample " + std::to_string(sample);
+      }
+      break;
+    case PlanNodeType::kSort:
+      out += " by column " + std::to_string(sort_column) +
+             (sort_desc ? " desc" : " asc");
+      break;
+    case PlanNodeType::kLimit:
+      out += " " + std::to_string(limit);
+      break;
+    case PlanNodeType::kAggregate:
+      out += std::string(" ") + AggFuncName(agg);
+      break;
+    default:
+      break;
+  }
+  out += "\n";
+  for (const auto& c : children) out += c->Explain(indent + 1);
+  return out;
+}
+
+std::string Plan::Explain() const {
+  std::string out = root ? root->Explain() : "<empty>\n";
+  out += used_tag_store ? "store: tag partition\n" : "store: full photo\n";
+  out += used_spatial_index ? "index: HTM cover\n" : "index: none\n";
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// Planner
+
+namespace {
+
+// Attributes a select needs: projection + predicate + order key.
+std::vector<std::string> ReferencedAttrs(const SelectQuery& s) {
+  std::vector<std::string> attrs = s.projection;
+  if (s.where) s.where->CollectAttrs(&attrs);
+  if (s.has_order &&
+      std::find(attrs.begin(), attrs.end(), s.order_by) == attrs.end()) {
+    attrs.push_back(s.order_by);
+  }
+  if (!s.agg_attr.empty() &&
+      std::find(attrs.begin(), attrs.end(), s.agg_attr) == attrs.end()) {
+    attrs.push_back(s.agg_attr);
+  }
+  // Deduplicate, preserving order.
+  std::vector<std::string> out;
+  for (auto& a : attrs) {
+    if (std::find(out.begin(), out.end(), a) == out.end()) out.push_back(a);
+  }
+  return out;
+}
+
+Status ValidateAttrs(const std::vector<std::string>& attrs, TableRef table) {
+  for (const std::string& a : attrs) {
+    if (table == TableRef::kTag) {
+      if (!catalog::IsTagAttribute(a)) {
+        return Status::InvalidArgument("attribute not in tag objects: " + a);
+      }
+    } else {
+      const auto& names = catalog::PhotoAttributeNames();
+      if (std::find(names.begin(), names.end(), a) == names.end()) {
+        return Status::InvalidArgument("unknown attribute: " + a);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+// Builds the scan (+sort +limit) subtree for one select block.
+Result<std::unique_ptr<PlanNode>> PlanSelect(const SelectQuery& s,
+                                             const PlannerOptions& options,
+                                             bool* used_tag,
+                                             bool* used_index,
+                                             std::vector<std::string>* cols) {
+  std::vector<std::string> attrs = ReferencedAttrs(s);
+
+  TableRef table = s.table;
+  if (options.auto_tag_selection && table == TableRef::kPhoto) {
+    bool all_tag = true;
+    for (const std::string& a : attrs) {
+      if (!catalog::IsTagAttribute(a)) {
+        all_tag = false;
+        break;
+      }
+    }
+    if (all_tag) table = TableRef::kTag;
+  }
+  SDSS_RETURN_IF_ERROR(ValidateAttrs(attrs, table));
+  *used_tag = table == TableRef::kTag;
+
+  // Projection: explicit attributes, or every attribute of the table for
+  // SELECT * (aggregates project only what they fold).
+  std::vector<std::string> projection = s.projection;
+  if (projection.empty() && s.agg == AggFunc::kNone) {
+    if (table == TableRef::kTag) {
+      projection = {"cx", "cy", "cz", "u", "g", "r", "i", "z",
+                    "size", "class"};
+    } else {
+      projection = catalog::PhotoAttributeNames();
+    }
+  }
+  if (s.agg != AggFunc::kNone && !s.agg_attr.empty()) {
+    projection = {s.agg_attr};
+  }
+  // ORDER BY key must be projected; append as a hidden trailing column if
+  // missing (reported in `cols` so callers can see it).
+  size_t order_col = 0;
+  if (s.has_order) {
+    auto it = std::find(projection.begin(), projection.end(), s.order_by);
+    if (it == projection.end()) {
+      projection.push_back(s.order_by);
+      order_col = projection.size() - 1;
+    } else {
+      order_col = static_cast<size_t>(it - projection.begin());
+    }
+  }
+
+  auto scan = std::make_unique<PlanNode>();
+  scan->type = PlanNodeType::kScan;
+  scan->table = table;
+  scan->predicate = s.where;
+  scan->projection = projection;
+  scan->sample = s.sample;
+  if (options.use_spatial_index && s.where) {
+    htm::Region region;
+    if (ExtractRegion(s.where, &region)) {
+      scan->has_region = true;
+      scan->region = std::move(region);
+      *used_index = true;
+    }
+  }
+
+  std::unique_ptr<PlanNode> node = std::move(scan);
+  if (s.has_order) {
+    auto sort = std::make_unique<PlanNode>();
+    sort->type = PlanNodeType::kSort;
+    sort->sort_column = order_col;
+    sort->sort_desc = s.order_desc;
+    sort->children.push_back(std::move(node));
+    node = std::move(sort);
+  }
+  if (s.limit >= 0) {
+    auto limit = std::make_unique<PlanNode>();
+    limit->type = PlanNodeType::kLimit;
+    limit->limit = s.limit;
+    limit->children.push_back(std::move(node));
+    node = std::move(limit);
+  }
+  *cols = projection;
+  return node;
+}
+
+}  // namespace
+
+Result<Plan> BuildPlan(const ParsedQuery& query,
+                       const catalog::ObjectStore& store,
+                       const PlannerOptions& options) {
+  Plan plan;
+
+  bool used_tag = false, used_index = false;
+  std::vector<std::string> cols;
+  auto first = PlanSelect(query.first, options, &used_tag, &used_index,
+                          &cols);
+  if (!first.ok()) return first.status();
+  plan.columns = cols;
+  plan.used_tag_store = used_tag;
+
+  std::unique_ptr<PlanNode> root = std::move(first).value();
+
+  for (const auto& [op, select] : query.rest) {
+    bool tag2 = false, index2 = false;
+    std::vector<std::string> cols2;
+    auto sub = PlanSelect(select, options, &tag2, &index2, &cols2);
+    if (!sub.ok()) return sub.status();
+    if (cols2.size() != plan.columns.size()) {
+      return Status::InvalidArgument(
+          "set-operation branches project different column counts");
+    }
+    used_index = used_index || index2;
+    plan.used_tag_store = plan.used_tag_store && tag2;
+
+    auto set = std::make_unique<PlanNode>();
+    switch (op) {
+      case SetOp::kUnion:
+        set->type = PlanNodeType::kUnion;
+        break;
+      case SetOp::kIntersect:
+        set->type = PlanNodeType::kIntersect;
+        break;
+      case SetOp::kExcept:
+        set->type = PlanNodeType::kDifference;
+        break;
+    }
+    set->children.push_back(std::move(root));
+    set->children.push_back(std::move(sub).value());
+    root = std::move(set);
+  }
+
+  if (query.first.agg != AggFunc::kNone) {
+    auto agg = std::make_unique<PlanNode>();
+    agg->type = PlanNodeType::kAggregate;
+    agg->agg = query.first.agg;
+    agg->children.push_back(std::move(root));
+    root = std::move(agg);
+    plan.is_aggregate = true;
+    plan.columns = {std::string(AggFuncName(query.first.agg)) +
+                    (query.first.agg_attr.empty()
+                         ? "(*)"
+                         : "(" + query.first.agg_attr + ")")};
+  }
+
+  plan.used_spatial_index = used_index;
+
+  // Density-map prediction for the first scan (the paper's output-volume
+  // estimate). Walk down to the leftmost scan node.
+  const PlanNode* scan = root.get();
+  while (scan != nullptr && scan->type != PlanNodeType::kScan) {
+    scan = scan->children.empty() ? nullptr : scan->children[0].get();
+  }
+  if (scan != nullptr && scan->has_region) {
+    plan.prediction = store.PredictRegion(scan->region);
+  } else {
+    catalog::StoreStats stats = store.Stats();
+    plan.prediction.min_objects = 0;
+    plan.prediction.max_objects = stats.object_count;
+    plan.prediction.expected_objects =
+        static_cast<double>(stats.object_count);
+    plan.prediction.bytes_to_scan = stats.full_bytes;
+  }
+
+  plan.root = std::move(root);
+  return plan;
+}
+
+}  // namespace sdss::query

@@ -1,0 +1,153 @@
+// The Query Execution Tree (QET).
+//
+// The paper: "Each query received from the User Interface is parsed into
+// a Query Execution Tree (QET) that is then executed by the Query Engine.
+// Each node of the QET is either a query or a set-operation node, and
+// returns a bag of object-pointers upon execution. The multi-threaded
+// Query Engine executes in parallel at all the nodes at a given level of
+// the QET. Results from child nodes are passed up the tree as soon as
+// they are generated" (the ASAP push strategy), with sort / aggregation /
+// intersection / difference nodes blocking on one side.
+//
+// This header defines the plan-node tree, the row/channel plumbing the
+// executor streams batches through, and the planner that lowers a parsed
+// query onto a specific ObjectStore (spatial cover extraction, tag-store
+// selection, and the density-map cost prediction).
+
+#ifndef SDSS_QUERY_QET_H_
+#define SDSS_QUERY_QET_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "catalog/object_store.h"
+#include "query/parser.h"
+
+namespace sdss::query {
+
+/// One result row: the object pointer plus projected attribute values.
+struct ResultRow {
+  uint64_t obj_id = 0;
+  std::vector<double> values;
+};
+
+using RowBatch = std::vector<ResultRow>;
+
+/// A bounded multi-producer single-consumer batch channel implementing
+/// the ASAP data push between QET nodes. Producers block when the
+/// channel is full; the consumer can cancel to abort upstream work
+/// (LIMIT early-out).
+class RowChannel {
+ public:
+  explicit RowChannel(size_t max_batches = 64) : capacity_(max_batches) {}
+
+  /// Registers a producer. Must be balanced by CloseWriter().
+  void AddWriter();
+
+  /// Producer is done; the last CloseWriter wakes the consumer for EOF.
+  void CloseWriter();
+
+  /// Pushes a batch; blocks while full. Returns false if the channel was
+  /// cancelled (producer should stop generating).
+  bool Push(RowBatch batch);
+
+  /// Pops the next batch; blocks until data, EOF, or cancel. Returns
+  /// false on end-of-stream.
+  bool Pop(RowBatch* batch);
+
+  /// Consumer aborts: unblocks and fails all further Push calls.
+  void Cancel();
+
+  bool cancelled() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_push_;
+  std::condition_variable cv_pop_;
+  std::deque<RowBatch> queue_;
+  size_t capacity_;
+  int writers_ = 0;
+  bool cancelled_ = false;
+};
+
+/// QET node types: one scan ("query node") plus the paper's set-operation
+/// and blocking node kinds.
+enum class PlanNodeType {
+  kScan,        ///< Leaf: container-pruned store scan with predicate.
+  kUnion,       ///< Bag union (dedup by obj_id); streams both sides ASAP.
+  kIntersect,   ///< Blocking on the right side, then streams the left.
+  kDifference,  ///< Blocking on the right side, then streams the left.
+  kSort,        ///< Blocking: drains child, sorts, then streams.
+  kLimit,       ///< Streaming with early-out cancellation.
+  kAggregate,   ///< Blocking: folds child stream to one row.
+};
+
+const char* PlanNodeTypeName(PlanNodeType t);
+
+/// A node of the QET.
+struct PlanNode {
+  PlanNodeType type = PlanNodeType::kScan;
+  std::vector<std::unique_ptr<PlanNode>> children;
+
+  // -- kScan ---------------------------------------------------------
+  TableRef table = TableRef::kPhoto;
+  Expr::Ptr predicate;                 ///< Null = accept all.
+  bool has_region = false;
+  htm::Region region;                  ///< Container-pruning bound.
+  std::vector<std::string> projection; ///< Output column names.
+  double sample = 1.0;                 ///< Bernoulli sampling fraction.
+  uint64_t sample_seed = 7777;
+
+  // -- kSort ---------------------------------------------------------
+  size_t sort_column = 0;
+  bool sort_desc = false;
+
+  // -- kLimit --------------------------------------------------------
+  int64_t limit = -1;
+
+  // -- kAggregate ----------------------------------------------------
+  AggFunc agg = AggFunc::kNone;
+
+  /// Indented plan explanation (EXPLAIN output).
+  std::string Explain(int indent = 0) const;
+};
+
+/// A complete physical plan.
+struct Plan {
+  std::unique_ptr<PlanNode> root;
+  std::vector<std::string> columns;  ///< Output column names.
+  bool is_aggregate = false;
+
+  /// Planner decisions, for instrumentation.
+  bool used_tag_store = false;
+  bool used_spatial_index = false;
+  catalog::ObjectStore::Prediction prediction;  ///< Density-map estimate.
+
+  std::string Explain() const;
+};
+
+/// Planner options.
+struct PlannerOptions {
+  /// Rewrite photo-table selects onto the tag vertical partition when
+  /// every referenced attribute lives in the tag (the paper's "searched
+  /// more than 10 times faster" path).
+  bool auto_tag_selection = true;
+
+  /// Extract spatial atoms into an HTM cover for container pruning. Off
+  /// = full scan (the baseline of the C7 benchmark).
+  bool use_spatial_index = true;
+};
+
+/// Lowers a parsed query against a store. Fails on unknown attributes.
+Result<Plan> BuildPlan(const ParsedQuery& query,
+                       const catalog::ObjectStore& store,
+                       const PlannerOptions& options = {});
+
+}  // namespace sdss::query
+
+#endif  // SDSS_QUERY_QET_H_

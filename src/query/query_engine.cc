@@ -1,0 +1,67 @@
+#include "query/query_engine.h"
+
+#include <cstdio>
+
+namespace sdss::query {
+
+QueryEngine::QueryEngine(const catalog::ObjectStore* store, Options options)
+    : store_(store),
+      options_(options),
+      executor_(store, options.executor) {}
+
+Result<QueryResult> QueryEngine::Execute(const std::string& sql) {
+  auto parsed = Parse(sql);
+  if (!parsed.ok()) return parsed.status();
+  auto plan = BuildPlan(*parsed, *store_, options_.planner);
+  if (!plan.ok()) return plan.status();
+
+  QueryResult result;
+  result.columns = plan->columns;
+  result.is_aggregate = plan->is_aggregate;
+  result.prediction = plan->prediction;
+  result.used_tag_store = plan->used_tag_store;
+  result.used_spatial_index = plan->used_spatial_index;
+
+  auto stats = executor_.Run(*plan, [&result](const RowBatch& batch) {
+    result.rows.insert(result.rows.end(), batch.begin(), batch.end());
+    return true;
+  });
+  if (!stats.ok()) return stats.status();
+  result.exec = *stats;
+  if (result.is_aggregate && !result.rows.empty() &&
+      !result.rows[0].values.empty()) {
+    result.aggregate_value = result.rows[0].values[0];
+  }
+  return result;
+}
+
+Result<ExecStats> QueryEngine::ExecuteStreaming(
+    const std::string& sql,
+    const std::function<bool(const RowBatch&)>& on_batch) {
+  auto parsed = Parse(sql);
+  if (!parsed.ok()) return parsed.status();
+  auto plan = BuildPlan(*parsed, *store_, options_.planner);
+  if (!plan.ok()) return plan.status();
+  return executor_.Run(*plan, on_batch);
+}
+
+Result<std::string> QueryEngine::Explain(const std::string& sql) {
+  auto parsed = Parse(sql);
+  if (!parsed.ok()) return parsed.status();
+  auto plan = BuildPlan(*parsed, *store_, options_.planner);
+  if (!plan.ok()) return plan.status();
+  std::string out = plan->Explain();
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "prediction: %.0f objects expected [%llu, %llu], %llu bytes "
+                "to scan\n",
+                plan->prediction.expected_objects,
+                static_cast<unsigned long long>(plan->prediction.min_objects),
+                static_cast<unsigned long long>(plan->prediction.max_objects),
+                static_cast<unsigned long long>(
+                    plan->prediction.bytes_to_scan));
+  out += buf;
+  return out;
+}
+
+}  // namespace sdss::query

@@ -1,0 +1,64 @@
+// The top-level query interface of the Science Archive: SQL in, rows (or
+// an aggregate) out, with plan explanation, density-map predictions, and
+// ASAP streaming execution.
+
+#ifndef SDSS_QUERY_QUERY_ENGINE_H_
+#define SDSS_QUERY_QUERY_ENGINE_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "catalog/object_store.h"
+#include "query/executor.h"
+#include "query/qet.h"
+
+namespace sdss::query {
+
+/// A fully materialized query answer.
+struct QueryResult {
+  std::vector<std::string> columns;
+  std::vector<ResultRow> rows;
+  bool is_aggregate = false;
+  double aggregate_value = 0.0;
+
+  ExecStats exec;
+  catalog::ObjectStore::Prediction prediction;
+  bool used_tag_store = false;
+  bool used_spatial_index = false;
+};
+
+/// Parses, plans, and executes queries against one ObjectStore.
+class QueryEngine {
+ public:
+  struct Options {
+    PlannerOptions planner;
+    Executor::Options executor;
+  };
+
+  explicit QueryEngine(const catalog::ObjectStore* store,
+                       Options options = {});
+
+  /// Runs `sql` to completion and materializes the result.
+  Result<QueryResult> Execute(const std::string& sql);
+
+  /// Streaming execution: `on_batch` sees batches in ASAP order and may
+  /// return false to cancel. Returns execution stats.
+  Result<ExecStats> ExecuteStreaming(
+      const std::string& sql,
+      const std::function<bool(const RowBatch&)>& on_batch);
+
+  /// The plan explanation (and predictions) without executing.
+  Result<std::string> Explain(const std::string& sql);
+
+  const Options& options() const { return options_; }
+
+ private:
+  const catalog::ObjectStore* store_;
+  Options options_;
+  Executor executor_;
+};
+
+}  // namespace sdss::query
+
+#endif  // SDSS_QUERY_QUERY_ENGINE_H_

@@ -1,0 +1,149 @@
+#include "archive/archive.h"
+
+#include <gtest/gtest.h>
+
+namespace sdss::archive {
+namespace {
+
+ArchivePipeline MakePipelineWithCampaign(int nights = 10,
+                                         uint64_t objects_per_night = 1000) {
+  ArchivePipeline p;
+  for (int n = 0; n < nights; ++n) {
+    EXPECT_TRUE(p.ObserveChunk(n, objects_per_night,
+                               objects_per_night * 1333,
+                               static_cast<SimSeconds>(n) * kSimDay)
+                    .ok());
+  }
+  return p;
+}
+
+TEST(ArchiveTest, TierNames) {
+  EXPECT_STREQ(TierName(Tier::kTelescope), "T");
+  EXPECT_STREQ(TierName(Tier::kOperational), "OA");
+  EXPECT_STREQ(TierName(Tier::kMasterScience), "MSA");
+  EXPECT_STREQ(TierName(Tier::kLocal), "LA");
+  EXPECT_STREQ(TierName(Tier::kMasterPublic), "MPA");
+  EXPECT_STREQ(TierName(Tier::kPublic), "PA");
+}
+
+TEST(ArchiveTest, ChunkFlowsThroughTiersInOrder) {
+  ArchivePipeline p;
+  ASSERT_TRUE(p.ObserveChunk(0, 100, 1000, 0.0).ok());
+  auto rec = p.GetChunk(0);
+  ASSERT_TRUE(rec.ok());
+  for (int t = 1; t < kNumTiers; ++t) {
+    EXPECT_GE(rec->visible_at[t], rec->visible_at[t - 1])
+        << TierName(static_cast<Tier>(t));
+  }
+}
+
+TEST(ArchiveTest, DefaultDelaysMatchFigure2) {
+  ArchivePipeline p;
+  ASSERT_TRUE(p.ObserveChunk(0, 100, 1000, 0.0).ok());
+  auto rec = p.GetChunk(0);
+  ASSERT_TRUE(rec.ok());
+  // 1 day to OA, +2 weeks to MSA, +2 weeks to LA.
+  EXPECT_DOUBLE_EQ(rec->visible_at[1], 1 * kSimDay);
+  EXPECT_DOUBLE_EQ(rec->visible_at[2], 15 * kSimDay);
+  EXPECT_DOUBLE_EQ(rec->visible_at[3], 29 * kSimDay);
+  // Public availability is ~1.5 years out.
+  auto latency = p.TimeToPublic(0);
+  ASSERT_TRUE(latency.ok());
+  EXPECT_GT(*latency, 365 * kSimDay);
+  EXPECT_LT(*latency, 2 * 365 * kSimDay);
+}
+
+TEST(ArchiveTest, DuplicateNightRejected) {
+  ArchivePipeline p;
+  ASSERT_TRUE(p.ObserveChunk(3, 10, 100, 0.0).ok());
+  EXPECT_EQ(p.ObserveChunk(3, 10, 100, 1.0).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(ArchiveTest, UnknownChunkIsNotFound) {
+  ArchivePipeline p;
+  EXPECT_EQ(p.GetChunk(9).status().code(), StatusCode::kNotFound);
+  EXPECT_FALSE(p.TimeToPublic(9).ok());
+}
+
+TEST(ArchiveTest, VisibilityGrowsNightByNight) {
+  ArchivePipeline p = MakePipelineWithCampaign(10, 1000);
+  // At the MSA, chunks appear 15 days after their observation night.
+  EXPECT_EQ(p.ObjectsVisible(Tier::kMasterScience, 14 * kSimDay), 0u);
+  EXPECT_EQ(p.ObjectsVisible(Tier::kMasterScience, 15 * kSimDay), 1000u);
+  EXPECT_EQ(p.ObjectsVisible(Tier::kMasterScience, 19 * kSimDay), 5000u);
+  EXPECT_EQ(p.ObjectsVisible(Tier::kMasterScience, 100 * kSimDay), 10000u);
+  // Nothing public until science verification completes.
+  EXPECT_EQ(p.ObjectsVisible(Tier::kPublic, 100 * kSimDay), 0u);
+  EXPECT_EQ(p.ObjectsVisible(Tier::kPublic, 600 * kSimDay), 10000u);
+}
+
+TEST(ArchiveTest, BytesVisibleTracksObjects) {
+  ArchivePipeline p = MakePipelineWithCampaign(4, 500);
+  EXPECT_EQ(p.BytesVisible(Tier::kMasterScience, 20 * kSimDay),
+            p.ObjectsVisible(Tier::kMasterScience, 20 * kSimDay) * 1333);
+}
+
+TEST(ArchiveTest, RecalibrationBumpsVersionAndRepublishes) {
+  ArchivePipeline p = MakePipelineWithCampaign(5, 100);
+  SimSeconds recal_time = 200 * kSimDay;
+  ASSERT_TRUE(p.Recalibrate(2, recal_time).ok());
+
+  auto rec = p.GetChunk(1);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->version, 2);
+  EXPECT_DOUBLE_EQ(
+      rec->visible_at[static_cast<int>(Tier::kMasterScience)], recal_time);
+  // Untouched chunks keep version 1.
+  EXPECT_EQ(p.GetChunk(4)->version, 1);
+}
+
+TEST(ArchiveTest, RecalibrateWithNoChunksFails) {
+  ArchivePipeline p;
+  EXPECT_EQ(p.Recalibrate(5, 0.0).code(), StatusCode::kNotFound);
+}
+
+TEST(ArchiveTest, EventsAreTimeOrdered) {
+  ArchivePipeline p = MakePipelineWithCampaign(6, 10);
+  ASSERT_TRUE(p.Recalibrate(3, 90 * kSimDay).ok());
+  auto events = p.Events();
+  EXPECT_GE(events.size(), 6u * 6u);
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].at, events[i].at);
+  }
+}
+
+TEST(ArchiveTest, LocalArchiveReplicationLag) {
+  ArchivePipeline p = MakePipelineWithCampaign(3, 100);
+  LocalArchiveSet sites({0.0, 2 * kSimDay, 7 * kSimDay});
+  EXPECT_EQ(sites.site_count(), 3u);
+  EXPECT_DOUBLE_EQ(sites.MaxLag(), 7 * kSimDay);
+
+  SimSeconds t = 15.5 * kSimDay;  // Only night 0 has reached the MSA.
+  EXPECT_EQ(sites.ObjectsVisible(p, 0, t), 100u);  // No lag: visible.
+  EXPECT_EQ(sites.ObjectsVisible(p, 1, t), 0u);    // 2-day lag: not yet.
+  EXPECT_EQ(sites.ObjectsVisible(p, 1, t + 2 * kSimDay), 100u);
+  EXPECT_EQ(sites.ObjectsVisible(p, 9, t), 0u);    // Unknown site.
+}
+
+TEST(ArchiveTest, CustomDelaysAreRespected) {
+  PipelineDelays fast;
+  fast.telescope_to_operational = 1.0;
+  fast.operational_to_master = 2.0;
+  fast.master_to_local = 3.0;
+  fast.master_to_master_public = 4.0;
+  fast.master_public_to_public = 5.0;
+  ArchivePipeline p(fast);
+  ASSERT_TRUE(p.ObserveChunk(0, 1, 1, 100.0).ok());
+  auto rec = p.GetChunk(0);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_DOUBLE_EQ(rec->visible_at[0], 100.0);
+  EXPECT_DOUBLE_EQ(rec->visible_at[1], 101.0);
+  EXPECT_DOUBLE_EQ(rec->visible_at[2], 103.0);
+  EXPECT_DOUBLE_EQ(rec->visible_at[3], 106.0);
+  EXPECT_DOUBLE_EQ(rec->visible_at[4], 107.0);
+  EXPECT_DOUBLE_EQ(rec->visible_at[5], 112.0);
+}
+
+}  // namespace
+}  // namespace sdss::archive

@@ -1,0 +1,184 @@
+#include "archive/replication.h"
+
+#include <gtest/gtest.h>
+
+#include "catalog/sky_generator.h"
+
+namespace sdss::archive {
+namespace {
+
+using catalog::ObjectStore;
+using catalog::SkyGenerator;
+using catalog::SkyModel;
+
+ObjectStore MakeStore() {
+  SkyModel m;
+  m.seed = 88;
+  m.num_galaxies = 8000;
+  m.num_stars = 5000;
+  m.num_quasars = 100;
+  ObjectStore store;
+  EXPECT_TRUE(store.BulkLoad(SkyGenerator(m).Generate()).ok());
+  return store;
+}
+
+ReplicationManager MakeManager(size_t servers = 10, size_t replicas = 2,
+                               ObjectStore* store_out = nullptr) {
+  static ObjectStore store = MakeStore();
+  ReplicationManager mgr(ReplicationOptions{servers, replicas});
+  EXPECT_TRUE(mgr.AssignFrom(store).ok());
+  if (store_out != nullptr) *store_out = store;  // Copy for inspection.
+  return mgr;
+}
+
+TEST(ReplicationTest, EveryContainerGetsKReplicas) {
+  ObjectStore store;
+  ReplicationManager mgr = MakeManager(10, 3, &store);
+  EXPECT_EQ(mgr.containers(), store.container_count());
+  for (const auto& [raw, c] : store.containers()) {
+    auto servers = mgr.ServersFor(raw);
+    ASSERT_TRUE(servers.ok());
+    EXPECT_EQ(servers->size(), 3u);
+    // Replicas live on distinct servers.
+    std::set<size_t> unique(servers->begin(), servers->end());
+    EXPECT_EQ(unique.size(), 3u);
+  }
+}
+
+TEST(ReplicationTest, UnknownContainerIsNotFound) {
+  ReplicationManager mgr = MakeManager();
+  EXPECT_EQ(mgr.ServersFor(1).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(mgr.RouteRead(1).status().code(), StatusCode::kNotFound);
+}
+
+TEST(ReplicationTest, PlacementIsBalanced) {
+  ReplicationManager mgr = MakeManager(10, 2);
+  PlacementStats stats = mgr.Stats();
+  EXPECT_GT(stats.total_bytes, 0u);
+  EXPECT_LT(stats.imbalance, 1.5);
+  EXPECT_GT(stats.min_server_bytes, 0u);
+}
+
+TEST(ReplicationTest, ReadsRoutePreferPrimary) {
+  ObjectStore store;
+  ReplicationManager mgr = MakeManager(10, 2, &store);
+  uint64_t raw = store.containers().begin()->first;
+  auto servers = mgr.ServersFor(raw);
+  ASSERT_TRUE(servers.ok());
+  auto route = mgr.RouteRead(raw);
+  ASSERT_TRUE(route.ok());
+  EXPECT_EQ(*route, (*servers)[0]);
+}
+
+TEST(ReplicationTest, SingleServerFailureKeepsEverythingAvailable) {
+  ObjectStore store;
+  ReplicationManager mgr = MakeManager(10, 2, &store);
+  ASSERT_TRUE(mgr.MarkServerDown(0).ok());
+  EXPECT_DOUBLE_EQ(mgr.AvailableFraction(), 1.0);
+  // Reads route around the failure.
+  for (const auto& [raw, c] : store.containers()) {
+    auto route = mgr.RouteRead(raw);
+    ASSERT_TRUE(route.ok());
+    EXPECT_NE(*route, 0u);
+  }
+}
+
+TEST(ReplicationTest, AdjacentDoubleFailureLosesSomeContainers) {
+  // Replicas are placed on consecutive servers, so taking down two
+  // adjacent servers kills both copies of some containers.
+  ReplicationManager mgr = MakeManager(10, 2);
+  ASSERT_TRUE(mgr.MarkServerDown(3).ok());
+  ASSERT_TRUE(mgr.MarkServerDown(4).ok());
+  EXPECT_LT(mgr.AvailableFraction(), 1.0);
+  EXPECT_GT(mgr.AvailableFraction(), 0.7);
+  // Recovery restores full availability.
+  ASSERT_TRUE(mgr.MarkServerUp(3).ok());
+  EXPECT_DOUBLE_EQ(mgr.AvailableFraction(), 1.0);
+}
+
+TEST(ReplicationTest, NonAdjacentDoubleFailureIsSurvivable) {
+  ReplicationManager mgr = MakeManager(10, 2);
+  ASSERT_TRUE(mgr.MarkServerDown(0).ok());
+  ASSERT_TRUE(mgr.MarkServerDown(5).ok());
+  EXPECT_DOUBLE_EQ(mgr.AvailableFraction(), 1.0);
+}
+
+TEST(ReplicationTest, RouteFailsWhenAllReplicasDown) {
+  ObjectStore store;
+  ReplicationManager mgr = MakeManager(10, 2, &store);
+  ASSERT_TRUE(mgr.MarkServerDown(3).ok());
+  ASSERT_TRUE(mgr.MarkServerDown(4).ok());
+  bool saw_unavailable = false;
+  for (const auto& [raw, c] : store.containers()) {
+    auto route = mgr.RouteRead(raw);
+    if (!route.ok()) {
+      EXPECT_EQ(route.status().code(), StatusCode::kResourceExhausted);
+      saw_unavailable = true;
+    }
+  }
+  EXPECT_TRUE(saw_unavailable);
+}
+
+TEST(ReplicationTest, HotContainerPromotionAddsReplicas) {
+  ObjectStore store;
+  ReplicationManager mgr = MakeManager(10, 2, &store);
+  // Heat up 5 containers heavily.
+  std::vector<uint64_t> hot;
+  for (const auto& [raw, c] : store.containers()) {
+    if (hot.size() >= 5) break;
+    hot.push_back(raw);
+    mgr.RecordAccess(raw, 1000);
+  }
+  ASSERT_TRUE(mgr.PromoteHotContainers(/*top_fraction=*/0.002, 2).ok());
+  // At least the hottest container gained replicas.
+  size_t grown = 0;
+  for (uint64_t raw : hot) {
+    auto servers = mgr.ServersFor(raw);
+    ASSERT_TRUE(servers.ok());
+    if (servers->size() > 2) ++grown;
+  }
+  EXPECT_GE(grown, 1u);
+}
+
+TEST(ReplicationTest, PromotionValidatesArguments) {
+  ReplicationManager mgr = MakeManager();
+  EXPECT_FALSE(mgr.PromoteHotContainers(0.0, 1).ok());
+  EXPECT_FALSE(mgr.PromoteHotContainers(1.5, 1).ok());
+  ReplicationManager empty(ReplicationOptions{});
+  EXPECT_EQ(empty.PromoteHotContainers(0.5, 1).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(ReplicationTest, AddServersMovesBoundedFraction) {
+  ReplicationManager mgr = MakeManager(10, 2);
+  uint64_t total_before = mgr.Stats().total_bytes;
+  double moved = mgr.AddServers(10);
+  EXPECT_EQ(mgr.num_servers(), 20u);
+  EXPECT_GT(moved, 0.0);
+  EXPECT_LT(moved, 1.0);
+  // Nothing lost; placement still balanced and fully available.
+  EXPECT_EQ(mgr.Stats().total_bytes, total_before);
+  EXPECT_DOUBLE_EQ(mgr.AvailableFraction(), 1.0);
+  EXPECT_LT(mgr.Stats().imbalance, 1.5);
+}
+
+TEST(ReplicationTest, ReplicasClampToServerCount) {
+  // Asking for more replicas than servers degrades gracefully.
+  ObjectStore store = MakeStore();
+  ReplicationManager mgr(ReplicationOptions{3, 8});
+  ASSERT_TRUE(mgr.AssignFrom(store).ok());
+  uint64_t raw = store.containers().begin()->first;
+  auto servers = mgr.ServersFor(raw);
+  ASSERT_TRUE(servers.ok());
+  EXPECT_EQ(servers->size(), 3u);
+}
+
+TEST(ReplicationTest, ServerIndexValidation) {
+  ReplicationManager mgr = MakeManager(5, 2);
+  EXPECT_EQ(mgr.MarkServerDown(99).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(mgr.MarkServerUp(99).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(mgr.ServerBytes(99), 0u);
+}
+
+}  // namespace
+}  // namespace sdss::archive

@@ -1,0 +1,144 @@
+#include "catalog/atlas.h"
+
+#include <gtest/gtest.h>
+
+#include "catalog/sky_generator.h"
+#include "core/coords.h"
+
+namespace sdss::catalog {
+namespace {
+
+PhotoObj MakeStar(float r_mag = 18.0f) {
+  PhotoObj o;
+  o.obj_id = 1;
+  o.pos = UnitVectorFromSpherical(10, 10);
+  o.obj_class = ObjClass::kStar;
+  o.mag = {r_mag + 1.0f, r_mag + 0.5f, r_mag, r_mag - 0.2f, r_mag - 0.3f};
+  o.petro_radius_arcsec = 1.4f;
+  return o;
+}
+
+PhotoObj MakeGalaxy(float r_mag = 18.0f, float radius = 5.0f) {
+  PhotoObj o = MakeStar(r_mag);
+  o.obj_id = 2;
+  o.obj_class = ObjClass::kGalaxy;
+  o.petro_radius_arcsec = radius;
+  return o;
+}
+
+TEST(AtlasTest, CutoutIsCenteredAndPeaked) {
+  AtlasOptions opt;
+  fits::Image img = RenderCutout(MakeStar(), kR, opt);
+  ASSERT_EQ(img.width(), opt.size_pixels);
+  ASSERT_EQ(img.height(), opt.size_pixels);
+  // The peak is at the central pixels and above sky everywhere nearby.
+  size_t c = opt.size_pixels / 2;
+  float peak = img.MaxPixel();
+  EXPECT_GE(img.at(c, c), peak * 0.8f);
+  EXPECT_GT(img.at(c, c), opt.sky_level);
+  // Corners are essentially sky.
+  EXPECT_NEAR(img.at(0, 0), opt.sky_level, opt.sky_level * 0.1f + 1.0f);
+}
+
+TEST(AtlasTest, FluxDecreasesOutward) {
+  AtlasOptions opt;
+  fits::Image img = RenderCutout(MakeGalaxy(), kR, opt);
+  size_t c = opt.size_pixels / 2;
+  float prev = img.at(c, c);
+  for (size_t dx = 1; dx < opt.size_pixels / 2; dx += 2) {
+    float v = img.at(c + dx, c);
+    EXPECT_LE(v, prev * 1.001f) << dx;
+    prev = v;
+  }
+}
+
+TEST(AtlasTest, GalaxiesAreBroaderThanStars) {
+  AtlasOptions opt;
+  fits::Image star = RenderCutout(MakeStar(18.0f), kR, opt);
+  fits::Image galaxy = RenderCutout(MakeGalaxy(18.0f, 6.0f), kR, opt);
+  // Equal total flux, so the broader profile has a lower peak.
+  EXPECT_GT(star.MaxPixel(), galaxy.MaxPixel());
+  // And more flux outside the core.
+  size_t c = opt.size_pixels / 2;
+  EXPECT_GT(galaxy.at(c + 8, c), star.at(c + 8, c));
+}
+
+TEST(AtlasTest, PhotometryClosesTheLoop) {
+  // mag -> pixels -> aperture photometry -> mag, within a few percent
+  // (aperture losses for the galaxy's extended wings).
+  AtlasOptions opt;
+  for (float mag : {16.0f, 18.0f, 20.0f}) {
+    fits::Image star = RenderCutout(MakeStar(mag), kR, opt);
+    double measured = MeasureMagnitude(star, opt);
+    EXPECT_NEAR(measured, mag, 0.05) << "star mag " << mag;
+  }
+  fits::Image galaxy = RenderCutout(MakeGalaxy(18.0f, 3.0f), kR, opt);
+  EXPECT_NEAR(MeasureMagnitude(galaxy, opt), 18.0, 0.3);
+}
+
+TEST(AtlasTest, BrighterMeansMoreCounts) {
+  AtlasOptions opt;
+  fits::Image bright = RenderCutout(MakeStar(16.0f), kR, opt);
+  fits::Image faint = RenderCutout(MakeStar(20.0f), kR, opt);
+  double sky_total = static_cast<double>(opt.sky_level) *
+                     static_cast<double>(opt.size_pixels) *
+                     static_cast<double>(opt.size_pixels);
+  double bright_flux = bright.TotalFlux() - sky_total;
+  double faint_flux = faint.TotalFlux() - sky_total;
+  // 4 magnitudes = x39.8 in flux.
+  EXPECT_NEAR(bright_flux / faint_flux, 39.8, 4.0);
+}
+
+TEST(AtlasTest, FiveBandAtlasRoundTrips) {
+  PhotoObj o = MakeGalaxy();
+  std::string bytes = SerializeAtlas(o);
+  EXPECT_EQ(bytes.size() % fits::kBlockSize, 0u);
+  auto atlas = ParseAtlas(bytes);
+  ASSERT_TRUE(atlas.ok()) << atlas.status().ToString();
+  AtlasOptions opt;
+  for (int b = 0; b < kNumBands; ++b) {
+    EXPECT_EQ((*atlas)[b].width(), opt.size_pixels);
+    // Brighter bands carry more flux (per the object's colors).
+  }
+  // Per-band flux ordering follows the magnitudes: r brighter than u.
+  double flux_u = (*atlas)[kU].TotalFlux();
+  double flux_r = (*atlas)[kR].TotalFlux();
+  EXPECT_GT(flux_r, flux_u);
+}
+
+TEST(AtlasTest, AtlasHeadersIdentifyObjectAndBand) {
+  PhotoObj o = MakeStar();
+  o.obj_id = 777;
+  std::string bytes = SerializeAtlas(o);
+  size_t offset = 0;
+  fits::Header header;
+  auto img = fits::Image::Parse(bytes, &offset, &header);
+  ASSERT_TRUE(img.ok());
+  EXPECT_EQ(*header.GetInt("OBJID"), 777);
+  EXPECT_EQ(*header.GetString("BAND"), "U");
+}
+
+TEST(AtlasTest, CutoutSizeMatchesTable1Accounting) {
+  // The paper's atlas budget is ~1.5 KB per cutout; a 32x32 int16 HDU is
+  // 2 KB of pixels + header, i.e. the right order of magnitude before
+  // compression.
+  PhotoObj o = MakeStar();
+  AtlasOptions opt;
+  std::string one = RenderCutout(o, kR, opt).Serialize();
+  EXPECT_GE(one.size(), 2 * fits::kBlockSize);  // Header + pixels.
+  EXPECT_LE(one.size(), 3 * fits::kBlockSize);
+}
+
+TEST(AtlasTest, EmptyFluxIsNonDetection) {
+  AtlasOptions opt;
+  fits::Image blank(opt.size_pixels, opt.size_pixels);
+  for (size_t y = 0; y < opt.size_pixels; ++y) {
+    for (size_t x = 0; x < opt.size_pixels; ++x) {
+      blank.set(x, y, opt.sky_level);
+    }
+  }
+  EXPECT_DOUBLE_EQ(MeasureMagnitude(blank, opt), 99.0);
+}
+
+}  // namespace
+}  // namespace sdss::catalog

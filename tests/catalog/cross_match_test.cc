@@ -1,0 +1,146 @@
+#include "catalog/cross_match.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "catalog/sky_generator.h"
+#include "core/angle.h"
+#include "core/random.h"
+
+namespace sdss::catalog {
+namespace {
+
+// Builds a base catalog plus a "second survey" that re-observes a subset
+// of its objects with a small astrometric error.
+struct TwoSurveys {
+  ObjectStore a;
+  ObjectStore b;
+  std::map<uint64_t, uint64_t> truth;  // a.obj_id -> b.obj_id.
+};
+
+TwoSurveys MakeSurveys(double error_arcsec, double reobserve_fraction) {
+  TwoSurveys out;
+  SkyModel m;
+  m.seed = 55;
+  m.num_galaxies = 3000;
+  m.num_stars = 1000;
+  m.num_quasars = 50;
+  auto objs = SkyGenerator(m).Generate();
+  EXPECT_TRUE(out.a.BulkLoad(objs).ok());
+
+  Rng rng(77);
+  std::vector<PhotoObj> second;
+  uint64_t next_id = 1'000'000;
+  for (const auto& o : objs) {
+    if (!rng.Bernoulli(reobserve_fraction)) continue;
+    PhotoObj copy = o;
+    copy.obj_id = next_id++;
+    copy.pos = rng.UnitCap(o.pos, ArcsecToRad(error_arcsec)).Normalized();
+    SphericalFromUnitVector(copy.pos, &copy.ra_deg, &copy.dec_deg);
+    second.push_back(copy);
+    out.truth[o.obj_id] = copy.obj_id;
+  }
+  EXPECT_TRUE(out.b.BulkLoad(second).ok());
+  return out;
+}
+
+TEST(CrossMatchTest, FindsReobservedObjects) {
+  TwoSurveys s = MakeSurveys(0.5, 0.3);
+  CrossMatchOptions opt;
+  opt.radius_arcsec = 2.0;
+  CrossMatchStats stats;
+  auto matches = CrossMatch(s.a, s.b, opt, &stats);
+
+  // Every re-observed object must be matched to its counterpart (the sky
+  // is sparse enough that nearest-neighbor is the truth).
+  std::map<uint64_t, uint64_t> found;
+  for (const auto& m : matches) found[m.obj_id_a] = m.obj_id_b;
+  size_t correct = 0;
+  for (const auto& [a_id, b_id] : s.truth) {
+    auto it = found.find(a_id);
+    if (it != found.end() && it->second == b_id) ++correct;
+  }
+  EXPECT_GE(correct, s.truth.size() * 99 / 100);
+  EXPECT_EQ(stats.matches, matches.size());
+}
+
+TEST(CrossMatchTest, SeparationsAreWithinRadius) {
+  TwoSurveys s = MakeSurveys(0.5, 0.2);
+  CrossMatchOptions opt;
+  opt.radius_arcsec = 2.0;
+  auto matches = CrossMatch(s.a, s.b, opt);
+  for (const auto& m : matches) {
+    EXPECT_LE(m.separation_arcsec, 2.0 + 1e-9);
+    EXPECT_GE(m.separation_arcsec, 0.0);
+  }
+}
+
+TEST(CrossMatchTest, BestMatchKeepsOnePerObject) {
+  TwoSurveys s = MakeSurveys(0.3, 0.5);
+  CrossMatchOptions opt;
+  opt.radius_arcsec = 5.0;
+  opt.best_match_only = true;
+  auto matches = CrossMatch(s.a, s.b, opt);
+  std::map<uint64_t, int> counts;
+  for (const auto& m : matches) ++counts[m.obj_id_a];
+  for (const auto& [id, n] : counts) EXPECT_EQ(n, 1) << id;
+}
+
+TEST(CrossMatchTest, AllMatchesModeCanReturnMore) {
+  TwoSurveys s = MakeSurveys(0.3, 0.9);
+  CrossMatchOptions best;
+  best.radius_arcsec = 60.0;
+  best.best_match_only = true;
+  CrossMatchOptions all = best;
+  all.best_match_only = false;
+  auto best_matches = CrossMatch(s.a, s.b, best);
+  auto all_matches = CrossMatch(s.a, s.b, all);
+  EXPECT_GE(all_matches.size(), best_matches.size());
+}
+
+TEST(CrossMatchTest, NoMatchesAcrossEmptyCatalog) {
+  TwoSurveys s = MakeSurveys(0.5, 0.0);  // Nothing re-observed.
+  CrossMatchOptions opt;
+  auto matches = CrossMatch(s.a, s.b, opt);
+  EXPECT_TRUE(matches.empty());
+}
+
+TEST(CrossMatchTest, PruningAvoidsFullCrossProduct) {
+  TwoSurveys s = MakeSurveys(0.5, 0.5);
+  CrossMatchOptions opt;
+  opt.radius_arcsec = 2.0;
+  CrossMatchStats stats;
+  auto matches = CrossMatch(s.a, s.b, opt, &stats);
+  (void)matches;
+  uint64_t cross_product = s.a.object_count() * s.b.object_count();
+  // The HTM-pruned candidate tests must be a vanishing fraction of N*M.
+  EXPECT_LT(stats.candidates_tested, cross_product / 100);
+}
+
+TEST(CrossMatchTest, MatchesBruteForceOnSmallCatalog) {
+  TwoSurveys s = MakeSurveys(1.0, 0.4);
+  CrossMatchOptions opt;
+  opt.radius_arcsec = 3.0;
+  opt.best_match_only = false;
+  auto matches = CrossMatch(s.a, s.b, opt);
+
+  // Brute force reference.
+  std::vector<std::pair<uint64_t, uint64_t>> brute;
+  double cos_r = std::cos(ArcsecToRad(3.0));
+  s.a.ForEachObject([&](const PhotoObj& oa) {
+    s.b.ForEachObject([&](const PhotoObj& ob) {
+      if (oa.pos.Dot(ob.pos) >= cos_r) brute.emplace_back(oa.obj_id,
+                                                          ob.obj_id);
+    });
+  });
+  std::vector<std::pair<uint64_t, uint64_t>> got;
+  for (const auto& m : matches) got.emplace_back(m.obj_id_a, m.obj_id_b);
+  std::sort(brute.begin(), brute.end());
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, brute);
+}
+
+}  // namespace
+}  // namespace sdss::catalog

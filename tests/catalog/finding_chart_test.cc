@@ -1,0 +1,144 @@
+#include "catalog/finding_chart.h"
+
+#include <gtest/gtest.h>
+
+#include "catalog/sky_generator.h"
+#include "core/coords.h"
+
+namespace sdss::catalog {
+namespace {
+
+class FindingChartTest : public ::testing::Test {
+ public:
+  static void SetUpTestSuite() {
+    SkyModel m;
+    m.seed = 321;
+    m.num_galaxies = 30000;
+    m.num_stars = 20000;
+    m.num_quasars = 400;
+    store_ = new ObjectStore();
+    ASSERT_TRUE(store_->BulkLoad(SkyGenerator(m).Generate()).ok());
+    // A chart center guaranteed to be on the footprint.
+    SphericalCoord c = ToSpherical(
+        EquatorialUnitVector({0.0, 90.0, Frame::kGalactic}),
+        Frame::kEquatorial);
+    center_ra_ = c.lon_deg;
+    center_dec_ = c.lat_deg;
+  }
+  static void TearDownTestSuite() {
+    delete store_;
+    store_ = nullptr;
+  }
+  static ObjectStore* store_;
+  static double center_ra_;
+  static double center_dec_;
+};
+
+ObjectStore* FindingChartTest::store_ = nullptr;
+double FindingChartTest::center_ra_ = 0;
+double FindingChartTest::center_dec_ = 0;
+
+ChartOptions Opts(double radius = 1.0) {
+  ChartOptions o;
+  o.ra_deg = FindingChartTest::center_ra_;
+  o.dec_deg = FindingChartTest::center_dec_;
+  o.radius_deg = radius;
+  o.faint_limit_r = 23.0f;
+  return o;
+}
+
+TEST_F(FindingChartTest, ChartContainsObjectsAndLegend) {
+  auto chart = RenderFindingChart(*store_, Opts());
+  ASSERT_TRUE(chart.ok()) << chart.status().ToString();
+  EXPECT_FALSE(chart->entries.empty());
+  EXPECT_NE(chart->ascii.find("legend:"), std::string::npos);
+  EXPECT_NE(chart->ascii.find('+'), std::string::npos);  // Field center.
+  EXPECT_NE(chart->ascii.find("brightest objects:"), std::string::npos);
+}
+
+TEST_F(FindingChartTest, EntriesAreWithinRadiusAndSorted) {
+  ChartOptions opt = Opts(0.8);
+  auto chart = RenderFindingChart(*store_, opt);
+  ASSERT_TRUE(chart.ok());
+  Vec3 center = UnitVectorFromSpherical(opt.ra_deg, opt.dec_deg);
+  float prev = -100.0f;
+  for (const ChartEntry& e : chart->entries) {
+    Vec3 p = UnitVectorFromSpherical(e.ra_deg, e.dec_deg);
+    EXPECT_LE(RadToDeg(center.AngleTo(p)), opt.radius_deg + 1e-9);
+    EXPECT_LE(e.r_mag, opt.faint_limit_r);
+    EXPECT_GE(e.r_mag, prev);
+    prev = e.r_mag;
+  }
+}
+
+TEST_F(FindingChartTest, FaintLimitFilters) {
+  ChartOptions deep = Opts();
+  deep.faint_limit_r = 23.0f;
+  ChartOptions shallow = Opts();
+  shallow.faint_limit_r = 18.0f;
+  auto d = RenderFindingChart(*store_, deep);
+  auto s = RenderFindingChart(*store_, shallow);
+  ASSERT_TRUE(d.ok() && s.ok());
+  EXPECT_GT(d->entries.size(), s->entries.size());
+}
+
+TEST_F(FindingChartTest, GlyphsMatchClasses) {
+  auto chart = RenderFindingChart(*store_, Opts(1.5));
+  ASSERT_TRUE(chart.ok());
+  for (const ChartEntry& e : chart->entries) {
+    if (e.glyph == '.') continue;  // Faint rendering.
+    switch (e.obj_class) {
+      case ObjClass::kStar:
+        EXPECT_EQ(e.glyph, '*');
+        break;
+      case ObjClass::kGalaxy:
+        EXPECT_EQ(e.glyph, 'o');
+        break;
+      case ObjClass::kQuasar:
+        EXPECT_EQ(e.glyph, 'Q');
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+TEST_F(FindingChartTest, RasterDimensionsHonored) {
+  ChartOptions opt = Opts();
+  opt.columns = 21;
+  opt.rows = 11;
+  auto chart = RenderFindingChart(*store_, opt);
+  ASSERT_TRUE(chart.ok());
+  // Count chart body lines between the borders: rows lines of width
+  // columns + 2 ('|' borders).
+  size_t body_lines = 0;
+  size_t pos = 0;
+  while ((pos = chart->ascii.find("\n|", pos)) != std::string::npos) {
+    ++body_lines;
+    ++pos;
+  }
+  EXPECT_EQ(body_lines, 11u);
+}
+
+TEST_F(FindingChartTest, InvalidOptionsRejected) {
+  ChartOptions bad_radius = Opts();
+  bad_radius.radius_deg = 0.0;
+  EXPECT_FALSE(RenderFindingChart(*store_, bad_radius).ok());
+  ChartOptions bad_raster = Opts();
+  bad_raster.columns = 1;
+  EXPECT_FALSE(RenderFindingChart(*store_, bad_raster).ok());
+}
+
+TEST_F(FindingChartTest, EmptyFieldStillRenders) {
+  ChartOptions opt;
+  opt.ra_deg = 0.0;
+  opt.dec_deg = -60.0;  // Far off the survey footprint.
+  opt.radius_deg = 0.2;
+  auto chart = RenderFindingChart(*store_, opt);
+  ASSERT_TRUE(chart.ok());
+  EXPECT_TRUE(chart->entries.empty());
+  EXPECT_NE(chart->ascii.find('+'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sdss::catalog

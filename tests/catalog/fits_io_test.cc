@@ -1,0 +1,122 @@
+#include "catalog/fits_io.h"
+
+#include <gtest/gtest.h>
+
+#include "catalog/sky_generator.h"
+
+namespace sdss::catalog {
+namespace {
+
+std::vector<PhotoObj> SmallSky() {
+  SkyModel m;
+  m.seed = 21;
+  m.num_galaxies = 800;
+  m.num_stars = 500;
+  m.num_quasars = 20;
+  return SkyGenerator(m).Generate();
+}
+
+TEST(FitsIoTest, PhotoObjTableRoundTrip) {
+  auto objs = SmallSky();
+  fits::Table table = PhotoObjsToTable(objs);
+  EXPECT_EQ(table.num_rows(), objs.size());
+
+  auto back = PhotoObjsFromTable(table);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->size(), objs.size());
+  for (size_t i = 0; i < objs.size(); i += 37) {
+    const PhotoObj& a = objs[i];
+    const PhotoObj& b = (*back)[i];
+    EXPECT_EQ(a.obj_id, b.obj_id);
+    EXPECT_LT(a.pos.AngleTo(b.pos), 1e-12);
+    EXPECT_EQ(a.mag, b.mag);
+    EXPECT_EQ(a.mag_err, b.mag_err);
+    EXPECT_EQ(a.profile, b.profile);
+    EXPECT_EQ(a.flags, b.flags);
+    EXPECT_EQ(a.obj_class, b.obj_class);
+    EXPECT_FLOAT_EQ(a.redshift, b.redshift);
+    // Derived fields are recomputed consistently.
+    EXPECT_NEAR(a.ra_deg, b.ra_deg, 1e-9);
+    EXPECT_EQ(a.htm_leaf, b.htm_leaf);
+  }
+}
+
+TEST(FitsIoTest, TagObjTableRoundTrip) {
+  auto objs = SmallSky();
+  std::vector<TagObj> tags;
+  for (const auto& o : objs) tags.push_back(TagObj::FromPhoto(o));
+  fits::Table table = TagObjsToTable(tags);
+  auto back = TagObjsFromTable(table);
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->size(), tags.size());
+  for (size_t i = 0; i < tags.size(); i += 23) {
+    EXPECT_EQ((*back)[i].obj_id, tags[i].obj_id);
+    EXPECT_EQ((*back)[i].mag, tags[i].mag);
+    EXPECT_EQ((*back)[i].obj_class, tags[i].obj_class);
+    EXPECT_FLOAT_EQ((*back)[i].cx, tags[i].cx);
+  }
+}
+
+TEST(FitsIoTest, StorePacketStreamRoundTrip) {
+  ObjectStore store;
+  ASSERT_TRUE(store.BulkLoad(SmallSky()).ok());
+  std::string bytes = StoreToPacketStream(store, 256);
+  EXPECT_GT(bytes.size(), 0u);
+  EXPECT_EQ(bytes.size() % fits::kBlockSize, 0u);
+
+  auto back = StoreFromPacketStream(bytes, store.options());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->object_count(), store.object_count());
+  EXPECT_EQ(back->container_count(), store.container_count());
+  EXPECT_EQ(back->DensityMap(), store.DensityMap());
+}
+
+TEST(FitsIoTest, AsciiStreamAlsoRoundTrips) {
+  ObjectStore store;
+  SkyModel m;
+  m.seed = 3;
+  m.num_galaxies = 100;
+  m.num_stars = 50;
+  m.num_quasars = 5;
+  ASSERT_TRUE(store.BulkLoad(SkyGenerator(m).Generate()).ok());
+  std::string bytes =
+      StoreToPacketStream(store, 64, fits::StreamEncoding::kAscii);
+  auto back = StoreFromPacketStream(bytes, store.options());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->object_count(), store.object_count());
+}
+
+TEST(FitsIoTest, SchemaIsSelfDescribing) {
+  // A consumer can discover the column layout from the stream itself.
+  ObjectStore store;
+  SkyModel m;
+  m.num_galaxies = 10;
+  m.num_stars = 0;
+  m.num_quasars = 0;
+  ASSERT_TRUE(store.BulkLoad(SkyGenerator(m).Generate()).ok());
+  std::string bytes = StoreToPacketStream(store, 8);
+  size_t offset = 0;
+  fits::Header header;
+  auto table = fits::BinaryTable::Parse(bytes, &offset, &header);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(*header.GetString("XTENSION"), "BINTABLE");
+  EXPECT_TRUE(header.GetInt("PKTSEQ").ok());
+  EXPECT_TRUE(table->ColumnIndex("OBJ_ID").ok());
+  EXPECT_TRUE(table->ColumnIndex("MAG_R").ok());
+}
+
+TEST(FitsIoTest, CorruptStreamIsRejected) {
+  ObjectStore store;
+  SkyModel m;
+  m.num_galaxies = 50;
+  m.num_stars = 0;
+  m.num_quasars = 0;
+  ASSERT_TRUE(store.BulkLoad(SkyGenerator(m).Generate()).ok());
+  std::string bytes = StoreToPacketStream(store, 16);
+  bytes.resize(bytes.size() / 2);  // Truncate mid-stream.
+  auto back = StoreFromPacketStream(bytes, store.options());
+  EXPECT_FALSE(back.ok());
+}
+
+}  // namespace
+}  // namespace sdss::catalog

@@ -1,0 +1,130 @@
+#include "catalog/loader.h"
+
+#include <gtest/gtest.h>
+
+#include "catalog/sky_generator.h"
+
+namespace sdss::catalog {
+namespace {
+
+Chunk MakeChunk(uint64_t objects = 3000) {
+  SkyModel m;
+  m.seed = 31;
+  m.num_galaxies = objects;
+  m.num_stars = 0;
+  m.num_quasars = 0;
+  Chunk chunk;
+  chunk.night = 0;
+  chunk.ra_min_deg = 0;
+  chunk.ra_max_deg = 360;
+  chunk.objects = SkyGenerator(m).Generate();
+  return chunk;
+}
+
+TEST(LoaderTest, ClusteredLoadInsertsEverything) {
+  ObjectStore store;
+  ChunkLoader loader;
+  Chunk chunk = MakeChunk();
+  auto stats = loader.LoadClustered(&store, chunk);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->objects, chunk.objects.size());
+  EXPECT_EQ(store.object_count(), chunk.objects.size());
+  EXPECT_EQ(stats->bytes_written,
+            chunk.objects.size() * kPaperBytesPerPhotoObj);
+}
+
+TEST(LoaderTest, ClusteredTouchesEachContainerOnce) {
+  ObjectStore store;
+  ChunkLoader loader;
+  Chunk chunk = MakeChunk();
+  auto stats = loader.LoadClustered(&store, chunk);
+  ASSERT_TRUE(stats.ok());
+  // "touching each clustering unit at most once during a load".
+  EXPECT_EQ(stats->container_touches, store.container_count());
+}
+
+TEST(LoaderTest, NaiveLoadTouchesManyMoreContainers) {
+  Chunk chunk = MakeChunk();
+  // Coarser containers so each holds several objects (the realistic
+  // regime: containers are far fewer than objects).
+  StoreOptions coarse{.cluster_level = 4, .build_tags = false};
+  ObjectStore s1(coarse), s2(coarse);
+  ChunkLoader loader;
+  auto clustered = loader.LoadClustered(&s1, chunk);
+  auto naive = loader.LoadNaive(&s2, chunk);
+  ASSERT_TRUE(clustered.ok());
+  ASSERT_TRUE(naive.ok());
+  // Arrival order is essentially random on the sky: almost every object
+  // switches container.
+  EXPECT_GT(naive->container_touches, clustered->container_touches * 5);
+  // Both produce identical stores.
+  EXPECT_EQ(s1.object_count(), s2.object_count());
+  EXPECT_EQ(s1.DensityMap(), s2.DensityMap());
+}
+
+TEST(LoaderTest, ClusteredIsFasterInModeledTime) {
+  Chunk chunk = MakeChunk();
+  ObjectStore s1, s2;
+  ChunkLoader loader;
+  auto clustered = loader.LoadClustered(&s1, chunk);
+  auto naive = loader.LoadNaive(&s2, chunk);
+  ASSERT_TRUE(clustered.ok() && naive.ok());
+  EXPECT_LT(clustered->sim_seconds, naive->sim_seconds);
+}
+
+TEST(LoaderTest, EmptyChunkIsFine) {
+  ObjectStore store;
+  ChunkLoader loader;
+  Chunk empty;
+  auto stats = loader.LoadClustered(&store, empty);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->objects, 0u);
+  EXPECT_EQ(stats->container_touches, 0u);
+}
+
+TEST(LoaderTest, NullStoreIsInvalid) {
+  ChunkLoader loader;
+  Chunk chunk = MakeChunk(10);
+  EXPECT_EQ(loader.LoadClustered(nullptr, chunk).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(loader.LoadNaive(nullptr, chunk).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(LoaderTest, IncrementalNightlyLoads) {
+  // The paper's mode of operation: ~nightly chunks loaded as they arrive.
+  SkyModel m;
+  m.seed = 77;
+  m.num_galaxies = 5000;
+  m.num_stars = 3000;
+  m.num_quasars = 50;
+  auto chunks = SkyGenerator(m).GenerateChunks(10);
+
+  ObjectStore store;
+  ChunkLoader loader;
+  uint64_t total = 0;
+  for (const Chunk& chunk : chunks) {
+    auto stats = loader.LoadClustered(&store, chunk);
+    ASSERT_TRUE(stats.ok());
+    total += stats->objects;
+    EXPECT_EQ(store.object_count(), total);
+  }
+  EXPECT_EQ(total, 8050u);
+}
+
+TEST(LoaderTest, CostModelScalesWithSeeks) {
+  LoadCostModel slow_seek;
+  slow_seek.seek_seconds = 1.0;
+  LoadCostModel fast_seek;
+  fast_seek.seek_seconds = 0.0001;
+
+  Chunk chunk = MakeChunk(2000);
+  ObjectStore s1, s2;
+  auto t_slow = ChunkLoader(slow_seek).LoadNaive(&s1, chunk);
+  auto t_fast = ChunkLoader(fast_seek).LoadNaive(&s2, chunk);
+  ASSERT_TRUE(t_slow.ok() && t_fast.ok());
+  EXPECT_GT(t_slow->sim_seconds, t_fast->sim_seconds * 100);
+}
+
+}  // namespace
+}  // namespace sdss::catalog

@@ -1,0 +1,230 @@
+#include "catalog/object_store.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "catalog/sky_generator.h"
+#include "core/coords.h"
+
+namespace sdss::catalog {
+namespace {
+
+std::vector<PhotoObj> SmallSky(uint64_t galaxies = 3000, uint64_t stars = 2000,
+                               uint64_t quasars = 50) {
+  SkyModel model;
+  model.seed = 17;
+  model.num_galaxies = galaxies;
+  model.num_stars = stars;
+  model.num_quasars = quasars;
+  return SkyGenerator(model).Generate();
+}
+
+TEST(ObjectStoreTest, InsertAndCount) {
+  ObjectStore store;
+  auto objs = SmallSky(100, 100, 10);
+  for (const auto& o : objs) {
+    ASSERT_TRUE(store.Insert(o).ok());
+  }
+  EXPECT_EQ(store.object_count(), objs.size());
+  EXPECT_GT(store.container_count(), 0u);
+}
+
+TEST(ObjectStoreTest, BulkLoadMatchesInsert) {
+  auto objs = SmallSky(500, 500, 20);
+  ObjectStore a, b;
+  for (const auto& o : objs) ASSERT_TRUE(a.Insert(o).ok());
+  ASSERT_TRUE(b.BulkLoad(objs).ok());
+  EXPECT_EQ(a.object_count(), b.object_count());
+  EXPECT_EQ(a.container_count(), b.container_count());
+  EXPECT_EQ(a.DensityMap(), b.DensityMap());
+}
+
+TEST(ObjectStoreTest, ObjectsLandInTheirTrixelContainer) {
+  ObjectStore store;
+  auto objs = SmallSky(300, 0, 0);
+  ASSERT_TRUE(store.BulkLoad(objs).ok());
+  htm::HtmIndex index(store.cluster_level());
+  for (const auto& [raw, container] : store.containers()) {
+    for (const PhotoObj& o : container.objects) {
+      EXPECT_EQ(index.Locate(o.pos).raw(), raw);
+    }
+  }
+}
+
+TEST(ObjectStoreTest, TagsParallelObjects) {
+  ObjectStore store;
+  ASSERT_TRUE(store.BulkLoad(SmallSky(200, 200, 10)).ok());
+  for (const auto& [raw, c] : store.containers()) {
+    ASSERT_EQ(c.objects.size(), c.tags.size());
+    for (size_t i = 0; i < c.objects.size(); ++i) {
+      EXPECT_EQ(c.objects[i].obj_id, c.tags[i].obj_id);
+    }
+  }
+}
+
+TEST(ObjectStoreTest, TagsCanBeDisabled) {
+  ObjectStore store(StoreOptions{.cluster_level = 6, .build_tags = false});
+  ASSERT_TRUE(store.BulkLoad(SmallSky(100, 0, 0)).ok());
+  StoreStats stats = store.Stats();
+  EXPECT_EQ(stats.tag_bytes, 0u);
+  EXPECT_GT(stats.full_bytes, 0u);
+}
+
+TEST(ObjectStoreTest, StatsAggregate) {
+  ObjectStore store;
+  ASSERT_TRUE(store.BulkLoad(SmallSky()).ok());
+  StoreStats stats = store.Stats();
+  EXPECT_EQ(stats.object_count, store.object_count());
+  EXPECT_EQ(stats.container_count, store.container_count());
+  EXPECT_EQ(stats.full_bytes, stats.object_count * sizeof(PhotoObj));
+  EXPECT_EQ(stats.tag_bytes, stats.object_count * sizeof(TagObj));
+  EXPECT_GE(stats.max_container_objects, 1u);
+  EXPECT_GT(stats.mean_container_objects, 0.0);
+}
+
+TEST(ObjectStoreTest, ForEachVisitsEverythingOnce) {
+  ObjectStore store;
+  auto objs = SmallSky(400, 300, 10);
+  ASSERT_TRUE(store.BulkLoad(objs).ok());
+  std::set<uint64_t> seen;
+  store.ForEachObject([&](const PhotoObj& o) {
+    EXPECT_TRUE(seen.insert(o.obj_id).second);
+  });
+  EXPECT_EQ(seen.size(), objs.size());
+
+  std::set<uint64_t> tag_seen;
+  store.ForEachTag([&](const TagObj& t) {
+    EXPECT_TRUE(tag_seen.insert(t.obj_id).second);
+  });
+  EXPECT_EQ(tag_seen, seen);
+}
+
+TEST(ObjectStoreTest, QueryRegionIsExact) {
+  ObjectStore store;
+  auto objs = SmallSky();
+  ASSERT_TRUE(store.BulkLoad(objs).ok());
+
+  // A cone near the footprint center (north galactic cap).
+  Vec3 center = EquatorialUnitVector({0.0, 90.0, Frame::kGalactic});
+  SphericalCoord eq = ToSpherical(center, Frame::kEquatorial);
+  htm::Region region = htm::Region::Circle(eq.lon_deg, eq.lat_deg, 8.0);
+
+  std::set<uint64_t> via_query;
+  auto stats = store.QueryRegion(region, [&](const PhotoObj& o) {
+    via_query.insert(o.obj_id);
+  });
+
+  std::set<uint64_t> brute;
+  for (const auto& o : objs) {
+    if (region.Contains(o.pos)) brute.insert(o.obj_id);
+  }
+  EXPECT_EQ(via_query, brute);
+  EXPECT_EQ(stats.accepted, brute.size());
+  EXPECT_GT(stats.full_containers + stats.partial_containers, 0u);
+}
+
+TEST(ObjectStoreTest, QueryRegionPrunesContainers) {
+  ObjectStore store;
+  ASSERT_TRUE(store.BulkLoad(SmallSky()).ok());
+  htm::Region tiny = htm::Region::Circle(180.0, 40.0, 0.5);
+  auto stats = store.QueryRegion(tiny, [](const PhotoObj&) {});
+  // The cover must touch only a tiny fraction of the containers.
+  EXPECT_LT(stats.full_containers + stats.partial_containers,
+            store.container_count() / 5 + 5);
+  EXPECT_LT(stats.bytes_touched, store.Stats().full_bytes);
+}
+
+TEST(ObjectStoreTest, PredictionBracketsActual) {
+  ObjectStore store;
+  auto objs = SmallSky();
+  ASSERT_TRUE(store.BulkLoad(objs).ok());
+  Vec3 center = EquatorialUnitVector({0.0, 90.0, Frame::kGalactic});
+  SphericalCoord eq = ToSpherical(center, Frame::kEquatorial);
+
+  for (double radius : {2.0, 5.0, 10.0, 20.0}) {
+    htm::Region region = htm::Region::Circle(eq.lon_deg, eq.lat_deg, radius);
+    auto pred = store.PredictRegion(region);
+    uint64_t actual = 0;
+    for (const auto& o : objs) {
+      if (region.Contains(o.pos)) ++actual;
+    }
+    EXPECT_LE(pred.min_objects, actual) << radius;
+    EXPECT_GE(pred.max_objects, actual) << radius;
+    EXPECT_GT(pred.bytes_to_scan, 0u) << radius;
+  }
+}
+
+TEST(ObjectStoreTest, SampleIsApproximatelyFraction) {
+  ObjectStore store;
+  ASSERT_TRUE(store.BulkLoad(SmallSky(5000, 5000, 100)).ok());
+  ObjectStore sample = store.Sample(0.01, 99);
+  double frac = static_cast<double>(sample.object_count()) /
+                static_cast<double>(store.object_count());
+  EXPECT_NEAR(frac, 0.01, 0.005);
+  // Deterministic for the same seed.
+  ObjectStore sample2 = store.Sample(0.01, 99);
+  EXPECT_EQ(sample.object_count(), sample2.object_count());
+}
+
+TEST(ObjectStoreTest, SampleObjectsComeFromParent) {
+  ObjectStore store;
+  auto objs = SmallSky(1000, 0, 0);
+  ASSERT_TRUE(store.BulkLoad(objs).ok());
+  std::set<uint64_t> parent_ids;
+  for (const auto& o : objs) parent_ids.insert(o.obj_id);
+  ObjectStore sample = store.Sample(0.1, 5);
+  sample.ForEachObject([&](const PhotoObj& o) {
+    EXPECT_TRUE(parent_ids.count(o.obj_id) > 0);
+  });
+}
+
+TEST(ObjectStoreTest, ClusterLevelControlsContainerCount) {
+  auto objs = SmallSky(2000, 2000, 0);
+  ObjectStore coarse(StoreOptions{.cluster_level = 3, .build_tags = false});
+  ObjectStore fine(StoreOptions{.cluster_level = 7, .build_tags = false});
+  ASSERT_TRUE(coarse.BulkLoad(objs).ok());
+  ASSERT_TRUE(fine.BulkLoad(objs).ok());
+  EXPECT_LT(coarse.container_count(), fine.container_count());
+  EXPECT_EQ(coarse.object_count(), fine.object_count());
+}
+
+TEST(ObjectStoreTest, DensityMapShowsClusteringContrast) {
+  // The synthetic sky has galaxy clusters: the densest container should
+  // be several times the mean (the [Csabai97] density-contrast premise).
+  ObjectStore store;
+  ASSERT_TRUE(store.BulkLoad(SmallSky(20000, 0, 0)).ok());
+  StoreStats stats = store.Stats();
+  EXPECT_GT(static_cast<double>(stats.max_container_objects),
+            3.0 * stats.mean_container_objects);
+}
+
+TEST(ObjectStoreTest, ClearEmptiesStore) {
+  ObjectStore store;
+  ASSERT_TRUE(store.BulkLoad(SmallSky(100, 0, 0)).ok());
+  store.Clear();
+  EXPECT_EQ(store.object_count(), 0u);
+  EXPECT_EQ(store.container_count(), 0u);
+}
+
+TEST(ObjectStoreTest, FindContainer) {
+  ObjectStore store;
+  auto objs = SmallSky(100, 0, 0);
+  ASSERT_TRUE(store.BulkLoad(objs).ok());
+  htm::HtmIndex index(store.cluster_level());
+  htm::HtmId id = index.Locate(objs[0].pos);
+  const Container* c = store.FindContainer(id);
+  ASSERT_NE(c, nullptr);
+  bool found = false;
+  for (const auto& o : c->objects) {
+    if (o.obj_id == objs[0].obj_id) found = true;
+  }
+  EXPECT_TRUE(found);
+  // A trixel with no objects has no container.
+  EXPECT_EQ(store.FindContainer(htm::LookupId(0.0, -89.0,
+                                              store.cluster_level())),
+            nullptr);
+}
+
+}  // namespace
+}  // namespace sdss::catalog

@@ -1,0 +1,135 @@
+#include "catalog/photo_obj.h"
+
+#include <gtest/gtest.h>
+
+#include "core/coords.h"
+
+namespace sdss::catalog {
+namespace {
+
+PhotoObj MakeObj() {
+  PhotoObj o;
+  o.obj_id = 42;
+  o.pos = UnitVectorFromSpherical(120.0, 30.0);
+  o.ra_deg = 120.0;
+  o.dec_deg = 30.0;
+  o.mag = {19.5f, 18.2f, 17.5f, 17.1f, 16.8f};
+  o.mag_err = {0.05f, 0.02f, 0.02f, 0.03f, 0.06f};
+  o.petro_radius_arcsec = 3.5f;
+  o.surface_brightness = 21.0f;
+  o.redshift = 0.12f;
+  o.flags = kFlagSpectroTarget | kFlagBlended;
+  o.obj_class = ObjClass::kGalaxy;
+  o.htm_leaf = 12345;
+  for (int i = 0; i < kProfileBins; ++i) {
+    o.profile[i] = 1.0f / static_cast<float>(i + 1);
+  }
+  return o;
+}
+
+TEST(PhotoObjTest, ColorIndices) {
+  PhotoObj o = MakeObj();
+  EXPECT_NEAR(o.Color(kU, kG), 1.3f, 1e-5);
+  EXPECT_NEAR(o.Color(kG, kR), 0.7f, 1e-5);
+  EXPECT_NEAR(o.Color(kR, kI), 0.4f, 1e-5);
+}
+
+TEST(PhotoObjTest, ClassNamesRoundTrip) {
+  for (ObjClass c : {ObjClass::kUnknown, ObjClass::kStar, ObjClass::kGalaxy,
+                     ObjClass::kQuasar}) {
+    auto parsed = ObjClassFromName(ObjClassName(c));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, c);
+  }
+  EXPECT_EQ(*ObjClassFromName("quasar"), ObjClass::kQuasar);
+  EXPECT_EQ(*ObjClassFromName("gal"), ObjClass::kGalaxy);
+  EXPECT_FALSE(ObjClassFromName("nebula").ok());
+}
+
+TEST(PhotoObjTest, GetAttributeCoreFields) {
+  PhotoObj o = MakeObj();
+  EXPECT_DOUBLE_EQ(*GetAttribute(o, "obj_id"), 42.0);
+  EXPECT_DOUBLE_EQ(*GetAttribute(o, "ra"), 120.0);
+  EXPECT_DOUBLE_EQ(*GetAttribute(o, "dec"), 30.0);
+  EXPECT_DOUBLE_EQ(*GetAttribute(o, "cx"), o.pos.x);
+  EXPECT_DOUBLE_EQ(*GetAttribute(o, "cy"), o.pos.y);
+  EXPECT_DOUBLE_EQ(*GetAttribute(o, "cz"), o.pos.z);
+  EXPECT_NEAR(*GetAttribute(o, "u"), 19.5, 1e-6);
+  EXPECT_NEAR(*GetAttribute(o, "z"), 16.8, 1e-6);
+  EXPECT_NEAR(*GetAttribute(o, "err_g"), 0.02, 1e-6);
+  EXPECT_NEAR(*GetAttribute(o, "size"), 3.5, 1e-6);
+  EXPECT_NEAR(*GetAttribute(o, "sb"), 21.0, 1e-6);
+  EXPECT_NEAR(*GetAttribute(o, "redshift"), 0.12, 1e-6);
+  EXPECT_DOUBLE_EQ(*GetAttribute(o, "class"),
+                   static_cast<double>(ObjClass::kGalaxy));
+  EXPECT_DOUBLE_EQ(*GetAttribute(o, "htm"), 12345.0);
+  EXPECT_NEAR(*GetAttribute(o, "profile3"), 0.25, 1e-6);
+}
+
+TEST(PhotoObjTest, GetAttributeUnknownIsNotFound) {
+  PhotoObj o = MakeObj();
+  EXPECT_EQ(GetAttribute(o, "bogus").status().code(), StatusCode::kNotFound);
+  EXPECT_FALSE(GetAttribute(o, "profile9").ok());
+}
+
+TEST(PhotoObjTest, AttributeNamesAllResolve) {
+  PhotoObj o = MakeObj();
+  for (const std::string& name : PhotoAttributeNames()) {
+    EXPECT_TRUE(GetAttribute(o, name).ok()) << name;
+  }
+}
+
+TEST(TagObjTest, FromPhotoProjectsTenAttributes) {
+  PhotoObj o = MakeObj();
+  TagObj t = TagObj::FromPhoto(o);
+  EXPECT_EQ(t.obj_id, o.obj_id);
+  EXPECT_NEAR(t.cx, o.pos.x, 1e-6);
+  EXPECT_NEAR(t.cy, o.pos.y, 1e-6);
+  EXPECT_NEAR(t.cz, o.pos.z, 1e-6);
+  for (int b = 0; b < kNumBands; ++b) EXPECT_EQ(t.mag[b], o.mag[b]);
+  EXPECT_EQ(t.size_arcsec, o.petro_radius_arcsec);
+  EXPECT_EQ(t.obj_class, static_cast<uint8_t>(o.obj_class));
+}
+
+TEST(TagObjTest, TagIsMuchSmallerThanPaperFullObject) {
+  // The vertical-partition premise: tag bytes << full-object bytes.
+  EXPECT_LE(sizeof(TagObj), 56u);
+  EXPECT_GE(kPaperBytesPerPhotoObj / kPaperBytesPerTagObj, 10u);
+}
+
+TEST(TagObjTest, GetTagAttribute) {
+  TagObj t = TagObj::FromPhoto(MakeObj());
+  EXPECT_NEAR(*GetTagAttribute(t, "r"), 17.5, 1e-6);
+  EXPECT_NEAR(*GetTagAttribute(t, "size"), 3.5, 1e-6);
+  EXPECT_DOUBLE_EQ(*GetTagAttribute(t, "class"), 2.0);
+  EXPECT_FALSE(GetTagAttribute(t, "redshift").ok());
+  EXPECT_FALSE(GetTagAttribute(t, "ra").ok());
+}
+
+TEST(TagObjTest, PositionRecoversDirection) {
+  PhotoObj o = MakeObj();
+  TagObj t = TagObj::FromPhoto(o);
+  // Float precision: ~1e-7 relative, i.e. well under an arcsecond.
+  EXPECT_LT(t.Position().AngleTo(o.pos), 1e-6);
+}
+
+TEST(TagObjTest, IsTagAttribute) {
+  for (const char* n : {"cx", "cy", "cz", "u", "g", "r", "i", "z", "size",
+                        "class", "obj_id"}) {
+    EXPECT_TRUE(IsTagAttribute(n)) << n;
+  }
+  for (const char* n : {"ra", "dec", "redshift", "sb", "flags", "err_r",
+                        "profile0"}) {
+    EXPECT_FALSE(IsTagAttribute(n)) << n;
+  }
+}
+
+TEST(SpecObjTest, DefaultsAreSane) {
+  SpecObj s;
+  EXPECT_EQ(s.spec_id, 0u);
+  EXPECT_EQ(s.spec_class, ObjClass::kUnknown);
+  EXPECT_FLOAT_EQ(s.redshift, 0.0f);
+}
+
+}  // namespace
+}  // namespace sdss::catalog

@@ -1,0 +1,100 @@
+#include "catalog/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace sdss::catalog {
+namespace {
+
+TEST(SchemaTest, SdssSchemaHasCoreClasses) {
+  Schema s = Schema::Sdss();
+  EXPECT_TRUE(s.FindClass("PhotoObj").ok());
+  EXPECT_TRUE(s.FindClass("TagObj").ok());
+  EXPECT_TRUE(s.FindClass("SpecObj").ok());
+  EXPECT_TRUE(s.FindClass("Chunk").ok());
+  EXPECT_FALSE(s.FindClass("Nope").ok());
+}
+
+TEST(SchemaTest, PhotoObjFieldsPresent) {
+  auto photo = Schema::Sdss().FindClass("PhotoObj");
+  ASSERT_TRUE(photo.ok());
+  bool has_mag = false, has_htm = false;
+  for (const FieldDef& f : photo->fields) {
+    if (f.name == "mag") {
+      has_mag = true;
+      EXPECT_EQ(f.array_length, 5u);
+      EXPECT_EQ(f.type, FieldType::kFloat);
+    }
+    if (f.name == "htm") has_htm = true;
+  }
+  EXPECT_TRUE(has_mag);
+  EXPECT_TRUE(has_htm);
+}
+
+TEST(SchemaTest, BytesPerInstanceIsPlausible) {
+  Schema s = Schema::Sdss();
+  size_t photo = s.FindClass("PhotoObj")->BytesPerInstance();
+  size_t tag = s.FindClass("TagObj")->BytesPerInstance();
+  EXPECT_GT(photo, 100u);
+  EXPECT_LT(tag, photo / 2);  // The vertical-partition premise.
+}
+
+TEST(SchemaTest, SqlDdlEmitsCreateTables) {
+  std::string ddl = Schema::Sdss().ToSqlDdl();
+  EXPECT_NE(ddl.find("CREATE TABLE PhotoObj"), std::string::npos);
+  EXPECT_NE(ddl.find("CREATE TABLE TagObj"), std::string::npos);
+  // Arrays unroll into numbered columns.
+  EXPECT_NE(ddl.find("mag_0"), std::string::npos);
+  EXPECT_NE(ddl.find("mag_4"), std::string::npos);
+  EXPECT_NE(ddl.find("BIGINT"), std::string::npos);
+  EXPECT_NE(ddl.find("DOUBLE PRECISION"), std::string::npos);
+}
+
+TEST(SchemaTest, ObjectivityDdlEmitsOoClasses) {
+  std::string ddl = Schema::Sdss().ToObjectivityDdl();
+  EXPECT_NE(ddl.find("class PhotoObj : public ooObj"), std::string::npos);
+  EXPECT_NE(ddl.find("ooFloat mag[5]"), std::string::npos);
+  EXPECT_NE(ddl.find("ooInt64 obj_id"), std::string::npos);
+}
+
+TEST(SchemaTest, XmlIsWellFormedEnough) {
+  std::string xml = Schema::Sdss().ToXml();
+  EXPECT_EQ(xml.find("<schema"), 0u);
+  EXPECT_NE(xml.find("</schema>"), std::string::npos);
+  EXPECT_NE(xml.find("<class name=\"PhotoObj\""), std::string::npos);
+  EXPECT_NE(xml.find("type=\"float32\" length=\"5\""), std::string::npos);
+  // Balanced class tags.
+  size_t opens = 0, closes = 0, pos = 0;
+  while ((pos = xml.find("<class ", pos)) != std::string::npos) {
+    ++opens;
+    ++pos;
+  }
+  pos = 0;
+  while ((pos = xml.find("</class>", pos)) != std::string::npos) {
+    ++closes;
+    ++pos;
+  }
+  EXPECT_EQ(opens, closes);
+  EXPECT_EQ(opens, 4u);
+}
+
+TEST(SchemaTest, FieldTypeNames) {
+  EXPECT_STREQ(FieldTypeName(FieldType::kInt64), "int64");
+  EXPECT_STREQ(FieldTypeName(FieldType::kFloat), "float32");
+  EXPECT_STREQ(FieldTypeName(FieldType::kEnum), "enum");
+}
+
+TEST(SchemaTest, CustomSchemaRoundTrip) {
+  Schema s;
+  s.AddClass(ClassDef{"Custom",
+                      "a test class",
+                      {{"a", FieldType::kInt32, 0, "", ""},
+                       {"b", FieldType::kDouble, 3, "deg", "angles"}}});
+  auto c = s.FindClass("Custom");
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->fields.size(), 2u);
+  EXPECT_EQ(c->BytesPerInstance(), 4u + 3u * 8u);
+  EXPECT_NE(s.ToSqlDdl().find("b_2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sdss::catalog

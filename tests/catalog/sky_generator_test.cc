@@ -1,0 +1,243 @@
+#include "catalog/sky_generator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "core/coords.h"
+#include "htm/trixel.h"
+
+namespace sdss::catalog {
+namespace {
+
+SkyModel SmallModel() {
+  SkyModel m;
+  m.seed = 7;
+  m.num_galaxies = 4000;
+  m.num_stars = 3000;
+  m.num_quasars = 100;
+  return m;
+}
+
+TEST(SkyGeneratorTest, GeneratesRequestedCounts) {
+  auto objs = SkyGenerator(SmallModel()).Generate();
+  EXPECT_EQ(objs.size(), 7100u);
+  uint64_t galaxies = 0, stars = 0, quasars = 0;
+  for (const auto& o : objs) {
+    switch (o.obj_class) {
+      case ObjClass::kGalaxy:
+        ++galaxies;
+        break;
+      case ObjClass::kStar:
+        ++stars;
+        break;
+      case ObjClass::kQuasar:
+        ++quasars;
+        break;
+      default:
+        break;
+    }
+  }
+  EXPECT_EQ(galaxies, 4000u);
+  EXPECT_EQ(stars, 3000u);
+  EXPECT_EQ(quasars, 100u);
+}
+
+TEST(SkyGeneratorTest, DeterministicForSeed) {
+  auto a = SkyGenerator(SmallModel()).Generate();
+  auto b = SkyGenerator(SmallModel()).Generate();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); i += 97) {
+    EXPECT_EQ(a[i].obj_id, b[i].obj_id);
+    EXPECT_EQ(a[i].pos, b[i].pos);
+    EXPECT_EQ(a[i].mag, b[i].mag);
+  }
+  SkyModel other = SmallModel();
+  other.seed = 8;
+  auto c = SkyGenerator(other).Generate();
+  bool differs = false;
+  for (size_t i = 0; i < a.size() && !differs; ++i) {
+    differs = !(a[i].pos == c[i].pos);
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(SkyGeneratorTest, IdsAreSequentialAndUnique) {
+  auto objs = SkyGenerator(SmallModel()).Generate();
+  std::set<uint64_t> ids;
+  for (const auto& o : objs) {
+    EXPECT_TRUE(ids.insert(o.obj_id).second);
+  }
+  EXPECT_EQ(*ids.begin(), 1u);
+  EXPECT_EQ(*ids.rbegin(), objs.size());
+}
+
+TEST(SkyGeneratorTest, PositionsAreUnitAndConsistent) {
+  auto objs = SkyGenerator(SmallModel()).Generate();
+  for (size_t i = 0; i < objs.size(); i += 53) {
+    const auto& o = objs[i];
+    EXPECT_NEAR(o.pos.Norm(), 1.0, 1e-12);
+    Vec3 from_angles = UnitVectorFromSpherical(o.ra_deg, o.dec_deg);
+    EXPECT_LT(from_angles.AngleTo(o.pos), 1e-10);
+    EXPECT_EQ(o.htm_leaf,
+              htm::LookupId(o.pos, kGeneratorHtmLevel).raw());
+  }
+}
+
+TEST(SkyGeneratorTest, FootprintIsNorthernGalacticCap) {
+  auto objs = SkyGenerator(SmallModel()).Generate();
+  for (size_t i = 0; i < objs.size(); i += 29) {
+    SphericalCoord gal = ToSpherical(objs[i].pos, Frame::kGalactic);
+    EXPECT_GE(gal.lat_deg, 30.0 - 1e-9) << objs[i].obj_id;
+  }
+}
+
+TEST(SkyGeneratorTest, FullSkyOptionCoversBothHemispheres) {
+  SkyModel m = SmallModel();
+  m.footprint_min_gal_lat_deg = 0.0;
+  auto objs = SkyGenerator(m).Generate();
+  int south = 0;
+  for (const auto& o : objs) south += o.pos.z < 0;
+  EXPECT_GT(south, static_cast<int>(objs.size()) / 4);
+}
+
+TEST(SkyGeneratorTest, MagnitudesWithinSurveyLimits) {
+  SkyModel m = SmallModel();
+  auto objs = SkyGenerator(m).Generate();
+  for (const auto& o : objs) {
+    if (o.obj_class == ObjClass::kQuasar) continue;  // Separate range.
+    EXPECT_GE(o.mag[kR], m.r_mag_bright - 0.01);
+    EXPECT_LE(o.mag[kR], m.r_mag_faint + 0.01);
+  }
+}
+
+TEST(SkyGeneratorTest, FaintObjectsDominate) {
+  // Number counts rise steeply with magnitude (Euclidean counts).
+  auto objs = SkyGenerator(SmallModel()).Generate();
+  int faint = 0, bright = 0;
+  for (const auto& o : objs) {
+    if (o.obj_class != ObjClass::kGalaxy) continue;
+    if (o.mag[kR] > 21.5) ++faint;
+    if (o.mag[kR] < 18.5) ++bright;
+  }
+  EXPECT_GT(faint, 3 * bright);
+}
+
+TEST(SkyGeneratorTest, QuasarsAreBlueInUMinusG) {
+  auto objs = SkyGenerator(SmallModel()).Generate();
+  double q_ug = 0, s_ug = 0;
+  int nq = 0, ns = 0;
+  for (const auto& o : objs) {
+    if (o.obj_class == ObjClass::kQuasar) {
+      q_ug += o.Color(kU, kG);
+      ++nq;
+    } else if (o.obj_class == ObjClass::kStar) {
+      s_ug += o.Color(kU, kG);
+      ++ns;
+    }
+  }
+  ASSERT_GT(nq, 0);
+  ASSERT_GT(ns, 0);
+  // Quasars sit well blueward of the mean stellar locus.
+  EXPECT_LT(q_ug / nq + 0.5, s_ug / ns);
+}
+
+TEST(SkyGeneratorTest, StarsArePointSources) {
+  auto objs = SkyGenerator(SmallModel()).Generate();
+  for (const auto& o : objs) {
+    if (o.obj_class == ObjClass::kStar) {
+      EXPECT_LT(o.petro_radius_arcsec, 2.5f);
+    }
+  }
+}
+
+TEST(SkyGeneratorTest, QuasarsAllHaveRedshiftsAndTargets) {
+  auto objs = SkyGenerator(SmallModel()).Generate();
+  for (const auto& o : objs) {
+    if (o.obj_class != ObjClass::kQuasar) continue;
+    EXPECT_GE(o.redshift, 0.3f);
+    EXPECT_LE(o.redshift, 5.0f);
+    EXPECT_TRUE(o.flags & kFlagSpectroTarget);
+  }
+}
+
+TEST(SkyGeneratorTest, BrightGalaxiesAreSpectroTargets) {
+  // The main galaxy sample: every r < 17.8 galaxy is targeted.
+  auto objs = SkyGenerator(SmallModel()).Generate();
+  for (const auto& o : objs) {
+    if (o.obj_class == ObjClass::kGalaxy && o.mag[kR] < 17.8f) {
+      EXPECT_TRUE(o.flags & kFlagSpectroTarget) << o.obj_id;
+      EXPECT_GE(o.redshift, 0.0f);
+    }
+  }
+}
+
+TEST(SkyGeneratorTest, ChunksPartitionTheSky) {
+  SkyGenerator gen(SmallModel());
+  auto chunks = gen.GenerateChunks(15);
+  ASSERT_EQ(chunks.size(), 15u);
+  uint64_t total = 0;
+  for (const auto& chunk : chunks) {
+    total += chunk.objects.size();
+    for (const auto& o : chunk.objects) {
+      EXPECT_GE(o.ra_deg, chunk.ra_min_deg - 1e-9);
+      EXPECT_LT(o.ra_deg, chunk.ra_max_deg + 1e-9);
+    }
+  }
+  EXPECT_EQ(total, gen.Generate().size());
+}
+
+TEST(SkyGeneratorTest, ChunkPaperBytes) {
+  auto chunks = SkyGenerator(SmallModel()).GenerateChunks(4);
+  for (const auto& c : chunks) {
+    EXPECT_EQ(c.PaperBytes(), c.objects.size() * kPaperBytesPerPhotoObj);
+  }
+}
+
+TEST(SkyGeneratorTest, SpectraMatchTargets) {
+  SkyGenerator gen(SmallModel());
+  auto photo = gen.Generate();
+  auto spectra = gen.GenerateSpectra(photo);
+  uint64_t targets = 0;
+  std::set<uint64_t> target_ids;
+  for (const auto& o : photo) {
+    if (o.flags & kFlagSpectroTarget) {
+      ++targets;
+      target_ids.insert(o.obj_id);
+    }
+  }
+  EXPECT_EQ(spectra.size(), targets);
+  std::set<uint64_t> spec_ids;
+  for (const auto& s : spectra) {
+    EXPECT_TRUE(target_ids.count(s.photo_obj_id) > 0);
+    EXPECT_TRUE(spec_ids.insert(s.spec_id).second);
+    EXPECT_GE(s.redshift, 0.0f);
+    EXPECT_GT(s.line_wavelengths[0], 0.0f);
+  }
+}
+
+TEST(SkyGeneratorTest, ClustersCreateDensityContrast) {
+  SkyModel clustered = SmallModel();
+  clustered.num_galaxies = 20000;
+  clustered.num_stars = 0;
+  clustered.num_quasars = 0;
+  SkyModel uniform = clustered;
+  uniform.cluster_fraction = 0.0;
+
+  auto count_max_cell = [](const std::vector<PhotoObj>& objs) {
+    std::map<uint64_t, int> cells;
+    int max_count = 0;
+    for (const auto& o : objs) {
+      uint64_t cell = htm::LookupId(o.pos, 6).raw();
+      max_count = std::max(max_count, ++cells[cell]);
+    }
+    return max_count;
+  };
+  int max_clustered = count_max_cell(SkyGenerator(clustered).Generate());
+  int max_uniform = count_max_cell(SkyGenerator(uniform).Generate());
+  EXPECT_GT(max_clustered, 2 * max_uniform);
+}
+
+}  // namespace
+}  // namespace sdss::catalog

@@ -1,0 +1,258 @@
+#include "catalog/tiling.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "catalog/sky_generator.h"
+#include "core/angle.h"
+
+namespace sdss::catalog {
+namespace {
+
+ObjectStore MakeStore(uint64_t galaxies = 20000, uint64_t stars = 8000,
+                      uint64_t quasars = 300) {
+  SkyModel m;
+  m.seed = 202;
+  m.num_galaxies = galaxies;
+  m.num_stars = stars;
+  m.num_quasars = quasars;
+  ObjectStore store;
+  EXPECT_TRUE(store.BulkLoad(SkyGenerator(m).Generate()).ok());
+  return store;
+}
+
+TEST(TargetSelectionTest, SelectsAllThreeClasses) {
+  ObjectStore store = MakeStore();
+  auto targets = SelectTargets(store);
+  std::map<TargetClass, int> counts;
+  for (const auto& t : targets) ++counts[t.target_class];
+  EXPECT_GT(counts[TargetClass::kMainGalaxy], 0);
+  EXPECT_GT(counts[TargetClass::kRedGalaxy], 0);
+  EXPECT_GT(counts[TargetClass::kQuasar], 0);
+}
+
+TEST(TargetSelectionTest, GalaxiesDominateAtSurveyDepth) {
+  // The survey's 10:1 galaxy-to-quasar target ratio emerges once the
+  // magnitude limit reaches the bulk of the galaxy counts.
+  ObjectStore store = MakeStore();
+  SelectionCuts deep;
+  deep.main_r_limit = 20.5f;
+  auto targets = SelectTargets(store, deep);
+  std::map<TargetClass, int> counts;
+  for (const auto& t : targets) ++counts[t.target_class];
+  EXPECT_GT(counts[TargetClass::kMainGalaxy] +
+                counts[TargetClass::kRedGalaxy],
+            counts[TargetClass::kQuasar]);
+}
+
+TEST(TargetSelectionTest, CutsAreRespected) {
+  ObjectStore store = MakeStore();
+  SelectionCuts cuts;
+  auto targets = SelectTargets(store, cuts);
+  std::map<uint64_t, const PhotoObj*> by_id;
+  std::vector<PhotoObj> all;
+  store.ForEachObject([&](const PhotoObj& o) { all.push_back(o); });
+  for (const auto& o : all) by_id[o.obj_id] = &o;
+
+  for (const auto& t : targets) {
+    const PhotoObj* o = by_id[t.obj_id];
+    ASSERT_NE(o, nullptr);
+    switch (t.target_class) {
+      case TargetClass::kMainGalaxy:
+        EXPECT_EQ(o->obj_class, ObjClass::kGalaxy);
+        EXPECT_LT(o->mag[kR], cuts.main_r_limit);
+        EXPECT_LT(o->surface_brightness, cuts.main_sb_limit);
+        break;
+      case TargetClass::kRedGalaxy:
+        EXPECT_EQ(o->obj_class, ObjClass::kGalaxy);
+        EXPECT_GE(o->Color(kG, kR), cuts.red_color_min);
+        EXPECT_LT(o->mag[kR], cuts.red_r_limit);
+        break;
+      case TargetClass::kQuasar:
+        EXPECT_LE(o->Color(kU, kG), cuts.quasar_ug_max);
+        EXPECT_LT(o->mag[kR], cuts.quasar_r_limit);
+        EXPECT_LT(o->petro_radius_arcsec, 2.5f);
+        break;
+    }
+  }
+}
+
+TEST(TargetSelectionTest, ClassesAreDisjoint) {
+  ObjectStore store = MakeStore();
+  auto targets = SelectTargets(store);
+  std::set<uint64_t> seen;
+  for (const auto& t : targets) {
+    EXPECT_TRUE(seen.insert(t.obj_id).second) << t.obj_id;
+  }
+}
+
+TEST(TargetSelectionTest, TighterCutsSelectFewer) {
+  ObjectStore store = MakeStore();
+  SelectionCuts loose;
+  SelectionCuts tight;
+  tight.main_r_limit = 16.5f;
+  tight.red_r_limit = 18.0f;
+  tight.quasar_r_limit = 20.0f;
+  EXPECT_GT(SelectTargets(store, loose).size(),
+            SelectTargets(store, tight).size());
+}
+
+class TilingTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    store_ = new ObjectStore(MakeStore());
+    targets_ = new std::vector<Target>(SelectTargets(*store_));
+  }
+  static void TearDownTestSuite() {
+    delete targets_;
+    delete store_;
+    targets_ = nullptr;
+    store_ = nullptr;
+  }
+  static ObjectStore* store_;
+  static std::vector<Target>* targets_;
+};
+
+ObjectStore* TilingTest::store_ = nullptr;
+std::vector<Target>* TilingTest::targets_ = nullptr;
+
+TEST_F(TilingTest, ReachesRequestedCoverage) {
+  TilingOptions opt;
+  opt.target_coverage = 0.95;
+  auto result = PlaceTiles(*targets_, opt);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  uint64_t assignable =
+      result->targets_total - result->targets_unreachable;
+  EXPECT_GE(result->targets_assigned,
+            static_cast<uint64_t>(0.95 * static_cast<double>(assignable)));
+  EXPECT_FALSE(result->tiles.empty());
+}
+
+TEST_F(TilingTest, AssignedTargetsAreInsideTheirTile) {
+  TilingOptions opt;
+  opt.target_coverage = 0.8;
+  auto result = PlaceTiles(*targets_, opt);
+  ASSERT_TRUE(result.ok());
+  std::map<uint64_t, Vec3> pos;
+  for (const auto& t : *targets_) pos[t.obj_id] = t.pos;
+  double max_cos_dist = DegToRad(opt.tile_radius_deg) + 1e-9;
+  for (const Tile& tile : result->tiles) {
+    for (uint64_t id : tile.assigned) {
+      EXPECT_LE(tile.center.AngleTo(pos[id]), max_cos_dist);
+    }
+  }
+}
+
+TEST_F(TilingTest, NoTargetAssignedTwice) {
+  auto result = PlaceTiles(*targets_);
+  ASSERT_TRUE(result.ok());
+  std::set<uint64_t> seen;
+  uint64_t total = 0;
+  for (const Tile& tile : result->tiles) {
+    for (uint64_t id : tile.assigned) {
+      EXPECT_TRUE(seen.insert(id).second) << id;
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, result->targets_assigned);
+}
+
+TEST_F(TilingTest, FiberCountAndCollisionLimitRespected) {
+  TilingOptions opt;
+  opt.fibers_per_tile = 100;  // Force the cap to bind.
+  auto result = PlaceTiles(*targets_, opt);
+  ASSERT_TRUE(result.ok());
+  std::map<uint64_t, Vec3> pos;
+  for (const auto& t : *targets_) pos[t.obj_id] = t.pos;
+  double min_sep = ArcsecToRad(opt.fiber_collision_arcsec);
+  for (const Tile& tile : result->tiles) {
+    EXPECT_LE(tile.assigned.size(), 100u);
+    for (size_t i = 0; i < tile.assigned.size(); ++i) {
+      for (size_t j = i + 1; j < tile.assigned.size(); ++j) {
+        EXPECT_GE(pos[tile.assigned[i]].AngleTo(pos[tile.assigned[j]]),
+                  min_sep - 1e-12);
+      }
+    }
+  }
+}
+
+TEST_F(TilingTest, GreedyPicksDenseAreasFirst) {
+  // Tile gains are non-increasing in a pure greedy (each pick maximizes
+  // the remaining gain). Fiber collisions can perturb this slightly, so
+  // allow a small tolerance.
+  TilingOptions opt;
+  opt.target_coverage = 0.9;
+  auto result = PlaceTiles(*targets_, opt);
+  ASSERT_TRUE(result.ok());
+  ASSERT_GT(result->tiles.size(), 2u);
+  size_t first = result->tiles.front().assigned.size();
+  size_t last = result->tiles.back().assigned.size();
+  EXPECT_GE(first, last);
+}
+
+TEST_F(TilingTest, MaxTilesCapsTheRun) {
+  TilingOptions opt;
+  opt.max_tiles = 3;
+  auto result = PlaceTiles(*targets_, opt);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(result->tiles.size(), 3u);
+}
+
+TEST_F(TilingTest, DeterministicOutput) {
+  auto a = PlaceTiles(*targets_);
+  auto b = PlaceTiles(*targets_);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->tiles.size(), b->tiles.size());
+  for (size_t i = 0; i < a->tiles.size(); ++i) {
+    EXPECT_EQ(a->tiles[i].assigned, b->tiles[i].assigned);
+  }
+}
+
+TEST(TilingEdgeTest, EmptyTargetsYieldEmptyResult) {
+  auto result = PlaceTiles({});
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->tiles.empty());
+  EXPECT_EQ(result->targets_total, 0u);
+  EXPECT_DOUBLE_EQ(result->CoverageFraction(), 1.0);
+}
+
+TEST(TilingEdgeTest, InvalidOptionsRejected) {
+  std::vector<Target> targets(1);
+  TilingOptions bad_radius;
+  bad_radius.tile_radius_deg = 0.0;
+  EXPECT_FALSE(PlaceTiles(targets, bad_radius).ok());
+  TilingOptions bad_fibers;
+  bad_fibers.fibers_per_tile = 0;
+  EXPECT_FALSE(PlaceTiles(targets, bad_fibers).ok());
+}
+
+TEST(TilingEdgeTest, SingleTargetGetsOneTile) {
+  Target t;
+  t.obj_id = 1;
+  t.pos = Vec3(1, 0, 0);
+  auto result = PlaceTiles({t});
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->tiles.size(), 1u);
+  EXPECT_EQ(result->tiles[0].assigned, std::vector<uint64_t>{1});
+  EXPECT_EQ(result->targets_assigned, 1u);
+}
+
+TEST(TilingEdgeTest, CollidingPairLosesOneFiberPerTile) {
+  // Two targets 10 arcsec apart: one tile cannot take both; a second
+  // tile picks up the remainder.
+  Target a, b;
+  a.obj_id = 1;
+  a.pos = UnitVectorFromSpherical(100.0, 10.0);
+  b.obj_id = 2;
+  b.pos = UnitVectorFromSpherical(100.0 + ArcsecToDeg(10.0), 10.0);
+  auto result = PlaceTiles({a, b});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->targets_assigned, 2u);
+  EXPECT_EQ(result->tiles.size(), 2u);  // Overlapping tiles, as designed.
+  EXPECT_EQ(result->tiles[0].collisions_skipped, 1u);
+}
+
+}  // namespace
+}  // namespace sdss::catalog

@@ -1,0 +1,79 @@
+// Property sweep over coordinate frames: transforms must be isometries,
+// round-trip exactly, and commute with the region algebra (a band built
+// in frame F contains exactly the points whose F-latitude is in range).
+
+#include <gtest/gtest.h>
+
+#include "core/angle.h"
+#include "core/coords.h"
+#include "core/random.h"
+
+namespace sdss {
+namespace {
+
+class FramePropertyTest : public ::testing::TestWithParam<Frame> {};
+
+TEST_P(FramePropertyTest, RoundTripIsExact) {
+  Frame frame = GetParam();
+  Rng rng(42 + static_cast<uint64_t>(frame));
+  for (int i = 0; i < 1000; ++i) {
+    Vec3 v = rng.UnitSphere();
+    Vec3 back = TransformFrame(TransformFrame(v, Frame::kEquatorial, frame),
+                               frame, Frame::kEquatorial);
+    ASSERT_TRUE(ApproxEqual(back, v, 1e-13)) << FrameName(frame);
+  }
+}
+
+TEST_P(FramePropertyTest, TransformIsAnIsometry) {
+  Frame frame = GetParam();
+  Rng rng(43 + static_cast<uint64_t>(frame));
+  for (int i = 0; i < 300; ++i) {
+    Vec3 a = rng.UnitSphere();
+    Vec3 b = rng.UnitSphere();
+    double before = a.AngleTo(b);
+    double after = TransformFrame(a, Frame::kEquatorial, frame)
+                       .AngleTo(TransformFrame(b, Frame::kEquatorial,
+                                               frame));
+    ASSERT_NEAR(after, before, 1e-12);
+  }
+}
+
+TEST_P(FramePropertyTest, SphericalConversionConsistent) {
+  Frame frame = GetParam();
+  Rng rng(44 + static_cast<uint64_t>(frame));
+  for (int i = 0; i < 500; ++i) {
+    Vec3 eq = rng.UnitSphere();
+    SphericalCoord s = ToSpherical(eq, frame);
+    ASSERT_EQ(s.frame, frame);
+    ASSERT_GE(s.lon_deg, 0.0);
+    ASSERT_LT(s.lon_deg, 360.0);
+    ASSERT_GE(s.lat_deg, -90.0);
+    ASSERT_LE(s.lat_deg, 90.0);
+    Vec3 back = EquatorialUnitVector(s);
+    ASSERT_TRUE(ApproxEqual(back, eq, 1e-12));
+  }
+}
+
+TEST_P(FramePropertyTest, LatitudeMatchesFrameLatitude) {
+  // A point's latitude in frame F (via ToSpherical) must equal the
+  // latitude encoded by the frame's pole direction: sin(lat) = p . pole.
+  Frame frame = GetParam();
+  Vec3 pole = RotationToEquatorial(frame) * Vec3{0, 0, 1};
+  Rng rng(45 + static_cast<uint64_t>(frame));
+  for (int i = 0; i < 500; ++i) {
+    Vec3 p = rng.UnitSphere();
+    SphericalCoord s = ToSpherical(p, frame);
+    ASSERT_NEAR(std::sin(DegToRad(s.lat_deg)), p.Dot(pole), 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Frames, FramePropertyTest,
+                         ::testing::Values(Frame::kEquatorial,
+                                           Frame::kGalactic,
+                                           Frame::kSupergalactic),
+                         [](const ::testing::TestParamInfo<Frame>& info) {
+                           return FrameName(info.param);
+                         });
+
+}  // namespace
+}  // namespace sdss

@@ -1,0 +1,130 @@
+#include "core/coords.h"
+
+#include <gtest/gtest.h>
+
+#include "core/angle.h"
+
+namespace sdss {
+namespace {
+
+TEST(CoordsTest, UnitVectorCardinalDirections) {
+  EXPECT_TRUE(ApproxEqual(UnitVectorFromSpherical(0, 0), Vec3(1, 0, 0)));
+  EXPECT_TRUE(ApproxEqual(UnitVectorFromSpherical(90, 0), Vec3(0, 1, 0)));
+  EXPECT_TRUE(ApproxEqual(UnitVectorFromSpherical(0, 90), Vec3(0, 0, 1)));
+  EXPECT_TRUE(ApproxEqual(UnitVectorFromSpherical(0, -90), Vec3(0, 0, -1)));
+  EXPECT_TRUE(ApproxEqual(UnitVectorFromSpherical(180, 0), Vec3(-1, 0, 0)));
+}
+
+TEST(CoordsTest, SphericalRoundTrip) {
+  for (double lon : {0.0, 33.0, 123.456, 250.0, 359.9}) {
+    for (double lat : {-89.0, -45.5, 0.0, 12.34, 88.8}) {
+      Vec3 v = UnitVectorFromSpherical(lon, lat);
+      double lon2, lat2;
+      SphericalFromUnitVector(v, &lon2, &lat2);
+      EXPECT_NEAR(lon2, lon, 1e-10) << lon << " " << lat;
+      EXPECT_NEAR(lat2, lat, 1e-10) << lon << " " << lat;
+    }
+  }
+}
+
+TEST(CoordsTest, PoleLongitudeIsZero) {
+  double lon, lat;
+  SphericalFromUnitVector(Vec3(0, 0, 1), &lon, &lat);
+  EXPECT_DOUBLE_EQ(lon, 0.0);
+  EXPECT_DOUBLE_EQ(lat, 90.0);
+}
+
+TEST(CoordsTest, FrameNamesRoundTrip) {
+  for (Frame f : {Frame::kEquatorial, Frame::kGalactic,
+                  Frame::kSupergalactic}) {
+    auto r = FrameFromName(FrameName(f));
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(*r, f);
+  }
+  EXPECT_TRUE(FrameFromName("gal").ok());
+  EXPECT_TRUE(FrameFromName("EQ").ok());
+  EXPECT_FALSE(FrameFromName("ecliptic").ok());
+}
+
+TEST(CoordsTest, RotationMatricesAreProperRotations) {
+  for (Frame f : {Frame::kGalactic, Frame::kSupergalactic}) {
+    const Matrix3& m = RotationFromEquatorial(f);
+    EXPECT_NEAR(m.Determinant(), 1.0, 1e-12) << FrameName(f);
+    // Rows are orthonormal.
+    Vec3 r0{m.m[0][0], m.m[0][1], m.m[0][2]};
+    Vec3 r1{m.m[1][0], m.m[1][1], m.m[1][2]};
+    Vec3 r2{m.m[2][0], m.m[2][1], m.m[2][2]};
+    EXPECT_NEAR(r0.Norm(), 1.0, 1e-12);
+    EXPECT_NEAR(r1.Norm(), 1.0, 1e-12);
+    EXPECT_NEAR(r2.Norm(), 1.0, 1e-12);
+    EXPECT_NEAR(r0.Dot(r1), 0.0, 1e-12);
+    EXPECT_NEAR(r1.Dot(r2), 0.0, 1e-12);
+    EXPECT_NEAR(r2.Dot(r0), 0.0, 1e-12);
+  }
+}
+
+TEST(CoordsTest, GalacticPoleMapsToNinetyLatitude) {
+  // The J2000 NGP (ra=192.859508, dec=27.128336) is b = +90 by definition.
+  Vec3 ngp_eq = UnitVectorFromSpherical(192.859508, 27.128336);
+  SphericalCoord gal = ToSpherical(ngp_eq, Frame::kGalactic);
+  EXPECT_NEAR(gal.lat_deg, 90.0, 1e-9);
+}
+
+TEST(CoordsTest, GalacticCenterIsOriginOfGalacticFrame) {
+  Vec3 gc_eq = UnitVectorFromSpherical(266.405100, -28.936175);
+  SphericalCoord gal = ToSpherical(gc_eq, Frame::kGalactic);
+  // The IAU NGP/GC constants are mutually consistent to ~0.4 milli-degrees;
+  // the frame construction projects the residual into latitude.
+  EXPECT_NEAR(gal.lon_deg, 0.0, 1e-3);
+  EXPECT_NEAR(gal.lat_deg, 0.0, 1e-3);
+}
+
+TEST(CoordsTest, SupergalacticPoleInGalacticCoords) {
+  // The SGP is at galactic (l, b) = (47.37, +6.32) by definition.
+  SphericalCoord sgp_gal{47.37, 6.32, Frame::kGalactic};
+  Vec3 eq = EquatorialUnitVector(sgp_gal);
+  SphericalCoord sg = ToSpherical(eq, Frame::kSupergalactic);
+  EXPECT_NEAR(sg.lat_deg, 90.0, 1e-9);
+}
+
+TEST(CoordsTest, FrameTransformRoundTrip) {
+  Vec3 v = UnitVectorFromSpherical(123.4, -56.7);
+  for (Frame f : {Frame::kGalactic, Frame::kSupergalactic}) {
+    Vec3 there = TransformFrame(v, Frame::kEquatorial, f);
+    Vec3 back = TransformFrame(there, f, Frame::kEquatorial);
+    EXPECT_TRUE(ApproxEqual(back, v, 1e-13)) << FrameName(f);
+  }
+}
+
+TEST(CoordsTest, TransformPreservesAngles) {
+  Vec3 a = UnitVectorFromSpherical(10, 20);
+  Vec3 b = UnitVectorFromSpherical(30, -40);
+  double before = a.AngleTo(b);
+  Vec3 ag = TransformFrame(a, Frame::kEquatorial, Frame::kGalactic);
+  Vec3 bg = TransformFrame(b, Frame::kEquatorial, Frame::kGalactic);
+  EXPECT_NEAR(ag.AngleTo(bg), before, 1e-12);
+}
+
+TEST(CoordsTest, AngularDistanceDeg) {
+  EXPECT_NEAR(AngularDistanceDeg(0, 0, 90, 0), 90.0, 1e-12);
+  EXPECT_NEAR(AngularDistanceDeg(0, 0, 0, 45), 45.0, 1e-12);
+  EXPECT_NEAR(AngularDistanceDeg(10, 10, 10, 10), 0.0, 1e-12);
+  // One arcsecond apart along the equator.
+  EXPECT_NEAR(AngularDistanceDeg(0, 0, ArcsecToDeg(1), 0), ArcsecToDeg(1),
+              1e-12);
+}
+
+TEST(CoordsTest, AngleHelpers) {
+  EXPECT_DOUBLE_EQ(DegToRad(180.0), kPi);
+  EXPECT_DOUBLE_EQ(RadToDeg(kPi / 2), 90.0);
+  EXPECT_DOUBLE_EQ(ArcsecToDeg(3600.0), 1.0);
+  EXPECT_DOUBLE_EQ(ArcminToDeg(60.0), 1.0);
+  EXPECT_DOUBLE_EQ(NormalizeDeg360(-30.0), 330.0);
+  EXPECT_DOUBLE_EQ(NormalizeDeg360(370.0), 10.0);
+  EXPECT_DOUBLE_EQ(NormalizeDeg180(270.0), -90.0);
+  EXPECT_DOUBLE_EQ(ClampLatitudeDeg(95.0), 90.0);
+  EXPECT_DOUBLE_EQ(ClampLatitudeDeg(-95.0), -90.0);
+}
+
+}  // namespace
+}  // namespace sdss

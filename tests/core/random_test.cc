@@ -1,0 +1,133 @@
+#include "core/random.h"
+
+#include <gtest/gtest.h>
+
+#include "core/angle.h"
+
+namespace sdss {
+namespace {
+
+TEST(RngTest, DeterministicForFixedSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.Uniform(), b.Uniform());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next64() == b.Next64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, UniformRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    double u = r.Uniform(-5.0, 5.0);
+    EXPECT_GE(u, -5.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng r(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = r.UniformInt(0, 3);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == 0);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng r(11);
+  double sum = 0, sum2 = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double g = r.Gaussian(2.0, 3.0);
+    sum += g;
+    sum2 += g * g;
+  }
+  double mean = sum / n;
+  double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.1);
+  EXPECT_NEAR(var, 9.0, 0.5);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng r(13);
+  int hits = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) hits += r.Bernoulli(0.25);
+  EXPECT_NEAR(hits / double(n), 0.25, 0.02);
+}
+
+TEST(RngTest, PoissonMean) {
+  Rng r(17);
+  double sum = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(r.Poisson(6.0));
+  EXPECT_NEAR(sum / n, 6.0, 0.2);
+}
+
+TEST(RngTest, UnitSphereIsUnitAndCoversHemispheres) {
+  Rng r(19);
+  int north = 0;
+  const int n = 4000;
+  for (int i = 0; i < n; ++i) {
+    Vec3 v = r.UnitSphere();
+    EXPECT_NEAR(v.Norm(), 1.0, 1e-12);
+    north += v.z > 0;
+  }
+  EXPECT_NEAR(north / double(n), 0.5, 0.05);
+}
+
+TEST(RngTest, UnitCapStaysWithinRadius) {
+  Rng r(23);
+  Vec3 center = Vec3(0.3, -0.5, 0.8).Normalized();
+  double radius = DegToRad(5.0);
+  for (int i = 0; i < 2000; ++i) {
+    Vec3 v = r.UnitCap(center, radius);
+    EXPECT_NEAR(v.Norm(), 1.0, 1e-12);
+    EXPECT_LE(center.AngleTo(v), radius + 1e-12);
+  }
+}
+
+TEST(RngTest, UnitCapIsAreaUniform) {
+  // Points in the half-angle sub-cap should appear with probability
+  // (1-cos(r/2)) / (1-cos(r)) ~ 0.2512 for r = 30 deg.
+  Rng r(29);
+  Vec3 center{0, 0, 1};
+  double radius = DegToRad(30.0);
+  int inner = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (center.AngleTo(r.UnitCap(center, radius)) < radius / 2) ++inner;
+  }
+  double expected = (1 - std::cos(radius / 2)) / (1 - std::cos(radius));
+  EXPECT_NEAR(inner / double(n), expected, 0.02);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(31);
+  Rng child = parent.Fork();
+  // The child stream is not identical to the parent's continuation.
+  bool differs = false;
+  for (int i = 0; i < 16; ++i) {
+    if (parent.Next64() != child.Next64()) {
+      differs = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+}  // namespace
+}  // namespace sdss

@@ -1,0 +1,55 @@
+#include "core/sim_clock.h"
+
+#include <gtest/gtest.h>
+
+namespace sdss {
+namespace {
+
+TEST(SimClockTest, StartsAtZeroAndAdvances) {
+  SimClock c;
+  EXPECT_DOUBLE_EQ(c.now(), 0.0);
+  c.Advance(5.0);
+  EXPECT_DOUBLE_EQ(c.now(), 5.0);
+  c.Advance(2.5);
+  EXPECT_DOUBLE_EQ(c.now(), 7.5);
+}
+
+TEST(SimClockTest, NegativeAdvanceIsIgnored) {
+  SimClock c;
+  c.Advance(10.0);
+  c.Advance(-5.0);
+  EXPECT_DOUBLE_EQ(c.now(), 10.0);
+}
+
+TEST(SimClockTest, AdvanceToNeverGoesBackwards) {
+  SimClock c;
+  c.AdvanceTo(100.0);
+  EXPECT_DOUBLE_EQ(c.now(), 100.0);
+  c.AdvanceTo(50.0);
+  EXPECT_DOUBLE_EQ(c.now(), 100.0);
+}
+
+TEST(SimClockTest, Reset) {
+  SimClock c;
+  c.Advance(9.0);
+  c.Reset();
+  EXPECT_DOUBLE_EQ(c.now(), 0.0);
+}
+
+TEST(SimClockTest, DurationFormatting) {
+  EXPECT_EQ(FormatSimDuration(30.0), "30.00 s");
+  EXPECT_EQ(FormatSimDuration(120.0), "2.00 min");
+  EXPECT_EQ(FormatSimDuration(2.0 * kSimHour), "2.00 h");
+  EXPECT_EQ(FormatSimDuration(1.5 * kSimDay), "1.50 d");
+}
+
+TEST(SimClockTest, ByteFormatting) {
+  EXPECT_EQ(FormatBytes(512), "512 B");
+  EXPECT_EQ(FormatBytes(20'000), "20.0 KB");
+  EXPECT_EQ(FormatBytes(150'000'000), "150.0 MB");
+  EXPECT_EQ(FormatBytes(20'000'000'000ull), "20.00 GB");
+  EXPECT_EQ(FormatBytes(1'500'000'000'000ull), "1.50 TB");
+}
+
+}  // namespace
+}  // namespace sdss

@@ -1,0 +1,91 @@
+#include "core/vec3.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/angle.h"
+
+namespace sdss {
+namespace {
+
+TEST(Vec3Test, Arithmetic) {
+  Vec3 a{1, 2, 3}, b{4, 5, 6};
+  EXPECT_EQ(a + b, Vec3(5, 7, 9));
+  EXPECT_EQ(b - a, Vec3(3, 3, 3));
+  EXPECT_EQ(a * 2.0, Vec3(2, 4, 6));
+  EXPECT_EQ(2.0 * a, Vec3(2, 4, 6));
+  EXPECT_EQ(a / 2.0, Vec3(0.5, 1, 1.5));
+  EXPECT_EQ(-a, Vec3(-1, -2, -3));
+}
+
+TEST(Vec3Test, DotAndCross) {
+  Vec3 x{1, 0, 0}, y{0, 1, 0}, z{0, 0, 1};
+  EXPECT_DOUBLE_EQ(x.Dot(y), 0.0);
+  EXPECT_EQ(x.Cross(y), z);
+  EXPECT_EQ(y.Cross(z), x);
+  EXPECT_EQ(z.Cross(x), y);
+  EXPECT_DOUBLE_EQ(Vec3(1, 2, 3).Dot(Vec3(4, 5, 6)), 32.0);
+}
+
+TEST(Vec3Test, NormAndNormalize) {
+  Vec3 v{3, 4, 0};
+  EXPECT_DOUBLE_EQ(v.Norm(), 5.0);
+  EXPECT_TRUE(ApproxEqual(v.Normalized(), Vec3(0.6, 0.8, 0)));
+  // Zero vector normalizes to itself rather than NaN.
+  EXPECT_EQ(Vec3().Normalized(), Vec3());
+}
+
+TEST(Vec3Test, AngleToIsRobustNearZeroAndPi) {
+  Vec3 x{1, 0, 0};
+  EXPECT_NEAR(x.AngleTo(x), 0.0, 1e-15);
+  EXPECT_NEAR(x.AngleTo(-x), kPi, 1e-15);
+  EXPECT_NEAR(x.AngleTo(Vec3(0, 1, 0)), kPi / 2, 1e-15);
+  // Tiny angle: atan2 formulation keeps precision where acos would not.
+  Vec3 nearly_x = Vec3(1, 1e-9, 0).Normalized();
+  EXPECT_NEAR(x.AngleTo(nearly_x), 1e-9, 1e-15);
+}
+
+TEST(Matrix3Test, IdentityActsTrivially) {
+  Matrix3 id = Matrix3::Identity();
+  Vec3 v{1, 2, 3};
+  EXPECT_EQ(id * v, v);
+  EXPECT_DOUBLE_EQ(id.Determinant(), 1.0);
+}
+
+TEST(Matrix3Test, RotationZQuarterTurn) {
+  Matrix3 r = Matrix3::RotationZ(kPi / 2);
+  EXPECT_TRUE(ApproxEqual(r * Vec3(1, 0, 0), Vec3(0, 1, 0), 1e-15));
+  EXPECT_TRUE(ApproxEqual(r * Vec3(0, 1, 0), Vec3(-1, 0, 0), 1e-15));
+  EXPECT_NEAR(r.Determinant(), 1.0, 1e-15);
+}
+
+TEST(Matrix3Test, RotationXAndY) {
+  EXPECT_TRUE(ApproxEqual(Matrix3::RotationX(kPi / 2) * Vec3(0, 1, 0),
+                          Vec3(0, 0, 1), 1e-15));
+  EXPECT_TRUE(ApproxEqual(Matrix3::RotationY(kPi / 2) * Vec3(0, 0, 1),
+                          Vec3(1, 0, 0), 1e-15));
+}
+
+TEST(Matrix3Test, TransposeInvertsRotation) {
+  Matrix3 r = Matrix3::RotationZ(0.7) * Matrix3::RotationX(-0.3);
+  Vec3 v{0.2, -0.5, 0.8};
+  Vec3 round_trip = r.Transposed() * (r * v);
+  EXPECT_TRUE(ApproxEqual(round_trip, v, 1e-14));
+}
+
+TEST(Matrix3Test, CompositionMatchesSequentialApplication) {
+  Matrix3 a = Matrix3::RotationZ(0.4);
+  Matrix3 b = Matrix3::RotationY(1.1);
+  Vec3 v{1, 2, 3};
+  EXPECT_TRUE(ApproxEqual((a * b) * v, a * (b * v), 1e-13));
+}
+
+TEST(Matrix3Test, FromRowsLaysOutRows) {
+  Matrix3 m = Matrix3::FromRows({1, 2, 3}, {4, 5, 6}, {7, 8, 9});
+  EXPECT_EQ(m * Vec3(1, 0, 0), Vec3(1, 4, 7));
+  EXPECT_EQ(m * Vec3(0, 1, 0), Vec3(2, 5, 8));
+}
+
+}  // namespace
+}  // namespace sdss

@@ -1,0 +1,204 @@
+#include "dataflow/hash_machine.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "catalog/sky_generator.h"
+#include "core/angle.h"
+#include "core/random.h"
+
+namespace sdss::dataflow {
+namespace {
+
+using catalog::ObjClass;
+using catalog::ObjectStore;
+using catalog::PhotoObj;
+using catalog::SkyGenerator;
+using catalog::SkyModel;
+
+// A sky salted with synthetic gravitational-lens pairs: close pairs with
+// identical colors but different brightness (the paper's lens query).
+struct LensedSky {
+  ObjectStore store;
+  ClusterSim cluster{[] {
+    ClusterConfig cfg;
+    cfg.num_nodes = 6;
+    return cfg;
+  }()};
+  uint64_t planted_pairs = 0;
+
+  LensedSky() {
+    SkyModel m;
+    m.seed = 91;
+    m.num_galaxies = 3000;
+    m.num_stars = 1500;
+    m.num_quasars = 120;
+    auto objs = SkyGenerator(m).Generate();
+
+    // Plant lens images: duplicate some quasars within 10 arcsec with the
+    // same colors but fainter magnitudes (conserved color, changed flux).
+    Rng rng(13);
+    uint64_t next_id = 10'000'000;
+    std::vector<PhotoObj> extra;
+    for (const auto& o : objs) {
+      if (o.obj_class != ObjClass::kQuasar || !rng.Bernoulli(0.25)) continue;
+      PhotoObj image = o;
+      image.obj_id = next_id++;
+      image.pos = rng.UnitCap(o.pos, ArcsecToRad(8.0)).Normalized();
+      SphericalFromUnitVector(image.pos, &image.ra_deg, &image.dec_deg);
+      float dim = static_cast<float>(rng.Uniform(0.5, 2.0));
+      for (int b = 0; b < catalog::kNumBands; ++b) image.mag[b] += dim;
+      extra.push_back(image);
+      ++planted_pairs;
+    }
+    objs.insert(objs.end(), extra.begin(), extra.end());
+    EXPECT_TRUE(store.BulkLoad(objs).ok());
+    EXPECT_TRUE(cluster.LoadPartitioned(store).ok());
+  }
+};
+
+bool SameColors(const PhotoObj& a, const PhotoObj& b) {
+  // "identical colors, but may have a different brightness".
+  for (int i = 0; i < catalog::kNumBands - 1; ++i) {
+    float ca = a.mag[i] - a.mag[i + 1];
+    float cb = b.mag[i] - b.mag[i + 1];
+    if (std::fabs(ca - cb) > 0.05f) return false;
+  }
+  return true;
+}
+
+TEST(HashMachineTest, FindsAllPlantedLensPairs) {
+  LensedSky sky;
+  HashMachine machine(&sky.cluster);
+  PairSearchOptions opt;
+  HashReport report;
+  auto pairs = machine.FindPairs(
+      [](const PhotoObj& o) { return o.obj_class == ObjClass::kQuasar; },
+      10.0, SameColors, opt, &report);
+  // Every planted image is within 10 arcsec of its source with identical
+  // colors -- all must be found (plus possibly rare chance pairs).
+  EXPECT_GE(pairs.size(), sky.planted_pairs);
+  EXPECT_EQ(report.pairs_found, pairs.size());
+  EXPECT_GT(report.selected, 0u);
+}
+
+TEST(HashMachineTest, MatchesBruteForceExactly) {
+  LensedSky sky;
+  HashMachine machine(&sky.cluster);
+  PairSearchOptions opt;
+  auto fast = machine.FindPairs(
+      [](const PhotoObj& o) { return o.obj_class == ObjClass::kQuasar; },
+      10.0, SameColors, opt);
+  auto brute = machine.FindPairsBruteForce(
+      [](const PhotoObj& o) { return o.obj_class == ObjClass::kQuasar; },
+      10.0, SameColors);
+  ASSERT_EQ(fast.size(), brute.size());
+  for (size_t i = 0; i < fast.size(); ++i) {
+    EXPECT_EQ(fast[i].obj_id_a, brute[i].obj_id_a);
+    EXPECT_EQ(fast[i].obj_id_b, brute[i].obj_id_b);
+    EXPECT_NEAR(fast[i].separation_arcsec, brute[i].separation_arcsec,
+                1e-9);
+  }
+}
+
+TEST(HashMachineTest, PairsAreUniqueAndOrdered) {
+  LensedSky sky;
+  HashMachine machine(&sky.cluster);
+  auto pairs = machine.FindPairs(
+      [](const PhotoObj&) { return true; }, 15.0,
+      [](const PhotoObj&, const PhotoObj&) { return true; },
+      PairSearchOptions{});
+  std::set<std::pair<uint64_t, uint64_t>> seen;
+  for (const auto& p : pairs) {
+    EXPECT_LT(p.obj_id_a, p.obj_id_b);
+    EXPECT_TRUE(seen.insert({p.obj_id_a, p.obj_id_b}).second);
+    EXPECT_LE(p.separation_arcsec, 15.0 + 1e-9);
+  }
+}
+
+TEST(HashMachineTest, BucketingBeatsBruteForceInPairTests) {
+  LensedSky sky;
+  HashMachine machine(&sky.cluster);
+  HashReport report;
+  machine.FindPairs([](const PhotoObj&) { return true; }, 10.0,
+                    [](const PhotoObj&, const PhotoObj&) { return true; },
+                    PairSearchOptions{}, &report);
+  uint64_t brute_tests = 0;
+  machine.FindPairsBruteForce(
+      [](const PhotoObj&) { return true; }, 10.0,
+      [](const PhotoObj&, const PhotoObj&) { return true; }, &brute_tests);
+  // The whole point of the hash machine: avoid the O(N^2) comparison.
+  EXPECT_LT(report.pair_tests * 20, brute_tests);
+}
+
+TEST(HashMachineTest, SelectPredicateFiltersPhaseOne) {
+  LensedSky sky;
+  HashMachine machine(&sky.cluster);
+  HashReport all, quasars;
+  machine.FindPairs([](const PhotoObj&) { return true; }, 5.0,
+                    [](const PhotoObj&, const PhotoObj&) { return true; },
+                    PairSearchOptions{}, &all);
+  machine.FindPairs(
+      [](const PhotoObj& o) { return o.obj_class == ObjClass::kQuasar; },
+      5.0, [](const PhotoObj&, const PhotoObj&) { return true; },
+      PairSearchOptions{}, &quasars);
+  EXPECT_LT(quasars.selected, all.selected / 10);
+  EXPECT_LE(quasars.pair_tests, all.pair_tests);
+}
+
+TEST(HashMachineTest, TimingModelSplitsPhases) {
+  LensedSky sky;
+  HashMachine machine(&sky.cluster);
+  HashReport report;
+  machine.FindPairs([](const PhotoObj&) { return true; }, 10.0,
+                    [](const PhotoObj&, const PhotoObj&) { return true; },
+                    PairSearchOptions{}, &report);
+  EXPECT_GT(report.phase1_sim_seconds, 0.0);
+  EXPECT_GE(report.phase2_sim_seconds, 0.0);
+  EXPECT_NEAR(report.total_sim_seconds,
+              report.phase1_sim_seconds + report.phase2_sim_seconds, 1e-12);
+}
+
+TEST(HashMachineTest, GenericBucketsClusterByRedshift) {
+  // "clustering by spectral type or by redshift-distance vector".
+  LensedSky sky;
+  HashMachine machine(&sky.cluster);
+  std::map<int64_t, uint64_t> bucket_sizes;
+  std::mutex mu;
+  HashReport report = machine.ProcessBuckets(
+      [](const PhotoObj& o) { return o.redshift >= 0.0f; },
+      [](const PhotoObj& o) {
+        return static_cast<int64_t>(o.redshift / 0.1f);
+      },
+      [&](int64_t key, const std::vector<const PhotoObj*>& members) {
+        std::lock_guard<std::mutex> lock(mu);
+        bucket_sizes[key] = members.size();
+        // Every member belongs in this redshift bin.
+        for (const PhotoObj* o : members) {
+          EXPECT_EQ(static_cast<int64_t>(o->redshift / 0.1f), key);
+        }
+      });
+  EXPECT_EQ(report.buckets, bucket_sizes.size());
+  uint64_t total = 0;
+  for (const auto& [k, n] : bucket_sizes) total += n;
+  EXPECT_EQ(total, report.selected);
+  EXPECT_GT(report.buckets, 3u);
+}
+
+TEST(HashMachineTest, EmptySelectionYieldsNoPairs) {
+  LensedSky sky;
+  HashMachine machine(&sky.cluster);
+  HashReport report;
+  auto pairs = machine.FindPairs(
+      [](const PhotoObj&) { return false; }, 10.0,
+      [](const PhotoObj&, const PhotoObj&) { return true; },
+      PairSearchOptions{}, &report);
+  EXPECT_TRUE(pairs.empty());
+  EXPECT_EQ(report.selected, 0u);
+  EXPECT_EQ(report.pair_tests, 0u);
+}
+
+}  // namespace
+}  // namespace sdss::dataflow

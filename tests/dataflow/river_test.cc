@@ -1,0 +1,170 @@
+#include "dataflow/river.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "catalog/sky_generator.h"
+
+namespace sdss::dataflow {
+namespace {
+
+using catalog::ObjClass;
+using catalog::ObjectStore;
+using catalog::PhotoObj;
+using catalog::SkyGenerator;
+using catalog::SkyModel;
+
+struct Fixture {
+  ObjectStore store;
+  ClusterSim cluster{[] {
+    ClusterConfig cfg;
+    cfg.num_nodes = 6;
+    return cfg;
+  }()};
+
+  Fixture() {
+    SkyModel m;
+    m.seed = 101;
+    m.num_galaxies = 5000;
+    m.num_stars = 3000;
+    m.num_quasars = 100;
+    EXPECT_TRUE(store.BulkLoad(SkyGenerator(m).Generate()).ok());
+    EXPECT_TRUE(cluster.LoadPartitioned(store).ok());
+  }
+};
+
+TEST(RiverTest, PassthroughDeliversEverything) {
+  Fixture f;
+  River river(&f.cluster);
+  std::set<uint64_t> seen;
+  RiverStats stats = river.Run([&](const PhotoObj& o) {
+    EXPECT_TRUE(seen.insert(o.obj_id).second);
+  });
+  EXPECT_EQ(seen.size(), f.store.object_count());
+  EXPECT_EQ(stats.records_in, f.store.object_count());
+  EXPECT_EQ(stats.records_out, f.store.object_count());
+  EXPECT_GT(stats.sim_mbps, 0.0);
+}
+
+TEST(RiverTest, FilterStage) {
+  Fixture f;
+  River river(&f.cluster);
+  river.Filter(
+      [](const PhotoObj& o) { return o.obj_class == ObjClass::kGalaxy; });
+  uint64_t count = 0;
+  river.Run([&](const PhotoObj& o) {
+    EXPECT_EQ(o.obj_class, ObjClass::kGalaxy);
+    ++count;
+  });
+  uint64_t expected = 0;
+  f.store.ForEachObject([&](const PhotoObj& o) {
+    if (o.obj_class == ObjClass::kGalaxy) ++expected;
+  });
+  EXPECT_EQ(count, expected);
+}
+
+TEST(RiverTest, MapStage) {
+  Fixture f;
+  River river(&f.cluster);
+  river.Map([](const PhotoObj& o) {
+    PhotoObj copy = o;
+    copy.mag[2] += 1.0f;  // Recalibration as a dataflow step.
+    return copy;
+  });
+  double sum_shifted = 0;
+  uint64_t n = 0;
+  river.Run([&](const PhotoObj& o) {
+    sum_shifted += o.mag[2];
+    ++n;
+  });
+  double sum_orig = 0;
+  f.store.ForEachObject([&](const PhotoObj& o) { sum_orig += o.mag[2]; });
+  EXPECT_NEAR(sum_shifted, sum_orig + static_cast<double>(n), 1e-3);
+}
+
+TEST(RiverTest, SortProducesGlobalOrder) {
+  Fixture f;
+  River river(&f.cluster);
+  river.SortBy([](const PhotoObj& o) { return o.mag[2]; });
+  double prev = -1e9;
+  uint64_t count = 0;
+  RiverStats stats = river.Run([&](const PhotoObj& o) {
+    EXPECT_GE(o.mag[2] + 1e-9, prev);
+    prev = o.mag[2];
+    ++count;
+  });
+  EXPECT_EQ(count, f.store.object_count());
+  EXPECT_EQ(stats.records_out, count);
+}
+
+TEST(RiverTest, FilterThenSortComposition) {
+  Fixture f;
+  River river(&f.cluster);
+  river.Filter([](const PhotoObj& o) { return o.mag[2] < 19.0f; })
+      .SortBy([](const PhotoObj& o) { return o.mag[2]; });
+  double prev = -1e9;
+  uint64_t count = 0;
+  river.Run([&](const PhotoObj& o) {
+    EXPECT_LT(o.mag[2], 19.0f);
+    EXPECT_GE(o.mag[2] + 1e-9, prev);
+    prev = o.mag[2];
+    ++count;
+  });
+  EXPECT_GT(count, 0u);
+  EXPECT_LT(count, f.store.object_count());
+}
+
+TEST(RiverTest, RepartitionPreservesRecords) {
+  Fixture f;
+  River river(&f.cluster);
+  river.Repartition(
+      [](const PhotoObj& o) { return static_cast<size_t>(o.obj_id % 13); },
+      13);
+  std::set<uint64_t> seen;
+  river.Run([&](const PhotoObj& o) { seen.insert(o.obj_id); });
+  EXPECT_EQ(seen.size(), f.store.object_count());
+}
+
+TEST(RiverTest, RangePartitionPlusSortIsAParallelSortingNetwork) {
+  // The paper: "The simplest river systems are sorting networks."
+  Fixture f;
+  River river(&f.cluster);
+  size_t parts = 8;
+  river
+      .Repartition(
+          [parts](const PhotoObj& o) {
+            // Range partition on magnitude so partition order = global
+            // order after local sorts.
+            double lo = 14.0, hi = 23.5;
+            double frac = (o.mag[2] - lo) / (hi - lo);
+            auto p = static_cast<size_t>(
+                std::clamp(frac, 0.0, 0.999) * static_cast<double>(parts));
+            return p;
+          },
+          parts)
+      .SortBy([](const PhotoObj& o) { return o.mag[2]; });
+  double prev = -1e9;
+  uint64_t count = 0;
+  river.Run([&](const PhotoObj& o) {
+    EXPECT_GE(o.mag[2] + 1e-9, prev);
+    prev = o.mag[2];
+    ++count;
+  });
+  EXPECT_EQ(count, f.store.object_count());
+}
+
+TEST(RiverTest, SimThroughputTracksClusterBandwidth) {
+  Fixture f;
+  River slow_river(&f.cluster);
+  RiverStats stats = slow_river.Run([](const PhotoObj&) {});
+  // Modeled throughput is bounded by aggregate disk bandwidth.
+  double aggregate =
+      static_cast<double>(f.cluster.num_nodes()) *
+      f.cluster.config().node.disk_mbps;
+  EXPECT_LE(stats.sim_mbps, aggregate + 1.0);
+  EXPECT_GT(stats.sim_mbps, aggregate * 0.3);  // Balanced enough.
+}
+
+}  // namespace
+}  // namespace sdss::dataflow

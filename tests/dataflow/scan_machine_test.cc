@@ -1,0 +1,120 @@
+#include "dataflow/scan_machine.h"
+
+#include <gtest/gtest.h>
+
+#include "catalog/sky_generator.h"
+
+namespace sdss::dataflow {
+namespace {
+
+using catalog::ObjClass;
+using catalog::ObjectStore;
+using catalog::PhotoObj;
+using catalog::SkyGenerator;
+using catalog::SkyModel;
+
+struct Fixture {
+  ObjectStore store;
+  ClusterSim cluster{ClusterConfig{}};
+  uint64_t quasars = 0;
+
+  explicit Fixture(size_t nodes = 5) : cluster([nodes] {
+    ClusterConfig cfg;
+    cfg.num_nodes = nodes;
+    return cfg;
+  }()) {
+    SkyModel m;
+    m.seed = 71;
+    m.num_galaxies = 4000;
+    m.num_stars = 3000;
+    m.num_quasars = 150;
+    auto objs = SkyGenerator(m).Generate();
+    for (const auto& o : objs) {
+      if (o.obj_class == ObjClass::kQuasar) ++quasars;
+    }
+    EXPECT_TRUE(store.BulkLoad(objs).ok());
+    EXPECT_TRUE(cluster.LoadPartitioned(store).ok());
+  }
+};
+
+TEST(ScanMachineTest, SingleQueryCompletesWithinOneCycle) {
+  Fixture f;
+  ScanMachine machine(&f.cluster);
+  machine.Admit(
+      [](const PhotoObj& o) { return o.obj_class == ObjClass::kQuasar; },
+      /*now=*/10.0);
+  auto completions = machine.RunUntilDrained();
+  ASSERT_EQ(completions.size(), 1u);
+  EXPECT_EQ(completions[0].matches, f.quasars);
+  EXPECT_NEAR(completions[0].Latency(), machine.CycleSimSeconds(), 1e-12);
+  EXPECT_DOUBLE_EQ(completions[0].admitted_at, 10.0);
+}
+
+TEST(ScanMachineTest, ConcurrentQueriesShareOnePass) {
+  Fixture f;
+  ScanMachine machine(&f.cluster);
+  // Five queries admitted within the same cycle window.
+  for (int i = 0; i < 5; ++i) {
+    machine.Admit([i](const PhotoObj& o) { return o.mag[2] < 17.0f + i; },
+                  static_cast<SimSeconds>(i) * 0.001);
+  }
+  auto completions = machine.RunUntilDrained();
+  EXPECT_EQ(completions.size(), 5u);
+  // One shared pass, not five.
+  EXPECT_EQ(machine.cycles_run(), 1u);
+}
+
+TEST(ScanMachineTest, WellSeparatedQueriesUseSeparatePasses) {
+  Fixture f;
+  ScanMachine machine(&f.cluster);
+  SimSeconds cycle = machine.CycleSimSeconds();
+  machine.Admit([](const PhotoObj&) { return true; }, 0.0);
+  machine.Admit([](const PhotoObj&) { return true; }, cycle * 10.0);
+  auto completions = machine.RunUntilDrained();
+  EXPECT_EQ(completions.size(), 2u);
+  EXPECT_EQ(machine.cycles_run(), 2u);
+}
+
+TEST(ScanMachineTest, MatchesAreExact) {
+  Fixture f;
+  ScanMachine machine(&f.cluster);
+  machine.Admit([](const PhotoObj& o) { return o.mag[2] < 18.0f; }, 0.0);
+  auto completions = machine.RunUntilDrained();
+  uint64_t expected = 0;
+  f.store.ForEachObject([&](const PhotoObj& o) {
+    if (o.mag[2] < 18.0f) ++expected;
+  });
+  ASSERT_EQ(completions.size(), 1u);
+  EXPECT_EQ(completions[0].matches, expected);
+}
+
+TEST(ScanMachineTest, MoreNodesShortenTheCycle) {
+  Fixture small(2), large(16);
+  ScanMachine m_small(&small.cluster), m_large(&large.cluster);
+  EXPECT_GT(m_small.CycleSimSeconds(), m_large.CycleSimSeconds());
+}
+
+TEST(ScanMachineTest, LatencyIsIndependentOfAdmissionPhase) {
+  // "the query completes within the scan time" regardless of when it
+  // joins the sweep.
+  Fixture f;
+  ScanMachine machine(&f.cluster);
+  SimSeconds cycle = machine.CycleSimSeconds();
+  machine.Admit([](const PhotoObj&) { return true; }, 0.25 * cycle);
+  machine.Admit([](const PhotoObj&) { return true; }, 0.75 * cycle);
+  auto completions = machine.RunUntilDrained();
+  ASSERT_EQ(completions.size(), 2u);
+  for (const auto& c : completions) {
+    EXPECT_NEAR(c.Latency(), cycle, 1e-12);
+  }
+}
+
+TEST(ScanMachineTest, DrainOnEmptyMachineIsEmpty) {
+  Fixture f;
+  ScanMachine machine(&f.cluster);
+  EXPECT_TRUE(machine.RunUntilDrained().empty());
+  EXPECT_EQ(machine.cycles_run(), 0u);
+}
+
+}  // namespace
+}  // namespace sdss::dataflow

@@ -1,0 +1,115 @@
+#include "fits/card.h"
+
+#include <gtest/gtest.h>
+
+namespace sdss::fits {
+namespace {
+
+TEST(CardTest, SerializeIsExactly80Chars) {
+  EXPECT_EQ(Card("SIMPLE", true).Serialize().size(), 80u);
+  EXPECT_EQ(Card("NAXIS", int64_t{2}).Serialize().size(), 80u);
+  EXPECT_EQ(Card("EXPTIME", 55.0, "effective exposure").Serialize().size(),
+            80u);
+  EXPECT_EQ(Card("OBJECT", std::string("M31")).Serialize().size(), 80u);
+  EXPECT_EQ(Card::End().Serialize().size(), 80u);
+  EXPECT_EQ(Card::Comment("hello world").Serialize().size(), 80u);
+}
+
+TEST(CardTest, LogicalRoundTrip) {
+  for (bool v : {true, false}) {
+    auto parsed = Card::Parse(Card("SIMPLE", v).Serialize());
+    ASSERT_TRUE(parsed.ok());
+    auto b = parsed->AsBool();
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(*b, v);
+  }
+}
+
+TEST(CardTest, IntegerRoundTrip) {
+  for (int64_t v : {0ll, 42ll, -17ll, 2880ll, 123456789012345ll}) {
+    auto parsed = Card::Parse(Card("NAXIS1", v).Serialize());
+    ASSERT_TRUE(parsed.ok()) << v;
+    auto i = parsed->AsInt();
+    ASSERT_TRUE(i.ok()) << v;
+    EXPECT_EQ(*i, v);
+  }
+}
+
+TEST(CardTest, DoubleRoundTrip) {
+  for (double v : {0.5, -3.25, 1.23456789012345e10, 8.0e-12}) {
+    auto parsed = Card::Parse(Card("CRVAL1", v).Serialize());
+    ASSERT_TRUE(parsed.ok()) << v;
+    auto d = parsed->AsDouble();
+    ASSERT_TRUE(d.ok()) << v;
+    EXPECT_DOUBLE_EQ(*d, v);
+  }
+}
+
+TEST(CardTest, StringRoundTrip) {
+  for (const char* v : {"SDSS", "a longer string value", "", "x"}) {
+    auto parsed = Card::Parse(Card("SURVEY", std::string(v)).Serialize());
+    ASSERT_TRUE(parsed.ok()) << v;
+    auto s = parsed->AsString();
+    ASSERT_TRUE(s.ok()) << v;
+    EXPECT_EQ(*s, v);
+  }
+}
+
+TEST(CardTest, StringWithQuotesEscapes) {
+  std::string v = "O'Brien's field";
+  auto parsed = Card::Parse(Card("OBSERVER", v).Serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed->AsString(), v);
+}
+
+TEST(CardTest, CommentSurvivesRoundTrip) {
+  Card c("EXPTIME", 55.0, "effective exposure [s]");
+  auto parsed = Card::Parse(c.Serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->comment(), "effective exposure [s]");
+  EXPECT_DOUBLE_EQ(*parsed->AsDouble(), 55.0);
+}
+
+TEST(CardTest, KeyIsUpperCasedAndTruncated) {
+  Card c("verylongkeyword", int64_t{1});
+  std::string rec = c.Serialize();
+  EXPECT_EQ(rec.substr(0, 8), "VERYLONG");
+}
+
+TEST(CardTest, EndCardParses) {
+  auto parsed = Card::Parse(Card::End().Serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->is_end());
+}
+
+TEST(CardTest, CommentCardParses) {
+  auto parsed = Card::Parse(Card::Comment("this is a note").Serialize());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->is_comment());
+  EXPECT_EQ(parsed->comment(), "this is a note");
+}
+
+TEST(CardTest, ParseRejectsWrongLength) {
+  EXPECT_FALSE(Card::Parse("SHORT").ok());
+  EXPECT_FALSE(Card::Parse(std::string(81, ' ')).ok());
+}
+
+TEST(CardTest, ParseDExponent) {
+  std::string rec = "CRVAL2  =         1.5D3                                 "
+                    "                        ";
+  rec.resize(80, ' ');
+  auto parsed = Card::Parse(rec);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_DOUBLE_EQ(*parsed->AsDouble(), 1500.0);
+}
+
+TEST(CardTest, TypeMismatchErrors) {
+  Card c("NAXIS", int64_t{2});
+  EXPECT_FALSE(c.AsBool().ok());
+  EXPECT_FALSE(c.AsString().ok());
+  EXPECT_TRUE(c.AsDouble().ok());  // Ints widen to double.
+  EXPECT_TRUE(c.AsInt().ok());
+}
+
+}  // namespace
+}  // namespace sdss::fits

@@ -1,0 +1,99 @@
+#include "fits/header.h"
+
+#include <gtest/gtest.h>
+
+namespace sdss::fits {
+namespace {
+
+Header MakeHeader() {
+  Header h;
+  h.Set("SIMPLE", true);
+  h.Set("BITPIX", int64_t{8});
+  h.Set("NAXIS", int64_t{2});
+  h.Set("EXPTIME", 55.0, "effective exposure");
+  h.Set("SURVEY", std::string("SDSS"));
+  h.Append(Card::Comment("five-band photometric survey"));
+  return h;
+}
+
+TEST(HeaderTest, SerializeIsBlockMultiple) {
+  std::string bytes = MakeHeader().Serialize();
+  EXPECT_EQ(bytes.size() % kBlockSize, 0u);
+  EXPECT_EQ(bytes.size(), kBlockSize);  // 7 cards fit in one block.
+}
+
+TEST(HeaderTest, LargeHeaderSpansBlocks) {
+  Header h;
+  for (int i = 0; i < 40; ++i) {
+    h.Set("KEY" + std::to_string(i), int64_t{i});
+  }
+  std::string bytes = h.Serialize();
+  EXPECT_EQ(bytes.size(), 2 * kBlockSize);  // 41 cards -> 2 blocks.
+}
+
+TEST(HeaderTest, RoundTrip) {
+  std::string bytes = MakeHeader().Serialize();
+  size_t offset = 0;
+  auto h = Header::Parse(bytes, &offset);
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(offset, bytes.size());
+  EXPECT_EQ(*h->GetBool("SIMPLE"), true);
+  EXPECT_EQ(*h->GetInt("BITPIX"), 8);
+  EXPECT_DOUBLE_EQ(*h->GetDouble("EXPTIME"), 55.0);
+  EXPECT_EQ(*h->GetString("SURVEY"), "SDSS");
+}
+
+TEST(HeaderTest, SetReplacesExisting) {
+  Header h;
+  h.Set("NAXIS", int64_t{2});
+  h.Set("NAXIS", int64_t{3});
+  EXPECT_EQ(*h.GetInt("NAXIS"), 3);
+  // Only one card with that key.
+  int count = 0;
+  for (const Card& c : h.cards()) {
+    if (c.key() == "NAXIS") ++count;
+  }
+  EXPECT_EQ(count, 1);
+}
+
+TEST(HeaderTest, FindMissingKeyIsNotFound) {
+  Header h = MakeHeader();
+  EXPECT_FALSE(h.Find("NOPE").ok());
+  EXPECT_EQ(h.GetInt("NOPE").status().code(), StatusCode::kNotFound);
+  EXPECT_FALSE(h.Has("NOPE"));
+  EXPECT_TRUE(h.Has("SIMPLE"));
+}
+
+TEST(HeaderTest, ParseWithoutEndIsCorruption) {
+  std::string bytes(kBlockSize, ' ');
+  size_t offset = 0;
+  auto h = Header::Parse(bytes, &offset);
+  EXPECT_FALSE(h.ok());
+  EXPECT_EQ(h.status().code(), StatusCode::kCorruption);
+}
+
+TEST(HeaderTest, ParseAdvancesOffsetPastPadding) {
+  std::string bytes = MakeHeader().Serialize() + "DATA";
+  size_t offset = 0;
+  auto h = Header::Parse(bytes, &offset);
+  ASSERT_TRUE(h.ok());
+  EXPECT_EQ(bytes.substr(offset, 4), "DATA");
+}
+
+TEST(HeaderTest, CommentsPreserved) {
+  std::string bytes = MakeHeader().Serialize();
+  size_t offset = 0;
+  auto h = Header::Parse(bytes, &offset);
+  ASSERT_TRUE(h.ok());
+  bool found = false;
+  for (const Card& c : h->cards()) {
+    if (c.is_comment() &&
+        c.comment() == "five-band photometric survey") {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace sdss::fits

@@ -1,0 +1,146 @@
+#include "fits/image.h"
+
+#include <gtest/gtest.h>
+
+#include "core/random.h"
+
+namespace sdss::fits {
+namespace {
+
+Image MakeGradient(size_t w, size_t h) {
+  Image img(w, h);
+  for (size_t y = 0; y < h; ++y) {
+    for (size_t x = 0; x < w; ++x) {
+      img.set(x, y, static_cast<float>(x) + 100.0f * static_cast<float>(y));
+    }
+  }
+  return img;
+}
+
+TEST(ImageTest, AccessorsAndFlux) {
+  Image img(4, 3);
+  EXPECT_EQ(img.width(), 4u);
+  EXPECT_EQ(img.height(), 3u);
+  img.set(1, 2, 5.0f);
+  img.add(1, 2, 2.5f);
+  EXPECT_FLOAT_EQ(img.at(1, 2), 7.5f);
+  EXPECT_DOUBLE_EQ(img.TotalFlux(), 7.5);
+  EXPECT_FLOAT_EQ(img.MinPixel(), 0.0f);
+  EXPECT_FLOAT_EQ(img.MaxPixel(), 7.5f);
+}
+
+TEST(ImageTest, SerializeIsBlockAligned) {
+  std::string bytes = MakeGradient(32, 32).Serialize();
+  EXPECT_EQ(bytes.size() % kBlockSize, 0u);
+  // Header block + ceil(32*32*2 / 2880) data blocks.
+  EXPECT_EQ(bytes.size(), kBlockSize + kBlockSize);
+}
+
+TEST(ImageTest, RoundTripWithinQuantization) {
+  Image img = MakeGradient(32, 16);
+  std::string bytes = img.Serialize();
+  size_t offset = 0;
+  auto back = Image::Parse(bytes, &offset);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(offset, bytes.size());
+  ASSERT_EQ(back->width(), 32u);
+  ASSERT_EQ(back->height(), 16u);
+  // Quantization error bound: dynamic range / 65534.
+  float tolerance =
+      (img.MaxPixel() - img.MinPixel()) / 65534.0f * 1.01f + 1e-6f;
+  for (size_t y = 0; y < 16; ++y) {
+    for (size_t x = 0; x < 32; ++x) {
+      EXPECT_NEAR(back->at(x, y), img.at(x, y), tolerance);
+    }
+  }
+}
+
+TEST(ImageTest, ConstantImageRoundTripsExactly) {
+  Image img(8, 8);
+  for (size_t y = 0; y < 8; ++y) {
+    for (size_t x = 0; x < 8; ++x) img.set(x, y, 42.5f);
+  }
+  std::string bytes = img.Serialize();
+  size_t offset = 0;
+  auto back = Image::Parse(bytes, &offset);
+  ASSERT_TRUE(back.ok());
+  EXPECT_FLOAT_EQ(back->at(3, 3), 42.5f);
+}
+
+TEST(ImageTest, NegativeValuesSupported) {
+  Image img(4, 4);
+  img.set(0, 0, -100.0f);
+  img.set(3, 3, 100.0f);
+  std::string bytes = img.Serialize();
+  size_t offset = 0;
+  auto back = Image::Parse(bytes, &offset);
+  ASSERT_TRUE(back.ok());
+  EXPECT_NEAR(back->at(0, 0), -100.0f, 0.01f);
+  EXPECT_NEAR(back->at(3, 3), 100.0f, 0.01f);
+}
+
+TEST(ImageTest, ExtraHeaderCardsSurvive) {
+  Header extra;
+  extra.Set("OBJID", int64_t{12345});
+  extra.Set("BAND", std::string("R"));
+  std::string bytes = MakeGradient(8, 8).Serialize(extra);
+  size_t offset = 0;
+  Header parsed_header;
+  auto img = Image::Parse(bytes, &offset, &parsed_header);
+  ASSERT_TRUE(img.ok());
+  EXPECT_EQ(*parsed_header.GetInt("OBJID"), 12345);
+  EXPECT_EQ(*parsed_header.GetString("BAND"), "R");
+}
+
+TEST(ImageTest, TruncatedDataRejected) {
+  std::string bytes = MakeGradient(32, 32).Serialize();
+  std::string cut = bytes.substr(0, kBlockSize + 100);
+  size_t offset = 0;
+  EXPECT_FALSE(Image::Parse(cut, &offset).ok());
+}
+
+TEST(ImageTest, NonImageInputRejected) {
+  Header h;
+  h.Set("XTENSION", std::string("BINTABLE"));
+  std::string bytes = h.Serialize();
+  size_t offset = 0;
+  auto img = Image::Parse(bytes, &offset);
+  EXPECT_FALSE(img.ok());
+}
+
+TEST(ImageTest, MultipleHdusParseSequentially) {
+  std::string bytes =
+      MakeGradient(8, 8).Serialize() + MakeGradient(16, 4).Serialize();
+  size_t offset = 0;
+  auto first = Image::Parse(bytes, &offset);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->width(), 8u);
+  auto second = Image::Parse(bytes, &offset);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->width(), 16u);
+  EXPECT_EQ(offset, bytes.size());
+}
+
+TEST(ImageTest, RandomImagesRoundTrip) {
+  Rng rng(17);
+  for (int trial = 0; trial < 20; ++trial) {
+    size_t w = static_cast<size_t>(rng.UniformInt(1, 48));
+    size_t h = static_cast<size_t>(rng.UniformInt(1, 48));
+    Image img(w, h);
+    for (size_t y = 0; y < h; ++y) {
+      for (size_t x = 0; x < w; ++x) {
+        img.set(x, y, static_cast<float>(rng.Gaussian(0, 1000)));
+      }
+    }
+    std::string bytes = img.Serialize();
+    size_t offset = 0;
+    auto back = Image::Parse(bytes, &offset);
+    ASSERT_TRUE(back.ok()) << trial;
+    float tol = (img.MaxPixel() - img.MinPixel()) / 65534.0f * 1.01f + 1e-4f;
+    EXPECT_NEAR(back->TotalFlux(), img.TotalFlux(),
+                static_cast<double>(tol) * static_cast<double>(w * h));
+  }
+}
+
+}  // namespace
+}  // namespace sdss::fits

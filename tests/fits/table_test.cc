@@ -1,0 +1,208 @@
+#include "fits/table.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace sdss::fits {
+namespace {
+
+std::vector<ColumnSpec> TestSchema() {
+  return {
+      {"ID", ColumnType::kInt64, 0, ""},
+      {"RA", ColumnType::kDouble, 0, "deg"},
+      {"MAG_R", ColumnType::kFloat, 0, "mag"},
+      {"FLAGS", ColumnType::kInt32, 0, ""},
+      {"NAME", ColumnType::kString, 12, ""},
+  };
+}
+
+Table MakeTable(size_t rows) {
+  Table t(TestSchema());
+  for (size_t i = 0; i < rows; ++i) {
+    EXPECT_TRUE(t.AppendRow({static_cast<int64_t>(i + 1),
+                             10.0 + static_cast<double>(i) * 0.25,
+                             static_cast<float>(18.0 + i * 0.1),
+                             static_cast<int32_t>(i % 7),
+                             std::string("obj-") + std::to_string(i)})
+                    .ok());
+  }
+  return t;
+}
+
+TEST(TableTest, SchemaAccessors) {
+  Table t = MakeTable(3);
+  EXPECT_EQ(t.num_columns(), 5u);
+  EXPECT_EQ(t.num_rows(), 3u);
+  EXPECT_EQ(*t.ColumnIndex("RA"), 1u);
+  EXPECT_FALSE(t.ColumnIndex("NOPE").ok());
+  // 8 + 8 + 4 + 4 + 12 bytes per binary row.
+  EXPECT_EQ(t.RowBytes(), 36u);
+}
+
+TEST(TableTest, TypedGetters) {
+  Table t = MakeTable(2);
+  EXPECT_EQ(*t.GetInt64(1, 0), 2);
+  EXPECT_DOUBLE_EQ(*t.GetDouble(1, 1), 10.25);
+  EXPECT_FLOAT_EQ(*t.GetFloat(1, 2), 18.1f);
+  EXPECT_EQ(*t.GetInt32(1, 3), 1);
+  EXPECT_EQ(*t.GetString(1, 4), "obj-1");
+}
+
+TEST(TableTest, GetNumericWidens) {
+  Table t = MakeTable(1);
+  EXPECT_DOUBLE_EQ(*t.GetNumeric(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(*t.GetNumeric(0, 1), 10.0);
+  EXPECT_NEAR(*t.GetNumeric(0, 2), 18.0, 1e-5);
+  EXPECT_FALSE(t.GetNumeric(0, 4).ok());  // String column.
+}
+
+TEST(TableTest, OutOfRangeAccess) {
+  Table t = MakeTable(2);
+  EXPECT_EQ(t.GetDouble(5, 1).status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(t.GetDouble(0, 9).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(TableTest, TypeMismatchOnGet) {
+  Table t = MakeTable(1);
+  EXPECT_FALSE(t.GetFloat(0, 1).ok());   // RA is double.
+  EXPECT_FALSE(t.GetInt32(0, 0).ok());   // ID is int64.
+}
+
+TEST(TableTest, AppendRowValidatesArityAndTypes) {
+  Table t(TestSchema());
+  EXPECT_FALSE(t.AppendRow({int64_t{1}}).ok());  // Too few cells.
+  EXPECT_FALSE(t.AppendRow({int64_t{1}, 1.0, 1.0f, int32_t{0}, 5.0}).ok());
+  EXPECT_EQ(t.num_rows(), 0u);  // Failed appends leave no partial rows.
+}
+
+TEST(TableTest, IntAndFloatWidening) {
+  Table t(std::vector<ColumnSpec>{{"A", ColumnType::kInt64, 0, ""},
+                                  {"B", ColumnType::kDouble, 0, ""}});
+  EXPECT_TRUE(t.AppendRow({int32_t{7}, 2.5f}).ok());
+  EXPECT_EQ(*t.GetInt64(0, 0), 7);
+  EXPECT_DOUBLE_EQ(*t.GetDouble(0, 1), 2.5);
+}
+
+TEST(TableTest, StringTruncatedToWidth) {
+  Table t(std::vector<ColumnSpec>{{"S", ColumnType::kString, 4, ""}});
+  EXPECT_TRUE(t.AppendRow({std::string("abcdefgh")}).ok());
+  EXPECT_EQ(*t.GetString(0, 0), "abcd");
+}
+
+TEST(BinaryTableTest, SerializeIsBlockAligned) {
+  std::string bytes = BinaryTable::Serialize(MakeTable(100));
+  EXPECT_EQ(bytes.size() % kBlockSize, 0u);
+}
+
+TEST(BinaryTableTest, RoundTrip) {
+  Table t = MakeTable(257);
+  std::string bytes = BinaryTable::Serialize(t);
+  size_t offset = 0;
+  auto parsed = BinaryTable::Parse(bytes, &offset);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(offset, bytes.size());
+  ASSERT_EQ(parsed->num_rows(), t.num_rows());
+  ASSERT_EQ(parsed->num_columns(), t.num_columns());
+  for (size_t r = 0; r < t.num_rows(); r += 17) {
+    EXPECT_EQ(*parsed->GetInt64(r, 0), *t.GetInt64(r, 0));
+    EXPECT_DOUBLE_EQ(*parsed->GetDouble(r, 1), *t.GetDouble(r, 1));
+    EXPECT_FLOAT_EQ(*parsed->GetFloat(r, 2), *t.GetFloat(r, 2));
+    EXPECT_EQ(*parsed->GetInt32(r, 3), *t.GetInt32(r, 3));
+    EXPECT_EQ(*parsed->GetString(r, 4), *t.GetString(r, 4));
+  }
+}
+
+TEST(BinaryTableTest, RoundTripPreservesSchema) {
+  Table t = MakeTable(5);
+  std::string bytes = BinaryTable::Serialize(t);
+  size_t offset = 0;
+  auto parsed = BinaryTable::Parse(bytes, &offset);
+  ASSERT_TRUE(parsed.ok());
+  for (size_t c = 0; c < t.num_columns(); ++c) {
+    EXPECT_EQ(parsed->columns()[c].name, t.columns()[c].name);
+    EXPECT_EQ(parsed->columns()[c].type, t.columns()[c].type);
+  }
+  EXPECT_EQ(parsed->columns()[1].unit, "deg");
+}
+
+TEST(BinaryTableTest, SpecialFloatValues) {
+  Table t(std::vector<ColumnSpec>{{"V", ColumnType::kDouble, 0, ""}});
+  EXPECT_TRUE(t.AppendRow({-0.0}).ok());
+  EXPECT_TRUE(
+      t.AppendRow({std::numeric_limits<double>::infinity()}).ok());
+  EXPECT_TRUE(t.AppendRow({1e-300}).ok());
+  std::string bytes = BinaryTable::Serialize(t);
+  size_t offset = 0;
+  auto parsed = BinaryTable::Parse(bytes, &offset);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed->GetDouble(0, 0), 0.0);
+  EXPECT_TRUE(std::isinf(*parsed->GetDouble(1, 0)));
+  EXPECT_DOUBLE_EQ(*parsed->GetDouble(2, 0), 1e-300);
+}
+
+TEST(BinaryTableTest, EmptyTableRoundTrips) {
+  Table t(TestSchema());
+  std::string bytes = BinaryTable::Serialize(t);
+  size_t offset = 0;
+  auto parsed = BinaryTable::Parse(bytes, &offset);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->num_rows(), 0u);
+}
+
+TEST(BinaryTableTest, ExtraHeaderCardsSurvive) {
+  Header extra;
+  extra.Set("CHUNK", int64_t{17}, "observation night");
+  std::string bytes = BinaryTable::Serialize(MakeTable(3), extra);
+  size_t offset = 0;
+  Header parsed_header;
+  auto parsed = BinaryTable::Parse(bytes, &offset, &parsed_header);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed_header.GetInt("CHUNK"), 17);
+}
+
+TEST(BinaryTableTest, TruncatedDataIsCorruption) {
+  std::string bytes = BinaryTable::Serialize(MakeTable(100));
+  std::string cut = bytes.substr(0, kBlockSize + 10);  // Header + crumbs.
+  size_t offset = 0;
+  auto parsed = BinaryTable::Parse(cut, &offset);
+  EXPECT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kCorruption);
+}
+
+TEST(AsciiTableTest, RoundTrip) {
+  Table t = MakeTable(41);
+  std::string bytes = AsciiTable::Serialize(t);
+  EXPECT_EQ(bytes.size() % kBlockSize, 0u);
+  size_t offset = 0;
+  auto parsed = AsciiTable::Parse(bytes, &offset);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->num_rows(), t.num_rows());
+  for (size_t r = 0; r < t.num_rows(); r += 5) {
+    EXPECT_EQ(*parsed->GetInt64(r, 0), *t.GetInt64(r, 0));
+    EXPECT_DOUBLE_EQ(*parsed->GetDouble(r, 1), *t.GetDouble(r, 1));
+    EXPECT_FLOAT_EQ(*parsed->GetFloat(r, 2), *t.GetFloat(r, 2));
+    EXPECT_EQ(*parsed->GetInt32(r, 3), *t.GetInt32(r, 3));
+    EXPECT_EQ(*parsed->GetString(r, 4), *t.GetString(r, 4));
+  }
+}
+
+TEST(AsciiTableTest, IsHumanReadable) {
+  Table t(std::vector<ColumnSpec>{{"NAME", ColumnType::kString, 8, ""}});
+  EXPECT_TRUE(t.AppendRow({std::string("GALAXY")}).ok());
+  std::string bytes = AsciiTable::Serialize(t);
+  EXPECT_NE(bytes.find("GALAXY"), std::string::npos);
+}
+
+TEST(TFormTest, Codes) {
+  EXPECT_EQ(TFormCode(ColumnType::kFloat), 'E');
+  EXPECT_EQ(TFormCode(ColumnType::kDouble), 'D');
+  EXPECT_EQ(TFormCode(ColumnType::kInt32), 'J');
+  EXPECT_EQ(TFormCode(ColumnType::kInt64), 'K');
+  EXPECT_EQ(TFormCode(ColumnType::kString), 'A');
+  EXPECT_EQ(TypeSize(ColumnType::kFloat), 4u);
+  EXPECT_EQ(TypeSize(ColumnType::kDouble), 8u);
+}
+
+}  // namespace
+}  // namespace sdss::fits

@@ -1,0 +1,137 @@
+#include "htm/htm_id.h"
+
+#include <gtest/gtest.h>
+
+namespace sdss::htm {
+namespace {
+
+TEST(HtmIdTest, DefaultIsInvalid) {
+  HtmId id;
+  EXPECT_FALSE(id.valid());
+}
+
+TEST(HtmIdTest, BaseTrixelsAreLevelZero) {
+  for (int i = 0; i < 8; ++i) {
+    HtmId id = HtmId::Base(i);
+    EXPECT_TRUE(id.valid());
+    EXPECT_EQ(id.level(), 0);
+    EXPECT_EQ(id.raw(), 8u + static_cast<uint64_t>(i));
+  }
+}
+
+TEST(HtmIdTest, BaseNames) {
+  EXPECT_EQ(HtmId::Base(0).ToName(), "S0");
+  EXPECT_EQ(HtmId::Base(3).ToName(), "S3");
+  EXPECT_EQ(HtmId::Base(4).ToName(), "N0");
+  EXPECT_EQ(HtmId::Base(7).ToName(), "N3");
+}
+
+TEST(HtmIdTest, NameRoundTrip) {
+  for (const char* name : {"N0", "S2", "N012", "S3001", "N3210123",
+                           "S0000000000", "N3333333333"}) {
+    auto r = HtmId::FromName(name);
+    ASSERT_TRUE(r.ok()) << name;
+    EXPECT_EQ(r->ToName(), name);
+  }
+}
+
+TEST(HtmIdTest, FromNameRejectsGarbage) {
+  EXPECT_FALSE(HtmId::FromName("").ok());
+  EXPECT_FALSE(HtmId::FromName("N").ok());
+  EXPECT_FALSE(HtmId::FromName("X01").ok());
+  EXPECT_FALSE(HtmId::FromName("N04").ok());   // Digit out of range.
+  EXPECT_FALSE(HtmId::FromName("N0a").ok());
+  // Deeper than kMaxLevel.
+  std::string deep = "N0";
+  for (int i = 0; i <= kMaxLevel; ++i) deep += '1';
+  EXPECT_FALSE(HtmId::FromName(deep).ok());
+}
+
+TEST(HtmIdTest, FromRawValidation) {
+  EXPECT_FALSE(HtmId::FromRaw(0).ok());
+  EXPECT_FALSE(HtmId::FromRaw(7).ok());    // Below base range.
+  EXPECT_FALSE(HtmId::FromRaw(16).ok());   // Odd bit width (5 bits).
+  EXPECT_FALSE(HtmId::FromRaw(31).ok());
+  EXPECT_TRUE(HtmId::FromRaw(8).ok());
+  EXPECT_TRUE(HtmId::FromRaw(15).ok());
+  EXPECT_TRUE(HtmId::FromRaw(32).ok());    // Level 1 (6 bits).
+  EXPECT_TRUE(HtmId::FromRaw(63).ok());
+}
+
+TEST(HtmIdTest, ChildParentRoundTrip) {
+  HtmId base = HtmId::Base(5);
+  for (int c = 0; c < 4; ++c) {
+    HtmId child = base.Child(c);
+    EXPECT_EQ(child.level(), 1);
+    EXPECT_EQ(child.ChildIndex(), c);
+    EXPECT_EQ(child.Parent(), base);
+  }
+}
+
+TEST(HtmIdTest, DeepDescendantLevels) {
+  HtmId id = HtmId::Base(2);
+  for (int l = 1; l <= 20; ++l) {
+    id = id.Child(l % 4);
+    EXPECT_EQ(id.level(), l);
+  }
+}
+
+TEST(HtmIdTest, ContainsSubtree) {
+  HtmId parent = HtmId::Base(6).Child(1);
+  HtmId deep = parent.Child(2).Child(3).Child(0);
+  EXPECT_TRUE(parent.Contains(deep));
+  EXPECT_TRUE(parent.Contains(parent));
+  EXPECT_FALSE(deep.Contains(parent));
+  EXPECT_FALSE(HtmId::Base(6).Child(0).Contains(deep));
+}
+
+TEST(HtmIdTest, AncestorAt) {
+  HtmId id = HtmId::Base(3).Child(1).Child(2).Child(3);
+  EXPECT_EQ(id.AncestorAt(0), HtmId::Base(3));
+  EXPECT_EQ(id.AncestorAt(1), HtmId::Base(3).Child(1));
+  EXPECT_EQ(id.AncestorAt(3), id);
+}
+
+TEST(HtmIdTest, RangeAtLevelCoversDescendants) {
+  HtmId id = HtmId::Base(0).Child(2);
+  uint64_t first, last;
+  id.RangeAtLevel(3, &first, &last);
+  EXPECT_EQ(last - first, 16u);  // 4^(3-1).
+  // Every level-3 descendant falls in the range.
+  for (int a = 0; a < 4; ++a) {
+    for (int b = 0; b < 4; ++b) {
+      uint64_t raw = id.Child(a).Child(b).raw();
+      EXPECT_GE(raw, first);
+      EXPECT_LT(raw, last);
+    }
+  }
+}
+
+TEST(HtmIdTest, TrixelCountAtLevel) {
+  EXPECT_EQ(TrixelCountAtLevel(0), 8u);
+  EXPECT_EQ(TrixelCountAtLevel(1), 32u);
+  EXPECT_EQ(TrixelCountAtLevel(5), 8192u);
+  EXPECT_EQ(TrixelCountAtLevel(10), 8388608u);
+}
+
+TEST(HtmIdTest, IdsAtOneLevelAreContiguous) {
+  // Level-L ids occupy exactly [8*4^L, 16*4^L).
+  int level = 3;
+  uint64_t lo = 8ull << (2 * level);
+  uint64_t hi = 16ull << (2 * level);
+  for (uint64_t raw = lo; raw < hi; raw += 37) {
+    auto r = HtmId::FromRaw(raw);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->level(), level);
+  }
+  EXPECT_FALSE(HtmId::FromRaw(lo - 1).ok() &&
+               HtmId::FromRaw(lo - 1)->level() == level);
+}
+
+TEST(HtmIdTest, OrderingFollowsRaw) {
+  EXPECT_LT(HtmId::Base(0), HtmId::Base(1));
+  EXPECT_LT(HtmId::Base(7), HtmId::Base(0).Child(0));
+}
+
+}  // namespace
+}  // namespace sdss::htm

@@ -1,0 +1,312 @@
+#include "htm/region.h"
+
+#include <gtest/gtest.h>
+
+#include "core/angle.h"
+#include "core/coords.h"
+#include "core/random.h"
+
+namespace sdss::htm {
+namespace {
+
+TEST(HalfspaceTest, CapContainment) {
+  Halfspace h = Halfspace::Cap(Vec3(0, 0, 1), DegToRad(10.0));
+  EXPECT_TRUE(h.Contains(Vec3(0, 0, 1)));
+  EXPECT_TRUE(h.Contains(UnitVectorFromSpherical(120.0, 81.0)));
+  EXPECT_FALSE(h.Contains(UnitVectorFromSpherical(120.0, 79.0)));
+  EXPECT_NEAR(RadToDeg(h.RadiusRad()), 10.0, 1e-12);
+}
+
+TEST(HalfspaceTest, GreatCircleHalfspace) {
+  Halfspace h{Vec3(0, 0, 1), 0.0};  // Northern hemisphere.
+  EXPECT_TRUE(h.Contains(Vec3(1, 0, 0)));  // Boundary counts as inside.
+  EXPECT_TRUE(h.Contains(Vec3(0, 0, 1)));
+  EXPECT_FALSE(h.Contains(Vec3(0, 0, -1)));
+}
+
+TEST(HalfspaceTest, NegativeDistCoversMoreThanHemisphere) {
+  Halfspace h{Vec3(0, 0, 1), -0.5};  // All but a southern cap of 60 deg.
+  EXPECT_TRUE(h.Contains(Vec3(0, 0, 1)));
+  EXPECT_TRUE(h.Contains(Vec3(1, 0, 0)));
+  EXPECT_TRUE(h.Contains(UnitVectorFromSpherical(0, -25.0)));
+  EXPECT_FALSE(h.Contains(Vec3(0, 0, -1)));
+}
+
+TEST(ConvexTest, EmptyConvexIsWholeSphere) {
+  Convex c;
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(c.Contains(rng.UnitSphere()));
+  EXPECT_EQ(c.Classify(Trixel::FromId(HtmId::Base(0))), Coverage::kFull);
+}
+
+TEST(ConvexTest, IntersectionOfCaps) {
+  Convex c;
+  c.Add(Halfspace::Cap(UnitVectorFromSpherical(0, 0), DegToRad(30)));
+  c.Add(Halfspace::Cap(UnitVectorFromSpherical(40, 0), DegToRad(30)));
+  // The lens between the caps: (20, 0) is inside both.
+  EXPECT_TRUE(c.Contains(UnitVectorFromSpherical(20, 0)));
+  EXPECT_FALSE(c.Contains(UnitVectorFromSpherical(0, 0).Cross(Vec3(0, 0, 1))));
+  EXPECT_FALSE(c.Contains(UnitVectorFromSpherical(-20, 0)));
+  EXPECT_FALSE(c.Contains(UnitVectorFromSpherical(60, 0)));
+}
+
+TEST(ConvexTest, BoundingCapIsTightestConstraint) {
+  Convex c;
+  c.Add(Halfspace::Cap(Vec3(0, 0, 1), DegToRad(60)));
+  c.Add(Halfspace::Cap(Vec3(1, 0, 0), DegToRad(10)));
+  auto cap = c.BoundingCap();
+  ASSERT_TRUE(cap.has_value());
+  EXPECT_TRUE(ApproxEqual(cap->center, Vec3(1, 0, 0)));
+  EXPECT_NEAR(RadToDeg(cap->radius_rad), 10.0, 1e-9);
+}
+
+TEST(ConvexTest, InteriorPointSatisfiesConstraints) {
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) {
+    Convex c;
+    Vec3 axis = rng.UnitSphere();
+    c.Add(Halfspace::Cap(axis, DegToRad(rng.Uniform(5, 80))));
+    Vec3 axis2 = rng.UnitCap(axis, DegToRad(20));
+    c.Add(Halfspace::Cap(axis2, DegToRad(rng.Uniform(30, 80))));
+    auto p = c.InteriorPoint();
+    ASSERT_TRUE(p.has_value()) << i;
+    for (const Halfspace& h : c.constraints()) {
+      EXPECT_GE(h.direction.Dot(*p), h.dist - 1e-9);
+    }
+  }
+}
+
+TEST(RegionTest, EmptyRegionContainsNothing) {
+  Region r;
+  EXPECT_FALSE(r.Contains(Vec3(0, 0, 1)));
+  EXPECT_EQ(r.Classify(Trixel::FromId(HtmId::Base(0))), Coverage::kDisjoint);
+}
+
+TEST(RegionTest, CircleMembership) {
+  Region r = Region::Circle(180.0, 0.0, 5.0);
+  EXPECT_TRUE(r.Contains(UnitVectorFromSpherical(180, 0)));
+  EXPECT_TRUE(r.Contains(UnitVectorFromSpherical(184, 0)));
+  EXPECT_FALSE(r.Contains(UnitVectorFromSpherical(186, 0)));
+  EXPECT_TRUE(r.Contains(UnitVectorFromSpherical(180, 4.9)));
+  EXPECT_FALSE(r.Contains(UnitVectorFromSpherical(180, 5.1)));
+}
+
+TEST(RegionTest, CircleInGalacticFrame) {
+  // A circle around the galactic center, expressed in galactic coords.
+  Region r = Region::Circle(0.0, 0.0, 3.0, Frame::kGalactic);
+  Vec3 gc_eq = EquatorialUnitVector({0.0, 0.0, Frame::kGalactic});
+  EXPECT_TRUE(r.Contains(gc_eq));
+  Vec3 off = EquatorialUnitVector({5.0, 0.0, Frame::kGalactic});
+  EXPECT_FALSE(r.Contains(off));
+}
+
+TEST(RegionTest, LatBandMembership) {
+  Region band = Region::LatBand(-10.0, 10.0);
+  EXPECT_TRUE(band.Contains(UnitVectorFromSpherical(77, 0)));
+  EXPECT_TRUE(band.Contains(UnitVectorFromSpherical(77, 9.9)));
+  EXPECT_TRUE(band.Contains(UnitVectorFromSpherical(77, -9.9)));
+  EXPECT_FALSE(band.Contains(UnitVectorFromSpherical(77, 10.5)));
+  EXPECT_FALSE(band.Contains(UnitVectorFromSpherical(77, -10.5)));
+}
+
+TEST(RegionTest, GalacticBandDiffersFromEquatorialBand) {
+  Region gal_band = Region::LatBand(-5.0, 5.0, Frame::kGalactic);
+  // The galactic plane passes nowhere near the celestial equator at
+  // ra=0: (0, 0) equatorial is at b ~ -60.
+  EXPECT_FALSE(gal_band.Contains(UnitVectorFromSpherical(0, 0)));
+  // A point on the galactic equator is inside.
+  Vec3 on_plane = EquatorialUnitVector({100.0, 0.0, Frame::kGalactic});
+  EXPECT_TRUE(gal_band.Contains(on_plane));
+}
+
+TEST(RegionTest, RectMembershipNarrow) {
+  Region r = Region::Rect(10.0, 20.0, 30.0, 40.0);
+  EXPECT_TRUE(r.Contains(UnitVectorFromSpherical(15, 35)));
+  EXPECT_FALSE(r.Contains(UnitVectorFromSpherical(5, 35)));
+  EXPECT_FALSE(r.Contains(UnitVectorFromSpherical(25, 35)));
+  EXPECT_FALSE(r.Contains(UnitVectorFromSpherical(15, 25)));
+  EXPECT_FALSE(r.Contains(UnitVectorFromSpherical(15, 45)));
+  // Corners are inside (closed region).
+  EXPECT_TRUE(r.Contains(UnitVectorFromSpherical(10, 30)));
+  EXPECT_TRUE(r.Contains(UnitVectorFromSpherical(20, 40)));
+}
+
+TEST(RegionTest, RectWrapsAroundZero) {
+  Region r = Region::Rect(350.0, 10.0, -5.0, 5.0);
+  EXPECT_TRUE(r.Contains(UnitVectorFromSpherical(355, 0)));
+  EXPECT_TRUE(r.Contains(UnitVectorFromSpherical(5, 0)));
+  EXPECT_TRUE(r.Contains(UnitVectorFromSpherical(0, 0)));
+  EXPECT_FALSE(r.Contains(UnitVectorFromSpherical(20, 0)));
+  EXPECT_FALSE(r.Contains(UnitVectorFromSpherical(340, 0)));
+}
+
+TEST(RegionTest, WideRectOver180Degrees) {
+  Region r = Region::Rect(0.0, 270.0, -10.0, 10.0);
+  EXPECT_TRUE(r.Contains(UnitVectorFromSpherical(100, 0)));
+  EXPECT_TRUE(r.Contains(UnitVectorFromSpherical(200, 0)));
+  EXPECT_TRUE(r.Contains(UnitVectorFromSpherical(260, 5)));
+  EXPECT_FALSE(r.Contains(UnitVectorFromSpherical(300, 0)));
+}
+
+TEST(RegionTest, FullLongitudeRangeIsBand) {
+  Region r = Region::Rect(0.0, 360.0, 20.0, 30.0);
+  EXPECT_TRUE(r.Contains(UnitVectorFromSpherical(123, 25)));
+  EXPECT_TRUE(r.Contains(UnitVectorFromSpherical(321, 25)));
+  EXPECT_FALSE(r.Contains(UnitVectorFromSpherical(123, 35)));
+}
+
+TEST(RegionTest, PolygonFromTriangle) {
+  std::vector<Vec3> verts = {UnitVectorFromSpherical(0, 0),
+                             UnitVectorFromSpherical(20, 0),
+                             UnitVectorFromSpherical(10, 20)};
+  auto r = Region::Polygon(verts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->Contains(UnitVectorFromSpherical(10, 5)));
+  EXPECT_FALSE(r->Contains(UnitVectorFromSpherical(10, 25)));
+  EXPECT_FALSE(r->Contains(UnitVectorFromSpherical(-5, 0)));
+}
+
+TEST(RegionTest, PolygonAcceptsClockwiseInput) {
+  std::vector<Vec3> verts = {UnitVectorFromSpherical(10, 20),
+                             UnitVectorFromSpherical(20, 0),
+                             UnitVectorFromSpherical(0, 0)};
+  auto r = Region::Polygon(verts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->Contains(UnitVectorFromSpherical(10, 5)));
+}
+
+TEST(RegionTest, PolygonRejectsTooFewVertices) {
+  EXPECT_FALSE(Region::Polygon({Vec3(1, 0, 0), Vec3(0, 1, 0)}).ok());
+}
+
+TEST(RegionTest, UnionOfDisjointCircles) {
+  Region a = Region::Circle(0, 0, 2);
+  Region b = Region::Circle(90, 0, 2);
+  Region u = a.UnionWith(b);
+  EXPECT_TRUE(u.Contains(UnitVectorFromSpherical(0, 0)));
+  EXPECT_TRUE(u.Contains(UnitVectorFromSpherical(90, 0)));
+  EXPECT_FALSE(u.Contains(UnitVectorFromSpherical(45, 0)));
+}
+
+TEST(RegionTest, IntersectionDistributes) {
+  // (circleA | circleB) & band == (A & band) | (B & band).
+  Region circles =
+      Region::Circle(0, 0, 10).UnionWith(Region::Circle(50, 0, 10));
+  Region band = Region::LatBand(2.0, 90.0);
+  Region inter = circles.IntersectWith(band);
+  EXPECT_EQ(inter.convexes().size(), 2u);
+  EXPECT_TRUE(inter.Contains(UnitVectorFromSpherical(0, 5)));
+  EXPECT_TRUE(inter.Contains(UnitVectorFromSpherical(50, 5)));
+  EXPECT_FALSE(inter.Contains(UnitVectorFromSpherical(0, -5)));
+  EXPECT_FALSE(inter.Contains(UnitVectorFromSpherical(50, -5)));
+  EXPECT_FALSE(inter.Contains(UnitVectorFromSpherical(25, 5)));
+}
+
+// --- Classification tests ----------------------------------------------
+
+TEST(ClassifyTest, TrixelFullyInsideBigCircle) {
+  Trixel t = Trixel::FromId(LookupId(45.0, 45.0, 6));
+  Region big = Region::Circle(45.0, 45.0, 30.0);
+  EXPECT_EQ(big.Classify(t), Coverage::kFull);
+}
+
+TEST(ClassifyTest, TrixelDisjointFromFarCircle) {
+  Trixel t = Trixel::FromId(LookupId(45.0, 45.0, 6));
+  Region far = Region::Circle(225.0, -45.0, 5.0);
+  EXPECT_EQ(far.Classify(t), Coverage::kDisjoint);
+}
+
+TEST(ClassifyTest, TrixelBisectedByCircleBoundary) {
+  Trixel t = Trixel::FromId(LookupId(45.0, 45.0, 6));
+  Cap cap = t.BoundingCap();
+  // A circle whose boundary passes through the trixel center.
+  SphericalCoord center = ToSpherical(
+      (t.Center() + Vec3(0, 0, 1) * 0.2).Normalized(), Frame::kEquatorial);
+  double radius =
+      RadToDeg(UnitVectorFromSpherical(center.lon_deg, center.lat_deg)
+                   .AngleTo(t.Center()));
+  (void)cap;
+  Region r = Region::Circle(center.lon_deg, center.lat_deg, radius);
+  EXPECT_EQ(r.Classify(t), Coverage::kPartial);
+}
+
+TEST(ClassifyTest, SmallCircleInsideTrixelIsPartial) {
+  // A circle much smaller than the trixel, centered at its centroid: no
+  // trixel vertex is inside, no edge crossing, but the region is within.
+  Trixel t = Trixel::FromId(LookupId(10.0, -30.0, 3));
+  SphericalCoord c = ToSpherical(t.Center(), Frame::kEquatorial);
+  Region r = Region::Circle(c.lon_deg, c.lat_deg, 0.1);
+  EXPECT_EQ(r.Classify(t), Coverage::kPartial);
+}
+
+TEST(ClassifyTest, HoleInsideTrixelIsDetected) {
+  // Convex = everything except a small cap centered inside the trixel.
+  // All trixel corners are inside, nothing crosses the edges, yet the
+  // trixel is not fully covered.
+  Trixel t = Trixel::FromId(LookupId(10.0, -30.0, 3));
+  Vec3 center = t.Center();
+  Convex c;
+  // Exclude a 0.1-deg cap around `center`: direction -center, dist
+  // cos(pi - r) = -cos(r).
+  c.Add({-center, -std::cos(DegToRad(0.1))});
+  Region r;
+  r.Add(c);
+  EXPECT_EQ(r.Classify(t), Coverage::kPartial);
+  // Sanity: corners are all inside the halfspace.
+  for (const Vec3& v : t.vertices()) {
+    EXPECT_TRUE(r.Contains(v));
+  }
+  EXPECT_FALSE(r.Contains(center));
+}
+
+TEST(ClassifyTest, BandClassifiesEquatorTrixels) {
+  Region band = Region::LatBand(-2.0, 2.0);
+  // A trixel at the pole is disjoint.
+  EXPECT_EQ(band.Classify(Trixel::FromId(LookupId(0.0, 89.0, 5))),
+            Coverage::kDisjoint);
+  // A trixel straddling the equator is partial.
+  EXPECT_EQ(band.Classify(Trixel::FromId(LookupId(33.0, 0.0, 5))),
+            Coverage::kPartial);
+}
+
+TEST(ClassifyTest, UnionClassification) {
+  Trixel t = Trixel::FromId(LookupId(45.0, 45.0, 6));
+  Region covering = Region::Circle(45.0, 45.0, 30.0);
+  Region far = Region::Circle(200.0, -50.0, 5.0);
+  // Union with a far circle keeps FULL.
+  EXPECT_EQ(far.UnionWith(covering).Classify(t), Coverage::kFull);
+  // Union of two far circles stays DISJOINT.
+  Region far2 = Region::Circle(300.0, 50.0, 5.0);
+  EXPECT_EQ(far.UnionWith(far2).Classify(t), Coverage::kDisjoint);
+}
+
+TEST(ClassifyTest, ClassificationConsistentWithMembershipSamples) {
+  // Property check on a moderate sample: FULL implies all sampled points
+  // inside; DISJOINT implies none inside.
+  Rng rng(9);
+  Region r = Region::Circle(120.0, 20.0, 12.0)
+                 .UnionWith(Region::LatBand(-60.0, -55.0));
+  for (int i = 0; i < 200; ++i) {
+    Trixel t = Trixel::FromId(LookupId(rng.UnitSphere(), 4));
+    Coverage cov = r.Classify(t);
+    for (int j = 0; j < 40; ++j) {
+      Vec3 p = rng.UnitCap(t.Center(), t.BoundingCap().radius_rad);
+      if (!t.Contains(p)) continue;
+      bool inside = r.Contains(p);
+      if (cov == Coverage::kFull) {
+        EXPECT_TRUE(inside) << t.id().ToName();
+      } else if (cov == Coverage::kDisjoint) {
+        EXPECT_FALSE(inside) << t.id().ToName();
+      }
+    }
+  }
+}
+
+TEST(ClassifyTest, CoverageNames) {
+  EXPECT_STREQ(CoverageName(Coverage::kFull), "FULL");
+  EXPECT_STREQ(CoverageName(Coverage::kPartial), "PARTIAL");
+  EXPECT_STREQ(CoverageName(Coverage::kDisjoint), "DISJOINT");
+}
+
+}  // namespace
+}  // namespace sdss::htm

@@ -1,0 +1,230 @@
+#include "htm/trixel.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "core/angle.h"
+#include "core/coords.h"
+#include "core/random.h"
+
+namespace sdss::htm {
+namespace {
+
+TEST(TrixelTest, BaseVerticesAreOctahedronCorners) {
+  // S0 spans the first southern quadrant: (1,0,0), (0,0,-1), (0,1,0).
+  Trixel s0 = Trixel::FromId(HtmId::Base(0));
+  EXPECT_TRUE(ApproxEqual(s0.v0(), Vec3(1, 0, 0)));
+  EXPECT_TRUE(ApproxEqual(s0.v1(), Vec3(0, 0, -1)));
+  EXPECT_TRUE(ApproxEqual(s0.v2(), Vec3(0, 1, 0)));
+}
+
+TEST(TrixelTest, BaseTrixelsTileTheSphere) {
+  // Every random point belongs to at least one base trixel, and (away from
+  // boundaries) exactly one.
+  Rng rng(1);
+  for (int i = 0; i < 2000; ++i) {
+    Vec3 p = rng.UnitSphere();
+    int hits = 0;
+    for (int b = 0; b < 8; ++b) {
+      if (Trixel::FromId(HtmId::Base(b)).Contains(p)) ++hits;
+    }
+    EXPECT_GE(hits, 1) << p.ToString();
+  }
+}
+
+TEST(TrixelTest, ChildrenPartitionParent) {
+  Rng rng(2);
+  Trixel parent = Trixel::FromId(HtmId::Base(6));
+  auto children = parent.Children();
+  for (int i = 0; i < 1000; ++i) {
+    // Sample points inside the parent.
+    Vec3 p = rng.UnitCap(parent.Center(), 0.5);
+    if (!parent.Contains(p)) continue;
+    int hits = 0;
+    for (const Trixel& c : children) hits += c.Contains(p);
+    EXPECT_GE(hits, 1) << p.ToString();
+  }
+}
+
+TEST(TrixelTest, ChildIdsMatchChildGeometry) {
+  Trixel parent = Trixel::FromId(HtmId::Base(3));
+  auto children = parent.Children();
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_EQ(children[c].id(), parent.id().Child(c));
+    // FromId reproduces the same geometry.
+    Trixel direct = Trixel::FromId(parent.id().Child(c));
+    for (int v = 0; v < 3; ++v) {
+      EXPECT_TRUE(ApproxEqual(direct.vertices()[v], children[c].vertices()[v],
+                              1e-14));
+    }
+  }
+}
+
+TEST(TrixelTest, VerticesAreUnit) {
+  HtmId id = HtmId::Base(1).Child(2).Child(0).Child(3).Child(1);
+  Trixel t = Trixel::FromId(id);
+  for (const Vec3& v : t.vertices()) {
+    EXPECT_NEAR(v.Norm(), 1.0, 1e-14);
+  }
+}
+
+TEST(TrixelTest, LookupFindsContainingTrixel) {
+  Rng rng(3);
+  for (int level : {0, 1, 3, 6, 10, 14}) {
+    for (int i = 0; i < 300; ++i) {
+      Vec3 p = rng.UnitSphere();
+      HtmId id = LookupId(p, level);
+      EXPECT_EQ(id.level(), level);
+      EXPECT_TRUE(Trixel::FromId(id).Contains(p))
+          << "level " << level << " p " << p.ToString();
+    }
+  }
+}
+
+TEST(TrixelTest, LookupIsHierarchicallyConsistent) {
+  Rng rng(4);
+  for (int i = 0; i < 500; ++i) {
+    Vec3 p = rng.UnitSphere();
+    HtmId deep = LookupId(p, 10);
+    for (int level = 0; level < 10; ++level) {
+      EXPECT_EQ(LookupId(p, level), deep.AncestorAt(level));
+    }
+  }
+}
+
+TEST(TrixelTest, LookupByRaDec) {
+  HtmId id = LookupId(45.0, 45.0, 8);
+  Vec3 p = UnitVectorFromSpherical(45.0, 45.0);
+  EXPECT_TRUE(Trixel::FromId(id).Contains(p));
+  // (45, 45) is in the northern hemisphere -> an N trixel.
+  EXPECT_EQ(id.ToName()[0], 'N');
+  EXPECT_EQ(LookupId(45.0, -45.0, 8).ToName()[0], 'S');
+}
+
+TEST(TrixelTest, LookupHandlesPolesAndSeams) {
+  // Exact octahedron corners and edge midpoints must resolve to valid
+  // containing trixels at every level.
+  const Vec3 tricky[] = {
+      {0, 0, 1}, {0, 0, -1}, {1, 0, 0},  {0, 1, 0},
+      {-1, 0, 0}, {0, -1, 0}, Vec3(1, 1, 0).Normalized(),
+      Vec3(1, 0, 1).Normalized(), Vec3(0, 1, 1).Normalized(),
+      Vec3(-1, 1, 0).Normalized(), Vec3(1, 1, 1).Normalized(),
+  };
+  for (const Vec3& p : tricky) {
+    for (int level : {0, 4, 9}) {
+      HtmId id = LookupId(p, level);
+      EXPECT_TRUE(id.valid());
+      EXPECT_TRUE(Trixel::FromId(id).Contains(p))
+          << p.ToString() << " level " << level;
+    }
+  }
+}
+
+TEST(TrixelTest, AreasSumToSphere) {
+  // Base trixels: each is exactly 1/8 of the sphere.
+  double total = 0.0;
+  for (int b = 0; b < 8; ++b) {
+    double a = Trixel::FromId(HtmId::Base(b)).AreaSteradians();
+    EXPECT_NEAR(a, 4.0 * kPi / 8.0, 1e-12);
+    total += a;
+  }
+  EXPECT_NEAR(total, 4.0 * kPi, 1e-10);
+}
+
+TEST(TrixelTest, ChildAreasSumToParentArea) {
+  Trixel parent = Trixel::FromId(HtmId::Base(2).Child(1));
+  double parent_area = parent.AreaSteradians();
+  double child_sum = 0.0;
+  for (const Trixel& c : parent.Children()) child_sum += c.AreaSteradians();
+  EXPECT_NEAR(child_sum, parent_area, 1e-12);
+}
+
+TEST(TrixelTest, SubdivisionAreasAreApproximatelyEqual) {
+  // The paper: "4 sub-triangles of approximately equal areas". At level 5
+  // the max/min ratio over the whole sphere stays modest (~2).
+  double min_a = 1e9, max_a = 0.0;
+  for (int b = 0; b < 8; ++b) {
+    std::vector<Trixel> frontier{Trixel::FromId(HtmId::Base(b))};
+    for (int l = 0; l < 5; ++l) {
+      std::vector<Trixel> next;
+      for (const Trixel& t : frontier) {
+        for (const Trixel& c : t.Children()) next.push_back(c);
+      }
+      frontier = std::move(next);
+    }
+    for (const Trixel& t : frontier) {
+      double a = t.AreaSteradians();
+      min_a = std::min(min_a, a);
+      max_a = std::max(max_a, a);
+    }
+  }
+  EXPECT_LT(max_a / min_a, 2.5);
+  EXPECT_GT(max_a / min_a, 1.0);
+}
+
+TEST(TrixelTest, BoundingCapContainsVertices) {
+  HtmId id = HtmId::Base(4).Child(3).Child(2);
+  Trixel t = Trixel::FromId(id);
+  Cap cap = t.BoundingCap();
+  for (const Vec3& v : t.vertices()) {
+    EXPECT_LE(cap.center.AngleTo(v), cap.radius_rad + 1e-12);
+  }
+}
+
+TEST(TrixelTest, BoundingCapContainsRandomInteriorPoints) {
+  Rng rng(5);
+  Trixel t = Trixel::FromId(LookupId(rng.UnitSphere(), 4));
+  Cap cap = t.BoundingCap();
+  for (int i = 0; i < 500; ++i) {
+    Vec3 p = rng.UnitCap(t.Center(), cap.radius_rad);
+    if (t.Contains(p)) {
+      EXPECT_LE(cap.center.AngleTo(p), cap.radius_rad + 1e-9);
+    }
+  }
+}
+
+TEST(TrixelTest, CenterIsInsideTrixel) {
+  Rng rng(6);
+  for (int i = 0; i < 200; ++i) {
+    Trixel t = Trixel::FromId(LookupId(rng.UnitSphere(), 7));
+    EXPECT_TRUE(t.Contains(t.Center()));
+  }
+}
+
+TEST(TrixelTest, NeighborsShareBoundary) {
+  Rng rng(7);
+  for (int i = 0; i < 50; ++i) {
+    Trixel t = Trixel::FromId(LookupId(rng.UnitSphere(), 5));
+    std::vector<HtmId> neighbors = t.Neighbors();
+    // A trixel has 3 edge neighbors plus vertex neighbors; expect at
+    // least the 3 and no duplicates.
+    EXPECT_GE(neighbors.size(), 3u);
+    EXPECT_LE(neighbors.size(), 12u);
+    EXPECT_TRUE(std::is_sorted(neighbors.begin(), neighbors.end()));
+    EXPECT_EQ(std::adjacent_find(neighbors.begin(), neighbors.end()),
+              neighbors.end());
+    // Self never appears.
+    EXPECT_EQ(std::find(neighbors.begin(), neighbors.end(), t.id()),
+              neighbors.end());
+    // All are at the same level.
+    for (HtmId n : neighbors) EXPECT_EQ(n.level(), t.id().level());
+  }
+}
+
+TEST(TrixelTest, NeighborRelationIsSymmetricForEdges) {
+  // The 3 edge-reflection neighbors of t must list t among their own
+  // neighbors.
+  Trixel t = Trixel::FromId(LookupId(30.0, 40.0, 4));
+  std::vector<HtmId> ns = t.Neighbors();
+  int mutual = 0;
+  for (HtmId n : ns) {
+    std::vector<HtmId> back = Trixel::FromId(n).Neighbors();
+    if (std::find(back.begin(), back.end(), t.id()) != back.end()) ++mutual;
+  }
+  EXPECT_GE(mutual, 3);
+}
+
+}  // namespace
+}  // namespace sdss::htm

@@ -1,0 +1,190 @@
+#include "query/expr.h"
+
+#include <gtest/gtest.h>
+
+#include "catalog/photo_obj.h"
+#include "core/coords.h"
+
+namespace sdss::query {
+namespace {
+
+RowAccessor MakeRow(double r_mag, double g_mag, const Vec3& pos) {
+  RowAccessor acc;
+  acc.position = pos;
+  acc.get = [r_mag, g_mag](const std::string& name) -> Result<double> {
+    if (name == "r") return r_mag;
+    if (name == "g") return g_mag;
+    return Status::NotFound("unknown attribute: " + name);
+  };
+  return acc;
+}
+
+TEST(ExprTest, LiteralAndAttr) {
+  RowAccessor row = MakeRow(17.5, 18.2, Vec3(1, 0, 0));
+  EXPECT_DOUBLE_EQ(*Expr::Literal(3.5)->Eval(row), 3.5);
+  EXPECT_DOUBLE_EQ(*Expr::Attr("r")->Eval(row), 17.5);
+  EXPECT_FALSE(Expr::Attr("nope")->Eval(row).ok());
+}
+
+TEST(ExprTest, Arithmetic) {
+  RowAccessor row = MakeRow(17.5, 18.2, Vec3(1, 0, 0));
+  auto color = Expr::Binary(BinOp::kSub, Expr::Attr("g"), Expr::Attr("r"));
+  EXPECT_NEAR(*color->Eval(row), 0.7, 1e-12);
+  auto scaled = Expr::Binary(BinOp::kMul, color, Expr::Literal(2.0));
+  EXPECT_NEAR(*scaled->Eval(row), 1.4, 1e-12);
+  auto half = Expr::Binary(BinOp::kDiv, color, Expr::Literal(2.0));
+  EXPECT_NEAR(*half->Eval(row), 0.35, 1e-12);
+  auto neg = Expr::Neg(color);
+  EXPECT_NEAR(*neg->Eval(row), -0.7, 1e-12);
+}
+
+TEST(ExprTest, DivisionByZeroIsError) {
+  RowAccessor row = MakeRow(1, 1, Vec3(1, 0, 0));
+  auto bad = Expr::Binary(BinOp::kDiv, Expr::Literal(1.0),
+                          Expr::Literal(0.0));
+  EXPECT_FALSE(bad->Eval(row).ok());
+}
+
+TEST(ExprTest, Comparisons) {
+  RowAccessor row = MakeRow(17.5, 18.2, Vec3(1, 0, 0));
+  EXPECT_TRUE(*Expr::Binary(BinOp::kLt, Expr::Attr("r"),
+                            Expr::Literal(22.0))
+                   ->EvalBool(row));
+  EXPECT_FALSE(*Expr::Binary(BinOp::kGt, Expr::Attr("r"),
+                             Expr::Literal(22.0))
+                    ->EvalBool(row));
+  EXPECT_TRUE(*Expr::Binary(BinOp::kLe, Expr::Literal(17.5),
+                            Expr::Attr("r"))
+                   ->EvalBool(row));
+  EXPECT_TRUE(*Expr::Binary(BinOp::kEq, Expr::Attr("r"),
+                            Expr::Literal(17.5))
+                   ->EvalBool(row));
+  EXPECT_TRUE(*Expr::Binary(BinOp::kNe, Expr::Attr("r"),
+                            Expr::Attr("g"))
+                   ->EvalBool(row));
+}
+
+TEST(ExprTest, BooleanShortCircuit) {
+  RowAccessor row = MakeRow(17.5, 18.2, Vec3(1, 0, 0));
+  // AND short-circuits: the erroring right side is never evaluated.
+  auto and_expr = Expr::Binary(
+      BinOp::kAnd,
+      Expr::Binary(BinOp::kGt, Expr::Attr("r"), Expr::Literal(100.0)),
+      Expr::Attr("missing"));
+  auto v = and_expr->Eval(row);
+  ASSERT_TRUE(v.ok());
+  EXPECT_DOUBLE_EQ(*v, 0.0);
+
+  auto or_expr = Expr::Binary(
+      BinOp::kOr,
+      Expr::Binary(BinOp::kLt, Expr::Attr("r"), Expr::Literal(100.0)),
+      Expr::Attr("missing"));
+  auto v2 = or_expr->Eval(row);
+  ASSERT_TRUE(v2.ok());
+  EXPECT_DOUBLE_EQ(*v2, 1.0);
+}
+
+TEST(ExprTest, NotOperator) {
+  RowAccessor row = MakeRow(17.5, 18.2, Vec3(1, 0, 0));
+  auto t = Expr::Binary(BinOp::kLt, Expr::Attr("r"), Expr::Literal(22.0));
+  EXPECT_FALSE(*Expr::Not(t)->EvalBool(row));
+  EXPECT_TRUE(*Expr::Not(Expr::Not(t))->EvalBool(row));
+}
+
+TEST(ExprTest, SpatialAtomUsesPosition) {
+  htm::Region circle = htm::Region::Circle(0.0, 0.0, 5.0);
+  auto atom = Expr::Spatial(circle, "CIRCLE(0,0,5)");
+  RowAccessor inside = MakeRow(0, 0, UnitVectorFromSpherical(1.0, 1.0));
+  RowAccessor outside = MakeRow(0, 0, UnitVectorFromSpherical(30.0, 0.0));
+  EXPECT_TRUE(*atom->EvalBool(inside));
+  EXPECT_FALSE(*atom->EvalBool(outside));
+}
+
+TEST(ExprTest, CollectAttrsDeduplicates) {
+  auto e = Expr::Binary(
+      BinOp::kAnd,
+      Expr::Binary(BinOp::kLt, Expr::Attr("r"), Expr::Literal(22.0)),
+      Expr::Binary(BinOp::kLt,
+                   Expr::Binary(BinOp::kSub, Expr::Attr("g"),
+                                Expr::Attr("r")),
+                   Expr::Literal(0.5)));
+  std::vector<std::string> attrs;
+  e->CollectAttrs(&attrs);
+  EXPECT_EQ(attrs, (std::vector<std::string>{"r", "g"}));
+}
+
+TEST(ExprTest, ToStringIsReadable) {
+  auto e = Expr::Binary(BinOp::kAnd,
+                        Expr::Binary(BinOp::kLt, Expr::Attr("r"),
+                                     Expr::Literal(22.0)),
+                        Expr::Spatial(htm::Region::Circle(0, 0, 1),
+                                      "CIRCLE(0,0,1)"));
+  std::string s = e->ToString();
+  EXPECT_NE(s.find("r < 22"), std::string::npos);
+  EXPECT_NE(s.find("CIRCLE(0,0,1)"), std::string::npos);
+  EXPECT_NE(s.find("AND"), std::string::npos);
+}
+
+TEST(ExtractRegionTest, SingleAtom) {
+  auto atom = Expr::Spatial(htm::Region::Circle(10, 10, 5), "c");
+  htm::Region out;
+  ASSERT_TRUE(ExtractRegion(atom, &out));
+  EXPECT_TRUE(out.Contains(UnitVectorFromSpherical(10, 10)));
+  EXPECT_FALSE(out.Contains(UnitVectorFromSpherical(100, -20)));
+}
+
+TEST(ExtractRegionTest, AndIntersects) {
+  auto e = Expr::Binary(
+      BinOp::kAnd, Expr::Spatial(htm::Region::LatBand(0, 20), "band"),
+      Expr::Spatial(htm::Region::Circle(10, 10, 30), "circle"));
+  htm::Region out;
+  ASSERT_TRUE(ExtractRegion(e, &out));
+  EXPECT_TRUE(out.Contains(UnitVectorFromSpherical(10, 10)));
+  EXPECT_FALSE(out.Contains(UnitVectorFromSpherical(10, -10)));  // Off band.
+  EXPECT_FALSE(out.Contains(UnitVectorFromSpherical(80, 10)));   // Off circ.
+}
+
+TEST(ExtractRegionTest, AndWithNonSpatialKeepsSpatialBound) {
+  auto e = Expr::Binary(
+      BinOp::kAnd,
+      Expr::Binary(BinOp::kLt, Expr::Attr("r"), Expr::Literal(22.0)),
+      Expr::Spatial(htm::Region::Circle(10, 10, 5), "circle"));
+  htm::Region out;
+  ASSERT_TRUE(ExtractRegion(e, &out));
+  EXPECT_TRUE(out.Contains(UnitVectorFromSpherical(10, 10)));
+  EXPECT_FALSE(out.Contains(UnitVectorFromSpherical(50, 50)));
+}
+
+TEST(ExtractRegionTest, OrOfTwoAtomsUnions) {
+  auto e = Expr::Binary(BinOp::kOr,
+                        Expr::Spatial(htm::Region::Circle(0, 0, 2), "a"),
+                        Expr::Spatial(htm::Region::Circle(90, 0, 2), "b"));
+  htm::Region out;
+  ASSERT_TRUE(ExtractRegion(e, &out));
+  EXPECT_TRUE(out.Contains(UnitVectorFromSpherical(0, 0)));
+  EXPECT_TRUE(out.Contains(UnitVectorFromSpherical(90, 0)));
+  EXPECT_FALSE(out.Contains(UnitVectorFromSpherical(45, 0)));
+}
+
+TEST(ExtractRegionTest, OrWithNonSpatialGivesNoBound) {
+  auto e = Expr::Binary(
+      BinOp::kOr, Expr::Spatial(htm::Region::Circle(0, 0, 2), "a"),
+      Expr::Binary(BinOp::kLt, Expr::Attr("r"), Expr::Literal(15.0)));
+  htm::Region out;
+  EXPECT_FALSE(ExtractRegion(e, &out));
+}
+
+TEST(ExtractRegionTest, NotGivesNoBound) {
+  auto e = Expr::Not(Expr::Spatial(htm::Region::Circle(0, 0, 2), "a"));
+  htm::Region out;
+  EXPECT_FALSE(ExtractRegion(e, &out));
+}
+
+TEST(ExtractRegionTest, PureAttributePredicateGivesNoBound) {
+  auto e = Expr::Binary(BinOp::kLt, Expr::Attr("r"), Expr::Literal(22.0));
+  htm::Region out;
+  EXPECT_FALSE(ExtractRegion(e, &out));
+}
+
+}  // namespace
+}  // namespace sdss::query

@@ -1,0 +1,185 @@
+#include "query/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "catalog/photo_obj.h"
+
+namespace sdss::query {
+namespace {
+
+TEST(ParserTest, MinimalSelect) {
+  auto q = Parse("SELECT * FROM photo");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->first.table, TableRef::kPhoto);
+  EXPECT_TRUE(q->first.projection.empty());
+  EXPECT_EQ(q->first.agg, AggFunc::kNone);
+  EXPECT_EQ(q->first.where, nullptr);
+  EXPECT_FALSE(q->IsSetQuery());
+}
+
+TEST(ParserTest, ProjectionList) {
+  auto q = Parse("SELECT obj_id, ra, dec, r FROM photo");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->first.projection,
+            (std::vector<std::string>{"obj_id", "ra", "dec", "r"}));
+}
+
+TEST(ParserTest, TagTable) {
+  auto q = Parse("SELECT r FROM tag");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->first.table, TableRef::kTag);
+}
+
+TEST(ParserTest, KeywordsAreCaseInsensitive) {
+  auto q = Parse("select R from PHOTO where CLASS = 'qso' Limit 5");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->first.limit, 5);
+}
+
+TEST(ParserTest, WherePredicate) {
+  auto q = Parse("SELECT obj_id FROM photo WHERE r < 22 AND g - r > 0.5");
+  ASSERT_TRUE(q.ok());
+  ASSERT_NE(q->first.where, nullptr);
+  std::string s = q->first.where->ToString();
+  EXPECT_NE(s.find("r < 22"), std::string::npos);
+  EXPECT_NE(s.find("(g - r) > 0.5"), std::string::npos);
+}
+
+TEST(ParserTest, ClassLiteralBecomesEnumValue) {
+  auto q = Parse("SELECT obj_id FROM photo WHERE class = 'QSO'");
+  ASSERT_TRUE(q.ok());
+  std::string s = q->first.where->ToString();
+  // QSO = 3 in the enum.
+  EXPECT_NE(s.find("class = 3"), std::string::npos);
+}
+
+TEST(ParserTest, SpatialCircle) {
+  auto q = Parse("SELECT obj_id FROM photo WHERE CIRCLE(185.0, 2.5, 1.5)");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  std::string s = q->first.where->ToString();
+  EXPECT_NE(s.find("CIRCLE[Equatorial](185,2.5,1.5)"), std::string::npos);
+}
+
+TEST(ParserTest, SpatialWithFrameAndNegatives) {
+  auto q =
+      Parse("SELECT obj_id FROM photo WHERE BAND('GAL', -10, 10)");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_NE(q->first.where->ToString().find("BAND[Galactic](-10,10)"),
+            std::string::npos);
+}
+
+TEST(ParserTest, SpatialRect) {
+  auto q = Parse(
+      "SELECT obj_id FROM photo WHERE RECT('SGAL', 10, 20, -5, 5) AND r < "
+      "20");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_NE(q->first.where->ToString().find("RECT[Supergalactic]"),
+            std::string::npos);
+}
+
+TEST(ParserTest, OrderLimitSample) {
+  auto q = Parse(
+      "SELECT obj_id, r FROM photo WHERE r < 20 ORDER BY r DESC LIMIT 10 "
+      "SAMPLE 0.5");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_TRUE(q->first.has_order);
+  EXPECT_EQ(q->first.order_by, "r");
+  EXPECT_TRUE(q->first.order_desc);
+  EXPECT_EQ(q->first.limit, 10);
+  EXPECT_DOUBLE_EQ(q->first.sample, 0.5);
+}
+
+TEST(ParserTest, OrderAscIsDefault) {
+  auto q = Parse("SELECT r FROM photo ORDER BY r");
+  ASSERT_TRUE(q.ok());
+  EXPECT_FALSE(q->first.order_desc);
+  auto q2 = Parse("SELECT r FROM photo ORDER BY r ASC");
+  ASSERT_TRUE(q2.ok());
+  EXPECT_FALSE(q2->first.order_desc);
+}
+
+TEST(ParserTest, Aggregates) {
+  auto q = Parse("SELECT COUNT(*) FROM photo WHERE r < 22");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->first.agg, AggFunc::kCount);
+  EXPECT_TRUE(q->first.agg_attr.empty());
+
+  auto q2 = Parse("SELECT AVG(r) FROM tag");
+  ASSERT_TRUE(q2.ok());
+  EXPECT_EQ(q2->first.agg, AggFunc::kAvg);
+  EXPECT_EQ(q2->first.agg_attr, "r");
+
+  for (const char* fn : {"MIN", "MAX", "SUM"}) {
+    auto qf = Parse(std::string("SELECT ") + fn + "(g) FROM photo");
+    ASSERT_TRUE(qf.ok()) << fn;
+    EXPECT_EQ(qf->first.agg_attr, "g");
+  }
+}
+
+TEST(ParserTest, SetOperations) {
+  auto q = Parse(
+      "SELECT obj_id FROM photo WHERE r < 20 "
+      "UNION SELECT obj_id FROM photo WHERE g < 20 "
+      "EXCEPT SELECT obj_id FROM photo WHERE i < 15");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->rest.size(), 2u);
+  EXPECT_EQ(q->rest[0].first, SetOp::kUnion);
+  EXPECT_EQ(q->rest[1].first, SetOp::kExcept);
+  EXPECT_TRUE(q->IsSetQuery());
+}
+
+TEST(ParserTest, IntersectQuery) {
+  auto q = Parse(
+      "SELECT obj_id FROM tag WHERE r < 20 "
+      "INTERSECT SELECT obj_id FROM tag WHERE g - r > 0.8");
+  ASSERT_TRUE(q.ok());
+  ASSERT_EQ(q->rest.size(), 1u);
+  EXPECT_EQ(q->rest[0].first, SetOp::kIntersect);
+}
+
+TEST(ParserTest, ParenthesizedExpressions) {
+  auto q = Parse(
+      "SELECT obj_id FROM photo WHERE (r < 20 OR g < 19) AND NOT (i > 22)");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  std::string s = q->first.where->ToString();
+  EXPECT_NE(s.find("OR"), std::string::npos);
+  EXPECT_NE(s.find("NOT"), std::string::npos);
+}
+
+TEST(ParserTest, OperatorPrecedence) {
+  auto q = Parse("SELECT obj_id FROM photo WHERE u - g < 0.2 + 0.1 * 2");
+  ASSERT_TRUE(q.ok());
+  // Multiplication binds tighter than addition, both tighter than '<'.
+  EXPECT_EQ(q->first.where->ToString(),
+            "((u - g) < (0.2 + (0.1 * 2)))");
+}
+
+TEST(ParserTest, ErrorsCarryPosition) {
+  auto q = Parse("SELECT FROM photo");
+  ASSERT_FALSE(q.ok());
+  EXPECT_NE(q.status().message().find("position"), std::string::npos);
+}
+
+TEST(ParserTest, RejectsMalformedQueries) {
+  EXPECT_FALSE(Parse("").ok());
+  EXPECT_FALSE(Parse("SELECT *").ok());
+  EXPECT_FALSE(Parse("SELECT * FROM spectra").ok());
+  EXPECT_FALSE(Parse("SELECT * FROM photo WHERE").ok());
+  EXPECT_FALSE(Parse("SELECT * FROM photo LIMIT x").ok());
+  EXPECT_FALSE(Parse("SELECT * FROM photo SAMPLE 2.0").ok());
+  EXPECT_FALSE(Parse("SELECT * FROM photo trailing garbage").ok());
+  EXPECT_FALSE(Parse("SELECT * FROM photo WHERE CIRCLE(1,2)").ok());
+  EXPECT_FALSE(Parse("SELECT * FROM photo WHERE class = 'NEBULA'").ok());
+  EXPECT_FALSE(Parse("SELECT * FROM photo WHERE r <").ok());
+  EXPECT_FALSE(
+      Parse("SELECT * FROM photo WHERE CIRCLE('ECLIPTIC', 1, 2, 3)").ok());
+}
+
+TEST(ParserTest, HelperNames) {
+  EXPECT_STREQ(AggFuncName(AggFunc::kCount), "COUNT");
+  EXPECT_STREQ(SetOpName(SetOp::kUnion), "UNION");
+  EXPECT_STREQ(SetOpName(SetOp::kExcept), "EXCEPT");
+}
+
+}  // namespace
+}  // namespace sdss::query
