@@ -46,8 +46,10 @@ int main() {
   std::printf("\nloading %zu nightly chunks into the Science Archive:\n",
               chunks.size());
   SimSeconds night = 0.0;
+  int first_observed_night = -1;
   for (const auto& chunk : chunks) {
     if (chunk.objects.empty()) continue;
+    if (first_observed_night < 0) first_observed_night = chunk.night;
     auto stats = loader.LoadClustered(&science_archive, chunk);
     if (!stats.ok()) {
       std::fprintf(stderr, "load failed: %s\n",
@@ -67,10 +69,14 @@ int main() {
               (unsigned long long)science_archive.object_count(),
               (unsigned long long)science_archive.container_count());
 
-  auto public_latency = pipeline.TimeToPublic(0);
-  std::printf("night-0 data reaches the public archive %s after "
-              "observation\n",
-              FormatSimDuration(*public_latency).c_str());
+  // The survey footprint does not cover every RA slice, so the first
+  // chunks may be empty and unobserved; report the first real night.
+  auto public_latency = pipeline.TimeToPublic(first_observed_night);
+  if (public_latency.ok()) {
+    std::printf("night-%d data reaches the public archive %s after "
+                "observation\n",
+                first_observed_night, FormatSimDuration(*public_latency).c_str());
+  }
 
   // --- Science queries. -----------------------------------------------
   query::QueryEngine engine(&science_archive);
