@@ -186,6 +186,19 @@ ObjectStore ObjectStore::Sample(double fraction, uint64_t seed) const {
   return out;
 }
 
+ObjectStore ObjectStore::ExtractContainers(
+    const std::vector<uint64_t>& ids) const {
+  ObjectStore out(options_);
+  for (uint64_t raw : ids) {
+    auto it = containers_.find(raw);
+    if (it == containers_.end()) continue;
+    if (out.containers_.emplace(raw, it->second).second) {
+      out.object_count_ += it->second.objects.size();
+    }
+  }
+  return out;
+}
+
 void ObjectStore::Clear() {
   containers_.clear();
   object_count_ = 0;

@@ -130,6 +130,12 @@ class ObjectStore {
   /// options.
   ObjectStore Sample(double fraction, uint64_t seed) const;
 
+  /// Builds a sub-store holding exactly the listed containers, copied
+  /// wholesale (no re-clustering; options carry over). Ids absent from
+  /// this store are ignored. This is how the archive layer materializes
+  /// per-server shard stores from a replication placement.
+  ObjectStore ExtractContainers(const std::vector<uint64_t>& ids) const;
+
   /// Removes everything.
   void Clear();
 

@@ -99,4 +99,14 @@ void ThreadPool::WaitIdle() {
   idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
 }
 
+void ThreadGroup::Spawn(std::function<void()> fn) {
+  threads_.emplace_back(std::move(fn));
+}
+
+void ThreadGroup::JoinAll() {
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
 }  // namespace sdss

@@ -64,6 +64,31 @@ class ThreadPool {
   bool stop_ = false;
 };
 
+/// An RAII bundle of joinable threads: Spawn() detachable work, JoinAll()
+/// explicitly or let the destructor do it. Used for the QET executor's
+/// per-node threads and the federated engine's per-shard drivers, where a
+/// dynamic number of long-lived threads must never be leaked on an error
+/// path.
+class ThreadGroup {
+ public:
+  ThreadGroup() = default;
+  ~ThreadGroup() { JoinAll(); }
+
+  ThreadGroup(const ThreadGroup&) = delete;
+  ThreadGroup& operator=(const ThreadGroup&) = delete;
+
+  /// Starts a new thread running `fn`.
+  void Spawn(std::function<void()> fn);
+
+  /// Joins every spawned thread (idempotent).
+  void JoinAll();
+
+  size_t size() const { return threads_.size(); }
+
+ private:
+  std::vector<std::thread> threads_;
+};
+
 }  // namespace sdss
 
 #endif  // SDSS_CORE_THREAD_POOL_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <limits>
 #include <mutex>
 #include <thread>
 #include <unordered_set>
@@ -40,24 +41,19 @@ struct RunContext {
 /// Everything a running node tree needs to tear down: channels to cancel
 /// and threads to join.
 struct NodeRuntime {
-  std::vector<std::thread> threads;
+  ThreadGroup threads;
   std::vector<std::shared_ptr<RowChannel>> channels;
 
   void CancelAll() {
     for (auto& ch : channels) ch->Cancel();
   }
-  void JoinAll() {
-    for (auto& t : threads) {
-      if (t.joinable()) t.join();
-    }
-  }
 };
 
 // Projects one photo object into a row. Returns false (and reports) on
 // evaluation error.
-bool ProjectPhoto(const PhotoObj& o,
-                  const std::vector<std::string>& projection,
-                  RunContext* ctx, ResultRow* row) {
+bool ProjectInto(const PhotoObj& o,
+                 const std::vector<std::string>& projection,
+                 RunContext* ctx, ResultRow* row) {
   row->obj_id = o.obj_id;
   row->values.clear();
   row->values.reserve(projection.size());
@@ -72,8 +68,9 @@ bool ProjectPhoto(const PhotoObj& o,
   return true;
 }
 
-bool ProjectTag(const TagObj& t, const std::vector<std::string>& projection,
-                RunContext* ctx, ResultRow* row) {
+bool ProjectInto(const TagObj& t,
+                 const std::vector<std::string>& projection,
+                 RunContext* ctx, ResultRow* row) {
   row->obj_id = t.obj_id;
   row->values.clear();
   row->values.reserve(projection.size());
@@ -88,14 +85,129 @@ bool ProjectTag(const TagObj& t, const std::vector<std::string>& projection,
   return true;
 }
 
+Result<double> GetAnyAttribute(const PhotoObj& o, const std::string& n) {
+  return GetAttribute(o, n);
+}
+Result<double> GetAnyAttribute(const TagObj& t, const std::string& n) {
+  return GetTagAttribute(t, n);
+}
+Vec3 PositionOf(const PhotoObj& o) { return o.pos; }
+Vec3 PositionOf(const TagObj& t) { return t.Position(); }
+
+// Walks one container's rows (tag or photo) applying sampling and the
+// predicate -- THE definition of which objects a scan leaf yields, shared
+// by the row-emitting scan and the aggregate pushdown so the two can
+// never diverge. Calls `on_match` for every surviving object; returns
+// false when the task must abort (error reported, or on_match said stop).
+template <typename T, typename OnMatch>
+bool VisitMatches(const std::vector<T>& rows, const PlanNode* node,
+                  Rng* rng, RunContext* ctx, const OnMatch& on_match) {
+  for (const T& obj : rows) {
+    ctx->objects_examined.fetch_add(1);
+    if (node->sample < 1.0 && !rng->Bernoulli(node->sample)) continue;
+    if (node->predicate) {
+      RowAccessor acc{
+          [&obj](const std::string& n) { return GetAnyAttribute(obj, n); },
+          PositionOf(obj)};
+      auto ok = node->predicate->EvalBool(acc);
+      if (!ok.ok()) {
+        ctx->ReportError(ok.status());
+        return false;
+      }
+      if (!*ok) continue;
+    }
+    if (!on_match(obj)) return false;
+  }
+  return true;
+}
+
+// The containers a scan leaf must visit: pruned by the HTM cover when the
+// node carries a region, restricted to the shard assignment when
+// federated.
+std::vector<const Container*> CollectScanContainers(
+    const PlanNode* node, const catalog::ObjectStore* store,
+    const std::unordered_set<uint64_t>* container_filter) {
+  std::vector<const Container*> containers;
+  auto assigned = [container_filter](uint64_t raw) {
+    return container_filter == nullptr || container_filter->count(raw) > 0;
+  };
+  if (node->has_region) {
+    htm::CoverResult cover = htm::Cover(node->region,
+                                        store->cluster_level());
+    auto add_range = [&](htm::HtmId id) {
+      uint64_t first, last;
+      id.RangeAtLevel(store->cluster_level(), &first, &last);
+      const auto& all = store->containers();
+      for (auto it = all.lower_bound(first);
+           it != all.end() && it->first < last; ++it) {
+        if (assigned(it->first)) containers.push_back(&it->second);
+      }
+    };
+    for (htm::HtmId id : cover.full) add_range(id);
+    for (htm::HtmId id : cover.partial) add_range(id);
+  } else {
+    for (const auto& [raw, c] : store->containers()) {
+      if (assigned(raw)) containers.push_back(&c);
+    }
+  }
+  return containers;
+}
+
 }  // namespace
 
-Executor::Executor(const catalog::ObjectStore* store, Options options)
-    : store_(store), options_(options), pool_(options.scan_threads) {}
+ResultRow FinishAggregate(AggFunc agg, bool partial, const AggFold& f) {
+  ResultRow result;
+  result.obj_id = 0;
+  if (partial) {
+    result.values = {static_cast<double>(f.count), f.sum, f.min_v,
+                     f.max_v};
+    return result;
+  }
+  switch (agg) {
+    case AggFunc::kCount:
+      result.values.push_back(static_cast<double>(f.count));
+      break;
+    case AggFunc::kSum:
+      result.values.push_back(f.sum);
+      break;
+    case AggFunc::kAvg:
+      result.values.push_back(
+          f.count ? f.sum / static_cast<double>(f.count) : 0.0);
+      break;
+    case AggFunc::kMin:
+      result.values.push_back(f.count ? f.min_v : 0.0);
+      break;
+    case AggFunc::kMax:
+      result.values.push_back(f.count ? f.max_v : 0.0);
+      break;
+    case AggFunc::kNone:
+      break;
+  }
+  return result;
+}
+
+Executor::Executor(const catalog::ObjectStore* store, Options options,
+                   ThreadPool* shared_pool)
+    : store_(store), options_(options) {
+  if (shared_pool != nullptr) {
+    pool_ = shared_pool;
+  } else {
+    owned_pool_ = std::make_unique<ThreadPool>(options.scan_threads);
+    pool_ = owned_pool_.get();
+  }
+}
 
 Result<ExecStats> Executor::Run(
     const Plan& plan, const std::function<bool(const RowBatch&)>& on_batch) {
   if (!plan.root) return Status::InvalidArgument("empty plan");
+  return RunTree(plan.root.get(),
+                 [&on_batch](RowBatch&& batch) { return on_batch(batch); });
+}
+
+Result<ExecStats> Executor::RunTree(
+    const PlanNode* root, const std::function<bool(RowBatch&&)>& on_batch,
+    const std::unordered_set<uint64_t>* container_filter) {
+  if (root == nullptr) return Status::InvalidArgument("empty plan");
 
   auto ctx = std::make_shared<RunContext>();
   NodeRuntime runtime;
@@ -106,31 +218,11 @@ Result<ExecStats> Executor::Run(
         out->AddWriter();
         switch (node->type) {
           case PlanNodeType::kScan: {
-            runtime.threads.emplace_back([this, node, out, ctx] {
-              // Container list, pruned by the HTM cover when available.
-              std::vector<const Container*> containers;
-              if (node->has_region) {
-                htm::CoverResult cover =
-                    htm::Cover(node->region, store_->cluster_level());
-                auto add_range = [&](htm::HtmId id) {
-                  uint64_t first, last;
-                  id.RangeAtLevel(store_->cluster_level(), &first, &last);
-                  const auto& all = store_->containers();
-                  for (auto it = all.lower_bound(first);
-                       it != all.end() && it->first < last; ++it) {
-                    containers.push_back(&it->second);
-                  }
-                };
-                for (htm::HtmId id : cover.full) add_range(id);
-                for (htm::HtmId id : cover.partial) add_range(id);
-              } else {
-                for (const auto& [raw, c] : store_->containers()) {
-                  containers.push_back(&c);
-                }
-              }
-
+            runtime.threads.Spawn([this, node, out, ctx, container_filter] {
+              std::vector<const Container*> containers =
+                  CollectScanContainers(node, store_, container_filter);
               std::atomic<uint64_t> salt{0};
-              pool_.ParallelFor(containers.size(), [&](size_t ci) {
+              pool_->ParallelFor(containers.size(), [&](size_t ci) {
                 if (out->cancelled() || ctx->has_error()) return;
                 const Container* c = containers[ci];
                 ctx->containers_scanned.fetch_add(1);
@@ -139,8 +231,13 @@ Result<ExecStats> Executor::Run(
                 batch.reserve(options_.batch_size);
                 ResultRow row;
 
-                auto emit = [&](bool matched) {
-                  if (!matched) return true;
+                // Projects the matched object into `row`, then appends
+                // it, pushing full batches downstream.
+                auto emit = [&](const auto& obj) {
+                  if (!ProjectInto(obj, node->projection, ctx.get(),
+                                   &row)) {
+                    return false;
+                  }
                   ctx->objects_matched.fetch_add(1);
                   batch.push_back(row);
                   if (batch.size() >= options_.batch_size) {
@@ -151,60 +248,17 @@ Result<ExecStats> Executor::Run(
                   return true;
                 };
 
+                bool completed;
                 if (node->table == TableRef::kTag) {
                   ctx->bytes_touched.fetch_add(c->TagBytes());
-                  for (const TagObj& t : c->tags) {
-                    ctx->objects_examined.fetch_add(1);
-                    if (node->sample < 1.0 &&
-                        !rng.Bernoulli(node->sample)) {
-                      continue;
-                    }
-                    if (node->predicate) {
-                      RowAccessor acc{
-                          [&t](const std::string& n) {
-                            return GetTagAttribute(t, n);
-                          },
-                          t.Position()};
-                      auto ok = node->predicate->EvalBool(acc);
-                      if (!ok.ok()) {
-                        ctx->ReportError(ok.status());
-                        return;
-                      }
-                      if (!*ok) continue;
-                    }
-                    if (!ProjectTag(t, node->projection, ctx.get(), &row)) {
-                      return;
-                    }
-                    if (!emit(true)) return;
-                  }
+                  completed =
+                      VisitMatches(c->tags, node, &rng, ctx.get(), emit);
                 } else {
                   ctx->bytes_touched.fetch_add(c->FullBytes());
-                  for (const PhotoObj& o : c->objects) {
-                    ctx->objects_examined.fetch_add(1);
-                    if (node->sample < 1.0 &&
-                        !rng.Bernoulli(node->sample)) {
-                      continue;
-                    }
-                    if (node->predicate) {
-                      RowAccessor acc{
-                          [&o](const std::string& n) {
-                            return GetAttribute(o, n);
-                          },
-                          o.pos};
-                      auto ok = node->predicate->EvalBool(acc);
-                      if (!ok.ok()) {
-                        ctx->ReportError(ok.status());
-                        return;
-                      }
-                      if (!*ok) continue;
-                    }
-                    if (!ProjectPhoto(o, node->projection, ctx.get(),
-                                      &row)) {
-                      return;
-                    }
-                    if (!emit(true)) return;
-                  }
+                  completed = VisitMatches(c->objects, node, &rng,
+                                           ctx.get(), emit);
                 }
+                if (!completed) return;
                 if (!batch.empty()) out->Push(std::move(batch));
               });
               out->CloseWriter();
@@ -220,7 +274,7 @@ Result<ExecStats> Executor::Run(
             for (const auto& child : node->children) {
               start(child.get(), in);
             }
-            runtime.threads.emplace_back([node, in, out] {
+            runtime.threads.Spawn([node, in, out] {
               (void)node;
               std::unordered_set<uint64_t> seen;
               RowBatch batch;
@@ -250,7 +304,7 @@ Result<ExecStats> Executor::Run(
             start(node->children[0].get(), left);
             start(node->children[1].get(), right);
             bool keep_if_present = node->type == PlanNodeType::kIntersect;
-            runtime.threads.emplace_back([left, right, out,
+            runtime.threads.Spawn([left, right, out,
                                           keep_if_present] {
               // Build side: drain the right child completely first ("at
               // least one of the child nodes must be complete").
@@ -285,7 +339,7 @@ Result<ExecStats> Executor::Run(
             runtime.channels.push_back(in);
             start(node->children[0].get(), in);
             size_t batch_size = options_.batch_size;
-            runtime.threads.emplace_back([node, in, out, batch_size] {
+            runtime.threads.Spawn([node, in, out, batch_size] {
               std::vector<ResultRow> all;
               RowBatch batch;
               while (in->Pop(&batch)) {
@@ -295,9 +349,7 @@ Result<ExecStats> Executor::Run(
               bool desc = node->sort_desc;
               std::sort(all.begin(), all.end(),
                         [col, desc](const ResultRow& a, const ResultRow& b) {
-                          double av = a.values[col], bv = b.values[col];
-                          if (av != bv) return desc ? av > bv : av < bv;
-                          return a.obj_id < b.obj_id;  // Stable tie-break.
+                          return RowBefore(a, b, col, desc);
                         });
               for (size_t i = 0; i < all.size(); i += batch_size) {
                 RowBatch chunk(
@@ -312,10 +364,64 @@ Result<ExecStats> Executor::Run(
           }
 
           case PlanNodeType::kLimit: {
+            const PlanNode* sort_child = node->children[0].get();
+            if (sort_child->type == PlanNodeType::kSort &&
+                node->limit >= 0) {
+              // Top-k fusion: LIMIT over SORT keeps a bounded heap of the
+              // k best rows instead of materializing and sorting the full
+              // input -- O(N + k log k) comparisons and O(k) live rows.
+              auto in = std::make_shared<RowChannel>();
+              runtime.channels.push_back(in);
+              start(sort_child->children[0].get(), in);
+              size_t batch_size = options_.batch_size;
+              runtime.threads.Spawn([node, sort_child, in, out,
+                                     batch_size] {
+                size_t k = static_cast<size_t>(node->limit);
+                size_t col = sort_child->sort_column;
+                bool desc = sort_child->sort_desc;
+                auto before = [col, desc](const ResultRow& a,
+                                          const ResultRow& b) {
+                  return RowBefore(a, b, col, desc);
+                };
+                // Max-heap under `before`: front = worst kept row.
+                std::vector<ResultRow> heap;
+                heap.reserve(std::min<size_t>(k, 4096));
+                RowBatch batch;
+                if (k == 0) {
+                  in->Cancel();
+                } else {
+                  while (in->Pop(&batch)) {
+                    for (ResultRow& r : batch) {
+                      if (heap.size() < k) {
+                        heap.push_back(std::move(r));
+                        std::push_heap(heap.begin(), heap.end(), before);
+                      } else if (before(r, heap.front())) {
+                        std::pop_heap(heap.begin(), heap.end(), before);
+                        heap.back() = std::move(r);
+                        std::push_heap(heap.begin(), heap.end(), before);
+                      }
+                    }
+                  }
+                  std::sort_heap(heap.begin(), heap.end(), before);
+                }
+                for (size_t i = 0; i < heap.size(); i += batch_size) {
+                  RowBatch chunk(
+                      std::make_move_iterator(
+                          heap.begin() + static_cast<ptrdiff_t>(i)),
+                      std::make_move_iterator(
+                          heap.begin() +
+                          static_cast<ptrdiff_t>(std::min(
+                              i + batch_size, heap.size()))));
+                  if (!out->Push(std::move(chunk))) break;
+                }
+                out->CloseWriter();
+              });
+              break;
+            }
             auto in = std::make_shared<RowChannel>();
             runtime.channels.push_back(in);
             start(node->children[0].get(), in);
-            runtime.threads.emplace_back([node, in, out] {
+            runtime.threads.Spawn([node, in, out] {
               int64_t remaining = node->limit;
               RowBatch batch;
               while (remaining > 0 && in->Pop(&batch)) {
@@ -332,48 +438,80 @@ Result<ExecStats> Executor::Run(
           }
 
           case PlanNodeType::kAggregate: {
+            const PlanNode* scan = node->children[0].get();
+            if (scan->type == PlanNodeType::kScan) {
+              // Aggregate pushdown: fold inside the container scan. No
+              // rows are materialized and no channel sits between scan
+              // and fold, so an aggregate costs exactly one pass over
+              // the (pruned) containers -- and the federated fan-out's
+              // N concurrent sub-aggregates stop ping-ponging batches.
+              runtime.threads.Spawn([this, node, scan, out, ctx,
+                                     container_filter] {
+                std::vector<const Container*> containers =
+                    CollectScanContainers(scan, store_, container_filter);
+                const bool need_value = !scan->projection.empty();
+                const std::string* attr =
+                    need_value ? &scan->projection[0] : nullptr;
+                std::mutex fold_mu;
+                AggFold total;
+                std::atomic<uint64_t> salt{0};
+                pool_->ParallelFor(containers.size(), [&](size_t ci) {
+                  if (out->cancelled() || ctx->has_error()) return;
+                  const Container* c = containers[ci];
+                  ctx->containers_scanned.fetch_add(1);
+                  Rng rng(scan->sample_seed + salt.fetch_add(1) * 7919 +
+                          ci);
+                  AggFold local;
+                  auto fold = [&](const auto& obj) {
+                    if (need_value) {
+                      auto v = GetAnyAttribute(obj, *attr);
+                      if (!v.ok()) {
+                        ctx->ReportError(v.status());
+                        return false;
+                      }
+                      local.Add(*v);
+                    }
+                    ++local.count;
+                    return true;
+                  };
+                  bool completed;
+                  if (scan->table == TableRef::kTag) {
+                    ctx->bytes_touched.fetch_add(c->TagBytes());
+                    completed = VisitMatches(c->tags, scan, &rng,
+                                             ctx.get(), fold);
+                  } else {
+                    ctx->bytes_touched.fetch_add(c->FullBytes());
+                    completed = VisitMatches(c->objects, scan, &rng,
+                                             ctx.get(), fold);
+                  }
+                  if (!completed) return;
+                  ctx->objects_matched.fetch_add(local.count);
+                  std::lock_guard<std::mutex> lock(fold_mu);
+                  total.Merge(local);
+                });
+                if (!ctx->has_error()) {
+                  out->Push(
+                      {FinishAggregate(node->agg, node->agg_partial,
+                                       total)});
+                }
+                out->CloseWriter();
+              });
+              break;
+            }
             auto in = std::make_shared<RowChannel>();
             runtime.channels.push_back(in);
             start(node->children[0].get(), in);
-            runtime.threads.emplace_back([node, in, out] {
-              uint64_t count = 0;
-              double sum = 0.0;
-              double min_v = std::numeric_limits<double>::infinity();
-              double max_v = -std::numeric_limits<double>::infinity();
+            runtime.threads.Spawn([node, in, out] {
+              AggFold fold;
               RowBatch batch;
               while (in->Pop(&batch)) {
                 for (const ResultRow& r : batch) {
-                  ++count;
-                  if (!r.values.empty()) {
-                    double v = r.values[0];
-                    sum += v;
-                    min_v = std::min(min_v, v);
-                    max_v = std::max(max_v, v);
-                  }
+                  ++fold.count;
+                  if (!r.values.empty()) fold.Add(r.values[0]);
                 }
               }
-              ResultRow result;
-              result.obj_id = 0;
-              switch (node->agg) {
-                case AggFunc::kCount:
-                  result.values.push_back(static_cast<double>(count));
-                  break;
-                case AggFunc::kSum:
-                  result.values.push_back(sum);
-                  break;
-                case AggFunc::kAvg:
-                  result.values.push_back(count ? sum / double(count) : 0.0);
-                  break;
-                case AggFunc::kMin:
-                  result.values.push_back(count ? min_v : 0.0);
-                  break;
-                case AggFunc::kMax:
-                  result.values.push_back(count ? max_v : 0.0);
-                  break;
-                case AggFunc::kNone:
-                  break;
-              }
-              out->Push({std::move(result)});
+              out->Push(
+                  {FinishAggregate(node->agg, node->agg_partial, fold)});
               out->CloseWriter();
             });
             break;
@@ -385,7 +523,7 @@ Result<ExecStats> Executor::Run(
   runtime.channels.push_back(root_channel);
 
   auto t0 = std::chrono::steady_clock::now();
-  start(plan.root.get(), root_channel);
+  start(root, root_channel);
 
   ExecStats stats;
   bool first = true;
@@ -399,7 +537,7 @@ Result<ExecStats> Executor::Run(
       first = false;
     }
     stats.rows_emitted += batch.size();
-    if (!on_batch(batch)) {
+    if (!on_batch(std::move(batch))) {
       stats.cancelled_early = true;
       runtime.CancelAll();
       break;
@@ -407,7 +545,7 @@ Result<ExecStats> Executor::Run(
   }
   runtime.CancelAll();  // No-op if streams completed normally... except
                         // cancel unblocks any stragglers for join.
-  runtime.JoinAll();
+  runtime.threads.JoinAll();
 
   auto t1 = std::chrono::steady_clock::now();
   stats.seconds_total = std::chrono::duration<double>(t1 - t0).count();

@@ -10,9 +10,12 @@
 #ifndef SDSS_QUERY_EXECUTOR_H_
 #define SDSS_QUERY_EXECUTOR_H_
 
+#include <algorithm>
 #include <atomic>
 #include <functional>
+#include <limits>
 #include <memory>
+#include <unordered_set>
 
 #include "catalog/object_store.h"
 #include "core/thread_pool.h"
@@ -35,7 +38,41 @@ struct ExecStats {
   bool cancelled_early = false;  ///< Sink stopped consumption (LIMIT etc).
 };
 
+/// Decomposed aggregate state: the executor's scan-side fold, the
+/// partial rows federated shard plans emit, and the federation-level
+/// combine all traffic in this one struct so the semantics (COUNT/SUM
+/// add, MIN/MAX fold, AVG = sum/count, empty input finalizes to 0)
+/// cannot diverge between layers.
+struct AggFold {
+  uint64_t count = 0;
+  double sum = 0.0;
+  double min_v = std::numeric_limits<double>::infinity();
+  double max_v = -std::numeric_limits<double>::infinity();
+
+  void Add(double v) {
+    sum += v;
+    min_v = std::min(min_v, v);
+    max_v = std::max(max_v, v);
+  }
+  void Merge(const AggFold& o) {
+    count += o.count;
+    sum += o.sum;
+    min_v = std::min(min_v, o.min_v);
+    max_v = std::max(max_v, o.max_v);
+  }
+};
+
+/// Builds an aggregate's output row from folded state: the decomposed
+/// {count, sum, min, max} partial when `partial`, the final value
+/// otherwise.
+ResultRow FinishAggregate(AggFunc agg, bool partial, const AggFold& fold);
+
 /// Executes plans against one store.
+///
+/// The scan pool is either owned (default) or injected: nested engines
+/// (the federated fan-out runs one Executor per shard) share one pool so
+/// N shards do not oversubscribe the machine with N * scan_threads
+/// workers.
 class Executor {
  public:
   struct Options {
@@ -45,7 +82,10 @@ class Executor {
 
   explicit Executor(const catalog::ObjectStore* store)
       : Executor(store, Options()) {}
-  Executor(const catalog::ObjectStore* store, Options options);
+  /// With `shared_pool` null the executor owns a pool of `scan_threads`
+  /// workers; otherwise it scans on the injected pool and owns nothing.
+  Executor(const catalog::ObjectStore* store, Options options,
+           ThreadPool* shared_pool = nullptr);
 
   /// Runs `plan`, invoking `on_batch` for every batch that reaches the
   /// root (in ASAP order). The sink may return false to cancel the query
@@ -54,10 +94,22 @@ class Executor {
   Result<ExecStats> Run(const Plan& plan,
                         const std::function<bool(const RowBatch&)>& on_batch);
 
+  /// Runs a plan subtree. The sink receives each batch by rvalue and may
+  /// steal it. `container_filter`, when non-null, restricts every scan
+  /// leaf to containers whose id is in the set -- the federated engine's
+  /// shard assignment (a shard holds replica containers it is not
+  /// currently serving).
+  Result<ExecStats> RunTree(
+      const PlanNode* root, const std::function<bool(RowBatch&&)>& on_batch,
+      const std::unordered_set<uint64_t>* container_filter = nullptr);
+
+  ThreadPool* pool() { return pool_; }
+
  private:
   const catalog::ObjectStore* store_;
   Options options_;
-  ThreadPool pool_;
+  std::unique_ptr<ThreadPool> owned_pool_;
+  ThreadPool* pool_;
 };
 
 }  // namespace sdss::query

@@ -1,0 +1,557 @@
+#include "query/federated_engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <iterator>
+#include <limits>
+
+#include "htm/cover.h"
+
+namespace sdss::query {
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// ORDER/LIMIT wrappers at the top of a plan chain. The federated merge
+/// must mirror them globally: per-shard sorts merge into one ordered
+/// stream, per-shard limits are supersets of the global cap.
+struct ChainInfo {
+  bool ordered = false;
+  size_t order_col = 0;
+  bool order_desc = false;
+  int64_t limit = -1;
+};
+
+ChainInfo AnalyzeChain(const PlanNode* root) {
+  ChainInfo info;
+  const PlanNode* n = root;
+  if (n->type == PlanNodeType::kLimit) {
+    info.limit = n->limit;
+    n = n->children[0].get();
+  }
+  if (n->type == PlanNodeType::kSort) {
+    info.ordered = true;
+    info.order_col = n->sort_column;
+    info.order_desc = n->sort_desc;
+  }
+  return info;
+}
+
+/// A branch LIMIT inside a set query is a global cap on that branch's
+/// contribution; per-shard set inputs would each apply it locally, so
+/// such queries run branch-by-branch at the federation level instead.
+bool AnyBranchLimit(const ParsedQuery& q) {
+  if (!q.IsSetQuery()) return false;
+  if (q.first.limit >= 0) return true;
+  for (const auto& [op, select] : q.rest) {
+    if (select.limit >= 0) return true;
+  }
+  return false;
+}
+
+/// Pull-side cursor over one shard's (sorted) batch stream.
+class MergeCursor {
+ public:
+  explicit MergeCursor(std::shared_ptr<RowChannel> ch)
+      : ch_(std::move(ch)) {}
+
+  /// Current head row, or nullptr once the stream is exhausted.
+  const ResultRow* Head() {
+    if (done_) return nullptr;
+    while (pos_ >= batch_.size()) {
+      batch_.clear();
+      pos_ = 0;
+      if (!ch_->Pop(&batch_)) {
+        done_ = true;
+        return nullptr;
+      }
+    }
+    return &batch_[pos_];
+  }
+
+  ResultRow Take() { return std::move(batch_[pos_++]); }
+
+ private:
+  std::shared_ptr<RowChannel> ch_;
+  RowBatch batch_;
+  size_t pos_ = 0;
+  bool done_ = false;
+};
+
+}  // namespace
+
+struct FederatedQueryEngine::Prepared {
+  ParsedQuery parsed;
+  std::vector<Shard> shards;
+  Plan plan;
+};
+
+FederatedQueryEngine::FederatedQueryEngine(std::vector<Shard> shards,
+                                           Options options)
+    : options_(options),
+      pool_(options.executor.scan_threads),
+      shards_(std::move(shards)) {}
+
+void FederatedQueryEngine::SetShards(std::vector<Shard> shards) {
+  std::lock_guard<std::mutex> lock(mu_);
+  shards_ = std::move(shards);
+}
+
+size_t FederatedQueryEngine::num_shards() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shards_.size();
+}
+
+std::vector<Shard> FederatedQueryEngine::SnapshotShards() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shards_;
+}
+
+Result<FederatedQueryEngine::Prepared> FederatedQueryEngine::Prepare(
+    const std::string& sql) const {
+  Prepared prep;
+  auto parsed = Parse(sql);
+  if (!parsed.ok()) return parsed.status();
+  prep.parsed = std::move(parsed).value();
+  prep.shards = SnapshotShards();
+  if (prep.shards.empty()) {
+    return Status::FailedPrecondition("federation has no live shards");
+  }
+  // One plan for the whole fleet: planner decisions (tag selection,
+  // spatial extraction) are store-independent, so every shard executes
+  // this same tree against its own containers.
+  auto plan =
+      BuildPlan(prep.parsed, *prep.shards[0].store, options_.planner);
+  if (!plan.ok()) return plan.status();
+  prep.plan = std::move(plan).value();
+  return prep;
+}
+
+Result<ExecStats> FederatedQueryEngine::RunFederated(
+    const std::vector<Shard>& shards, const PlanNode* root, bool ordered,
+    size_t order_col, bool order_desc, int64_t global_limit,
+    const std::function<bool(RowBatch&&)>& sink) {
+  auto t0 = std::chrono::steady_clock::now();
+  const size_t n = shards.size();
+
+  // One channel per shard when the merge must preserve order; one shared
+  // channel (ASAP arrival order) otherwise.
+  std::vector<std::shared_ptr<RowChannel>> channels;
+  if (ordered) {
+    for (size_t i = 0; i < n; ++i) {
+      channels.push_back(std::make_shared<RowChannel>());
+    }
+  } else {
+    channels.push_back(std::make_shared<RowChannel>());
+  }
+  auto channel_for = [&](size_t i) {
+    return ordered ? channels[i] : channels[0];
+  };
+  for (size_t i = 0; i < n; ++i) channel_for(i)->AddWriter();
+
+  std::vector<Result<ExecStats>> shard_stats(n, Result<ExecStats>(
+                                                    ExecStats{}));
+  ThreadGroup threads;
+  for (size_t i = 0; i < n; ++i) {
+    Shard shard = shards[i];
+    auto ch = channel_for(i);
+    Result<ExecStats>* slot = &shard_stats[i];
+    threads.Spawn([this, root, shard, ch, slot] {
+      Executor executor(shard.store, options_.executor, &pool_);
+      *slot = executor.RunTree(
+          root, [&ch](RowBatch&& batch) { return ch->Push(std::move(batch)); },
+          shard.assigned ? shard.assigned.get() : nullptr);
+      ch->CloseWriter();
+    });
+  }
+
+  ExecStats stats;
+  int64_t remaining = global_limit < 0
+                          ? std::numeric_limits<int64_t>::max()
+                          : global_limit;
+  bool first = true;
+  bool sink_cancelled = false;
+
+  // Trims to the global limit, stamps first-row latency, forwards to the
+  // sink. Returns false when consumption must stop.
+  auto deliver = [&](RowBatch&& batch) -> bool {
+    if (remaining <= 0) return false;
+    if (batch.empty()) return true;
+    if (static_cast<int64_t>(batch.size()) > remaining) {
+      batch.resize(static_cast<size_t>(remaining));
+    }
+    remaining -= static_cast<int64_t>(batch.size());
+    if (first) {
+      stats.seconds_to_first_row = SecondsSince(t0);
+      first = false;
+    }
+    stats.rows_emitted += batch.size();
+    if (!sink(std::move(batch))) {
+      sink_cancelled = true;
+      return false;
+    }
+    return remaining > 0;
+  };
+
+  if (ordered) {
+    // K-way merge of the per-shard sorted streams, same comparator as
+    // the executor's sort node (value, then obj_id tie-break).
+    std::vector<MergeCursor> cursors;
+    cursors.reserve(n);
+    for (auto& ch : channels) cursors.emplace_back(ch);
+    auto before = [order_col, order_desc](const ResultRow& a,
+                                          const ResultRow& b) {
+      return RowBefore(a, b, order_col, order_desc);
+    };
+    RowBatch out;
+    const size_t batch_size = options_.executor.batch_size;
+    bool stop = remaining <= 0;
+    while (!stop) {
+      MergeCursor* best = nullptr;
+      const ResultRow* best_head = nullptr;
+      for (auto& c : cursors) {
+        const ResultRow* h = c.Head();
+        if (h == nullptr) continue;
+        if (best == nullptr || before(*h, *best_head)) {
+          best = &c;
+          best_head = h;
+        }
+      }
+      if (best == nullptr) break;
+      out.push_back(best->Take());
+      if (out.size() >= batch_size ||
+          static_cast<int64_t>(out.size()) >= remaining) {
+        stop = !deliver(std::move(out));
+        out = RowBatch();
+      }
+    }
+    if (!stop && !out.empty()) deliver(std::move(out));
+  } else {
+    RowBatch batch;
+    while (channels[0]->Pop(&batch)) {
+      if (!deliver(std::move(batch))) break;
+      batch = RowBatch();
+    }
+  }
+
+  // Stop any still-producing shard (no-op on clean completion) and wait.
+  for (auto& ch : channels) ch->Cancel();
+  threads.JoinAll();
+
+  stats.seconds_total = SecondsSince(t0);
+  if (first) stats.seconds_to_first_row = stats.seconds_total;
+  stats.cancelled_early = sink_cancelled;
+
+  for (auto& r : shard_stats) {
+    if (!r.ok()) return r.status();
+    stats.containers_scanned += r->containers_scanned;
+    stats.objects_examined += r->objects_examined;
+    stats.objects_matched += r->objects_matched;
+    stats.bytes_touched += r->bytes_touched;
+  }
+  return stats;
+}
+
+Result<ExecStats> FederatedQueryEngine::RunSetWithBranchLimits(
+    Prepared& prep, const std::function<bool(RowBatch&&)>& sink) {
+  auto t0 = std::chrono::steady_clock::now();
+  ExecStats stats;
+
+  // Every branch runs as its own federated simple select (globally
+  // ordered and limited), then the set algebra folds at the federation
+  // level with the executor's semantics: bags keyed by obj_id, left
+  // stream order preserved.
+  auto run_branch =
+      [&](const SelectQuery& select,
+          std::vector<ResultRow>* rows) -> Status {
+    ParsedQuery sub;
+    sub.first = select;
+    auto plan = BuildPlan(sub, *prep.shards[0].store, options_.planner);
+    if (!plan.ok()) return plan.status();
+    // In the whole-query plan, set-op branches never carry an aggregate
+    // node (BuildPlan wraps only the outer tree with query.first's
+    // aggregate, applied below after the set algebra) -- strip the one
+    // BuildPlan added for this branch-as-standalone-query.
+    const PlanNode* branch_root = plan->root.get();
+    if (branch_root->type == PlanNodeType::kAggregate) {
+      branch_root = branch_root->children[0].get();
+    }
+    ChainInfo chain = AnalyzeChain(branch_root);
+    auto st = RunFederated(prep.shards, branch_root, chain.ordered,
+                           chain.order_col, chain.order_desc, chain.limit,
+                           [rows](RowBatch&& batch) {
+                             for (ResultRow& r : batch) {
+                               rows->push_back(std::move(r));
+                             }
+                             return true;
+                           });
+    if (!st.ok()) return st.status();
+    stats.containers_scanned += st->containers_scanned;
+    stats.objects_examined += st->objects_examined;
+    stats.objects_matched += st->objects_matched;
+    stats.bytes_touched += st->bytes_touched;
+    return Status::OK();
+  };
+
+  std::vector<ResultRow> acc;
+  SDSS_RETURN_IF_ERROR(run_branch(prep.parsed.first, &acc));
+  for (const auto& [op, select] : prep.parsed.rest) {
+    std::vector<ResultRow> rhs;
+    SDSS_RETURN_IF_ERROR(run_branch(select, &rhs));
+    std::unordered_set<uint64_t> ids;
+    switch (op) {
+      case SetOp::kUnion:
+        for (const ResultRow& r : acc) ids.insert(r.obj_id);
+        for (ResultRow& r : rhs) {
+          if (ids.insert(r.obj_id).second) acc.push_back(std::move(r));
+        }
+        break;
+      case SetOp::kIntersect:
+      case SetOp::kExcept: {
+        for (const ResultRow& r : rhs) ids.insert(r.obj_id);
+        bool keep_if_present = op == SetOp::kIntersect;
+        std::vector<ResultRow> kept;
+        for (ResultRow& r : acc) {
+          if ((ids.count(r.obj_id) > 0) == keep_if_present) {
+            kept.push_back(std::move(r));
+          }
+        }
+        acc = std::move(kept);
+        break;
+      }
+    }
+  }
+
+  if (prep.parsed.first.agg != AggFunc::kNone) {
+    AggFold fold;
+    for (const ResultRow& r : acc) {
+      ++fold.count;
+      if (!r.values.empty()) fold.Add(r.values[0]);
+    }
+    acc.clear();
+    acc.push_back(FinishAggregate(prep.parsed.first.agg, false, fold));
+  }
+
+  const size_t batch_size = options_.executor.batch_size;
+  for (size_t i = 0; i < acc.size(); i += batch_size) {
+    size_t end = std::min(i + batch_size, acc.size());
+    RowBatch batch(std::make_move_iterator(acc.begin() + i),
+                   std::make_move_iterator(acc.begin() + end));
+    stats.rows_emitted += batch.size();
+    if (!sink(std::move(batch))) {
+      stats.cancelled_early = true;
+      break;
+    }
+  }
+  stats.seconds_total = SecondsSince(t0);
+  stats.seconds_to_first_row = stats.seconds_total;
+  return stats;
+}
+
+Result<ExecStats> FederatedQueryEngine::RunPrepared(
+    Prepared& prep, const std::function<bool(RowBatch&&)>& sink) {
+  if (AnyBranchLimit(prep.parsed)) {
+    return RunSetWithBranchLimits(prep, sink);
+  }
+
+  if (prep.plan.is_aggregate) {
+    auto t0 = std::chrono::steady_clock::now();
+    PlanNode* agg = prep.plan.root.get();
+    const PlanNode* child = agg->children[0].get();
+    ChainInfo chain = AnalyzeChain(child);
+
+    AggFold fold;
+    ExecStats stats;
+
+    if (chain.limit >= 0) {
+      // A LIMIT below the fold caps the global row set, so per-shard
+      // partials would each apply the cap: stream the globally capped
+      // rows up and fold at the federation level instead.
+      auto st = RunFederated(prep.shards, child, chain.ordered,
+                             chain.order_col, chain.order_desc, chain.limit,
+                             [&fold](RowBatch&& batch) {
+                               for (const ResultRow& r : batch) {
+                                 ++fold.count;
+                                 if (!r.values.empty()) {
+                                   fold.Add(r.values[0]);
+                                 }
+                               }
+                               return true;
+                             });
+      if (!st.ok()) return st.status();
+      stats = *st;
+    } else {
+      // Decomposable fold: every shard runs the aggregate in partial
+      // mode and ships {count, sum, min, max}; the federation combines.
+      agg->agg_partial = true;
+      auto st = RunFederated(prep.shards, agg, false, 0, false, -1,
+                             [&fold](RowBatch&& batch) {
+                               for (const ResultRow& r : batch) {
+                                 if (r.values.size() != 4) continue;
+                                 AggFold part;
+                                 part.count =
+                                     static_cast<uint64_t>(r.values[0]);
+                                 part.sum = r.values[1];
+                                 part.min_v = r.values[2];
+                                 part.max_v = r.values[3];
+                                 fold.Merge(part);
+                               }
+                               return true;
+                             });
+      agg->agg_partial = false;
+      if (!st.ok()) return st.status();
+      stats = *st;
+    }
+
+    RowBatch batch;
+    batch.push_back(FinishAggregate(agg->agg, false, fold));
+    stats.rows_emitted = 1;
+    stats.cancelled_early = !sink(std::move(batch));
+    stats.seconds_total = SecondsSince(t0);
+    stats.seconds_to_first_row = stats.seconds_total;
+    return stats;
+  }
+
+  ChainInfo chain = AnalyzeChain(prep.plan.root.get());
+  return RunFederated(prep.shards, prep.plan.root.get(), chain.ordered,
+                      chain.order_col, chain.order_desc, chain.limit, sink);
+}
+
+Result<QueryResult> FederatedQueryEngine::Execute(const std::string& sql) {
+  auto prep = Prepare(sql);
+  if (!prep.ok()) return prep.status();
+
+  QueryResult result;
+  result.columns = prep->plan.columns;
+  result.is_aggregate = prep->plan.is_aggregate;
+  result.used_tag_store = prep->plan.used_tag_store;
+  result.used_spatial_index = prep->plan.used_spatial_index;
+  // Fleet-wide prediction: the per-shard density-map slices summed.
+  for (const ShardPrediction& p : PredictShards(prep->shards, prep->plan)) {
+    result.prediction.expected_objects += p.expected_objects;
+    result.prediction.min_objects += p.min_objects;
+    result.prediction.max_objects += p.max_objects;
+    result.prediction.bytes_to_scan += p.bytes_to_scan;
+  }
+
+  auto stats = RunPrepared(*prep, [&result](RowBatch&& batch) {
+    result.rows.insert(result.rows.end(),
+                       std::make_move_iterator(batch.begin()),
+                       std::make_move_iterator(batch.end()));
+    return true;
+  });
+  if (!stats.ok()) return stats.status();
+  result.exec = *stats;
+  if (result.is_aggregate && !result.rows.empty() &&
+      !result.rows[0].values.empty()) {
+    result.aggregate_value = result.rows[0].values[0];
+  }
+  return result;
+}
+
+Result<ExecStats> FederatedQueryEngine::ExecuteStreaming(
+    const std::string& sql,
+    const std::function<bool(const RowBatch&)>& on_batch) {
+  auto prep = Prepare(sql);
+  if (!prep.ok()) return prep.status();
+  return RunPrepared(
+      *prep, [&on_batch](RowBatch&& batch) { return on_batch(batch); });
+}
+
+Result<std::string> FederatedQueryEngine::Explain(const std::string& sql) {
+  auto prep = Prepare(sql);
+  if (!prep.ok()) return prep.status();
+
+  std::string out = prep->plan.Explain();
+  auto preds = PredictShards(prep->shards, prep->plan);
+  char buf[192];
+  std::snprintf(buf, sizeof(buf), "federation: %zu live shards\n",
+                prep->shards.size());
+  out += buf;
+  catalog::ObjectStore::Prediction total;
+  for (const ShardPrediction& p : preds) {
+    std::snprintf(buf, sizeof(buf),
+                  "  shard %zu: %llu containers, %llu bytes, %.0f objects "
+                  "expected [%llu, %llu]\n",
+                  p.server, static_cast<unsigned long long>(p.containers),
+                  static_cast<unsigned long long>(p.bytes_to_scan),
+                  p.expected_objects,
+                  static_cast<unsigned long long>(p.min_objects),
+                  static_cast<unsigned long long>(p.max_objects));
+    out += buf;
+    total.expected_objects += p.expected_objects;
+    total.min_objects += p.min_objects;
+    total.max_objects += p.max_objects;
+    total.bytes_to_scan += p.bytes_to_scan;
+  }
+  std::snprintf(buf, sizeof(buf),
+                "prediction: %.0f objects expected [%llu, %llu], %llu bytes "
+                "to scan\n",
+                total.expected_objects,
+                static_cast<unsigned long long>(total.min_objects),
+                static_cast<unsigned long long>(total.max_objects),
+                static_cast<unsigned long long>(total.bytes_to_scan));
+  out += buf;
+  return out;
+}
+
+std::vector<ShardPrediction> PredictShards(const std::vector<Shard>& shards,
+                                           const Plan& plan) {
+  // Leftmost scan carries the (optional) pruning region, as in BuildPlan.
+  const PlanNode* scan = plan.root.get();
+  while (scan != nullptr && scan->type != PlanNodeType::kScan) {
+    scan = scan->children.empty() ? nullptr : scan->children[0].get();
+  }
+
+  std::vector<ShardPrediction> out;
+  out.reserve(shards.size());
+  for (const Shard& shard : shards) {
+    ShardPrediction p;
+    p.server = shard.server;
+    const auto& containers = shard.store->containers();
+    auto assigned = [&shard](uint64_t raw) {
+      return shard.assigned == nullptr || shard.assigned->count(raw) > 0;
+    };
+    if (scan != nullptr && scan->has_region) {
+      int level = shard.store->cluster_level();
+      htm::CoverResult cover = htm::Cover(scan->region, level);
+      auto add = [&](htm::HtmId id, bool full) {
+        uint64_t first, last;
+        id.RangeAtLevel(level, &first, &last);
+        for (auto it = containers.lower_bound(first);
+             it != containers.end() && it->first < last; ++it) {
+          if (!assigned(it->first)) continue;
+          ++p.containers;
+          p.bytes_to_scan += it->second.FullBytes();
+          uint64_t objs = it->second.objects.size();
+          p.max_objects += objs;
+          if (full) {
+            p.min_objects += objs;
+            p.expected_objects += static_cast<double>(objs);
+          } else {
+            p.expected_objects += 0.5 * static_cast<double>(objs);
+          }
+        }
+      };
+      for (htm::HtmId id : cover.full) add(id, true);
+      for (htm::HtmId id : cover.partial) add(id, false);
+    } else {
+      for (const auto& [raw, c] : containers) {
+        if (!assigned(raw)) continue;
+        ++p.containers;
+        p.bytes_to_scan += c.FullBytes();
+        uint64_t objs = c.objects.size();
+        p.max_objects += objs;
+        p.expected_objects += static_cast<double>(objs);
+      }
+    }
+    out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace sdss::query

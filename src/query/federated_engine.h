@@ -1,0 +1,119 @@
+// Federated query execution across the replicated server fleet.
+//
+// The paper's archive is explicitly distributed: "the base-data objects
+// will be spatially partitioned among the servers ... some of the
+// high-traffic data will be replicated among servers." This engine
+// parses and plans a query ONCE, fans the plan out to every live shard
+// on one shared scan pool, merges the per-shard ASAP batch streams into
+// a single ordered/limited stream, and combines partial aggregates
+// (COUNT/SUM add, MIN/MAX fold, AVG = sum/count) and execution stats --
+// so a query over N servers answers exactly like a query over one big
+// store, and keeps answering when a server is marked down and its
+// containers are re-routed to surviving replicas.
+
+#ifndef SDSS_QUERY_FEDERATED_ENGINE_H_
+#define SDSS_QUERY_FEDERATED_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "catalog/object_store.h"
+#include "core/thread_pool.h"
+#include "query/query_engine.h"
+
+namespace sdss::query {
+
+/// One member of the fleet as the federated engine sees it: the server's
+/// materialized store plus the container ids the router currently assigns
+/// to it. A shard store also holds replica containers it is NOT serving
+/// right now (that is what makes failover possible); `assigned` is what
+/// keeps every container scanned exactly once across the fleet. A null
+/// `assigned` means the shard serves its whole store.
+struct Shard {
+  size_t server = 0;
+  const catalog::ObjectStore* store = nullptr;
+  std::shared_ptr<const std::unordered_set<uint64_t>> assigned;
+};
+
+/// Per-shard slice of the density-map prediction (Explain output).
+struct ShardPrediction {
+  size_t server = 0;
+  uint64_t containers = 0;
+  uint64_t bytes_to_scan = 0;
+  uint64_t min_objects = 0;
+  uint64_t max_objects = 0;
+  double expected_objects = 0.0;
+};
+
+/// Parses, plans, and executes queries against a fleet of shards.
+///
+/// Thread-safety: Execute / ExecuteStreaming / Explain may be called
+/// concurrently from any number of threads; SetShards may interleave
+/// (in-flight queries keep their snapshot of the previous routing).
+class FederatedQueryEngine {
+ public:
+  struct Options {
+    PlannerOptions planner;
+    /// `executor.scan_threads` sizes the ONE pool every shard
+    /// sub-executor scans on -- the fan-out never multiplies pools.
+    Executor::Options executor;
+  };
+
+  explicit FederatedQueryEngine(std::vector<Shard> shards,
+                                Options options = {});
+
+  /// Runs `sql` across the fleet and materializes the merged result.
+  Result<QueryResult> Execute(const std::string& sql);
+
+  /// Streaming execution: `on_batch` sees merged batches (globally
+  /// ordered when the query sorts, ASAP arrival order otherwise) and may
+  /// return false to cancel the whole fan-out.
+  Result<ExecStats> ExecuteStreaming(
+      const std::string& sql,
+      const std::function<bool(const RowBatch&)>& on_batch);
+
+  /// The plan explanation plus per-shard container/byte predictions.
+  Result<std::string> Explain(const std::string& sql);
+
+  /// Failover hook: replaces the routed shard set (e.g. after
+  /// archive::ShardedStore::MarkServerDown + LiveShards()).
+  void SetShards(std::vector<Shard> shards);
+
+  size_t num_shards() const;
+  const Options& options() const { return options_; }
+
+ private:
+  struct Prepared;
+
+  std::vector<Shard> SnapshotShards() const;
+  Result<Prepared> Prepare(const std::string& sql) const;
+  Result<ExecStats> RunFederated(
+      const std::vector<Shard>& shards, const PlanNode* root, bool ordered,
+      size_t order_col, bool order_desc, int64_t global_limit,
+      const std::function<bool(RowBatch&&)>& sink);
+  Result<ExecStats> RunPrepared(
+      Prepared& prep, const std::function<bool(RowBatch&&)>& sink);
+  Result<ExecStats> RunSetWithBranchLimits(
+      Prepared& prep, const std::function<bool(RowBatch&&)>& sink);
+
+  Options options_;
+  ThreadPool pool_;  ///< Shared scan pool for every shard sub-executor.
+  mutable std::mutex mu_;
+  std::vector<Shard> shards_;
+};
+
+/// Per-shard density-map predictions for `plan`'s leftmost scan: the
+/// containers each shard would touch, the bytes it would read, and the
+/// expected object yield. Summing the slices gives the fleet-wide
+/// prediction.
+std::vector<ShardPrediction> PredictShards(const std::vector<Shard>& shards,
+                                           const Plan& plan);
+
+}  // namespace sdss::query
+
+#endif  // SDSS_QUERY_FEDERATED_ENGINE_H_

@@ -99,6 +99,7 @@ std::string PlanNode::Explain(int indent) const {
       break;
     case PlanNodeType::kAggregate:
       out += std::string(" ") + AggFuncName(agg);
+      if (agg_partial) out += " [partial]";
       break;
     default:
       break;

@@ -38,6 +38,17 @@ struct ResultRow {
 
 using RowBatch = std::vector<ResultRow>;
 
+/// The engine's one sort order: by values[col] (ascending or
+/// descending), with obj_id as the stable tie-break. The sort node, the
+/// top-k fusion, and the federated k-way merge must all agree on this
+/// total order -- do not inline variants.
+inline bool RowBefore(const ResultRow& a, const ResultRow& b, size_t col,
+                      bool desc) {
+  double av = a.values[col], bv = b.values[col];
+  if (av != bv) return desc ? av > bv : av < bv;
+  return a.obj_id < b.obj_id;
+}
+
 /// A bounded multi-producer single-consumer batch channel implementing
 /// the ASAP data push between QET nodes. Producers block when the
 /// channel is full; the consumer can cancel to abort upstream work
@@ -112,6 +123,11 @@ struct PlanNode {
 
   // -- kAggregate ----------------------------------------------------
   AggFunc agg = AggFunc::kNone;
+  /// Partial mode (set by the federated engine on shard plans): emit the
+  /// decomposed state {count, sum, min, max} instead of the final value,
+  /// so per-shard partials combine exactly (COUNT/SUM add, MIN/MAX fold,
+  /// AVG = sum/count).
+  bool agg_partial = false;
 
   /// Indented plan explanation (EXPLAIN output).
   std::string Explain(int indent = 0) const;

@@ -1,13 +1,15 @@
 #include "query/query_engine.h"
 
 #include <cstdio>
+#include <iterator>
 
 namespace sdss::query {
 
-QueryEngine::QueryEngine(const catalog::ObjectStore* store, Options options)
+QueryEngine::QueryEngine(const catalog::ObjectStore* store, Options options,
+                         ThreadPool* shared_pool)
     : store_(store),
       options_(options),
-      executor_(store, options.executor) {}
+      executor_(store, options.executor, shared_pool) {}
 
 Result<QueryResult> QueryEngine::Execute(const std::string& sql) {
   auto parsed = Parse(sql);
@@ -22,10 +24,13 @@ Result<QueryResult> QueryEngine::Execute(const std::string& sql) {
   result.used_tag_store = plan->used_tag_store;
   result.used_spatial_index = plan->used_spatial_index;
 
-  auto stats = executor_.Run(*plan, [&result](const RowBatch& batch) {
-    result.rows.insert(result.rows.end(), batch.begin(), batch.end());
-    return true;
-  });
+  auto stats =
+      executor_.RunTree(plan->root.get(), [&result](RowBatch&& batch) {
+        result.rows.insert(result.rows.end(),
+                           std::make_move_iterator(batch.begin()),
+                           std::make_move_iterator(batch.end()));
+        return true;
+      });
   if (!stats.ok()) return stats.status();
   result.exec = *stats;
   if (result.is_aggregate && !result.rows.empty() &&

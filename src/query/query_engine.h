@@ -36,8 +36,11 @@ class QueryEngine {
     Executor::Options executor;
   };
 
+  /// With `shared_pool` null the engine's executor owns its scan pool;
+  /// otherwise scans run on the injected pool (see Executor).
   explicit QueryEngine(const catalog::ObjectStore* store,
-                       Options options = {});
+                       Options options = {},
+                       ThreadPool* shared_pool = nullptr);
 
   /// Runs `sql` to completion and materializes the result.
   Result<QueryResult> Execute(const std::string& sql);

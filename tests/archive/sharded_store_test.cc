@@ -1,0 +1,148 @@
+// ShardedStore: placement materialization, routing, and failover hooks.
+
+#include "archive/sharded_store.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "catalog/sky_generator.h"
+
+namespace sdss::archive {
+namespace {
+
+using catalog::ObjectStore;
+using catalog::SkyGenerator;
+using catalog::SkyModel;
+
+ObjectStore MakeStore(uint64_t seed = 33) {
+  SkyModel m;
+  m.seed = seed;
+  m.num_galaxies = 2000;
+  m.num_stars = 1500;
+  m.num_quasars = 40;
+  ObjectStore store;
+  EXPECT_TRUE(store.BulkLoad(SkyGenerator(m).Generate()).ok());
+  return store;
+}
+
+ReplicationOptions Opts(size_t servers, size_t replicas) {
+  ReplicationOptions o;
+  o.num_servers = servers;
+  o.base_replicas = replicas;
+  return o;
+}
+
+TEST(ShardedStoreTest, MaterializesEveryReplica) {
+  ObjectStore store = MakeStore();
+  ShardedStore sharded(store, Opts(4, 2));
+  ASSERT_EQ(sharded.num_servers(), 4u);
+
+  // Each container must appear in exactly base_replicas server stores,
+  // so the fleet holds 2x the source data.
+  uint64_t replicated_objects = 0;
+  for (size_t s = 0; s < sharded.num_servers(); ++s) {
+    replicated_objects += sharded.server_store(s).object_count();
+  }
+  EXPECT_EQ(replicated_objects, 2 * store.object_count());
+}
+
+TEST(ShardedStoreTest, LiveShardsPartitionTheSourceExactly) {
+  ObjectStore store = MakeStore();
+  ShardedStore sharded(store, Opts(5, 2));
+  auto shards = sharded.LiveShards();
+  ASSERT_TRUE(shards.ok());
+
+  std::unordered_set<uint64_t> assigned_ids;
+  uint64_t assigned_objects = 0;
+  for (const auto& shard : *shards) {
+    ASSERT_NE(shard.assigned, nullptr);
+    for (uint64_t raw : *shard.assigned) {
+      EXPECT_TRUE(assigned_ids.insert(raw).second)
+          << "container " << raw << " routed to two shards";
+      assigned_objects +=
+          shard.store->containers().at(raw).objects.size();
+    }
+  }
+  EXPECT_EQ(assigned_ids.size(), store.container_count());
+  EXPECT_EQ(assigned_objects, store.object_count());
+}
+
+TEST(ShardedStoreTest, RoutingPrefersPrimaries) {
+  // Placement is deterministic, so an identically configured manager
+  // predicts the primaries; with every server up, routing must follow
+  // them.
+  ObjectStore store = MakeStore();
+  ShardedStore sharded(store, Opts(4, 2));
+  ReplicationManager manager(Opts(4, 2));
+  ASSERT_TRUE(manager.AssignFrom(store).ok());
+
+  auto shards = sharded.LiveShards();
+  ASSERT_TRUE(shards.ok());
+  for (const auto& shard : *shards) {
+    for (uint64_t raw : *shard.assigned) {
+      auto replicas = manager.ServersFor(raw);
+      ASSERT_TRUE(replicas.ok());
+      EXPECT_EQ(shard.server, (*replicas)[0]) << "container " << raw;
+    }
+  }
+}
+
+TEST(ShardedStoreTest, FailoverReroutesToSurvivingReplica) {
+  ObjectStore store = MakeStore();
+  ShardedStore sharded(store, Opts(4, 2));
+
+  auto before = sharded.LiveShards();
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(sharded.MarkServerDown(2).ok());
+  EXPECT_FALSE(sharded.server_up(2));
+
+  auto after = sharded.LiveShards();
+  ASSERT_TRUE(after.ok());
+  uint64_t objects = 0;
+  for (const auto& shard : *after) {
+    EXPECT_NE(shard.server, 2u) << "downed server still routed";
+    for (uint64_t raw : *shard.assigned) {
+      objects += shard.store->containers().at(raw).objects.size();
+    }
+  }
+  EXPECT_EQ(objects, store.object_count());
+
+  ASSERT_TRUE(sharded.MarkServerUp(2).ok());
+  EXPECT_TRUE(sharded.server_up(2));
+  auto recovered = sharded.LiveShards();
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(recovered->size(), before->size());
+}
+
+TEST(ShardedStoreTest, AllReplicasDownIsUnavailable) {
+  ObjectStore store = MakeStore();
+  ShardedStore sharded(store, Opts(3, 1));
+  for (size_t s = 0; s < sharded.num_servers(); ++s) {
+    if (sharded.server_store(s).container_count() == 0) continue;
+    ASSERT_TRUE(sharded.MarkServerDown(s).ok());
+    auto shards = sharded.LiveShards();
+    EXPECT_FALSE(shards.ok());
+    ASSERT_TRUE(sharded.MarkServerUp(s).ok());
+    break;
+  }
+}
+
+TEST(ShardedStoreTest, MarkServerOutOfRangeFails) {
+  ObjectStore store = MakeStore();
+  ShardedStore sharded(store, Opts(3, 2));
+  EXPECT_FALSE(sharded.MarkServerDown(99).ok());
+  EXPECT_FALSE(sharded.MarkServerUp(99).ok());
+}
+
+TEST(ShardedStoreTest, StatsReportPlacement) {
+  ObjectStore store = MakeStore();
+  ShardedStore sharded(store, Opts(4, 2));
+  PlacementStats stats = sharded.Stats();
+  EXPECT_EQ(stats.containers, store.container_count());
+  EXPECT_GT(stats.total_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace sdss::archive

@@ -226,5 +226,62 @@ TEST(ObjectStoreTest, FindContainer) {
             nullptr);
 }
 
+TEST(ObjectStoreTest, ExtractContainersCopiesWholesale) {
+  ObjectStore store;
+  ASSERT_TRUE(store.BulkLoad(SmallSky(2000, 1500, 40)).ok());
+
+  // Every other container id.
+  std::vector<uint64_t> ids;
+  bool take = true;
+  uint64_t expected_objects = 0;
+  for (const auto& [raw, c] : store.containers()) {
+    if (take) {
+      ids.push_back(raw);
+      expected_objects += c.objects.size();
+    }
+    take = !take;
+  }
+
+  ObjectStore sub = store.ExtractContainers(ids);
+  EXPECT_EQ(sub.container_count(), ids.size());
+  EXPECT_EQ(sub.object_count(), expected_objects);
+  EXPECT_EQ(sub.cluster_level(), store.cluster_level());
+  for (uint64_t raw : ids) {
+    const auto& original = store.containers().at(raw);
+    const auto& copy = sub.containers().at(raw);
+    ASSERT_EQ(copy.objects.size(), original.objects.size());
+    EXPECT_EQ(copy.objects[0].obj_id, original.objects[0].obj_id);
+    EXPECT_EQ(copy.tags.size(), original.tags.size());
+  }
+}
+
+TEST(ObjectStoreTest, ExtractContainersIgnoresUnknownAndDuplicateIds) {
+  ObjectStore store;
+  ASSERT_TRUE(store.BulkLoad(SmallSky(500, 0, 0)).ok());
+  uint64_t raw = store.containers().begin()->first;
+  ObjectStore sub = store.ExtractContainers({raw, raw, 0xdeadbeefULL});
+  EXPECT_EQ(sub.container_count(), 1u);
+  EXPECT_EQ(sub.object_count(),
+            store.containers().at(raw).objects.size());
+}
+
+TEST(ObjectStoreTest, ExtractContainersPartitionIsLossless) {
+  ObjectStore store;
+  ASSERT_TRUE(store.BulkLoad(SmallSky(1500, 1000, 30)).ok());
+
+  // Split ids into 3 round-robin parts: extraction must partition the
+  // object population exactly.
+  std::vector<std::vector<uint64_t>> parts(3);
+  size_t i = 0;
+  for (const auto& [raw, c] : store.containers()) {
+    parts[i++ % 3].push_back(raw);
+  }
+  uint64_t total = 0;
+  for (const auto& part : parts) {
+    total += store.ExtractContainers(part).object_count();
+  }
+  EXPECT_EQ(total, store.object_count());
+}
+
 }  // namespace
 }  // namespace sdss::catalog
