@@ -62,8 +62,14 @@ class ReplicationManager {
   void RecordAccess(uint64_t container, uint64_t count = 1);
 
   /// Gives the hottest `top_fraction` of containers `extra` additional
-  /// replicas on the least-loaded live servers.
-  Status PromoteHotContainers(double top_fraction, size_t extra);
+  /// replicas on the least-loaded live servers. Each new replica becomes
+  /// the preferred read target of its container (load-aware routing, not
+  /// just primacy), so promotion actually shifts traffic. When
+  /// `promoted` is non-null it receives the ids of containers that
+  /// gained at least one replica, so callers can materialize exactly
+  /// the new placements.
+  Status PromoteHotContainers(double top_fraction, size_t extra,
+                              std::vector<uint64_t>* promoted = nullptr);
 
   /// Failure injection.
   Status MarkServerDown(size_t server);
@@ -85,7 +91,9 @@ class ReplicationManager {
   struct ContainerInfo {
     uint64_t bytes = 0;
     uint64_t heat = 0;
-    std::vector<size_t> replicas;  ///< replicas[0] is the primary.
+    /// replicas[0] is the preferred read target: the primary from
+    /// placement, until a promotion front-inserts a heat-chosen copy.
+    std::vector<size_t> replicas;
   };
 
   size_t LeastLoadedLiveServer(const std::set<size_t>& exclude) const;

@@ -3,6 +3,7 @@
 #include <memory>
 #include <unordered_set>
 #include <utility>
+#include <vector>
 
 namespace sdss::archive {
 
@@ -56,6 +57,50 @@ Status ShardedStore::MarkServerUp(size_t server) {
   SDSS_RETURN_IF_ERROR(manager_.MarkServerUp(server));
   up_[server] = true;
   return Status::OK();
+}
+
+void ShardedStore::RecordAccess(uint64_t container, uint64_t count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  manager_.RecordAccess(container, count);
+}
+
+Status ShardedStore::PromoteHotContainers(double top_fraction,
+                                          size_t extra) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<uint64_t> promoted;
+  SDSS_RETURN_IF_ERROR(
+      manager_.PromoteHotContainers(top_fraction, extra, &promoted));
+  // Materialize exactly the new placements: every server now listed for
+  // a promoted container it does not hold gets a copy from an existing
+  // replica (data ships between servers, none is recreated from the
+  // source catalog).
+  for (uint64_t raw : promoted) {
+    auto replicas = manager_.ServersFor(raw);
+    if (!replicas.ok()) continue;
+    const catalog::Container* src = nullptr;
+    for (const auto& store : stores_) {
+      auto it = store.containers().find(raw);
+      if (it != store.containers().end()) {
+        src = &it->second;
+        break;
+      }
+    }
+    if (src == nullptr) continue;
+    for (size_t server : *replicas) {
+      if (server >= stores_.size() ||
+          stores_[server].containers().count(raw) > 0) {
+        continue;
+      }
+      SDSS_RETURN_IF_ERROR(stores_[server].BulkLoad(src->objects));
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<size_t>> ShardedStore::ReplicasFor(
+    uint64_t container) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return manager_.ServersFor(container);
 }
 
 Result<std::vector<query::Shard>> ShardedStore::LiveShards() const {

@@ -51,6 +51,20 @@ class ShardedStore {
   Status MarkServerDown(size_t server);
   Status MarkServerUp(size_t server);
 
+  /// Access-heat tracking, forwarded to the ReplicationManager.
+  void RecordAccess(uint64_t container, uint64_t count = 1);
+
+  /// Promotes the hottest containers AND makes the promotion physical:
+  /// the heat-chosen servers receive a copy of each promoted container
+  /// (copied from an existing replica), and the next LiveShards() routes
+  /// the container to its new preferred server. This is a provisioning
+  /// operation that grows shard stores in place: do not run it while
+  /// queries execute against a previously obtained LiveShards snapshot.
+  Status PromoteHotContainers(double top_fraction, size_t extra);
+
+  /// Replica servers of one container, preferred first (inspection).
+  Result<std::vector<size_t>> ReplicasFor(uint64_t container) const;
+
   /// Current routing: every container assigned to its first live replica
   /// (primary preferred), grouped per server. Servers with nothing to
   /// serve are omitted. Fails with the router's Unavailable-flavored

@@ -7,9 +7,6 @@
 #include <unordered_map>
 
 #include "core/angle.h"
-#include "htm/cover.h"
-#include "htm/region.h"
-#include "htm/trixel.h"
 
 namespace sdss::dataflow {
 
@@ -21,80 +18,42 @@ std::vector<ObjectPair> HashMachine::FindPairs(
         pair_predicate,
     const PairSearchOptions& options, HashReport* report) {
   HashReport rep;
-  double max_sep_deg = ArcsecToDeg(max_sep_arcsec);
-  double cos_sep = std::cos(ArcsecToRad(max_sep_arcsec));
 
-  // Phase 1: shared scan; selected objects hash to their home trixel as
-  // "primaries" and to every other trixel intersecting the max_sep cap
-  // around them as "ghosts".
-  struct Entry {
-    const PhotoObj* obj;
-    bool primary;
-  };
-  std::unordered_map<uint64_t, std::vector<Entry>> buckets;
+  // Phase 1: shared scan; selected objects hash into the PairHasher core
+  // (home-trixel primaries plus edge ghosts). The spatial cover runs
+  // outside the lock; only the bucket insert serializes.
+  PairHasher hasher(max_sep_arcsec, options.bucket_level);
   std::mutex mu;
   cluster_->ParallelScan([&](size_t, const PhotoObj& o) {
     if (!select(o)) return;
-    uint64_t home = htm::LookupId(o.pos, options.bucket_level).raw();
-    htm::CoverResult cover = htm::Cover(
-        htm::Region::CircleAround(o.pos, max_sep_deg), options.bucket_level);
+    PairHasher::BucketSet buckets = hasher.ComputeBuckets(o);
     std::lock_guard<std::mutex> lock(mu);
-    ++rep.selected;
-    buckets[home].push_back({&o, true});
-    auto ghost_into = [&](htm::HtmId id) {
-      uint64_t first, last;
-      id.RangeAtLevel(options.bucket_level, &first, &last);
-      for (uint64_t raw = first; raw < last; ++raw) {
-        if (raw == home) continue;
-        buckets[raw].push_back({&o, false});
-        ++rep.ghosts;
-      }
-    };
-    for (htm::HtmId id : cover.full) ghost_into(id);
-    for (htm::HtmId id : cover.partial) ghost_into(id);
+    hasher.AddComputed(&o, buckets);
   });
 
-  rep.buckets = buckets.size();
-  for (const auto& [raw, entries] : buckets) {
-    rep.max_bucket = std::max<uint64_t>(rep.max_bucket, entries.size());
-  }
+  rep.selected = hasher.local_objects();
+  rep.ghosts = hasher.ghost_entries();
+  rep.buckets = hasher.bucket_count();
+  rep.max_bucket = hasher.max_bucket();
 
-  // Phase 2: per-bucket pairwise comparison. A pair (a, b) is emitted in
-  // the home bucket of the lower-id member only, so each unordered pair
-  // appears exactly once.
-  std::vector<const std::vector<Entry>*> bucket_list;
-  bucket_list.reserve(buckets.size());
-  for (const auto& [raw, entries] : buckets) bucket_list.push_back(&entries);
-
+  // Phase 2: per-bucket pairwise comparison, parallel over buckets. The
+  // hasher's emission rule yields each unordered pair exactly once.
+  std::vector<const PairHasher::Bucket*> bucket_list = hasher.BucketList();
   std::vector<ObjectPair> pairs;
   std::mutex pairs_mu;
   ThreadPool pool(std::min<size_t>(cluster_->num_nodes(), 16));
   std::atomic<uint64_t> tests{0};
   pool.ParallelFor(bucket_list.size(), [&](size_t bi) {
-    const std::vector<Entry>& entries = *bucket_list[bi];
     std::vector<ObjectPair> local;
-    for (size_t x = 0; x < entries.size(); ++x) {
-      if (!entries[x].primary) continue;
-      const PhotoObj* a = entries[x].obj;
-      for (size_t y = 0; y < entries.size(); ++y) {
-        if (x == y) continue;
-        const PhotoObj* b = entries[y].obj;
-        if (a->obj_id >= b->obj_id) continue;  // Lower-id member emits.
-        // Emit in a's home bucket only: a must be primary here (checked),
-        // and to avoid double emission when both are primary in this
-        // bucket it is still unique because a pair shares at most one
-        // bucket where the lower id is primary... both primaries in the
-        // same bucket is fine: the pair is seen once (x ranges over a).
-        tests.fetch_add(1, std::memory_order_relaxed);
-        if (a->pos.Dot(b->pos) < cos_sep) continue;
-        if (!pair_predicate(*a, *b)) continue;
-        ObjectPair p;
-        p.obj_id_a = a->obj_id;
-        p.obj_id_b = b->obj_id;
-        p.separation_arcsec = RadToArcsec(a->pos.AngleTo(b->pos));
-        local.push_back(p);
-      }
-    }
+    uint64_t bucket_tests = hasher.ForEachCandidatePair(
+        *bucket_list[bi],
+        [&](const PhotoObj& a, const PhotoObj& b, double sep_arcsec) {
+          if (pair_predicate(a, b)) {
+            local.push_back({a.obj_id, b.obj_id, sep_arcsec});
+          }
+          return true;
+        });
+    tests.fetch_add(bucket_tests, std::memory_order_relaxed);
     if (!local.empty()) {
       std::lock_guard<std::mutex> lock(pairs_mu);
       pairs.insert(pairs.end(), local.begin(), local.end());
@@ -115,11 +74,7 @@ std::vector<ObjectPair> HashMachine::FindPairs(
   if (report != nullptr) *report = rep;
 
   // Deterministic output order for tests.
-  std::sort(pairs.begin(), pairs.end(),
-            [](const ObjectPair& a, const ObjectPair& b) {
-              if (a.obj_id_a != b.obj_id_a) return a.obj_id_a < b.obj_id_a;
-              return a.obj_id_b < b.obj_id_b;
-            });
+  PairHasher::SortPairs(&pairs);
   return pairs;
 }
 
@@ -190,11 +145,7 @@ std::vector<ObjectPair> HashMachine::FindPairsBruteForce(
     }
   }
   if (pair_tests != nullptr) *pair_tests = tests;
-  std::sort(pairs.begin(), pairs.end(),
-            [](const ObjectPair& a, const ObjectPair& b) {
-              if (a.obj_id_a != b.obj_id_a) return a.obj_id_a < b.obj_id_a;
-              return a.obj_id_b < b.obj_id_b;
-            });
+  PairHasher::SortPairs(&pairs);
   return pairs;
 }
 

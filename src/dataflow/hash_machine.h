@@ -16,6 +16,11 @@
 // generic user key (color-space cells, redshift bins, ...). Pair output
 // from the spatial machine is exact: property tests compare it to the
 // brute-force O(N^2) result.
+//
+// The spatial bucket/ghost core lives in PairHasher (pair_hasher.h);
+// this class is the ClusterSim-substrate wrapper that adds the parallel
+// scan plumbing and the paper's timing model. The query executor's
+// distributed kPairJoin operator drives the same PairHasher.
 
 #ifndef SDSS_DATAFLOW_HASH_MACHINE_H_
 #define SDSS_DATAFLOW_HASH_MACHINE_H_
@@ -25,15 +30,9 @@
 #include <vector>
 
 #include "dataflow/cluster.h"
+#include "dataflow/pair_hasher.h"
 
 namespace sdss::dataflow {
-
-/// One matched pair from the spatial pair search.
-struct ObjectPair {
-  uint64_t obj_id_a = 0;
-  uint64_t obj_id_b = 0;
-  double separation_arcsec = 0.0;
-};
 
 /// Hash-machine timing/shape report.
 struct HashReport {

@@ -1,0 +1,136 @@
+// The cluster-agnostic core of the two-phase spatial hash join.
+//
+// The paper's hash machine "'hashes' each object to the appropriate
+// buckets -- a single object may go to several buckets (to allow objects
+// near the edges of a region to go to all the neighboring regions as
+// well). In a second phase all the objects in a bucket are compared to
+// one another." PairHasher is that bucket/ghost core detached from any
+// particular substrate: ClusterSim's HashMachine, the River shuffle, and
+// the query executor's distributed kPairJoin operator all feed it object
+// streams and share one emission discipline.
+//
+// Buckets are HTM trixels at a configurable level. Every added object
+// lands in its home trixel and, as a ghost, in every other trixel
+// intersecting the separation cap around it, so cross-boundary pairs are
+// never missed. Objects are flagged local or foreign: a pair is emitted
+// only in the home bucket of its lower-id member and only when that
+// member is LOCAL. On one machine (everything local) this is the classic
+// exactly-once rule; across a fleet where each shard adds its own
+// objects as local and received boundary ghosts as foreign, the rule
+// still emits each pair exactly once fleet-wide -- by the shard that
+// owns the lower-id member.
+
+#ifndef SDSS_DATAFLOW_PAIR_HASHER_H_
+#define SDSS_DATAFLOW_PAIR_HASHER_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/photo_obj.h"
+#include "core/vec3.h"
+
+namespace sdss::dataflow {
+
+/// One matched pair from a spatial pair search.
+struct ObjectPair {
+  uint64_t obj_id_a = 0;
+  uint64_t obj_id_b = 0;
+  double separation_arcsec = 0.0;
+};
+
+/// Accumulates objects into spatial buckets (phase 1) and enumerates
+/// candidate pairs per bucket (phase 2).
+///
+/// Thread-compatibility: Add is not thread-safe (callers serialize, as
+/// the parallel scans in HashMachine and the executor do); once adding
+/// is done, ForEachCandidatePair may run concurrently over distinct
+/// buckets.
+class PairHasher {
+ public:
+  /// One bucket membership: the object plus how it got here.
+  struct Entry {
+    const catalog::PhotoObj* obj;
+    bool primary;  ///< Home-trixel entry (vs edge ghost).
+    bool local;    ///< Owned by this machine (vs received ghost).
+  };
+  using Bucket = std::vector<Entry>;
+
+  /// `bucket_level` is the HTM depth of the hash buckets; deeper =
+  /// smaller buckets = fewer pair tests but more ghosts.
+  PairHasher(double max_sep_arcsec, int bucket_level);
+
+  double max_sep_arcsec() const { return max_sep_arcsec_; }
+  int bucket_level() const { return bucket_level_; }
+
+  /// Phase 1: hashes one object to its home bucket plus the ghost
+  /// buckets covering the separation cap around it. `local` marks
+  /// ownership (see the emission rule above); single-machine callers
+  /// leave it true. The pointee must outlive the hasher.
+  void Add(const catalog::PhotoObj* obj, bool local = true);
+
+  /// The bucket ids one object hashes to: its home trixel plus the
+  /// ghost trixels of its separation cap.
+  struct BucketSet {
+    uint64_t home = 0;
+    std::vector<uint64_t> ghosts;
+  };
+
+  /// The expensive half of Add (point location + cover), safe to run
+  /// concurrently with no synchronization -- parallel scans compute
+  /// this outside their insert lock.
+  BucketSet ComputeBuckets(const catalog::PhotoObj& obj) const;
+
+  /// The cheap half of Add: files `obj` under a precomputed bucket set
+  /// (callers serialize, as with Add).
+  void AddComputed(const catalog::PhotoObj* obj, const BucketSet& buckets,
+                   bool local = true);
+
+  uint64_t local_objects() const { return local_objects_; }
+  uint64_t foreign_objects() const { return foreign_objects_; }
+  uint64_t ghost_entries() const { return ghost_entries_; }
+  size_t bucket_count() const { return buckets_.size(); }
+  uint64_t max_bucket() const;
+
+  /// The non-empty buckets, for phase-2 fan-out.
+  std::vector<const Bucket*> BucketList() const;
+
+  /// Phase 2 over one bucket: invokes `on_pair(lo, hi, sep_arcsec)` for
+  /// every distinct pair within the separation whose lower-id member is
+  /// a LOCAL PRIMARY of this bucket -- the exactly-once discipline.
+  /// `on_pair` returns false to abort the bucket. Returns the number of
+  /// pairwise distance tests performed.
+  uint64_t ForEachCandidatePair(
+      const Bucket& bucket,
+      const std::function<bool(const catalog::PhotoObj&,
+                               const catalog::PhotoObj&, double)>& on_pair)
+      const;
+
+  /// The canonical pair order every layer sorts into: (obj_id_a,
+  /// obj_id_b) ascending.
+  static void SortPairs(std::vector<ObjectPair>* pairs);
+
+  /// Home bucket (trixel raw id) of an Equatorial position at `level` --
+  /// the shuffle key the River spatial exchange shares with phase 1.
+  static uint64_t HomeBucket(const Vec3& pos_eq, int level);
+
+  /// Planner heuristic: the deepest bucket level whose trixels stay
+  /// comfortably wider than the separation, clamped to [4, 12]. Purely a
+  /// performance choice -- ghost replication keeps any level exact.
+  static int ChooseBucketLevel(double max_sep_arcsec);
+
+ private:
+  double max_sep_arcsec_;
+  double max_sep_deg_;
+  double cos_sep_;
+  int bucket_level_;
+  std::unordered_map<uint64_t, Bucket> buckets_;
+  uint64_t local_objects_ = 0;
+  uint64_t foreign_objects_ = 0;
+  uint64_t ghost_entries_ = 0;
+};
+
+}  // namespace sdss::dataflow
+
+#endif  // SDSS_DATAFLOW_PAIR_HASHER_H_

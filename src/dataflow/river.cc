@@ -5,6 +5,8 @@
 #include <mutex>
 #include <queue>
 
+#include "dataflow/pair_hasher.h"
+
 namespace sdss::dataflow {
 
 River::River(const ClusterSim* cluster) : cluster_(cluster) {}
@@ -32,6 +34,15 @@ River& River::Repartition(PartitionFn fn, size_t partitions) {
   s.partitions = std::max<size_t>(1, partitions);
   stages_.push_back(std::move(s));
   return *this;
+}
+
+River& River::SpatialShuffle(int bucket_level, size_t partitions) {
+  return Repartition(
+      [bucket_level](const Record& r) {
+        return static_cast<size_t>(PairHasher::HomeBucket(r.pos,
+                                                          bucket_level));
+      },
+      partitions);
 }
 
 River& River::SortBy(KeyFn key) {

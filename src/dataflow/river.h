@@ -56,6 +56,12 @@ class River {
   /// stage).
   River& Repartition(PartitionFn fn, size_t partitions);
 
+  /// The hash machine's spatial exchange as a river stage: records are
+  /// re-bucketed by their home HTM trixel at `bucket_level` -- the same
+  /// PairHasher phase-1 key the pair search and the distributed
+  /// neighbor join hash on -- folded into `partitions` partitions.
+  River& SpatialShuffle(int bucket_level, size_t partitions);
+
   /// Appends a sort stage: each partition sorts locally by `key`; the
   /// sink then performs an ordered k-way merge, making the whole output
   /// globally ordered iff a range Repartition preceded the sort, and

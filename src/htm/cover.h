@@ -78,6 +78,22 @@ CoverResult Cover(const Region& region, const CoverOptions& options);
 /// Convenience: cover at `level` with no trixel budget.
 CoverResult Cover(const Region& region, int level);
 
+/// Invokes `fn(raw)` for every `level`-deep raw id under the cover's
+/// FULL and PARTIAL trixels (RangeAtLevel expansion). The one
+/// cover-to-ids loop shared by the pair hasher's ghost buckets and the
+/// federated join's ghost harvest -- keep expansions in agreement by
+/// adding callers here, not by re-rolling the loop.
+template <typename Fn>
+void ForEachRawInCover(const CoverResult& cover, int level, Fn&& fn) {
+  auto expand = [&](HtmId id) {
+    uint64_t first, last;
+    id.RangeAtLevel(level, &first, &last);
+    for (uint64_t raw = first; raw < last; ++raw) fn(raw);
+  };
+  for (HtmId id : cover.full) expand(id);
+  for (HtmId id : cover.partial) expand(id);
+}
+
 }  // namespace sdss::htm
 
 #endif  // SDSS_HTM_COVER_H_

@@ -9,6 +9,7 @@
 
 #include "catalog/photo_obj.h"
 #include "core/random.h"
+#include "dataflow/pair_hasher.h"
 
 namespace sdss::query {
 namespace {
@@ -27,6 +28,7 @@ struct RunContext {
   std::atomic<uint64_t> objects_examined{0};
   std::atomic<uint64_t> objects_matched{0};
   std::atomic<uint64_t> bytes_touched{0};
+  std::atomic<uint64_t> bytes_shipped{0};
 
   void ReportError(const Status& s) {
     std::lock_guard<std::mutex> lock(mu);
@@ -121,6 +123,53 @@ bool VisitMatches(const std::vector<T>& rows, const PlanNode* node,
   return true;
 }
 
+// Evaluates a pair-join predicate under the assignment (a = x, b = y).
+Result<bool> PairHolds(const PlanNode* node, const PhotoObj& x,
+                       const PhotoObj& y) {
+  if (!node->pair_where) return true;
+  RowAccessor acc{
+      [node, &x, &y](const std::string& n) -> Result<double> {
+        std::string alias, attr;
+        if (SplitQualifiedName(n, &alias, &attr)) {
+          if (alias == node->pair_alias_a) return GetAttribute(x, attr);
+          if (alias == node->pair_alias_b) return GetAttribute(y, attr);
+        }
+        return Status::NotFound("unresolvable pair attribute: " + n);
+      },
+      x.pos};
+  return node->pair_where->EvalBool(acc);
+}
+
+// Projects one joined pair under its bound assignment (a, b) into `row`.
+bool ProjectPairInto(const PlanNode* node, const PhotoObj& a,
+                     const PhotoObj& b, double sep_arcsec, RunContext* ctx,
+                     ResultRow* row) {
+  row->obj_id = a.obj_id;
+  row->obj_id_b = b.obj_id;
+  row->values.clear();
+  row->values.reserve(node->projection.size());
+  for (const std::string& name : node->projection) {
+    if (name == "sep") {
+      row->values.push_back(sep_arcsec);
+      continue;
+    }
+    std::string alias, attr;
+    if (!SplitQualifiedName(name, &alias, &attr)) {
+      ctx->ReportError(
+          Status::Internal("unqualified join projection: " + name));
+      return false;
+    }
+    const PhotoObj& src = alias == node->pair_alias_a ? a : b;
+    auto v = GetAttribute(src, attr);
+    if (!v.ok()) {
+      ctx->ReportError(v.status());
+      return false;
+    }
+    row->values.push_back(*v);
+  }
+  return true;
+}
+
 // The containers a scan leaf must visit: pruned by the HTM cover when the
 // node carries a region, restricted to the shard assignment when
 // federated.
@@ -206,7 +255,8 @@ Result<ExecStats> Executor::Run(
 
 Result<ExecStats> Executor::RunTree(
     const PlanNode* root, const std::function<bool(RowBatch&&)>& on_batch,
-    const std::unordered_set<uint64_t>* container_filter) {
+    const std::unordered_set<uint64_t>* container_filter,
+    const PairJoinGhosts* join_ghosts) {
   if (root == nullptr) return Status::InvalidArgument("empty plan");
 
   auto ctx = std::make_shared<RunContext>();
@@ -260,6 +310,113 @@ Result<ExecStats> Executor::RunTree(
                 }
                 if (!completed) return;
                 if (!batch.empty()) out->Push(std::move(batch));
+              });
+              out->CloseWriter();
+            });
+            break;
+          }
+
+          case PlanNodeType::kPairJoin: {
+            // The shard-local spatial hash join: phase 1 scans the
+            // (assigned) containers and hashes surviving objects into a
+            // PairHasher -- plus any boundary ghosts the federated
+            // engine shipped here -- and phase 2 compares buckets in
+            // parallel, binding each qualifying pair to its satisfying
+            // (a, b) assignment before projection.
+            runtime.threads.Spawn([this, node, out, ctx, container_filter,
+                                   join_ghosts] {
+              std::vector<const Container*> containers =
+                  CollectScanContainers(node, store_, container_filter);
+              dataflow::PairHasher hasher(node->pair_max_sep_arcsec,
+                                          node->pair_bucket_level);
+              std::mutex hash_mu;
+              pool_->ParallelFor(containers.size(), [&](size_t ci) {
+                if (out->cancelled() || ctx->has_error()) return;
+                const Container* c = containers[ci];
+                ctx->containers_scanned.fetch_add(1);
+                ctx->bytes_touched.fetch_add(c->FullBytes());
+                // Filter + cover outside the lock; insert under it.
+                std::vector<std::pair<const PhotoObj*,
+                                      dataflow::PairHasher::BucketSet>>
+                    selected;
+                for (const PhotoObj& o : c->objects) {
+                  ctx->objects_examined.fetch_add(1);
+                  if (node->pair_select) {
+                    RowAccessor acc{[&o](const std::string& n) {
+                                      return GetAttribute(o, n);
+                                    },
+                                    o.pos};
+                    auto ok = node->pair_select->EvalBool(acc);
+                    if (!ok.ok()) {
+                      ctx->ReportError(ok.status());
+                      return;
+                    }
+                    if (!*ok) continue;
+                  }
+                  selected.emplace_back(&o, hasher.ComputeBuckets(o));
+                }
+                std::lock_guard<std::mutex> lock(hash_mu);
+                for (const auto& [o, buckets] : selected) {
+                  hasher.AddComputed(o, buckets);
+                }
+              });
+              if (join_ghosts != nullptr && !ctx->has_error()) {
+                ctx->bytes_shipped.fetch_add(join_ghosts->objects.size() *
+                                             sizeof(PhotoObj));
+                for (const PhotoObj& g : join_ghosts->objects) {
+                  hasher.Add(&g, /*local=*/false);
+                }
+              }
+              if (ctx->has_error()) {
+                out->CloseWriter();
+                return;
+              }
+
+              std::vector<const dataflow::PairHasher::Bucket*> buckets =
+                  hasher.BucketList();
+              size_t batch_size = options_.batch_size;
+              pool_->ParallelFor(buckets.size(), [&](size_t bi) {
+                if (out->cancelled() || ctx->has_error()) return;
+                RowBatch batch;
+                batch.reserve(batch_size);
+                ResultRow row;
+                hasher.ForEachCandidatePair(
+                    *buckets[bi],
+                    [&](const PhotoObj& lo, const PhotoObj& hi,
+                        double sep_arcsec) {
+                      auto fwd = PairHolds(node, lo, hi);
+                      if (!fwd.ok()) {
+                        ctx->ReportError(fwd.status());
+                        return false;
+                      }
+                      const PhotoObj* a = &lo;
+                      const PhotoObj* b = &hi;
+                      if (!*fwd) {
+                        auto rev = PairHolds(node, hi, lo);
+                        if (!rev.ok()) {
+                          ctx->ReportError(rev.status());
+                          return false;
+                        }
+                        if (!*rev) return true;
+                        a = &hi;
+                        b = &lo;
+                      }
+                      if (!ProjectPairInto(node, *a, *b, sep_arcsec,
+                                           ctx.get(), &row)) {
+                        return false;
+                      }
+                      ctx->objects_matched.fetch_add(1);
+                      batch.push_back(row);
+                      if (batch.size() >= batch_size) {
+                        if (!out->Push(std::move(batch))) return false;
+                        batch.clear();
+                        batch.reserve(batch_size);
+                      }
+                      return true;
+                    });
+                if (!batch.empty() && !ctx->has_error()) {
+                  out->Push(std::move(batch));
+                }
               });
               out->CloseWriter();
             });
@@ -554,6 +711,7 @@ Result<ExecStats> Executor::RunTree(
   stats.objects_examined = ctx->objects_examined.load();
   stats.objects_matched = ctx->objects_matched.load();
   stats.bytes_touched = ctx->bytes_touched.load();
+  stats.bytes_shipped = ctx->bytes_shipped.load();
 
   {
     std::lock_guard<std::mutex> lock(ctx->mu);

@@ -35,6 +35,10 @@ struct ExecStats {
   uint64_t objects_examined = 0;
   uint64_t objects_matched = 0;
   uint64_t bytes_touched = 0;
+  /// Ghost-exchange traffic: bytes of boundary objects shipped to this
+  /// executor's pair join from other shards (0 off the federated path).
+  /// The network-cost side of the ledger, vs bytes_touched's scan side.
+  uint64_t bytes_shipped = 0;
   bool cancelled_early = false;  ///< Sink stopped consumption (LIMIT etc).
 };
 
@@ -67,6 +71,14 @@ struct AggFold {
 /// otherwise.
 ResultRow FinishAggregate(AggFunc agg, bool partial, const AggFold& fold);
 
+/// Boundary objects another shard shipped to this executor's pair join:
+/// already phase-1 filtered, added to the hash as foreign ghosts (they
+/// complete cross-shard pairs but never initiate emission). Owned by the
+/// caller; must outlive the RunTree call.
+struct PairJoinGhosts {
+  std::vector<catalog::PhotoObj> objects;
+};
+
 /// Executes plans against one store.
 ///
 /// The scan pool is either owned (default) or injected: nested engines
@@ -98,10 +110,13 @@ class Executor {
   /// steal it. `container_filter`, when non-null, restricts every scan
   /// leaf to containers whose id is in the set -- the federated engine's
   /// shard assignment (a shard holds replica containers it is not
-  /// currently serving).
+  /// currently serving). `join_ghosts`, when non-null, feeds the tree's
+  /// pair-join leaf the boundary objects neighboring shards shipped
+  /// here.
   Result<ExecStats> RunTree(
       const PlanNode* root, const std::function<bool(RowBatch&&)>& on_batch,
-      const std::unordered_set<uint64_t>* container_filter = nullptr);
+      const std::unordered_set<uint64_t>* container_filter = nullptr,
+      const PairJoinGhosts* join_ghosts = nullptr);
 
   ThreadPool* pool() { return pool_; }
 

@@ -197,6 +197,57 @@ std::string Expr::ToString() const {
   return "?";
 }
 
+bool SplitQualifiedName(const std::string& name, std::string* alias,
+                        std::string* attr) {
+  size_t dot = name.find('.');
+  if (dot == std::string::npos || dot == 0 || dot + 1 >= name.size()) {
+    return false;
+  }
+  if (alias != nullptr) *alias = name.substr(0, dot);
+  if (attr != nullptr) *attr = name.substr(dot + 1);
+  return true;
+}
+
+Expr::Ptr StripAliasQualifier(const Expr::Ptr& expr,
+                              const std::string& alias) {
+  switch (expr->kind()) {
+    case Expr::Kind::kAttr: {
+      std::string a, rest;
+      if (SplitQualifiedName(expr->attr(), &a, &rest) && a == alias) {
+        return Expr::Attr(rest);
+      }
+      return expr;
+    }
+    case Expr::Kind::kNeg: {
+      Expr::Ptr child = StripAliasQualifier(expr->lhs(), alias);
+      return child == expr->lhs() ? expr : Expr::Neg(std::move(child));
+    }
+    case Expr::Kind::kNot: {
+      Expr::Ptr child = StripAliasQualifier(expr->lhs(), alias);
+      return child == expr->lhs() ? expr : Expr::Not(std::move(child));
+    }
+    case Expr::Kind::kBinary: {
+      Expr::Ptr l = StripAliasQualifier(expr->lhs(), alias);
+      Expr::Ptr r = StripAliasQualifier(expr->rhs(), alias);
+      if (l == expr->lhs() && r == expr->rhs()) return expr;
+      return Expr::Binary(expr->op(), std::move(l), std::move(r));
+    }
+    case Expr::Kind::kLiteral:
+    case Expr::Kind::kSpatial:
+      return expr;
+  }
+  return expr;
+}
+
+void FlattenConjuncts(const Expr::Ptr& expr, std::vector<Expr::Ptr>* out) {
+  if (expr->kind() == Expr::Kind::kBinary && expr->op() == BinOp::kAnd) {
+    FlattenConjuncts(expr->lhs(), out);
+    FlattenConjuncts(expr->rhs(), out);
+    return;
+  }
+  out->push_back(expr);
+}
+
 bool ExtractRegion(const Expr::Ptr& expr, htm::Region* out) {
   switch (expr->kind()) {
     case Expr::Kind::kSpatial:

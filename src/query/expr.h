@@ -103,6 +103,25 @@ class Expr {
 /// whole sky can be derived (e.g. no spatial atoms, or atoms under NOT).
 bool ExtractRegion(const Expr::Ptr& expr, htm::Region* out);
 
+// -- Pair-join alias plumbing -----------------------------------------
+
+/// Splits a qualified attribute name "alias.attr" at its first dot.
+/// Returns true (filling the outputs) when qualified, false for bare
+/// names. Outputs may be null.
+bool SplitQualifiedName(const std::string& name, std::string* alias,
+                        std::string* attr);
+
+/// Rewrites every attribute qualified with `alias` ("alias.x") to its
+/// bare name ("x"); untouched subtrees are shared (trees are immutable).
+/// This lowers a pair join's one-sided conjuncts onto a single-object
+/// predicate.
+Expr::Ptr StripAliasQualifier(const Expr::Ptr& expr,
+                              const std::string& alias);
+
+/// Flattens the top-level AND spine of `expr` into conjuncts, in
+/// left-to-right order. A non-AND expression yields itself.
+void FlattenConjuncts(const Expr::Ptr& expr, std::vector<Expr::Ptr>* out);
+
 }  // namespace sdss::query
 
 #endif  // SDSS_QUERY_EXPR_H_

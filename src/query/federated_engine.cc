@@ -5,7 +5,11 @@
 #include <cstdio>
 #include <iterator>
 #include <limits>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
 
+#include "core/angle.h"
 #include "htm/cover.h"
 
 namespace sdss::query {
@@ -41,6 +45,112 @@ ChainInfo AnalyzeChain(const PlanNode* root) {
   return info;
 }
 
+/// The pair-join leaf of a plan chain, or null. Join plans are a linear
+/// agg/limit/sort chain over the kPairJoin leaf (the planner rejects
+/// joins inside set operations).
+const PlanNode* FindPairJoinNode(const PlanNode* root) {
+  const PlanNode* n = root;
+  while (n != nullptr && n->type != PlanNodeType::kPairJoin) {
+    n = n->children.empty() ? nullptr : n->children[0].get();
+  }
+  return n;
+}
+
+/// Phase A of the federated neighbor join: each shard walks its
+/// assigned containers and, for every phase-1 survivor whose separation
+/// cap (htm::Cover at the container level) reaches a container another
+/// shard serves, ships a copy of the object to that shard. Symmetric
+/// shipping is what lets every shard emit exactly the pairs whose
+/// lower-id member it owns: the partner of any in-radius pair is
+/// guaranteed present, locally or as a ghost.
+Result<std::vector<PairJoinGhosts>> HarvestJoinGhosts(
+    const std::vector<Shard>& shards, const PlanNode* join) {
+  const size_t n = shards.size();
+  std::vector<PairJoinGhosts> ghosts(n);
+  if (n <= 1) return ghosts;
+
+  // Container -> serving shard. A null assigned set means the shard
+  // serves its whole store.
+  std::unordered_map<uint64_t, size_t> owner;
+  for (size_t i = 0; i < n; ++i) {
+    if (shards[i].assigned == nullptr) {
+      for (const auto& [raw, c] : shards[i].store->containers()) {
+        owner.emplace(raw, i);
+      }
+    } else {
+      for (uint64_t raw : *shards[i].assigned) owner.emplace(raw, i);
+    }
+  }
+
+  // When the join is spatially pruned, only containers its region
+  // cover touches can hold candidates -- skip the rest of the harvest.
+  std::unordered_set<uint64_t> region_raws;
+  if (join->has_region) {
+    int level = shards[0].store->cluster_level();
+    htm::ForEachRawInCover(
+        htm::Cover(join->region, level), level,
+        [&region_raws](uint64_t raw) { region_raws.insert(raw); });
+  }
+
+  double sep_deg = ArcsecToDeg(join->pair_max_sep_arcsec);
+  std::vector<std::vector<std::vector<catalog::PhotoObj>>> staged(
+      n, std::vector<std::vector<catalog::PhotoObj>>(n));
+  std::vector<Status> errors(n);
+  ThreadGroup threads;
+  for (size_t i = 0; i < n; ++i) {
+    threads.Spawn([&shards, &owner, &staged, &errors, &region_raws, join,
+                   sep_deg, i] {
+      const Shard& shard = shards[i];
+      int level = shard.store->cluster_level();
+      std::vector<size_t> dests;
+      for (const auto& [raw, c] : shard.store->containers()) {
+        if (shard.assigned != nullptr && shard.assigned->count(raw) == 0) {
+          continue;
+        }
+        if (join->has_region && region_raws.count(raw) == 0) continue;
+        for (const catalog::PhotoObj& o : c.objects) {
+          if (join->pair_select) {
+            RowAccessor acc{[&o](const std::string& name) {
+                              return catalog::GetAttribute(o, name);
+                            },
+                            o.pos};
+            auto ok = join->pair_select->EvalBool(acc);
+            if (!ok.ok()) {
+              errors[i] = ok.status();
+              return;
+            }
+            if (!*ok) continue;
+          }
+          // Which foreign shards serve a container within the cap?
+          dests.clear();
+          htm::ForEachRawInCover(
+              htm::Cover(htm::Region::CircleAround(o.pos, sep_deg), level),
+              level, [&](uint64_t raw2) {
+                auto it = owner.find(raw2);
+                if (it == owner.end() || it->second == i) return;
+                if (std::find(dests.begin(), dests.end(), it->second) ==
+                    dests.end()) {
+                  dests.push_back(it->second);
+                }
+              });
+          for (size_t d : dests) staged[i][d].push_back(o);
+        }
+      }
+    });
+  }
+  threads.JoinAll();
+  for (const Status& s : errors) {
+    if (!s.ok()) return s;
+  }
+  for (size_t d = 0; d < n; ++d) {
+    for (size_t i = 0; i < n; ++i) {
+      ghosts[d].objects.insert(ghosts[d].objects.end(),
+                               staged[i][d].begin(), staged[i][d].end());
+    }
+  }
+  return ghosts;
+}
+
 /// A branch LIMIT inside a set query is a global cap on that branch's
 /// contribution; per-shard set inputs would each apply it locally, so
 /// such queries run branch-by-branch at the federation level instead.
@@ -52,6 +162,16 @@ bool AnyBranchLimit(const ParsedQuery& q) {
   }
   return false;
 }
+
+/// Mixes an unordered pair of object ids into one hash (exact equality
+/// still decides membership -- collisions cannot drop pairs).
+struct PairKeyHash {
+  size_t operator()(const std::pair<uint64_t, uint64_t>& p) const {
+    uint64_t h = p.first * 0x9E3779B97F4A7C15ull;
+    h ^= p.second + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+    return static_cast<size_t>(h);
+  }
+};
 
 /// Pull-side cursor over one shard's (sorted) batch stream.
 class MergeCursor {
@@ -134,7 +254,8 @@ Result<FederatedQueryEngine::Prepared> FederatedQueryEngine::Prepare(
 Result<ExecStats> FederatedQueryEngine::RunFederated(
     const std::vector<Shard>& shards, const PlanNode* root, bool ordered,
     size_t order_col, bool order_desc, int64_t global_limit,
-    const std::function<bool(RowBatch&&)>& sink) {
+    const std::function<bool(RowBatch&&)>& sink,
+    const std::vector<PairJoinGhosts>* join_ghosts, bool dedupe_pairs) {
   auto t0 = std::chrono::steady_clock::now();
   const size_t n = shards.size();
 
@@ -160,11 +281,13 @@ Result<ExecStats> FederatedQueryEngine::RunFederated(
     Shard shard = shards[i];
     auto ch = channel_for(i);
     Result<ExecStats>* slot = &shard_stats[i];
-    threads.Spawn([this, root, shard, ch, slot] {
+    const PairJoinGhosts* ghosts =
+        join_ghosts != nullptr ? &(*join_ghosts)[i] : nullptr;
+    threads.Spawn([this, root, shard, ch, slot, ghosts] {
       Executor executor(shard.store, options_.executor, &pool_);
       *slot = executor.RunTree(
           root, [&ch](RowBatch&& batch) { return ch->Push(std::move(batch)); },
-          shard.assigned ? shard.assigned.get() : nullptr);
+          shard.assigned ? shard.assigned.get() : nullptr, ghosts);
       ch->CloseWriter();
     });
   }
@@ -176,10 +299,28 @@ Result<ExecStats> FederatedQueryEngine::RunFederated(
   bool first = true;
   bool sink_cancelled = false;
 
-  // Trims to the global limit, stamps first-row latency, forwards to the
-  // sink. Returns false when consumption must stop.
+  // Drops pairs already delivered by another shard's stream. The
+  // emission discipline makes fleet-wide duplicates impossible by
+  // construction, so this is a cheap invariant backstop, keyed on the
+  // unordered pair ids.
+  std::unordered_set<std::pair<uint64_t, uint64_t>, PairKeyHash> seen_pairs;
+
+  // Dedupes (join merges), trims to the global limit, stamps first-row
+  // latency, forwards to the sink. Returns false when consumption must
+  // stop.
   auto deliver = [&](RowBatch&& batch) -> bool {
     if (remaining <= 0) return false;
+    if (dedupe_pairs) {
+      RowBatch unique;
+      unique.reserve(batch.size());
+      for (ResultRow& r : batch) {
+        auto key = std::minmax(r.obj_id, r.obj_id_b);
+        if (seen_pairs.emplace(key.first, key.second).second) {
+          unique.push_back(std::move(r));
+        }
+      }
+      batch = std::move(unique);
+    }
     if (batch.empty()) return true;
     if (static_cast<int64_t>(batch.size()) > remaining) {
       batch.resize(static_cast<size_t>(remaining));
@@ -252,7 +393,64 @@ Result<ExecStats> FederatedQueryEngine::RunFederated(
     stats.objects_examined += r->objects_examined;
     stats.objects_matched += r->objects_matched;
     stats.bytes_touched += r->bytes_touched;
+    stats.bytes_shipped += r->bytes_shipped;
   }
+  return stats;
+}
+
+Result<ExecStats> FederatedQueryEngine::RunJoinFederated(
+    Prepared& prep, const PlanNode* join,
+    const std::function<bool(RowBatch&&)>& sink) {
+  auto t0 = std::chrono::steady_clock::now();
+
+  // An aggregate over the join folds at the federation level (the pair
+  // streams are modest next to the scans that produce them); ORDER and
+  // LIMIT mirror globally exactly as for plain selects.
+  const PlanNode* root = prep.plan.root.get();
+  const PlanNode* agg = nullptr;
+  if (root->type == PlanNodeType::kAggregate) {
+    agg = root;
+    root = root->children[0].get();
+  }
+  ChainInfo chain = AnalyzeChain(root);
+
+  // Phase A: boundary ghost exchange between the shards. Its time is
+  // part of the join (it delays every row), so fold it into the stats.
+  auto ghosts = HarvestJoinGhosts(prep.shards, join);
+  if (!ghosts.ok()) return ghosts.status();
+  double harvest_seconds = SecondsSince(t0);
+
+  // Phase B: fan out the join chain; every shard emits exactly the
+  // pairs whose lower-id member it serves, merged and deduped here.
+  if (agg == nullptr) {
+    auto st = RunFederated(prep.shards, root, chain.ordered,
+                           chain.order_col, chain.order_desc, chain.limit,
+                           sink, &*ghosts, /*dedupe_pairs=*/true);
+    if (!st.ok()) return st.status();
+    ExecStats stats = *st;
+    stats.seconds_total += harvest_seconds;
+    stats.seconds_to_first_row += harvest_seconds;
+    return stats;
+  }
+  AggFold fold;
+  auto st = RunFederated(prep.shards, root, chain.ordered, chain.order_col,
+                         chain.order_desc, chain.limit,
+                         [&fold](RowBatch&& batch) {
+                           for (const ResultRow& r : batch) {
+                             ++fold.count;
+                             if (!r.values.empty()) fold.Add(r.values[0]);
+                           }
+                           return true;
+                         },
+                         &*ghosts, /*dedupe_pairs=*/true);
+  if (!st.ok()) return st.status();
+  ExecStats stats = *st;
+  RowBatch batch;
+  batch.push_back(FinishAggregate(agg->agg, false, fold));
+  stats.rows_emitted = 1;
+  stats.cancelled_early = !sink(std::move(batch));
+  stats.seconds_total = SecondsSince(t0);
+  stats.seconds_to_first_row = stats.seconds_total;
   return stats;
 }
 
@@ -354,6 +552,9 @@ Result<ExecStats> FederatedQueryEngine::RunSetWithBranchLimits(
 
 Result<ExecStats> FederatedQueryEngine::RunPrepared(
     Prepared& prep, const std::function<bool(RowBatch&&)>& sink) {
+  if (const PlanNode* join = FindPairJoinNode(prep.plan.root.get())) {
+    return RunJoinFederated(prep, join, sink);
+  }
   if (AnyBranchLimit(prep.parsed)) {
     return RunSetWithBranchLimits(prep, sink);
   }
@@ -473,6 +674,7 @@ Result<std::string> FederatedQueryEngine::Explain(const std::string& sql) {
                 prep->shards.size());
   out += buf;
   catalog::ObjectStore::Prediction total;
+  uint64_t total_shipped = 0;
   for (const ShardPrediction& p : preds) {
     std::snprintf(buf, sizeof(buf),
                   "  shard %zu: %llu containers, %llu bytes, %.0f objects "
@@ -483,10 +685,17 @@ Result<std::string> FederatedQueryEngine::Explain(const std::string& sql) {
                   static_cast<unsigned long long>(p.min_objects),
                   static_cast<unsigned long long>(p.max_objects));
     out += buf;
+    if (p.bytes_shipped > 0) {
+      std::snprintf(buf, sizeof(buf),
+                    "    ghost exchange: %llu bytes shipped (est)\n",
+                    static_cast<unsigned long long>(p.bytes_shipped));
+      out += buf;
+    }
     total.expected_objects += p.expected_objects;
     total.min_objects += p.min_objects;
     total.max_objects += p.max_objects;
     total.bytes_to_scan += p.bytes_to_scan;
+    total_shipped += p.bytes_shipped;
   }
   std::snprintf(buf, sizeof(buf),
                 "prediction: %.0f objects expected [%llu, %llu], %llu bytes "
@@ -496,16 +705,29 @@ Result<std::string> FederatedQueryEngine::Explain(const std::string& sql) {
                 static_cast<unsigned long long>(total.max_objects),
                 static_cast<unsigned long long>(total.bytes_to_scan));
   out += buf;
+  if (total_shipped > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "network: %llu bytes shipped between shards (est)\n",
+                  static_cast<unsigned long long>(total_shipped));
+    out += buf;
+  }
   return out;
 }
 
 std::vector<ShardPrediction> PredictShards(const std::vector<Shard>& shards,
                                            const Plan& plan) {
-  // Leftmost scan carries the (optional) pruning region, as in BuildPlan.
-  const PlanNode* scan = plan.root.get();
-  while (scan != nullptr && scan->type != PlanNodeType::kScan) {
-    scan = scan->children.empty() ? nullptr : scan->children[0].get();
+  // The leftmost leaf shapes the scan: a (possibly region-pruned) kScan,
+  // or the kPairJoin leaf -- a full pass over the assigned containers
+  // plus boundary ghost traffic.
+  const PlanNode* leaf = plan.root.get();
+  while (leaf != nullptr && !leaf->children.empty() &&
+         leaf->type != PlanNodeType::kScan &&
+         leaf->type != PlanNodeType::kPairJoin) {
+    leaf = leaf->children[0].get();
   }
+  const PlanNode* join =
+      leaf != nullptr && leaf->type == PlanNodeType::kPairJoin ? leaf
+                                                               : nullptr;
 
   std::vector<ShardPrediction> out;
   out.reserve(shards.size());
@@ -516,9 +738,9 @@ std::vector<ShardPrediction> PredictShards(const std::vector<Shard>& shards,
     auto assigned = [&shard](uint64_t raw) {
       return shard.assigned == nullptr || shard.assigned->count(raw) > 0;
     };
-    if (scan != nullptr && scan->has_region) {
+    if (leaf != nullptr && leaf->has_region) {
       int level = shard.store->cluster_level();
-      htm::CoverResult cover = htm::Cover(scan->region, level);
+      htm::CoverResult cover = htm::Cover(leaf->region, level);
       auto add = [&](htm::HtmId id, bool full) {
         uint64_t first, last;
         id.RangeAtLevel(level, &first, &last);
@@ -548,6 +770,17 @@ std::vector<ShardPrediction> PredictShards(const std::vector<Shard>& shards,
         p.max_objects += objs;
         p.expected_objects += static_cast<double>(objs);
       }
+    }
+    if (join != nullptr && shards.size() > 1) {
+      // Boundary-band estimate from the density map alone: the share of
+      // a container's objects within the join radius of its edge scales
+      // like 3 * sep / side for a trixel ~90/2^level degrees across.
+      double side_deg =
+          90.0 / static_cast<double>(1u << shard.store->cluster_level());
+      double frac = std::min(
+          1.0, 3.0 * ArcsecToDeg(join->pair_max_sep_arcsec) / side_deg);
+      p.bytes_shipped =
+          static_cast<uint64_t>(frac * static_cast<double>(p.bytes_to_scan));
     }
     out.push_back(p);
   }

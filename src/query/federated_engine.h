@@ -48,6 +48,14 @@ struct ShardPrediction {
   uint64_t min_objects = 0;
   uint64_t max_objects = 0;
   double expected_objects = 0.0;
+  /// Predicted ghost-exchange traffic for neighbor joins: bytes of edge
+  /// objects crossing this shard's container boundary (boundary-band
+  /// estimate from the density map; the first piece of the network cost
+  /// model). The band is symmetric, so this estimates both what the
+  /// shard ships and what it receives -- the measured counterpart,
+  /// ExecStats.bytes_shipped, counts the receive side. Zero for
+  /// non-join plans and single-shard fleets.
+  uint64_t bytes_shipped = 0;
 };
 
 /// Parses, plans, and executes queries against a fleet of shards.
@@ -95,11 +103,16 @@ class FederatedQueryEngine {
   Result<ExecStats> RunFederated(
       const std::vector<Shard>& shards, const PlanNode* root, bool ordered,
       size_t order_col, bool order_desc, int64_t global_limit,
-      const std::function<bool(RowBatch&&)>& sink);
+      const std::function<bool(RowBatch&&)>& sink,
+      const std::vector<PairJoinGhosts>* join_ghosts = nullptr,
+      bool dedupe_pairs = false);
   Result<ExecStats> RunPrepared(
       Prepared& prep, const std::function<bool(RowBatch&&)>& sink);
   Result<ExecStats> RunSetWithBranchLimits(
       Prepared& prep, const std::function<bool(RowBatch&&)>& sink);
+  Result<ExecStats> RunJoinFederated(
+      Prepared& prep, const PlanNode* join,
+      const std::function<bool(RowBatch&&)>& sink);
 
   Options options_;
   ThreadPool pool_;  ///< Shared scan pool for every shard sub-executor.

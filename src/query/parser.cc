@@ -5,6 +5,7 @@
 #include <cstdlib>
 
 #include "catalog/photo_obj.h"
+#include "core/angle.h"
 #include "core/coords.h"
 
 namespace sdss::query {
@@ -57,6 +58,18 @@ class Lexer {
                (std::isalnum(static_cast<unsigned char>(src_[pos_])) ||
                 src_[pos_] == '_')) {
           ident.push_back(src_[pos_++]);
+        }
+        // Qualified attribute: alias '.' attribute lexes as one "a.r"
+        // identifier (a '.' followed by a digit still starts a number).
+        if (pos_ + 1 < src_.size() && src_[pos_] == '.' &&
+            (std::isalpha(static_cast<unsigned char>(src_[pos_ + 1])) ||
+             src_[pos_ + 1] == '_')) {
+          ident.push_back(src_[pos_++]);
+          while (pos_ < src_.size() &&
+                 (std::isalnum(static_cast<unsigned char>(src_[pos_])) ||
+                  src_[pos_] == '_')) {
+            ident.push_back(src_[pos_++]);
+          }
         }
         t.kind = Tok::kIdent;
         for (char& ch : ident) {
@@ -253,7 +266,7 @@ class Parser {
 
     if (!IsKeyword("from")) return Err("expected FROM");
     Advance();
-    if (IsKeyword("photo")) {
+    if (IsKeyword("photo") || IsKeyword("photoobj")) {
       s.table = TableRef::kPhoto;
     } else if (IsKeyword("tag")) {
       s.table = TableRef::kTag;
@@ -261,6 +274,49 @@ class Parser {
       return Err("expected table PHOTO or TAG");
     }
     Advance();
+    if (IsKeyword("as")) {
+      Advance();
+      if (Cur().kind != Tok::kIdent) return Err("expected alias after AS");
+      s.join.alias_a = Cur().text;
+      Advance();
+    }
+
+    if (IsKeyword("join")) {
+      Advance();
+      if (s.table != TableRef::kPhoto) {
+        return Err("pair join requires the PHOTO table");
+      }
+      if (!IsKeyword("photo") && !IsKeyword("photoobj")) {
+        return Err("pair join is a PHOTO self-join");
+      }
+      Advance();
+      if (!IsKeyword("as")) return Err("expected AS after JOIN table");
+      Advance();
+      if (Cur().kind != Tok::kIdent) return Err("expected join alias");
+      s.join.alias_b = Cur().text;
+      Advance();
+      if (s.join.alias_b == s.join.alias_a) {
+        return Err("join aliases must differ");
+      }
+      if (!IsKeyword("within")) return Err("expected WITHIN");
+      Advance();
+      if (Cur().kind != Tok::kNumber) return Err("expected separation");
+      double sep = Cur().number;
+      Advance();
+      if (IsKeyword("arcsec")) {
+        // Already arcsec.
+      } else if (IsKeyword("arcmin")) {
+        sep *= 60.0;
+      } else if (IsKeyword("deg")) {
+        sep *= kArcsecPerDeg;
+      } else {
+        return Err("expected ARCSEC, ARCMIN, or DEG");
+      }
+      Advance();
+      if (sep <= 0.0) return Err("join separation must be positive");
+      s.join.present = true;
+      s.join.max_sep_arcsec = sep;
+    }
 
     if (IsKeyword("where")) {
       Advance();

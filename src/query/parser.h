@@ -6,11 +6,12 @@
 // Grammar (case-insensitive keywords):
 //
 //   query       := select ( (UNION | INTERSECT | EXCEPT) select )*
-//   select      := SELECT proj FROM table [WHERE expr]
+//   select      := SELECT proj FROM table [AS ident] [join] [WHERE expr]
 //                  [ORDER BY ident [ASC|DESC]] [LIMIT int] [SAMPLE frac]
+//   join        := JOIN table AS ident WITHIN number (ARCSEC|ARCMIN|DEG)
 //   proj        := '*' | agg '(' (ident | '*') ')' | ident (',' ident)*
 //   agg         := COUNT | MIN | MAX | AVG | SUM
-//   table       := PHOTO | TAG
+//   table       := PHOTO | PHOTOOBJ | TAG
 //   expr        := boolean expression over attributes, numbers, + - * /,
 //                  comparisons, AND/OR/NOT, and the spatial atoms:
 //                    CIRCLE([frame,] lon, lat, radius_deg)
@@ -19,9 +20,21 @@
 //                  frame is an optional string: 'EQ' | 'GAL' | 'SGAL'.
 //   class names: class = 'GALAXY' | 'STAR' | 'QSO' parse to enum values.
 //
-// Example (the paper's quasar query, sans the neighbor join):
-//   SELECT obj_id, r FROM photo
-//   WHERE class = 'QSO' AND r < 22 AND CIRCLE('GAL', 0, 60, 10)
+// A JOIN select is the paper's spatial neighbor join: each unordered
+// pair of distinct objects within the separation is reported once.
+// Attributes may be qualified with the aliases (`a.r`, `b.g`);
+// unqualified WHERE conjuncts filter every candidate object, qualified
+// conjuncts form the pair predicate, satisfied when SOME assignment of
+// the pair's members to (a, b) holds (see qet.h for the lowering). The
+// projection may also name `sep`, the pair separation in arcsec.
+//
+// Example (the paper's quasar query, WITH its neighbor join: quasars
+// brighter than r=22 with a faint blue galaxy within 5 arcsec):
+//   SELECT a.obj_id, b.obj_id, sep FROM photo AS a
+//   JOIN photoobj AS b WITHIN 5 ARCSEC
+//   WHERE CIRCLE('GAL', 0, 60, 10)
+//     AND a.class = 'QSO' AND a.r < 22
+//     AND b.class = 'GALAXY' AND b.r > 20.5 AND b.g - b.r < 0.5
 
 #ifndef SDSS_QUERY_PARSER_H_
 #define SDSS_QUERY_PARSER_H_
@@ -44,9 +57,19 @@ enum class AggFunc { kNone, kCount, kMin, kMax, kAvg, kSum };
 
 const char* AggFuncName(AggFunc f);
 
+/// The spatial neighbor-join clause of a SELECT block ("JOIN photoobj
+/// AS b WITHIN 5 ARCSEC"). Self-join on the photo table only.
+struct JoinClause {
+  bool present = false;
+  std::string alias_a = "a";  ///< FROM-side alias (default when no AS).
+  std::string alias_b = "b";  ///< JOIN-side alias.
+  double max_sep_arcsec = 0.0;
+};
+
 /// One SELECT block.
 struct SelectQuery {
   TableRef table = TableRef::kPhoto;
+  JoinClause join;
   /// Projected attribute names; empty with agg == kNone means SELECT *.
   std::vector<std::string> projection;
   AggFunc agg = AggFunc::kNone;

@@ -1,8 +1,10 @@
 #include "query/qet.h"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "catalog/photo_obj.h"
+#include "dataflow/pair_hasher.h"
 
 namespace sdss::query {
 
@@ -62,6 +64,8 @@ const char* PlanNodeTypeName(PlanNodeType t) {
   switch (t) {
     case PlanNodeType::kScan:
       return "SCAN";
+    case PlanNodeType::kPairJoin:
+      return "PAIR_JOIN";
     case PlanNodeType::kUnion:
       return "UNION";
     case PlanNodeType::kIntersect:
@@ -90,6 +94,18 @@ std::string PlanNode::Explain(int indent) const {
         out += " sample " + std::to_string(sample);
       }
       break;
+    case PlanNodeType::kPairJoin: {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf),
+                    " photo %s x %s within %g arcsec [buckets level %d]",
+                    pair_alias_a.c_str(), pair_alias_b.c_str(),
+                    pair_max_sep_arcsec, pair_bucket_level);
+      out += buf;
+      if (has_region) out += " [spatially pruned]";
+      if (pair_select) out += " select " + pair_select->ToString();
+      if (pair_where) out += " pair " + pair_where->ToString();
+      break;
+    }
     case PlanNodeType::kSort:
       out += " by column " + std::to_string(sort_column) +
              (sort_desc ? " desc" : " asc");
@@ -157,12 +173,170 @@ Status ValidateAttrs(const std::vector<std::string>& attrs, TableRef table) {
   return Status::OK();
 }
 
+Expr::Ptr AndAlso(Expr::Ptr acc, Expr::Ptr e) {
+  if (!acc) return e;
+  return Expr::Binary(BinOp::kAnd, std::move(acc), std::move(e));
+}
+
+// A column a join select may project / order / fold: "sep" (the pair
+// separation in arcsec) or an alias-qualified photo attribute.
+Status ValidateJoinAttr(const std::string& name, const JoinClause& join) {
+  if (name == "sep") return Status::OK();
+  std::string alias, attr;
+  if (!SplitQualifiedName(name, &alias, &attr)) {
+    return Status::InvalidArgument(
+        "join attributes must be qualified with '" + join.alias_a +
+        ".' or '" + join.alias_b + ".' (or be 'sep'): " + name);
+  }
+  if (alias != join.alias_a && alias != join.alias_b) {
+    return Status::InvalidArgument("unknown join alias: " + name);
+  }
+  const auto& names = catalog::PhotoAttributeNames();
+  if (std::find(names.begin(), names.end(), attr) == names.end()) {
+    return Status::InvalidArgument("unknown attribute: " + name);
+  }
+  return Status::OK();
+}
+
+// Lowers a neighbor-join select onto a kPairJoin leaf (+sort +limit).
+// The WHERE splits along its top-level AND spine: unqualified conjuncts
+// filter every candidate object in phase 1; alias-qualified conjuncts
+// form the pair predicate evaluated under either role assignment. When
+// both aliases carry one-sided conjuncts, their stripped disjunction is
+// a sound extra phase-1 filter (every member of a qualifying pair
+// satisfies one side's conjuncts under the satisfying assignment). A
+// spatial bound extracted from the phase-1 filter prunes the join's
+// container scan and ghost harvest: both pair members must pass it, so
+// no pair can involve an unpruned container.
+Result<std::unique_ptr<PlanNode>> PlanJoinSelect(
+    const SelectQuery& s, const PlannerOptions& options, bool* used_index,
+    std::vector<std::string>* cols) {
+  const JoinClause& join = s.join;
+  if (s.table != TableRef::kPhoto) {
+    return Status::InvalidArgument("pair join requires the photo table");
+  }
+  if (s.sample < 1.0) {
+    return Status::InvalidArgument("SAMPLE is not supported with JOIN");
+  }
+
+  std::vector<std::string> projection = s.projection;
+  if (projection.empty() && s.agg == AggFunc::kNone) {
+    projection = {join.alias_a + ".obj_id", join.alias_b + ".obj_id",
+                  "sep"};
+  }
+  if (s.agg != AggFunc::kNone && !s.agg_attr.empty()) {
+    projection = {s.agg_attr};
+  }
+  for (const std::string& name : projection) {
+    SDSS_RETURN_IF_ERROR(ValidateJoinAttr(name, join));
+  }
+
+  size_t order_col = 0;
+  if (s.has_order) {
+    SDSS_RETURN_IF_ERROR(ValidateJoinAttr(s.order_by, join));
+    auto it = std::find(projection.begin(), projection.end(), s.order_by);
+    if (it == projection.end()) {
+      projection.push_back(s.order_by);
+      order_col = projection.size() - 1;
+    } else {
+      order_col = static_cast<size_t>(it - projection.begin());
+    }
+  }
+
+  Expr::Ptr select_expr, pair_expr, side_a, side_b;
+  if (s.where) {
+    std::vector<Expr::Ptr> conjuncts;
+    FlattenConjuncts(s.where, &conjuncts);
+    for (const Expr::Ptr& c : conjuncts) {
+      std::vector<std::string> attrs;
+      c->CollectAttrs(&attrs);
+      bool uses_a = false, uses_b = false, uses_bare = false;
+      for (const std::string& n : attrs) {
+        std::string alias, attr;
+        if (SplitQualifiedName(n, &alias, &attr)) {
+          SDSS_RETURN_IF_ERROR(ValidateJoinAttr(n, join));
+          (alias == join.alias_a ? uses_a : uses_b) = true;
+        } else {
+          const auto& names = catalog::PhotoAttributeNames();
+          if (std::find(names.begin(), names.end(), n) == names.end()) {
+            return Status::InvalidArgument("unknown attribute: " + n);
+          }
+          uses_bare = true;
+        }
+      }
+      if (!uses_a && !uses_b) {
+        select_expr = AndAlso(std::move(select_expr), c);
+        continue;
+      }
+      if (uses_bare) {
+        return Status::InvalidArgument(
+            "pair predicate mixes qualified and unqualified attributes: " +
+            c->ToString());
+      }
+      pair_expr = AndAlso(std::move(pair_expr), c);
+      if (uses_a && !uses_b) side_a = AndAlso(std::move(side_a), c);
+      if (uses_b && !uses_a) side_b = AndAlso(std::move(side_b), c);
+    }
+  }
+  if (side_a && side_b) {
+    select_expr = AndAlso(
+        std::move(select_expr),
+        Expr::Binary(BinOp::kOr,
+                     StripAliasQualifier(side_a, join.alias_a),
+                     StripAliasQualifier(side_b, join.alias_b)));
+  }
+
+  auto node = std::make_unique<PlanNode>();
+  node->type = PlanNodeType::kPairJoin;
+  node->table = TableRef::kPhoto;
+  if (options.use_spatial_index && select_expr) {
+    htm::Region region;
+    if (ExtractRegion(select_expr, &region)) {
+      node->has_region = true;
+      node->region = std::move(region);
+      *used_index = true;
+    }
+  }
+  node->projection = projection;
+  node->pair_max_sep_arcsec = join.max_sep_arcsec;
+  node->pair_bucket_level =
+      dataflow::PairHasher::ChooseBucketLevel(join.max_sep_arcsec);
+  node->pair_select = std::move(select_expr);
+  node->pair_where = std::move(pair_expr);
+  node->pair_alias_a = join.alias_a;
+  node->pair_alias_b = join.alias_b;
+
+  std::unique_ptr<PlanNode> out = std::move(node);
+  if (s.has_order) {
+    auto sort = std::make_unique<PlanNode>();
+    sort->type = PlanNodeType::kSort;
+    sort->sort_column = order_col;
+    sort->sort_desc = s.order_desc;
+    sort->children.push_back(std::move(out));
+    out = std::move(sort);
+  }
+  if (s.limit >= 0) {
+    auto limit = std::make_unique<PlanNode>();
+    limit->type = PlanNodeType::kLimit;
+    limit->limit = s.limit;
+    limit->children.push_back(std::move(out));
+    out = std::move(limit);
+  }
+  *cols = projection;
+  return out;
+}
+
 // Builds the scan (+sort +limit) subtree for one select block.
 Result<std::unique_ptr<PlanNode>> PlanSelect(const SelectQuery& s,
                                              const PlannerOptions& options,
                                              bool* used_tag,
                                              bool* used_index,
                                              std::vector<std::string>* cols) {
+  if (s.join.present) {
+    *used_tag = false;
+    *used_index = false;
+    return PlanJoinSelect(s, options, used_index, cols);
+  }
   std::vector<std::string> attrs = ReferencedAttrs(s);
 
   TableRef table = s.table;
@@ -248,6 +422,17 @@ Result<Plan> BuildPlan(const ParsedQuery& query,
                        const PlannerOptions& options) {
   Plan plan;
 
+  if (query.IsSetQuery()) {
+    bool any_join = query.first.join.present;
+    for (const auto& [op, select] : query.rest) {
+      any_join = any_join || select.join.present;
+    }
+    if (any_join) {
+      return Status::InvalidArgument(
+          "pair join cannot be combined with set operations");
+    }
+  }
+
   bool used_tag = false, used_index = false;
   std::vector<std::string> cols;
   auto first = PlanSelect(query.first, options, &used_tag, &used_index,
@@ -303,9 +488,10 @@ Result<Plan> BuildPlan(const ParsedQuery& query,
   plan.used_spatial_index = used_index;
 
   // Density-map prediction for the first scan (the paper's output-volume
-  // estimate). Walk down to the leftmost scan node.
+  // estimate). Walk down to the leftmost leaf (scan or pair join).
   const PlanNode* scan = root.get();
-  while (scan != nullptr && scan->type != PlanNodeType::kScan) {
+  while (scan != nullptr && scan->type != PlanNodeType::kScan &&
+         scan->type != PlanNodeType::kPairJoin) {
     scan = scan->children.empty() ? nullptr : scan->children[0].get();
   }
   if (scan != nullptr && scan->has_region) {

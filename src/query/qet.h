@@ -31,22 +31,26 @@
 namespace sdss::query {
 
 /// One result row: the object pointer plus projected attribute values.
+/// Pair-join rows carry both members' ids (obj_id = the `a` role,
+/// obj_id_b = the `b` role); plain rows leave obj_id_b zero.
 struct ResultRow {
   uint64_t obj_id = 0;
+  uint64_t obj_id_b = 0;
   std::vector<double> values;
 };
 
 using RowBatch = std::vector<ResultRow>;
 
 /// The engine's one sort order: by values[col] (ascending or
-/// descending), with obj_id as the stable tie-break. The sort node, the
-/// top-k fusion, and the federated k-way merge must all agree on this
-/// total order -- do not inline variants.
+/// descending), with (obj_id, obj_id_b) as the stable tie-break. The
+/// sort node, the top-k fusion, and the federated k-way merge must all
+/// agree on this total order -- do not inline variants.
 inline bool RowBefore(const ResultRow& a, const ResultRow& b, size_t col,
                       bool desc) {
   double av = a.values[col], bv = b.values[col];
   if (av != bv) return desc ? av > bv : av < bv;
-  return a.obj_id < b.obj_id;
+  if (a.obj_id != b.obj_id) return a.obj_id < b.obj_id;
+  return a.obj_id_b < b.obj_id_b;
 }
 
 /// A bounded multi-producer single-consumer batch channel implementing
@@ -87,9 +91,10 @@ class RowChannel {
 };
 
 /// QET node types: one scan ("query node") plus the paper's set-operation
-/// and blocking node kinds.
+/// and blocking node kinds, and the hash-machine neighbor join.
 enum class PlanNodeType {
   kScan,        ///< Leaf: container-pruned store scan with predicate.
+  kPairJoin,    ///< Leaf: two-phase spatial hash join (PairHasher).
   kUnion,       ///< Bag union (dedup by obj_id); streams both sides ASAP.
   kIntersect,   ///< Blocking on the right side, then streams the left.
   kDifference,  ///< Blocking on the right side, then streams the left.
@@ -113,6 +118,27 @@ struct PlanNode {
   std::vector<std::string> projection; ///< Output column names.
   double sample = 1.0;                 ///< Bernoulli sampling fraction.
   uint64_t sample_seed = 7777;
+
+  // -- kPairJoin -----------------------------------------------------
+  // A leaf like kScan (it reads containers itself: the hash machine
+  // needs whole PhotoObjs, not projected rows). Emits one row per
+  // unordered pair within the separation; `projection` names are
+  // alias-qualified ("a.r", "b.g") or the separation pseudo-column
+  // "sep".
+  double pair_max_sep_arcsec = 0.0;
+  /// Bucket depth of the hash, chosen by the planner from the
+  /// separation (PairHasher::ChooseBucketLevel).
+  int pair_bucket_level = 10;
+  /// Phase-1 per-object filter (unqualified conjuncts AND the derived
+  /// either-side filter); null = every object is a candidate.
+  Expr::Ptr pair_select;
+  /// Pair predicate: the conjunction of alias-qualified conjuncts. A
+  /// pair {x, y} qualifies when SOME assignment of its members to
+  /// (a, b) satisfies it; the satisfying assignment (lower-id member
+  /// first when both hold) binds the aliases in the projection.
+  Expr::Ptr pair_where;
+  std::string pair_alias_a = "a";
+  std::string pair_alias_b = "b";
 
   // -- kSort ---------------------------------------------------------
   size_t sort_column = 0;

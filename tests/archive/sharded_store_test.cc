@@ -144,5 +144,53 @@ TEST(ShardedStoreTest, StatsReportPlacement) {
   EXPECT_GT(stats.total_bytes, 0u);
 }
 
+TEST(ShardedStoreTest, PromotedHotContainerServedByHeatChosenServer) {
+  ObjectStore store = MakeStore();
+  ShardedStore sharded(store, Opts(4, 1));
+
+  // Heat one container far above the rest. With base_replicas = 1 its
+  // lone replica is the routing choice before promotion.
+  uint64_t hot = store.containers().begin()->first;
+  auto before = sharded.ReplicasFor(hot);
+  ASSERT_TRUE(before.ok());
+  ASSERT_EQ(before->size(), 1u);
+  size_t old_primary = (*before)[0];
+  sharded.RecordAccess(hot, 100000);
+
+  ASSERT_TRUE(sharded.PromoteHotContainers(/*top_fraction=*/0.0005, 1).ok());
+
+  // The heat-chosen server now holds a materialized copy and is the
+  // preferred read target.
+  auto after = sharded.ReplicasFor(hot);
+  ASSERT_TRUE(after.ok());
+  ASSERT_EQ(after->size(), 2u);
+  size_t promoted = (*after)[0];
+  EXPECT_NE(promoted, old_primary);
+  EXPECT_GT(sharded.server_store(promoted).containers().count(hot), 0u);
+
+  auto shards = sharded.LiveShards();
+  ASSERT_TRUE(shards.ok());
+  bool routed = false;
+  for (const auto& shard : *shards) {
+    if (shard.assigned->count(hot) > 0) {
+      EXPECT_EQ(shard.server, promoted)
+          << "hot container not served by its heat-chosen server";
+      routed = true;
+    }
+  }
+  EXPECT_TRUE(routed);
+
+  // The promotion is invisible to query answers: the fleet still
+  // matches the source store.
+  query::QueryEngine single(&store);
+  query::FederatedQueryEngine fed(*shards);
+  const std::string sql = "SELECT COUNT(*) FROM photo WHERE r < 21.5";
+  auto expect = single.Execute(sql);
+  auto got = fed.Execute(sql);
+  ASSERT_TRUE(expect.ok());
+  ASSERT_TRUE(got.ok());
+  EXPECT_DOUBLE_EQ(expect->aggregate_value, got->aggregate_value);
+}
+
 }  // namespace
 }  // namespace sdss::archive
