@@ -1,0 +1,205 @@
+// C12 -- batch workbench: quick-lane latency under long-lane load.
+//
+// The workbench's reason to exist is isolation: a community member's
+// cone search must keep answering in interactive time while someone
+// else's full-sky mining join grinds in the LONG lane of the same
+// scheduler, same engine, same single scan pool. This bench prices that
+// isolation on a 4-shard fleet: the submit->complete latency of a
+// quick-lane job with the mining lane idle vs saturated, plus the cost
+// of materializing a MyDB table (the INTO sink). Compare the two
+// BM_QuickLaneLatency arms with interleaved medians (see BUILDING.md:
+// this box is 1-core and noisy; never trust single runs).
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "archive/mydb.h"
+#include "archive/sharded_store.h"
+#include "bench_util.h"
+#include "query/federated_engine.h"
+#include "workbench/scheduler.h"
+
+namespace sdss::bench {
+namespace {
+
+using archive::MyDb;
+using archive::ReplicationOptions;
+using archive::ShardedStore;
+using query::FederatedQueryEngine;
+using workbench::JobScheduler;
+using workbench::JobState;
+using workbench::Lane;
+
+constexpr char kQuickSql[] =
+    "SELECT COUNT(*) FROM photo WHERE CIRCLE('GAL', 30, 70, 4)";
+constexpr char kMiningJoinSql[] =
+    "SELECT COUNT(*) FROM photo AS a JOIN photoobj AS b WITHIN 3 DEG";
+constexpr char kIntoSelect[] = "SELECT * INTO mydb.%s FROM photo "
+                               "WHERE r < 20.5";
+
+/// One 4-shard fleet + workbench for the whole binary.
+struct Workbench {
+  catalog::ObjectStore store;
+  std::unique_ptr<ShardedStore> sharded;
+  std::unique_ptr<FederatedQueryEngine> fed;
+  std::unique_ptr<MyDb> mydb;
+  std::unique_ptr<JobScheduler> scheduler;
+  uint64_t load_job = 0;  ///< Currently running mining join, 0 = none.
+  int into_counter = 0;
+
+  Workbench() : store(MakeBenchStore(0.5)) {
+    ReplicationOptions repl;
+    repl.num_servers = 4;
+    repl.base_replicas = 2;
+    sharded = std::make_unique<ShardedStore>(store, repl);
+    auto live = sharded->LiveShards();
+    if (!live.ok()) std::abort();
+    fed = std::make_unique<FederatedQueryEngine>(*live);
+    mydb = std::make_unique<MyDb>();
+    JobScheduler::Options opt;
+    opt.quick_workers = 2;
+    opt.long_workers = 1;
+    opt.quick_lane_max_bytes = 4ull << 20;
+    scheduler = std::make_unique<JobScheduler>(fed.get(), mydb.get(), opt);
+  }
+
+  /// Blocks until `id` is terminal, returns its final state.
+  JobState Finish(uint64_t id) {
+    auto done = scheduler->Wait(id);
+    return done.ok() ? done->state : JobState::kFailed;
+  }
+
+  /// Submit a quick job and wait it out; returns seconds of latency.
+  double QuickLatency() {
+    auto t0 = std::chrono::steady_clock::now();
+    auto id = scheduler->Submit("alice", kQuickSql);
+    if (!id.ok() || Finish(*id) != JobState::kSucceeded) std::abort();
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+  }
+
+  /// Keeps exactly one mining join occupying the LONG lane.
+  void EnsureLoad() {
+    if (load_job != 0) {
+      auto snap = scheduler->Snapshot(load_job);
+      if (snap.ok() && snap->state == JobState::kRunning) return;
+    }
+    auto id = scheduler->Submit("load", kMiningJoinSql);
+    if (!id.ok()) std::abort();
+    load_job = *id;
+    while (scheduler->Snapshot(load_job)->state == JobState::kQueued) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+
+  void StopLoad() {
+    if (load_job == 0) return;
+    (void)scheduler->Cancel(load_job);
+    (void)scheduler->Wait(load_job);
+    load_job = 0;
+  }
+
+  /// Materializes one fresh MyDB table, returns (seconds, objects).
+  std::pair<double, uint64_t> IntoOnce() {
+    char name[32], sql[128];
+    std::snprintf(name, sizeof(name), "b%d", into_counter++);
+    std::snprintf(sql, sizeof(sql), kIntoSelect, name);
+    auto t0 = std::chrono::steady_clock::now();
+    auto id = scheduler->Submit("miner", sql);
+    if (!id.ok() || Finish(*id) != JobState::kSucceeded) std::abort();
+    double secs = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+    uint64_t rows = scheduler->Snapshot(*id)->rows;
+    (void)mydb->Drop("miner", name);
+    return {secs, rows};
+  }
+};
+
+Workbench& Fixture() {
+  static Workbench* wb = new Workbench();
+  return *wb;
+}
+
+double MedianMs(std::vector<double> seconds) {
+  std::sort(seconds.begin(), seconds.end());
+  return seconds[seconds.size() / 2] * 1e3;
+}
+
+void PrintC12() {
+  PrintHeader("C12  Batch workbench: quick lane under mining load");
+  Workbench& wb = Fixture();
+  std::printf("fleet: 4 servers x2 replicas, %llu objects; scheduler: "
+              "2 quick + 1 long worker,\nquick lane <= 4 MB predicted "
+              "scan, per-user quota 1\n\n",
+              static_cast<unsigned long long>(wb.store.object_count()));
+
+  auto [into_secs, into_rows] = wb.IntoOnce();
+  std::printf("INTO mydb (r < 20.5): %llu objects in %.0f ms\n",
+              static_cast<unsigned long long>(into_rows),
+              into_secs * 1e3);
+
+  std::vector<double> idle, loaded;
+  for (int i = 0; i < 9; ++i) idle.push_back(wb.QuickLatency());
+  wb.EnsureLoad();
+  for (int i = 0; i < 9; ++i) loaded.push_back(wb.QuickLatency());
+  wb.StopLoad();
+  std::printf("quick-lane cone count latency (median of 9):\n");
+  std::printf("  %-22s %8.2f ms\n", "long lane idle",
+              MedianMs(idle));
+  std::printf("  %-22s %8.2f ms\n", "under 3-deg mining join",
+              MedianMs(loaded));
+  std::printf(
+      "\nShape check: the loaded median pays a contention tax (one scan\n"
+      "pool, one core) but stays interactive -- the long job never\n"
+      "occupies a quick worker, so admission isolation holds.\n");
+}
+
+void BM_QuickLaneLatency(benchmark::State& state) {
+  Workbench& wb = Fixture();
+  const bool under_load = state.range(0) == 1;
+  if (under_load) {
+    wb.EnsureLoad();
+  } else {
+    wb.StopLoad();
+  }
+  for (auto _ : state) {
+    if (under_load) wb.EnsureLoad();
+    benchmark::DoNotOptimize(wb.QuickLatency());
+  }
+  if (under_load) wb.StopLoad();
+}
+BENCHMARK(BM_QuickLaneLatency)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_IntoMaterialize(benchmark::State& state) {
+  Workbench& wb = Fixture();
+  wb.StopLoad();
+  for (auto _ : state) {
+    auto r = wb.IntoOnce();
+    benchmark::DoNotOptimize(r.second);
+  }
+}
+BENCHMARK(BM_IntoMaterialize)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+}  // namespace
+}  // namespace sdss::bench
+
+int main(int argc, char** argv) {
+  sdss::bench::PrintC12();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

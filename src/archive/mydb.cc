@@ -1,0 +1,99 @@
+#include "archive/mydb.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace sdss::archive {
+
+Status MyDb::Put(const std::string& user, const std::string& name,
+                 std::vector<catalog::PhotoObj> objects) {
+  if (name.empty()) {
+    return Status::InvalidArgument("mydb table name is empty");
+  }
+  const uint64_t incoming_bytes =
+      objects.size() * sizeof(catalog::PhotoObj);
+
+  // Build the store outside the lock (clustering is the slow part), then
+  // publish it atomically: readers either see the whole table or none.
+  catalog::StoreOptions store_options;
+  store_options.cluster_level = options_.cluster_level;
+  store_options.build_tags = false;  // Personal stores hold full objects.
+  auto store = std::make_unique<catalog::ObjectStore>(store_options);
+  SDSS_RETURN_IF_ERROR(store->BulkLoad(std::move(objects)));
+
+  std::lock_guard<std::mutex> lock(mu_);
+  UserSpace& space = users_[user];
+  if (space.tables.count(name) > 0) {
+    return Status::AlreadyExists("mydb." + name +
+                                 " already exists; DROP it first");
+  }
+  if (space.used_bytes + incoming_bytes > options_.per_user_quota_bytes) {
+    return Status::ResourceExhausted(
+        "mydb quota exceeded for user '" + user + "': " +
+        std::to_string(space.used_bytes + incoming_bytes) + " of " +
+        std::to_string(options_.per_user_quota_bytes) + " bytes");
+  }
+  space.used_bytes += incoming_bytes;
+  space.tables.emplace(name, std::move(store));
+  return Status::OK();
+}
+
+Result<const catalog::ObjectStore*> MyDb::Find(
+    const std::string& user, const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto uit = users_.find(user);
+  if (uit != users_.end()) {
+    auto tit = uit->second.tables.find(name);
+    if (tit != uit->second.tables.end()) return tit->second.get();
+  }
+  return Status::NotFound("mydb." + name + " does not exist");
+}
+
+Status MyDb::Drop(const std::string& user, const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto uit = users_.find(user);
+  if (uit == users_.end() || uit->second.tables.count(name) == 0) {
+    return Status::NotFound("mydb." + name + " does not exist");
+  }
+  UserSpace& space = uit->second;
+  uint64_t bytes =
+      space.tables[name]->object_count() * sizeof(catalog::PhotoObj);
+  space.used_bytes -= std::min(space.used_bytes, bytes);
+  space.tables.erase(name);
+  return Status::OK();
+}
+
+std::vector<std::string> MyDb::List(const std::string& user) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  auto uit = users_.find(user);
+  if (uit != users_.end()) {
+    for (const auto& [name, store] : uit->second.tables) {
+      names.push_back(name);
+    }
+  }
+  return names;
+}
+
+uint64_t MyDb::UsedBytes(const std::string& user) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto uit = users_.find(user);
+  return uit == users_.end() ? 0 : uit->second.used_bytes;
+}
+
+uint64_t MyDb::RemainingBytes(const std::string& user) const {
+  uint64_t used = UsedBytes(user);
+  return used >= options_.per_user_quota_bytes
+             ? 0
+             : options_.per_user_quota_bytes - used;
+}
+
+query::MyDbResolver MyDb::ResolverFor(const std::string& user) const {
+  return [this, user](const std::string& name) -> const
+         catalog::ObjectStore* {
+           auto found = Find(user, name);
+           return found.ok() ? *found : nullptr;
+         };
+}
+
+}  // namespace sdss::archive

@@ -1,0 +1,88 @@
+// MyDB: per-user personal result stores for the batch workbench.
+//
+// The CasJobs/MyDB model from the paper's successor systems: a long
+// query materializes its result set into a named container owned by the
+// submitting user ("SELECT ... INTO mydb.<name>"), and follow-up queries
+// mine that container ("FROM mydb.<name>") instead of re-scanning --
+// or, federated, re-shipping -- the base data. Each named table is a
+// full catalog::ObjectStore (HTM-clustered like the archive itself), so
+// spatial pruning and the density-map predictions keep working on
+// derived data.
+//
+// Quotas are per user in bytes: a Put that would exceed the owner's
+// quota is refused whole (no partial container is ever stored).
+
+#ifndef SDSS_ARCHIVE_MYDB_H_
+#define SDSS_ARCHIVE_MYDB_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "catalog/object_store.h"
+#include "core/status.h"
+#include "query/qet.h"
+
+namespace sdss::archive {
+
+/// Thread-safe per-user namespace of named result stores.
+///
+/// Store pointers returned by Find / the resolver stay valid until the
+/// table is dropped; callers must not Drop a table while a query planned
+/// against it is still executing (the workbench serializes this by
+/// running a user's jobs under a concurrency quota).
+class MyDb {
+ public:
+  struct Options {
+    /// Byte budget per user, measured in stored PhotoObj payload.
+    uint64_t per_user_quota_bytes = 64ull << 20;
+    /// Clustering depth of materialized stores (matches the archive
+    /// default so covers and predictions behave identically).
+    int cluster_level = 6;
+  };
+
+  MyDb() : MyDb(Options()) {}
+  explicit MyDb(Options options) : options_(options) {}
+
+  /// Materializes `objects` as mydb.<name> for `user`. Fails with
+  /// AlreadyExists when the name is taken and ResourceExhausted when the
+  /// user's quota would be exceeded; in both cases nothing is stored.
+  Status Put(const std::string& user, const std::string& name,
+             std::vector<catalog::PhotoObj> objects);
+
+  /// The store backing mydb.<name>, or NotFound.
+  Result<const catalog::ObjectStore*> Find(const std::string& user,
+                                           const std::string& name) const;
+
+  /// Drops mydb.<name>, releasing its bytes against the quota.
+  Status Drop(const std::string& user, const std::string& name);
+
+  /// Table names owned by `user`, sorted.
+  std::vector<std::string> List(const std::string& user) const;
+
+  uint64_t UsedBytes(const std::string& user) const;
+  uint64_t RemainingBytes(const std::string& user) const;
+  const Options& options() const { return options_; }
+
+  /// Binds `user`'s namespace as the planner's mydb resolver: unknown
+  /// names resolve to null (the planner reports NotFound). The returned
+  /// callable holds a reference to this MyDb; it must not outlive it.
+  query::MyDbResolver ResolverFor(const std::string& user) const;
+
+ private:
+  struct UserSpace {
+    std::map<std::string, std::unique_ptr<catalog::ObjectStore>> tables;
+    uint64_t used_bytes = 0;
+  };
+
+  Options options_;
+  mutable std::mutex mu_;
+  std::map<std::string, UserSpace> users_;
+};
+
+}  // namespace sdss::archive
+
+#endif  // SDSS_ARCHIVE_MYDB_H_

@@ -1,9 +1,13 @@
 #include "archive/sharded_store.h"
 
+#include <algorithm>
 #include <memory>
 #include <unordered_set>
 #include <utility>
 #include <vector>
+
+#include "core/angle.h"
+#include "htm/trixel.h"
 
 namespace sdss::archive {
 
@@ -98,9 +102,69 @@ Status ShardedStore::PromoteHotContainers(double top_fraction,
 }
 
 Result<std::vector<size_t>> ShardedStore::ReplicasFor(
-    uint64_t container) const {
+    uint64_t container, double join_sep_arcsec) const {
   std::lock_guard<std::mutex> lock(mu_);
-  return manager_.ServersFor(container);
+  auto replicas = manager_.ServersFor(container);
+  if (!replicas.ok() || join_sep_arcsec <= 0.0 || replicas->size() < 2) {
+    return replicas;
+  }
+
+  // Bytes of one container, read from any server that materialized it.
+  auto bytes_of = [this](uint64_t raw) -> uint64_t {
+    for (const auto& store : stores_) {
+      auto it = store.containers().find(raw);
+      if (it != store.containers().end()) return it->second.FullBytes();
+    }
+    return 0;
+  };
+
+  auto id = htm::HtmId::FromRaw(container);
+  if (!id.ok()) return replicas;
+  const uint64_t scan_bytes = bytes_of(container);
+
+  // Boundary-band fraction: the share of a neighbor's objects within the
+  // join radius of the shared edge (same model as ShardPrediction's
+  // bytes_shipped estimate).
+  int level = id->level();
+  double side_deg = 90.0 / static_cast<double>(1u << level);
+  double band_frac = std::min(
+      1.0, 3.0 * ArcsecToDeg(join_sep_arcsec) / side_deg);
+
+  // Predicted receive-side ghost traffic per candidate server: every
+  // adjacent container served by a DIFFERENT server ships its band here.
+  std::vector<std::pair<uint64_t, size_t>> neighbor_homes;
+  for (htm::HtmId n : htm::Trixel::FromId(*id).Neighbors()) {
+    uint64_t nbytes = bytes_of(n.raw());
+    if (nbytes == 0) continue;  // Empty or unplaced neighbor trixel.
+    auto served_by = manager_.RouteRead(n.raw());
+    if (!served_by.ok()) continue;
+    neighbor_homes.emplace_back(nbytes, *served_by);
+  }
+  auto predicted_ship = [&](size_t server) {
+    double shipped = 0.0;
+    for (const auto& [nbytes, home] : neighbor_homes) {
+      if (home != server) shipped += band_frac * static_cast<double>(nbytes);
+    }
+    return static_cast<uint64_t>(shipped);
+  };
+
+  size_t best = 0;
+  for (size_t i = 1; i < replicas->size(); ++i) {
+    if (predicted_ship((*replicas)[i]) < predicted_ship((*replicas)[best])) {
+      best = i;
+    }
+  }
+  // Route to the shipping-minimal replica only when the saving dominates
+  // the scan: re-reading the container locally costs its full bytes, so
+  // a smaller saving is not worth giving up the heat-preferred copy.
+  if (best != 0 && predicted_ship((*replicas)[0]) -
+                           predicted_ship((*replicas)[best]) >
+                       scan_bytes) {
+    size_t chosen = (*replicas)[best];
+    replicas->erase(replicas->begin() + static_cast<ptrdiff_t>(best));
+    replicas->insert(replicas->begin(), chosen);
+  }
+  return replicas;
 }
 
 Result<std::vector<query::Shard>> ShardedStore::LiveShards() const {

@@ -62,8 +62,19 @@ class ShardedStore {
   /// queries execute against a previously obtained LiveShards snapshot.
   Status PromoteHotContainers(double top_fraction, size_t extra);
 
-  /// Replica servers of one container, preferred first (inspection).
-  Result<std::vector<size_t>> ReplicasFor(uint64_t container) const;
+  /// Replica servers of one container, preferred first.
+  ///
+  /// With `join_sep_arcsec` > 0 the order feeds the predicted network
+  /// cost of a neighbor join into the routing choice: for each replica
+  /// server the boundary-band estimate (the ShardPrediction
+  /// bytes_shipped model) prices the ghost traffic the server would
+  /// RECEIVE from adjacent containers currently served elsewhere, and
+  /// the replica that minimizes predicted shipping moves to the front --
+  /// but only when the shipping saving dominates the container's own
+  /// scan bytes, so cheap scans keep the heat/primary-preferred order.
+  /// `join_sep_arcsec` <= 0 preserves the plain placement order.
+  Result<std::vector<size_t>> ReplicasFor(
+      uint64_t container, double join_sep_arcsec = 0.0) const;
 
   /// Current routing: every container assigned to its first live replica
   /// (primary preferred), grouped per server. Servers with nothing to

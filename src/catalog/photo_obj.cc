@@ -110,4 +110,58 @@ const std::vector<std::string>& PhotoAttributeNames() {
   return *kNames;
 }
 
+Result<PhotoObj> PhotoObjFromRow(const std::vector<std::string>& names,
+                                 const std::vector<double>& values) {
+  if (names.size() != values.size()) {
+    return Status::InvalidArgument("attribute name/value count mismatch");
+  }
+  PhotoObj obj;
+  for (size_t k = 0; k < names.size(); ++k) {
+    const std::string& name = names[k];
+    double v = values[k];
+    if (name == "obj_id") {
+      obj.obj_id = static_cast<uint64_t>(v);
+    } else if (name == "ra") {
+      obj.ra_deg = v;
+    } else if (name == "dec") {
+      obj.dec_deg = v;
+    } else if (name == "cx") {
+      obj.pos.x = v;
+    } else if (name == "cy") {
+      obj.pos.y = v;
+    } else if (name == "cz") {
+      obj.pos.z = v;
+    } else if (name == "size") {
+      obj.petro_radius_arcsec = static_cast<float>(v);
+    } else if (name == "sb") {
+      obj.surface_brightness = static_cast<float>(v);
+    } else if (name == "redshift") {
+      obj.redshift = static_cast<float>(v);
+    } else if (name == "flags") {
+      obj.flags = static_cast<uint32_t>(v);
+    } else if (name == "class") {
+      obj.obj_class = static_cast<ObjClass>(static_cast<uint8_t>(v));
+    } else if (name == "htm") {
+      obj.htm_leaf = static_cast<uint64_t>(v);
+    } else if (name.rfind("profile", 0) == 0 && name.size() == 8 &&
+               name[7] >= '0' && name[7] < '0' + kProfileBins) {
+      obj.profile[static_cast<size_t>(name[7] - '0')] =
+          static_cast<float>(v);
+    } else {
+      bool found = false;
+      for (int b = 0; b < kNumBands && !found; ++b) {
+        if (name == kBandNames[b]) {
+          obj.mag[b] = static_cast<float>(v);
+          found = true;
+        } else if (name == std::string("err_") + kBandNames[b]) {
+          obj.mag_err[b] = static_cast<float>(v);
+          found = true;
+        }
+      }
+      if (!found) return Status::NotFound("unknown attribute: " + name);
+    }
+  }
+  return obj;
+}
+
 }  // namespace sdss::catalog

@@ -133,6 +133,15 @@ bool IsTagAttribute(const std::string& name);
 /// All attribute names resolvable on PhotoObj, in canonical order.
 const std::vector<std::string>& PhotoAttributeNames();
 
+/// Inverse of GetAttribute: rebuilds a PhotoObj from parallel
+/// (names, values) vectors. Every queryable attribute round-trips
+/// exactly (`pos` is restored from cx/cy/cz); attributes absent from
+/// `names` keep their default value. Unknown names return NotFound.
+/// This is how a projected result row becomes a storable object again
+/// (the MyDB "SELECT ... INTO" materialization path).
+Result<PhotoObj> PhotoObjFromRow(const std::vector<std::string>& names,
+                                 const std::vector<double>& values);
+
 }  // namespace sdss::catalog
 
 #endif  // SDSS_CATALOG_PHOTO_OBJ_H_

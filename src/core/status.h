@@ -27,6 +27,7 @@ enum class StatusCode {
   kFailedPrecondition,
   kResourceExhausted,
   kInternal,
+  kCancelled,
 };
 
 /// Returns a stable human-readable name for a status code ("InvalidArgument").
@@ -72,6 +73,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   /// True iff the operation succeeded.

@@ -20,10 +20,15 @@ using catalog::GetTagAttribute;
 using catalog::PhotoObj;
 using catalog::TagObj;
 
-/// Shared run state: error propagation and scan counters.
+/// Shared run state: error propagation, cooperative cancellation, and
+/// scan counters.
 struct RunContext {
   std::mutex mu;
   Status first_error;
+  /// The job's cancel flag (null = not cancellable). Checked inside the
+  /// scan and join loops so a long-running query releases its threads
+  /// within one object/pair step of the flag being raised.
+  const std::atomic<bool>* cancel = nullptr;
   std::atomic<uint64_t> containers_scanned{0};
   std::atomic<uint64_t> objects_examined{0};
   std::atomic<uint64_t> objects_matched{0};
@@ -37,6 +42,15 @@ struct RunContext {
   bool has_error() {
     std::lock_guard<std::mutex> lock(mu);
     return !first_error.ok();
+  }
+  /// True once the cancel flag is raised; records the Cancelled status
+  /// (first error wins) so the tree unwinds like any scan failure.
+  bool Cancelled() {
+    if (cancel == nullptr || !cancel->load(std::memory_order_relaxed)) {
+      return false;
+    }
+    ReportError(Status::Cancelled("query cancelled"));
+    return true;
   }
 };
 
@@ -105,6 +119,7 @@ template <typename T, typename OnMatch>
 bool VisitMatches(const std::vector<T>& rows, const PlanNode* node,
                   Rng* rng, RunContext* ctx, const OnMatch& on_match) {
   for (const T& obj : rows) {
+    if (ctx->Cancelled()) return false;
     ctx->objects_examined.fetch_add(1);
     if (node->sample < 1.0 && !rng->Bernoulli(node->sample)) continue;
     if (node->predicate) {
@@ -256,10 +271,11 @@ Result<ExecStats> Executor::Run(
 Result<ExecStats> Executor::RunTree(
     const PlanNode* root, const std::function<bool(RowBatch&&)>& on_batch,
     const std::unordered_set<uint64_t>* container_filter,
-    const PairJoinGhosts* join_ghosts) {
+    const PairJoinGhosts* join_ghosts, const std::atomic<bool>* cancel) {
   if (root == nullptr) return Status::InvalidArgument("empty plan");
 
   auto ctx = std::make_shared<RunContext>();
+  ctx->cancel = cancel;
   NodeRuntime runtime;
 
   // Recursive node launcher. Each call wires `node` to write into `out`.
@@ -267,13 +283,24 @@ Result<ExecStats> Executor::RunTree(
       [&](const PlanNode* node, std::shared_ptr<RowChannel> out) {
         out->AddWriter();
         switch (node->type) {
-          case PlanNodeType::kScan: {
-            runtime.threads.Spawn([this, node, out, ctx, container_filter] {
+          case PlanNodeType::kScan:
+          case PlanNodeType::kMyDbScan: {
+            // A mydb leaf scans its own (personal, unsharded) store: the
+            // federated container assignment never applies to it.
+            const bool personal = node->type == PlanNodeType::kMyDbScan;
+            const catalog::ObjectStore* scan_store =
+                personal ? node->mydb_store : store_;
+            const auto* filter = personal ? nullptr : container_filter;
+            runtime.threads.Spawn([this, node, out, ctx, scan_store,
+                                   filter] {
               std::vector<const Container*> containers =
-                  CollectScanContainers(node, store_, container_filter);
+                  CollectScanContainers(node, scan_store, filter);
               std::atomic<uint64_t> salt{0};
               pool_->ParallelFor(containers.size(), [&](size_t ci) {
-                if (out->cancelled() || ctx->has_error()) return;
+                if (out->cancelled() || ctx->Cancelled() ||
+                    ctx->has_error()) {
+                  return;
+                }
                 const Container* c = containers[ci];
                 ctx->containers_scanned.fetch_add(1);
                 Rng rng(node->sample_seed + salt.fetch_add(1) * 7919 + ci);
@@ -331,7 +358,10 @@ Result<ExecStats> Executor::RunTree(
                                           node->pair_bucket_level);
               std::mutex hash_mu;
               pool_->ParallelFor(containers.size(), [&](size_t ci) {
-                if (out->cancelled() || ctx->has_error()) return;
+                if (out->cancelled() || ctx->Cancelled() ||
+                    ctx->has_error()) {
+                  return;
+                }
                 const Container* c = containers[ci];
                 ctx->containers_scanned.fetch_add(1);
                 ctx->bytes_touched.fetch_add(c->FullBytes());
@@ -340,6 +370,7 @@ Result<ExecStats> Executor::RunTree(
                                       dataflow::PairHasher::BucketSet>>
                     selected;
                 for (const PhotoObj& o : c->objects) {
+                  if (ctx->Cancelled()) return;
                   ctx->objects_examined.fetch_add(1);
                   if (node->pair_select) {
                     RowAccessor acc{[&o](const std::string& n) {
@@ -376,7 +407,10 @@ Result<ExecStats> Executor::RunTree(
                   hasher.BucketList();
               size_t batch_size = options_.batch_size;
               pool_->ParallelFor(buckets.size(), [&](size_t bi) {
-                if (out->cancelled() || ctx->has_error()) return;
+                if (out->cancelled() || ctx->Cancelled() ||
+                    ctx->has_error()) {
+                  return;
+                }
                 RowBatch batch;
                 batch.reserve(batch_size);
                 ResultRow row;
@@ -384,6 +418,7 @@ Result<ExecStats> Executor::RunTree(
                     *buckets[bi],
                     [&](const PhotoObj& lo, const PhotoObj& hi,
                         double sep_arcsec) {
+                      if (ctx->Cancelled()) return false;
                       auto fwd = PairHolds(node, lo, hi);
                       if (!fwd.ok()) {
                         ctx->ReportError(fwd.status());
@@ -596,16 +631,21 @@ Result<ExecStats> Executor::RunTree(
 
           case PlanNodeType::kAggregate: {
             const PlanNode* scan = node->children[0].get();
-            if (scan->type == PlanNodeType::kScan) {
+            if (scan->type == PlanNodeType::kScan ||
+                scan->type == PlanNodeType::kMyDbScan) {
               // Aggregate pushdown: fold inside the container scan. No
               // rows are materialized and no channel sits between scan
               // and fold, so an aggregate costs exactly one pass over
               // the (pruned) containers -- and the federated fan-out's
               // N concurrent sub-aggregates stop ping-ponging batches.
+              const bool personal = scan->type == PlanNodeType::kMyDbScan;
+              const catalog::ObjectStore* scan_store =
+                  personal ? scan->mydb_store : store_;
+              const auto* filter = personal ? nullptr : container_filter;
               runtime.threads.Spawn([this, node, scan, out, ctx,
-                                     container_filter] {
+                                     scan_store, filter] {
                 std::vector<const Container*> containers =
-                    CollectScanContainers(scan, store_, container_filter);
+                    CollectScanContainers(scan, scan_store, filter);
                 const bool need_value = !scan->projection.empty();
                 const std::string* attr =
                     need_value ? &scan->projection[0] : nullptr;
@@ -613,7 +653,10 @@ Result<ExecStats> Executor::RunTree(
                 AggFold total;
                 std::atomic<uint64_t> salt{0};
                 pool_->ParallelFor(containers.size(), [&](size_t ci) {
-                  if (out->cancelled() || ctx->has_error()) return;
+                  if (out->cancelled() || ctx->Cancelled() ||
+                      ctx->has_error()) {
+                    return;
+                  }
                   const Container* c = containers[ci];
                   ctx->containers_scanned.fetch_add(1);
                   Rng rng(scan->sample_seed + salt.fetch_add(1) * 7919 +

@@ -112,11 +112,15 @@ class Executor {
   /// shard assignment (a shard holds replica containers it is not
   /// currently serving). `join_ghosts`, when non-null, feeds the tree's
   /// pair-join leaf the boundary objects neighboring shards shipped
-  /// here.
+  /// here. `cancel`, when non-null, is a cooperative cancel flag: the
+  /// scan and join loops poll it per object/pair, and a raised flag
+  /// aborts the tree with a Cancelled status (the batch-workbench job
+  /// cancellation path).
   Result<ExecStats> RunTree(
       const PlanNode* root, const std::function<bool(RowBatch&&)>& on_batch,
       const std::unordered_set<uint64_t>* container_filter = nullptr,
-      const PairJoinGhosts* join_ghosts = nullptr);
+      const PairJoinGhosts* join_ghosts = nullptr,
+      const std::atomic<bool>* cancel = nullptr);
 
   ThreadPool* pool() { return pool_; }
 

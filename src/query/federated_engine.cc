@@ -56,6 +56,29 @@ const PlanNode* FindPairJoinNode(const PlanNode* root) {
   return n;
 }
 
+/// True when any leaf of the tree is a node of type `type` (set-operation
+/// trees have leaves on both sides).
+bool AnyNodeOfType(const PlanNode* node, PlanNodeType type) {
+  if (node == nullptr) return false;
+  if (node->type == type) return true;
+  for (const auto& c : node->children) {
+    if (AnyNodeOfType(c.get(), type)) return true;
+  }
+  return false;
+}
+
+/// True when the tree reads the tag table somewhere.
+bool AnyTagScan(const PlanNode* node) {
+  if (node == nullptr) return false;
+  if (node->type == PlanNodeType::kScan && node->table == TableRef::kTag) {
+    return true;
+  }
+  for (const auto& c : node->children) {
+    if (AnyTagScan(c.get())) return true;
+  }
+  return false;
+}
+
 /// Phase A of the federated neighbor join: each shard walks its
 /// assigned containers and, for every phase-1 survivor whose separation
 /// cap (htm::Cover at the container level) reaches a container another
@@ -64,7 +87,8 @@ const PlanNode* FindPairJoinNode(const PlanNode* root) {
 /// lower-id member it owns: the partner of any in-radius pair is
 /// guaranteed present, locally or as a ghost.
 Result<std::vector<PairJoinGhosts>> HarvestJoinGhosts(
-    const std::vector<Shard>& shards, const PlanNode* join) {
+    const std::vector<Shard>& shards, const PlanNode* join,
+    const std::atomic<bool>* cancel) {
   const size_t n = shards.size();
   std::vector<PairJoinGhosts> ghosts(n);
   if (n <= 1) return ghosts;
@@ -99,7 +123,7 @@ Result<std::vector<PairJoinGhosts>> HarvestJoinGhosts(
   ThreadGroup threads;
   for (size_t i = 0; i < n; ++i) {
     threads.Spawn([&shards, &owner, &staged, &errors, &region_raws, join,
-                   sep_deg, i] {
+                   sep_deg, cancel, i] {
       const Shard& shard = shards[i];
       int level = shard.store->cluster_level();
       std::vector<size_t> dests;
@@ -109,6 +133,11 @@ Result<std::vector<PairJoinGhosts>> HarvestJoinGhosts(
         }
         if (join->has_region && region_raws.count(raw) == 0) continue;
         for (const catalog::PhotoObj& o : c.objects) {
+          if (cancel != nullptr &&
+              cancel->load(std::memory_order_relaxed)) {
+            errors[i] = Status::Cancelled("query cancelled");
+            return;
+          }
           if (join->pair_select) {
             RowAccessor acc{[&o](const std::string& name) {
                               return catalog::GetAttribute(o, name);
@@ -208,6 +237,8 @@ struct FederatedQueryEngine::Prepared {
   ParsedQuery parsed;
   std::vector<Shard> shards;
   Plan plan;
+  /// The plan reads a personal mydb store: run locally, not fanned out.
+  bool mydb = false;
 };
 
 FederatedQueryEngine::FederatedQueryEngine(std::vector<Shard> shards,
@@ -232,7 +263,7 @@ std::vector<Shard> FederatedQueryEngine::SnapshotShards() const {
 }
 
 Result<FederatedQueryEngine::Prepared> FederatedQueryEngine::Prepare(
-    const std::string& sql) const {
+    const std::string& sql, const ExecContext& ctx) const {
   Prepared prep;
   auto parsed = Parse(sql);
   if (!parsed.ok()) return parsed.status();
@@ -243,11 +274,32 @@ Result<FederatedQueryEngine::Prepared> FederatedQueryEngine::Prepare(
   }
   // One plan for the whole fleet: planner decisions (tag selection,
   // spatial extraction) are store-independent, so every shard executes
-  // this same tree against its own containers.
-  auto plan =
-      BuildPlan(prep.parsed, *prep.shards[0].store, options_.planner);
+  // this same tree against its own containers. The job context may bind
+  // a per-user mydb namespace on top of the engine's planner options.
+  PlannerOptions planner = options_.planner;
+  if (ctx.mydb) planner.mydb = ctx.mydb;
+  auto plan = BuildPlan(prep.parsed, *prep.shards[0].store, planner);
   if (!plan.ok()) return plan.status();
   prep.plan = std::move(plan).value();
+  prep.mydb = AnyNodeOfType(prep.plan.root.get(), PlanNodeType::kMyDbScan);
+
+  // A table no live shard can serve must be a clean refusal, not a
+  // silently empty result: an explicit FROM tag against a fleet whose
+  // stores were built without the tag partition scans nothing.
+  if (!prep.mydb && AnyTagScan(prep.plan.root.get())) {
+    bool tag_on_some_shard = false;
+    for (const Shard& shard : prep.shards) {
+      if (shard.store->options().build_tags) {
+        tag_on_some_shard = true;
+        break;
+      }
+    }
+    if (!tag_on_some_shard) {
+      return Status::NotFound(
+          "table 'tag' exists on no live shard (fleet stores hold no tag "
+          "partition)");
+    }
+  }
   return prep;
 }
 
@@ -255,7 +307,8 @@ Result<ExecStats> FederatedQueryEngine::RunFederated(
     const std::vector<Shard>& shards, const PlanNode* root, bool ordered,
     size_t order_col, bool order_desc, int64_t global_limit,
     const std::function<bool(RowBatch&&)>& sink,
-    const std::vector<PairJoinGhosts>* join_ghosts, bool dedupe_pairs) {
+    const std::vector<PairJoinGhosts>* join_ghosts, bool dedupe_pairs,
+    const std::atomic<bool>* cancel) {
   auto t0 = std::chrono::steady_clock::now();
   const size_t n = shards.size();
 
@@ -283,11 +336,11 @@ Result<ExecStats> FederatedQueryEngine::RunFederated(
     Result<ExecStats>* slot = &shard_stats[i];
     const PairJoinGhosts* ghosts =
         join_ghosts != nullptr ? &(*join_ghosts)[i] : nullptr;
-    threads.Spawn([this, root, shard, ch, slot, ghosts] {
+    threads.Spawn([this, root, shard, ch, slot, ghosts, cancel] {
       Executor executor(shard.store, options_.executor, &pool_);
       *slot = executor.RunTree(
           root, [&ch](RowBatch&& batch) { return ch->Push(std::move(batch)); },
-          shard.assigned ? shard.assigned.get() : nullptr, ghosts);
+          shard.assigned ? shard.assigned.get() : nullptr, ghosts, cancel);
       ch->CloseWriter();
     });
   }
@@ -400,7 +453,8 @@ Result<ExecStats> FederatedQueryEngine::RunFederated(
 
 Result<ExecStats> FederatedQueryEngine::RunJoinFederated(
     Prepared& prep, const PlanNode* join,
-    const std::function<bool(RowBatch&&)>& sink) {
+    const std::function<bool(RowBatch&&)>& sink,
+    const std::atomic<bool>* cancel) {
   auto t0 = std::chrono::steady_clock::now();
 
   // An aggregate over the join folds at the federation level (the pair
@@ -416,7 +470,7 @@ Result<ExecStats> FederatedQueryEngine::RunJoinFederated(
 
   // Phase A: boundary ghost exchange between the shards. Its time is
   // part of the join (it delays every row), so fold it into the stats.
-  auto ghosts = HarvestJoinGhosts(prep.shards, join);
+  auto ghosts = HarvestJoinGhosts(prep.shards, join, cancel);
   if (!ghosts.ok()) return ghosts.status();
   double harvest_seconds = SecondsSince(t0);
 
@@ -425,7 +479,7 @@ Result<ExecStats> FederatedQueryEngine::RunJoinFederated(
   if (agg == nullptr) {
     auto st = RunFederated(prep.shards, root, chain.ordered,
                            chain.order_col, chain.order_desc, chain.limit,
-                           sink, &*ghosts, /*dedupe_pairs=*/true);
+                           sink, &*ghosts, /*dedupe_pairs=*/true, cancel);
     if (!st.ok()) return st.status();
     ExecStats stats = *st;
     stats.seconds_total += harvest_seconds;
@@ -442,7 +496,7 @@ Result<ExecStats> FederatedQueryEngine::RunJoinFederated(
                            }
                            return true;
                          },
-                         &*ghosts, /*dedupe_pairs=*/true);
+                         &*ghosts, /*dedupe_pairs=*/true, cancel);
   if (!st.ok()) return st.status();
   ExecStats stats = *st;
   RowBatch batch;
@@ -455,7 +509,8 @@ Result<ExecStats> FederatedQueryEngine::RunJoinFederated(
 }
 
 Result<ExecStats> FederatedQueryEngine::RunSetWithBranchLimits(
-    Prepared& prep, const std::function<bool(RowBatch&&)>& sink) {
+    Prepared& prep, const std::function<bool(RowBatch&&)>& sink,
+    const std::atomic<bool>* cancel) {
   auto t0 = std::chrono::steady_clock::now();
   ExecStats stats;
 
@@ -486,7 +541,8 @@ Result<ExecStats> FederatedQueryEngine::RunSetWithBranchLimits(
                                rows->push_back(std::move(r));
                              }
                              return true;
-                           });
+                           },
+                           nullptr, false, cancel);
     if (!st.ok()) return st.status();
     stats.containers_scanned += st->containers_scanned;
     stats.objects_examined += st->objects_examined;
@@ -550,13 +606,28 @@ Result<ExecStats> FederatedQueryEngine::RunSetWithBranchLimits(
   return stats;
 }
 
+Result<ExecStats> FederatedQueryEngine::RunMyDbLocal(
+    Prepared& prep, const std::function<bool(RowBatch&&)>& sink,
+    const std::atomic<bool>* cancel) {
+  // A personal store is never sharded: the whole tree (including set
+  // operations, branch limits, and aggregates) runs on one local
+  // executor with single-store semantics, sharing the fleet's scan pool.
+  Executor executor(prep.shards[0].store, options_.executor, &pool_);
+  return executor.RunTree(prep.plan.root.get(), sink, nullptr, nullptr,
+                          cancel);
+}
+
 Result<ExecStats> FederatedQueryEngine::RunPrepared(
-    Prepared& prep, const std::function<bool(RowBatch&&)>& sink) {
+    Prepared& prep, const std::function<bool(RowBatch&&)>& sink,
+    const std::atomic<bool>* cancel) {
+  if (prep.mydb) {
+    return RunMyDbLocal(prep, sink, cancel);
+  }
   if (const PlanNode* join = FindPairJoinNode(prep.plan.root.get())) {
-    return RunJoinFederated(prep, join, sink);
+    return RunJoinFederated(prep, join, sink, cancel);
   }
   if (AnyBranchLimit(prep.parsed)) {
-    return RunSetWithBranchLimits(prep, sink);
+    return RunSetWithBranchLimits(prep, sink, cancel);
   }
 
   if (prep.plan.is_aggregate) {
@@ -582,7 +653,8 @@ Result<ExecStats> FederatedQueryEngine::RunPrepared(
                                  }
                                }
                                return true;
-                             });
+                             },
+                             nullptr, false, cancel);
       if (!st.ok()) return st.status();
       stats = *st;
     } else {
@@ -602,7 +674,8 @@ Result<ExecStats> FederatedQueryEngine::RunPrepared(
                                  fold.Merge(part);
                                }
                                return true;
-                             });
+                             },
+                             nullptr, false, cancel);
       agg->agg_partial = false;
       if (!st.ok()) return st.status();
       stats = *st;
@@ -619,32 +692,49 @@ Result<ExecStats> FederatedQueryEngine::RunPrepared(
 
   ChainInfo chain = AnalyzeChain(prep.plan.root.get());
   return RunFederated(prep.shards, prep.plan.root.get(), chain.ordered,
-                      chain.order_col, chain.order_desc, chain.limit, sink);
+                      chain.order_col, chain.order_desc, chain.limit, sink,
+                      nullptr, false, cancel);
 }
 
-Result<QueryResult> FederatedQueryEngine::Execute(const std::string& sql) {
-  auto prep = Prepare(sql);
+Result<QueryResult> FederatedQueryEngine::Execute(const std::string& sql,
+                                                  const ExecContext& ctx) {
+  auto prep = Prepare(sql, ctx);
   if (!prep.ok()) return prep.status();
+  if (!prep->parsed.first.into_mydb.empty() && !ctx.into_sink) {
+    return Status::InvalidArgument(
+        "INTO mydb." + prep->parsed.first.into_mydb +
+        " must run through the batch workbench; the engine alone would "
+        "discard the materialization");
+  }
 
   QueryResult result;
   result.columns = prep->plan.columns;
   result.is_aggregate = prep->plan.is_aggregate;
   result.used_tag_store = prep->plan.used_tag_store;
   result.used_spatial_index = prep->plan.used_spatial_index;
-  // Fleet-wide prediction: the per-shard density-map slices summed.
-  for (const ShardPrediction& p : PredictShards(prep->shards, prep->plan)) {
-    result.prediction.expected_objects += p.expected_objects;
-    result.prediction.min_objects += p.min_objects;
-    result.prediction.max_objects += p.max_objects;
-    result.prediction.bytes_to_scan += p.bytes_to_scan;
+  if (prep->mydb) {
+    // Personal store: the plan-level density-map estimate IS the total.
+    result.prediction = prep->plan.prediction;
+  } else {
+    // Fleet-wide prediction: the per-shard density-map slices summed.
+    for (const ShardPrediction& p :
+         PredictShards(prep->shards, prep->plan)) {
+      result.prediction.expected_objects += p.expected_objects;
+      result.prediction.min_objects += p.min_objects;
+      result.prediction.max_objects += p.max_objects;
+      result.prediction.bytes_to_scan += p.bytes_to_scan;
+    }
   }
 
-  auto stats = RunPrepared(*prep, [&result](RowBatch&& batch) {
-    result.rows.insert(result.rows.end(),
-                       std::make_move_iterator(batch.begin()),
-                       std::make_move_iterator(batch.end()));
-    return true;
-  });
+  auto stats = RunPrepared(*prep,
+                           [&result](RowBatch&& batch) {
+                             result.rows.insert(
+                                 result.rows.end(),
+                                 std::make_move_iterator(batch.begin()),
+                                 std::make_move_iterator(batch.end()));
+                             return true;
+                           },
+                           ctx.cancel);
   if (!stats.ok()) return stats.status();
   result.exec = *stats;
   if (result.is_aggregate && !result.rows.empty() &&
@@ -656,20 +746,59 @@ Result<QueryResult> FederatedQueryEngine::Execute(const std::string& sql) {
 
 Result<ExecStats> FederatedQueryEngine::ExecuteStreaming(
     const std::string& sql,
-    const std::function<bool(const RowBatch&)>& on_batch) {
-  auto prep = Prepare(sql);
+    const std::function<bool(const RowBatch&)>& on_batch,
+    const ExecContext& ctx) {
+  auto prep = Prepare(sql, ctx);
   if (!prep.ok()) return prep.status();
+  if (!prep->parsed.first.into_mydb.empty() && !ctx.into_sink) {
+    return Status::InvalidArgument(
+        "INTO mydb." + prep->parsed.first.into_mydb +
+        " must run through the batch workbench; the engine alone would "
+        "discard the materialization");
+  }
   return RunPrepared(
-      *prep, [&on_batch](RowBatch&& batch) { return on_batch(batch); });
+      *prep, [&on_batch](RowBatch&& batch) { return on_batch(batch); },
+      ctx.cancel);
 }
 
-Result<std::string> FederatedQueryEngine::Explain(const std::string& sql) {
-  auto prep = Prepare(sql);
+Result<CostEstimate> FederatedQueryEngine::EstimateCost(
+    const std::string& sql, const ExecContext& ctx) {
+  auto prep = Prepare(sql, ctx);
+  if (!prep.ok()) return prep.status();
+  CostEstimate est;
+  est.into_mydb = prep->parsed.first.into_mydb;
+  if (prep->mydb) {
+    est.personal_store = true;
+    est.bytes_to_scan = prep->plan.prediction.bytes_to_scan;
+    est.expected_objects = prep->plan.prediction.expected_objects;
+    return est;
+  }
+  for (const ShardPrediction& p : PredictShards(prep->shards, prep->plan)) {
+    est.bytes_to_scan += p.bytes_to_scan;
+    est.bytes_shipped += p.bytes_shipped;
+    est.expected_objects += p.expected_objects;
+  }
+  return est;
+}
+
+Result<std::string> FederatedQueryEngine::Explain(const std::string& sql,
+                                                  const ExecContext& ctx) {
+  auto prep = Prepare(sql, ctx);
   if (!prep.ok()) return prep.status();
 
   std::string out = prep->plan.Explain();
-  auto preds = PredictShards(prep->shards, prep->plan);
   char buf[192];
+  if (prep->mydb) {
+    std::snprintf(buf, sizeof(buf),
+                  "personal store: mydb (no fleet fan-out)\n"
+                  "prediction: %.0f objects expected, %llu bytes to scan\n",
+                  prep->plan.prediction.expected_objects,
+                  static_cast<unsigned long long>(
+                      prep->plan.prediction.bytes_to_scan));
+    out += buf;
+    return out;
+  }
+  auto preds = PredictShards(prep->shards, prep->plan);
   std::snprintf(buf, sizeof(buf), "federation: %zu live shards\n",
                 prep->shards.size());
   out += buf;
@@ -730,6 +859,8 @@ std::vector<ShardPrediction> PredictShards(const std::vector<Shard>& shards,
                                                                : nullptr;
 
   std::vector<ShardPrediction> out;
+  // A mydb plan reads a personal store, not the fleet: no shard slices.
+  if (leaf != nullptr && leaf->type == PlanNodeType::kMyDbScan) return out;
   out.reserve(shards.size());
   for (const Shard& shard : shards) {
     ShardPrediction p;

@@ -14,6 +14,7 @@
 #ifndef SDSS_QUERY_FEDERATED_ENGINE_H_
 #define SDSS_QUERY_FEDERATED_ENGINE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -58,6 +59,41 @@ struct ShardPrediction {
   uint64_t bytes_shipped = 0;
 };
 
+/// Job-scoped execution context: what a single query run carries beyond
+/// its SQL. The batch workbench passes one per job -- the job's
+/// cooperative cancel flag and the submitting user's personal-store
+/// namespace -- without perturbing the engine's shared configuration.
+struct ExecContext {
+  /// Cooperative cancel flag, polled inside every shard executor's scan
+  /// and join loops; raising it aborts the run with a Cancelled status.
+  const std::atomic<bool>* cancel = nullptr;
+  /// Per-user mydb namespace; overrides PlannerOptions::mydb when set.
+  MyDbResolver mydb;
+  /// Set only by a caller that will materialize the INTO target itself
+  /// (the workbench's ExecuteInto sink). Left false, Execute /
+  /// ExecuteStreaming refuse `SELECT ... INTO mydb.<name>` queries --
+  /// the engine alone would run the bare select and silently store
+  /// nothing. Explain and EstimateCost always accept INTO (they only
+  /// describe / price the select).
+  bool into_sink = false;
+};
+
+/// The admission-relevant slice of the fleet-wide Explain prediction:
+/// what a query would cost before running it. The workbench's
+/// cost-based lane choice keys off `TotalBytes()`.
+struct CostEstimate {
+  uint64_t bytes_to_scan = 0;   ///< Summed over all live shards.
+  uint64_t bytes_shipped = 0;   ///< Predicted join ghost traffic.
+  double expected_objects = 0.0;
+  /// FROM mydb: the plan reads a personal store, not the fleet.
+  bool personal_store = false;
+  /// INTO mydb.<name> target parsed from the query ("" = plain select),
+  /// surfaced so admission needs no second parse.
+  std::string into_mydb;
+
+  uint64_t TotalBytes() const { return bytes_to_scan + bytes_shipped; }
+};
+
 /// Parses, plans, and executes queries against a fleet of shards.
 ///
 /// Thread-safety: Execute / ExecuteStreaming / Explain may be called
@@ -76,17 +112,27 @@ class FederatedQueryEngine {
                                 Options options = {});
 
   /// Runs `sql` across the fleet and materializes the merged result.
-  Result<QueryResult> Execute(const std::string& sql);
+  /// FROM mydb.<name> plans run on one local executor (a personal store
+  /// is never sharded) but still share the engine's scan pool.
+  Result<QueryResult> Execute(const std::string& sql,
+                              const ExecContext& ctx = {});
 
   /// Streaming execution: `on_batch` sees merged batches (globally
   /// ordered when the query sorts, ASAP arrival order otherwise) and may
   /// return false to cancel the whole fan-out.
   Result<ExecStats> ExecuteStreaming(
       const std::string& sql,
-      const std::function<bool(const RowBatch&)>& on_batch);
+      const std::function<bool(const RowBatch&)>& on_batch,
+      const ExecContext& ctx = {});
 
   /// The plan explanation plus per-shard container/byte predictions.
-  Result<std::string> Explain(const std::string& sql);
+  Result<std::string> Explain(const std::string& sql,
+                              const ExecContext& ctx = {});
+
+  /// Plans `sql` and returns the fleet-wide cost prediction without
+  /// executing -- the workbench's admission estimate.
+  Result<CostEstimate> EstimateCost(const std::string& sql,
+                                    const ExecContext& ctx = {});
 
   /// Failover hook: replaces the routed shard set (e.g. after
   /// archive::ShardedStore::MarkServerDown + LiveShards()).
@@ -99,20 +145,28 @@ class FederatedQueryEngine {
   struct Prepared;
 
   std::vector<Shard> SnapshotShards() const;
-  Result<Prepared> Prepare(const std::string& sql) const;
+  Result<Prepared> Prepare(const std::string& sql,
+                           const ExecContext& ctx = {}) const;
   Result<ExecStats> RunFederated(
       const std::vector<Shard>& shards, const PlanNode* root, bool ordered,
       size_t order_col, bool order_desc, int64_t global_limit,
       const std::function<bool(RowBatch&&)>& sink,
       const std::vector<PairJoinGhosts>* join_ghosts = nullptr,
-      bool dedupe_pairs = false);
+      bool dedupe_pairs = false,
+      const std::atomic<bool>* cancel = nullptr);
   Result<ExecStats> RunPrepared(
-      Prepared& prep, const std::function<bool(RowBatch&&)>& sink);
+      Prepared& prep, const std::function<bool(RowBatch&&)>& sink,
+      const std::atomic<bool>* cancel = nullptr);
   Result<ExecStats> RunSetWithBranchLimits(
-      Prepared& prep, const std::function<bool(RowBatch&&)>& sink);
+      Prepared& prep, const std::function<bool(RowBatch&&)>& sink,
+      const std::atomic<bool>* cancel);
   Result<ExecStats> RunJoinFederated(
       Prepared& prep, const PlanNode* join,
-      const std::function<bool(RowBatch&&)>& sink);
+      const std::function<bool(RowBatch&&)>& sink,
+      const std::atomic<bool>* cancel);
+  Result<ExecStats> RunMyDbLocal(
+      Prepared& prep, const std::function<bool(RowBatch&&)>& sink,
+      const std::atomic<bool>* cancel);
 
   Options options_;
   ThreadPool pool_;  ///< Shared scan pool for every shard sub-executor.

@@ -201,6 +201,13 @@ class Parser {
       q.rest.emplace_back(op, std::move(next).value());
     }
     if (Cur().kind != Tok::kEnd) return Err("trailing tokens");
+    for (const auto& [op, select] : q.rest) {
+      (void)op;
+      if (!select.into_mydb.empty()) {
+        return Status::InvalidArgument(
+            "INTO is only allowed on the first SELECT of a query");
+      }
+    }
     return q;
   }
 
@@ -218,6 +225,20 @@ class Parser {
     if (Cur().kind != kind) return Err(std::string("expected ") + what);
     Advance();
     return Status::OK();
+  }
+
+  // "mydb.<name>" lexes as one qualified identifier.
+  bool IsMyDbRef() const {
+    return Cur().kind == Tok::kIdent && Cur().text.rfind("mydb.", 0) == 0;
+  }
+
+  /// Consumes a mydb.<name> reference and returns the bare <name>.
+  Result<std::string> ParseMyDbRef() {
+    if (!IsMyDbRef()) return Err("expected mydb.<name>");
+    std::string name = Cur().text.substr(5);
+    if (name.empty()) return Err("empty mydb table name");
+    Advance();
+    return name;
   }
 
   Result<SelectQuery> ParseSelect() {
@@ -264,16 +285,38 @@ class Parser {
       }
     }
 
+    if (IsKeyword("into")) {
+      Advance();
+      auto name = ParseMyDbRef();
+      if (!name.ok()) return name.status();
+      if (!s.projection.empty() || s.agg != AggFunc::kNone) {
+        return Err("INTO mydb requires SELECT *");
+      }
+      s.into_mydb = std::move(name).value();
+    }
+
     if (!IsKeyword("from")) return Err("expected FROM");
     Advance();
     if (IsKeyword("photo") || IsKeyword("photoobj")) {
       s.table = TableRef::kPhoto;
+      Advance();
     } else if (IsKeyword("tag")) {
+      if (!s.into_mydb.empty()) {
+        return Err("INTO mydb requires full photo objects, not TAG rows");
+      }
       s.table = TableRef::kTag;
+      Advance();
+    } else if (IsMyDbRef()) {
+      auto name = ParseMyDbRef();
+      if (!name.ok()) return name.status();
+      s.table = TableRef::kMyDb;
+      s.mydb_name = std::move(name).value();
+      if (!s.into_mydb.empty() && s.mydb_name == s.into_mydb) {
+        return Err("INTO target and FROM table are the same mydb name");
+      }
     } else {
-      return Err("expected table PHOTO or TAG");
+      return Err("expected table PHOTO, TAG, or mydb.<name>");
     }
-    Advance();
     if (IsKeyword("as")) {
       Advance();
       if (Cur().kind != Tok::kIdent) return Err("expected alias after AS");
@@ -283,6 +326,9 @@ class Parser {
 
     if (IsKeyword("join")) {
       Advance();
+      if (!s.into_mydb.empty()) {
+        return Err("INTO mydb cannot store join pairs");
+      }
       if (s.table != TableRef::kPhoto) {
         return Err("pair join requires the PHOTO table");
       }

@@ -6,12 +6,25 @@
 // Grammar (case-insensitive keywords):
 //
 //   query       := select ( (UNION | INTERSECT | EXCEPT) select )*
-//   select      := SELECT proj FROM table [AS ident] [join] [WHERE expr]
+//   select      := SELECT proj [INTO mydb_ref] FROM table [AS ident]
+//                  [join] [WHERE expr]
 //                  [ORDER BY ident [ASC|DESC]] [LIMIT int] [SAMPLE frac]
 //   join        := JOIN table AS ident WITHIN number (ARCSEC|ARCMIN|DEG)
 //   proj        := '*' | agg '(' (ident | '*') ')' | ident (',' ident)*
 //   agg         := COUNT | MIN | MAX | AVG | SUM
-//   table       := PHOTO | PHOTOOBJ | TAG
+//   table       := PHOTO | PHOTOOBJ | TAG | mydb_ref
+//   mydb_ref    := MYDB '.' ident
+//
+// MyDB (the personal result store of the batch workbench):
+//   SELECT * INTO mydb.<name> FROM ... materializes the result set as a
+//   named per-user ObjectStore container; a later query may read it back
+//   with FROM mydb.<name>, so multi-step mining workflows never re-scan
+//   (or re-ship) the base data. INTO is only allowed on the first SELECT
+//   of a query, requires `*` as the projection (the stored objects keep
+//   every queryable attribute), and cannot be combined with JOIN or an
+//   aggregate. FROM mydb.<name> supports the full select grammar except
+//   JOIN, and may not be mixed with fleet tables (PHOTO/TAG) inside one
+//   set-operation query.
 //   expr        := boolean expression over attributes, numbers, + - * /,
 //                  comparisons, AND/OR/NOT, and the spatial atoms:
 //                    CIRCLE([frame,] lon, lat, radius_deg)
@@ -49,8 +62,9 @@
 
 namespace sdss::query {
 
-/// Which physical table a select reads.
-enum class TableRef { kPhoto, kTag };
+/// Which physical table a select reads. kMyDb is a named personal
+/// result store (resolved at plan time through PlannerOptions::mydb).
+enum class TableRef { kPhoto, kTag, kMyDb };
 
 /// Aggregate functions (at most one per select).
 enum class AggFunc { kNone, kCount, kMin, kMax, kAvg, kSum };
@@ -69,6 +83,11 @@ struct JoinClause {
 /// One SELECT block.
 struct SelectQuery {
   TableRef table = TableRef::kPhoto;
+  std::string mydb_name;  ///< Table name when table == kMyDb.
+  /// INTO target: materialize the result as mydb.<into_mydb> (empty =
+  /// plain select). Consumed by the workbench scheduler; engines execute
+  /// the select part and ignore it.
+  std::string into_mydb;
   JoinClause join;
   /// Projected attribute names; empty with agg == kNone means SELECT *.
   std::vector<std::string> projection;

@@ -64,6 +64,8 @@ const char* PlanNodeTypeName(PlanNodeType t) {
   switch (t) {
     case PlanNodeType::kScan:
       return "SCAN";
+    case PlanNodeType::kMyDbScan:
+      return "MYDB_SCAN";
     case PlanNodeType::kPairJoin:
       return "PAIR_JOIN";
     case PlanNodeType::kUnion:
@@ -87,7 +89,10 @@ std::string PlanNode::Explain(int indent) const {
   std::string out = pad + PlanNodeTypeName(type);
   switch (type) {
     case PlanNodeType::kScan:
-      out += table == TableRef::kTag ? " tag" : " photo";
+    case PlanNodeType::kMyDbScan:
+      out += type == PlanNodeType::kMyDbScan
+                 ? " mydb." + mydb_name
+                 : (table == TableRef::kTag ? " tag" : " photo");
       if (has_region) out += " [spatially pruned]";
       if (predicate) out += " where " + predicate->ToString();
       if (sample < 1.0) {
@@ -328,6 +333,7 @@ Result<std::unique_ptr<PlanNode>> PlanJoinSelect(
 
 // Builds the scan (+sort +limit) subtree for one select block.
 Result<std::unique_ptr<PlanNode>> PlanSelect(const SelectQuery& s,
+                                             const catalog::ObjectStore& store,
                                              const PlannerOptions& options,
                                              bool* used_tag,
                                              bool* used_index,
@@ -340,7 +346,12 @@ Result<std::unique_ptr<PlanNode>> PlanSelect(const SelectQuery& s,
   std::vector<std::string> attrs = ReferencedAttrs(s);
 
   TableRef table = s.table;
-  if (options.auto_tag_selection && table == TableRef::kPhoto) {
+  // Auto-selecting the tag partition is only sound when the store
+  // actually maintains one (otherwise the rewrite would scan nothing)
+  // and the select is not an INTO materialization (the MyDB sink needs
+  // full photo rows, never the 10-column tag projection).
+  if (options.auto_tag_selection && table == TableRef::kPhoto &&
+      store.options().build_tags && s.into_mydb.empty()) {
     bool all_tag = true;
     for (const std::string& a : attrs) {
       if (!catalog::IsTagAttribute(a)) {
@@ -383,6 +394,21 @@ Result<std::unique_ptr<PlanNode>> PlanSelect(const SelectQuery& s,
   auto scan = std::make_unique<PlanNode>();
   scan->type = PlanNodeType::kScan;
   scan->table = table;
+  if (s.table == TableRef::kMyDb) {
+    // Resolve the personal store now: the plan embeds the pointer, so
+    // execution needs no name lookup (and a bad name fails at plan time).
+    if (!options.mydb) {
+      return Status::InvalidArgument(
+          "no mydb catalog configured; cannot resolve mydb." + s.mydb_name);
+    }
+    const catalog::ObjectStore* personal = options.mydb(s.mydb_name);
+    if (personal == nullptr) {
+      return Status::NotFound("mydb." + s.mydb_name + " does not exist");
+    }
+    scan->type = PlanNodeType::kMyDbScan;
+    scan->mydb_store = personal;
+    scan->mydb_name = s.mydb_name;
+  }
   scan->predicate = s.where;
   scan->projection = projection;
   scan->sample = s.sample;
@@ -424,8 +450,16 @@ Result<Plan> BuildPlan(const ParsedQuery& query,
 
   if (query.IsSetQuery()) {
     bool any_join = query.first.join.present;
+    bool first_mydb = query.first.table == TableRef::kMyDb;
     for (const auto& [op, select] : query.rest) {
       any_join = any_join || select.join.present;
+      if ((select.table == TableRef::kMyDb) != first_mydb) {
+        // A mydb store is personal (unsharded): fanning a mixed tree out
+        // to N shards would scan the mydb branch N times.
+        return Status::InvalidArgument(
+            "mydb tables cannot be mixed with fleet tables in set "
+            "operations");
+      }
     }
     if (any_join) {
       return Status::InvalidArgument(
@@ -435,8 +469,8 @@ Result<Plan> BuildPlan(const ParsedQuery& query,
 
   bool used_tag = false, used_index = false;
   std::vector<std::string> cols;
-  auto first = PlanSelect(query.first, options, &used_tag, &used_index,
-                          &cols);
+  auto first = PlanSelect(query.first, store, options, &used_tag,
+                          &used_index, &cols);
   if (!first.ok()) return first.status();
   plan.columns = cols;
   plan.used_tag_store = used_tag;
@@ -446,7 +480,7 @@ Result<Plan> BuildPlan(const ParsedQuery& query,
   for (const auto& [op, select] : query.rest) {
     bool tag2 = false, index2 = false;
     std::vector<std::string> cols2;
-    auto sub = PlanSelect(select, options, &tag2, &index2, &cols2);
+    auto sub = PlanSelect(select, store, options, &tag2, &index2, &cols2);
     if (!sub.ok()) return sub.status();
     if (cols2.size() != plan.columns.size()) {
       return Status::InvalidArgument(
@@ -491,13 +525,19 @@ Result<Plan> BuildPlan(const ParsedQuery& query,
   // estimate). Walk down to the leftmost leaf (scan or pair join).
   const PlanNode* scan = root.get();
   while (scan != nullptr && scan->type != PlanNodeType::kScan &&
+         scan->type != PlanNodeType::kMyDbScan &&
          scan->type != PlanNodeType::kPairJoin) {
     scan = scan->children.empty() ? nullptr : scan->children[0].get();
   }
+  // A mydb leaf predicts against its own (personal) store, not the fleet.
+  const catalog::ObjectStore& pred_store =
+      scan != nullptr && scan->type == PlanNodeType::kMyDbScan
+          ? *scan->mydb_store
+          : store;
   if (scan != nullptr && scan->has_region) {
-    plan.prediction = store.PredictRegion(scan->region);
+    plan.prediction = pred_store.PredictRegion(scan->region);
   } else {
-    catalog::StoreStats stats = store.Stats();
+    catalog::StoreStats stats = pred_store.Stats();
     plan.prediction.min_objects = 0;
     plan.prediction.max_objects = stats.object_count;
     plan.prediction.expected_objects =

@@ -20,6 +20,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -94,6 +95,7 @@ class RowChannel {
 /// and blocking node kinds, and the hash-machine neighbor join.
 enum class PlanNodeType {
   kScan,        ///< Leaf: container-pruned store scan with predicate.
+  kMyDbScan,    ///< Leaf: scan of a personal mydb result store.
   kPairJoin,    ///< Leaf: two-phase spatial hash join (PairHasher).
   kUnion,       ///< Bag union (dedup by obj_id); streams both sides ASAP.
   kIntersect,   ///< Blocking on the right side, then streams the left.
@@ -118,6 +120,15 @@ struct PlanNode {
   std::vector<std::string> projection; ///< Output column names.
   double sample = 1.0;                 ///< Bernoulli sampling fraction.
   uint64_t sample_seed = 7777;
+
+  // -- kMyDbScan -----------------------------------------------------
+  // Like kScan, but over a personal result store resolved at plan time
+  // (the store must outlive execution; MyDb keeps pointers stable until
+  // Drop). Personal stores are never sharded, so the federated engine
+  // runs these plans on one local executor and shard container filters
+  // do not apply.
+  const catalog::ObjectStore* mydb_store = nullptr;
+  std::string mydb_name;
 
   // -- kPairJoin -----------------------------------------------------
   // A leaf like kScan (it reads containers itself: the hash machine
@@ -173,6 +184,12 @@ struct Plan {
   std::string Explain() const;
 };
 
+/// Resolves a mydb table name to the personal store backing it, or null
+/// when the name is unknown. Bound per user (archive::MyDb::ResolverFor);
+/// the returned store pointer must stay valid for the plan's lifetime.
+using MyDbResolver =
+    std::function<const catalog::ObjectStore*(const std::string&)>;
+
 /// Planner options.
 struct PlannerOptions {
   /// Rewrite photo-table selects onto the tag vertical partition when
@@ -183,6 +200,12 @@ struct PlannerOptions {
   /// Extract spatial atoms into an HTM cover for container pruning. Off
   /// = full scan (the baseline of the C7 benchmark).
   bool use_spatial_index = true;
+
+  /// Personal-store catalog for FROM mydb.<name> selects. Unset = mydb
+  /// references fail with InvalidArgument. The federated engine's
+  /// ExecContext overrides this per job (each user sees their own
+  /// namespace).
+  MyDbResolver mydb;
 };
 
 /// Lowers a parsed query against a store. Fails on unknown attributes.

@@ -14,6 +14,13 @@ QueryEngine::QueryEngine(const catalog::ObjectStore* store, Options options,
 Result<QueryResult> QueryEngine::Execute(const std::string& sql) {
   auto parsed = Parse(sql);
   if (!parsed.ok()) return parsed.status();
+  if (!parsed->first.into_mydb.empty()) {
+    // The single-store engine has no materialization sink: refusing is
+    // better than running the bare select and silently storing nothing.
+    return Status::InvalidArgument(
+        "INTO mydb." + parsed->first.into_mydb +
+        " must run through the batch workbench");
+  }
   auto plan = BuildPlan(*parsed, *store_, options_.planner);
   if (!plan.ok()) return plan.status();
 
@@ -45,6 +52,11 @@ Result<ExecStats> QueryEngine::ExecuteStreaming(
     const std::function<bool(const RowBatch&)>& on_batch) {
   auto parsed = Parse(sql);
   if (!parsed.ok()) return parsed.status();
+  if (!parsed->first.into_mydb.empty()) {
+    return Status::InvalidArgument(
+        "INTO mydb." + parsed->first.into_mydb +
+        " must run through the batch workbench");
+  }
   auto plan = BuildPlan(*parsed, *store_, options_.planner);
   if (!plan.ok()) return plan.status();
   return executor_.Run(*plan, on_batch);

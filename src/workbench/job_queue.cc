@@ -1,0 +1,90 @@
+#include "workbench/job_queue.h"
+
+#include <algorithm>
+
+namespace sdss::workbench {
+
+const char* LaneName(Lane lane) {
+  switch (lane) {
+    case Lane::kQuick:
+      return "QUICK";
+    case Lane::kLong:
+      return "LONG";
+  }
+  return "?";
+}
+
+void JobQueue::Push(Lane lane, uint64_t job_id, const std::string& user) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (shutdown_) return;
+  LaneQueue(lane).push_back(Entry{job_id, user});
+  cv_.notify_all();
+}
+
+bool JobQueue::PopEligible(Lane lane, uint64_t* job_id,
+                          std::string* user) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (shutdown_) return false;
+    std::deque<Entry>& queue = LaneQueue(lane);
+    // First entry whose user is under quota; later jobs of saturated
+    // users wait behind it without blocking other users.
+    auto it = std::find_if(queue.begin(), queue.end(),
+                           [this](const Entry& e) {
+                             auto r = running_.find(e.user);
+                             return r == running_.end() ||
+                                    r->second < options_.per_user_running;
+                           });
+    if (it != queue.end()) {
+      *job_id = it->id;
+      *user = it->user;
+      ++running_[it->user];
+      queue.erase(it);
+      return true;
+    }
+    cv_.wait(lock);
+  }
+}
+
+void JobQueue::OnJobFinished(const std::string& user) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = running_.find(user);
+  if (it != running_.end() && it->second > 0 && --it->second == 0) {
+    running_.erase(it);
+  }
+  cv_.notify_all();
+}
+
+bool JobQueue::Remove(uint64_t job_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (std::deque<Entry>* queue : {&quick_, &long_}) {
+    auto it = std::find_if(queue->begin(), queue->end(),
+                           [job_id](const Entry& e) {
+                             return e.id == job_id;
+                           });
+    if (it != queue->end()) {
+      queue->erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+void JobQueue::Shutdown() {
+  std::lock_guard<std::mutex> lock(mu_);
+  shutdown_ = true;
+  cv_.notify_all();
+}
+
+size_t JobQueue::Depth(Lane lane) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lane == Lane::kQuick ? quick_.size() : long_.size();
+}
+
+size_t JobQueue::RunningFor(const std::string& user) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = running_.find(user);
+  return it == running_.end() ? 0 : it->second;
+}
+
+}  // namespace sdss::workbench

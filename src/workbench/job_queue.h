@@ -1,0 +1,88 @@
+// The batch workbench's admission queue: two lanes with per-user
+// concurrency quotas.
+//
+// The successor systems to the paper (CasJobs, "When Database Systems
+// Meet the Grid") tame community traffic by never running long mining
+// queries on the interactive path: every submission is priced first and
+// admitted to a QUICK or LONG lane, each drained by its own bounded
+// worker set, so a full-archive scan cannot starve a cone search. The
+// per-user quota is enforced at dequeue time: a job whose owner already
+// runs their share stays queued (FIFO among eligible jobs) until one of
+// the owner's jobs finishes -- fairness costs no rejections.
+
+#ifndef SDSS_WORKBENCH_JOB_QUEUE_H_
+#define SDSS_WORKBENCH_JOB_QUEUE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace sdss::workbench {
+
+/// Admission lanes (the cost-based split of the scheduler).
+enum class Lane { kQuick, kLong };
+
+const char* LaneName(Lane lane);
+
+/// Thread-safe two-lane FIFO with quota-aware dequeue.
+///
+/// A popped job occupies one of its user's running slots until
+/// OnJobFinished releases it; Remove takes a still-queued job out (the
+/// cancel-while-queued path) without ever having consumed a slot.
+class JobQueue {
+ public:
+  struct Options {
+    /// Concurrent running jobs allowed per user across both lanes.
+    size_t per_user_running = 1;
+  };
+
+  JobQueue() : JobQueue(Options()) {}
+  explicit JobQueue(Options options) : options_(options) {}
+
+  /// Enqueues a job at the back of its lane.
+  void Push(Lane lane, uint64_t job_id, const std::string& user);
+
+  /// Blocks until the lane holds a job whose user is under quota (or
+  /// Shutdown). On success fills the outputs, consumes one running slot
+  /// of that user, and returns true; returns false on shutdown.
+  bool PopEligible(Lane lane, uint64_t* job_id, std::string* user);
+
+  /// Releases the running slot taken by PopEligible.
+  void OnJobFinished(const std::string& user);
+
+  /// Removes a still-queued job from either lane. False if it was
+  /// already popped (or never queued).
+  bool Remove(uint64_t job_id);
+
+  /// Wakes all blocked PopEligible calls with `false`; Push becomes a
+  /// no-op.
+  void Shutdown();
+
+  size_t Depth(Lane lane) const;
+  size_t RunningFor(const std::string& user) const;
+
+ private:
+  struct Entry {
+    uint64_t id = 0;
+    std::string user;
+  };
+
+  std::deque<Entry>& LaneQueue(Lane lane) {
+    return lane == Lane::kQuick ? quick_ : long_;
+  }
+
+  Options options_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Entry> quick_;
+  std::deque<Entry> long_;
+  std::map<std::string, size_t> running_;
+  bool shutdown_ = false;
+};
+
+}  // namespace sdss::workbench
+
+#endif  // SDSS_WORKBENCH_JOB_QUEUE_H_

@@ -1,0 +1,350 @@
+#include "workbench/scheduler.h"
+
+#include <utility>
+
+#include "catalog/photo_obj.h"
+
+namespace sdss::workbench {
+namespace {
+
+double SecondsBetween(std::chrono::steady_clock::time_point a,
+                      std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+}  // namespace
+
+const char* JobStateName(JobState state) {
+  switch (state) {
+    case JobState::kQueued:
+      return "QUEUED";
+    case JobState::kRunning:
+      return "RUNNING";
+    case JobState::kSucceeded:
+      return "SUCCEEDED";
+    case JobState::kFailed:
+      return "FAILED";
+    case JobState::kCancelled:
+      return "CANCELLED";
+  }
+  return "?";
+}
+
+JobScheduler::JobScheduler(query::FederatedQueryEngine* engine,
+                           archive::MyDb* mydb, Options options)
+    : engine_(engine),
+      mydb_(mydb),
+      options_(options),
+      queue_(JobQueue::Options{options.per_user_running}) {
+  for (size_t i = 0; i < options_.quick_workers; ++i) {
+    workers_.Spawn([this] { WorkerLoop(Lane::kQuick); });
+  }
+  for (size_t i = 0; i < options_.long_workers; ++i) {
+    workers_.Spawn([this] { WorkerLoop(Lane::kLong); });
+  }
+}
+
+JobScheduler::~JobScheduler() {
+  shutting_down_.store(true);
+  {
+    // Queued jobs will never run; running jobs get their flag raised so
+    // the executors unwind at the next cancellation point.
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [id, job] : jobs_) {
+      if (job->snap.state == JobState::kQueued ||
+          job->snap.state == JobState::kRunning) {
+        job->cancel.store(true);
+      }
+    }
+  }
+  queue_.Shutdown();
+  workers_.JoinAll();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [id, job] : jobs_) {
+      if (job->snap.state == JobState::kQueued) {
+        job->snap.state = JobState::kCancelled;
+        job->snap.error = Status::Cancelled("scheduler shut down");
+      }
+    }
+  }
+  done_cv_.notify_all();
+}
+
+Result<uint64_t> JobScheduler::Submit(const std::string& user,
+                                      const std::string& sql) {
+  if (shutting_down_.load()) {
+    return Status::FailedPrecondition("scheduler is shutting down");
+  }
+  // Price the query before admitting it; a parse/plan error (unknown
+  // attribute, missing mydb table, tag on a tagless fleet) is rejected
+  // here, costing the submitter no queue slot. The job is re-planned
+  // from SQL when it runs -- deliberately, not cached: by then the
+  // shard routing may have failed over and the user's mydb namespace
+  // changed, and both must be resolved against the world the job
+  // actually executes in.
+  query::ExecContext ctx;
+  ctx.mydb = mydb_->ResolverFor(user);
+  auto estimate = engine_->EstimateCost(sql, ctx);
+  if (!estimate.ok()) return estimate.status();
+  if (!estimate->into_mydb.empty()) {
+    // Taken-name INTO jobs would only discover the collision at the
+    // final Put; refuse them before they cost lane time -- whether the
+    // name is already materialized or claimed by a queued/running job.
+    // (Put keeps its own check as the last-line race guard.)
+    bool taken = mydb_->Find(user, estimate->into_mydb).ok();
+    if (!taken) {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (const auto& [id, other] : jobs_) {
+        if (other->snap.user == user &&
+            other->snap.into == estimate->into_mydb &&
+            (other->snap.state == JobState::kQueued ||
+             other->snap.state == JobState::kRunning)) {
+          taken = true;
+          break;
+        }
+      }
+    }
+    if (taken) {
+      return Status::AlreadyExists("mydb." + estimate->into_mydb +
+                                   " already exists or is being "
+                                   "materialized; DROP or wait first");
+    }
+  }
+
+  auto job = std::make_unique<Job>();
+  job->snap.user = user;
+  job->snap.sql = sql;
+  job->snap.into = estimate->into_mydb;
+  job->snap.predicted_bytes = estimate->TotalBytes();
+  job->snap.lane = estimate->TotalBytes() > options_.quick_lane_max_bytes
+                       ? Lane::kLong
+                       : Lane::kQuick;
+  job->submitted = std::chrono::steady_clock::now();
+
+  uint64_t id;
+  Lane lane = job->snap.lane;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    id = next_id_++;
+    job->snap.id = id;
+    jobs_.emplace(id, std::move(job));
+  }
+  queue_.Push(lane, id, user);
+  return id;
+}
+
+Status JobScheduler::Cancel(uint64_t job_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = jobs_.find(job_id);
+  if (it == jobs_.end()) {
+    return Status::NotFound("no job " + std::to_string(job_id));
+  }
+  Job* job = it->second.get();
+  switch (job->snap.state) {
+    case JobState::kQueued:
+      job->cancel.store(true);
+      if (queue_.Remove(job_id)) {
+        // Still in the queue: terminal right here. (If a worker popped
+        // it concurrently, the raised flag makes the worker finish it
+        // as cancelled instead.)
+        job->snap.state = JobState::kCancelled;
+        job->snap.error = Status::Cancelled("cancelled while queued");
+        job->snap.seconds_queued = SecondsBetween(
+            job->submitted, std::chrono::steady_clock::now());
+        done_cv_.notify_all();
+      }
+      return Status::OK();
+    case JobState::kRunning:
+      job->cancel.store(true);
+      return Status::OK();
+    case JobState::kSucceeded:
+    case JobState::kFailed:
+    case JobState::kCancelled:
+      return Status::FailedPrecondition(
+          "job " + std::to_string(job_id) + " already " +
+          JobStateName(job->snap.state));
+  }
+  return Status::Internal("unreachable");
+}
+
+Result<JobSnapshot> JobScheduler::Snapshot(uint64_t job_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = jobs_.find(job_id);
+  if (it == jobs_.end()) {
+    return Status::NotFound("no job " + std::to_string(job_id));
+  }
+  return it->second->snap;
+}
+
+Result<JobSnapshot> JobScheduler::Wait(uint64_t job_id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = jobs_.find(job_id);
+  if (it == jobs_.end()) {
+    return Status::NotFound("no job " + std::to_string(job_id));
+  }
+  Job* job = it->second.get();
+  done_cv_.wait(lock, [job] {
+    return job->snap.state == JobState::kSucceeded ||
+           job->snap.state == JobState::kFailed ||
+           job->snap.state == JobState::kCancelled;
+  });
+  return job->snap;
+}
+
+Result<query::QueryResult> JobScheduler::TakeResult(uint64_t job_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = jobs_.find(job_id);
+  if (it == jobs_.end()) {
+    return Status::NotFound("no job " + std::to_string(job_id));
+  }
+  Job* job = it->second.get();
+  if (job->snap.state != JobState::kSucceeded) {
+    return Status::FailedPrecondition(
+        "job " + std::to_string(job_id) + " is " +
+        JobStateName(job->snap.state));
+  }
+  if (!job->snap.into.empty()) {
+    return Status::FailedPrecondition(
+        "job " + std::to_string(job_id) + " materialized into mydb." +
+        job->snap.into + "; query that table instead");
+  }
+  if (job->result_taken) {
+    return Status::FailedPrecondition(
+        "result of job " + std::to_string(job_id) + " already taken");
+  }
+  job->result_taken = true;
+  return std::move(job->result);
+}
+
+size_t JobScheduler::PruneTerminalJobs() {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t pruned = 0;
+  for (auto it = jobs_.begin(); it != jobs_.end();) {
+    JobState state = it->second->snap.state;
+    if (state == JobState::kSucceeded || state == JobState::kFailed ||
+        state == JobState::kCancelled) {
+      it = jobs_.erase(it);
+      ++pruned;
+    } else {
+      ++it;
+    }
+  }
+  return pruned;
+}
+
+std::vector<JobSnapshot> JobScheduler::Jobs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<JobSnapshot> out;
+  out.reserve(jobs_.size());
+  for (const auto& [id, job] : jobs_) out.push_back(job->snap);
+  return out;
+}
+
+void JobScheduler::WorkerLoop(Lane lane) {
+  uint64_t id = 0;
+  std::string user;
+  while (queue_.PopEligible(lane, &id, &user)) {
+    Job* job = nullptr;
+    bool run = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      job = jobs_.at(id).get();
+      if (job->cancel.load() || shutting_down_.load()) {
+        job->snap.state = JobState::kCancelled;
+        job->snap.error = Status::Cancelled("cancelled while queued");
+        job->snap.seconds_queued = SecondsBetween(
+            job->submitted, std::chrono::steady_clock::now());
+      } else {
+        job->snap.state = JobState::kRunning;
+        job->started = std::chrono::steady_clock::now();
+        job->snap.seconds_queued =
+            SecondsBetween(job->submitted, job->started);
+        run = true;
+      }
+    }
+    if (run) RunJob(job);
+    queue_.OnJobFinished(user);
+    done_cv_.notify_all();
+  }
+}
+
+void JobScheduler::RunJob(Job* job) {
+  query::ExecContext ctx;
+  ctx.cancel = &job->cancel;
+  ctx.mydb = mydb_->ResolverFor(job->snap.user);
+
+  Status status;
+  query::ExecStats exec;
+  uint64_t rows = 0;
+  query::QueryResult result;
+  if (!job->snap.into.empty()) {
+    status = ExecuteInto(job, ctx, &exec, &rows);
+  } else {
+    auto run = engine_->Execute(job->snap.sql, ctx);
+    if (run.ok()) {
+      result = std::move(run).value();
+      exec = result.exec;
+      rows = result.rows.size();
+    } else {
+      status = run.status();
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  job->snap.exec = exec;
+  job->snap.rows = rows;
+  job->snap.seconds_running =
+      SecondsBetween(job->started, std::chrono::steady_clock::now());
+  if (status.ok()) {
+    job->result = std::move(result);
+    job->snap.state = JobState::kSucceeded;
+  } else {
+    job->snap.state = status.code() == StatusCode::kCancelled
+                          ? JobState::kCancelled
+                          : JobState::kFailed;
+    job->snap.error = status;
+  }
+}
+
+Status JobScheduler::ExecuteInto(Job* job, const query::ExecContext& base,
+                                 query::ExecStats* exec, uint64_t* rows) {
+  query::ExecContext ctx = base;
+  ctx.into_sink = true;  // This sink IS the materialization.
+  const std::vector<std::string>& names = catalog::PhotoAttributeNames();
+  const uint64_t budget = mydb_->RemainingBytes(job->snap.user);
+  std::vector<catalog::PhotoObj> objects;
+  Status convert_error;
+  bool over_quota = false;
+
+  auto stats = engine_->ExecuteStreaming(
+      job->snap.sql,
+      [&](const query::RowBatch& batch) {
+        for (const query::ResultRow& row : batch) {
+          auto obj = catalog::PhotoObjFromRow(names, row.values);
+          if (!obj.ok()) {
+            convert_error = obj.status();
+            return false;
+          }
+          objects.push_back(std::move(obj).value());
+        }
+        if (objects.size() * sizeof(catalog::PhotoObj) > budget) {
+          over_quota = true;  // Stop streaming; nothing gets stored.
+          return false;
+        }
+        return true;
+      },
+      ctx);
+  if (!stats.ok()) return stats.status();
+  if (!convert_error.ok()) return convert_error;
+  if (over_quota) {
+    return Status::ResourceExhausted(
+        "mydb quota of user '" + job->snap.user +
+        "' exceeded while materializing mydb." + job->snap.into);
+  }
+  *exec = *stats;
+  *rows = objects.size();
+  return mydb_->Put(job->snap.user, job->snap.into, std::move(objects));
+}
+
+}  // namespace sdss::workbench

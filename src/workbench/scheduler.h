@@ -1,0 +1,149 @@
+// The batch query workbench: cost-based admission, bounded worker
+// lanes, cooperative cancellation, and MyDB result materialization.
+//
+// Synchronous execution does not survive community traffic: "Data Mining
+// the SDSS SkyServer Database" (Gray, Szalay et al.) shows mining
+// queries that run for hours next to cone searches that must answer in
+// milliseconds. The JobScheduler puts an admission layer in front of the
+// FederatedQueryEngine: every submission is priced with the engine's
+// density-map cost estimate (Explain/PredictShards), admitted to the
+// QUICK or LONG lane, and run on that lane's bounded worker pool under a
+// per-user concurrency quota. "SELECT ... INTO mydb.<name>" jobs
+// materialize their result into the submitting user's archive::MyDb
+// store -- quota-checked, all-or-nothing -- so the next step of a mining
+// workflow reads derived data instead of re-scanning the fleet.
+
+#ifndef SDSS_WORKBENCH_SCHEDULER_H_
+#define SDSS_WORKBENCH_SCHEDULER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "archive/mydb.h"
+#include "core/status.h"
+#include "core/thread_pool.h"
+#include "query/federated_engine.h"
+#include "workbench/job_queue.h"
+
+namespace sdss::workbench {
+
+/// Lifecycle of a job. Queued and running are transient; the other
+/// three are terminal.
+enum class JobState { kQueued, kRunning, kSucceeded, kFailed, kCancelled };
+
+const char* JobStateName(JobState state);
+
+/// A point-in-time copy of one job's bookkeeping.
+struct JobSnapshot {
+  uint64_t id = 0;
+  std::string user;
+  std::string sql;
+  Lane lane = Lane::kQuick;
+  JobState state = JobState::kQueued;
+  Status error;            ///< Set for kFailed / kCancelled.
+  std::string into;        ///< MyDB target table; empty = rows returned.
+  uint64_t predicted_bytes = 0;  ///< Admission estimate (scan + ship).
+  uint64_t rows = 0;       ///< Rows returned, or objects materialized.
+  query::ExecStats exec;   ///< Filled when the job ran.
+  double seconds_queued = 0.0;
+  double seconds_running = 0.0;
+};
+
+/// Runs submitted queries through a FederatedQueryEngine on two bounded
+/// worker lanes.
+///
+/// Thread-safety: all public methods may be called concurrently. The
+/// engine and mydb must outlive the scheduler. Destruction cancels
+/// queued jobs, raises the cancel flag of running ones, and joins the
+/// workers.
+class JobScheduler {
+ public:
+  struct Options {
+    size_t quick_workers = 2;   ///< Interactive lane width.
+    size_t long_workers = 1;    ///< Mining lane width.
+    size_t per_user_running = 1;
+    /// Admission split: a predicted cost (bytes to scan + bytes
+    /// shipped) above this sends the job to the LONG lane.
+    uint64_t quick_lane_max_bytes = 4ull << 20;
+  };
+
+  JobScheduler(query::FederatedQueryEngine* engine, archive::MyDb* mydb,
+               Options options);
+  ~JobScheduler();
+
+  JobScheduler(const JobScheduler&) = delete;
+  JobScheduler& operator=(const JobScheduler&) = delete;
+
+  /// Parses, prices, and enqueues `sql` for `user`. Returns the job id,
+  /// or the parse/plan error (nothing is queued on failure).
+  Result<uint64_t> Submit(const std::string& user, const std::string& sql);
+
+  /// Cancels a job: a queued job terminates immediately; a running job
+  /// has its cooperative cancel flag raised and terminates at the
+  /// executor's next scan/join cancellation point. FailedPrecondition
+  /// if the job already reached a terminal state.
+  Status Cancel(uint64_t job_id);
+
+  /// Current bookkeeping of one job.
+  Result<JobSnapshot> Snapshot(uint64_t job_id) const;
+
+  /// Blocks until the job reaches a terminal state; returns its final
+  /// snapshot.
+  Result<JobSnapshot> Wait(uint64_t job_id);
+
+  /// Moves a succeeded non-INTO job's result out of the scheduler.
+  Result<query::QueryResult> TakeResult(uint64_t job_id);
+
+  /// All jobs, ascending id.
+  std::vector<JobSnapshot> Jobs() const;
+
+  /// Drops terminal jobs (and their retained results) from the
+  /// bookkeeping, returning how many were freed. A long-lived service
+  /// must call this periodically: completed jobs are otherwise kept
+  /// forever so Snapshot/TakeResult keep answering.
+  size_t PruneTerminalJobs();
+
+  size_t QueueDepth(Lane lane) const { return queue_.Depth(lane); }
+  const Options& options() const { return options_; }
+
+ private:
+  struct Job {
+    JobSnapshot snap;
+    std::atomic<bool> cancel{false};
+    std::chrono::steady_clock::time_point submitted;
+    std::chrono::steady_clock::time_point started;
+    query::QueryResult result;
+    bool result_taken = false;
+  };
+
+  void WorkerLoop(Lane lane);
+  void RunJob(Job* job);
+  /// The INTO sink: streams the select, rebuilds full PhotoObjs from the
+  /// rows, and hands them to MyDb::Put whole. Enforces the owner's byte
+  /// quota while streaming so a runaway result aborts early -- and a
+  /// failed or cancelled job stores nothing (no partial container).
+  Status ExecuteInto(Job* job, const query::ExecContext& ctx,
+                     query::ExecStats* exec, uint64_t* rows);
+
+  query::FederatedQueryEngine* engine_;
+  archive::MyDb* mydb_;
+  Options options_;
+  JobQueue queue_;
+  mutable std::mutex mu_;
+  std::condition_variable done_cv_;
+  std::map<uint64_t, std::unique_ptr<Job>> jobs_;
+  uint64_t next_id_ = 1;
+  std::atomic<bool> shutting_down_{false};
+  ThreadGroup workers_;
+};
+
+}  // namespace sdss::workbench
+
+#endif  // SDSS_WORKBENCH_SCHEDULER_H_

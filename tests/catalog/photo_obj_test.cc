@@ -131,5 +131,38 @@ TEST(SpecObjTest, DefaultsAreSane) {
   EXPECT_FLOAT_EQ(s.redshift, 0.0f);
 }
 
+TEST(PhotoObjTest, RowRoundTripPreservesEveryQueryableAttribute) {
+  PhotoObj original = MakeObj();
+  const std::vector<std::string>& names = PhotoAttributeNames();
+  std::vector<double> values;
+  for (const std::string& name : names) {
+    auto v = GetAttribute(original, name);
+    ASSERT_TRUE(v.ok()) << name;
+    values.push_back(*v);
+  }
+  auto rebuilt = PhotoObjFromRow(names, values);
+  ASSERT_TRUE(rebuilt.ok());
+  // The rebuilt object must be indistinguishable through GetAttribute:
+  // that is the invariant the MyDB INTO materialization relies on.
+  for (const std::string& name : names) {
+    auto a = GetAttribute(original, name);
+    auto b = GetAttribute(*rebuilt, name);
+    ASSERT_TRUE(b.ok()) << name;
+    EXPECT_EQ(*a, *b) << name;
+  }
+  EXPECT_EQ(rebuilt->obj_id, original.obj_id);
+  EXPECT_EQ(rebuilt->obj_class, original.obj_class);
+  EXPECT_EQ(rebuilt->flags, original.flags);
+  EXPECT_DOUBLE_EQ(rebuilt->pos.x, original.pos.x);
+}
+
+TEST(PhotoObjTest, RowRejectsUnknownOrMismatchedInput) {
+  EXPECT_FALSE(PhotoObjFromRow({"nonsense"}, {1.0}).ok());
+  EXPECT_FALSE(PhotoObjFromRow({"r", "g"}, {1.0}).ok());
+  auto partial = PhotoObjFromRow({"r"}, {19.0});
+  ASSERT_TRUE(partial.ok());  // Missing attributes keep defaults.
+  EXPECT_FLOAT_EQ(partial->mag[kR], 19.0f);
+}
+
 }  // namespace
 }  // namespace sdss::catalog

@@ -13,6 +13,7 @@
 #include "fits/card.h"
 #include "htm/htm_id.h"
 #include "query/parser.h"
+#include "workbench/job_queue.h"
 
 namespace {
 
@@ -51,6 +52,11 @@ TEST(LinkSanityTest, QueryParserAccepts) {
 TEST(LinkSanityTest, ArchiveTierName) {
   EXPECT_NE(sdss::archive::TierName(sdss::archive::Tier::kTelescope),
             std::string());
+}
+
+TEST(LinkSanityTest, WorkbenchLaneName) {
+  EXPECT_STREQ(sdss::workbench::LaneName(sdss::workbench::Lane::kLong),
+               "LONG");
 }
 
 }  // namespace

@@ -175,6 +175,47 @@ TEST(ParserTest, RejectsMalformedQueries) {
       Parse("SELECT * FROM photo WHERE CIRCLE('ECLIPTIC', 1, 2, 3)").ok());
 }
 
+TEST(ParserTest, IntoMyDbTarget) {
+  auto q = Parse("SELECT * INTO mydb.bright FROM photo WHERE r < 21");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->first.into_mydb, "bright");
+  EXPECT_EQ(q->first.table, TableRef::kPhoto);
+}
+
+TEST(ParserTest, FromMyDbTable) {
+  auto q = Parse("SELECT obj_id, r FROM mydb.bright WHERE g - r < 0.5 "
+                 "ORDER BY r LIMIT 10");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->first.table, TableRef::kMyDb);
+  EXPECT_EQ(q->first.mydb_name, "bright");
+  EXPECT_TRUE(q->first.into_mydb.empty());
+  EXPECT_EQ(q->first.limit, 10);
+}
+
+TEST(ParserTest, IntoFromMyDbChains) {
+  auto q = Parse("SELECT * INTO mydb.refined FROM mydb.bright "
+                 "WHERE class = 'GALAXY'");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->first.into_mydb, "refined");
+  EXPECT_EQ(q->first.mydb_name, "bright");
+}
+
+TEST(ParserTest, RejectsMalformedMyDb) {
+  // INTO demands SELECT * over full photo objects, first SELECT only.
+  EXPECT_FALSE(Parse("SELECT obj_id INTO mydb.t FROM photo").ok());
+  EXPECT_FALSE(Parse("SELECT COUNT(*) INTO mydb.t FROM photo").ok());
+  EXPECT_FALSE(Parse("SELECT * INTO mydb.t FROM tag").ok());
+  EXPECT_FALSE(Parse("SELECT * INTO mydb.t FROM photo AS a "
+                     "JOIN photoobj AS b WITHIN 5 ARCSEC").ok());
+  EXPECT_FALSE(Parse("SELECT * INTO mydb.t FROM mydb.t").ok());
+  EXPECT_FALSE(Parse("SELECT * FROM photo UNION "
+                     "SELECT * INTO mydb.t FROM photo").ok());
+  EXPECT_FALSE(Parse("SELECT * INTO mydb FROM photo").ok());
+  // A pair join must read the photo table, not a personal store.
+  EXPECT_FALSE(Parse("SELECT * FROM mydb.t AS a "
+                     "JOIN photoobj AS b WITHIN 5 ARCSEC").ok());
+}
+
 TEST(ParserTest, HelperNames) {
   EXPECT_STREQ(AggFuncName(AggFunc::kCount), "COUNT");
   EXPECT_STREQ(SetOpName(SetOp::kUnion), "UNION");

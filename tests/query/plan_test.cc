@@ -173,5 +173,104 @@ TEST_F(PlanTest, SampleCarriedIntoScanNode) {
   EXPECT_DOUBLE_EQ(plan->root->sample, 0.25);
 }
 
+class MyDbPlanTest : public PlanTest {
+ protected:
+  static PlannerOptions WithResolver() {
+    PlannerOptions opt;
+    opt.mydb = [](const std::string& name) -> const ObjectStore* {
+      return name == "bright" ? personal_ : nullptr;
+    };
+    return opt;
+  }
+
+  static void SetUpTestSuite() {
+    PlanTest::SetUpTestSuite();
+    catalog::StoreOptions so;
+    so.build_tags = false;
+    personal_ = new ObjectStore(so);
+    ASSERT_TRUE(personal_->BulkLoad(store_->Sample(0.2, 9)
+                                        .containers()
+                                        .begin()
+                                        ->second.objects)
+                    .ok());
+  }
+  static void TearDownTestSuite() {
+    delete personal_;
+    personal_ = nullptr;
+    PlanTest::TearDownTestSuite();
+  }
+
+  static ObjectStore* personal_;
+};
+
+ObjectStore* MyDbPlanTest::personal_ = nullptr;
+
+TEST_F(MyDbPlanTest, MyDbSelectLowersToMyDbScanLeaf) {
+  auto plan = PlanFor("SELECT obj_id, r FROM mydb.bright WHERE r < 20",
+                      WithResolver());
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->root->type, PlanNodeType::kMyDbScan);
+  EXPECT_EQ(plan->root->mydb_store, personal_);
+  EXPECT_EQ(plan->root->mydb_name, "bright");
+  // The density-map prediction prices the personal store, not the fleet.
+  EXPECT_EQ(plan->prediction.bytes_to_scan,
+            personal_->Stats().full_bytes);
+  EXPECT_NE(plan->Explain().find("MYDB_SCAN mydb.bright"),
+            std::string::npos);
+}
+
+TEST_F(MyDbPlanTest, MyDbAggregateKeepsPushdownShape) {
+  auto plan = PlanFor("SELECT COUNT(*) FROM mydb.bright", WithResolver());
+  ASSERT_TRUE(plan.ok());
+  ASSERT_EQ(plan->root->type, PlanNodeType::kAggregate);
+  EXPECT_EQ(plan->root->children[0]->type, PlanNodeType::kMyDbScan);
+}
+
+TEST_F(MyDbPlanTest, MyDbErrors) {
+  // Unknown table, missing resolver, and fleet/mydb set-op mixing are
+  // all plan-time refusals.
+  EXPECT_EQ(PlanFor("SELECT * FROM mydb.nope", WithResolver())
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+  EXPECT_FALSE(PlanFor("SELECT * FROM mydb.bright").ok());
+  EXPECT_FALSE(PlanFor("SELECT obj_id FROM mydb.bright UNION "
+                       "SELECT obj_id FROM photo",
+                       WithResolver())
+                   .ok());
+  EXPECT_FALSE(PlanFor("SELECT nonsense FROM mydb.bright",
+                       WithResolver())
+                   .ok());
+}
+
+TEST_F(MyDbPlanTest, MyDbSetQueryOverOnePersonalStoreIsAllowed) {
+  auto plan = PlanFor("SELECT obj_id FROM mydb.bright WHERE r < 19 UNION "
+                      "SELECT obj_id FROM mydb.bright WHERE r > 21",
+                      WithResolver());
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->root->type, PlanNodeType::kUnion);
+}
+
+TEST_F(PlanTest, TagAutoSelectionRequiresTagPartition) {
+  catalog::StoreOptions so;
+  so.build_tags = false;
+  ObjectStore tagless(so);
+  SkyModel m;
+  m.seed = 62;
+  m.num_galaxies = 200;
+  m.num_stars = 100;
+  m.num_quasars = 5;
+  ASSERT_TRUE(tagless.BulkLoad(SkyGenerator(m).Generate()).ok());
+
+  auto parsed = Parse("SELECT obj_id, r FROM photo WHERE r < 20");
+  ASSERT_TRUE(parsed.ok());
+  auto plan = BuildPlan(*parsed, tagless, PlannerOptions{});
+  ASSERT_TRUE(plan.ok());
+  // All referenced attributes live in the tag, but the store has no tag
+  // partition: the rewrite would scan nothing, so it must not fire.
+  EXPECT_FALSE(plan->used_tag_store);
+  EXPECT_EQ(plan->root->table, TableRef::kPhoto);
+}
+
 }  // namespace
 }  // namespace sdss::query

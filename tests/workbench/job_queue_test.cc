@@ -1,0 +1,97 @@
+// JobQueue: lane FIFO order, quota-aware dequeue, removal, shutdown.
+
+#include "workbench/job_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+
+namespace sdss::workbench {
+namespace {
+
+TEST(JobQueueTest, FifoWithinLane) {
+  JobQueue queue;
+  queue.Push(Lane::kQuick, 1, "alice");
+  queue.Push(Lane::kQuick, 2, "bob");
+  queue.Push(Lane::kLong, 3, "carol");
+
+  uint64_t id = 0;
+  std::string user;
+  ASSERT_TRUE(queue.PopEligible(Lane::kQuick, &id, &user));
+  EXPECT_EQ(id, 1u);
+  ASSERT_TRUE(queue.PopEligible(Lane::kQuick, &id, &user));
+  EXPECT_EQ(id, 2u);
+  ASSERT_TRUE(queue.PopEligible(Lane::kLong, &id, &user));
+  EXPECT_EQ(id, 3u);
+  EXPECT_EQ(queue.Depth(Lane::kQuick), 0u);
+}
+
+TEST(JobQueueTest, QuotaHoldsBackSameUserButNotOthers) {
+  JobQueue queue(JobQueue::Options{/*per_user_running=*/1});
+  queue.Push(Lane::kQuick, 1, "alice");
+  queue.Push(Lane::kQuick, 2, "alice");
+  queue.Push(Lane::kQuick, 3, "bob");
+
+  uint64_t id = 0;
+  std::string user;
+  ASSERT_TRUE(queue.PopEligible(Lane::kQuick, &id, &user));
+  EXPECT_EQ(id, 1u);
+  EXPECT_EQ(queue.RunningFor("alice"), 1u);
+
+  // Alice is at quota: her second job is skipped, bob's runs.
+  ASSERT_TRUE(queue.PopEligible(Lane::kQuick, &id, &user));
+  EXPECT_EQ(id, 3u);
+  EXPECT_EQ(user, "bob");
+  EXPECT_EQ(queue.Depth(Lane::kQuick), 1u);
+
+  // Releasing alice's slot makes her queued job eligible again.
+  queue.OnJobFinished("alice");
+  ASSERT_TRUE(queue.PopEligible(Lane::kQuick, &id, &user));
+  EXPECT_EQ(id, 2u);
+}
+
+TEST(JobQueueTest, PopBlocksUntilEligibleWork) {
+  JobQueue queue(JobQueue::Options{/*per_user_running=*/1});
+  queue.Push(Lane::kLong, 1, "alice");
+  uint64_t id = 0;
+  std::string user;
+  ASSERT_TRUE(queue.PopEligible(Lane::kLong, &id, &user));
+
+  // A second worker blocks on the quota until the first job finishes.
+  uint64_t second = 0;
+  std::thread worker([&queue, &second] {
+    uint64_t got = 0;
+    std::string who;
+    if (queue.PopEligible(Lane::kLong, &got, &who)) second = got;
+  });
+  queue.Push(Lane::kLong, 2, "alice");
+  queue.OnJobFinished("alice");
+  worker.join();
+  EXPECT_EQ(second, 2u);
+}
+
+TEST(JobQueueTest, RemoveTakesQueuedJobOut) {
+  JobQueue queue;
+  queue.Push(Lane::kLong, 7, "alice");
+  EXPECT_TRUE(queue.Remove(7));
+  EXPECT_FALSE(queue.Remove(7));
+  EXPECT_EQ(queue.Depth(Lane::kLong), 0u);
+}
+
+TEST(JobQueueTest, ShutdownUnblocksWaiters) {
+  JobQueue queue;
+  std::thread worker([&queue] {
+    uint64_t id = 0;
+    std::string user;
+    EXPECT_FALSE(queue.PopEligible(Lane::kQuick, &id, &user));
+  });
+  queue.Shutdown();
+  worker.join();
+  // Pushes after shutdown are dropped.
+  queue.Push(Lane::kQuick, 1, "alice");
+  EXPECT_EQ(queue.Depth(Lane::kQuick), 0u);
+}
+
+}  // namespace
+}  // namespace sdss::workbench

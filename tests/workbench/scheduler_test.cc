@@ -1,0 +1,380 @@
+// JobScheduler: cost-based lane admission, per-user concurrency quotas,
+// cooperative cancellation (mid-scan, releasing the worker, leaving no
+// partial mydb container), and the 3-step CasJobs-style mining workflow
+// on a 4-shard fleet.
+
+#include "workbench/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "archive/mydb.h"
+#include "archive/sharded_store.h"
+#include "catalog/sky_generator.h"
+#include "query/federated_engine.h"
+
+namespace sdss::workbench {
+namespace {
+
+using archive::MyDb;
+using archive::ReplicationOptions;
+using archive::ShardedStore;
+using query::FederatedQueryEngine;
+
+// A join wide enough that its ghost harvest + bucket compare keeps the
+// LONG lane busy for a long time relative to any quick-lane query; every
+// test that submits it cancels it, so only the pre-cancel slice runs.
+constexpr char kHeavyJoinSql[] =
+    "SELECT COUNT(*) FROM photo AS a JOIN photoobj AS b WITHIN 3 DEG";
+
+constexpr char kIntoBrightSql[] =
+    "SELECT * INTO mydb.bright FROM photo WHERE r < 20.5";
+
+/// One 4-shard fleet per test process (SetUpTestSuite), fresh MyDb and
+/// JobScheduler per test.
+class WorkbenchSchedulerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    catalog::SkyModel m;
+    m.seed = 1100;
+    m.num_galaxies = 16000;
+    m.num_stars = 13000;
+    m.num_quasars = 300;
+    source_ = new catalog::ObjectStore();
+    ASSERT_TRUE(
+        source_->BulkLoad(catalog::SkyGenerator(m).Generate()).ok());
+    ReplicationOptions repl;
+    repl.num_servers = 4;
+    repl.base_replicas = 2;
+    sharded_ = new ShardedStore(*source_, repl);
+    auto shards = sharded_->LiveShards();
+    ASSERT_TRUE(shards.ok());
+    engine_ = new FederatedQueryEngine(*shards);
+  }
+  static void TearDownTestSuite() {
+    delete engine_;
+    delete sharded_;
+    delete source_;
+    engine_ = nullptr;
+    sharded_ = nullptr;
+    source_ = nullptr;
+  }
+
+  void SetUp() override { mydb_ = std::make_unique<MyDb>(); }
+
+  static JobScheduler::Options TwoLaneOptions() {
+    JobScheduler::Options opt;
+    opt.quick_workers = 2;
+    opt.long_workers = 2;
+    opt.per_user_running = 1;
+    // The fleet scan is ~5.6 MB: full scans and the join go LONG,
+    // pruned cones and mydb reads stay QUICK.
+    opt.quick_lane_max_bytes = 4ull << 20;
+    return opt;
+  }
+
+  /// Polls until the job leaves kQueued. Returns its state.
+  static JobState AwaitStarted(JobScheduler& sched, uint64_t id) {
+    for (;;) {
+      auto snap = sched.Snapshot(id);
+      EXPECT_TRUE(snap.ok());
+      if (!snap.ok()) return JobState::kFailed;
+      if (snap->state != JobState::kQueued) return snap->state;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+
+  static catalog::ObjectStore* source_;
+  static ShardedStore* sharded_;
+  static FederatedQueryEngine* engine_;
+  std::unique_ptr<MyDb> mydb_;
+};
+
+catalog::ObjectStore* WorkbenchSchedulerTest::source_ = nullptr;
+ShardedStore* WorkbenchSchedulerTest::sharded_ = nullptr;
+FederatedQueryEngine* WorkbenchSchedulerTest::engine_ = nullptr;
+
+TEST_F(WorkbenchSchedulerTest, CostEstimateChoosesTheLane) {
+  JobScheduler sched(engine_, mydb_.get(), TwoLaneOptions());
+
+  auto quick = sched.Submit(
+      "alice",
+      "SELECT COUNT(*) FROM photo WHERE CIRCLE('GAL', 30, 70, 3)");
+  ASSERT_TRUE(quick.ok());
+  auto qsnap = sched.Snapshot(*quick);
+  ASSERT_TRUE(qsnap.ok());
+  EXPECT_EQ(qsnap->lane, Lane::kQuick);
+  EXPECT_LT(qsnap->predicted_bytes, sched.options().quick_lane_max_bytes);
+
+  auto heavy = sched.Submit("alice", "SELECT COUNT(*) FROM photo");
+  ASSERT_TRUE(heavy.ok());
+  auto lsnap = sched.Snapshot(*heavy);
+  ASSERT_TRUE(lsnap.ok());
+  EXPECT_EQ(lsnap->lane, Lane::kLong);
+  EXPECT_GT(lsnap->predicted_bytes, sched.options().quick_lane_max_bytes);
+
+  auto done = sched.Wait(*heavy);
+  ASSERT_TRUE(done.ok());
+  EXPECT_EQ(done->state, JobState::kSucceeded);
+  auto result = sched.TakeResult(*heavy);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->aggregate_value,
+                   static_cast<double>(source_->object_count()));
+  // A result can only be taken once.
+  EXPECT_FALSE(sched.TakeResult(*heavy).ok());
+}
+
+TEST_F(WorkbenchSchedulerTest, SubmitRejectsBadQueriesUpFront) {
+  JobScheduler sched(engine_, mydb_.get(), TwoLaneOptions());
+  EXPECT_FALSE(sched.Submit("alice", "SELECT nonsense FROM").ok());
+  EXPECT_FALSE(sched.Submit("alice", "SELECT bogus_attr FROM photo").ok());
+  // Unknown personal table fails at plan time, before any queue slot.
+  auto missing =
+      sched.Submit("alice", "SELECT COUNT(*) FROM mydb.never_made");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+  EXPECT_TRUE(sched.Jobs().empty());
+}
+
+TEST_F(WorkbenchSchedulerTest, ThreeStepMiningWorkflowOnFourShards) {
+  JobScheduler sched(engine_, mydb_.get(), TwoLaneOptions());
+
+  // A heavy long-lane job occupies one mining worker for the whole test.
+  auto load = sched.Submit("load", kHeavyJoinSql);
+  ASSERT_TRUE(load.ok());
+  EXPECT_EQ(sched.Snapshot(*load)->lane, Lane::kLong);
+  ASSERT_EQ(AwaitStarted(sched, *load), JobState::kRunning);
+
+  // Step 1 (long lane): materialize the bright sample into MyDB.
+  auto into = sched.Submit("miner", kIntoBrightSql);
+  ASSERT_TRUE(into.ok());
+  EXPECT_EQ(sched.Snapshot(*into)->lane, Lane::kLong);
+  auto into_done = sched.Wait(*into);
+  ASSERT_TRUE(into_done.ok());
+  ASSERT_EQ(into_done->state, JobState::kSucceeded)
+      << into_done->error.ToString();
+
+  auto truth_count =
+      engine_->Execute("SELECT COUNT(*) FROM photo WHERE r < 20.5");
+  ASSERT_TRUE(truth_count.ok());
+  EXPECT_EQ(static_cast<double>(into_done->rows),
+            truth_count->aggregate_value);
+  auto table = mydb_->Find("miner", "bright");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(static_cast<double>((*table)->object_count()),
+            truth_count->aggregate_value);
+
+  // Step 2 (quick lane): refine the personal table -- no base-data
+  // re-scan, and it completes while the long-lane job is still running.
+  auto refine = sched.Submit(
+      "miner", "SELECT obj_id, r FROM mydb.bright WHERE g - r < 0.6");
+  ASSERT_TRUE(refine.ok());
+  EXPECT_EQ(sched.Snapshot(*refine)->lane, Lane::kQuick);
+  auto refine_done = sched.Wait(*refine);
+  ASSERT_TRUE(refine_done.ok());
+  ASSERT_EQ(refine_done->state, JobState::kSucceeded);
+
+  auto truth_refined = engine_->Execute(
+      "SELECT obj_id, r FROM photo WHERE r < 20.5 AND g - r < 0.6");
+  ASSERT_TRUE(truth_refined.ok());
+  EXPECT_EQ(refine_done->rows, truth_refined->rows.size());
+
+  // Step 3 (quick lane): aggregate the derived data.
+  auto agg = sched.Submit("miner", "SELECT AVG(r) FROM mydb.bright");
+  ASSERT_TRUE(agg.ok());
+  EXPECT_EQ(sched.Snapshot(*agg)->lane, Lane::kQuick);
+  auto agg_done = sched.Wait(*agg);
+  ASSERT_TRUE(agg_done.ok());
+  ASSERT_EQ(agg_done->state, JobState::kSucceeded);
+  auto avg = sched.TakeResult(*agg);
+  ASSERT_TRUE(avg.ok());
+  auto truth_avg =
+      engine_->Execute("SELECT AVG(r) FROM photo WHERE r < 20.5");
+  ASSERT_TRUE(truth_avg.ok());
+  EXPECT_NEAR(avg->aggregate_value, truth_avg->aggregate_value,
+              1e-9 * std::fabs(truth_avg->aggregate_value));
+
+  // The whole mining workflow ran while the heavy job never left the
+  // long lane's worker.
+  EXPECT_EQ(sched.Snapshot(*load)->state, JobState::kRunning);
+  ASSERT_TRUE(sched.Cancel(*load).ok());
+  auto cancelled = sched.Wait(*load);
+  ASSERT_TRUE(cancelled.ok());
+  EXPECT_EQ(cancelled->state, JobState::kCancelled);
+}
+
+TEST_F(WorkbenchSchedulerTest, CancelMidScanReleasesWorkerAndReportsIt) {
+  JobScheduler::Options opt = TwoLaneOptions();
+  opt.long_workers = 1;  // One mining worker: release is observable.
+  JobScheduler sched(engine_, mydb_.get(), opt);
+
+  auto heavy = sched.Submit("load", kHeavyJoinSql);
+  ASSERT_TRUE(heavy.ok());
+  ASSERT_EQ(AwaitStarted(sched, *heavy), JobState::kRunning);
+  ASSERT_TRUE(sched.Cancel(*heavy).ok());
+  auto done = sched.Wait(*heavy);
+  ASSERT_TRUE(done.ok());
+  EXPECT_EQ(done->state, JobState::kCancelled);
+  EXPECT_EQ(done->error.code(), StatusCode::kCancelled);
+  // Cancelling a terminal job is refused.
+  EXPECT_EQ(sched.Cancel(*heavy).code(), StatusCode::kFailedPrecondition);
+
+  // The lane's only worker is free again: the next long job completes.
+  auto next = sched.Submit("miner", kIntoBrightSql);
+  ASSERT_TRUE(next.ok());
+  auto next_done = sched.Wait(*next);
+  ASSERT_TRUE(next_done.ok());
+  EXPECT_EQ(next_done->state, JobState::kSucceeded)
+      << next_done->error.ToString();
+}
+
+TEST_F(WorkbenchSchedulerTest, CancelledIntoLeavesNoPartialContainer) {
+  JobScheduler sched(engine_, mydb_.get(), TwoLaneOptions());
+
+  auto into = sched.Submit("miner",
+                           "SELECT * INTO mydb.part FROM photo");
+  ASSERT_TRUE(into.ok());
+  ASSERT_EQ(AwaitStarted(sched, *into), JobState::kRunning);
+  ASSERT_TRUE(sched.Cancel(*into).ok());
+  auto done = sched.Wait(*into);
+  ASSERT_TRUE(done.ok());
+  ASSERT_EQ(done->state, JobState::kCancelled);
+  // All-or-nothing: the target table must not exist in any form.
+  EXPECT_FALSE(mydb_->Find("miner", "part").ok());
+  EXPECT_TRUE(mydb_->List("miner").empty());
+  EXPECT_EQ(mydb_->UsedBytes("miner"), 0u);
+}
+
+TEST_F(WorkbenchSchedulerTest, QuotaAbortsIntoWithoutPartialContainer) {
+  MyDb::Options small;
+  small.per_user_quota_bytes = 64 * sizeof(catalog::PhotoObj);
+  MyDb tiny(small);
+  JobScheduler sched(engine_, &tiny, TwoLaneOptions());
+
+  auto into = sched.Submit("miner", kIntoBrightSql);
+  ASSERT_TRUE(into.ok());
+  auto done = sched.Wait(*into);
+  ASSERT_TRUE(done.ok());
+  EXPECT_EQ(done->state, JobState::kFailed);
+  EXPECT_EQ(done->error.code(), StatusCode::kResourceExhausted);
+  EXPECT_FALSE(tiny.Find("miner", "bright").ok());
+  EXPECT_EQ(tiny.UsedBytes("miner"), 0u);
+}
+
+TEST_F(WorkbenchSchedulerTest, IntoAnExistingNameFailsWholesale) {
+  JobScheduler sched(engine_, mydb_.get(), TwoLaneOptions());
+
+  // A name claimed by a still-queued/running INTO job is refused at
+  // submit: the duplicate must not burn a whole lane run to learn it.
+  auto first = sched.Submit("miner", kIntoBrightSql);
+  ASSERT_TRUE(first.ok());
+  auto racing = sched.Submit("miner", kIntoBrightSql);
+  ASSERT_FALSE(racing.ok());
+  EXPECT_EQ(racing.status().code(), StatusCode::kAlreadyExists);
+  ASSERT_EQ(sched.Wait(*first)->state, JobState::kSucceeded);
+
+  // Once materialized, a fresh submission is refused the same way.
+  auto rejected = sched.Submit("miner", kIntoBrightSql);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kAlreadyExists);
+
+  // Last-line guard: a table created OUTSIDE the scheduler while the
+  // job streams still fails the final Put wholesale -- nothing of the
+  // job's result lands next to the interloper's table.
+  auto slow = sched.Submit("miner", "SELECT * INTO mydb.race FROM photo");
+  ASSERT_TRUE(slow.ok());
+  ASSERT_EQ(AwaitStarted(sched, *slow), JobState::kRunning);
+  ASSERT_TRUE(mydb_->Put("miner", "race", {}).ok());
+  const uint64_t bytes_before = mydb_->UsedBytes("miner");
+  auto done = sched.Wait(*slow);
+  EXPECT_EQ(done->state, JobState::kFailed);
+  EXPECT_EQ(done->error.code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(mydb_->UsedBytes("miner"), bytes_before);
+}
+
+TEST_F(WorkbenchSchedulerTest, PruneDropsOnlyTerminalJobs) {
+  JobScheduler sched(engine_, mydb_.get(), TwoLaneOptions());
+  auto quick = sched.Submit(
+      "alice",
+      "SELECT COUNT(*) FROM photo WHERE CIRCLE('GAL', 30, 70, 3)");
+  ASSERT_TRUE(quick.ok());
+  ASSERT_EQ(sched.Wait(*quick)->state, JobState::kSucceeded);
+  auto heavy = sched.Submit("load", kHeavyJoinSql);
+  ASSERT_TRUE(heavy.ok());
+  ASSERT_EQ(AwaitStarted(sched, *heavy), JobState::kRunning);
+
+  EXPECT_EQ(sched.PruneTerminalJobs(), 1u);
+  EXPECT_FALSE(sched.Snapshot(*quick).ok());
+  EXPECT_TRUE(sched.Snapshot(*heavy).ok());
+
+  ASSERT_TRUE(sched.Cancel(*heavy).ok());
+  EXPECT_EQ(sched.Wait(*heavy)->state, JobState::kCancelled);
+  EXPECT_EQ(sched.PruneTerminalJobs(), 1u);
+  EXPECT_TRUE(sched.Jobs().empty());
+}
+
+TEST_F(WorkbenchSchedulerTest, PerUserQuotaHoldsSecondJobInQueue) {
+  JobScheduler sched(engine_, mydb_.get(), TwoLaneOptions());
+
+  auto first = sched.Submit("load", kHeavyJoinSql);
+  ASSERT_TRUE(first.ok());
+  ASSERT_EQ(AwaitStarted(sched, *first), JobState::kRunning);
+
+  // Same user, second long job: both long workers are free, but the
+  // user quota (1) keeps it queued.
+  auto second = sched.Submit("load", "SELECT COUNT(*) FROM photo");
+  ASSERT_TRUE(second.ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(sched.Snapshot(*second)->state, JobState::kQueued);
+
+  // Another user's long job overtakes the held one.
+  auto other = sched.Submit("miner", "SELECT COUNT(*) FROM photo");
+  ASSERT_TRUE(other.ok());
+  auto other_done = sched.Wait(*other);
+  EXPECT_EQ(other_done->state, JobState::kSucceeded);
+  EXPECT_EQ(sched.Snapshot(*second)->state, JobState::kQueued);
+
+  // Releasing the first job's slot lets the held job run to completion.
+  ASSERT_TRUE(sched.Cancel(*first).ok());
+  auto second_done = sched.Wait(*second);
+  EXPECT_EQ(second_done->state, JobState::kSucceeded);
+}
+
+TEST_F(WorkbenchSchedulerTest, CancelWhileQueuedNeverRuns) {
+  JobScheduler sched(engine_, mydb_.get(), TwoLaneOptions());
+  auto first = sched.Submit("load", kHeavyJoinSql);
+  ASSERT_TRUE(first.ok());
+  ASSERT_EQ(AwaitStarted(sched, *first), JobState::kRunning);
+  auto queued = sched.Submit("load", "SELECT COUNT(*) FROM photo");
+  ASSERT_TRUE(queued.ok());
+
+  ASSERT_TRUE(sched.Cancel(*queued).ok());
+  auto done = sched.Wait(*queued);
+  ASSERT_TRUE(done.ok());
+  EXPECT_EQ(done->state, JobState::kCancelled);
+  EXPECT_EQ(done->exec.rows_emitted, 0u);
+
+  ASSERT_TRUE(sched.Cancel(*first).ok());
+  EXPECT_EQ(sched.Wait(*first)->state, JobState::kCancelled);
+}
+
+TEST_F(WorkbenchSchedulerTest, DestructorCancelsOutstandingJobs) {
+  uint64_t heavy = 0;
+  {
+    JobScheduler sched(engine_, mydb_.get(), TwoLaneOptions());
+    auto id = sched.Submit("load", kHeavyJoinSql);
+    ASSERT_TRUE(id.ok());
+    heavy = *id;
+    ASSERT_EQ(AwaitStarted(sched, heavy), JobState::kRunning);
+    // Destruction must raise the flag and join without hanging.
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace sdss::workbench
