@@ -62,6 +62,11 @@ void ReplicationManager::RecordAccess(uint64_t container, uint64_t count) {
   if (it != placement_.end()) it->second.heat += count;
 }
 
+uint64_t ReplicationManager::HeatOf(uint64_t container) const {
+  auto it = placement_.find(container);
+  return it == placement_.end() ? 0 : it->second.heat;
+}
+
 size_t ReplicationManager::LeastLoadedLiveServer(
     const std::set<size_t>& exclude) const {
   size_t best = servers_up_.size();

@@ -61,6 +61,9 @@ class ReplicationManager {
   /// Access-heat tracking ("high-traffic data").
   void RecordAccess(uint64_t container, uint64_t count = 1);
 
+  /// Recorded accesses of one container (0 for unknown containers).
+  uint64_t HeatOf(uint64_t container) const;
+
   /// Gives the hottest `top_fraction` of containers `extra` additional
   /// replicas on the least-loaded live servers. Each new replica becomes
   /// the preferred read target of its container (load-aware routing, not

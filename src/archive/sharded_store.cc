@@ -68,6 +68,11 @@ void ShardedStore::RecordAccess(uint64_t container, uint64_t count) {
   manager_.RecordAccess(container, count);
 }
 
+uint64_t ShardedStore::HeatOf(uint64_t container) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return manager_.HeatOf(container);
+}
+
 Status ShardedStore::PromoteHotContainers(double top_fraction,
                                           size_t extra) {
   std::lock_guard<std::mutex> lock(mu_);

@@ -54,6 +54,9 @@ class ShardedStore {
   /// Access-heat tracking, forwarded to the ReplicationManager.
   void RecordAccess(uint64_t container, uint64_t count = 1);
 
+  /// Recorded accesses of one container (0 for unknown containers).
+  uint64_t HeatOf(uint64_t container) const;
+
   /// Promotes the hottest containers AND makes the promotion physical:
   /// the heat-chosen servers receive a copy of each promoted container
   /// (copied from an existing replica), and the next LiveShards() routes

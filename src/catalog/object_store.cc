@@ -199,6 +199,30 @@ ObjectStore ObjectStore::ExtractContainers(
   return out;
 }
 
+Status ObjectStore::AdoptContainer(htm::HtmId trixel,
+                                   std::vector<PhotoObj> objects) {
+  if (!trixel.valid() || trixel.level() != options_.cluster_level) {
+    return Status::InvalidArgument(
+        "adopted container trixel is not at the store's cluster level");
+  }
+  if (containers_.count(trixel.raw()) > 0) {
+    return Status::AlreadyExists("container " +
+                                 std::to_string(trixel.raw()) +
+                                 " already present");
+  }
+  Container& c = containers_[trixel.raw()];
+  c.trixel = trixel;
+  c.objects = std::move(objects);
+  if (options_.build_tags) {
+    c.tags.reserve(c.objects.size());
+    for (const PhotoObj& o : c.objects) {
+      c.tags.push_back(TagObj::FromPhoto(o));
+    }
+  }
+  object_count_ += c.objects.size();
+  return Status::OK();
+}
+
 void ObjectStore::Clear() {
   containers_.clear();
   object_count_ = 0;

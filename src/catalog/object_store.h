@@ -136,6 +136,14 @@ class ObjectStore {
   /// per-server shard stores from a replication placement.
   ObjectStore ExtractContainers(const std::vector<uint64_t>& ids) const;
 
+  /// Deserialization hook: installs `objects` as the container of
+  /// `trixel` verbatim -- no re-clustering, positions are trusted -- so
+  /// a store recovered from a persist::Snapshot has byte-identical
+  /// container layout (and therefore identical scan behavior) to the
+  /// store that was written. The trixel must be at cluster_level and
+  /// not already present; tags are rebuilt when the store keeps them.
+  Status AdoptContainer(htm::HtmId trixel, std::vector<PhotoObj> objects);
+
   /// Removes everything.
   void Clear();
 

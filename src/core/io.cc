@@ -1,0 +1,178 @@
+#include "core/io.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace sdss {
+namespace {
+
+std::string Errno(const std::string& op, const std::string& path) {
+  return op + " '" + path + "': " + std::strerror(errno);
+}
+
+/// The directory part of `path` ("" -> ".").
+std::string DirName(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+Status SyncFd(int fd, const std::string& path) {
+  if (::fsync(fd) != 0) return Status::IOError(Errno("fsync", path));
+  return Status::OK();
+}
+
+}  // namespace
+
+bool PathExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+Status CreateDirs(const std::string& path) {
+  if (path.empty()) return Status::InvalidArgument("empty directory path");
+  std::string partial;
+  size_t pos = 0;
+  while (pos <= path.size()) {
+    size_t slash = path.find('/', pos);
+    if (slash == std::string::npos) slash = path.size();
+    partial = path.substr(0, slash);
+    pos = slash + 1;
+    if (partial.empty()) continue;  // Leading '/'.
+    if (::mkdir(partial.c_str(), 0775) != 0 && errno != EEXIST) {
+      return Status::IOError(Errno("mkdir", partial));
+    }
+  }
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0 || !S_ISDIR(st.st_mode)) {
+    return Status::IOError("'" + path + "' exists but is not a directory");
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> FileSize(const std::string& path) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) {
+    if (errno == ENOENT) return Status::NotFound("no file '" + path + "'");
+    return Status::IOError(Errno("stat", path));
+  }
+  return static_cast<uint64_t>(st.st_size);
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (errno == ENOENT) return Status::NotFound("no file '" + path + "'");
+    return Status::IOError(Errno("open", path));
+  }
+  std::string out;
+  char buf[1 << 16];
+  for (;;) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status s = Status::IOError(Errno("read", path));
+      ::close(fd);
+      return s;
+    }
+    if (n == 0) break;
+    out.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+Status WriteFileDurable(const std::string& path, const std::string& data) {
+  const std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                  0664);
+  if (fd < 0) return Status::IOError(Errno("open", tmp));
+  size_t written = 0;
+  while (written < data.size()) {
+    ssize_t n = ::write(fd, data.data() + written, data.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status s = Status::IOError(Errno("write", tmp));
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return s;
+    }
+    written += static_cast<size_t>(n);
+  }
+  Status sync = SyncFd(fd, tmp);
+  ::close(fd);
+  if (!sync.ok()) {
+    ::unlink(tmp.c_str());
+    return sync;
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    Status s = Status::IOError(Errno("rename", tmp));
+    ::unlink(tmp.c_str());
+    return s;
+  }
+  return SyncDir(DirName(path));
+}
+
+Status RemoveFile(const std::string& path) {
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    return Status::IOError(Errno("unlink", path));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> ListDir(const std::string& path) {
+  DIR* dir = ::opendir(path.c_str());
+  if (dir == nullptr) {
+    if (errno == ENOENT) {
+      return Status::NotFound("no directory '" + path + "'");
+    }
+    return Status::IOError(Errno("opendir", path));
+  }
+  std::vector<std::string> names;
+  while (struct dirent* ent = ::readdir(dir)) {
+    std::string name = ent->d_name;
+    if (name == "." || name == "..") continue;
+    names.push_back(std::move(name));
+  }
+  ::closedir(dir);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+Status SyncDir(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return Status::IOError(Errno("open dir", path));
+  Status s = SyncFd(fd, path);
+  ::close(fd);
+  return s;
+}
+
+Status ValidatePathComponent(const std::string& name, const char* what) {
+  auto reject = [&](const char* why) {
+    return Status::InvalidArgument(std::string(what) + " '" + name +
+                                   "' is invalid: " + why +
+                                   " (1-64 chars, no '/', no '..')");
+  };
+  if (name.empty()) return reject("empty");
+  if (name.size() > 64) return reject("longer than 64 bytes");
+  if (name.find('/') != std::string::npos ||
+      name.find('\\') != std::string::npos ||
+      name.find('\0') != std::string::npos) {
+    return reject("contains a path separator");
+  }
+  if (name[0] == '.' || name.find("..") != std::string::npos) {
+    return reject("starts with '.' or contains '..'");
+  }
+  return Status::OK();
+}
+
+}  // namespace sdss

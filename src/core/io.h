@@ -1,0 +1,61 @@
+// Filesystem primitives for the durable persistence layer.
+//
+// Thin Status-returning wrappers over POSIX: everything the persist
+// module (and anything else that touches disk) needs, in one place, so
+// error handling and durability discipline (fsync-before-rename) cannot
+// diverge between call sites. No other core header touches the
+// filesystem.
+
+#ifndef SDSS_CORE_IO_H_
+#define SDSS_CORE_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+
+namespace sdss {
+
+/// True if `path` names an existing file or directory.
+bool PathExists(const std::string& path);
+
+/// mkdir -p: creates `path` and any missing parents. OK if it already
+/// exists as a directory.
+Status CreateDirs(const std::string& path);
+
+/// Regular-file size in bytes; NotFound / IOError on failure.
+Result<uint64_t> FileSize(const std::string& path);
+
+/// Reads a whole regular file into a string.
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// Durably writes `data` as `path`: writes `path`.tmp, fsyncs it,
+/// renames over `path`, then fsyncs the parent directory -- so after an
+/// OK return the file survives a crash, and a crash mid-write leaves at
+/// worst a `.tmp` leftover, never a half-written `path`.
+Status WriteFileDurable(const std::string& path, const std::string& data);
+
+/// Deletes a file. OK if it does not exist (idempotent cleanup).
+Status RemoveFile(const std::string& path);
+
+/// Names (not paths) of the entries of a directory, sorted. "." and ".."
+/// are omitted. NotFound when the directory does not exist.
+Result<std::vector<std::string>> ListDir(const std::string& path);
+
+/// Fsyncs a directory, making previously created/renamed entries
+/// durable.
+Status SyncDir(const std::string& path);
+
+/// Validates `name` as a single on-disk path component: non-empty, at
+/// most 64 bytes, no '/', '\\', or NUL, no leading '.', and no ".."
+/// anywhere (so a name can never escape or hide inside its directory).
+/// `what` labels the error message
+/// ("mydb table name"). Always kInvalidArgument on rejection -- the
+/// parser and archive::MyDb both gate on this one function so the two
+/// layers cannot disagree.
+Status ValidatePathComponent(const std::string& name, const char* what);
+
+}  // namespace sdss
+
+#endif  // SDSS_CORE_IO_H_

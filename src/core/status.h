@@ -28,6 +28,9 @@ enum class StatusCode {
   kResourceExhausted,
   kInternal,
   kCancelled,
+  /// The operation was interrupted mid-flight (e.g. by a crash) and left
+  /// no partial effects; retrying the whole operation is safe.
+  kAborted,
 };
 
 /// Returns a stable human-readable name for a status code ("InvalidArgument").
@@ -76,6 +79,9 @@ class Status {
   }
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
   }
 
   /// True iff the operation succeeded.

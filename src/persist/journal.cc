@@ -1,0 +1,248 @@
+#include "persist/journal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "core/io.h"
+#include "persist/coding.h"
+#include "persist/crc32.h"
+
+namespace sdss::persist {
+namespace {
+
+constexpr char kSegmentPrefix[] = "journal-";
+constexpr char kSegmentSuffix[] = ".log";
+constexpr size_t kFrameHeaderBytes = 8;  // crc:u32 + len:u32.
+/// Upper bound on one record: anything larger in a length field is
+/// corruption, not a record (journal users write KB-scale records).
+constexpr uint32_t kMaxRecordBytes = 64u << 20;
+
+std::string SegmentName(uint64_t segment) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%s%06llu%s", kSegmentPrefix,
+                static_cast<unsigned long long>(segment), kSegmentSuffix);
+  return buf;
+}
+
+/// Parses "journal-NNNNNN.log" -> NNNNNN; 0 if the name does not match.
+uint64_t SegmentNumber(const std::string& name) {
+  const size_t prefix = sizeof(kSegmentPrefix) - 1;
+  const size_t suffix = sizeof(kSegmentSuffix) - 1;
+  if (name.size() <= prefix + suffix) return 0;
+  if (name.compare(0, prefix, kSegmentPrefix) != 0) return 0;
+  if (name.compare(name.size() - suffix, suffix, kSegmentSuffix) != 0) {
+    return 0;
+  }
+  uint64_t n = 0;
+  for (size_t i = prefix; i < name.size() - suffix; ++i) {
+    if (name[i] < '0' || name[i] > '9') return 0;
+    n = n * 10 + static_cast<uint64_t>(name[i] - '0');
+  }
+  return n;
+}
+
+/// CRC of a frame: the len field followed by the payload.
+uint32_t FrameCrc(uint32_t len, std::string_view payload) {
+  std::string len_bytes;
+  PutFixed32(&len_bytes, len);
+  return Crc32(payload.data(), payload.size(), Crc32(len_bytes));
+}
+
+}  // namespace
+
+std::vector<std::string> ListJournalSegments(const std::string& dir) {
+  std::vector<std::string> segments;
+  auto entries = ListDir(dir);
+  if (!entries.ok()) return segments;
+  for (const std::string& name : *entries) {
+    if (SegmentNumber(name) > 0) segments.push_back(name);
+  }
+  // Fixed-width numbering makes lexicographic == numeric order, but be
+  // explicit in case a segment count ever overflows the width.
+  std::sort(segments.begin(), segments.end(),
+            [](const std::string& a, const std::string& b) {
+              return SegmentNumber(a) < SegmentNumber(b);
+            });
+  return segments;
+}
+
+Result<std::unique_ptr<Journal>> Journal::Open(const std::string& dir,
+                                               Options options) {
+  SDSS_RETURN_IF_ERROR(CreateDirs(dir));
+  uint64_t max_segment = 0;
+  for (const std::string& name : ListJournalSegments(dir)) {
+    max_segment = std::max(max_segment, SegmentNumber(name));
+  }
+  // Never append to an existing segment: its tail may be torn, and a
+  // frame written after a torn tail would be unreachable to replay.
+  std::unique_ptr<Journal> journal(
+      new Journal(dir, options, max_segment + 1));
+  {
+    std::lock_guard<std::mutex> lock(journal->mu_);
+    SDSS_RETURN_IF_ERROR(journal->OpenSegmentLocked(max_segment + 1));
+  }
+  return journal;
+}
+
+Journal::Journal(std::string dir, Options options, uint64_t first_segment)
+    : dir_(std::move(dir)), options_(options), segment_(first_segment) {}
+
+Journal::~Journal() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ >= 0) {
+    ::fdatasync(fd_);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status Journal::OpenSegmentLocked(uint64_t segment) {
+  if (fd_ >= 0) {
+    if (::fdatasync(fd_) != 0 || ::close(fd_) != 0) {
+      fd_ = -1;
+      return Status::IOError("closing journal segment: " +
+                             std::string(std::strerror(errno)));
+    }
+    fd_ = -1;
+  }
+  const std::string path = dir_ + "/" + SegmentName(segment);
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_EXCL | O_CLOEXEC,
+               0664);
+  if (fd_ < 0) {
+    return Status::IOError("open journal segment '" + path +
+                           "': " + std::strerror(errno));
+  }
+  segment_ = segment;
+  segment_bytes_written_ = 0;
+  // Make the new directory entry durable so a post-crash replay sees
+  // the segment (and with it the ordering boundary).
+  return SyncDir(dir_);
+}
+
+Status Journal::RotateLocked() { return OpenSegmentLocked(segment_ + 1); }
+
+Status Journal::PoisonLocked(Status error) {
+  poisoned_ = error;
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  return error;
+}
+
+Status Journal::Append(std::string_view record) {
+  if (record.size() > kMaxRecordBytes) {
+    return Status::InvalidArgument("journal record exceeds 64 MiB");
+  }
+  std::string frame;
+  frame.reserve(kFrameHeaderBytes + record.size());
+  const uint32_t len = static_cast<uint32_t>(record.size());
+  PutFixed32(&frame, FrameCrc(len, record));
+  PutFixed32(&frame, len);
+  frame.append(record.data(), record.size());
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!poisoned_.ok()) return poisoned_;
+  if (fd_ < 0) return Status::FailedPrecondition("journal is closed");
+  if (segment_bytes_written_ >= options_.segment_bytes) {
+    SDSS_RETURN_IF_ERROR(RotateLocked());
+  }
+  size_t written = 0;
+  while (written < frame.size()) {
+    ssize_t n =
+        ::write(fd_, frame.data() + written, frame.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      // The frame may be partially on disk: nothing may ever be
+      // appended behind it (replay could not reach it).
+      return PoisonLocked(Status::IOError(
+          "journal append: " + std::string(std::strerror(errno))));
+    }
+    written += static_cast<size_t>(n);
+  }
+  segment_bytes_written_ += frame.size();
+  if (options_.sync_each_append && ::fdatasync(fd_) != 0) {
+    // The record was written but not acknowledged durable -- yet the
+    // kernel may still flush it later. The only safe stance is to stop
+    // appending: the record stays un-acked AND nothing lands behind it.
+    return PoisonLocked(Status::IOError(
+        "journal sync: " + std::string(std::strerror(errno))));
+  }
+  ++records_;
+  return Status::OK();
+}
+
+Status Journal::Sync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!poisoned_.ok()) return poisoned_;
+  if (fd_ < 0) return Status::FailedPrecondition("journal is closed");
+  if (::fdatasync(fd_) != 0) {
+    return PoisonLocked(Status::IOError(
+        "journal sync: " + std::string(std::strerror(errno))));
+  }
+  return Status::OK();
+}
+
+uint64_t Journal::records_appended() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_;
+}
+
+uint64_t Journal::current_segment() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return segment_;
+}
+
+Result<ReplayReport> ReplayJournal(
+    const std::string& dir,
+    const std::function<Status(std::string_view)>& apply) {
+  ReplayReport report;
+  if (!PathExists(dir)) return report;  // Fresh start.
+  auto note_tail = [&report](const std::string& what,
+                             const std::string& segment, size_t offset) {
+    if (!report.tail_note.empty()) report.tail_note += "; ";
+    report.tail_note +=
+        what + " in " + segment + " at offset " + std::to_string(offset);
+  };
+  for (const std::string& name : ListJournalSegments(dir)) {
+    const std::string path = dir + "/" + name;
+    auto data = ReadFileToString(path);
+    if (!data.ok()) return data.status();
+    ++report.segments;
+    Cursor cursor(*data);
+    while (!cursor.done()) {
+      const size_t frame_start = cursor.position();
+      uint32_t crc = 0, len = 0;
+      if (!cursor.GetFixed32(&crc) || !cursor.GetFixed32(&len) ||
+          len > kMaxRecordBytes || cursor.remaining() < len) {
+        // Torn tail: a frame the writer never finished. Everything
+        // after it in THIS segment is unreachable (the frame boundary
+        // is lost), but later segments were written by later
+        // incarnations -- a reopen never appends to a torn segment --
+        // so their committed records must still replay. Skip to the
+        // next segment instead of aborting the whole journal.
+        report.dropped_bytes += data->size() - frame_start;
+        note_tail("torn frame", name, frame_start);
+        break;
+      }
+      std::string_view payload(data->data() + cursor.position(), len);
+      cursor.Skip(len);
+      if (FrameCrc(len, payload) != crc) {
+        report.dropped_bytes += data->size() - frame_start;
+        note_tail("bad frame CRC", name, frame_start);
+        break;
+      }
+      SDSS_RETURN_IF_ERROR(apply(payload));
+      ++report.records;
+    }
+  }
+  return report;
+}
+
+}  // namespace sdss::persist

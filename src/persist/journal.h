@@ -1,0 +1,128 @@
+// Append-only, CRC32-framed, segment-rotating write-ahead journal.
+//
+// The durability half of the persistence subsystem: state-changing
+// operations (MyDB creates/drops/quota updates, workbench job
+// transitions) append one framed record each, and recovery replays the
+// records in order to rebuild the in-memory state a crash destroyed.
+//
+// On-disk format (see BUILDING.md "On-disk formats"):
+//
+//   <dir>/journal-000001.log, journal-000002.log, ...   (segments)
+//
+//   segment := frame*
+//   frame   := crc:u32 | len:u32 | payload:len bytes
+//
+// `crc` is the CRC-32 of the len field plus the payload, so neither a
+// torn length nor a torn payload can frame-shift the reader. Replay
+// walks segments in numeric order and stops cleanly at the first frame
+// that is incomplete (torn tail: fewer bytes than the header claims) or
+// whose CRC mismatches -- everything before that point is replayed,
+// nothing after it is trusted. A reopened journal never appends to an
+// old segment (the tail may be torn); it always starts segment max+1,
+// so the "last valid frame" boundary is stable across restarts.
+
+#ifndef SDSS_PERSIST_JOURNAL_H_
+#define SDSS_PERSIST_JOURNAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "core/status.h"
+
+namespace sdss::persist {
+
+/// Append side. Thread-safe: Append may be called from any thread.
+class Journal {
+ public:
+  struct Options {
+    /// A segment exceeding this after an append is closed and the next
+    /// append opens a fresh one.
+    uint64_t segment_bytes = 4ull << 20;
+    /// fdatasync after every append: the record is durable when Append
+    /// returns. Turning this off batches syncs into explicit Sync()
+    /// calls (faster, but a crash can lose un-synced suffix records --
+    /// replay still stops cleanly, it just stops earlier).
+    bool sync_each_append = true;
+  };
+
+  /// Opens `dir` for appending (creating it if needed). Existing
+  /// segments are left untouched; appends go to a new segment numbered
+  /// one past the highest present.
+  static Result<std::unique_ptr<Journal>> Open(const std::string& dir,
+                                               Options options);
+  static Result<std::unique_ptr<Journal>> Open(const std::string& dir) {
+    return Open(dir, Options());
+  }
+
+  ~Journal();
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  /// Appends one framed record (durable on return when
+  /// sync_each_append). After a write or sync failure the journal is
+  /// POISONED: the segment may hold a partial frame, and bytes whose
+  /// sync failed may still reach the disk later, so no further record
+  /// may be appended behind them -- every subsequent Append/Sync
+  /// returns the original error. (Replay handles the torn segment; a
+  /// reopened journal starts a fresh one.)
+  Status Append(std::string_view record);
+
+  /// Flushes appended-but-unsynced records to stable storage.
+  Status Sync();
+
+  const std::string& dir() const { return dir_; }
+  uint64_t records_appended() const;
+  uint64_t current_segment() const;
+
+ private:
+  Journal(std::string dir, Options options, uint64_t first_segment);
+
+  Status RotateLocked();  ///< Opens segment `segment_ + 1`. Needs mu_.
+  Status OpenSegmentLocked(uint64_t segment);
+
+  /// Closes the fd and records `error` as the permanent poison status.
+  /// Needs mu_.
+  Status PoisonLocked(Status error);
+
+  const std::string dir_;
+  const Options options_;
+  mutable std::mutex mu_;
+  Status poisoned_;  ///< Non-OK once an append/sync failed.
+  int fd_ = -1;
+  uint64_t segment_ = 0;
+  uint64_t segment_bytes_written_ = 0;
+  uint64_t records_ = 0;
+};
+
+/// Outcome of a replay pass.
+struct ReplayReport {
+  uint64_t records = 0;   ///< Records successfully decoded and applied.
+  uint64_t segments = 0;  ///< Segment files visited.
+  /// Bytes after the last valid frame that were ignored (torn tail or
+  /// trailing corruption). 0 means every byte decoded cleanly.
+  uint64_t dropped_bytes = 0;
+  /// Human-readable note when dropped_bytes > 0 ("torn frame in
+  /// journal-000002.log at offset 128").
+  std::string tail_note;
+};
+
+/// Replays every valid record of the journal in `dir` in append order,
+/// invoking `apply` for each. A non-OK status from `apply` aborts the
+/// replay and is returned. A missing directory replays zero records
+/// (fresh start). Torn or corrupt tails are not errors: replay stops at
+/// the last valid frame and reports what it dropped.
+Result<ReplayReport> ReplayJournal(
+    const std::string& dir,
+    const std::function<Status(std::string_view)>& apply);
+
+/// Names of the journal segment files in `dir`, ascending. Empty when
+/// the directory does not exist.
+std::vector<std::string> ListJournalSegments(const std::string& dir);
+
+}  // namespace sdss::persist
+
+#endif  // SDSS_PERSIST_JOURNAL_H_

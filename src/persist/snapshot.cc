@@ -1,0 +1,229 @@
+#include "persist/snapshot.h"
+
+#include <bit>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "core/io.h"
+#include "htm/htm_id.h"
+#include "persist/coding.h"
+#include "persist/crc32.h"
+
+namespace sdss::persist {
+namespace {
+
+constexpr char kMagic[8] = {'S', 'D', 'S', 'S', 'S', 'N', 'P', '1'};
+constexpr uint32_t kVersion = 1;
+constexpr size_t kHeaderBytes = 8 + 4 + 4 + 1 + 8 + 8;
+constexpr size_t kTrailerBytes = 4;
+/// Fixed bytes of one object across all columns (the n-proportional part
+/// of a container block).
+constexpr uint64_t kBytesPerObject = 8 +       // obj_id
+                                     3 * 8 +   // x y z
+                                     2 * 8 +   // ra dec
+                                     5 * 4 +   // mag
+                                     5 * 4 +   // mag_err
+                                     8 * 4 +   // profile
+                                     3 * 4 +   // petro sb redshift
+                                     4 +       // flags
+                                     1 +       // class
+                                     8;        // htm_leaf
+
+void PutF32(std::string* dst, float v) {
+  PutFixed32(dst, std::bit_cast<uint32_t>(v));
+}
+void PutF64(std::string* dst, double v) {
+  PutFixed64(dst, std::bit_cast<uint64_t>(v));
+}
+bool GetF32(Cursor* c, float* v) {
+  uint32_t bits;
+  if (!c->GetFixed32(&bits)) return false;
+  *v = std::bit_cast<float>(bits);
+  return true;
+}
+bool GetF64(Cursor* c, double* v) {
+  uint64_t bits;
+  if (!c->GetFixed64(&bits)) return false;
+  *v = std::bit_cast<double>(bits);
+  return true;
+}
+
+Status Corrupt(const std::string& why) {
+  return Status::Corruption("snapshot: " + why);
+}
+
+void EncodeContainer(const catalog::Container& c, std::string* out) {
+  const auto& objs = c.objects;
+  const uint64_t n = objs.size();
+  PutFixed64(out, c.trixel.raw());
+  PutFixed64(out, n);
+  for (const auto& o : objs) PutFixed64(out, o.obj_id);
+  for (const auto& o : objs) PutF64(out, o.pos.x);
+  for (const auto& o : objs) PutF64(out, o.pos.y);
+  for (const auto& o : objs) PutF64(out, o.pos.z);
+  for (const auto& o : objs) PutF64(out, o.ra_deg);
+  for (const auto& o : objs) PutF64(out, o.dec_deg);
+  for (int b = 0; b < catalog::kNumBands; ++b) {
+    for (const auto& o : objs) PutF32(out, o.mag[b]);
+  }
+  for (int b = 0; b < catalog::kNumBands; ++b) {
+    for (const auto& o : objs) PutF32(out, o.mag_err[b]);
+  }
+  for (int p = 0; p < catalog::kProfileBins; ++p) {
+    for (const auto& o : objs) PutF32(out, o.profile[p]);
+  }
+  for (const auto& o : objs) PutF32(out, o.petro_radius_arcsec);
+  for (const auto& o : objs) PutF32(out, o.surface_brightness);
+  for (const auto& o : objs) PutF32(out, o.redshift);
+  for (const auto& o : objs) PutFixed32(out, o.flags);
+  for (const auto& o : objs) {
+    PutFixed8(out, static_cast<uint8_t>(o.obj_class));
+  }
+  for (const auto& o : objs) PutFixed64(out, o.htm_leaf);
+}
+
+bool DecodeContainer(Cursor* cursor, uint64_t* trixel_raw,
+                     std::vector<catalog::PhotoObj>* objs) {
+  uint64_t n = 0;
+  if (!cursor->GetFixed64(trixel_raw) || !cursor->GetFixed64(&n)) {
+    return false;
+  }
+  // Division avoids overflow on a corrupt (huge) count.
+  if (n > cursor->remaining() / kBytesPerObject) return false;
+  objs->assign(n, catalog::PhotoObj{});
+  auto& v = *objs;
+  bool ok = true;
+  for (auto& o : v) ok = ok && cursor->GetFixed64(&o.obj_id);
+  for (auto& o : v) ok = ok && GetF64(cursor, &o.pos.x);
+  for (auto& o : v) ok = ok && GetF64(cursor, &o.pos.y);
+  for (auto& o : v) ok = ok && GetF64(cursor, &o.pos.z);
+  for (auto& o : v) ok = ok && GetF64(cursor, &o.ra_deg);
+  for (auto& o : v) ok = ok && GetF64(cursor, &o.dec_deg);
+  for (int b = 0; b < catalog::kNumBands; ++b) {
+    for (auto& o : v) ok = ok && GetF32(cursor, &o.mag[b]);
+  }
+  for (int b = 0; b < catalog::kNumBands; ++b) {
+    for (auto& o : v) ok = ok && GetF32(cursor, &o.mag_err[b]);
+  }
+  for (int p = 0; p < catalog::kProfileBins; ++p) {
+    for (auto& o : v) ok = ok && GetF32(cursor, &o.profile[p]);
+  }
+  for (auto& o : v) ok = ok && GetF32(cursor, &o.petro_radius_arcsec);
+  for (auto& o : v) ok = ok && GetF32(cursor, &o.surface_brightness);
+  for (auto& o : v) ok = ok && GetF32(cursor, &o.redshift);
+  for (auto& o : v) ok = ok && cursor->GetFixed32(&o.flags);
+  for (auto& o : v) {
+    uint8_t cls = 0;
+    ok = ok && cursor->GetFixed8(&cls);
+    o.obj_class = static_cast<catalog::ObjClass>(cls);
+  }
+  for (auto& o : v) ok = ok && cursor->GetFixed64(&o.htm_leaf);
+  return ok;
+}
+
+}  // namespace
+
+std::string EncodeSnapshot(const catalog::ObjectStore& store) {
+  std::string out;
+  uint64_t payload = 0;
+  for (const auto& [raw, c] : store.containers()) {
+    payload += 16 + c.objects.size() * kBytesPerObject;
+  }
+  out.reserve(kHeaderBytes + payload + kTrailerBytes);
+  out.append(kMagic, sizeof(kMagic));
+  PutFixed32(&out, kVersion);
+  PutFixed32(&out, static_cast<uint32_t>(store.cluster_level()));
+  PutFixed8(&out, store.options().build_tags ? 1 : 0);
+  PutFixed64(&out, store.container_count());
+  PutFixed64(&out, store.object_count());
+  // std::map iteration is trixel-ascending: the encoding is canonical,
+  // so byte-comparing two snapshots compares the stores.
+  for (const auto& [raw, c] : store.containers()) {
+    EncodeContainer(c, &out);
+  }
+  PutFixed32(&out, Crc32(out));
+  return out;
+}
+
+Result<SnapshotHeader> DecodeSnapshotHeader(std::string_view data) {
+  if (data.size() < kHeaderBytes + kTrailerBytes) {
+    return Corrupt("file shorter than header + trailer");
+  }
+  if (std::memcmp(data.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Corrupt("bad magic");
+  }
+  const uint32_t crc =
+      Crc32(data.data(), data.size() - kTrailerBytes);
+  Cursor trailer(data);
+  trailer.Skip(data.size() - kTrailerBytes);
+  uint32_t stored_crc = 0;
+  trailer.GetFixed32(&stored_crc);
+  if (crc != stored_crc) return Corrupt("CRC mismatch");
+
+  Cursor cursor(data);
+  cursor.Skip(sizeof(kMagic));
+  SnapshotHeader h;
+  uint32_t level = 0;
+  uint8_t tags = 0;
+  if (!cursor.GetFixed32(&h.version) || !cursor.GetFixed32(&level) ||
+      !cursor.GetFixed8(&tags) || !cursor.GetFixed64(&h.container_count) ||
+      !cursor.GetFixed64(&h.object_count)) {
+    return Corrupt("truncated header");
+  }
+  if (h.version != kVersion) {
+    return Corrupt("unsupported version " + std::to_string(h.version));
+  }
+  h.cluster_level = static_cast<int>(level);
+  h.build_tags = tags != 0;
+  return h;
+}
+
+Result<catalog::ObjectStore> DecodeSnapshot(std::string_view data) {
+  auto header = DecodeSnapshotHeader(data);
+  if (!header.ok()) return header.status();
+
+  catalog::StoreOptions options;
+  options.cluster_level = header->cluster_level;
+  options.build_tags = header->build_tags;
+  catalog::ObjectStore store(options);
+
+  Cursor cursor(data.substr(0, data.size() - kTrailerBytes));
+  cursor.Skip(kHeaderBytes);
+  for (uint64_t i = 0; i < header->container_count; ++i) {
+    uint64_t trixel_raw = 0;
+    std::vector<catalog::PhotoObj> objects;
+    if (!DecodeContainer(&cursor, &trixel_raw, &objects)) {
+      return Corrupt("truncated container block " + std::to_string(i));
+    }
+    auto trixel = htm::HtmId::FromRaw(trixel_raw);
+    if (!trixel.ok()) return Corrupt("invalid container trixel id");
+    SDSS_RETURN_IF_ERROR(store.AdoptContainer(*trixel, std::move(objects)));
+  }
+  if (!cursor.done()) return Corrupt("trailing bytes after containers");
+  if (store.object_count() != header->object_count) {
+    return Corrupt("object count mismatch");
+  }
+  return store;
+}
+
+Status SnapshotWriter::Write(const catalog::ObjectStore& store) {
+  std::string encoded = EncodeSnapshot(store);
+  SDSS_RETURN_IF_ERROR(WriteFileDurable(path_, encoded));
+  bytes_written_ = encoded.size();
+  return Status::OK();
+}
+
+Result<catalog::ObjectStore> SnapshotReader::Read() const {
+  auto data = ReadFileToString(path_);
+  if (!data.ok()) return data.status();
+  return DecodeSnapshot(*data);
+}
+
+Result<SnapshotHeader> SnapshotReader::ReadHeader() const {
+  auto data = ReadFileToString(path_);
+  if (!data.ok()) return data.status();
+  return DecodeSnapshotHeader(*data);
+}
+
+}  // namespace sdss::persist

@@ -1,0 +1,98 @@
+// Binary columnar snapshots of catalog::ObjectStore.
+//
+// The checkpoint half of the persistence subsystem: a snapshot is one
+// self-verifying file holding a whole store -- every PhotoObj field as
+// a per-container column, containers in trixel order -- so a recovered
+// store is bit-exact (re-encoding it yields the identical byte string)
+// and scans at the same speed as the store that was written: container
+// clustering, contiguity, and the tag partition all survive the round
+// trip (tags are rebuilt deterministically from the photo columns).
+//
+// On-disk format (see BUILDING.md "On-disk formats"):
+//
+//   header   := magic "SDSSSNP1" | version:u32 | cluster_level:u32 |
+//               build_tags:u8 | container_count:u64 | object_count:u64
+//   container:= trixel:u64 | n:u64 | columns
+//   columns  := obj_id[n]:u64 | x[n]:f64 | y[n]:f64 | z[n]:f64 |
+//               ra[n]:f64 | dec[n]:f64 | mag[5][n]:f32 |
+//               mag_err[5][n]:f32 | profile[8][n]:f32 | petro[n]:f32 |
+//               sb[n]:f32 | redshift[n]:f32 | flags[n]:u32 |
+//               class[n]:u8 | htm_leaf[n]:u64
+//   trailer  := crc:u32   (CRC-32 of every preceding byte)
+//
+// All integers and IEEE floats are little-endian. Files are written
+// durably (temp + fsync + rename), so a crash mid-write leaves at worst
+// a `.tmp` leftover and never a readable-but-partial snapshot.
+
+#ifndef SDSS_PERSIST_SNAPSHOT_H_
+#define SDSS_PERSIST_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "catalog/object_store.h"
+#include "core/status.h"
+
+namespace sdss::persist {
+
+/// Decoded snapshot header (a cheap peek that reads no column data).
+struct SnapshotHeader {
+  uint32_t version = 0;
+  int cluster_level = 0;
+  bool build_tags = false;
+  uint64_t container_count = 0;
+  uint64_t object_count = 0;
+};
+
+/// Serializes `store` into the snapshot byte format (header + columns +
+/// CRC trailer). Deterministic: equal stores encode to equal bytes.
+std::string EncodeSnapshot(const catalog::ObjectStore& store);
+
+/// Decodes and verifies a snapshot byte string (magic, version, CRC,
+/// exact length) into a freshly built store. Corruption anywhere --
+/// truncation, a flipped bit, trailing garbage -- fails with
+/// kCorruption; no partial store is ever returned.
+Result<catalog::ObjectStore> DecodeSnapshot(std::string_view data);
+
+/// Header of an encoded snapshot without decoding the columns.
+Result<SnapshotHeader> DecodeSnapshotHeader(std::string_view data);
+
+/// Writes snapshots durably to one path.
+class SnapshotWriter {
+ public:
+  explicit SnapshotWriter(std::string path) : path_(std::move(path)) {}
+
+  /// Encodes `store` and durably writes it (temp + fsync + rename).
+  Status Write(const catalog::ObjectStore& store);
+
+  const std::string& path() const { return path_; }
+  /// Size of the last successful Write, 0 before one.
+  uint64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  std::string path_;
+  uint64_t bytes_written_ = 0;
+};
+
+/// Reads and verifies snapshots from one path.
+class SnapshotReader {
+ public:
+  explicit SnapshotReader(std::string path) : path_(std::move(path)) {}
+
+  /// Loads the whole store. Any corruption yields kCorruption and no
+  /// store.
+  Result<catalog::ObjectStore> Read() const;
+
+  /// Verifies the file and returns only its header.
+  Result<SnapshotHeader> ReadHeader() const;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+}  // namespace sdss::persist
+
+#endif  // SDSS_PERSIST_SNAPSHOT_H_

@@ -29,6 +29,9 @@ struct RunContext {
   /// scan and join loops so a long-running query releases its threads
   /// within one object/pair step of the flag being raised.
   const std::atomic<bool>* cancel = nullptr;
+  /// Heat feedback: non-null when the caller wants to see every archive
+  /// container the tree reads (thread-safe; personal stores excluded).
+  const AccessRecorder* access = nullptr;
   std::atomic<uint64_t> containers_scanned{0};
   std::atomic<uint64_t> objects_examined{0};
   std::atomic<uint64_t> objects_matched{0};
@@ -42,6 +45,9 @@ struct RunContext {
   bool has_error() {
     std::lock_guard<std::mutex> lock(mu);
     return !first_error.ok();
+  }
+  void RecordContainerAccess(const Container* c) {
+    if (access != nullptr && *access) (*access)(c->trixel.raw());
   }
   /// True once the cancel flag is raised; records the Cancelled status
   /// (first error wins) so the tree unwinds like any scan failure.
@@ -271,11 +277,13 @@ Result<ExecStats> Executor::Run(
 Result<ExecStats> Executor::RunTree(
     const PlanNode* root, const std::function<bool(RowBatch&&)>& on_batch,
     const std::unordered_set<uint64_t>* container_filter,
-    const PairJoinGhosts* join_ghosts, const std::atomic<bool>* cancel) {
+    const PairJoinGhosts* join_ghosts, const std::atomic<bool>* cancel,
+    const AccessRecorder* access_recorder) {
   if (root == nullptr) return Status::InvalidArgument("empty plan");
 
   auto ctx = std::make_shared<RunContext>();
   ctx->cancel = cancel;
+  ctx->access = access_recorder;
   NodeRuntime runtime;
 
   // Recursive node launcher. Each call wires `node` to write into `out`.
@@ -303,6 +311,9 @@ Result<ExecStats> Executor::RunTree(
                 }
                 const Container* c = containers[ci];
                 ctx->containers_scanned.fetch_add(1);
+                if (node->type != PlanNodeType::kMyDbScan) {
+                  ctx->RecordContainerAccess(c);
+                }
                 Rng rng(node->sample_seed + salt.fetch_add(1) * 7919 + ci);
                 RowBatch batch;
                 batch.reserve(options_.batch_size);
@@ -364,6 +375,7 @@ Result<ExecStats> Executor::RunTree(
                 }
                 const Container* c = containers[ci];
                 ctx->containers_scanned.fetch_add(1);
+                ctx->RecordContainerAccess(c);
                 ctx->bytes_touched.fetch_add(c->FullBytes());
                 // Filter + cover outside the lock; insert under it.
                 std::vector<std::pair<const PhotoObj*,
@@ -659,6 +671,9 @@ Result<ExecStats> Executor::RunTree(
                   }
                   const Container* c = containers[ci];
                   ctx->containers_scanned.fetch_add(1);
+                  if (scan->type != PlanNodeType::kMyDbScan) {
+                    ctx->RecordContainerAccess(c);
+                  }
                   Rng rng(scan->sample_seed + salt.fetch_add(1) * 7919 +
                           ci);
                   AggFold local;

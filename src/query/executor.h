@@ -71,6 +71,13 @@ struct AggFold {
 /// otherwise.
 ResultRow FinishAggregate(AggFunc agg, bool partial, const AggFold& fold);
 
+/// Observes every archive container a scan actually reads (called once
+/// per container per scan, from pool threads -- implementations must be
+/// thread-safe). The workbench binds this to
+/// archive::ShardedStore::RecordAccess so mining jobs feed the
+/// replica-promotion heat loop; personal (mydb) stores never report.
+using AccessRecorder = std::function<void(uint64_t container)>;
+
 /// Boundary objects another shard shipped to this executor's pair join:
 /// already phase-1 filtered, added to the hash as foreign ghosts (they
 /// complete cross-shard pairs but never initiate emission). Owned by the
@@ -115,12 +122,14 @@ class Executor {
   /// here. `cancel`, when non-null, is a cooperative cancel flag: the
   /// scan and join loops poll it per object/pair, and a raised flag
   /// aborts the tree with a Cancelled status (the batch-workbench job
-  /// cancellation path).
+  /// cancellation path). `access_recorder`, when non-null, sees the id
+  /// of every non-personal container the tree scans.
   Result<ExecStats> RunTree(
       const PlanNode* root, const std::function<bool(RowBatch&&)>& on_batch,
       const std::unordered_set<uint64_t>* container_filter = nullptr,
       const PairJoinGhosts* join_ghosts = nullptr,
-      const std::atomic<bool>* cancel = nullptr);
+      const std::atomic<bool>* cancel = nullptr,
+      const AccessRecorder* access_recorder = nullptr);
 
   ThreadPool* pool() { return pool_; }
 

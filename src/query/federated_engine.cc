@@ -239,6 +239,9 @@ struct FederatedQueryEngine::Prepared {
   Plan plan;
   /// The plan reads a personal mydb store: run locally, not fanned out.
   bool mydb = false;
+  /// The job's heat feedback hook (points into the caller's ExecContext,
+  /// which outlives the run). Null when the job does not record heat.
+  const AccessRecorder* access = nullptr;
 };
 
 FederatedQueryEngine::FederatedQueryEngine(std::vector<Shard> shards,
@@ -278,6 +281,7 @@ Result<FederatedQueryEngine::Prepared> FederatedQueryEngine::Prepare(
   // a per-user mydb namespace on top of the engine's planner options.
   PlannerOptions planner = options_.planner;
   if (ctx.mydb) planner.mydb = ctx.mydb;
+  if (ctx.access_recorder) prep.access = &ctx.access_recorder;
   auto plan = BuildPlan(prep.parsed, *prep.shards[0].store, planner);
   if (!plan.ok()) return plan.status();
   prep.plan = std::move(plan).value();
@@ -308,7 +312,7 @@ Result<ExecStats> FederatedQueryEngine::RunFederated(
     size_t order_col, bool order_desc, int64_t global_limit,
     const std::function<bool(RowBatch&&)>& sink,
     const std::vector<PairJoinGhosts>* join_ghosts, bool dedupe_pairs,
-    const std::atomic<bool>* cancel) {
+    const std::atomic<bool>* cancel, const AccessRecorder* access) {
   auto t0 = std::chrono::steady_clock::now();
   const size_t n = shards.size();
 
@@ -336,11 +340,12 @@ Result<ExecStats> FederatedQueryEngine::RunFederated(
     Result<ExecStats>* slot = &shard_stats[i];
     const PairJoinGhosts* ghosts =
         join_ghosts != nullptr ? &(*join_ghosts)[i] : nullptr;
-    threads.Spawn([this, root, shard, ch, slot, ghosts, cancel] {
+    threads.Spawn([this, root, shard, ch, slot, ghosts, cancel, access] {
       Executor executor(shard.store, options_.executor, &pool_);
       *slot = executor.RunTree(
           root, [&ch](RowBatch&& batch) { return ch->Push(std::move(batch)); },
-          shard.assigned ? shard.assigned.get() : nullptr, ghosts, cancel);
+          shard.assigned ? shard.assigned.get() : nullptr, ghosts, cancel,
+          access);
       ch->CloseWriter();
     });
   }
@@ -479,7 +484,8 @@ Result<ExecStats> FederatedQueryEngine::RunJoinFederated(
   if (agg == nullptr) {
     auto st = RunFederated(prep.shards, root, chain.ordered,
                            chain.order_col, chain.order_desc, chain.limit,
-                           sink, &*ghosts, /*dedupe_pairs=*/true, cancel);
+                           sink, &*ghosts, /*dedupe_pairs=*/true, cancel,
+                           prep.access);
     if (!st.ok()) return st.status();
     ExecStats stats = *st;
     stats.seconds_total += harvest_seconds;
@@ -496,7 +502,8 @@ Result<ExecStats> FederatedQueryEngine::RunJoinFederated(
                            }
                            return true;
                          },
-                         &*ghosts, /*dedupe_pairs=*/true, cancel);
+                         &*ghosts, /*dedupe_pairs=*/true, cancel,
+                         prep.access);
   if (!st.ok()) return st.status();
   ExecStats stats = *st;
   RowBatch batch;
@@ -542,7 +549,7 @@ Result<ExecStats> FederatedQueryEngine::RunSetWithBranchLimits(
                              }
                              return true;
                            },
-                           nullptr, false, cancel);
+                           nullptr, false, cancel, prep.access);
     if (!st.ok()) return st.status();
     stats.containers_scanned += st->containers_scanned;
     stats.objects_examined += st->objects_examined;
@@ -654,7 +661,7 @@ Result<ExecStats> FederatedQueryEngine::RunPrepared(
                                }
                                return true;
                              },
-                             nullptr, false, cancel);
+                             nullptr, false, cancel, prep.access);
       if (!st.ok()) return st.status();
       stats = *st;
     } else {
@@ -675,7 +682,7 @@ Result<ExecStats> FederatedQueryEngine::RunPrepared(
                                }
                                return true;
                              },
-                             nullptr, false, cancel);
+                             nullptr, false, cancel, prep.access);
       agg->agg_partial = false;
       if (!st.ok()) return st.status();
       stats = *st;
@@ -693,7 +700,7 @@ Result<ExecStats> FederatedQueryEngine::RunPrepared(
   ChainInfo chain = AnalyzeChain(prep.plan.root.get());
   return RunFederated(prep.shards, prep.plan.root.get(), chain.ordered,
                       chain.order_col, chain.order_desc, chain.limit, sink,
-                      nullptr, false, cancel);
+                      nullptr, false, cancel, prep.access);
 }
 
 Result<QueryResult> FederatedQueryEngine::Execute(const std::string& sql,

@@ -69,6 +69,12 @@ struct ExecContext {
   const std::atomic<bool>* cancel = nullptr;
   /// Per-user mydb namespace; overrides PlannerOptions::mydb when set.
   MyDbResolver mydb;
+  /// Heat feedback: when set, every archive container any shard executor
+  /// scans for this run is reported here (once per container per scan,
+  /// from pool threads). The workbench binds it to
+  /// archive::ShardedStore::RecordAccess so mining jobs drive the
+  /// replica-promotion loop. Personal (mydb) scans never report.
+  AccessRecorder access_recorder;
   /// Set only by a caller that will materialize the INTO target itself
   /// (the workbench's ExecuteInto sink). Left false, Execute /
   /// ExecuteStreaming refuse `SELECT ... INTO mydb.<name>` queries --
@@ -153,7 +159,8 @@ class FederatedQueryEngine {
       const std::function<bool(RowBatch&&)>& sink,
       const std::vector<PairJoinGhosts>* join_ghosts = nullptr,
       bool dedupe_pairs = false,
-      const std::atomic<bool>* cancel = nullptr);
+      const std::atomic<bool>* cancel = nullptr,
+      const AccessRecorder* access = nullptr);
   Result<ExecStats> RunPrepared(
       Prepared& prep, const std::function<bool(RowBatch&&)>& sink,
       const std::atomic<bool>* cancel = nullptr);

@@ -7,6 +7,7 @@
 #include "catalog/photo_obj.h"
 #include "core/angle.h"
 #include "core/coords.h"
+#include "core/io.h"
 
 namespace sdss::query {
 namespace {
@@ -233,10 +234,16 @@ class Parser {
   }
 
   /// Consumes a mydb.<name> reference and returns the bare <name>.
+  /// Names become on-disk paths once the durable MyDB store is attached,
+  /// so they are gated here at parse time by the same rule
+  /// archive::MyDb::Put enforces (one core ValidatePathComponent:
+  /// non-empty, <= 64 chars, no '/', no '..') -- a bad name is a uniform
+  /// InvalidArgument from both layers and never reaches a queue slot.
   Result<std::string> ParseMyDbRef() {
     if (!IsMyDbRef()) return Err("expected mydb.<name>");
     std::string name = Cur().text.substr(5);
-    if (name.empty()) return Err("empty mydb table name");
+    Status valid = ValidatePathComponent(name, "mydb table name");
+    if (!valid.ok()) return Err(valid.message());
     Advance();
     return name;
   }

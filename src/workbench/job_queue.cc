@@ -81,6 +81,15 @@ size_t JobQueue::Depth(Lane lane) const {
   return lane == Lane::kQuick ? quick_.size() : long_.size();
 }
 
+std::vector<uint64_t> JobQueue::QueuedIds(Lane lane) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::deque<Entry>& q = lane == Lane::kQuick ? quick_ : long_;
+  std::vector<uint64_t> ids;
+  ids.reserve(q.size());
+  for (const Entry& e : q) ids.push_back(e.id);
+  return ids;
+}
+
 size_t JobQueue::RunningFor(const std::string& user) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = running_.find(user);

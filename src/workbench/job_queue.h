@@ -19,6 +19,7 @@
 #include <map>
 #include <mutex>
 #include <string>
+#include <vector>
 
 namespace sdss::workbench {
 
@@ -63,6 +64,10 @@ class JobQueue {
 
   size_t Depth(Lane lane) const;
   size_t RunningFor(const std::string& user) const;
+
+  /// Ids currently queued in `lane`, front (next to pop) first. A
+  /// point-in-time snapshot for introspection and the recovery tests.
+  std::vector<uint64_t> QueuedIds(Lane lane) const;
 
  private:
   struct Entry {

@@ -1,8 +1,10 @@
 #include "workbench/scheduler.h"
 
+#include <map>
 #include <utility>
 
 #include "catalog/photo_obj.h"
+#include "persist/coding.h"
 
 namespace sdss::workbench {
 namespace {
@@ -10,6 +12,153 @@ namespace {
 double SecondsBetween(std::chrono::steady_clock::time_point a,
                       std::chrono::steady_clock::time_point b) {
   return std::chrono::duration<double>(b - a).count();
+}
+
+/// Journal record types: one per job transition. SUBMIT carries the
+/// whole admission decision (the job re-plans from SQL when it runs, so
+/// nothing else needs to survive); START and TERMINAL are keyed by id.
+enum class JobRecord : uint8_t { kSubmit = 1, kStart = 2, kTerminal = 3 };
+
+std::string EncodeSubmit(const JobSnapshot& snap) {
+  std::string rec;
+  persist::PutFixed8(&rec, static_cast<uint8_t>(JobRecord::kSubmit));
+  persist::PutFixed64(&rec, snap.id);
+  persist::PutFixed8(&rec, snap.lane == Lane::kLong ? 1 : 0);
+  persist::PutFixed64(&rec, snap.predicted_bytes);
+  persist::PutLengthPrefixed(&rec, snap.user);
+  persist::PutLengthPrefixed(&rec, snap.sql);
+  persist::PutLengthPrefixed(&rec, snap.into);
+  return rec;
+}
+
+std::string EncodeStart(uint64_t id) {
+  std::string rec;
+  persist::PutFixed8(&rec, static_cast<uint8_t>(JobRecord::kStart));
+  persist::PutFixed64(&rec, id);
+  return rec;
+}
+
+std::string EncodeTerminal(const JobSnapshot& snap) {
+  std::string rec;
+  persist::PutFixed8(&rec, static_cast<uint8_t>(JobRecord::kTerminal));
+  persist::PutFixed64(&rec, snap.id);
+  persist::PutFixed8(&rec, static_cast<uint8_t>(snap.state));
+  persist::PutFixed64(&rec, snap.rows);
+  persist::PutFixed8(&rec, static_cast<uint8_t>(snap.error.code()));
+  persist::PutLengthPrefixed(&rec, snap.error.message());
+  return rec;
+}
+
+/// Rebuilds a Status from its journaled (code, message) pair.
+Status MakeStatus(StatusCode code, std::string msg) {
+  switch (code) {
+    case StatusCode::kOk:
+      return Status::OK();
+    case StatusCode::kInvalidArgument:
+      return Status::InvalidArgument(std::move(msg));
+    case StatusCode::kNotFound:
+      return Status::NotFound(std::move(msg));
+    case StatusCode::kAlreadyExists:
+      return Status::AlreadyExists(std::move(msg));
+    case StatusCode::kOutOfRange:
+      return Status::OutOfRange(std::move(msg));
+    case StatusCode::kIOError:
+      return Status::IOError(std::move(msg));
+    case StatusCode::kCorruption:
+      return Status::Corruption(std::move(msg));
+    case StatusCode::kNotSupported:
+      return Status::NotSupported(std::move(msg));
+    case StatusCode::kFailedPrecondition:
+      return Status::FailedPrecondition(std::move(msg));
+    case StatusCode::kResourceExhausted:
+      return Status::ResourceExhausted(std::move(msg));
+    case StatusCode::kInternal:
+      return Status::Internal(std::move(msg));
+    case StatusCode::kCancelled:
+      return Status::Cancelled(std::move(msg));
+    case StatusCode::kAborted:
+      return Status::Aborted(std::move(msg));
+  }
+  return Status::Internal(std::move(msg));
+}
+
+/// One job's journal history folded to its state at the crash.
+struct ReplayedJob {
+  JobSnapshot snap;
+  bool started = false;
+  bool terminal = false;
+};
+
+Status ApplyJobRecord(std::string_view record,
+                      std::map<uint64_t, ReplayedJob>* jobs) {
+  persist::Cursor cursor(record);
+  uint8_t type = 0;
+  if (!cursor.GetFixed8(&type)) {
+    return Status::Corruption("job journal record is empty");
+  }
+  uint64_t id = 0;
+  if (!cursor.GetFixed64(&id)) {
+    return Status::Corruption("job journal record has no id");
+  }
+  switch (static_cast<JobRecord>(type)) {
+    case JobRecord::kSubmit: {
+      uint8_t lane = 0;
+      std::string_view user, sql, into;
+      ReplayedJob job;
+      if (!cursor.GetFixed8(&lane) ||
+          !cursor.GetFixed64(&job.snap.predicted_bytes) ||
+          !cursor.GetLengthPrefixed(&user) ||
+          !cursor.GetLengthPrefixed(&sql) ||
+          !cursor.GetLengthPrefixed(&into)) {
+        return Status::Corruption("bad job SUBMIT record");
+      }
+      job.snap.id = id;
+      job.snap.lane = lane != 0 ? Lane::kLong : Lane::kQuick;
+      job.snap.user = std::string(user);
+      job.snap.sql = std::string(sql);
+      job.snap.into = std::string(into);
+      job.snap.state = JobState::kQueued;
+      (*jobs)[id] = std::move(job);
+      return Status::OK();
+    }
+    case JobRecord::kStart: {
+      auto it = jobs->find(id);
+      // A START for an unknown id means its SUBMIT fell past the torn
+      // tail of an earlier segment -- impossible with ordered replay,
+      // so treat it as corruption.
+      if (it == jobs->end()) {
+        return Status::Corruption("job START without SUBMIT");
+      }
+      it->second.started = true;
+      it->second.snap.state = JobState::kRunning;
+      return Status::OK();
+    }
+    case JobRecord::kTerminal: {
+      auto it = jobs->find(id);
+      if (it == jobs->end()) {
+        return Status::Corruption("job TERMINAL without SUBMIT");
+      }
+      uint8_t state = 0;
+      uint8_t code = 0;
+      std::string_view msg;
+      if (!cursor.GetFixed8(&state) ||
+          !cursor.GetFixed64(&it->second.snap.rows) ||
+          !cursor.GetFixed8(&code) || !cursor.GetLengthPrefixed(&msg)) {
+        return Status::Corruption("bad job TERMINAL record");
+      }
+      it->second.terminal = true;
+      it->second.snap.state = static_cast<JobState>(state);
+      it->second.snap.error =
+          MakeStatus(static_cast<StatusCode>(code), std::string(msg));
+      // An Aborted terminal is the crash-interruption verdict a prior
+      // recovery journaled: keep the retryable marking across restarts.
+      it->second.snap.retryable =
+          it->second.snap.error.code() == StatusCode::kAborted;
+      return Status::OK();
+    }
+  }
+  return Status::Corruption("unknown job journal record type " +
+                            std::to_string(type));
 }
 
 }  // namespace
@@ -128,10 +277,99 @@ Result<uint64_t> JobScheduler::Submit(const std::string& user,
     std::lock_guard<std::mutex> lock(mu_);
     id = next_id_++;
     job->snap.id = id;
+    if (journal_ != nullptr) {
+      // The SUBMIT record is durable before the job is visible anywhere:
+      // a job that exists can always be recovered. On append failure
+      // nothing is queued (the id gap is harmless).
+      SDSS_RETURN_IF_ERROR(journal_->Append(EncodeSubmit(job->snap)));
+    }
     jobs_.emplace(id, std::move(job));
+    // Push under mu_ so queue order always equals id order -- the
+    // invariant RecoverFrom's in-original-lane-order re-enqueue rests
+    // on. (mu_ -> queue lock is the established nesting; Cancel does
+    // the same.)
+    queue_.Push(lane, id, user);
   }
-  queue_.Push(lane, id, user);
   return id;
+}
+
+Result<SchedulerRecoveryReport> JobScheduler::RecoverFrom(
+    const std::string& dir) {
+  SchedulerRecoveryReport report;
+  /// (lane, id, user) of the jobs to re-enqueue, in original order.
+  std::vector<std::tuple<Lane, uint64_t, std::string>> requeue;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (journal_ != nullptr) {
+      return Status::FailedPrecondition("scheduler already recovered");
+    }
+    if (!jobs_.empty()) {
+      return Status::FailedPrecondition(
+          "RecoverFrom must run before the first Submit");
+    }
+    std::map<uint64_t, ReplayedJob> replayed;
+    auto replay = persist::ReplayJournal(
+        dir, [&replayed](std::string_view rec) {
+          return ApplyJobRecord(rec, &replayed);
+        });
+    if (!replay.ok()) return replay.status();
+    report.journal = *replay;
+    auto journal = persist::Journal::Open(dir);
+    if (!journal.ok()) return journal.status();
+    journal_ = std::move(*journal);
+
+    report.jobs_seen = replayed.size();
+    uint64_t max_id = 0;
+    const auto now = std::chrono::steady_clock::now();
+    for (auto& [id, rj] : replayed) {
+      max_id = std::max(max_id, id);
+      auto job = std::make_unique<Job>();
+      job->snap = rj.snap;
+      job->submitted = now;
+      if (rj.terminal) {
+        // Bookkeeping survives; the result rows do not.
+        job->result_taken = true;
+        ++report.terminal_restored;
+      } else if (rj.started) {
+        // RUNNING at the crash: whether it finished is unknowable, so
+        // fail it retryably. (An INTO job is safe to resubmit either
+        // way: if its MyDB commit landed, the resubmit is refused with
+        // AlreadyExists; if not, recovery wiped the orphan.)
+        job->snap.state = JobState::kFailed;
+        job->snap.error = Status::Aborted(
+            "job was RUNNING when the scheduler went down; resubmit to "
+            "retry");
+        job->snap.retryable = true;
+        job->result_taken = true;
+        ++report.failed_running;
+        // Fold the verdict into the journal so the next recovery (and
+        // any journal inspection) sees a terminal job, not a phantom
+        // runner. Best-effort: replay reaches the same verdict without
+        // it.
+        (void)journal_->Append(EncodeTerminal(job->snap));
+      } else {
+        // QUEUED at the crash: the SUBMIT record is the whole job (it
+        // re-plans from SQL), so it simply queues again.
+        report.requeued_ids.push_back(id);
+        requeue.emplace_back(job->snap.lane, id, job->snap.user);
+      }
+      jobs_.emplace(id, std::move(job));
+    }
+    next_id_ = max_id + 1;
+    // Ascending id = original submission order = original per-lane
+    // order (Submit pushes under this same lock, so queue order and id
+    // order cannot diverge).
+    for (const auto& [lane, id, user] : requeue) {
+      queue_.Push(lane, id, user);
+    }
+  }
+  done_cv_.notify_all();  // Waiters on crash-failed jobs wake now.
+  return report;
+}
+
+void JobScheduler::JournalTerminal(const JobSnapshot& snap) {
+  if (journal_ == nullptr) return;
+  (void)journal_->Append(EncodeTerminal(snap));
 }
 
 Status JobScheduler::Cancel(uint64_t job_id) {
@@ -152,6 +390,7 @@ Status JobScheduler::Cancel(uint64_t job_id) {
         job->snap.error = Status::Cancelled("cancelled while queued");
         job->snap.seconds_queued = SecondsBetween(
             job->submitted, std::chrono::steady_clock::now());
+        JournalTerminal(job->snap);  // A user decision: it survives.
         done_cv_.notify_all();
       }
       return Status::OK();
@@ -255,11 +494,17 @@ void JobScheduler::WorkerLoop(Lane lane) {
         job->snap.error = Status::Cancelled("cancelled while queued");
         job->snap.seconds_queued = SecondsBetween(
             job->submitted, std::chrono::steady_clock::now());
+        // Journal a user cancellation; a shutdown one stays out of the
+        // journal so recovery re-enqueues the job instead.
+        if (!shutting_down_.load()) JournalTerminal(job->snap);
       } else {
         job->snap.state = JobState::kRunning;
         job->started = std::chrono::steady_clock::now();
         job->snap.seconds_queued =
             SecondsBetween(job->submitted, job->started);
+        if (journal_ != nullptr) {
+          (void)journal_->Append(EncodeStart(id));
+        }
         run = true;
       }
     }
@@ -273,6 +518,14 @@ void JobScheduler::RunJob(Job* job) {
   query::ExecContext ctx;
   ctx.cancel = &job->cancel;
   ctx.mydb = mydb_->ResolverFor(job->snap.user);
+  if (options_.heat != nullptr) {
+    // Scheduler-driven heat: every container this job's scans touch
+    // counts one access, so mining workloads (not just interactive
+    // traffic) drive the fleet's replica-promotion loop.
+    ctx.access_recorder = [this](uint64_t container) {
+      options_.heat->RecordAccess(container);
+    };
+  }
 
   Status status;
   query::ExecStats exec;
@@ -305,6 +558,10 @@ void JobScheduler::RunJob(Job* job) {
                           : JobState::kFailed;
     job->snap.error = status;
   }
+  // Crash-equivalence at shutdown: a job torn down by the destructor is
+  // left un-journaled, so recovery treats it exactly like a job the
+  // power cord interrupted (re-enqueued or failed-retryable).
+  if (!shutting_down_.load()) JournalTerminal(job->snap);
 }
 
 Status JobScheduler::ExecuteInto(Job* job, const query::ExecContext& base,

@@ -12,6 +12,20 @@
 // materialize their result into the submitting user's archive::MyDb
 // store -- quota-checked, all-or-nothing -- so the next step of a mining
 // workflow reads derived data instead of re-scanning the fleet.
+//
+// Durability (optional): RecoverFrom(dir) turns the scheduler into a
+// crash-safe service. Every job transition (submit, start, terminal) is
+// appended to a persist::Journal in `dir`, and recovery replays a prior
+// incarnation's journal: jobs that were QUEUED at the crash are
+// re-enqueued in their original lane order (the engine re-plans from
+// SQL, so they simply run), jobs that were RUNNING are marked FAILED
+// with an Aborted error and `retryable` set (their side effects are
+// unknown; INTO jobs are safe to resubmit because the MyDB commit
+// protocol is all-or-nothing), and already-terminal jobs come back as
+// bookkeeping so Snapshot/Jobs keep answering (results themselves are
+// not retained across restarts). Shutdown deliberately journals
+// nothing for in-flight jobs -- a clean exit and a SIGKILL look
+// identical to recovery, which is what makes the crash path testable.
 
 #ifndef SDSS_WORKBENCH_SCHEDULER_H_
 #define SDSS_WORKBENCH_SCHEDULER_H_
@@ -27,8 +41,10 @@
 #include <vector>
 
 #include "archive/mydb.h"
+#include "archive/sharded_store.h"
 #include "core/status.h"
 #include "core/thread_pool.h"
+#include "persist/journal.h"
 #include "query/federated_engine.h"
 #include "workbench/job_queue.h"
 
@@ -54,6 +70,21 @@ struct JobSnapshot {
   query::ExecStats exec;   ///< Filled when the job ran.
   double seconds_queued = 0.0;
   double seconds_running = 0.0;
+  /// Set on jobs that were RUNNING when a prior incarnation crashed:
+  /// the failure is the crash, not the query -- resubmitting the same
+  /// SQL is safe and expected.
+  bool retryable = false;
+};
+
+/// What JobScheduler::RecoverFrom rebuilt from a prior incarnation.
+struct SchedulerRecoveryReport {
+  uint64_t jobs_seen = 0;            ///< Distinct job ids in the journal.
+  /// Jobs re-enqueued because they were QUEUED at the crash, in their
+  /// original submission (and therefore lane) order.
+  std::vector<uint64_t> requeued_ids;
+  uint64_t failed_running = 0;       ///< RUNNING at crash -> retryable.
+  uint64_t terminal_restored = 0;    ///< Already-terminal bookkeeping.
+  persist::ReplayReport journal;     ///< The raw replay outcome.
 };
 
 /// Runs submitted queries through a FederatedQueryEngine on two bounded
@@ -72,6 +103,10 @@ class JobScheduler {
     /// Admission split: a predicted cost (bytes to scan + bytes
     /// shipped) above this sends the job to the LONG lane.
     uint64_t quick_lane_max_bytes = 4ull << 20;
+    /// When set, every job execution reports the archive containers it
+    /// scans to this fleet's RecordAccess -- the scheduler-driven heat
+    /// feed of the replica-promotion loop. Must outlive the scheduler.
+    archive::ShardedStore* heat = nullptr;
   };
 
   JobScheduler(query::FederatedQueryEngine* engine, archive::MyDb* mydb,
@@ -80,6 +115,15 @@ class JobScheduler {
 
   JobScheduler(const JobScheduler&) = delete;
   JobScheduler& operator=(const JobScheduler&) = delete;
+
+  /// Recovers a prior incarnation's jobs from the journal in `dir` and
+  /// starts journaling this incarnation's transitions there. Must be
+  /// called before the first Submit (FailedPrecondition otherwise).
+  /// QUEUED jobs are re-enqueued under their original ids in original
+  /// lane order; RUNNING jobs become FAILED/Aborted with `retryable`
+  /// set; terminal jobs are restored as bookkeeping (their results are
+  /// gone: TakeResult answers FailedPrecondition).
+  Result<SchedulerRecoveryReport> RecoverFrom(const std::string& dir);
 
   /// Parses, prices, and enqueues `sql` for `user`. Returns the job id,
   /// or the parse/plan error (nothing is queued on failure).
@@ -125,6 +169,10 @@ class JobScheduler {
 
   void WorkerLoop(Lane lane);
   void RunJob(Job* job);
+  /// Appends a terminal-transition record; no-op when not journaling.
+  /// Callers skip this for shutdown-driven terminals (see the file
+  /// comment: shutdown must look like a crash to recovery).
+  void JournalTerminal(const JobSnapshot& snap);
   /// The INTO sink: streams the select, rebuilds full PhotoObjs from the
   /// rows, and hands them to MyDb::Put whole. Enforces the owner's byte
   /// quota while streaming so a runaway result aborts early -- and a
@@ -141,6 +189,7 @@ class JobScheduler {
   std::map<uint64_t, std::unique_ptr<Job>> jobs_;
   uint64_t next_id_ = 1;
   std::atomic<bool> shutting_down_{false};
+  std::unique_ptr<persist::Journal> journal_;  ///< Null until recovered.
   ThreadGroup workers_;
 };
 

@@ -12,6 +12,7 @@
 #include "dataflow/cluster.h"
 #include "fits/card.h"
 #include "htm/htm_id.h"
+#include "persist/crc32.h"
 #include "query/parser.h"
 #include "workbench/job_queue.h"
 
@@ -42,6 +43,10 @@ TEST(LinkSanityTest, CatalogObjClassRoundTrip) {
 TEST(LinkSanityTest, DataflowClusterConstructs) {
   sdss::dataflow::ClusterSim cluster{sdss::dataflow::ClusterConfig{}};
   EXPECT_EQ(cluster.num_nodes(), 20u);
+}
+
+TEST(LinkSanityTest, PersistCrc32OfEmptyInput) {
+  EXPECT_EQ(sdss::persist::Crc32(nullptr, 0), 0u);
 }
 
 TEST(LinkSanityTest, QueryParserAccepts) {

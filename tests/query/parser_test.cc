@@ -216,6 +216,32 @@ TEST(ParserTest, RejectsMalformedMyDb) {
                      "JOIN photoobj AS b WITHIN 5 ARCSEC").ok());
 }
 
+TEST(ParserTest, RejectsMyDbNamesThatAreUnsafeOnDisk) {
+  // Table names become paths under the durable store: the parser gates
+  // them with the same core ValidatePathComponent rule as MyDb::Put, so
+  // a bad name is a uniform InvalidArgument before it costs a queue
+  // slot. ('/' never lexes into the identifier, so the reachable bad
+  // shapes are dots and oversized names.)
+  for (const char* sql : {
+           "SELECT * INTO mydb... FROM photo",
+           "SELECT * INTO mydb..hidden FROM photo",
+           "SELECT COUNT(*) FROM mydb...",
+           "SELECT COUNT(*) FROM mydb.a..b",
+       }) {
+    auto q = Parse(sql);
+    ASSERT_FALSE(q.ok()) << sql;
+    EXPECT_EQ(q.status().code(), StatusCode::kInvalidArgument) << sql;
+  }
+  std::string long_name(65, 'n');
+  auto q = Parse("SELECT * INTO mydb." + long_name + " FROM photo");
+  ASSERT_FALSE(q.ok());
+  EXPECT_EQ(q.status().code(), StatusCode::kInvalidArgument);
+  // 64 chars is still legal.
+  EXPECT_TRUE(
+      Parse("SELECT * INTO mydb." + std::string(64, 'n') + " FROM photo")
+          .ok());
+}
+
 TEST(ParserTest, HelperNames) {
   EXPECT_STREQ(AggFuncName(AggFunc::kCount), "COUNT");
   EXPECT_STREQ(SetOpName(SetOp::kUnion), "UNION");

@@ -47,6 +47,43 @@ TEST(MyDbTest, PutFindListDropWithByteAccounting) {
   EXPECT_TRUE(mydb.Find("bob", "t1").ok());
 }
 
+TEST(MyDbTest, RejectsNamesThatAreUnsafeOnDisk) {
+  MyDb mydb;
+  auto objects = MakeObjects(7, 10);
+  // Same rule as the parser (core ValidatePathComponent): a table or
+  // user name is one safe path component or the Put is refused whole
+  // with InvalidArgument.
+  for (const char* bad : {"", "a/b", "..", "a..b", ".hidden", "a\\b"}) {
+    auto s = mydb.Put("alice", bad, objects);
+    ASSERT_FALSE(s.ok()) << "name '" << bad << "' accepted";
+    EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  }
+  std::string long_name(65, 'x');
+  EXPECT_EQ(mydb.Put("alice", long_name, objects).code(),
+            StatusCode::kInvalidArgument);
+  // The user name is a path component too.
+  EXPECT_EQ(mydb.Put("../alice", "t", objects).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_TRUE(mydb.List("alice").empty());
+  ASSERT_TRUE(mydb.Put("alice", std::string(64, 'x'), objects).ok());
+}
+
+TEST(MyDbTest, PerUserQuotaOverrides) {
+  MyDb mydb;
+  auto objects = MakeObjects(8, 100);
+  const uint64_t bytes = objects.size() * sizeof(catalog::PhotoObj);
+  // Shrink alice below the payload: refused; raise it back: accepted.
+  ASSERT_TRUE(mydb.SetQuota("alice", bytes - 1).ok());
+  EXPECT_EQ(mydb.QuotaBytes("alice"), bytes - 1);
+  EXPECT_EQ(mydb.Put("alice", "t", objects).code(),
+            StatusCode::kResourceExhausted);
+  ASSERT_TRUE(mydb.SetQuota("alice", 2 * bytes).ok());
+  EXPECT_TRUE(mydb.Put("alice", "t", objects).ok());
+  EXPECT_EQ(mydb.RemainingBytes("alice"), bytes);
+  // Other users keep the configured default.
+  EXPECT_EQ(mydb.QuotaBytes("bob"), mydb.options().per_user_quota_bytes);
+}
+
 TEST(MyDbTest, QuotaRefusesWholePutNeverPartial) {
   MyDb::Options opt;
   opt.per_user_quota_bytes = 100 * sizeof(catalog::PhotoObj);

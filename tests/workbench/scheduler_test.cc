@@ -363,6 +363,48 @@ TEST_F(WorkbenchSchedulerTest, CancelWhileQueuedNeverRuns) {
   EXPECT_EQ(sched.Wait(*first)->state, JobState::kCancelled);
 }
 
+TEST_F(WorkbenchSchedulerTest, JobsFeedTheReplicaPromotionHeatLoop) {
+  auto opt = TwoLaneOptions();
+  opt.heat = sharded_;
+  JobScheduler sched(engine_, mydb_.get(), opt);
+
+  auto heat_sum = [this] {
+    uint64_t sum = 0;
+    for (const auto& [raw, count] : source_->DensityMap()) {
+      sum += sharded_->HeatOf(raw);
+    }
+    return sum;
+  };
+
+  // A full-archive mining scan touches every container exactly once
+  // fleet-wide (each container is assigned to one live shard).
+  const uint64_t before = heat_sum();
+  auto full = sched.Submit("miner", "SELECT COUNT(*) FROM photo");
+  ASSERT_TRUE(full.ok());
+  ASSERT_EQ(sched.Wait(*full)->state, JobState::kSucceeded);
+  const uint64_t after_full = heat_sum();
+  EXPECT_EQ(after_full - before, source_->container_count());
+
+  // A pruned cone heats only the containers its cover admits.
+  auto cone = sched.Submit(
+      "miner", "SELECT COUNT(*) FROM photo WHERE CIRCLE('GAL', 30, 70, 3)");
+  ASSERT_TRUE(cone.ok());
+  auto cone_done = sched.Wait(*cone);
+  ASSERT_EQ(cone_done->state, JobState::kSucceeded);
+  const uint64_t after_cone = heat_sum();
+  EXPECT_EQ(after_cone - after_full, cone_done->exec.containers_scanned);
+  EXPECT_LT(after_cone - after_full, source_->container_count());
+
+  // Personal-store mining reads no archive containers: zero heat.
+  ASSERT_EQ(sched.Wait(*sched.Submit("miner", kIntoBrightSql))->state,
+            JobState::kSucceeded);
+  const uint64_t after_into = heat_sum();
+  auto mine = sched.Submit("miner", "SELECT COUNT(*) FROM mydb.bright");
+  ASSERT_TRUE(mine.ok());
+  ASSERT_EQ(sched.Wait(*mine)->state, JobState::kSucceeded);
+  EXPECT_EQ(heat_sum(), after_into);
+}
+
 TEST_F(WorkbenchSchedulerTest, DestructorCancelsOutstandingJobs) {
   uint64_t heavy = 0;
   {
