@@ -1,0 +1,150 @@
+// Run the archive's TCP front end and talk to it over the wire.
+//
+// Builds a 4-server fleet, starts a QueryServer on an ephemeral
+// loopback port, and drives it with the bundled Client: handshake,
+// cone search, aggregate, an INTO mydb materialization mined by a
+// follow-up query, a mid-stream cancellation, and a refused login.
+// The same walkthrough, narrated, lives in BUILDING.md; the byte-level
+// protocol is docs/PROTOCOL.md.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "archive/mydb.h"
+#include "archive/sharded_store.h"
+#include "catalog/sky_generator.h"
+#include "query/federated_engine.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "workbench/scheduler.h"
+
+namespace {
+
+using sdss::archive::MyDb;
+using sdss::archive::ReplicationOptions;
+using sdss::archive::ShardedStore;
+using sdss::query::FederatedQueryEngine;
+using sdss::server::Client;
+using sdss::server::QueryOutcome;
+using sdss::server::QueryServer;
+using sdss::server::ServerOptions;
+using sdss::workbench::JobScheduler;
+
+void ShowOutcome(const char* what, const QueryOutcome& out) {
+  switch (out.kind) {
+    case QueryOutcome::Kind::kDone:
+      std::printf("%-28s %llu rows in %.1f ms (lane %s, %llu containers "
+                  "scanned)\n",
+                  what, static_cast<unsigned long long>(out.done.rows),
+                  out.done.seconds_running * 1e3,
+                  out.header.lane == 0 ? "QUICK" : "LONG",
+                  static_cast<unsigned long long>(
+                      out.done.containers_scanned));
+      break;
+    case QueryOutcome::Kind::kError:
+      std::printf("%-28s ERROR: %s\n", what, out.error.message.c_str());
+      break;
+    case QueryOutcome::Kind::kBusy:
+      std::printf("%-28s BUSY, retry in %u ms\n", what,
+                  out.busy.retry_after_ms);
+      break;
+  }
+}
+
+}  // namespace
+
+int main() {
+  // A small synthetic sky on a 4-server fleet.
+  sdss::catalog::SkyModel model;
+  model.seed = 7;
+  model.num_galaxies = 30'000;
+  model.num_stars = 25'000;
+  model.num_quasars = 300;
+  sdss::catalog::ObjectStore source;
+  if (!source.BulkLoad(sdss::catalog::SkyGenerator(model).Generate()).ok()) {
+    return 1;
+  }
+  ReplicationOptions repl;
+  repl.num_servers = 4;
+  repl.base_replicas = 2;
+  ShardedStore sharded(source, repl);
+  auto shards = sharded.LiveShards();
+  if (!shards.ok()) return 1;
+  FederatedQueryEngine engine(*shards);
+  MyDb mydb;
+
+  JobScheduler::Options lanes;
+  lanes.quick_workers = 2;
+  lanes.long_workers = 1;
+  JobScheduler scheduler(&engine, &mydb, lanes);
+
+  ServerOptions options;
+  options.users = {{"ana", "tycho"}};
+  QueryServer server(&scheduler, options);
+  if (!server.Start().ok()) return 1;
+  std::printf("query server listening on 127.0.0.1:%u\n\n", server.port());
+
+  auto client = Client::Connect("127.0.0.1", server.port(), "ana", "tycho");
+  if (!client.ok()) return 1;
+  std::printf("connected: session %llu, banner \"%s\"\n\n",
+              static_cast<unsigned long long>(
+                  client->welcome().session_id),
+              client->welcome().banner.c_str());
+
+  // A cone search and an aggregate, straight through the wire.
+  auto cone = client->Query(
+      "SELECT obj_id, r FROM photo WHERE CIRCLE('GAL', 30, 70, 6) "
+      "ORDER BY r ASC LIMIT 500");
+  if (!cone.ok()) return 1;
+  ShowOutcome("cone search:", *cone);
+  if (cone->have_header && !cone->rows.empty()) {
+    std::printf("  brightest: obj %llu at r=%.2f\n",
+                static_cast<unsigned long long>(cone->rows[0].obj_id),
+                cone->rows[0].values[1]);
+  }
+  auto count = client->Query(
+      "SELECT COUNT(*) FROM photo WHERE class = 'QSO' AND r < 21");
+  if (!count.ok()) return 1;
+  ShowOutcome("quasar count:", *count);
+
+  // Materialize a personal table, then mine it without re-scanning the
+  // fleet (the CasJobs workflow, now over the network).
+  auto into = client->Query(
+      "SELECT * INTO mydb.bright FROM photo WHERE r < 19");
+  if (!into.ok()) return 1;
+  ShowOutcome("INTO mydb.bright:", *into);
+  auto mine = client->Query(
+      "SELECT obj_id, redshift FROM mydb.bright "
+      "WHERE class = 'QSO' ORDER BY redshift DESC LIMIT 5");
+  if (!mine.ok()) return 1;
+  ShowOutcome("mine mydb.bright:", *mine);
+
+  // Streaming with a change of heart: the row callback bails after the
+  // first batch, the client sends CANCEL, the server ends the job.
+  int batches = 0;
+  auto cancelled = client->Query(
+      "SELECT a.obj_id, b.obj_id, sep FROM photo AS a "
+      "JOIN photoobj AS b WITHIN 30 ARCMIN",
+      [&batches](const sdss::query::RowBatch&) { return ++batches < 2; });
+  if (!cancelled.ok()) return 1;
+  ShowOutcome("cancelled join:", *cancelled);
+
+  // A login the server refuses (fatal ERROR, session never opens).
+  auto intruder = Client::Connect("127.0.0.1", server.port(), "ana", "x");
+  std::printf("%-28s %s\n", "bad token:",
+              intruder.ok() ? "accepted?!"
+                            : intruder.status().message().c_str());
+
+  if (!client->Bye().ok()) return 1;
+  auto stats = server.stats();
+  std::printf("\nserver stats: %llu sessions, %llu queries submitted, "
+              "%llu ok / %llu failed, %llu auth failures\n",
+              static_cast<unsigned long long>(stats.sessions_accepted),
+              static_cast<unsigned long long>(stats.queries_submitted),
+              static_cast<unsigned long long>(stats.queries_succeeded),
+              static_cast<unsigned long long>(stats.queries_failed),
+              static_cast<unsigned long long>(stats.auth_failures));
+  server.Stop();
+  return 0;
+}

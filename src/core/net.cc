@@ -1,0 +1,214 @@
+#include "core/net.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace sdss {
+namespace {
+
+Status Errno(const char* what) {
+  return Status::IOError(std::string(what) + ": " + std::strerror(errno));
+}
+
+/// Resolves the two spellings the library supports without pulling in
+/// getaddrinfo (the server binds loopback or a numeric address).
+Result<in_addr_t> ResolveHost(const std::string& host) {
+  if (host.empty() || host == "localhost") {
+    return static_cast<in_addr_t>(htonl(INADDR_LOOPBACK));
+  }
+  in_addr addr{};
+  if (inet_pton(AF_INET, host.c_str(), &addr) != 1) {
+    return Status::InvalidArgument("not a numeric IPv4 address: " + host);
+  }
+  return static_cast<in_addr_t>(addr.s_addr);
+}
+
+}  // namespace
+
+TcpConn::~TcpConn() { Close(); }
+
+TcpConn::TcpConn(TcpConn&& other) noexcept : fd_(other.fd_) {
+  other.fd_ = -1;
+}
+
+TcpConn& TcpConn::operator=(TcpConn&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Result<TcpConn> TcpConn::Connect(const std::string& host, uint16_t port) {
+  auto addr = ResolveHost(host);
+  if (!addr.ok()) return addr.status();
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(port);
+  sa.sin_addr.s_addr = *addr;
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa));
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) {
+    Status s = Errno("connect");
+    ::close(fd);
+    return s;
+  }
+  // The protocol writes small frames and waits for replies; Nagle only
+  // adds latency to that shape.
+  int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return TcpConn(fd);
+}
+
+Status TcpConn::WriteAll(std::string_view data) {
+  if (fd_ < 0) return Status::FailedPrecondition("write on closed conn");
+  const char* p = data.data();
+  size_t left = data.size();
+  while (left > 0) {
+    ssize_t n = ::send(fd_, p, left, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    p += n;
+    left -= static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status TcpConn::ReadExact(void* buf, size_t n) {
+  if (fd_ < 0) return Status::FailedPrecondition("read on closed conn");
+  char* p = static_cast<char*>(buf);
+  size_t got = 0;
+  while (got < n) {
+    ssize_t r = ::recv(fd_, p + got, n - got, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Errno("recv");
+    }
+    if (r == 0) {
+      if (got == 0) return Status::Aborted("peer closed the connection");
+      return Status::IOError("connection closed mid-frame");
+    }
+    got += static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+Result<bool> TcpConn::WaitReadable(int timeout_ms) {
+  if (fd_ < 0) return Status::FailedPrecondition("poll on closed conn");
+  pollfd pfd{fd_, POLLIN, 0};
+  int rc;
+  do {
+    rc = ::poll(&pfd, 1, timeout_ms);
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) return Errno("poll");
+  return rc > 0;
+}
+
+void TcpConn::Shutdown() {
+  if (fd_ >= 0) (void)::shutdown(fd_, SHUT_RDWR);
+}
+
+void TcpConn::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+TcpListener::~TcpListener() { Close(); }
+
+TcpListener::TcpListener(TcpListener&& other) noexcept
+    : fd_(other.fd_), port_(other.port_) {
+  other.fd_ = -1;
+}
+
+TcpListener& TcpListener::operator=(TcpListener&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    port_ = other.port_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Result<TcpListener> TcpListener::Listen(const std::string& host,
+                                        uint16_t port, int backlog) {
+  auto addr = ResolveHost(host);
+  if (!addr.ok()) return addr.status();
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  int one = 1;
+  (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(port);
+  sa.sin_addr.s_addr = *addr;
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) < 0) {
+    Status s = Errno("bind");
+    ::close(fd);
+    return s;
+  }
+  if (::listen(fd, backlog) < 0) {
+    Status s = Errno("listen");
+    ::close(fd);
+    return s;
+  }
+  socklen_t len = sizeof(sa);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&sa), &len) < 0) {
+    Status s = Errno("getsockname");
+    ::close(fd);
+    return s;
+  }
+  TcpListener listener;
+  listener.fd_ = fd;
+  listener.port_ = ntohs(sa.sin_port);
+  return listener;
+}
+
+Result<TcpConn> TcpListener::Accept() {
+  if (fd_ < 0) return Status::FailedPrecondition("accept on closed listener");
+  for (;;) {
+    int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) {
+      int one = 1;
+      (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return TcpConn(fd);
+    }
+    if (errno == EINTR) continue;
+    // EINVAL is Linux's verdict on accept(2) after shutdown(2): the
+    // listener was woken deliberately, not broken.
+    if (errno == EINVAL) {
+      return Status::Aborted("listener shut down");
+    }
+    return Errno("accept");
+  }
+}
+
+void TcpListener::Shutdown() {
+  if (fd_ >= 0) (void)::shutdown(fd_, SHUT_RDWR);
+}
+
+void TcpListener::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace sdss

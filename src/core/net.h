@@ -1,0 +1,113 @@
+// TCP socket and poll primitives for the query server.
+//
+// Thin Status-returning wrappers over POSIX stream sockets, the network
+// counterpart of core/io.h's file primitives: everything the server
+// module (and its client library) needs, in one place, so error
+// handling, EINTR discipline, and shutdown-based unblocking cannot
+// diverge between call sites. No other core header touches the network.
+//
+// Threading contract: a TcpConn may be used full-duplex from two
+// threads (one reader, one writer) -- the query server streams result
+// frames from a scheduler worker while the session thread blocks
+// reading the next request. Shutdown() is additionally safe to call
+// from any thread and wakes both directions; Close() is not, and must
+// only run once no other thread touches the object (the owner's
+// destructor).
+
+#ifndef SDSS_CORE_NET_H_
+#define SDSS_CORE_NET_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "core/status.h"
+
+namespace sdss {
+
+/// One end of a connected TCP stream. Move-only; the destructor closes.
+class TcpConn {
+ public:
+  TcpConn() = default;
+  explicit TcpConn(int fd) : fd_(fd) {}
+  ~TcpConn();
+
+  TcpConn(TcpConn&& other) noexcept;
+  TcpConn& operator=(TcpConn&& other) noexcept;
+  TcpConn(const TcpConn&) = delete;
+  TcpConn& operator=(const TcpConn&) = delete;
+
+  /// Connects to host:port (numeric IPv4 dotted quad or "localhost").
+  static Result<TcpConn> Connect(const std::string& host, uint16_t port);
+
+  bool valid() const { return fd_ >= 0; }
+
+  /// Writes all of `data`, retrying short writes and EINTR. SIGPIPE is
+  /// suppressed (MSG_NOSIGNAL); a peer that vanished mid-write surfaces
+  /// as an IOError, never a signal.
+  Status WriteAll(std::string_view data);
+
+  /// Reads exactly `n` bytes. A clean EOF before the first byte is
+  /// kAborted ("peer closed"); EOF mid-buffer or a socket error is
+  /// kIOError. Blocks until satisfied, errored, or Shutdown().
+  Status ReadExact(void* buf, size_t n);
+
+  /// Polls for readability. Returns true when a read would not block
+  /// (data or EOF pending), false on timeout. `timeout_ms < 0` blocks
+  /// indefinitely.
+  Result<bool> WaitReadable(int timeout_ms);
+
+  /// Half-close both directions (shutdown(2)): wakes any thread blocked
+  /// in ReadExact/WriteAll with an error, but keeps the fd valid so
+  /// concurrent calls fail cleanly instead of racing a reused
+  /// descriptor. Safe from any thread; idempotent.
+  void Shutdown();
+
+  /// Closes the fd. Only the owning thread, after Shutdown() has
+  /// quiesced any peers.
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// A listening TCP socket. Move-only; the destructor closes.
+class TcpListener {
+ public:
+  TcpListener() = default;
+  ~TcpListener();
+
+  TcpListener(TcpListener&& other) noexcept;
+  TcpListener& operator=(TcpListener&& other) noexcept;
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  /// Binds and listens on host:port with SO_REUSEADDR. `port == 0`
+  /// picks an ephemeral port, readable back via port().
+  static Result<TcpListener> Listen(const std::string& host, uint16_t port,
+                                    int backlog);
+
+  bool valid() const { return fd_ >= 0; }
+
+  /// The bound port (resolved when Listen was given port 0).
+  uint16_t port() const { return port_; }
+
+  /// Blocks for the next connection. After Shutdown() (from any
+  /// thread), pending and future calls return kAborted -- the accept
+  /// loop's clean exit signal.
+  Result<TcpConn> Accept();
+
+  /// Wakes blocked Accept calls with kAborted. Safe from any thread;
+  /// idempotent.
+  void Shutdown();
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+}  // namespace sdss
+
+#endif  // SDSS_CORE_NET_H_

@@ -31,6 +31,10 @@ enum class StatusCode {
   /// The operation was interrupted mid-flight (e.g. by a crash) and left
   /// no partial effects; retrying the whole operation is safe.
   kAborted,
+  /// The service is temporarily overloaded or shedding work; the request
+  /// was refused without side effects and should be retried after a
+  /// backoff (the query server maps this to a protocol-level BUSY).
+  kUnavailable,
 };
 
 /// Returns a stable human-readable name for a status code ("InvalidArgument").
@@ -82,6 +86,9 @@ class Status {
   }
   static Status Aborted(std::string msg) {
     return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   /// True iff the operation succeeded.

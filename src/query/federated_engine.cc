@@ -755,6 +755,14 @@ Result<ExecStats> FederatedQueryEngine::ExecuteStreaming(
     const std::string& sql,
     const std::function<bool(const RowBatch&)>& on_batch,
     const ExecContext& ctx) {
+  return ExecuteStreaming(sql, nullptr, on_batch, ctx);
+}
+
+Result<ExecStats> FederatedQueryEngine::ExecuteStreaming(
+    const std::string& sql,
+    const std::function<void(const ResultHeader&)>& on_header,
+    const std::function<bool(const RowBatch&)>& on_batch,
+    const ExecContext& ctx) {
   auto prep = Prepare(sql, ctx);
   if (!prep.ok()) return prep.status();
   if (!prep->parsed.first.into_mydb.empty() && !ctx.into_sink) {
@@ -762,6 +770,12 @@ Result<ExecStats> FederatedQueryEngine::ExecuteStreaming(
         "INTO mydb." + prep->parsed.first.into_mydb +
         " must run through the batch workbench; the engine alone would "
         "discard the materialization");
+  }
+  if (on_header) {
+    ResultHeader header;
+    header.columns = prep->plan.columns;
+    header.is_aggregate = prep->plan.is_aggregate;
+    on_header(header);
   }
   return RunPrepared(
       *prep, [&on_batch](RowBatch&& batch) { return on_batch(batch); },

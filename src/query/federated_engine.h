@@ -131,6 +131,18 @@ class FederatedQueryEngine {
       const std::function<bool(const RowBatch&)>& on_batch,
       const ExecContext& ctx = {});
 
+  /// Streaming execution that first announces the result shape:
+  /// `on_header`, when set, is invoked exactly once -- after parsing and
+  /// planning succeed, before the first batch -- with the projected
+  /// column names and the aggregate flag. This is what lets a remote
+  /// consumer (the query server) frame a result stream without
+  /// materializing it first.
+  Result<ExecStats> ExecuteStreaming(
+      const std::string& sql,
+      const std::function<void(const ResultHeader&)>& on_header,
+      const std::function<bool(const RowBatch&)>& on_batch,
+      const ExecContext& ctx = {});
+
   /// The plan explanation plus per-shard container/byte predictions.
   Result<std::string> Explain(const std::string& sql,
                               const ExecContext& ctx = {});

@@ -15,6 +15,16 @@
 
 namespace sdss::query {
 
+/// The shape of a query's result, announced to a streaming consumer
+/// before the first batch arrives -- everything a remote client needs
+/// to interpret the row stream (the query server's HEADER frame).
+struct ResultHeader {
+  std::vector<std::string> columns;
+  /// True when the stream carries exactly one row whose first value is
+  /// the aggregate.
+  bool is_aggregate = false;
+};
+
 /// A fully materialized query answer.
 struct QueryResult {
   std::vector<std::string> columns;

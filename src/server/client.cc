@@ -1,0 +1,131 @@
+#include "server/client.h"
+
+#include <utility>
+
+namespace sdss::server {
+
+namespace {
+/// The client accepts frames up to this size (results can be large;
+/// the bound only guards against a corrupt length prefix).
+constexpr size_t kClientMaxFrameBytes = 64u << 20;
+}  // namespace
+
+Result<Client> Client::Connect(const std::string& host, uint16_t port,
+                               const std::string& user,
+                               const std::string& token) {
+  Result<TcpConn> conn = TcpConn::Connect(host, port);
+  if (!conn.ok()) return conn.status();
+  Client client(std::move(*conn), kClientMaxFrameBytes);
+
+  HelloMsg hello;
+  hello.user = user;
+  hello.token = token;
+  SDSS_RETURN_IF_ERROR(client.conn_.WriteAll(EncodeHello(hello)));
+
+  Result<Frame> reply = ReadFrame(&client.conn_, kClientMaxFrameBytes);
+  if (!reply.ok()) return reply.status();
+  switch (reply->type) {
+    case MsgType::kWelcome: {
+      Result<WelcomeMsg> welcome = DecodeWelcome(reply->payload);
+      if (!welcome.ok()) return welcome.status();
+      client.welcome_ = std::move(*welcome);
+      return client;
+    }
+    case MsgType::kBusy:
+      return Status::Unavailable("server is at its session limit");
+    case MsgType::kError: {
+      Result<ErrorMsg> error = DecodeError(reply->payload);
+      if (!error.ok()) return error.status();
+      return error->ToStatus();
+    }
+    default:
+      return Status::InvalidArgument(
+          std::string("expected WELCOME, got ") + MsgTypeName(reply->type));
+  }
+}
+
+Result<QueryOutcome> Client::Query(const std::string& sql) {
+  return Query(sql, nullptr);
+}
+
+Result<QueryOutcome> Client::Query(
+    const std::string& sql,
+    const std::function<bool(const query::RowBatch&)>& on_rows) {
+  QueryMsg query;
+  query.sql = sql;
+  SDSS_RETURN_IF_ERROR(conn_.WriteAll(EncodeQuery(query)));
+
+  QueryOutcome outcome;
+  bool cancel_sent = false;
+  for (;;) {
+    Result<Frame> frame = ReadFrame(&conn_, max_frame_bytes_);
+    if (!frame.ok()) return frame.status();
+    switch (frame->type) {
+      case MsgType::kHeader: {
+        Result<HeaderMsg> header = DecodeHeader(frame->payload);
+        if (!header.ok()) return header.status();
+        outcome.header = std::move(*header);
+        outcome.have_header = true;
+        break;
+      }
+      case MsgType::kRows: {
+        Result<RowsMsg> rows = DecodeRows(frame->payload);
+        if (!rows.ok()) return rows.status();
+        if (on_rows != nullptr) {
+          if (!on_rows(rows->rows) && !cancel_sent) {
+            // Keep draining afterwards: the job's terminal frame still
+            // arrives (normally ERROR / Cancelled) and ends the loop.
+            SDSS_RETURN_IF_ERROR(conn_.WriteAll(EncodeCancel()));
+            cancel_sent = true;
+          }
+        } else {
+          outcome.rows.insert(outcome.rows.end(),
+                              std::make_move_iterator(rows->rows.begin()),
+                              std::make_move_iterator(rows->rows.end()));
+        }
+        break;
+      }
+      case MsgType::kDone: {
+        Result<DoneMsg> done = DecodeDone(frame->payload);
+        if (!done.ok()) return done.status();
+        outcome.done = *done;
+        outcome.kind = QueryOutcome::Kind::kDone;
+        return outcome;
+      }
+      case MsgType::kError: {
+        Result<ErrorMsg> error = DecodeError(frame->payload);
+        if (!error.ok()) return error.status();
+        outcome.error = std::move(*error);
+        outcome.kind = QueryOutcome::Kind::kError;
+        if (outcome.error.fatal) {
+          // The server closes after a fatal error; so do we.
+          conn_.Shutdown();
+        }
+        return outcome;
+      }
+      case MsgType::kBusy: {
+        Result<BusyMsg> busy = DecodeBusy(frame->payload);
+        if (!busy.ok()) return busy.status();
+        outcome.busy = *busy;
+        outcome.kind = QueryOutcome::Kind::kBusy;
+        return outcome;
+      }
+      default:
+        return Status::InvalidArgument(
+            std::string("unexpected ") + MsgTypeName(frame->type) +
+            " frame in a query conversation");
+    }
+  }
+}
+
+Status Client::Bye() {
+  Status sent = conn_.WriteAll(EncodeBye());
+  conn_.Shutdown();
+  return sent;
+}
+
+Result<Frame> Client::ReadOneFrame() {
+  return ReadFrame(&conn_, max_frame_bytes_);
+}
+
+}  // namespace sdss::server

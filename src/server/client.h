@@ -1,0 +1,101 @@
+// Client library for the query server: the protocol's other half.
+//
+// A Client owns one connection and drives it synchronously -- HELLO on
+// Connect, then one QUERY at a time, each consumed to its terminal
+// frame (DONE, ERROR, or BUSY) before the next. That is exactly the
+// session state machine of docs/PROTOCOL.md, so the tests, the example
+// (examples/query_server.cpp), and the load generator
+// (bench/bench_c14_server.cc) all exercise the server through the same
+// conforming path. Not thread-safe; one Client per thread.
+
+#ifndef SDSS_SERVER_CLIENT_H_
+#define SDSS_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "core/net.h"
+#include "core/status.h"
+#include "query/qet.h"
+#include "server/protocol.h"
+
+namespace sdss::server {
+
+/// How one statement ended, with everything the server streamed for it.
+struct QueryOutcome {
+  enum class Kind {
+    kDone,   ///< Ran to completion; `rows` + `done` are filled.
+    kError,  ///< Refused or failed; `error` is filled.
+    kBusy,   ///< Shed by backpressure; `busy` says when to retry.
+  };
+  Kind kind = Kind::kError;
+
+  bool have_header = false;
+  HeaderMsg header;
+  /// All result rows, in arrival order (empty when a row sink was
+  /// given, for BUSY, and usually for errors).
+  query::RowBatch rows;
+  DoneMsg done;
+  ErrorMsg error;
+  BusyMsg busy;
+
+  bool ok() const { return kind == Kind::kDone; }
+};
+
+/// One authenticated connection to a QueryServer.
+class Client {
+ public:
+  /// Connects and performs the HELLO handshake. A BUSY verdict at the
+  /// door surfaces as kUnavailable; a fatal ERROR (bad auth, version
+  /// mismatch) as that error's status.
+  static Result<Client> Connect(const std::string& host, uint16_t port,
+                                const std::string& user,
+                                const std::string& token = "");
+
+  Client(Client&&) = default;
+  Client& operator=(Client&&) = default;
+
+  const WelcomeMsg& welcome() const { return welcome_; }
+
+  /// Runs one statement, collecting every row into the outcome. The
+  /// returned status is about the *conversation* (I/O, framing): a
+  /// query that failed server-side is an ok() Result whose outcome says
+  /// kError.
+  Result<QueryOutcome> Query(const std::string& sql);
+
+  /// Streaming variant: `on_rows` sees each ROWS batch as it arrives;
+  /// returning false sends CANCEL (the server ends the job, and the
+  /// outcome reports the resulting terminal frame, normally kError /
+  /// Cancelled).
+  Result<QueryOutcome> Query(
+      const std::string& sql,
+      const std::function<bool(const query::RowBatch&)>& on_rows);
+
+  /// Orderly close: sends BYE and shuts the connection down. The Client
+  /// is unusable afterwards.
+  Status Bye();
+
+  /// Hard close without BYE -- the misbehaving-client path the server's
+  /// disconnect handling is tested against.
+  void Abort() { conn_.Shutdown(); }
+
+  /// Sends raw bytes on the wire, bypassing the protocol encoder. Test
+  /// hook for malformed-frame handling; not part of the protocol.
+  Status SendRaw(const std::string& bytes) { return conn_.WriteAll(bytes); }
+
+  /// Reads one frame off the wire. Test hook paired with SendRaw.
+  Result<Frame> ReadOneFrame();
+
+ private:
+  Client(TcpConn conn, size_t max_frame_bytes)
+      : conn_(std::move(conn)), max_frame_bytes_(max_frame_bytes) {}
+
+  TcpConn conn_;
+  size_t max_frame_bytes_;
+  WelcomeMsg welcome_;
+};
+
+}  // namespace sdss::server
+
+#endif  // SDSS_SERVER_CLIENT_H_

@@ -1,0 +1,151 @@
+// The query server's wire protocol: length-prefixed frames carrying a
+// small fixed message vocabulary.
+//
+//   frame := len:u32 | type:u8 | payload[len-1]
+//
+// `len` counts the type byte plus the payload, so the smallest legal
+// frame is 5 bytes (len == 1, empty payload) and a reader can bound a
+// frame before touching its body. All integers and IEEE doubles are
+// little-endian; variable-length fields use a u32 length prefix ("lp").
+// Decoders are bounds-checked (a torn or hostile byte stream decodes to
+// a clean error, never out of bounds) and ignore unconsumed trailing
+// payload bytes -- the compatibility rule that lets a future minor
+// revision append fields without breaking old readers.
+//
+// docs/PROTOCOL.md is the normative byte-level spec of everything in
+// this header; tests/server/protocol_test.cc pins the two against each
+// other with hand-built frames.
+
+#ifndef SDSS_SERVER_PROTOCOL_H_
+#define SDSS_SERVER_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/net.h"
+#include "core/status.h"
+#include "query/qet.h"
+
+namespace sdss::server {
+
+/// Protocol revision carried in HELLO/WELCOME. The server refuses a
+/// HELLO whose version differs (see docs/PROTOCOL.md "Versioning").
+inline constexpr uint32_t kProtocolVersion = 1;
+
+/// Bytes of framing around a payload: the u32 length plus the type byte.
+inline constexpr size_t kFrameOverheadBytes = 5;
+
+/// Message vocabulary. Client-to-server: HELLO, QUERY, CANCEL, BYE.
+/// Server-to-client: WELCOME, HEADER, ROWS, DONE, ERROR, BUSY.
+enum class MsgType : uint8_t {
+  kHello = 1,    ///< version | user | token -- opens a session.
+  kWelcome = 2,  ///< version | session_id | banner -- auth accepted.
+  kQuery = 3,    ///< sql -- submit one statement.
+  kHeader = 4,   ///< job_id | lane | is_aggregate | columns.
+  kRows = 5,     ///< a batch of result rows (zero or more per query).
+  kDone = 6,     ///< job_id | rows | timings | scan counters -- success.
+  kError = 7,    ///< status code | fatal flag | message.
+  kBusy = 8,     ///< retry_after_ms | lane depths -- backpressure.
+  kCancel = 9,   ///< empty -- cancel the in-flight query.
+  kBye = 10,     ///< empty -- orderly session close.
+};
+
+const char* MsgTypeName(MsgType type);
+
+struct HelloMsg {
+  uint32_t version = kProtocolVersion;
+  std::string user;
+  std::string token;
+};
+
+struct WelcomeMsg {
+  uint32_t version = kProtocolVersion;
+  uint64_t session_id = 0;
+  std::string banner;
+};
+
+struct QueryMsg {
+  std::string sql;
+};
+
+struct HeaderMsg {
+  uint64_t job_id = 0;
+  uint8_t lane = 0;  ///< 0 = QUICK, 1 = LONG.
+  bool is_aggregate = false;
+  std::vector<std::string> columns;
+};
+
+struct RowsMsg {
+  query::RowBatch rows;
+};
+
+struct DoneMsg {
+  uint64_t job_id = 0;
+  uint64_t rows = 0;
+  double seconds_queued = 0.0;
+  double seconds_running = 0.0;
+  uint64_t containers_scanned = 0;
+  uint64_t bytes_touched = 0;
+};
+
+struct ErrorMsg {
+  StatusCode code = StatusCode::kInternal;
+  /// True when the server closes the session after this error (auth
+  /// failure, protocol violation); false for per-query errors the
+  /// session survives.
+  bool fatal = false;
+  std::string message;
+
+  Status ToStatus() const;
+};
+
+struct BusyMsg {
+  uint32_t retry_after_ms = 0;
+  uint32_t quick_queued = 0;
+  uint32_t long_queued = 0;
+};
+
+/// One decoded frame: the type byte plus its raw payload.
+struct Frame {
+  MsgType type = MsgType::kBye;
+  std::string payload;
+};
+
+/// Encoders return the complete frame (length prefix included), ready
+/// for TcpConn::WriteAll.
+std::string EncodeHello(const HelloMsg& msg);
+std::string EncodeWelcome(const WelcomeMsg& msg);
+std::string EncodeQuery(const QueryMsg& msg);
+std::string EncodeHeader(const HeaderMsg& msg);
+std::string EncodeRows(const RowsMsg& msg);
+/// Same frame, from a bare batch (the server's hot path -- no copy into
+/// a RowsMsg).
+std::string EncodeRows(const query::RowBatch& rows);
+std::string EncodeDone(const DoneMsg& msg);
+std::string EncodeError(const ErrorMsg& msg);
+std::string EncodeBusy(const BusyMsg& msg);
+std::string EncodeCancel();
+std::string EncodeBye();
+
+/// Decoders take the frame payload (everything after the type byte).
+Result<HelloMsg> DecodeHello(std::string_view payload);
+Result<WelcomeMsg> DecodeWelcome(std::string_view payload);
+Result<QueryMsg> DecodeQuery(std::string_view payload);
+Result<HeaderMsg> DecodeHeader(std::string_view payload);
+Result<RowsMsg> DecodeRows(std::string_view payload);
+Result<DoneMsg> DecodeDone(std::string_view payload);
+Result<ErrorMsg> DecodeError(std::string_view payload);
+Result<BusyMsg> DecodeBusy(std::string_view payload);
+
+/// Reads exactly one frame. A clean EOF on the length prefix is
+/// kAborted (peer hung up between frames); a frame whose length is zero
+/// or exceeds `max_frame_bytes` is kInvalidArgument -- the caller must
+/// treat that as a protocol violation and close, because the stream can
+/// no longer be re-synchronized.
+Result<Frame> ReadFrame(TcpConn* conn, size_t max_frame_bytes);
+
+}  // namespace sdss::server
+
+#endif  // SDSS_SERVER_PROTOCOL_H_

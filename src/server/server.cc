@@ -1,0 +1,144 @@
+#include "server/server.h"
+
+#include <utility>
+#include <vector>
+
+#include "server/protocol.h"
+
+namespace sdss::server {
+
+QueryServer::QueryServer(workbench::JobScheduler* scheduler,
+                         ServerOptions options)
+    : scheduler_(scheduler), options_(std::move(options)) {}
+
+QueryServer::~QueryServer() { Stop(); }
+
+Status QueryServer::Start() {
+  if (started_.load()) {
+    return Status::FailedPrecondition("server already started");
+  }
+  Result<TcpListener> listener =
+      TcpListener::Listen(options_.host, options_.port, options_.backlog);
+  if (!listener.ok()) return listener.status();
+  listener_ = std::move(*listener);
+  port_ = listener_.port();
+  started_.store(true);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void QueryServer::Stop() {
+  if (!started_.load() || stopped_.exchange(true)) return;
+  // Order matters: stop the accept loop first (it is the only thread
+  // that spawns sessions), then wake every live session, then join.
+  listener_.Shutdown();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::shared_ptr<Session>> live;
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    live.reserve(sessions_.size());
+    for (auto& [id, session] : sessions_) live.push_back(session);
+    threads.reserve(session_threads_.size());
+    for (auto& [id, thread] : session_threads_) {
+      threads.push_back(std::move(thread));
+    }
+    session_threads_.clear();
+  }
+  for (auto& session : live) session->Shutdown();
+  for (auto& thread : threads) thread.join();
+  ReapFinishedThreads();
+}
+
+void QueryServer::AcceptLoop() {
+  for (;;) {
+    Result<TcpConn> conn = listener_.Accept();
+    if (!conn.ok()) return;  // Shutdown (or a fatal listener error).
+    ++counters_.sessions_accepted;
+    ReapFinishedThreads();
+
+    size_t active;
+    {
+      std::lock_guard<std::mutex> lock(sessions_mu_);
+      active = sessions_.size();
+    }
+    if (active >= options_.max_sessions) {
+      // Shed at the door: a BUSY verdict and an orderly close keep the
+      // accept queue draining -- refusing cheaply is what prevents the
+      // backlog (and every client's connect latency) from collapsing.
+      ++counters_.sessions_refused;
+      workbench::QueueDepths depths = scheduler_->LaneDepths();
+      BusyMsg busy;
+      busy.retry_after_ms = options_.busy_retry_ms;
+      busy.quick_queued = static_cast<uint32_t>(depths.quick_queued);
+      busy.long_queued = static_cast<uint32_t>(depths.long_queued);
+      conn->WriteAll(EncodeBusy(busy));
+      continue;  // conn's destructor closes the socket.
+    }
+
+    uint64_t id;
+    std::shared_ptr<Session> session;
+    {
+      // The thread handle must be in the map before the session can
+      // reach OnSessionClosed (which looks it up to park it), so the
+      // thread starts under the same lock OnSessionClosed takes.
+      std::lock_guard<std::mutex> lock(sessions_mu_);
+      id = next_session_id_++;
+      session = std::make_shared<Session>(id, std::move(*conn), this);
+      sessions_.emplace(id, session);
+      session_threads_.emplace(
+          id, std::thread([session] { session->Run(); }));
+    }
+  }
+}
+
+bool QueryServer::Authenticate(const std::string& user,
+                               const std::string& token) const {
+  if (user.empty()) return false;
+  if (options_.users.empty()) return true;  // Open access.
+  auto it = options_.users.find(user);
+  return it != options_.users.end() && it->second == token;
+}
+
+void QueryServer::OnSessionClosed(uint64_t id) {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  sessions_.erase(id);
+  // Park this thread's own handle for the reaper (moving a std::thread
+  // from the thread it names is fine; joining it is what must happen
+  // elsewhere). Stop() may already have taken the whole map.
+  auto it = session_threads_.find(id);
+  if (it != session_threads_.end()) {
+    finished_threads_.push_back(std::move(it->second));
+    session_threads_.erase(it);
+  }
+}
+
+void QueryServer::ReapFinishedThreads() {
+  std::vector<std::thread> done;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    done.swap(finished_threads_);
+  }
+  // A parked thread has already passed its sign-off; the join only
+  // waits out the last instructions of its lambda.
+  for (auto& thread : done) thread.join();
+}
+
+ServerStats QueryServer::stats() const {
+  ServerStats stats;
+  stats.sessions_accepted = counters_.sessions_accepted.load();
+  stats.sessions_refused = counters_.sessions_refused.load();
+  stats.auth_failures = counters_.auth_failures.load();
+  stats.queries_submitted = counters_.queries_submitted.load();
+  stats.queries_succeeded = counters_.queries_succeeded.load();
+  stats.queries_failed = counters_.queries_failed.load();
+  stats.busy_shed = counters_.busy_shed.load();
+  stats.protocol_errors = counters_.protocol_errors.load();
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    stats.sessions_active = sessions_.size();
+  }
+  return stats;
+}
+
+}  // namespace sdss::server

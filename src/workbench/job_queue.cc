@@ -81,6 +81,12 @@ size_t JobQueue::Depth(Lane lane) const {
   return lane == Lane::kQuick ? quick_.size() : long_.size();
 }
 
+void JobQueue::Depths(size_t* quick, size_t* long_lane) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  *quick = quick_.size();
+  *long_lane = long_.size();
+}
+
 std::vector<uint64_t> JobQueue::QueuedIds(Lane lane) const {
   std::lock_guard<std::mutex> lock(mu_);
   const std::deque<Entry>& q = lane == Lane::kQuick ? quick_ : long_;

@@ -63,6 +63,12 @@ class JobQueue {
   void Shutdown();
 
   size_t Depth(Lane lane) const;
+
+  /// Both lane depths under one lock -- a consistent point-in-time pair
+  /// (two Depth calls could interleave with a Push between them), which
+  /// is what backpressure decisions key off.
+  void Depths(size_t* quick, size_t* long_lane) const;
+
   size_t RunningFor(const std::string& user) const;
 
   /// Ids currently queued in `lane`, front (next to pop) first. A

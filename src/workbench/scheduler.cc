@@ -78,6 +78,8 @@ Status MakeStatus(StatusCode code, std::string msg) {
       return Status::Cancelled(std::move(msg));
     case StatusCode::kAborted:
       return Status::Aborted(std::move(msg));
+    case StatusCode::kUnavailable:
+      return Status::Unavailable(std::move(msg));
   }
   return Status::Internal(std::move(msg));
 }
@@ -208,20 +210,55 @@ JobScheduler::~JobScheduler() {
   }
   queue_.Shutdown();
   workers_.JoinAll();
+  std::vector<std::pair<Job*, JobSnapshot>> completed;
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (auto& [id, job] : jobs_) {
       if (job->snap.state == JobState::kQueued) {
         job->snap.state = JobState::kCancelled;
         job->snap.error = Status::Cancelled("scheduler shut down");
+        completed.emplace_back(job.get(), job->snap);
       }
     }
   }
+  for (auto& [job, snap] : completed) NotifyComplete(job, std::move(snap));
   done_cv_.notify_all();
+}
+
+void JobScheduler::NotifyComplete(Job* job, JobSnapshot snap) {
+  if (job->hooks.on_complete) job->hooks.on_complete(snap);
+}
+
+QueueDepths JobScheduler::LaneDepths() const {
+  QueueDepths depths;
+  std::lock_guard<std::mutex> lock(mu_);
+  queue_.Depths(&depths.quick_queued, &depths.long_queued);
+  for (const auto& [id, job] : jobs_) {
+    if (job->snap.state != JobState::kRunning) continue;
+    if (job->snap.lane == Lane::kQuick) {
+      ++depths.quick_running;
+    } else {
+      ++depths.long_running;
+    }
+  }
+  return depths;
 }
 
 Result<uint64_t> JobScheduler::Submit(const std::string& user,
                                       const std::string& sql) {
+  return SubmitInternal(user, sql, /*streaming=*/false, StreamHooks{});
+}
+
+Result<uint64_t> JobScheduler::SubmitStreaming(const std::string& user,
+                                               const std::string& sql,
+                                               StreamHooks hooks) {
+  return SubmitInternal(user, sql, /*streaming=*/true, std::move(hooks));
+}
+
+Result<uint64_t> JobScheduler::SubmitInternal(const std::string& user,
+                                              const std::string& sql,
+                                              bool streaming,
+                                              StreamHooks hooks) {
   if (shutting_down_.load()) {
     return Status::FailedPrecondition("scheduler is shutting down");
   }
@@ -270,11 +307,24 @@ Result<uint64_t> JobScheduler::Submit(const std::string& user,
                        ? Lane::kLong
                        : Lane::kQuick;
   job->submitted = std::chrono::steady_clock::now();
+  job->streaming = streaming;
+  job->hooks = std::move(hooks);
 
   uint64_t id;
   Lane lane = job->snap.lane;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    // Bounded admission: refuse (no id, no journal record, no queue
+    // slot) instead of queueing past the configured depth. Checked
+    // under mu_, the same lock every Push serializes on, so the bound
+    // is exact.
+    const size_t bound = lane == Lane::kQuick ? options_.max_queued_quick
+                                              : options_.max_queued_long;
+    if (bound > 0 && queue_.Depth(lane) >= bound) {
+      return Status::Unavailable(
+          std::string(LaneName(lane)) + " lane is at its admission bound (" +
+          std::to_string(bound) + " jobs queued); retry after a backoff");
+    }
     id = next_id_++;
     job->snap.id = id;
     if (journal_ != nullptr) {
@@ -373,38 +423,51 @@ void JobScheduler::JournalTerminal(const JobSnapshot& snap) {
 }
 
 Status JobScheduler::Cancel(uint64_t job_id) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = jobs_.find(job_id);
-  if (it == jobs_.end()) {
-    return Status::NotFound("no job " + std::to_string(job_id));
+  Job* completed = nullptr;
+  JobSnapshot completed_snap;
+  Status result = Status::OK();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = jobs_.find(job_id);
+    if (it == jobs_.end()) {
+      return Status::NotFound("no job " + std::to_string(job_id));
+    }
+    Job* job = it->second.get();
+    switch (job->snap.state) {
+      case JobState::kQueued:
+        job->cancel.store(true);
+        if (queue_.Remove(job_id)) {
+          // Still in the queue: terminal right here. (If a worker popped
+          // it concurrently, the raised flag makes the worker finish it
+          // as cancelled instead.)
+          job->snap.state = JobState::kCancelled;
+          job->snap.error = Status::Cancelled("cancelled while queued");
+          job->snap.seconds_queued = SecondsBetween(
+              job->submitted, std::chrono::steady_clock::now());
+          JournalTerminal(job->snap);  // A user decision: it survives.
+          completed = job;
+          completed_snap = job->snap;
+          done_cv_.notify_all();
+        }
+        break;
+      case JobState::kRunning:
+        job->cancel.store(true);
+        break;
+      case JobState::kSucceeded:
+      case JobState::kFailed:
+      case JobState::kCancelled:
+        result = Status::FailedPrecondition(
+            "job " + std::to_string(job_id) + " already " +
+            JobStateName(job->snap.state));
+        break;
+    }
   }
-  Job* job = it->second.get();
-  switch (job->snap.state) {
-    case JobState::kQueued:
-      job->cancel.store(true);
-      if (queue_.Remove(job_id)) {
-        // Still in the queue: terminal right here. (If a worker popped
-        // it concurrently, the raised flag makes the worker finish it
-        // as cancelled instead.)
-        job->snap.state = JobState::kCancelled;
-        job->snap.error = Status::Cancelled("cancelled while queued");
-        job->snap.seconds_queued = SecondsBetween(
-            job->submitted, std::chrono::steady_clock::now());
-        JournalTerminal(job->snap);  // A user decision: it survives.
-        done_cv_.notify_all();
-      }
-      return Status::OK();
-    case JobState::kRunning:
-      job->cancel.store(true);
-      return Status::OK();
-    case JobState::kSucceeded:
-    case JobState::kFailed:
-    case JobState::kCancelled:
-      return Status::FailedPrecondition(
-          "job " + std::to_string(job_id) + " already " +
-          JobStateName(job->snap.state));
+  // The terminal hook fires outside mu_ (it may write to a socket or
+  // call back into Snapshot).
+  if (completed != nullptr) {
+    NotifyComplete(completed, std::move(completed_snap));
   }
-  return Status::Internal("unreachable");
+  return result;
 }
 
 Result<JobSnapshot> JobScheduler::Snapshot(uint64_t job_id) const {
@@ -448,6 +511,11 @@ Result<query::QueryResult> JobScheduler::TakeResult(uint64_t job_id) {
         "job " + std::to_string(job_id) + " materialized into mydb." +
         job->snap.into + "; query that table instead");
   }
+  if (job->streaming) {
+    return Status::FailedPrecondition(
+        "job " + std::to_string(job_id) +
+        " streamed its result; there is nothing to take");
+  }
   if (job->result_taken) {
     return Status::FailedPrecondition(
         "result of job " + std::to_string(job_id) + " already taken");
@@ -486,6 +554,7 @@ void JobScheduler::WorkerLoop(Lane lane) {
   while (queue_.PopEligible(lane, &id, &user)) {
     Job* job = nullptr;
     bool run = false;
+    bool cancelled_here = false;
     {
       std::lock_guard<std::mutex> lock(mu_);
       job = jobs_.at(id).get();
@@ -497,6 +566,7 @@ void JobScheduler::WorkerLoop(Lane lane) {
         // Journal a user cancellation; a shutdown one stays out of the
         // journal so recovery re-enqueues the job instead.
         if (!shutting_down_.load()) JournalTerminal(job->snap);
+        cancelled_here = true;
       } else {
         job->snap.state = JobState::kRunning;
         job->started = std::chrono::steady_clock::now();
@@ -508,6 +578,7 @@ void JobScheduler::WorkerLoop(Lane lane) {
         run = true;
       }
     }
+    if (cancelled_here) NotifyComplete(job, job->snap);
     if (run) RunJob(job);
     queue_.OnJobFinished(user);
     done_cv_.notify_all();
@@ -533,6 +604,37 @@ void JobScheduler::RunJob(Job* job) {
   query::QueryResult result;
   if (!job->snap.into.empty()) {
     status = ExecuteInto(job, ctx, &exec, &rows);
+  } else if (job->streaming) {
+    // The wire path: batches flow to the hooks as the executor produces
+    // them; nothing is retained in scheduler memory.
+    uint64_t emitted = 0;
+    bool sink_stopped = false;
+    auto stats = engine_->ExecuteStreaming(
+        job->snap.sql,
+        [job](const query::ResultHeader& header) {
+          if (job->hooks.on_header) job->hooks.on_header(header);
+        },
+        [job, &emitted, &sink_stopped](const query::RowBatch& batch) {
+          emitted += batch.size();
+          if (job->hooks.on_batch && !job->hooks.on_batch(batch)) {
+            sink_stopped = true;
+            return false;
+          }
+          return true;
+        },
+        ctx);
+    if (!stats.ok()) {
+      status = stats.status();
+    } else if (sink_stopped) {
+      // The consumer walked away mid-stream (client disconnect): the
+      // job is a cancellation, not a success with missing rows.
+      status = Status::Cancelled("stream consumer stopped mid-result");
+      exec = *stats;
+      rows = emitted;
+    } else {
+      exec = *stats;
+      rows = emitted;
+    }
   } else {
     auto run = engine_->Execute(job->snap.sql, ctx);
     if (run.ok()) {
@@ -544,24 +646,31 @@ void JobScheduler::RunJob(Job* job) {
     }
   }
 
-  std::lock_guard<std::mutex> lock(mu_);
-  job->snap.exec = exec;
-  job->snap.rows = rows;
-  job->snap.seconds_running =
-      SecondsBetween(job->started, std::chrono::steady_clock::now());
-  if (status.ok()) {
-    job->result = std::move(result);
-    job->snap.state = JobState::kSucceeded;
-  } else {
-    job->snap.state = status.code() == StatusCode::kCancelled
-                          ? JobState::kCancelled
-                          : JobState::kFailed;
-    job->snap.error = status;
+  JobSnapshot final_snap;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job->snap.exec = exec;
+    job->snap.rows = rows;
+    job->snap.seconds_running =
+        SecondsBetween(job->started, std::chrono::steady_clock::now());
+    if (status.ok()) {
+      job->result = std::move(result);
+      // A streaming job's rows are already gone to the hooks.
+      job->result_taken = job->streaming;
+      job->snap.state = JobState::kSucceeded;
+    } else {
+      job->snap.state = status.code() == StatusCode::kCancelled
+                            ? JobState::kCancelled
+                            : JobState::kFailed;
+      job->snap.error = status;
+    }
+    // Crash-equivalence at shutdown: a job torn down by the destructor is
+    // left un-journaled, so recovery treats it exactly like a job the
+    // power cord interrupted (re-enqueued or failed-retryable).
+    if (!shutting_down_.load()) JournalTerminal(job->snap);
+    final_snap = job->snap;
   }
-  // Crash-equivalence at shutdown: a job torn down by the destructor is
-  // left un-journaled, so recovery treats it exactly like a job the
-  // power cord interrupted (re-enqueued or failed-retryable).
-  if (!shutting_down_.load()) JournalTerminal(job->snap);
+  NotifyComplete(job, std::move(final_snap));
 }
 
 Status JobScheduler::ExecuteInto(Job* job, const query::ExecContext& base,
@@ -576,6 +685,11 @@ Status JobScheduler::ExecuteInto(Job* job, const query::ExecContext& base,
 
   auto stats = engine_->ExecuteStreaming(
       job->snap.sql,
+      [job](const query::ResultHeader& header) {
+        // A streaming INTO job still announces its shape; the rows
+        // themselves go to the store, not the hooks.
+        if (job->hooks.on_header) job->hooks.on_header(header);
+      },
       [&](const query::RowBatch& batch) {
         for (const query::ResultRow& row : batch) {
           auto obj = catalog::PhotoObjFromRow(names, row.values);

@@ -76,6 +76,50 @@ struct JobSnapshot {
   bool retryable = false;
 };
 
+/// Point-in-time load of both admission lanes: how many jobs sit queued
+/// and how many are running, per lane. This is the introspection the
+/// query server's backpressure keys off (a quick lane deeper than the
+/// BUSY threshold sheds new work with a retry-after instead of letting
+/// the queue -- and every interactive user's latency -- grow without
+/// bound).
+struct QueueDepths {
+  size_t quick_queued = 0;
+  size_t quick_running = 0;
+  size_t long_queued = 0;
+  size_t long_running = 0;
+
+  size_t Queued(Lane lane) const {
+    return lane == Lane::kQuick ? quick_queued : long_queued;
+  }
+  size_t Running(Lane lane) const {
+    return lane == Lane::kQuick ? quick_running : long_running;
+  }
+};
+
+/// Callbacks a streaming submission receives as its job executes -- the
+/// query server's wire path: batches go to the socket as the executor
+/// produces them instead of materializing a QueryResult in scheduler
+/// memory first.
+///
+/// Threading: on_header and on_batch run on the lane worker executing
+/// the job; on_complete runs exactly once per terminal transition, on
+/// the worker, the cancelling thread (cancel-while-queued), or the
+/// destructor's thread -- never under the scheduler's lock. Hooks must
+/// not block for long (they hold a lane worker) and must not call
+/// Wait() on their own job; Snapshot/Cancel are safe.
+struct StreamHooks {
+  /// The result shape, once, before the first batch. Not invoked for
+  /// jobs that fail before planning or are cancelled while queued.
+  std::function<void(const query::ResultHeader&)> on_header;
+  /// Batches in ASAP order. Return false to stop consuming (the client
+  /// vanished): remaining upstream work is abandoned and the job
+  /// finishes as cancelled. Never invoked for INTO jobs (their rows go
+  /// to the MyDB store).
+  std::function<bool(const query::RowBatch&)> on_batch;
+  /// The job's final snapshot, after it reached a terminal state.
+  std::function<void(const JobSnapshot&)> on_complete;
+};
+
 /// What JobScheduler::RecoverFrom rebuilt from a prior incarnation.
 struct SchedulerRecoveryReport {
   uint64_t jobs_seen = 0;            ///< Distinct job ids in the journal.
@@ -107,6 +151,13 @@ class JobScheduler {
     /// scans to this fleet's RecordAccess -- the scheduler-driven heat
     /// feed of the replica-promotion loop. Must outlive the scheduler.
     archive::ShardedStore* heat = nullptr;
+    /// Bounded admission (0 = unbounded, the in-process default): a
+    /// submission whose target lane already queues this many jobs is
+    /// refused with kUnavailable and no side effects -- the overload
+    /// verdict the query server translates into a protocol-level BUSY
+    /// instead of letting the queue grow into accept-queue collapse.
+    size_t max_queued_quick = 0;
+    size_t max_queued_long = 0;
   };
 
   JobScheduler(query::FederatedQueryEngine* engine, archive::MyDb* mydb,
@@ -126,8 +177,17 @@ class JobScheduler {
   Result<SchedulerRecoveryReport> RecoverFrom(const std::string& dir);
 
   /// Parses, prices, and enqueues `sql` for `user`. Returns the job id,
-  /// or the parse/plan error (nothing is queued on failure).
+  /// or the parse/plan error (nothing is queued on failure), or
+  /// kUnavailable when the target lane is at its configured bound.
   Result<uint64_t> Submit(const std::string& user, const std::string& sql);
+
+  /// Like Submit, but the job streams its result through `hooks`
+  /// instead of materializing it (TakeResult answers FailedPrecondition
+  /// for streaming jobs). INTO jobs still materialize into MyDB;
+  /// their hooks see on_header and on_complete only.
+  Result<uint64_t> SubmitStreaming(const std::string& user,
+                                   const std::string& sql,
+                                   StreamHooks hooks);
 
   /// Cancels a job: a queued job terminates immediately; a running job
   /// has its cooperative cancel flag raised and terminates at the
@@ -155,6 +215,12 @@ class JobScheduler {
   size_t PruneTerminalJobs();
 
   size_t QueueDepth(Lane lane) const { return queue_.Depth(lane); }
+
+  /// Queued + running job counts of both lanes, as one consistent
+  /// snapshot -- the introspection bounded admission and the server's
+  /// BUSY threshold decide on.
+  QueueDepths LaneDepths() const;
+
   const Options& options() const { return options_; }
 
  private:
@@ -165,10 +231,19 @@ class JobScheduler {
     std::chrono::steady_clock::time_point started;
     query::QueryResult result;
     bool result_taken = false;
+    /// Set for SubmitStreaming jobs; such a job never materializes.
+    bool streaming = false;
+    StreamHooks hooks;
   };
 
+  Result<uint64_t> SubmitInternal(const std::string& user,
+                                  const std::string& sql, bool streaming,
+                                  StreamHooks hooks);
   void WorkerLoop(Lane lane);
   void RunJob(Job* job);
+  /// Fires a terminal job's on_complete hook. Must be called without
+  /// mu_ held (hooks may write to sockets or call Snapshot/Cancel).
+  static void NotifyComplete(Job* job, JobSnapshot snap);
   /// Appends a terminal-transition record; no-op when not journaling.
   /// Callers skip this for shutdown-driven terminals (see the file
   /// comment: shutdown must look like a crash to recovery).

@@ -14,6 +14,7 @@
 #include "htm/htm_id.h"
 #include "persist/crc32.h"
 #include "query/parser.h"
+#include "server/protocol.h"
 #include "workbench/job_queue.h"
 
 namespace {
@@ -62,6 +63,11 @@ TEST(LinkSanityTest, ArchiveTierName) {
 TEST(LinkSanityTest, WorkbenchLaneName) {
   EXPECT_STREQ(sdss::workbench::LaneName(sdss::workbench::Lane::kLong),
                "LONG");
+}
+
+TEST(LinkSanityTest, ServerMsgTypeName) {
+  EXPECT_STREQ(sdss::server::MsgTypeName(sdss::server::MsgType::kBusy),
+               "BUSY");
 }
 
 }  // namespace

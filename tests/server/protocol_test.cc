@@ -1,0 +1,361 @@
+// Wire-format conformance: pins every frame layout of docs/PROTOCOL.md
+// byte for byte, round-trips the full message vocabulary, and checks
+// the decoder contracts (bounds-checked truncation errors, trailing-
+// byte tolerance, hostile-count rejection) plus ReadFrame's framing
+// errors over a real loopback socket.
+
+#include "server/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+
+#include "core/net.h"
+
+namespace sdss::server {
+namespace {
+
+std::string Bytes(std::initializer_list<unsigned char> bytes) {
+  return std::string(bytes.begin(), bytes.end());
+}
+
+/// Splits an encoded frame into (declared length, type, payload) the
+/// way a reader would, asserting the frame is self-consistent.
+Frame Parse(const std::string& frame) {
+  EXPECT_GE(frame.size(), kFrameOverheadBytes - 1);
+  uint32_t len = static_cast<uint8_t>(frame[0]) |
+                 static_cast<uint32_t>(static_cast<uint8_t>(frame[1])) << 8 |
+                 static_cast<uint32_t>(static_cast<uint8_t>(frame[2])) << 16 |
+                 static_cast<uint32_t>(static_cast<uint8_t>(frame[3])) << 24;
+  EXPECT_EQ(len, frame.size() - 4) << "length prefix must cover "
+                                      "type byte + payload exactly";
+  Frame out;
+  out.type = static_cast<MsgType>(static_cast<uint8_t>(frame[4]));
+  out.payload = frame.substr(5);
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// Byte-level layout pins (normative examples in docs/PROTOCOL.md).
+
+TEST(ServerProtocolLayout, EmptyFramesAreFiveBytes) {
+  EXPECT_EQ(EncodeCancel(), Bytes({0x01, 0x00, 0x00, 0x00, 0x09}));
+  EXPECT_EQ(EncodeBye(), Bytes({0x01, 0x00, 0x00, 0x00, 0x0a}));
+}
+
+TEST(ServerProtocolLayout, HelloMatchesTheSpecExample) {
+  HelloMsg hello;
+  hello.version = 1;
+  hello.user = "alice";
+  hello.token = "s3cr3t";
+  // len = 1 (type) + 4 (version) + 4+5 (user) + 4+6 (token) = 24.
+  EXPECT_EQ(EncodeHello(hello),
+            Bytes({0x18, 0x00, 0x00, 0x00,              // len
+                   0x01,                                // HELLO
+                   0x01, 0x00, 0x00, 0x00,              // version
+                   0x05, 0x00, 0x00, 0x00,              // |user|
+                   'a', 'l', 'i', 'c', 'e',             // user
+                   0x06, 0x00, 0x00, 0x00,              // |token|
+                   's', '3', 'c', 'r', '3', 't'}));     // token
+}
+
+TEST(ServerProtocolLayout, QueryMatchesTheSpecExample) {
+  QueryMsg query;
+  query.sql = "SELECT 1";
+  EXPECT_EQ(EncodeQuery(query),
+            Bytes({0x0d, 0x00, 0x00, 0x00,  // len = 1 + 4 + 8
+                   0x03,                    // QUERY
+                   0x08, 0x00, 0x00, 0x00,  // |sql|
+                   'S', 'E', 'L', 'E', 'C', 'T', ' ', '1'}));
+}
+
+TEST(ServerProtocolLayout, BusyMatchesTheSpecExample) {
+  BusyMsg busy;
+  busy.retry_after_ms = 50;
+  busy.quick_queued = 3;
+  busy.long_queued = 259;
+  EXPECT_EQ(EncodeBusy(busy),
+            Bytes({0x0d, 0x00, 0x00, 0x00,    // len = 1 + 12
+                   0x08,                      // BUSY
+                   0x32, 0x00, 0x00, 0x00,    // retry_after_ms
+                   0x03, 0x00, 0x00, 0x00,    // quick_queued
+                   0x03, 0x01, 0x00, 0x00})); // long_queued = 0x103
+}
+
+TEST(ServerProtocolLayout, RowsMatchesTheSpecExample) {
+  RowsMsg rows;
+  query::ResultRow row;
+  row.obj_id = 0x0102030405060708ull;
+  row.obj_id_b = 0;
+  row.values = {1.5};
+  rows.rows.push_back(row);
+  // len = 1 + 4 (nrows) + 8 + 8 + 4 (nvals) + 8 (one f64) = 33.
+  // 1.5 = IEEE-754 0x3FF8000000000000, little-endian on the wire.
+  EXPECT_EQ(EncodeRows(rows),
+            Bytes({0x21, 0x00, 0x00, 0x00,
+                   0x05,                                            // ROWS
+                   0x01, 0x00, 0x00, 0x00,                          // nrows
+                   0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01,  // obj_id
+                   0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,  // obj_id_b
+                   0x01, 0x00, 0x00, 0x00,                          // nvals
+                   0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0xf8, 0x3f}));
+}
+
+TEST(ServerProtocolLayout, ErrorMatchesTheSpecExample) {
+  ErrorMsg error;
+  error.code = StatusCode::kUnavailable;  // 13 in the journaled order.
+  error.fatal = true;
+  error.message = "no";
+  EXPECT_EQ(EncodeError(error),
+            Bytes({0x09, 0x00, 0x00, 0x00,
+                   0x07,                    // ERROR
+                   0x0d,                    // code
+                   0x01,                    // fatal
+                   0x02, 0x00, 0x00, 0x00,  // |message|
+                   'n', 'o'}));
+}
+
+// ---------------------------------------------------------------------
+// Round trips over the whole vocabulary.
+
+TEST(ServerProtocolRoundTrip, Hello) {
+  HelloMsg in;
+  in.version = 7;
+  in.user = "bob";
+  in.token = "hunter2";
+  Frame f = Parse(EncodeHello(in));
+  ASSERT_EQ(f.type, MsgType::kHello);
+  auto out = DecodeHello(f.payload);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->version, 7u);
+  EXPECT_EQ(out->user, "bob");
+  EXPECT_EQ(out->token, "hunter2");
+}
+
+TEST(ServerProtocolRoundTrip, Welcome) {
+  WelcomeMsg in;
+  in.session_id = 42;
+  in.banner = "sdss-archive";
+  Frame f = Parse(EncodeWelcome(in));
+  ASSERT_EQ(f.type, MsgType::kWelcome);
+  auto out = DecodeWelcome(f.payload);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->version, kProtocolVersion);
+  EXPECT_EQ(out->session_id, 42u);
+  EXPECT_EQ(out->banner, "sdss-archive");
+}
+
+TEST(ServerProtocolRoundTrip, Header) {
+  HeaderMsg in;
+  in.job_id = 9;
+  in.lane = 1;
+  in.is_aggregate = true;
+  in.columns = {"obj_id", "r"};
+  Frame f = Parse(EncodeHeader(in));
+  ASSERT_EQ(f.type, MsgType::kHeader);
+  auto out = DecodeHeader(f.payload);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->job_id, 9u);
+  EXPECT_EQ(out->lane, 1);
+  EXPECT_TRUE(out->is_aggregate);
+  EXPECT_EQ(out->columns, in.columns);
+}
+
+TEST(ServerProtocolRoundTrip, RowsPreservesEveryValueBitExactly) {
+  RowsMsg in;
+  for (uint64_t i = 0; i < 17; ++i) {
+    query::ResultRow row;
+    row.obj_id = i * 1000003;
+    row.obj_id_b = i % 3 == 0 ? i + 7 : 0;
+    row.values = {static_cast<double>(i) / 3.0, -1e300, 0.0};
+    in.rows.push_back(row);
+  }
+  Frame f = Parse(EncodeRows(in));
+  ASSERT_EQ(f.type, MsgType::kRows);
+  auto out = DecodeRows(f.payload);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->rows.size(), in.rows.size());
+  for (size_t i = 0; i < in.rows.size(); ++i) {
+    EXPECT_EQ(out->rows[i].obj_id, in.rows[i].obj_id);
+    EXPECT_EQ(out->rows[i].obj_id_b, in.rows[i].obj_id_b);
+    EXPECT_EQ(out->rows[i].values, in.rows[i].values);
+  }
+}
+
+TEST(ServerProtocolRoundTrip, Done) {
+  DoneMsg in;
+  in.job_id = 5;
+  in.rows = 1234;
+  in.seconds_queued = 0.25;
+  in.seconds_running = 1.75;
+  in.containers_scanned = 88;
+  in.bytes_touched = 1 << 20;
+  Frame f = Parse(EncodeDone(in));
+  ASSERT_EQ(f.type, MsgType::kDone);
+  auto out = DecodeDone(f.payload);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->job_id, 5u);
+  EXPECT_EQ(out->rows, 1234u);
+  EXPECT_EQ(out->seconds_queued, 0.25);
+  EXPECT_EQ(out->seconds_running, 1.75);
+  EXPECT_EQ(out->containers_scanned, 88u);
+  EXPECT_EQ(out->bytes_touched, 1u << 20);
+}
+
+TEST(ServerProtocolRoundTrip, ErrorMapsBackToItsStatus) {
+  ErrorMsg in;
+  in.code = StatusCode::kCancelled;
+  in.fatal = false;
+  in.message = "stream consumer stopped";
+  Frame f = Parse(EncodeError(in));
+  ASSERT_EQ(f.type, MsgType::kError);
+  auto out = DecodeError(f.payload);
+  ASSERT_TRUE(out.ok());
+  EXPECT_FALSE(out->fatal);
+  Status status = out->ToStatus();
+  EXPECT_EQ(status.code(), StatusCode::kCancelled);
+  EXPECT_EQ(status.message(), "stream consumer stopped");
+}
+
+TEST(ServerProtocolRoundTrip, Busy) {
+  BusyMsg in;
+  in.retry_after_ms = 75;
+  in.quick_queued = 12;
+  in.long_queued = 4;
+  Frame f = Parse(EncodeBusy(in));
+  ASSERT_EQ(f.type, MsgType::kBusy);
+  auto out = DecodeBusy(f.payload);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->retry_after_ms, 75u);
+  EXPECT_EQ(out->quick_queued, 12u);
+  EXPECT_EQ(out->long_queued, 4u);
+}
+
+// ---------------------------------------------------------------------
+// Decoder contracts.
+
+TEST(ServerProtocolDecode, TruncationIsACleanError) {
+  HelloMsg hello;
+  hello.user = "alice";
+  hello.token = "x";
+  std::string payload = Parse(EncodeHello(hello)).payload;
+  // Every proper prefix must fail cleanly, never read out of bounds.
+  for (size_t cut = 0; cut < payload.size(); ++cut) {
+    auto out = DecodeHello(std::string_view(payload).substr(0, cut));
+    EXPECT_FALSE(out.ok()) << "prefix of " << cut << " bytes decoded";
+    EXPECT_EQ(out.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(ServerProtocolDecode, TrailingBytesAreIgnoredForCompatibility) {
+  // The versioning rule: a future minor revision may append fields, so
+  // decoders must tolerate unconsumed payload tail.
+  WelcomeMsg welcome;
+  welcome.session_id = 3;
+  welcome.banner = "b";
+  std::string payload =
+      Parse(EncodeWelcome(welcome)).payload + "future-field";
+  auto out = DecodeWelcome(payload);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->session_id, 3u);
+  EXPECT_EQ(out->banner, "b");
+}
+
+TEST(ServerProtocolDecode, HostileRowCountsAreRejectedBeforeAllocation) {
+  // nrows = 2^31 with a 4-byte body: must refuse, not reserve gigabytes.
+  std::string payload = Bytes({0x00, 0x00, 0x00, 0x80, 0x01, 0x02});
+  auto out = DecodeRows(payload);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kInvalidArgument);
+
+  // Same for a hostile per-row value count.
+  std::string one_row;
+  {
+    RowsMsg rows;
+    rows.rows.emplace_back();
+    one_row = Parse(EncodeRows(rows)).payload;
+  }
+  // Patch nvals (last 4 bytes of the single row) to 2^30.
+  one_row[one_row.size() - 1] = 0x40;
+  auto patched = DecodeRows(one_row);
+  EXPECT_FALSE(patched.ok());
+}
+
+TEST(ServerProtocolDecode, UnknownStatusCodeIsRejected) {
+  std::string payload = Bytes({0xee, 0x00, 0x00, 0x00, 0x00, 0x00});
+  auto out = DecodeError(payload);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------
+// ReadFrame over a real socket.
+
+class ServerProtocolSocketTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto listener = TcpListener::Listen("127.0.0.1", 0, 4);
+    ASSERT_TRUE(listener.ok());
+    listener_ = std::move(*listener);
+    auto client = TcpConn::Connect("127.0.0.1", listener_.port());
+    ASSERT_TRUE(client.ok());
+    client_ = std::move(*client);
+    auto served = listener_.Accept();
+    ASSERT_TRUE(served.ok());
+    served_ = std::move(*served);
+  }
+
+  TcpListener listener_;
+  TcpConn client_;   ///< Write side in these tests.
+  TcpConn served_;   ///< Read side (the server's perspective).
+};
+
+TEST_F(ServerProtocolSocketTest, ReadsBackToBackFrames) {
+  QueryMsg query;
+  query.sql = "SELECT COUNT(*) FROM photo";
+  ASSERT_TRUE(client_.WriteAll(EncodeQuery(query) + EncodeBye()).ok());
+
+  auto first = ReadFrame(&served_, 1 << 20);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->type, MsgType::kQuery);
+  auto decoded = DecodeQuery(first->payload);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->sql, query.sql);
+
+  auto second = ReadFrame(&served_, 1 << 20);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->type, MsgType::kBye);
+  EXPECT_TRUE(second->payload.empty());
+}
+
+TEST_F(ServerProtocolSocketTest, CleanEofBetweenFramesIsAborted) {
+  client_.Shutdown();
+  auto frame = ReadFrame(&served_, 1 << 20);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kAborted);
+}
+
+TEST_F(ServerProtocolSocketTest, EofMidFrameIsAnIOError) {
+  // A length prefix promising 100 bytes, then hang up.
+  ASSERT_TRUE(client_.WriteAll(Bytes({0x64, 0x00, 0x00, 0x00, 0x03})).ok());
+  client_.Shutdown();
+  auto frame = ReadFrame(&served_, 1 << 20);
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kIOError);
+}
+
+TEST_F(ServerProtocolSocketTest, ZeroAndOversizedLengthsAreViolations) {
+  ASSERT_TRUE(client_.WriteAll(Bytes({0x00, 0x00, 0x00, 0x00})).ok());
+  auto zero = ReadFrame(&served_, 1 << 20);
+  ASSERT_FALSE(zero.ok());
+  EXPECT_EQ(zero.status().code(), StatusCode::kInvalidArgument);
+
+  ASSERT_TRUE(client_.WriteAll(Bytes({0xff, 0xff, 0xff, 0x7f})).ok());
+  auto oversized = ReadFrame(&served_, 1 << 20);
+  ASSERT_FALSE(oversized.ok());
+  EXPECT_EQ(oversized.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace sdss::server

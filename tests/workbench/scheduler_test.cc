@@ -7,8 +7,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <cmath>
+#include <future>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -403,6 +406,201 @@ TEST_F(WorkbenchSchedulerTest, JobsFeedTheReplicaPromotionHeatLoop) {
   ASSERT_TRUE(mine.ok());
   ASSERT_EQ(sched.Wait(*mine)->state, JobState::kSucceeded);
   EXPECT_EQ(heat_sum(), after_into);
+}
+
+TEST_F(WorkbenchSchedulerTest, LaneDepthsReportQueuedAndRunningPerLane) {
+  auto opt = TwoLaneOptions();
+  opt.quick_workers = 1;
+  JobScheduler sched(engine_, mydb_.get(), opt);
+
+  QueueDepths idle = sched.LaneDepths();
+  EXPECT_EQ(idle.quick_queued, 0u);
+  EXPECT_EQ(idle.quick_running, 0u);
+  EXPECT_EQ(idle.long_queued, 0u);
+  EXPECT_EQ(idle.long_running, 0u);
+
+  // Hold the only quick worker pre-scan, then stack two more quick
+  // jobs behind it: running 1, queued 2, LONG untouched.
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  StreamHooks hooks;
+  hooks.on_header = [gate](const query::ResultHeader&) { gate.wait(); };
+  auto blocked = sched.SubmitStreaming(
+      "blocker",
+      "SELECT COUNT(*) FROM photo WHERE CIRCLE('GAL', 30, 70, 3)",
+      std::move(hooks));
+  ASSERT_TRUE(blocked.ok());
+  ASSERT_EQ(AwaitStarted(sched, *blocked), JobState::kRunning);
+
+  const char* quick_sql =
+      "SELECT COUNT(*) FROM photo WHERE CIRCLE('GAL', 120, 55, 3)";
+  ASSERT_TRUE(sched.Submit("u1", quick_sql).ok());
+  ASSERT_TRUE(sched.Submit("u2", quick_sql).ok());
+
+  QueueDepths busy = sched.LaneDepths();
+  EXPECT_EQ(busy.quick_running, 1u);
+  EXPECT_EQ(busy.quick_queued, 2u);
+  EXPECT_EQ(busy.long_queued, 0u);
+  EXPECT_EQ(busy.Queued(Lane::kQuick), 2u);
+  EXPECT_EQ(busy.Running(Lane::kQuick), 1u);
+
+  release.set_value();
+  EXPECT_EQ(sched.Wait(*blocked)->state, JobState::kSucceeded);
+}
+
+TEST_F(WorkbenchSchedulerTest, BoundedAdmissionRefusesWithUnavailable) {
+  auto opt = TwoLaneOptions();
+  opt.quick_workers = 1;
+  opt.max_queued_quick = 1;
+  JobScheduler sched(engine_, mydb_.get(), opt);
+
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  StreamHooks hooks;
+  hooks.on_header = [gate](const query::ResultHeader&) { gate.wait(); };
+  auto blocked = sched.SubmitStreaming(
+      "blocker",
+      "SELECT COUNT(*) FROM photo WHERE CIRCLE('GAL', 30, 70, 3)",
+      std::move(hooks));
+  ASSERT_TRUE(blocked.ok());
+  ASSERT_EQ(AwaitStarted(sched, *blocked), JobState::kRunning);
+
+  const char* quick_sql =
+      "SELECT COUNT(*) FROM photo WHERE CIRCLE('GAL', 120, 55, 3)";
+  auto queued = sched.Submit("u1", quick_sql);
+  ASSERT_TRUE(queued.ok());  // Fills the bound of 1.
+
+  auto refused = sched.Submit("u2", quick_sql);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kUnavailable);
+
+  // The refusal left nothing behind, and the LONG lane is unaffected.
+  EXPECT_EQ(sched.LaneDepths().quick_queued, 1u);
+  auto long_job = sched.Submit("u2", "SELECT COUNT(*) FROM photo");
+  ASSERT_TRUE(long_job.ok());
+
+  release.set_value();
+  EXPECT_EQ(sched.Wait(*blocked)->state, JobState::kSucceeded);
+  EXPECT_EQ(sched.Wait(*queued)->state, JobState::kSucceeded);
+  EXPECT_EQ(sched.Wait(*long_job)->state, JobState::kSucceeded);
+
+  // With the lane drained, admission opens again.
+  auto readmitted = sched.Submit("u2", quick_sql);
+  ASSERT_TRUE(readmitted.ok());
+  EXPECT_EQ(sched.Wait(*readmitted)->state, JobState::kSucceeded);
+}
+
+TEST_F(WorkbenchSchedulerTest, StreamingJobDeliversHeaderBatchesTerminal) {
+  JobScheduler sched(engine_, mydb_.get(), TwoLaneOptions());
+  const std::string sql = "SELECT obj_id, r FROM photo WHERE r < 20.5";
+
+  std::mutex mu;
+  query::ResultHeader header;
+  bool header_seen = false;
+  uint64_t rows_streamed = 0;
+  bool complete_seen = false;
+  JobSnapshot final_snap;
+
+  StreamHooks hooks;
+  hooks.on_header = [&](const query::ResultHeader& h) {
+    std::lock_guard<std::mutex> lock(mu);
+    header = h;
+    header_seen = true;
+  };
+  hooks.on_batch = [&](const query::RowBatch& batch) {
+    std::lock_guard<std::mutex> lock(mu);
+    EXPECT_TRUE(header_seen) << "batch before header";
+    rows_streamed += batch.size();
+    return true;
+  };
+  hooks.on_complete = [&](const JobSnapshot& snap) {
+    std::lock_guard<std::mutex> lock(mu);
+    complete_seen = true;
+    final_snap = snap;
+  };
+
+  auto id = sched.SubmitStreaming("alice", sql, std::move(hooks));
+  ASSERT_TRUE(id.ok());
+  ASSERT_EQ(sched.Wait(*id)->state, JobState::kSucceeded);
+
+  auto direct = engine_->Execute(sql);
+  ASSERT_TRUE(direct.ok());
+  std::lock_guard<std::mutex> lock(mu);
+  ASSERT_TRUE(header_seen);
+  EXPECT_EQ(header.columns, (std::vector<std::string>{"obj_id", "r"}));
+  EXPECT_FALSE(header.is_aggregate);
+  EXPECT_EQ(rows_streamed, direct->rows.size());
+  ASSERT_TRUE(complete_seen);
+  EXPECT_EQ(final_snap.state, JobState::kSucceeded);
+  EXPECT_EQ(final_snap.rows, rows_streamed);
+
+  // A streaming job never materializes: there is nothing to take.
+  auto take = sched.TakeResult(*id);
+  ASSERT_FALSE(take.ok());
+  EXPECT_EQ(take.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(WorkbenchSchedulerTest, StreamingSinkStopCancelsTheJob) {
+  JobScheduler sched(engine_, mydb_.get(), TwoLaneOptions());
+
+  std::atomic<bool> complete_seen{false};
+  StreamHooks hooks;
+  hooks.on_batch = [](const query::RowBatch&) { return false; };
+  hooks.on_complete = [&complete_seen](const JobSnapshot& snap) {
+    EXPECT_EQ(snap.state, JobState::kCancelled);
+    complete_seen.store(true);
+  };
+  auto id = sched.SubmitStreaming(
+      "alice", "SELECT obj_id, r FROM photo WHERE r < 21",
+      std::move(hooks));
+  ASSERT_TRUE(id.ok());
+  auto done = sched.Wait(*id);
+  ASSERT_TRUE(done.ok());
+  EXPECT_EQ(done->state, JobState::kCancelled);
+  EXPECT_EQ(done->error.code(), StatusCode::kCancelled);
+  EXPECT_TRUE(complete_seen.load());
+}
+
+TEST_F(WorkbenchSchedulerTest, CancelWhileQueuedFiresOnComplete) {
+  auto opt = TwoLaneOptions();
+  opt.quick_workers = 1;
+  JobScheduler sched(engine_, mydb_.get(), opt);
+
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  StreamHooks blocker_hooks;
+  blocker_hooks.on_header = [gate](const query::ResultHeader&) {
+    gate.wait();
+  };
+  auto blocked = sched.SubmitStreaming(
+      "blocker",
+      "SELECT COUNT(*) FROM photo WHERE CIRCLE('GAL', 30, 70, 3)",
+      std::move(blocker_hooks));
+  ASSERT_TRUE(blocked.ok());
+  ASSERT_EQ(AwaitStarted(sched, *blocked), JobState::kRunning);
+
+  std::atomic<bool> header_seen{false};
+  std::atomic<bool> complete_seen{false};
+  StreamHooks hooks;
+  hooks.on_header = [&header_seen](const query::ResultHeader&) {
+    header_seen.store(true);
+  };
+  hooks.on_complete = [&complete_seen](const JobSnapshot& snap) {
+    EXPECT_EQ(snap.state, JobState::kCancelled);
+    complete_seen.store(true);
+  };
+  auto queued = sched.SubmitStreaming(
+      "alice", "SELECT COUNT(*) FROM photo WHERE CIRCLE('GAL', 120, 55, 3)",
+      std::move(hooks));
+  ASSERT_TRUE(queued.ok());
+
+  ASSERT_TRUE(sched.Cancel(*queued).ok());
+  EXPECT_TRUE(complete_seen.load());  // Fired by Cancel, synchronously.
+  EXPECT_FALSE(header_seen.load());   // The job never started.
+  EXPECT_EQ(sched.Wait(*queued)->state, JobState::kCancelled);
+
+  release.set_value();
+  EXPECT_EQ(sched.Wait(*blocked)->state, JobState::kSucceeded);
 }
 
 TEST_F(WorkbenchSchedulerTest, DestructorCancelsOutstandingJobs) {

@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Docs lint: every repo path and ::-qualified own-namespace symbol the
+# docs mention must still exist in the tree, so a rename or deletion
+# cannot silently strand the documentation. Run from anywhere:
+#
+#   tools/check_docs_symbols.sh [doc.md ...]
+#
+# With no arguments, lints docs/*.md, BUILDING.md and ROADMAP.md.
+# Exits non-zero after listing every dead reference.
+
+set -u
+cd "$(dirname "$0")/.."
+
+if [ "$#" -gt 0 ]; then
+  DOCS=("$@")
+else
+  DOCS=(docs/*.md BUILDING.md ROADMAP.md)
+fi
+
+fail=0
+note() {
+  echo "docs-lint: $*" >&2
+  fail=1
+}
+
+for doc in "${DOCS[@]}"; do
+  if [ ! -f "$doc" ]; then
+    note "no such doc: $doc"
+    continue
+  fi
+
+  # 1. Repo paths. Anything shaped like  <top-dir>/.../file.ext  must
+  # exist relative to the repo root.
+  while IFS= read -r path; do
+    [ -e "$path" ] || note "$doc references missing file: $path"
+  done < <(grep -oE '\b(src|tests|bench|examples|tools|docs|\.github)/[A-Za-z0-9_./-]+\.(h|cc|cpp|md|sh|yml|json)\b' "$doc" | sort -u)
+
+  # 2. Relative markdown links (http(s) and pure-anchor links skipped).
+  # Resolved against the doc's own directory, then the repo root.
+  dir=$(dirname "$doc")
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|'#'*) continue ;;
+    esac
+    t="${target%%#*}"
+    [ -z "$t" ] && continue
+    [ -e "$dir/$t" ] || [ -e "$t" ] ||
+      note "$doc links to missing file: $target"
+  done < <(grep -oE '\]\([^)]+\)' "$doc" | sed -E 's/^\]\(//; s/\)$//' | sort -u)
+
+  # 3. ::-qualified symbols. Foreign namespaces are not ours to check;
+  # for everything else every identifier segment must still appear as a
+  # word somewhere under src/ -- the level of indirection that survives
+  # moves between headers but catches renames and deletions.
+  while IFS= read -r sym; do
+    case "$sym" in
+      std::*|benchmark::*|testing::*|GTest::*) continue ;;
+    esac
+    missing=""
+    while IFS= read -r part; do
+      [ -z "$part" ] && continue
+      grep -rqw --include='*.h' --include='*.cc' -- "$part" src ||
+        missing="$part"
+    done < <(printf '%s\n' "$sym" | sed 's/::/\n/g')
+    [ -z "$missing" ] ||
+      note "$doc references dead symbol: $sym (no '$missing' in src/)"
+  done < <(grep -oE '[A-Za-z_][A-Za-z0-9_]*(::[A-Za-z_][A-Za-z0-9_]*)+' "$doc" | sort -u)
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "docs-lint: FAILED" >&2
+  exit 1
+fi
+echo "docs-lint: OK (${#DOCS[@]} docs checked)"
