@@ -15,12 +15,15 @@
 
 #include <chrono>
 #include <cmath>
+#include <filesystem>
+#include <string>
 
 #include "bench_util.h"
 #include "core/angle.h"
 #include "core/coords.h"
 #include "core/random.h"
 #include "dataflow/hash_machine.h"
+#include "persist/snapshot.h"
 #include "query/query_engine.h"
 
 namespace sdss::bench {
@@ -195,6 +198,121 @@ void BM_FindingChart(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FindingChart)->Unit(benchmark::kMicrosecond)->UseRealTime();
+
+// --- Columnar scan kernel vs row path -------------------------------
+//
+// The scan-bound cases below run the same SQL through the same mapped
+// snapshot store twice: once with the columnar kernel disabled (the
+// executor walks materialized PhotoObj rows and interprets the
+// predicate per row) and once enabled (the kernel streams per-container
+// column arrays in chunks). Single scan thread and no tag rewrite, so
+// the delta is purely the execution path.
+
+/// Snapshot of the canonical bench sky on disk; written once, shared by
+/// the mapped-store and cold-start benchmarks.
+const std::string& BenchSnapshotPath() {
+  static const std::string* path = [] {
+    namespace fs = std::filesystem;
+    fs::path dir = fs::temp_directory_path() / "sdss_bench_c9";
+    fs::create_directories(dir);
+    auto* p = new std::string((dir / "sky.snap").string());
+    ObjectStore store = MakeBenchStore(1.0);
+    persist::SnapshotWriter writer(*p);
+    Status s = writer.Write(store);
+    if (!s.ok()) std::fprintf(stderr, "snapshot: %s\n", s.ToString().c_str());
+    return p;
+  }();
+  return *path;
+}
+
+/// The shared mmap-backed store (columnar containers, no rebuilt rows).
+ObjectStore& MappedBenchStore() {
+  static ObjectStore* store = [] {
+    auto mapped = persist::MapSnapshotStore(BenchSnapshotPath());
+    return new ObjectStore(std::move(*mapped));
+  }();
+  return *store;
+}
+
+query::QueryEngine::Options ScanOptions(bool columnar) {
+  query::QueryEngine::Options opt;
+  // Pin the scan to photo containers (the tag partition has no column
+  // views) and one thread so the kernel-vs-row delta is undiluted.
+  opt.planner.auto_tag_selection = false;
+  opt.executor.scan_threads = 1;
+  opt.executor.columnar_kernel = columnar;
+  return opt;
+}
+
+void ScanBench(benchmark::State& state, const char* sql, bool columnar) {
+  QueryEngine engine(&MappedBenchStore(), ScanOptions(columnar));
+  // Warm up: the row path lazily materializes rows from the mapped
+  // columns on first touch; that one-time cost is not the scan.
+  { auto warm = engine.Execute(sql); benchmark::DoNotOptimize(warm.ok()); }
+  for (auto _ : state) {
+    auto r = engine.Execute(sql);
+    benchmark::DoNotOptimize(r->exec.objects_examined);
+  }
+  state.counters["columnar_containers"] = static_cast<double>(
+      engine.Execute(sql)->exec.containers_columnar);
+}
+
+constexpr char kScanFilterSql[] =
+    "SELECT obj_id, r FROM photo WHERE g - r > 1.4 AND r < 20.5";
+constexpr char kScanCountSql[] =
+    "SELECT COUNT(*) FROM photo WHERE g - r > 0.6 AND r < 21.5";
+constexpr char kScanAvgSql[] =
+    "SELECT AVG(g) FROM photo WHERE class = 'GALAXY'";
+
+void BM_ScanFilterRowPath(benchmark::State& state) {
+  ScanBench(state, kScanFilterSql, false);
+}
+BENCHMARK(BM_ScanFilterRowPath)->Unit(benchmark::kMicrosecond)->UseRealTime();
+
+void BM_ScanFilterColumnar(benchmark::State& state) {
+  ScanBench(state, kScanFilterSql, true);
+}
+BENCHMARK(BM_ScanFilterColumnar)->Unit(benchmark::kMicrosecond)->UseRealTime();
+
+void BM_ScanCountRowPath(benchmark::State& state) {
+  ScanBench(state, kScanCountSql, false);
+}
+BENCHMARK(BM_ScanCountRowPath)->Unit(benchmark::kMicrosecond)->UseRealTime();
+
+void BM_ScanCountColumnar(benchmark::State& state) {
+  ScanBench(state, kScanCountSql, true);
+}
+BENCHMARK(BM_ScanCountColumnar)->Unit(benchmark::kMicrosecond)->UseRealTime();
+
+void BM_ScanAvgRowPath(benchmark::State& state) {
+  ScanBench(state, kScanAvgSql, false);
+}
+BENCHMARK(BM_ScanAvgRowPath)->Unit(benchmark::kMicrosecond)->UseRealTime();
+
+void BM_ScanAvgColumnar(benchmark::State& state) {
+  ScanBench(state, kScanAvgSql, true);
+}
+BENCHMARK(BM_ScanAvgColumnar)->Unit(benchmark::kMicrosecond)->UseRealTime();
+
+// --- Cold start: decode-and-rebuild vs mmap-and-adopt ---------------
+
+void BM_ColdStartDecode(benchmark::State& state) {
+  const std::string& path = BenchSnapshotPath();
+  for (auto _ : state) {
+    auto store = persist::SnapshotReader(path).Read();
+    benchmark::DoNotOptimize(store->object_count());
+  }
+}
+BENCHMARK(BM_ColdStartDecode)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_ColdStartMmap(benchmark::State& state) {
+  const std::string& path = BenchSnapshotPath();
+  for (auto _ : state) {
+    auto store = persist::MapSnapshotStore(path);
+    benchmark::DoNotOptimize(store->object_count());
+  }
+}
+BENCHMARK(BM_ColdStartMmap)->Unit(benchmark::kMillisecond)->UseRealTime();
 
 void BM_LensSearch(benchmark::State& state) {
   ObjectStore store = MakeBenchStore(0.3);

@@ -128,8 +128,12 @@ Result<MyDbRecoveryReport> MyDb::AttachStorage() {
   // corrupt file here is real damage, not a crash artifact.
   for (const auto& [user, tables] : state.live) {
     for (const auto& [name, bytes] : tables) {
-      persist::SnapshotReader reader(TablePath(user, name));
-      auto store = reader.Read();
+      const std::string path = TablePath(user, name);
+      // Mapped cold start: adopt the snapshot's columns in place (same
+      // verification, no rebuild); the legacy path decodes row stores.
+      auto store = options_.map_snapshots
+                       ? persist::MapSnapshotStore(path)
+                       : persist::SnapshotReader(path).Read();
       if (!store.ok()) {
         return Status::Corruption(
             "committed table mydb." + name + " of user '" + user +

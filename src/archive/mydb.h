@@ -72,6 +72,11 @@ class MyDb {
     /// Durable-store root. Empty = in-memory only (tables die with the
     /// process). Non-empty: call AttachStorage() before use.
     std::string persist_dir;
+    /// Recover tables as zero-copy mapped snapshots (columnar views
+    /// over mmap'd files; no store rebuild) instead of decoding them
+    /// into row stores. Query answers are identical either way; off is
+    /// only useful for comparing the two paths.
+    bool map_snapshots = true;
   };
 
   MyDb() : MyDb(Options()) {}

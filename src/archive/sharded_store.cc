@@ -100,7 +100,7 @@ Status ShardedStore::PromoteHotContainers(double top_fraction,
           stores_[server].containers().count(raw) > 0) {
         continue;
       }
-      SDSS_RETURN_IF_ERROR(stores_[server].BulkLoad(src->objects));
+      SDSS_RETURN_IF_ERROR(stores_[server].BulkLoad(src->rows()));
     }
   }
   return Status::OK();

@@ -1,0 +1,108 @@
+#include "catalog/columnar.h"
+
+namespace sdss::catalog {
+
+PhotoObj ColumnarBlock::MaterializeObject(size_t i) const {
+  PhotoObj o;
+  o.obj_id = obj_id[i];
+  o.pos = Vec3(x[i], y[i], z[i]);
+  o.ra_deg = ra[i];
+  o.dec_deg = dec[i];
+  for (int b = 0; b < kNumBands; ++b) {
+    o.mag[static_cast<size_t>(b)] = mag[static_cast<size_t>(b)][i];
+    o.mag_err[static_cast<size_t>(b)] =
+        mag_err[static_cast<size_t>(b)][i];
+  }
+  for (int p = 0; p < kProfileBins; ++p) {
+    o.profile[static_cast<size_t>(p)] = profile[static_cast<size_t>(p)][i];
+  }
+  o.petro_radius_arcsec = petro[i];
+  o.surface_brightness = sb[i];
+  o.redshift = redshift[i];
+  o.flags = flags[i];
+  o.obj_class = static_cast<ObjClass>(obj_class[i]);
+  o.htm_leaf = htm_leaf[i];
+  return o;
+}
+
+std::vector<PhotoObj> ColumnarBlock::Materialize() const {
+  std::vector<PhotoObj> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) out.push_back(MaterializeObject(i));
+  return out;
+}
+
+double ColumnGetter::operator()(const ColumnarBlock& b, size_t i) const {
+  switch (field_) {
+    case Field::kObjId:
+      return static_cast<double>(b.obj_id[i]);
+    case Field::kRa:
+      return b.ra[i];
+    case Field::kDec:
+      return b.dec[i];
+    case Field::kX:
+      return b.x[i];
+    case Field::kY:
+      return b.y[i];
+    case Field::kZ:
+      return b.z[i];
+    case Field::kMag:
+      return static_cast<double>(b.mag[index_][i]);
+    case Field::kMagErr:
+      return static_cast<double>(b.mag_err[index_][i]);
+    case Field::kProfile:
+      return static_cast<double>(b.profile[index_][i]);
+    case Field::kPetro:
+      return static_cast<double>(b.petro[i]);
+    case Field::kSb:
+      return static_cast<double>(b.sb[i]);
+    case Field::kRedshift:
+      return static_cast<double>(b.redshift[i]);
+    case Field::kFlags:
+      return static_cast<double>(b.flags[i]);
+    case Field::kClass:
+      return static_cast<double>(b.obj_class[i]);
+    case Field::kHtmLeaf:
+      return static_cast<double>(b.htm_leaf[i]);
+  }
+  return 0.0;
+}
+
+Result<ColumnGetter> ResolveColumn(const std::string& name) {
+  ColumnGetter g;
+  auto make = [&g](ColumnGetter::Field f, uint8_t index = 0) {
+    g.field_ = f;
+    g.index_ = index;
+    return g;
+  };
+  using F = ColumnGetter::Field;
+  if (name == "obj_id") return make(F::kObjId);
+  if (name == "ra") return make(F::kRa);
+  if (name == "dec") return make(F::kDec);
+  if (name == "cx") return make(F::kX);
+  if (name == "cy") return make(F::kY);
+  if (name == "cz") return make(F::kZ);
+  for (int b = 0; b < kNumBands; ++b) {
+    if (name == kBandNames[b]) {
+      return make(F::kMag, static_cast<uint8_t>(b));
+    }
+    if (name == std::string("err_") + kBandNames[b]) {
+      return make(F::kMagErr, static_cast<uint8_t>(b));
+    }
+  }
+  if (name == "size") return make(F::kPetro);
+  if (name == "sb") return make(F::kSb);
+  if (name == "redshift") return make(F::kRedshift);
+  if (name == "flags") return make(F::kFlags);
+  if (name == "class") return make(F::kClass);
+  if (name == "htm") return make(F::kHtmLeaf);
+  if (name.rfind("profile", 0) == 0 && name.size() == 8) {
+    int bin = name[7] - '0';
+    if (bin >= 0 && bin < kProfileBins) {
+      return make(F::kProfile, static_cast<uint8_t>(bin));
+    }
+  }
+  return Status::NotFound("unknown attribute: " + name);
+}
+
+}  // namespace sdss::catalog

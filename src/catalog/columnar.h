@@ -1,0 +1,121 @@
+// Columnar views of PhotoObj containers.
+//
+// The persist snapshot format already stores every container as
+// per-field column arrays; this header is the in-memory face of that
+// layout: a ColumnarBlock points straight into externally owned bytes
+// (an mmap'd snapshot) and serves per-row values without ever building
+// a PhotoObj. The query executor's columnar scan kernel runs predicate
+// and aggregate loops directly over these views; everything that still
+// needs row objects (the pair join, tag rebuilds, INTO sinks)
+// materializes them on demand via Materialize().
+//
+// Layering: catalog defines the view and how it maps to PhotoObj;
+// persist locates the byte ranges inside its file format and fills the
+// column pointers in. Column bytes are little-endian, matching
+// persist/coding.h's host assumption; accessors memcpy each element, so
+// the (unaligned) mapped bytes are read without undefined behavior and
+// the copies compile to plain unaligned loads.
+
+#ifndef SDSS_CATALOG_COLUMNAR_H_
+#define SDSS_CATALOG_COLUMNAR_H_
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "catalog/photo_obj.h"
+#include "core/status.h"
+#include "core/vec3.h"
+
+namespace sdss::catalog {
+
+/// One column of `T` elements over externally owned, possibly
+/// unaligned, little-endian bytes. Element reads copy through memcpy --
+/// well-defined at any alignment, and the compiler lowers the 1/4/8
+/// byte copies to single loads.
+template <typename T>
+class ColumnRef {
+ public:
+  ColumnRef() = default;
+  explicit ColumnRef(const char* bytes) : bytes_(bytes) {}
+
+  bool valid() const { return bytes_ != nullptr; }
+
+  T operator[](size_t i) const {
+    T v;
+    std::memcpy(&v, bytes_ + i * sizeof(T), sizeof(T));
+    return v;
+  }
+
+ private:
+  const char* bytes_ = nullptr;
+};
+
+/// One container's objects as columns over externally owned bytes (the
+/// owner -- typically a persist::MappedSnapshot -- must outlive every
+/// view). `n == 0` doubles as "no columnar backing".
+struct ColumnarBlock {
+  size_t n = 0;
+  ColumnRef<uint64_t> obj_id;
+  ColumnRef<double> x, y, z;
+  ColumnRef<double> ra, dec;
+  std::array<ColumnRef<float>, kNumBands> mag;
+  std::array<ColumnRef<float>, kNumBands> mag_err;
+  std::array<ColumnRef<float>, kProfileBins> profile;
+  ColumnRef<float> petro, sb, redshift;
+  ColumnRef<uint32_t> flags;
+  ColumnRef<uint8_t> obj_class;
+  ColumnRef<uint64_t> htm_leaf;
+
+  Vec3 Position(size_t i) const { return Vec3(x[i], y[i], z[i]); }
+
+  /// Rebuilds row `i` as a full PhotoObj, field for field.
+  PhotoObj MaterializeObject(size_t i) const;
+
+  /// Rebuilds the whole container row-wise, in column order -- the
+  /// exact object vector the snapshot was encoded from.
+  std::vector<PhotoObj> Materialize() const;
+};
+
+/// A resolved attribute accessor over a ColumnarBlock: the columnar
+/// counterpart of catalog::GetAttribute, with the name resolved once
+/// instead of string-compared per row. Values are converted to double
+/// exactly as GetAttribute converts the corresponding PhotoObj field,
+/// so the two paths are bit-identical.
+class ColumnGetter {
+ public:
+  double operator()(const ColumnarBlock& b, size_t i) const;
+
+ private:
+  friend Result<ColumnGetter> ResolveColumn(const std::string& name);
+
+  enum class Field : uint8_t {
+    kObjId,
+    kRa,
+    kDec,
+    kX,
+    kY,
+    kZ,
+    kMag,
+    kMagErr,
+    kProfile,
+    kPetro,
+    kSb,
+    kRedshift,
+    kFlags,
+    kClass,
+    kHtmLeaf,
+  };
+  Field field_ = Field::kObjId;
+  uint8_t index_ = 0;  ///< Band / profile bin for the array fields.
+};
+
+/// Resolves one GetAttribute name ("r", "err_g", "cx", "size", ...) to
+/// its column accessor; NotFound for names GetAttribute rejects.
+Result<ColumnGetter> ResolveColumn(const std::string& name);
+
+}  // namespace sdss::catalog
+
+#endif  // SDSS_CATALOG_COLUMNAR_H_

@@ -27,7 +27,7 @@ std::vector<MatchPair> CrossMatch(const ObjectStore& a, const ObjectStore& b,
     bool have_best = false;
     auto consider = [&](const Container* c) {
       if (c == nullptr) return;
-      for (const PhotoObj& ob : c->objects) {
+      for (const PhotoObj& ob : c->rows()) {
         ++local.candidates_tested;
         if (oa.pos.Dot(ob.pos) < cos_radius) continue;
         MatchPair m;

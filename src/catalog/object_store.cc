@@ -12,12 +12,48 @@ using htm::HtmId;
 using htm::Region;
 using htm::Trixel;
 
+const std::vector<PhotoObj>& Container::rows() const {
+  if (columnar.n == 0) return objects;
+  LazyRows* l = lazy_.get();
+  if (!l->rows_ready.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(l->mu);
+    if (!l->rows_ready.load(std::memory_order_relaxed)) {
+      l->rows = columnar.Materialize();
+      l->rows_ready.store(true, std::memory_order_release);
+    }
+  }
+  return l->rows;
+}
+
+const std::vector<TagObj>& Container::tag_rows() const {
+  if (!columnar_tags) return tags;
+  LazyRows* l = lazy_.get();
+  if (!l->tags_ready.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(l->mu);
+    if (!l->tags_ready.load(std::memory_order_relaxed)) {
+      std::vector<TagObj> built;
+      built.reserve(columnar.n);
+      for (size_t i = 0; i < columnar.n; ++i) {
+        built.push_back(TagObj::FromPhoto(columnar.MaterializeObject(i)));
+      }
+      l->tags = std::move(built);
+      l->tags_ready.store(true, std::memory_order_release);
+    }
+  }
+  return l->tags;
+}
+
 ObjectStore::ObjectStore(StoreOptions options)
     : options_(options), index_(options.cluster_level) {}
 
 Status ObjectStore::Insert(const PhotoObj& obj) {
   HtmId trixel = index_.Locate(obj.pos);
   Container& c = containers_[trixel.raw()];
+  if (c.columnar.n > 0) {
+    return Status::FailedPrecondition(
+        "container " + std::to_string(trixel.raw()) +
+        " is columnar (mapped snapshot) and immutable");
+  }
   if (!c.trixel.valid()) c.trixel = trixel;
   c.objects.push_back(obj);
   if (options_.build_tags) c.tags.push_back(TagObj::FromPhoto(obj));
@@ -42,6 +78,11 @@ Status ObjectStore::BulkLoad(std::vector<PhotoObj> objects) {
     size_t j = i;
     while (j < keys.size() && keys[j].first == raw) ++j;
     Container& c = containers_[raw];
+    if (c.columnar.n > 0) {
+      return Status::FailedPrecondition(
+          "container " + std::to_string(raw) +
+          " is columnar (mapped snapshot) and immutable");
+    }
     if (!c.trixel.valid()) {
       auto id = HtmId::FromRaw(raw);
       if (!id.ok()) return id.status();
@@ -68,7 +109,7 @@ StoreStats ObjectStore::Stats() const {
     s.full_bytes += c.FullBytes();
     s.tag_bytes += c.TagBytes();
     s.max_container_objects =
-        std::max<uint64_t>(s.max_container_objects, c.objects.size());
+        std::max<uint64_t>(s.max_container_objects, c.size());
   }
   s.mean_container_objects =
       containers_.empty()
@@ -85,21 +126,21 @@ const Container* ObjectStore::FindContainer(HtmId trixel) const {
 
 std::map<uint64_t, uint64_t> ObjectStore::DensityMap() const {
   std::map<uint64_t, uint64_t> dm;
-  for (const auto& [raw, c] : containers_) dm[raw] = c.objects.size();
+  for (const auto& [raw, c] : containers_) dm[raw] = c.size();
   return dm;
 }
 
 void ObjectStore::ForEachObject(
     const std::function<void(const PhotoObj&)>& fn) const {
   for (const auto& [raw, c] : containers_) {
-    for (const PhotoObj& o : c.objects) fn(o);
+    for (const PhotoObj& o : c.rows()) fn(o);
   }
 }
 
 void ObjectStore::ForEachTag(
     const std::function<void(const TagObj&)>& fn) const {
   for (const auto& [raw, c] : containers_) {
-    for (const TagObj& t : c.tags) fn(t);
+    for (const TagObj& t : c.tag_rows()) fn(t);
   }
 }
 
@@ -117,7 +158,7 @@ ObjectStore::SpatialScanStats ObjectStore::QueryRegion(
          it != containers_.end() && it->first < last; ++it) {
       ++stats.full_containers;
       stats.bytes_touched += it->second.FullBytes();
-      for (const PhotoObj& o : it->second.objects) {
+      for (const PhotoObj& o : it->second.rows()) {
         ++stats.accepted;
         fn(o);
       }
@@ -130,7 +171,7 @@ ObjectStore::SpatialScanStats ObjectStore::QueryRegion(
          it != containers_.end() && it->first < last; ++it) {
       ++stats.partial_containers;
       stats.bytes_touched += it->second.FullBytes();
-      for (const PhotoObj& o : it->second.objects) {
+      for (const PhotoObj& o : it->second.rows()) {
         ++stats.objects_tested;
         if (region.Contains(o.pos)) {
           ++stats.accepted;
@@ -151,7 +192,7 @@ ObjectStore::Prediction ObjectStore::PredictRegion(
     id.RangeAtLevel(options_.cluster_level, &first, &last);
     for (auto it = containers_.lower_bound(first);
          it != containers_.end() && it->first < last; ++it) {
-      p.min_objects += it->second.objects.size();
+      p.min_objects += it->second.size();
       p.bytes_to_scan += it->second.FullBytes();
     }
   }
@@ -161,7 +202,7 @@ ObjectStore::Prediction ObjectStore::PredictRegion(
     id.RangeAtLevel(options_.cluster_level, &first, &last);
     for (auto it = containers_.lower_bound(first);
          it != containers_.end() && it->first < last; ++it) {
-      partial_objects += it->second.objects.size();
+      partial_objects += it->second.size();
       p.bytes_to_scan += it->second.FullBytes();
     }
   }
@@ -193,7 +234,7 @@ ObjectStore ObjectStore::ExtractContainers(
     auto it = containers_.find(raw);
     if (it == containers_.end()) continue;
     if (out.containers_.emplace(raw, it->second).second) {
-      out.object_count_ += it->second.objects.size();
+      out.object_count_ += it->second.size();
     }
   }
   return out;
@@ -220,6 +261,28 @@ Status ObjectStore::AdoptContainer(htm::HtmId trixel,
     }
   }
   object_count_ += c.objects.size();
+  return Status::OK();
+}
+
+Status ObjectStore::AdoptColumnarContainer(
+    htm::HtmId trixel, const ColumnarBlock& block,
+    std::shared_ptr<const void> backing) {
+  if (!trixel.valid() || trixel.level() != options_.cluster_level) {
+    return Status::InvalidArgument(
+        "adopted container trixel is not at the store's cluster level");
+  }
+  if (containers_.count(trixel.raw()) > 0) {
+    return Status::AlreadyExists("container " +
+                                 std::to_string(trixel.raw()) +
+                                 " already present");
+  }
+  Container& c = containers_[trixel.raw()];
+  c.trixel = trixel;
+  c.columnar = block;
+  c.columnar_tags = options_.build_tags;
+  c.backing = std::move(backing);
+  c.lazy_ = std::make_shared<Container::LazyRows>();
+  object_count_ += block.n;
   return Status::OK();
 }
 

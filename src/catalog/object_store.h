@@ -11,11 +11,15 @@
 #ifndef SDSS_CATALOG_OBJECT_STORE_H_
 #define SDSS_CATALOG_OBJECT_STORE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <vector>
 
+#include "catalog/columnar.h"
 #include "catalog/photo_obj.h"
 #include "core/status.h"
 #include "htm/cover.h"
@@ -36,15 +40,58 @@ struct StoreOptions {
 
 /// One clustering unit: the objects of a single trixel, stored
 /// contiguously, plus the tag partition of the same objects.
+///
+/// A container is backed either by materialized row vectors (`objects`
+/// / `tags`, the load path) or by a ColumnarBlock over externally owned
+/// bytes (the mapped-snapshot cold-start path; `columnar.n > 0` and
+/// `objects` stays empty). Readers that need rows go through `rows()` /
+/// `tag_rows()`, which materialize a columnar container at most once;
+/// the columnar scan kernel reads `columnar` directly and never pays
+/// that cost. Copying a container (ExtractContainers) shares the lazy
+/// cache and the mapping ownership.
 struct Container {
   htm::HtmId trixel;
   std::vector<PhotoObj> objects;
   std::vector<TagObj> tags;  ///< Parallel to `objects` when tags enabled.
 
-  uint64_t FullBytes() const {
-    return objects.size() * sizeof(PhotoObj);
+  /// Column views into the mapped snapshot; `n == 0` for row-backed
+  /// containers. `backing` keeps the mapping (and thus every column
+  /// pointer) alive for as long as any copy of this container exists.
+  ColumnarBlock columnar;
+  bool columnar_tags = false;  ///< Tag partition served from columns.
+  std::shared_ptr<const void> backing;
+
+  size_t size() const {
+    return columnar.n > 0 ? columnar.n : objects.size();
   }
-  uint64_t TagBytes() const { return tags.size() * sizeof(TagObj); }
+
+  /// The container's objects as rows. Row-backed: `objects` verbatim.
+  /// Columnar: materialized on first use (thread-safe, cached).
+  const std::vector<PhotoObj>& rows() const;
+
+  /// The tag partition as rows; materialized on first use for columnar
+  /// containers of tag-keeping stores.
+  const std::vector<TagObj>& tag_rows() const;
+
+  uint64_t FullBytes() const { return size() * sizeof(PhotoObj); }
+  uint64_t TagBytes() const {
+    return (columnar_tags ? columnar.n : tags.size()) * sizeof(TagObj);
+  }
+
+ private:
+  /// Once-only row materialization for columnar containers. Shared so
+  /// container copies (and the const scan paths) fill one cache;
+  /// double-checked under `mu` with acquire/release ready flags.
+  struct LazyRows {
+    std::mutex mu;
+    std::atomic<bool> rows_ready{false};
+    std::atomic<bool> tags_ready{false};
+    std::vector<PhotoObj> rows;
+    std::vector<TagObj> tags;
+  };
+  mutable std::shared_ptr<LazyRows> lazy_;
+
+  friend class ObjectStore;
 };
 
 /// Aggregate store statistics (the density map rolled up).
@@ -143,6 +190,18 @@ class ObjectStore {
   /// store that was written. The trixel must be at cluster_level and
   /// not already present; tags are rebuilt when the store keeps them.
   Status AdoptContainer(htm::HtmId trixel, std::vector<PhotoObj> objects);
+
+  /// Zero-copy sibling of AdoptContainer: installs column views over an
+  /// externally owned byte range (an mmap'd snapshot) as the container
+  /// of `trixel`. No rows are built -- cold start from a mapped
+  /// snapshot costs only the directory walk. `backing` must own the
+  /// bytes every column of `block` points into; the store (and any
+  /// container copies handed out later) share that ownership. Same
+  /// level/uniqueness rules as AdoptContainer. Columnar containers are
+  /// immutable: Insert/BulkLoad into their trixel fail.
+  Status AdoptColumnarContainer(htm::HtmId trixel,
+                                const ColumnarBlock& block,
+                                std::shared_ptr<const void> backing);
 
   /// Removes everything.
   void Clear();

@@ -2,6 +2,7 @@
 
 #include <dirent.h>
 #include <fcntl.h>
+#include <sys/mman.h>
 #include <sys/stat.h>
 #include <sys/types.h>
 #include <unistd.h>
@@ -32,6 +33,67 @@ Status SyncFd(int fd, const std::string& path) {
 }
 
 }  // namespace
+
+MappedFile::~MappedFile() {
+  if (addr_ != nullptr) ::munmap(addr_, size_);
+}
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : addr_(other.addr_), size_(other.size_), mapped_(other.mapped_) {
+  other.addr_ = nullptr;
+  other.size_ = 0;
+  other.mapped_ = false;
+}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    if (addr_ != nullptr) ::munmap(addr_, size_);
+    addr_ = other.addr_;
+    size_ = other.size_;
+    mapped_ = other.mapped_;
+    other.addr_ = nullptr;
+    other.size_ = 0;
+    other.mapped_ = false;
+  }
+  return *this;
+}
+
+Result<MappedFile> MappedFile::Open(const std::string& path,
+                                    bool sequential) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      return Status::NotFound("no such file: " + path);
+    }
+    return Status::IOError(Errno("open", path));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    Status s = Status::IOError(Errno("fstat", path));
+    ::close(fd);
+    return s;
+  }
+  if (!S_ISREG(st.st_mode)) {
+    ::close(fd);
+    return Status::InvalidArgument("not a regular file: " + path);
+  }
+  MappedFile file;
+  file.size_ = static_cast<size_t>(st.st_size);
+  file.mapped_ = true;
+  if (file.size_ > 0) {
+    void* addr =
+        ::mmap(nullptr, file.size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (addr == MAP_FAILED) {
+      Status s = Status::IOError(Errno("mmap", path));
+      ::close(fd);
+      return s;
+    }
+    if (sequential) (void)::madvise(addr, file.size_, MADV_SEQUENTIAL);
+    file.addr_ = addr;
+  }
+  ::close(fd);  // The mapping outlives the descriptor.
+  return file;
+}
 
 bool PathExists(const std::string& path) {
   struct stat st;

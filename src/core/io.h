@@ -11,11 +11,47 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/status.h"
 
 namespace sdss {
+
+/// A read-only memory mapping of a whole regular file (mmap(2),
+/// PROT_READ | MAP_PRIVATE). Move-only; the destructor unmaps. The view
+/// stays valid even if the file is later unlinked (POSIX keeps mapped
+/// pages alive), but bytes changed by a concurrent writer are
+/// unspecified -- map only immutably written files (temp + rename).
+class MappedFile {
+ public:
+  MappedFile() = default;
+  ~MappedFile();
+
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  /// Maps `path` read-only. An empty file maps to a valid empty view.
+  /// With `sequential`, advises the kernel the mapping will be read
+  /// front to back (madvise MADV_SEQUENTIAL -- aggressive readahead for
+  /// scan workloads).
+  static Result<MappedFile> Open(const std::string& path,
+                                 bool sequential = true);
+
+  bool valid() const { return mapped_; }
+  const char* data() const { return static_cast<const char*>(addr_); }
+  size_t size() const { return size_; }
+  std::string_view view() const {
+    return std::string_view(data(), size_);
+  }
+
+ private:
+  void* addr_ = nullptr;
+  size_t size_ = 0;
+  bool mapped_ = false;
+};
 
 /// True if `path` names an existing file or directory.
 bool PathExists(const std::string& path);

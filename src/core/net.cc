@@ -191,10 +191,23 @@ Result<TcpConn> TcpListener::Accept() {
       return TcpConn(fd);
     }
     if (errno == EINTR) continue;
+    // A connection that died while sitting in the backlog (or tripped a
+    // protocol error during the handshake) indicts only itself -- take
+    // the next one.
+    if (errno == ECONNABORTED || errno == EPROTO) continue;
     // EINVAL is Linux's verdict on accept(2) after shutdown(2): the
     // listener was woken deliberately, not broken.
     if (errno == EINVAL) {
       return Status::Aborted("listener shut down");
+    }
+    // Resource exhaustion starves accept but breaks nothing: the
+    // listener is healthy and pending connections stay queued in the
+    // backlog. Report it as retryable so callers can back off instead
+    // of tearing down the front door.
+    if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+        errno == ENOMEM) {
+      return Status::Unavailable(std::string("accept: ") +
+                                 std::strerror(errno));
     }
     return Errno("accept");
   }

@@ -94,7 +94,12 @@ class TcpListener {
 
   /// Blocks for the next connection. After Shutdown() (from any
   /// thread), pending and future calls return kAborted -- the accept
-  /// loop's clean exit signal.
+  /// loop's clean exit signal. Per-connection failures that say nothing
+  /// about the listener (ECONNABORTED: the peer hung up while queued;
+  /// EPROTO) are retried here. Resource exhaustion (EMFILE / ENFILE /
+  /// ENOBUFS / ENOMEM) is kUnavailable -- transient, retry after a
+  /// breath; the connection stays in the backlog meanwhile. Anything
+  /// else is kIOError (the listener itself is broken).
   Result<TcpConn> Accept();
 
   /// Wakes blocked Accept calls with kAborted. Safe from any thread;

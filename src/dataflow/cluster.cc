@@ -22,9 +22,9 @@ Status ClusterSim::LoadPartitioned(const catalog::ObjectStore& store) {
   for (const auto& [raw, container] : store.containers()) {
     size_t node = idx % nodes_.size();
     container_order_.push_back(raw);
-    node_containers_[node].emplace_back(raw, container.objects.size());
-    nodes_[node].insert(nodes_[node].end(), container.objects.begin(),
-                        container.objects.end());
+    node_containers_[node].emplace_back(raw, container.size());
+    const auto& rows = container.rows();
+    nodes_[node].insert(nodes_[node].end(), rows.begin(), rows.end());
     ++idx;
   }
   return Status::OK();

@@ -54,7 +54,9 @@ Status Corrupt(const std::string& why) {
 }
 
 void EncodeContainer(const catalog::Container& c, std::string* out) {
-  const auto& objs = c.objects;
+  // rows() (not `objects`) so a store adopted from a mapped snapshot
+  // re-encodes to the identical byte string.
+  const auto& objs = c.rows();
   const uint64_t n = objs.size();
   PutFixed64(out, c.trixel.raw());
   PutFixed64(out, n);
@@ -81,6 +83,43 @@ void EncodeContainer(const catalog::Container& c, std::string* out) {
     PutFixed8(out, static_cast<uint8_t>(o.obj_class));
   }
   for (const auto& o : objs) PutFixed64(out, o.htm_leaf);
+}
+
+/// Lays column views over one container's `n`-object column block
+/// starting at `bytes` (the byte just past the trixel/n prefix). Offsets
+/// mirror EncodeContainer's write order exactly.
+catalog::ColumnarBlock IndexColumns(const char* bytes, uint64_t n) {
+  using catalog::ColumnRef;
+  catalog::ColumnarBlock b;
+  b.n = n;
+  const char* cur = bytes;
+  auto take = [&cur, n](size_t elem_bytes) {
+    const char* col = cur;
+    cur += elem_bytes * n;
+    return col;
+  };
+  b.obj_id = ColumnRef<uint64_t>(take(8));
+  b.x = ColumnRef<double>(take(8));
+  b.y = ColumnRef<double>(take(8));
+  b.z = ColumnRef<double>(take(8));
+  b.ra = ColumnRef<double>(take(8));
+  b.dec = ColumnRef<double>(take(8));
+  for (int band = 0; band < catalog::kNumBands; ++band) {
+    b.mag[static_cast<size_t>(band)] = ColumnRef<float>(take(4));
+  }
+  for (int band = 0; band < catalog::kNumBands; ++band) {
+    b.mag_err[static_cast<size_t>(band)] = ColumnRef<float>(take(4));
+  }
+  for (int p = 0; p < catalog::kProfileBins; ++p) {
+    b.profile[static_cast<size_t>(p)] = ColumnRef<float>(take(4));
+  }
+  b.petro = ColumnRef<float>(take(4));
+  b.sb = ColumnRef<float>(take(4));
+  b.redshift = ColumnRef<float>(take(4));
+  b.flags = ColumnRef<uint32_t>(take(4));
+  b.obj_class = ColumnRef<uint8_t>(take(1));
+  b.htm_leaf = ColumnRef<uint64_t>(take(8));
+  return b;
 }
 
 bool DecodeContainer(Cursor* cursor, uint64_t* trixel_raw,
@@ -128,7 +167,7 @@ std::string EncodeSnapshot(const catalog::ObjectStore& store) {
   std::string out;
   uint64_t payload = 0;
   for (const auto& [raw, c] : store.containers()) {
-    payload += 16 + c.objects.size() * kBytesPerObject;
+    payload += 16 + c.size() * kBytesPerObject;
   }
   out.reserve(kHeaderBytes + payload + kTrailerBytes);
   out.append(kMagic, sizeof(kMagic));
@@ -224,6 +263,75 @@ Result<SnapshotHeader> SnapshotReader::ReadHeader() const {
   auto data = ReadFileToString(path_);
   if (!data.ok()) return data.status();
   return DecodeSnapshotHeader(*data);
+}
+
+Result<MappedSnapshot> MappedSnapshot::Open(const std::string& path) {
+  auto file = MappedFile::Open(path);
+  if (!file.ok()) return file.status();
+
+  MappedSnapshot snap;
+  snap.file_ = std::move(*file);
+  const std::string_view data = snap.file_.view();
+
+  auto header = DecodeSnapshotHeader(data);
+  if (!header.ok()) return header.status();
+  snap.header_ = *header;
+
+  // Walk the container directory, validating exactly what
+  // DecodeSnapshot validates, but record view offsets instead of
+  // materializing objects.
+  Cursor cursor(data.substr(0, data.size() - kTrailerBytes));
+  cursor.Skip(kHeaderBytes);
+  uint64_t total_objects = 0;
+  uint64_t prev_raw = 0;
+  snap.blocks_.reserve(snap.header_.container_count);
+  for (uint64_t i = 0; i < snap.header_.container_count; ++i) {
+    uint64_t trixel_raw = 0;
+    uint64_t n = 0;
+    if (!cursor.GetFixed64(&trixel_raw) || !cursor.GetFixed64(&n)) {
+      return Corrupt("truncated container block " + std::to_string(i));
+    }
+    if (n > cursor.remaining() / kBytesPerObject) {
+      return Corrupt("truncated container block " + std::to_string(i));
+    }
+    auto trixel = htm::HtmId::FromRaw(trixel_raw);
+    if (!trixel.ok()) return Corrupt("invalid container trixel id");
+    if (!snap.blocks_.empty() && trixel_raw <= prev_raw) {
+      return Corrupt("container trixels out of order");
+    }
+    prev_raw = trixel_raw;
+    snap.blocks_.emplace_back(
+        *trixel, IndexColumns(data.data() + cursor.position(), n));
+    cursor.Skip(n * kBytesPerObject);
+    total_objects += n;
+  }
+  if (!cursor.done()) return Corrupt("trailing bytes after containers");
+  if (total_objects != snap.header_.object_count) {
+    return Corrupt("object count mismatch");
+  }
+  return snap;
+}
+
+Result<catalog::ObjectStore> AdoptStore(
+    std::shared_ptr<const MappedSnapshot> snap) {
+  if (snap == nullptr) {
+    return Status::InvalidArgument("null mapped snapshot");
+  }
+  catalog::StoreOptions options;
+  options.cluster_level = snap->header().cluster_level;
+  options.build_tags = snap->header().build_tags;
+  catalog::ObjectStore store(options);
+  for (const auto& [trixel, block] : snap->blocks()) {
+    SDSS_RETURN_IF_ERROR(store.AdoptColumnarContainer(trixel, block, snap));
+  }
+  return store;
+}
+
+Result<catalog::ObjectStore> MapSnapshotStore(const std::string& path) {
+  auto snap = MappedSnapshot::Open(path);
+  if (!snap.ok()) return snap.status();
+  return AdoptStore(
+      std::make_shared<const MappedSnapshot>(std::move(*snap)));
 }
 
 }  // namespace sdss::persist

@@ -28,11 +28,16 @@
 #define SDSS_PERSIST_SNAPSHOT_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "catalog/object_store.h"
+#include "core/io.h"
 #include "core/status.h"
+#include "htm/htm_id.h"
 
 namespace sdss::persist {
 
@@ -92,6 +97,47 @@ class SnapshotReader {
  private:
   std::string path_;
 };
+
+/// A verified snapshot file held as a read-only memory mapping, with
+/// every container's columns indexed as zero-copy views into the mapped
+/// bytes. Open() pays one sequential pass for the CRC plus a directory
+/// walk; no object is ever materialized. The same corruption cases
+/// DecodeSnapshot rejects (bad magic, wrong version, truncation, CRC
+/// mismatch, trailing bytes, count mismatches) fail here with
+/// kCorruption too.
+class MappedSnapshot {
+ public:
+  /// Maps and verifies `path`, indexing per-container column views.
+  static Result<MappedSnapshot> Open(const std::string& path);
+
+  const SnapshotHeader& header() const { return header_; }
+  size_t container_count() const { return blocks_.size(); }
+
+  /// The indexed containers, trixel-ascending. Views stay valid only
+  /// while this MappedSnapshot (or a sharing store) is alive.
+  const std::vector<std::pair<htm::HtmId, catalog::ColumnarBlock>>&
+  blocks() const {
+    return blocks_;
+  }
+
+ private:
+  MappedSnapshot() = default;
+
+  MappedFile file_;
+  SnapshotHeader header_;
+  std::vector<std::pair<htm::HtmId, catalog::ColumnarBlock>> blocks_;
+};
+
+/// Builds an ObjectStore whose containers are columnar views into
+/// `snap`'s mapping -- the zero-rebuild cold-start path. The store (and
+/// every container copy extracted from it later) shares ownership of
+/// the mapping, so the views outlive the caller's handle.
+Result<catalog::ObjectStore> AdoptStore(
+    std::shared_ptr<const MappedSnapshot> snap);
+
+/// Open + AdoptStore in one call: maps `path` and returns a store that
+/// serves column scans straight off the file's pages.
+Result<catalog::ObjectStore> MapSnapshotStore(const std::string& path);
 
 }  // namespace sdss::persist
 

@@ -1,0 +1,122 @@
+#include "query/columnar_scan.h"
+
+namespace sdss::query {
+
+bool ColumnarScan::CompileExpr(const Expr& e, std::unique_ptr<Node>* out) {
+  auto node = std::make_unique<Node>();
+  node->kind = e.kind();
+  switch (e.kind()) {
+    case Expr::Kind::kLiteral:
+      node->literal = e.literal();
+      break;
+    case Expr::Kind::kAttr: {
+      auto getter = catalog::ResolveColumn(e.attr());
+      if (!getter.ok()) return false;
+      node->getter = *getter;
+      break;
+    }
+    case Expr::Kind::kNeg:
+    case Expr::Kind::kNot:
+      if (!CompileExpr(*e.lhs(), &node->lhs)) return false;
+      break;
+    case Expr::Kind::kSpatial:
+      node->region = e.region();
+      break;
+    case Expr::Kind::kBinary:
+      // Division errors on a zero divisor in the row path, and whether
+      // that error surfaces depends on evaluation order -- not
+      // mirrorable, so the whole predicate falls back.
+      if (e.op() == BinOp::kDiv) return false;
+      node->op = e.op();
+      if (!CompileExpr(*e.lhs(), &node->lhs)) return false;
+      if (!CompileExpr(*e.rhs(), &node->rhs)) return false;
+      break;
+  }
+  *out = std::move(node);
+  return true;
+}
+
+bool ColumnarScan::Compile(const PlanNode& node,
+                           const std::vector<std::string>& attrs,
+                           ColumnarScan* out) {
+  if (node.table == TableRef::kTag) return false;
+  out->sample_ = node.sample;
+  out->pred_.reset();
+  out->values_.clear();
+  if (node.predicate && !CompileExpr(*node.predicate, &out->pred_)) {
+    return false;
+  }
+  out->values_.reserve(attrs.size());
+  for (const std::string& name : attrs) {
+    auto getter = catalog::ResolveColumn(name);
+    if (!getter.ok()) return false;
+    out->values_.push_back(*getter);
+  }
+  return true;
+}
+
+double ColumnarScan::EvalNode(const Node& n,
+                              const catalog::ColumnarBlock& b, size_t i) {
+  switch (n.kind) {
+    case Expr::Kind::kLiteral:
+      return n.literal;
+    case Expr::Kind::kAttr:
+      return n.getter(b, i);
+    case Expr::Kind::kNeg:
+      return -EvalNode(*n.lhs, b, i);
+    case Expr::Kind::kNot:
+      return EvalNode(*n.lhs, b, i) != 0.0 ? 0.0 : 1.0;
+    case Expr::Kind::kSpatial:
+      return n.region.Contains(b.Position(i)) ? 1.0 : 0.0;
+    case Expr::Kind::kBinary: {
+      if (n.op == BinOp::kAnd) {
+        if (EvalNode(*n.lhs, b, i) == 0.0) return 0.0;
+        return EvalNode(*n.rhs, b, i) != 0.0 ? 1.0 : 0.0;
+      }
+      if (n.op == BinOp::kOr) {
+        if (EvalNode(*n.lhs, b, i) != 0.0) return 1.0;
+        return EvalNode(*n.rhs, b, i) != 0.0 ? 1.0 : 0.0;
+      }
+      const double l = EvalNode(*n.lhs, b, i);
+      const double r = EvalNode(*n.rhs, b, i);
+      switch (n.op) {
+        case BinOp::kAdd:
+          return l + r;
+        case BinOp::kSub:
+          return l - r;
+        case BinOp::kMul:
+          return l * r;
+        case BinOp::kLt:
+          return l < r ? 1.0 : 0.0;
+        case BinOp::kLe:
+          return l <= r ? 1.0 : 0.0;
+        case BinOp::kGt:
+          return l > r ? 1.0 : 0.0;
+        case BinOp::kGe:
+          return l >= r ? 1.0 : 0.0;
+        case BinOp::kEq:
+          return l == r ? 1.0 : 0.0;
+        case BinOp::kNe:
+          return l != r ? 1.0 : 0.0;
+        case BinOp::kDiv:  // Rejected at compile time.
+        case BinOp::kAnd:
+        case BinOp::kOr:
+          break;
+      }
+      return 0.0;
+    }
+  }
+  return 0.0;
+}
+
+void ColumnarScan::ProjectRow(const catalog::ColumnarBlock& block,
+                              size_t i, ResultRow* row) const {
+  row->obj_id = block.obj_id[i];
+  row->values.clear();
+  row->values.reserve(values_.size());
+  for (const catalog::ColumnGetter& get : values_) {
+    row->values.push_back(get(block, i));
+  }
+}
+
+}  // namespace sdss::query

@@ -1,0 +1,120 @@
+// The columnar scan kernel: predicate + projection/aggregate input
+// compiled once per scan leaf, then executed directly over a
+// container's column views (catalog::ColumnarBlock) without ever
+// materializing a PhotoObj or resolving an attribute name per row.
+//
+// Bit-exactness contract: for any node the kernel accepts, its answers
+// are identical to the row path's (VisitMatches + GetAttribute) --
+// attribute conversions go through catalog::ResolveColumn (which
+// mirrors GetAttribute), expression evaluation mirrors Expr::Eval
+// recursion exactly, and sampling draws one Bernoulli variate per row
+// in row order. Nodes whose behavior the kernel cannot mirror
+// (tag-partition scans; predicates containing division, whose
+// divide-by-zero error depends on evaluation order; attributes with no
+// column) are rejected at Compile time and take the row path.
+
+#ifndef SDSS_QUERY_COLUMNAR_SCAN_H_
+#define SDSS_QUERY_COLUMNAR_SCAN_H_
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "catalog/columnar.h"
+#include "core/random.h"
+#include "htm/region.h"
+#include "query/expr.h"
+#include "query/qet.h"
+
+namespace sdss::query {
+
+class ColumnarScan {
+ public:
+  /// Rows per filter chunk: the selection bitmap lives in a stack
+  /// array, and sampling / predicate / visit phases each run as a tight
+  /// loop over one chunk.
+  static constexpr size_t kChunk = 256;
+
+  /// Compiles the scan leaf `node` with `attrs` as its value columns
+  /// (the projection for row scans; the aggregate input, possibly
+  /// empty, for pushdown). Returns false -- leaving `out` unusable --
+  /// when the node must take the row path.
+  static bool Compile(const PlanNode& node,
+                      const std::vector<std::string>& attrs,
+                      ColumnarScan* out);
+
+  /// Runs sampling + predicate over rows [0, block.n) in row order,
+  /// calling `visit(i)` for every surviving row; `visit` returning
+  /// false aborts. `tick(m)` is called once per chunk with the number
+  /// of rows about to be examined (the caller's objects_examined
+  /// accounting and cancellation poll); returning false aborts.
+  /// Returns true iff the whole block completed.
+  template <typename Visit, typename Tick>
+  bool Scan(const catalog::ColumnarBlock& block, Rng* rng,
+            const Visit& visit, const Tick& tick) const {
+    std::array<uint8_t, kChunk> keep;
+    for (size_t base = 0; base < block.n; base += kChunk) {
+      const size_t m = std::min(kChunk, block.n - base);
+      if (!tick(m)) return false;
+      if (sample_ < 1.0) {
+        for (size_t k = 0; k < m; ++k) {
+          keep[k] = rng->Bernoulli(sample_) ? 1 : 0;
+        }
+      } else {
+        std::fill_n(keep.begin(), m, uint8_t{1});
+      }
+      if (pred_ != nullptr) {
+        for (size_t k = 0; k < m; ++k) {
+          if (keep[k] != 0) {
+            keep[k] = EvalNode(*pred_, block, base + k) != 0.0 ? 1 : 0;
+          }
+        }
+      }
+      for (size_t k = 0; k < m; ++k) {
+        if (keep[k] != 0 && !visit(base + k)) return false;
+      }
+    }
+    return true;
+  }
+
+  /// Projects row `i` into `row`: obj_id plus the compiled value
+  /// columns, in `attrs` order.
+  void ProjectRow(const catalog::ColumnarBlock& block, size_t i,
+                  ResultRow* row) const;
+
+  /// The first compiled value column at row `i` (the aggregate input).
+  /// Only valid when Compile was given a non-empty `attrs`.
+  double Value(const catalog::ColumnarBlock& block, size_t i) const {
+    return values_[0](block, i);
+  }
+
+ private:
+  /// A compiled expression node: Expr with every attribute resolved to
+  /// its ColumnGetter, so per-row evaluation never touches a string.
+  struct Node {
+    Expr::Kind kind = Expr::Kind::kLiteral;
+    BinOp op = BinOp::kAdd;
+    double literal = 0.0;
+    catalog::ColumnGetter getter;
+    htm::Region region;
+    std::unique_ptr<Node> lhs, rhs;
+  };
+
+  /// Evaluates a compiled tree at row `i`, mirroring Expr::Eval
+  /// (including AND/OR short-circuit structure). Cannot fail: division
+  /// and unresolvable attributes were rejected at compile time.
+  static double EvalNode(const Node& n, const catalog::ColumnarBlock& b,
+                         size_t i);
+
+  static bool CompileExpr(const Expr& e, std::unique_ptr<Node>* out);
+
+  double sample_ = 1.0;
+  std::unique_ptr<Node> pred_;  ///< Null = accept all.
+  std::vector<catalog::ColumnGetter> values_;
+};
+
+}  // namespace sdss::query
+
+#endif  // SDSS_QUERY_COLUMNAR_SCAN_H_

@@ -10,6 +10,7 @@
 #include "catalog/photo_obj.h"
 #include "core/random.h"
 #include "dataflow/pair_hasher.h"
+#include "query/columnar_scan.h"
 
 namespace sdss::query {
 namespace {
@@ -33,6 +34,7 @@ struct RunContext {
   /// container the tree reads (thread-safe; personal stores excluded).
   const AccessRecorder* access = nullptr;
   std::atomic<uint64_t> containers_scanned{0};
+  std::atomic<uint64_t> containers_columnar{0};
   std::atomic<uint64_t> objects_examined{0};
   std::atomic<uint64_t> objects_matched{0};
   std::atomic<uint64_t> bytes_touched{0};
@@ -303,7 +305,12 @@ Result<ExecStats> Executor::RunTree(
                                    filter] {
               std::vector<const Container*> containers =
                   CollectScanContainers(node, scan_store, filter);
-              std::atomic<uint64_t> salt{0};
+              // Compile the leaf once; containers without column views
+              // (and leaves the kernel rejects) take the row path.
+              ColumnarScan kernel;
+              const bool kernel_ok =
+                  options_.columnar_kernel && node->columnar_eligible &&
+                  ColumnarScan::Compile(*node, node->projection, &kernel);
               pool_->ParallelFor(containers.size(), [&](size_t ci) {
                 if (out->cancelled() || ctx->Cancelled() ||
                     ctx->has_error()) {
@@ -314,7 +321,11 @@ Result<ExecStats> Executor::RunTree(
                 if (node->type != PlanNodeType::kMyDbScan) {
                   ctx->RecordContainerAccess(c);
                 }
-                Rng rng(node->sample_seed + salt.fetch_add(1) * 7919 + ci);
+                // Seeded by container INDEX, not task-claim order: the
+                // same query samples the same objects on every run and
+                // on every execution path (row or columnar kernel),
+                // whatever the pool's scheduling did.
+                Rng rng(node->sample_seed + ci * 7919);
                 RowBatch batch;
                 batch.reserve(options_.batch_size);
                 ResultRow row;
@@ -339,11 +350,36 @@ Result<ExecStats> Executor::RunTree(
                 bool completed;
                 if (node->table == TableRef::kTag) {
                   ctx->bytes_touched.fetch_add(c->TagBytes());
-                  completed =
-                      VisitMatches(c->tags, node, &rng, ctx.get(), emit);
+                  completed = VisitMatches(c->tag_rows(), node, &rng,
+                                           ctx.get(), emit);
+                } else if (kernel_ok && c->columnar.n > 0) {
+                  ctx->bytes_touched.fetch_add(c->FullBytes());
+                  ctx->containers_columnar.fetch_add(1);
+                  const catalog::ColumnarBlock& block = c->columnar;
+                  completed = kernel.Scan(
+                      block, &rng,
+                      [&](size_t idx) {
+                        kernel.ProjectRow(block, idx, &row);
+                        ctx->objects_matched.fetch_add(1);
+                        batch.push_back(row);
+                        if (batch.size() >= options_.batch_size) {
+                          if (!out->Push(std::move(batch))) return false;
+                          batch.clear();
+                          batch.reserve(options_.batch_size);
+                        }
+                        return true;
+                      },
+                      [&](size_t examined) {
+                        if (out->cancelled() || ctx->Cancelled() ||
+                            ctx->has_error()) {
+                          return false;
+                        }
+                        ctx->objects_examined.fetch_add(examined);
+                        return true;
+                      });
                 } else {
                   ctx->bytes_touched.fetch_add(c->FullBytes());
-                  completed = VisitMatches(c->objects, node, &rng,
+                  completed = VisitMatches(c->rows(), node, &rng,
                                            ctx.get(), emit);
                 }
                 if (!completed) return;
@@ -381,7 +417,7 @@ Result<ExecStats> Executor::RunTree(
                 std::vector<std::pair<const PhotoObj*,
                                       dataflow::PairHasher::BucketSet>>
                     selected;
-                for (const PhotoObj& o : c->objects) {
+                for (const PhotoObj& o : c->rows()) {
                   if (ctx->Cancelled()) return;
                   ctx->objects_examined.fetch_add(1);
                   if (node->pair_select) {
@@ -661,9 +697,13 @@ Result<ExecStats> Executor::RunTree(
                 const bool need_value = !scan->projection.empty();
                 const std::string* attr =
                     need_value ? &scan->projection[0] : nullptr;
+                ColumnarScan kernel;
+                const bool kernel_ok =
+                    options_.columnar_kernel && scan->columnar_eligible &&
+                    ColumnarScan::Compile(*scan, scan->projection,
+                                          &kernel);
                 std::mutex fold_mu;
                 AggFold total;
-                std::atomic<uint64_t> salt{0};
                 pool_->ParallelFor(containers.size(), [&](size_t ci) {
                   if (out->cancelled() || ctx->Cancelled() ||
                       ctx->has_error()) {
@@ -674,8 +714,10 @@ Result<ExecStats> Executor::RunTree(
                   if (scan->type != PlanNodeType::kMyDbScan) {
                     ctx->RecordContainerAccess(c);
                   }
-                  Rng rng(scan->sample_seed + salt.fetch_add(1) * 7919 +
-                          ci);
+                  // Index-seeded like the row-emitting scan: SAMPLE
+                  // picks the same objects whichever thread claims the
+                  // container.
+                  Rng rng(scan->sample_seed + ci * 7919);
                   AggFold local;
                   auto fold = [&](const auto& obj) {
                     if (need_value) {
@@ -692,11 +734,32 @@ Result<ExecStats> Executor::RunTree(
                   bool completed;
                   if (scan->table == TableRef::kTag) {
                     ctx->bytes_touched.fetch_add(c->TagBytes());
-                    completed = VisitMatches(c->tags, scan, &rng,
+                    completed = VisitMatches(c->tag_rows(), scan, &rng,
                                              ctx.get(), fold);
+                  } else if (kernel_ok && c->columnar.n > 0) {
+                    ctx->bytes_touched.fetch_add(c->FullBytes());
+                    ctx->containers_columnar.fetch_add(1);
+                    const catalog::ColumnarBlock& block = c->columnar;
+                    completed = kernel.Scan(
+                        block, &rng,
+                        [&](size_t idx) {
+                          if (need_value) {
+                            local.Add(kernel.Value(block, idx));
+                          }
+                          ++local.count;
+                          return true;
+                        },
+                        [&](size_t examined) {
+                          if (out->cancelled() || ctx->Cancelled() ||
+                              ctx->has_error()) {
+                            return false;
+                          }
+                          ctx->objects_examined.fetch_add(examined);
+                          return true;
+                        });
                   } else {
                     ctx->bytes_touched.fetch_add(c->FullBytes());
-                    completed = VisitMatches(c->objects, scan, &rng,
+                    completed = VisitMatches(c->rows(), scan, &rng,
                                              ctx.get(), fold);
                   }
                   if (!completed) return;
@@ -766,6 +829,7 @@ Result<ExecStats> Executor::RunTree(
   stats.seconds_total = std::chrono::duration<double>(t1 - t0).count();
   if (first) stats.seconds_to_first_row = stats.seconds_total;
   stats.containers_scanned = ctx->containers_scanned.load();
+  stats.containers_columnar = ctx->containers_columnar.load();
   stats.objects_examined = ctx->objects_examined.load();
   stats.objects_matched = ctx->objects_matched.load();
   stats.bytes_touched = ctx->bytes_touched.load();

@@ -132,7 +132,7 @@ Result<std::vector<PairJoinGhosts>> HarvestJoinGhosts(
           continue;
         }
         if (join->has_region && region_raws.count(raw) == 0) continue;
-        for (const catalog::PhotoObj& o : c.objects) {
+        for (const catalog::PhotoObj& o : c.rows()) {
           if (cancel != nullptr &&
               cancel->load(std::memory_order_relaxed)) {
             errors[i] = Status::Cancelled("query cancelled");
@@ -448,6 +448,7 @@ Result<ExecStats> FederatedQueryEngine::RunFederated(
   for (auto& r : shard_stats) {
     if (!r.ok()) return r.status();
     stats.containers_scanned += r->containers_scanned;
+    stats.containers_columnar += r->containers_columnar;
     stats.objects_examined += r->objects_examined;
     stats.objects_matched += r->objects_matched;
     stats.bytes_touched += r->bytes_touched;
@@ -552,6 +553,7 @@ Result<ExecStats> FederatedQueryEngine::RunSetWithBranchLimits(
                            nullptr, false, cancel, prep.access);
     if (!st.ok()) return st.status();
     stats.containers_scanned += st->containers_scanned;
+    stats.containers_columnar += st->containers_columnar;
     stats.objects_examined += st->objects_examined;
     stats.objects_matched += st->objects_matched;
     stats.bytes_touched += st->bytes_touched;
@@ -901,7 +903,7 @@ std::vector<ShardPrediction> PredictShards(const std::vector<Shard>& shards,
           if (!assigned(it->first)) continue;
           ++p.containers;
           p.bytes_to_scan += it->second.FullBytes();
-          uint64_t objs = it->second.objects.size();
+          uint64_t objs = it->second.size();
           p.max_objects += objs;
           if (full) {
             p.min_objects += objs;
@@ -918,7 +920,7 @@ std::vector<ShardPrediction> PredictShards(const std::vector<Shard>& shards,
         if (!assigned(raw)) continue;
         ++p.containers;
         p.bytes_to_scan += c.FullBytes();
-        uint64_t objs = c.objects.size();
+        uint64_t objs = c.size();
         p.max_objects += objs;
         p.expected_objects += static_cast<double>(objs);
       }

@@ -120,6 +120,11 @@ struct PlanNode {
   std::vector<std::string> projection; ///< Output column names.
   double sample = 1.0;                 ///< Bernoulli sampling fraction.
   uint64_t sample_seed = 7777;
+  /// Planner marker: this leaf reads full photo rows (not the tag
+  /// partition), so the executor may run its columnar kernel over
+  /// containers that carry column views. The executor still compiles
+  /// the predicate/projection and falls back per node if it can't.
+  bool columnar_eligible = false;
 
   // -- kMyDbScan -----------------------------------------------------
   // Like kScan, but over a personal result store resolved at plan time

@@ -309,6 +309,25 @@ Result<BusyMsg> DecodeBusy(std::string_view payload) {
   return msg;
 }
 
+bool ConstantTimeEquals(std::string_view a, std::string_view b) {
+  // Fold every byte of both strings into one accumulator; no branch in
+  // the loop depends on the data, so the runtime is a function of the
+  // lengths alone. `volatile` keeps the compiler from rediscovering the
+  // early exit this function exists to avoid.
+  volatile unsigned char acc =
+      static_cast<unsigned char>((a.size() ^ b.size()) != 0);
+  const size_t n = a.size() < b.size() ? a.size() : b.size();
+  for (size_t i = 0; i < n; ++i) {
+    acc = acc | static_cast<unsigned char>(a[i] ^ b[i]);
+  }
+  return acc == 0;
+}
+
+uint32_t SaturatingU32(size_t v) {
+  constexpr size_t kMax = std::numeric_limits<uint32_t>::max();
+  return static_cast<uint32_t>(v < kMax ? v : kMax);
+}
+
 Result<Frame> ReadFrame(TcpConn* conn, size_t max_frame_bytes) {
   char lenbuf[4];
   SDSS_RETURN_IF_ERROR(conn->ReadExact(lenbuf, sizeof(lenbuf)));

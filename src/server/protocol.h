@@ -139,6 +139,18 @@ Result<DoneMsg> DecodeDone(std::string_view payload);
 Result<ErrorMsg> DecodeError(std::string_view payload);
 Result<BusyMsg> DecodeBusy(std::string_view payload);
 
+/// True iff `a == b`, in time that depends only on the lengths (every
+/// byte of both strings is always visited). Token checks must use this
+/// instead of std::string::operator==, whose early exit at the first
+/// mismatching byte leaks how much of a guessed secret was right.
+bool ConstantTimeEquals(std::string_view a, std::string_view b);
+
+/// `v` clamped into uint32_t: values above UINT32_MAX saturate to
+/// UINT32_MAX instead of being truncated to a small (even zero) lie.
+/// Wire messages that carry size_t quantities in u32 fields (BusyMsg
+/// lane depths) go through this.
+uint32_t SaturatingU32(size_t v);
+
 /// Reads exactly one frame. A clean EOF on the length prefix is
 /// kAborted (peer hung up between frames); a frame whose length is zero
 /// or exceeds `max_frame_bytes` is kInvalidArgument -- the caller must

@@ -1,5 +1,7 @@
 #include "server/server.h"
 
+#include <algorithm>
+#include <chrono>
 #include <utility>
 #include <vector>
 
@@ -51,9 +53,33 @@ void QueryServer::Stop() {
 }
 
 void QueryServer::AcceptLoop() {
+  // Backoff for transient accept failures: start small (exhaustion is
+  // usually momentary -- a burst of sessions closing will free fds),
+  // double up to a cap so a stuck host doesn't busy-spin.
+  constexpr int kBackoffMinMs = 1;
+  constexpr int kBackoffMaxMs = 100;
+  int backoff_ms = kBackoffMinMs;
   for (;;) {
     Result<TcpConn> conn = listener_.Accept();
-    if (!conn.ok()) return;  // Shutdown (or a fatal listener error).
+    if (!conn.ok()) {
+      // Orderly shutdown (kAborted from Shutdown()) or a listener that
+      // was never usable ends the loop. Running out of fds or buffers
+      // must not: the listener is fine, the pressure is elsewhere and
+      // temporary, and pending connections are still queued in the
+      // backlog. Sleep a beat and take them when resources return.
+      if (conn.status().code() != StatusCode::kUnavailable) return;
+      ++counters_.accept_retries;
+      for (int waited = 0; waited < backoff_ms && !stopped_.load();
+           ++waited) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      if (stopped_.load()) return;
+      backoff_ms = std::min(backoff_ms * 2, kBackoffMaxMs);
+      // Freeing our own zombies may be exactly what un-wedges EMFILE.
+      ReapFinishedThreads();
+      continue;
+    }
+    backoff_ms = kBackoffMinMs;
     ++counters_.sessions_accepted;
     ReapFinishedThreads();
 
@@ -70,8 +96,8 @@ void QueryServer::AcceptLoop() {
       workbench::QueueDepths depths = scheduler_->LaneDepths();
       BusyMsg busy;
       busy.retry_after_ms = options_.busy_retry_ms;
-      busy.quick_queued = static_cast<uint32_t>(depths.quick_queued);
-      busy.long_queued = static_cast<uint32_t>(depths.long_queued);
+      busy.quick_queued = SaturatingU32(depths.quick_queued);
+      busy.long_queued = SaturatingU32(depths.long_queued);
       conn->WriteAll(EncodeBusy(busy));
       continue;  // conn's destructor closes the socket.
     }
@@ -97,7 +123,9 @@ bool QueryServer::Authenticate(const std::string& user,
   if (user.empty()) return false;
   if (options_.users.empty()) return true;  // Open access.
   auto it = options_.users.find(user);
-  return it != options_.users.end() && it->second == token;
+  // Constant-time: a wrong token must cost the same wall-clock whether
+  // its first byte or its last byte is the mismatch.
+  return it != options_.users.end() && ConstantTimeEquals(it->second, token);
 }
 
 void QueryServer::OnSessionClosed(uint64_t id) {
@@ -134,6 +162,7 @@ ServerStats QueryServer::stats() const {
   stats.queries_failed = counters_.queries_failed.load();
   stats.busy_shed = counters_.busy_shed.load();
   stats.protocol_errors = counters_.protocol_errors.load();
+  stats.accept_retries = counters_.accept_retries.load();
   {
     std::lock_guard<std::mutex> lock(sessions_mu_);
     stats.sessions_active = sessions_.size();

@@ -73,6 +73,9 @@ struct ServerStats {
   uint64_t queries_failed = 0;     ///< Terminal failure or cancel.
   uint64_t busy_shed = 0;          ///< BUSY frames sent for QUERYs.
   uint64_t protocol_errors = 0;    ///< Fatal ERROR closes.
+  /// Transient accept(2) failures (fd/buffer exhaustion) survived with
+  /// a short backoff instead of killing the accept loop.
+  uint64_t accept_retries = 0;
 };
 
 /// The TCP front end. Start() spawns the accept loop; every accepted
@@ -103,8 +106,14 @@ class QueryServer {
  private:
   friend class Session;
 
+  /// Runs until Stop(). Transient accept failures (the kernel out of
+  /// fds or socket buffers) are counted in `accept_retries` and waited
+  /// out with a short capped backoff -- connections keep queueing in
+  /// the backlog and are served once resources return; only shutdown
+  /// (or a genuinely broken listener) ends the loop.
   void AcceptLoop();
-  /// True when `user`/`token` may open a session.
+  /// True when `user`/`token` may open a session. The token check is
+  /// constant-time (see protocol.h ConstantTimeEquals).
   bool Authenticate(const std::string& user, const std::string& token) const;
   /// Session thread's sign-off: drops the server's reference and parks
   /// its own thread handle on the finished list for reaping.
@@ -123,6 +132,7 @@ class QueryServer {
     std::atomic<uint64_t> queries_failed{0};
     std::atomic<uint64_t> busy_shed{0};
     std::atomic<uint64_t> protocol_errors{0};
+    std::atomic<uint64_t> accept_retries{0};
   };
 
   workbench::JobScheduler* const scheduler_;

@@ -308,8 +308,8 @@ void Session::SendBusy() {
   workbench::QueueDepths depths = server_->scheduler()->LaneDepths();
   BusyMsg busy;
   busy.retry_after_ms = opts.busy_retry_ms;
-  busy.quick_queued = static_cast<uint32_t>(depths.quick_queued);
-  busy.long_queued = static_cast<uint32_t>(depths.long_queued);
+  busy.quick_queued = SaturatingU32(depths.quick_queued);
+  busy.long_queued = SaturatingU32(depths.long_queued);
   ++server_->counters_.busy_shed;
   wire_->Write(EncodeBusy(busy));
 }

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <string>
 #include <thread>
 
@@ -343,6 +344,32 @@ TEST_F(ServerProtocolSocketTest, EofMidFrameIsAnIOError) {
   auto frame = ReadFrame(&served_, 1 << 20);
   ASSERT_FALSE(frame.ok());
   EXPECT_EQ(frame.status().code(), StatusCode::kIOError);
+}
+
+TEST(ServerProtocolHelpersTest, ConstantTimeEqualsMatchesOperatorEq) {
+  EXPECT_TRUE(ConstantTimeEquals("", ""));
+  EXPECT_TRUE(ConstantTimeEquals("secret", "secret"));
+  EXPECT_FALSE(ConstantTimeEquals("secret", "secres"));
+  EXPECT_FALSE(ConstantTimeEquals("Xecret", "secret"));
+  EXPECT_FALSE(ConstantTimeEquals("secret", ""));
+  EXPECT_FALSE(ConstantTimeEquals("", "secret"));
+  EXPECT_FALSE(ConstantTimeEquals("secret", "secretlonger"));
+  // Embedded NULs are data, not terminators.
+  EXPECT_TRUE(ConstantTimeEquals(std::string("a\0b", 3),
+                                 std::string("a\0b", 3)));
+  EXPECT_FALSE(ConstantTimeEquals(std::string("a\0b", 3),
+                                  std::string("a\0c", 3)));
+}
+
+TEST(ServerProtocolHelpersTest, SaturatingU32ClampsInsteadOfTruncating) {
+  EXPECT_EQ(SaturatingU32(0), 0u);
+  EXPECT_EQ(SaturatingU32(1234), 1234u);
+  EXPECT_EQ(SaturatingU32(0xffffffffull), 0xffffffffu);
+  // One past the ceiling used to truncate to 0 -- a full queue reported
+  // as empty; now it saturates.
+  EXPECT_EQ(SaturatingU32(0x100000000ull), 0xffffffffu);
+  EXPECT_EQ(SaturatingU32(std::numeric_limits<size_t>::max()),
+            0xffffffffu);
 }
 
 TEST_F(ServerProtocolSocketTest, ZeroAndOversizedLengthsAreViolations) {
