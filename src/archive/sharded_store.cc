@@ -63,6 +63,13 @@ Status ShardedStore::MarkServerUp(size_t server) {
   return Status::OK();
 }
 
+uint64_t ShardedStore::Epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t epoch = 0;
+  for (const auto& store : stores_) epoch += store.epoch();
+  return epoch;
+}
+
 void ShardedStore::RecordAccess(uint64_t container, uint64_t count) {
   std::lock_guard<std::mutex> lock(mu_);
   manager_.RecordAccess(container, count);
@@ -100,7 +107,13 @@ Status ShardedStore::PromoteHotContainers(double top_fraction,
           stores_[server].containers().count(raw) > 0) {
         continue;
       }
+      // Promotion copies data the fleet already serves: no result any
+      // reader could have cached changes, so the copy must not look
+      // like a mutation. BulkLoad bumps the receiving store's epoch;
+      // reinstate it.
+      const uint64_t epoch = stores_[server].epoch();
       SDSS_RETURN_IF_ERROR(stores_[server].BulkLoad(src->rows()));
+      stores_[server].RestoreEpoch(epoch);
     }
   }
   return Status::OK();

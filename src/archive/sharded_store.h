@@ -51,6 +51,13 @@ class ShardedStore {
   Status MarkServerDown(size_t server);
   Status MarkServerUp(size_t server);
 
+  /// Fleet-wide store epoch: the sum of every shard store's mutation
+  /// generation (catalog::ObjectStore::epoch). Any data mutation on any
+  /// server moves it; routing-only events (MarkServerDown/Up) and
+  /// replica promotion (which copies data it already serves) do not, so
+  /// cached query results survive failover but never survive a write.
+  uint64_t Epoch() const;
+
   /// Access-heat tracking, forwarded to the ReplicationManager.
   void RecordAccess(uint64_t container, uint64_t count = 1);
 

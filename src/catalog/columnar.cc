@@ -68,6 +68,84 @@ double ColumnGetter::operator()(const ColumnarBlock& b, size_t i) const {
   return 0.0;
 }
 
+namespace {
+
+/// Gathers `m` elements of `col` starting at `base` into `out` as
+/// doubles, bit-identical to per-element ColumnGetter evaluation. The
+/// typed block copy plus typed convert loop is the shape the
+/// auto-vectorizer handles; double columns are a straight memcpy.
+template <typename T>
+void GatherAs(const ColumnRef<T>& col, size_t base, size_t m,
+              double* out) {
+  if constexpr (std::is_same_v<T, double>) {
+    col.CopyN(base, m, out);
+  } else {
+    constexpr size_t kStride = 256;
+    T tmp[kStride];
+    while (m != 0) {
+      const size_t c = m < kStride ? m : kStride;
+      col.CopyN(base, c, tmp);
+      for (size_t k = 0; k < c; ++k) out[k] = static_cast<double>(tmp[k]);
+      base += c;
+      out += c;
+      m -= c;
+    }
+  }
+}
+
+}  // namespace
+
+void ColumnGetter::Gather(const ColumnarBlock& b, size_t base, size_t m,
+                          double* out) const {
+  switch (field_) {
+    case Field::kObjId:
+      GatherAs(b.obj_id, base, m, out);
+      return;
+    case Field::kRa:
+      GatherAs(b.ra, base, m, out);
+      return;
+    case Field::kDec:
+      GatherAs(b.dec, base, m, out);
+      return;
+    case Field::kX:
+      GatherAs(b.x, base, m, out);
+      return;
+    case Field::kY:
+      GatherAs(b.y, base, m, out);
+      return;
+    case Field::kZ:
+      GatherAs(b.z, base, m, out);
+      return;
+    case Field::kMag:
+      GatherAs(b.mag[index_], base, m, out);
+      return;
+    case Field::kMagErr:
+      GatherAs(b.mag_err[index_], base, m, out);
+      return;
+    case Field::kProfile:
+      GatherAs(b.profile[index_], base, m, out);
+      return;
+    case Field::kPetro:
+      GatherAs(b.petro, base, m, out);
+      return;
+    case Field::kSb:
+      GatherAs(b.sb, base, m, out);
+      return;
+    case Field::kRedshift:
+      GatherAs(b.redshift, base, m, out);
+      return;
+    case Field::kFlags:
+      GatherAs(b.flags, base, m, out);
+      return;
+    case Field::kClass:
+      GatherAs(b.obj_class, base, m, out);
+      return;
+    case Field::kHtmLeaf:
+      GatherAs(b.htm_leaf, base, m, out);
+      return;
+  }
+}
+
 Result<ColumnGetter> ResolveColumn(const std::string& name) {
   ColumnGetter g;
   auto make = [&g](ColumnGetter::Field f, uint8_t index = 0) {

@@ -49,6 +49,15 @@ class ColumnRef {
     return v;
   }
 
+  /// Copies elements [base, base + m) into `out` as one block memcpy.
+  /// Chunked accessors use this instead of per-element operator[]: the
+  /// element-wise memcpy lowers to an integer load the vectorizer will
+  /// not type as T, while a typed block copy plus a typed convert loop
+  /// vectorizes.
+  void CopyN(size_t base, size_t m, T* out) const {
+    std::memcpy(out, bytes_ + base * sizeof(T), m * sizeof(T));
+  }
+
  private:
   const char* bytes_ = nullptr;
 };
@@ -87,6 +96,14 @@ struct ColumnarBlock {
 class ColumnGetter {
  public:
   double operator()(const ColumnarBlock& b, size_t i) const;
+
+  /// Chunk form of operator(): fills `out[0, m)` with the values of rows
+  /// [base, base + m). Element k equals operator()(b, base + k) bit for
+  /// bit; the field switch runs once per chunk instead of per row, so
+  /// the per-field loops are flat load-convert-store sequences the
+  /// compiler auto-vectorizes.
+  void Gather(const ColumnarBlock& b, size_t base, size_t m,
+              double* out) const;
 
  private:
   friend Result<ColumnGetter> ResolveColumn(const std::string& name);

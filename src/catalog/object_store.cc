@@ -47,6 +47,9 @@ ObjectStore::ObjectStore(StoreOptions options)
     : options_(options), index_(options.cluster_level) {}
 
 Status ObjectStore::Insert(const PhotoObj& obj) {
+  // Bumped before the outcome is known: over-invalidating cached
+  // results on a failed insert is harmless, serving stale ones is not.
+  BumpEpoch();
   HtmId trixel = index_.Locate(obj.pos);
   Container& c = containers_[trixel.raw()];
   if (c.columnar.n > 0) {
@@ -62,6 +65,7 @@ Status ObjectStore::Insert(const PhotoObj& obj) {
 }
 
 Status ObjectStore::BulkLoad(std::vector<PhotoObj> objects) {
+  BumpEpoch();  // Before the outcome: a partial load still mutated.
   // Phase 1: compute container keys and sort so each container is touched
   // exactly once.
   std::vector<std::pair<uint64_t, size_t>> keys;
@@ -287,6 +291,7 @@ Status ObjectStore::AdoptColumnarContainer(
 }
 
 void ObjectStore::Clear() {
+  BumpEpoch();
   containers_.clear();
   object_count_ = 0;
 }

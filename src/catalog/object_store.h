@@ -115,6 +115,27 @@ class ObjectStore {
   const StoreOptions& options() const { return options_; }
   int cluster_level() const { return options_.cluster_level; }
 
+  /// Monotonic mutation generation ("store epoch"). Every mutating
+  /// entry point (Insert, BulkLoad, Clear) bumps it, so any cached
+  /// derivation of the store's contents -- notably query results in
+  /// query::ResultCache -- can be stamped with the epoch it was
+  /// computed at and invalidated the instant the data moves. Adoption
+  /// (AdoptContainer / AdoptColumnarContainer, the snapshot recovery
+  /// path) deliberately does NOT bump: recovery rebuilds a store, it
+  /// does not mutate one, and the writer's epoch is reinstated via
+  /// RestoreEpoch so a recovered archive continues the same generation
+  /// sequence instead of silently restarting it.
+  uint64_t epoch() const { return epoch_; }
+
+  /// Marks the store mutated. Called by every mutating entry point;
+  /// exposed so owners that mutate containers out-of-band can keep the
+  /// contract.
+  void BumpEpoch() { ++epoch_; }
+
+  /// Recovery (and epoch-neutral maintenance, e.g. replica promotion)
+  /// hook: reinstates a previously observed epoch verbatim.
+  void RestoreEpoch(uint64_t epoch) { epoch_ = epoch; }
+
   /// Inserts one object (computes its container from pos). Prefer
   /// BulkLoad for chunks -- this is the "naive load" path.
   Status Insert(const PhotoObj& obj);
@@ -211,6 +232,7 @@ class ObjectStore {
   htm::HtmIndex index_;
   std::map<uint64_t, Container> containers_;  // Keyed by trixel raw id.
   uint64_t object_count_ = 0;
+  uint64_t epoch_ = 0;
 };
 
 }  // namespace sdss::catalog

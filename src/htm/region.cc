@@ -10,13 +10,14 @@ namespace {
 
 constexpr double kEps = 1e-12;
 
-// Does the boundary circle of `h` (the small circle direction.p = dist)
-// intersect the great-circle arc from `a` to `b`? Points on the arc are
-// p(t) ~ (1-t)a + t b (normalized), t in [0,1]. Substituting into
-// direction.p = dist |p| and squaring yields a quadratic in t; each root
-// is validated against the unsquared equation's sign.
-bool EdgeIntersectsConstraint(const Vec3& a, const Vec3& b,
-                              const Halfspace& h) {
+// Appends the points where the boundary circle of `h` (the small circle
+// direction.p = dist) crosses the great-circle arc from `a` to `b`.
+// Points on the arc are p(t) ~ (1-t)a + t b (normalized), t in [0,1].
+// Substituting into direction.p = dist |p| and squaring yields a
+// quadratic in t; each root is validated against the unsquared
+// equation's sign before the point is emitted.
+void EdgeConstraintCrossings(const Vec3& a, const Vec3& b,
+                             const Halfspace& h, std::vector<Vec3>* out) {
   double g1 = a.Dot(h.direction);
   double g2 = b.Dot(h.direction);
   double u = a.Dot(b);
@@ -29,31 +30,35 @@ bool EdgeIntersectsConstraint(const Vec3& a, const Vec3& b,
   double qb = 2.0 * g1 * dg + 2.0 * k;
   double qc = g1 * g1 - c * c;
 
-  auto valid_root = [&](double t) {
-    if (t < -kEps || t > 1.0 + kEps) return false;
+  auto emit_root = [&](double t) {
+    if (t < -kEps || t > 1.0 + kEps) return;
     double s = g1 + t * dg;
     // Sign of s must match sign of c (s = c * |p|, |p| > 0).
-    if (c > kEps) return s > -kEps;
-    if (c < -kEps) return s < kEps;
-    return true;  // c == 0: the squared equation is exact.
+    if (c > kEps && s <= -kEps) return;
+    if (c < -kEps && s >= kEps) return;
+    Vec3 p = a * (1.0 - t) + b * t;
+    double norm = p.Norm();
+    if (norm > kEps) out->push_back(p * (1.0 / norm));
   };
 
   if (std::fabs(qa) < kEps) {
-    if (std::fabs(qb) < kEps) return false;  // Degenerate: no crossing.
-    return valid_root(-qc / qb);
+    if (std::fabs(qb) < kEps) return;  // Degenerate: no crossing.
+    emit_root(-qc / qb);
+    return;
   }
   double disc = qb * qb - 4.0 * qa * qc;
-  if (disc < 0.0) return false;
+  if (disc < 0.0) return;
   double sq = std::sqrt(disc);
-  return valid_root((-qb - sq) / (2.0 * qa)) ||
-         valid_root((-qb + sq) / (2.0 * qa));
+  emit_root((-qb - sq) / (2.0 * qa));
+  emit_root((-qb + sq) / (2.0 * qa));
 }
 
-bool AnyEdgeIntersects(const Trixel& t, const Halfspace& h) {
+void TrixelConstraintCrossings(const Trixel& t, const Halfspace& h,
+                               std::vector<Vec3>* out) {
   const auto& v = t.vertices();
-  return EdgeIntersectsConstraint(v[0], v[1], h) ||
-         EdgeIntersectsConstraint(v[1], v[2], h) ||
-         EdgeIntersectsConstraint(v[2], v[0], h);
+  EdgeConstraintCrossings(v[0], v[1], h, out);
+  EdgeConstraintCrossings(v[1], v[2], h, out);
+  EdgeConstraintCrossings(v[2], v[0], h, out);
 }
 
 // The meridian plane normal for longitude `lon_deg` in a frame's own
@@ -97,7 +102,12 @@ std::optional<Cap> Convex::BoundingCap() const {
 
 std::optional<Vec3> Convex::InteriorPoint() const {
   if (constraints_.empty()) return Vec3{0, 0, 1};
+  std::vector<Vec3> valid = InteriorCandidates();
+  if (valid.empty()) return std::nullopt;
+  return valid.front();
+}
 
+std::vector<Vec3> Convex::InteriorCandidates() const {
   std::vector<Vec3> candidates;
   Vec3 sum{0, 0, 0};
   for (const Halfspace& h : constraints_) {
@@ -139,6 +149,7 @@ std::optional<Vec3> Convex::InteriorPoint() const {
     }
   }
 
+  std::vector<Vec3> valid;
   for (const Vec3& c : candidates) {
     // Accept points within tolerance of every constraint boundary.
     bool ok = true;
@@ -148,9 +159,9 @@ std::optional<Vec3> Convex::InteriorPoint() const {
         break;
       }
     }
-    if (ok) return c;
+    if (ok) valid.push_back(c);
   }
-  return std::nullopt;
+  return valid;
 }
 
 Coverage Convex::Classify(const Trixel& t) const {
@@ -171,12 +182,35 @@ Coverage Convex::Classify(const Trixel& t) const {
     if (Contains(v)) ++inside;
   }
 
+  // A trixel edge crossing one constraint's boundary circle only touches
+  // the CONVEX boundary if the crossing point also satisfies every other
+  // constraint (the convex boundary is made of such arcs). Testing the
+  // lone circle classifies trixels along its entire ring as PARTIAL --
+  // for a rect that smears partials around the whole sphere.
+  auto crosses_boundary = [&](const Halfspace& h) {
+    std::vector<Vec3> pts;
+    TrixelConstraintCrossings(t, h, &pts);
+    for (const Vec3& p : pts) {
+      bool in_others = true;
+      for (const Halfspace& o : constraints_) {
+        if (&o == &h) continue;
+        // Small slack keeps corner-grazing crossings conservative.
+        if (o.direction.Dot(p) < o.dist - 1e-9) {
+          in_others = false;
+          break;
+        }
+      }
+      if (in_others) return true;
+    }
+    return false;
+  };
+
   if (inside == 3) {
     // All corners inside. The trixel is fully covered unless a constraint
     // boundary dips into it (crossing an edge, or a "hole": the excluded
     // cap of a constraint lying wholly inside the triangle).
     for (const Halfspace& h : constraints_) {
-      if (AnyEdgeIntersects(t, h)) return Coverage::kPartial;
+      if (crosses_boundary(h)) return Coverage::kPartial;
       if (h.dist > -1.0 + kEps && t.Contains(-h.direction)) {
         return Coverage::kPartial;  // Excluded cap centered inside trixel.
       }
@@ -187,13 +221,20 @@ Coverage Convex::Classify(const Trixel& t) const {
   if (inside > 0) return Coverage::kPartial;
 
   // No corner inside. Either truly disjoint, or the convex pierces the
-  // triangle (boundary crossing) or sits wholly inside it.
+  // triangle (boundary crossing) or a piece of it sits wholly inside.
   for (const Halfspace& h : constraints_) {
-    if (AnyEdgeIntersects(t, h)) return Coverage::kPartial;
+    if (crosses_boundary(h)) return Coverage::kPartial;
   }
-  if (auto p = InteriorPoint()) {
-    return t.Contains(*p) ? Coverage::kPartial : Coverage::kDisjoint;
+  // A convex built from excluding caps can be DISCONNECTED (e.g. two
+  // lens patches where a pair of bands cross); with no edge crossing,
+  // any component intersecting the trixel lies wholly inside it. Every
+  // component contains at least one interior candidate (a boundary
+  // corner, cap center, or band midpoint), so test them all.
+  std::vector<Vec3> witnesses = InteriorCandidates();
+  for (const Vec3& w : witnesses) {
+    if (t.Contains(w)) return Coverage::kPartial;
   }
+  if (!witnesses.empty()) return Coverage::kDisjoint;
   // Could not produce a witness point (rare, possibly empty convex):
   // degrade conservatively. Per-object filtering keeps results exact.
   return Coverage::kPartial;

@@ -83,6 +83,13 @@ class Convex {
   std::optional<Vec3> InteriorPoint() const;
 
  private:
+  /// All candidate witness points that lie inside the convex: constraint
+  /// cap centers, the mean direction, band midpoints, and pairwise
+  /// boundary-circle intersections. A convex with excluding caps can be
+  /// disconnected; every connected component contains at least one of
+  /// these, so classification must consider them all.
+  std::vector<Vec3> InteriorCandidates() const;
+
   std::vector<Halfspace> constraints_;
 };
 

@@ -14,9 +14,17 @@ namespace sdss::persist {
 namespace {
 
 constexpr char kMagic[8] = {'S', 'D', 'S', 'S', 'S', 'N', 'P', '1'};
-constexpr uint32_t kVersion = 1;
-constexpr size_t kHeaderBytes = 8 + 4 + 4 + 1 + 8 + 8;
+/// Version 2 appended epoch:u64 to the header (the trailing-bytes
+/// versioning rule of docs/PROTOCOL.md section 8: new fields append,
+/// decoders key the header size off the version). Version 1 files are
+/// still read, with epoch 0.
+constexpr uint32_t kVersion = 2;
+constexpr size_t kHeaderBytesV1 = 8 + 4 + 4 + 1 + 8 + 8;
 constexpr size_t kTrailerBytes = 4;
+
+size_t HeaderBytes(uint32_t version) {
+  return version >= 2 ? kHeaderBytesV1 + 8 : kHeaderBytesV1;
+}
 /// Fixed bytes of one object across all columns (the n-proportional part
 /// of a container block).
 constexpr uint64_t kBytesPerObject = 8 +       // obj_id
@@ -169,13 +177,14 @@ std::string EncodeSnapshot(const catalog::ObjectStore& store) {
   for (const auto& [raw, c] : store.containers()) {
     payload += 16 + c.size() * kBytesPerObject;
   }
-  out.reserve(kHeaderBytes + payload + kTrailerBytes);
+  out.reserve(HeaderBytes(kVersion) + payload + kTrailerBytes);
   out.append(kMagic, sizeof(kMagic));
   PutFixed32(&out, kVersion);
   PutFixed32(&out, static_cast<uint32_t>(store.cluster_level()));
   PutFixed8(&out, store.options().build_tags ? 1 : 0);
   PutFixed64(&out, store.container_count());
   PutFixed64(&out, store.object_count());
+  PutFixed64(&out, store.epoch());
   // std::map iteration is trixel-ascending: the encoding is canonical,
   // so byte-comparing two snapshots compares the stores.
   for (const auto& [raw, c] : store.containers()) {
@@ -186,7 +195,7 @@ std::string EncodeSnapshot(const catalog::ObjectStore& store) {
 }
 
 Result<SnapshotHeader> DecodeSnapshotHeader(std::string_view data) {
-  if (data.size() < kHeaderBytes + kTrailerBytes) {
+  if (data.size() < kHeaderBytesV1 + kTrailerBytes) {
     return Corrupt("file shorter than header + trailer");
   }
   if (std::memcmp(data.data(), kMagic, sizeof(kMagic)) != 0) {
@@ -210,8 +219,12 @@ Result<SnapshotHeader> DecodeSnapshotHeader(std::string_view data) {
       !cursor.GetFixed64(&h.object_count)) {
     return Corrupt("truncated header");
   }
-  if (h.version != kVersion) {
+  if (h.version < 1 || h.version > kVersion) {
     return Corrupt("unsupported version " + std::to_string(h.version));
+  }
+  // Version 2 appended the epoch; version 1 files decode with epoch 0.
+  if (h.version >= 2 && !cursor.GetFixed64(&h.epoch)) {
+    return Corrupt("truncated header");
   }
   h.cluster_level = static_cast<int>(level);
   h.build_tags = tags != 0;
@@ -228,7 +241,7 @@ Result<catalog::ObjectStore> DecodeSnapshot(std::string_view data) {
   catalog::ObjectStore store(options);
 
   Cursor cursor(data.substr(0, data.size() - kTrailerBytes));
-  cursor.Skip(kHeaderBytes);
+  cursor.Skip(HeaderBytes(header->version));
   for (uint64_t i = 0; i < header->container_count; ++i) {
     uint64_t trixel_raw = 0;
     std::vector<catalog::PhotoObj> objects;
@@ -243,6 +256,9 @@ Result<catalog::ObjectStore> DecodeSnapshot(std::string_view data) {
   if (store.object_count() != header->object_count) {
     return Corrupt("object count mismatch");
   }
+  // Adoption did not bump; the recovered store continues the writer's
+  // generation sequence (and re-encodes to the identical byte string).
+  store.RestoreEpoch(header->epoch);
   return store;
 }
 
@@ -281,7 +297,7 @@ Result<MappedSnapshot> MappedSnapshot::Open(const std::string& path) {
   // DecodeSnapshot validates, but record view offsets instead of
   // materializing objects.
   Cursor cursor(data.substr(0, data.size() - kTrailerBytes));
-  cursor.Skip(kHeaderBytes);
+  cursor.Skip(HeaderBytes(snap.header_.version));
   uint64_t total_objects = 0;
   uint64_t prev_raw = 0;
   snap.blocks_.reserve(snap.header_.container_count);
@@ -324,6 +340,7 @@ Result<catalog::ObjectStore> AdoptStore(
   for (const auto& [trixel, block] : snap->blocks()) {
     SDSS_RETURN_IF_ERROR(store.AdoptColumnarContainer(trixel, block, snap));
   }
+  store.RestoreEpoch(snap->header().epoch);
   return store;
 }
 

@@ -11,7 +11,8 @@
 // On-disk format (see BUILDING.md "On-disk formats"):
 //
 //   header   := magic "SDSSSNP1" | version:u32 | cluster_level:u32 |
-//               build_tags:u8 | container_count:u64 | object_count:u64
+//               build_tags:u8 | container_count:u64 | object_count:u64 |
+//               epoch:u64                                 (version >= 2)
 //   container:= trixel:u64 | n:u64 | columns
 //   columns  := obj_id[n]:u64 | x[n]:f64 | y[n]:f64 | z[n]:f64 |
 //               ra[n]:f64 | dec[n]:f64 | mag[5][n]:f32 |
@@ -48,6 +49,10 @@ struct SnapshotHeader {
   bool build_tags = false;
   uint64_t container_count = 0;
   uint64_t object_count = 0;
+  /// The store's mutation generation at encode time (see
+  /// catalog::ObjectStore::epoch). Version 1 files predate the field and
+  /// decode as epoch 0.
+  uint64_t epoch = 0;
 };
 
 /// Serializes `store` into the snapshot byte format (header + columns +

@@ -23,10 +23,6 @@ bool ColumnarScan::CompileExpr(const Expr& e, std::unique_ptr<Node>* out) {
       node->region = e.region();
       break;
     case Expr::Kind::kBinary:
-      // Division errors on a zero divisor in the row path, and whether
-      // that error surfaces depends on evaluation order -- not
-      // mirrorable, so the whole predicate falls back.
-      if (e.op() == BinOp::kDiv) return false;
       node->op = e.op();
       if (!CompileExpr(*e.lhs(), &node->lhs)) return false;
       if (!CompileExpr(*e.rhs(), &node->rhs)) return false;
@@ -42,10 +38,12 @@ bool ColumnarScan::Compile(const PlanNode& node,
   if (node.table == TableRef::kTag) return false;
   out->sample_ = node.sample;
   out->pred_.reset();
+  out->simple_cmp_ = false;
   out->values_.clear();
   if (node.predicate && !CompileExpr(*node.predicate, &out->pred_)) {
     return false;
   }
+  if (out->pred_ != nullptr) CompileSimpleCompare(out);
   out->values_.reserve(attrs.size());
   for (const std::string& name : attrs) {
     auto getter = catalog::ResolveColumn(name);
@@ -55,30 +53,89 @@ bool ColumnarScan::Compile(const PlanNode& node,
   return true;
 }
 
+void ColumnarScan::CompileSimpleCompare(ColumnarScan* out) {
+  const Node& p = *out->pred_;
+  if (p.kind != Expr::Kind::kBinary) return;
+  switch (p.op) {
+    case BinOp::kLt:
+    case BinOp::kLe:
+    case BinOp::kGt:
+    case BinOp::kGe:
+    case BinOp::kEq:
+    case BinOp::kNe:
+      break;
+    default:
+      return;
+  }
+  const Node& l = *p.lhs;
+  const Node& r = *p.rhs;
+  if (l.kind == Expr::Kind::kAttr && r.kind == Expr::Kind::kLiteral) {
+    out->cmp_op_ = p.op;
+    out->cmp_getter_ = l.getter;
+    out->cmp_literal_ = r.literal;
+    out->simple_cmp_ = true;
+    return;
+  }
+  if (l.kind == Expr::Kind::kLiteral && r.kind == Expr::Kind::kAttr) {
+    // Mirror to attr-on-the-left form; double comparisons commute
+    // exactly under the mirrored operator (including NaN: both sides of
+    // each pair are false).
+    switch (p.op) {
+      case BinOp::kLt:
+        out->cmp_op_ = BinOp::kGt;
+        break;
+      case BinOp::kLe:
+        out->cmp_op_ = BinOp::kGe;
+        break;
+      case BinOp::kGt:
+        out->cmp_op_ = BinOp::kLt;
+        break;
+      case BinOp::kGe:
+        out->cmp_op_ = BinOp::kLe;
+        break;
+      default:
+        out->cmp_op_ = p.op;  // kEq / kNe are symmetric.
+        break;
+    }
+    out->cmp_getter_ = r.getter;
+    out->cmp_literal_ = l.literal;
+    out->simple_cmp_ = true;
+  }
+}
+
 double ColumnarScan::EvalNode(const Node& n,
-                              const catalog::ColumnarBlock& b, size_t i) {
+                              const catalog::ColumnarBlock& b, size_t i,
+                              bool* err) {
   switch (n.kind) {
     case Expr::Kind::kLiteral:
       return n.literal;
     case Expr::Kind::kAttr:
       return n.getter(b, i);
     case Expr::Kind::kNeg:
-      return -EvalNode(*n.lhs, b, i);
+      return -EvalNode(*n.lhs, b, i, err);
     case Expr::Kind::kNot:
-      return EvalNode(*n.lhs, b, i) != 0.0 ? 0.0 : 1.0;
+      return EvalNode(*n.lhs, b, i, err) != 0.0 ? 0.0 : 1.0;
     case Expr::Kind::kSpatial:
       return n.region.Contains(b.Position(i)) ? 1.0 : 0.0;
     case Expr::Kind::kBinary: {
+      // Short-circuit structure and child order mirror Expr::Eval: a
+      // divisor behind an untaken AND/OR arm is never evaluated, and an
+      // error in the left child masks one in the right.
       if (n.op == BinOp::kAnd) {
-        if (EvalNode(*n.lhs, b, i) == 0.0) return 0.0;
-        return EvalNode(*n.rhs, b, i) != 0.0 ? 1.0 : 0.0;
+        const double l = EvalNode(*n.lhs, b, i, err);
+        if (*err || l == 0.0) return 0.0;
+        return EvalNode(*n.rhs, b, i, err) != 0.0 ? 1.0 : 0.0;
       }
       if (n.op == BinOp::kOr) {
-        if (EvalNode(*n.lhs, b, i) != 0.0) return 1.0;
-        return EvalNode(*n.rhs, b, i) != 0.0 ? 1.0 : 0.0;
+        const double l = EvalNode(*n.lhs, b, i, err);
+        if (*err) return 0.0;
+        if (l != 0.0) return 1.0;
+        return EvalNode(*n.rhs, b, i, err) != 0.0 ? 1.0 : 0.0;
       }
-      const double l = EvalNode(*n.lhs, b, i);
-      const double r = EvalNode(*n.rhs, b, i);
+      const double l = EvalNode(*n.lhs, b, i, err);
+      if (*err) return 0.0;
+      const double r = EvalNode(*n.rhs, b, i, err);
+      if (*err) return 0.0;
       switch (n.op) {
         case BinOp::kAdd:
           return l + r;
@@ -86,6 +143,12 @@ double ColumnarScan::EvalNode(const Node& n,
           return l - r;
         case BinOp::kMul:
           return l * r;
+        case BinOp::kDiv:
+          if (r == 0.0) {
+            *err = true;  // The caller raises expr.cc's exact status.
+            return 0.0;
+          }
+          return l / r;
         case BinOp::kLt:
           return l < r ? 1.0 : 0.0;
         case BinOp::kLe:
@@ -98,7 +161,6 @@ double ColumnarScan::EvalNode(const Node& n,
           return l == r ? 1.0 : 0.0;
         case BinOp::kNe:
           return l != r ? 1.0 : 0.0;
-        case BinOp::kDiv:  // Rejected at compile time.
         case BinOp::kAnd:
         case BinOp::kOr:
           break;
@@ -112,6 +174,7 @@ double ColumnarScan::EvalNode(const Node& n,
 void ColumnarScan::ProjectRow(const catalog::ColumnarBlock& block,
                               size_t i, ResultRow* row) const {
   row->obj_id = block.obj_id[i];
+  row->pos = block.Position(i);
   row->values.clear();
   row->values.reserve(values_.size());
   for (const catalog::ColumnGetter& get : values_) {

@@ -8,10 +8,13 @@
 // attribute conversions go through catalog::ResolveColumn (which
 // mirrors GetAttribute), expression evaluation mirrors Expr::Eval
 // recursion exactly, and sampling draws one Bernoulli variate per row
-// in row order. Nodes whose behavior the kernel cannot mirror
-// (tag-partition scans; predicates containing division, whose
-// divide-by-zero error depends on evaluation order; attributes with no
-// column) are rejected at Compile time and take the row path.
+// in row order. Division mirrors the row path's divide-by-zero error:
+// evaluation order (including AND/OR short-circuiting) is identical,
+// so the kernel errors on exactly the rows the row path errors on, with
+// the same status, and rows the row path would have emitted before the
+// erroring row are still emitted first. Nodes whose behavior the kernel
+// cannot mirror (tag-partition scans; attributes with no column) are
+// rejected at Compile time and take the row path.
 
 #ifndef SDSS_QUERY_COLUMNAR_SCAN_H_
 #define SDSS_QUERY_COLUMNAR_SCAN_H_
@@ -50,10 +53,15 @@ class ColumnarScan {
   /// false aborts. `tick(m)` is called once per chunk with the number
   /// of rows about to be examined (the caller's objects_examined
   /// accounting and cancellation poll); returning false aborts.
-  /// Returns true iff the whole block completed.
+  /// Returns true iff the whole block completed. A predicate evaluation
+  /// error (divide by zero) aborts the block after visiting the chunk's
+  /// earlier survivors -- exactly the rows the row path emits before
+  /// its erroring row -- and reports the row path's status through
+  /// `error` when non-null.
   template <typename Visit, typename Tick>
   bool Scan(const catalog::ColumnarBlock& block, Rng* rng,
-            const Visit& visit, const Tick& tick) const {
+            const Visit& visit, const Tick& tick,
+            Status* error = nullptr) const {
     std::array<uint8_t, kChunk> keep;
     for (size_t base = 0; base < block.n; base += kChunk) {
       const size_t m = std::min(kChunk, block.n - base);
@@ -65,10 +73,33 @@ class ColumnarScan {
       } else {
         std::fill_n(keep.begin(), m, uint8_t{1});
       }
-      if (pred_ != nullptr) {
+      if (pred_ != nullptr && simple_cmp_) {
+        // The dominant leaf shape -- one `attr op literal` comparison --
+        // runs as two flat chunk loops (column gather, then compare)
+        // that the compiler auto-vectorizes. A bare comparison cannot
+        // error, and evaluating it for sampled-out rows is unobservable,
+        // so masking with `keep` afterwards is exact.
+        std::array<double, kChunk> vals;
+        cmp_getter_.Gather(block, base, m, vals.data());
+        ApplyCompare(cmp_op_, vals.data(), m, cmp_literal_, keep.data());
+      } else if (pred_ != nullptr) {
         for (size_t k = 0; k < m; ++k) {
           if (keep[k] != 0) {
-            keep[k] = EvalNode(*pred_, block, base + k) != 0.0 ? 1 : 0;
+            bool err = false;
+            const double v = EvalNode(*pred_, block, base + k, &err);
+            if (err) {
+              // The row path emits every earlier match before the
+              // erroring row stops the container; mirror it, then fail
+              // with the identical status (expr.cc's kDiv error).
+              for (size_t j = 0; j < k; ++j) {
+                if (keep[j] != 0 && !visit(base + j)) return false;
+              }
+              if (error != nullptr) {
+                *error = Status::InvalidArgument("division by zero");
+              }
+              return false;
+            }
+            keep[k] = v != 0.0 ? 1 : 0;
           }
         }
       }
@@ -103,15 +134,71 @@ class ColumnarScan {
   };
 
   /// Evaluates a compiled tree at row `i`, mirroring Expr::Eval
-  /// (including AND/OR short-circuit structure). Cannot fail: division
-  /// and unresolvable attributes were rejected at compile time.
+  /// (including AND/OR short-circuit structure and the left-to-right
+  /// error propagation a zero divisor triggers). `*err` is set -- and
+  /// the return value meaningless -- on the first divide-by-zero, in
+  /// exactly the evaluation-order position the row path errors at.
   static double EvalNode(const Node& n, const catalog::ColumnarBlock& b,
-                         size_t i);
+                         size_t i, bool* err);
 
   static bool CompileExpr(const Expr& e, std::unique_ptr<Node>* out);
 
+  /// Recognizes a predicate that is exactly one `attr op literal`
+  /// comparison (either operand order) and fills the simple-compare
+  /// members, enabling the vectorized chunk path in Scan.
+  static void CompileSimpleCompare(ColumnarScan* out);
+
+  /// Masks `keep[k]` with (vals[k] op literal) for k in [0, m). The
+  /// select form (`cond ? keep[k] : 0`) is deliberate: GCC lowers it to
+  /// a packed compare + AND on baseline x86-64, while the equivalent
+  /// `keep[k] &= cond` read-modify-write narrows the compare through a
+  /// bool whose double-to-byte mask conversion has no SSE2 pattern and
+  /// stays scalar.
+  static void ApplyCompare(BinOp op, const double* vals, size_t m,
+                           double literal, uint8_t* keep) {
+    constexpr uint8_t kZero = 0;
+    switch (op) {
+      case BinOp::kLt:
+        for (size_t k = 0; k < m; ++k) {
+          keep[k] = vals[k] < literal ? keep[k] : kZero;
+        }
+        return;
+      case BinOp::kLe:
+        for (size_t k = 0; k < m; ++k) {
+          keep[k] = vals[k] <= literal ? keep[k] : kZero;
+        }
+        return;
+      case BinOp::kGt:
+        for (size_t k = 0; k < m; ++k) {
+          keep[k] = vals[k] > literal ? keep[k] : kZero;
+        }
+        return;
+      case BinOp::kGe:
+        for (size_t k = 0; k < m; ++k) {
+          keep[k] = vals[k] >= literal ? keep[k] : kZero;
+        }
+        return;
+      case BinOp::kEq:
+        for (size_t k = 0; k < m; ++k) {
+          keep[k] = vals[k] == literal ? keep[k] : kZero;
+        }
+        return;
+      case BinOp::kNe:
+        for (size_t k = 0; k < m; ++k) {
+          keep[k] = vals[k] != literal ? keep[k] : kZero;
+        }
+        return;
+      default:
+        return;  // Unreachable: CompileSimpleCompare filters operators.
+    }
+  }
+
   double sample_ = 1.0;
   std::unique_ptr<Node> pred_;  ///< Null = accept all.
+  bool simple_cmp_ = false;     ///< Scan may take the vectorized path.
+  BinOp cmp_op_ = BinOp::kLt;
+  double cmp_literal_ = 0.0;
+  catalog::ColumnGetter cmp_getter_;
   std::vector<catalog::ColumnGetter> values_;
 };
 

@@ -79,6 +79,7 @@ bool ProjectInto(const PhotoObj& o,
                  const std::vector<std::string>& projection,
                  RunContext* ctx, ResultRow* row) {
   row->obj_id = o.obj_id;
+  row->pos = o.pos;
   row->values.clear();
   row->values.reserve(projection.size());
   for (const std::string& name : projection) {
@@ -96,6 +97,7 @@ bool ProjectInto(const TagObj& t,
                  const std::vector<std::string>& projection,
                  RunContext* ctx, ResultRow* row) {
   row->obj_id = t.obj_id;
+  row->pos = t.Position();
   row->values.clear();
   row->values.reserve(projection.size());
   for (const std::string& name : projection) {
@@ -356,6 +358,7 @@ Result<ExecStats> Executor::RunTree(
                   ctx->bytes_touched.fetch_add(c->FullBytes());
                   ctx->containers_columnar.fetch_add(1);
                   const catalog::ColumnarBlock& block = c->columnar;
+                  Status kernel_error;
                   completed = kernel.Scan(
                       block, &rng,
                       [&](size_t idx) {
@@ -376,7 +379,9 @@ Result<ExecStats> Executor::RunTree(
                         }
                         ctx->objects_examined.fetch_add(examined);
                         return true;
-                      });
+                      },
+                      &kernel_error);
+                  if (!kernel_error.ok()) ctx->ReportError(kernel_error);
                 } else {
                   ctx->bytes_touched.fetch_add(c->FullBytes());
                   completed = VisitMatches(c->rows(), node, &rng,
@@ -740,6 +745,7 @@ Result<ExecStats> Executor::RunTree(
                     ctx->bytes_touched.fetch_add(c->FullBytes());
                     ctx->containers_columnar.fetch_add(1);
                     const catalog::ColumnarBlock& block = c->columnar;
+                    Status kernel_error;
                     completed = kernel.Scan(
                         block, &rng,
                         [&](size_t idx) {
@@ -756,7 +762,9 @@ Result<ExecStats> Executor::RunTree(
                           }
                           ctx->objects_examined.fetch_add(examined);
                           return true;
-                        });
+                        },
+                        &kernel_error);
+                    if (!kernel_error.ok()) ctx->ReportError(kernel_error);
                   } else {
                     ctx->bytes_touched.fetch_add(c->FullBytes());
                     completed = VisitMatches(c->rows(), scan, &rng,

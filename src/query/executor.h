@@ -43,6 +43,12 @@ struct ExecStats {
   /// The network-cost side of the ledger, vs bytes_touched's scan side.
   uint64_t bytes_shipped = 0;
   bool cancelled_early = false;  ///< Sink stopped consumption (LIMIT etc).
+
+  // Result-cache verdict for the query these stats describe (set by the
+  // federated engine, not the executor). At most one is true.
+  bool cache_hit = false;          ///< Answered verbatim from the cache.
+  bool cache_containment = false;  ///< Answered by filtering a superset
+                                   ///< entry's rows (cover containment).
 };
 
 /// Decomposed aggregate state: the executor's scan-side fold, the

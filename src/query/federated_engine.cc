@@ -248,7 +248,99 @@ FederatedQueryEngine::FederatedQueryEngine(std::vector<Shard> shards,
                                            Options options)
     : options_(options),
       pool_(options.executor.scan_threads),
-      shards_(std::move(shards)) {}
+      shards_(std::move(shards)) {
+  if (options_.result_cache_bytes > 0) {
+    ResultCache::Options cache_options;
+    cache_options.max_bytes = options_.result_cache_bytes;
+    cache_ = std::make_unique<ResultCache>(cache_options);
+  }
+}
+
+uint64_t FederatedQueryEngine::CacheEpoch(
+    const std::vector<Shard>& shards) const {
+  if (options_.cache_epoch_source) return options_.cache_epoch_source();
+  // Fallback: sum the distinct live stores' epochs. (The fleet owner
+  // should inject ShardedStore::Epoch instead -- this sum changes when
+  // routing drops a downed store from the live list, needlessly
+  // invalidating the cache across failover.)
+  uint64_t sum = 0;
+  std::unordered_set<const catalog::ObjectStore*> seen;
+  for (const Shard& s : shards) {
+    if (seen.insert(s.store).second) sum += s.store->epoch();
+  }
+  return sum;
+}
+
+Result<ExecStats> FederatedQueryEngine::RunPreparedCached(
+    Prepared& prep, const ExecContext& ctx,
+    const std::function<bool(RowBatch&&)>& sink) {
+  if (cache_ == nullptr || ctx.no_result_cache || ctx.into_sink ||
+      prep.mydb || !ResultCache::Cacheable(prep.parsed, prep.plan)) {
+    return RunPrepared(prep, sink, ctx.cancel);
+  }
+  auto t0 = std::chrono::steady_clock::now();
+  const std::string fingerprint = ResultCache::Fingerprint(prep.plan);
+  const uint64_t epoch = CacheEpoch(prep.shards);
+
+  ResultCache::Answer answer;
+  if (cache_->TryAnswer(fingerprint, prep.plan, epoch, &answer)) {
+    ExecStats stats;
+    stats.cache_hit = !answer.containment;
+    stats.cache_containment = answer.containment;
+    const size_t batch_size = options_.executor.batch_size;
+    for (size_t i = 0; i < answer.rows.size(); i += batch_size) {
+      const size_t end =
+          std::min(i + batch_size, answer.rows.size());
+      RowBatch batch(std::make_move_iterator(answer.rows.begin() + i),
+                     std::make_move_iterator(answer.rows.begin() + end));
+      if (i == 0) stats.seconds_to_first_row = SecondsSince(t0);
+      stats.rows_emitted += batch.size();
+      if (!sink(std::move(batch))) {
+        stats.cancelled_early = true;
+        break;
+      }
+    }
+    stats.seconds_total = SecondsSince(t0);
+    if (stats.rows_emitted == 0) {
+      stats.seconds_to_first_row = stats.seconds_total;
+    }
+    return stats;
+  }
+
+  // Miss: run the fleet, teeing the output rows for installation. The
+  // buffer is abandoned (and the run left uncached) the moment it
+  // outgrows the per-entry budget.
+  std::vector<ResultRow> buffer;
+  size_t buffer_bytes = 0;
+  bool overflow = false;
+  const size_t cap = cache_->entry_byte_cap();
+  auto st = RunPrepared(
+      prep,
+      [&](RowBatch&& batch) {
+        if (!overflow) {
+          for (const ResultRow& r : batch) {
+            buffer_bytes += ResultCache::ApproxRowBytes(r);
+            if (buffer_bytes > cap) {
+              overflow = true;
+              buffer.clear();
+              buffer.shrink_to_fit();
+              break;
+            }
+            buffer.push_back(r);
+          }
+        }
+        return sink(std::move(batch));
+      },
+      ctx.cancel);
+  // Install only a clean, complete answer observed under an unchanged
+  // epoch: a cancelled sink saw a prefix, and a mid-run write may have
+  // leaked into the row set (the re-read guards that race).
+  if (st.ok() && !st->cancelled_early && !overflow &&
+      CacheEpoch(prep.shards) == epoch) {
+    cache_->Install(fingerprint, prep.plan, epoch, std::move(buffer));
+  }
+  return st;
+}
 
 void FederatedQueryEngine::SetShards(std::vector<Shard> shards) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -735,15 +827,14 @@ Result<QueryResult> FederatedQueryEngine::Execute(const std::string& sql,
     }
   }
 
-  auto stats = RunPrepared(*prep,
-                           [&result](RowBatch&& batch) {
-                             result.rows.insert(
-                                 result.rows.end(),
-                                 std::make_move_iterator(batch.begin()),
-                                 std::make_move_iterator(batch.end()));
-                             return true;
-                           },
-                           ctx.cancel);
+  auto stats = RunPreparedCached(*prep, ctx,
+                                 [&result](RowBatch&& batch) {
+                                   result.rows.insert(
+                                       result.rows.end(),
+                                       std::make_move_iterator(batch.begin()),
+                                       std::make_move_iterator(batch.end()));
+                                   return true;
+                                 });
   if (!stats.ok()) return stats.status();
   result.exec = *stats;
   if (result.is_aggregate && !result.rows.empty() &&
@@ -779,9 +870,9 @@ Result<ExecStats> FederatedQueryEngine::ExecuteStreaming(
     header.is_aggregate = prep->plan.is_aggregate;
     on_header(header);
   }
-  return RunPrepared(
-      *prep, [&on_batch](RowBatch&& batch) { return on_batch(batch); },
-      ctx.cancel);
+  return RunPreparedCached(
+      *prep, ctx,
+      [&on_batch](RowBatch&& batch) { return on_batch(batch); });
 }
 
 Result<CostEstimate> FederatedQueryEngine::EstimateCost(
@@ -800,6 +891,16 @@ Result<CostEstimate> FederatedQueryEngine::EstimateCost(
     est.bytes_to_scan += p.bytes_to_scan;
     est.bytes_shipped += p.bytes_shipped;
     est.expected_objects += p.expected_objects;
+  }
+  // Admission prices a predicted cache hit at zero scan bytes (QUICK
+  // lane): the probe is non-mutating, so estimating never perturbs
+  // LRU/heat state.
+  if (cache_ != nullptr && !ctx.no_result_cache && !ctx.into_sink &&
+      est.into_mydb.empty() &&
+      ResultCache::Cacheable(prep->parsed, prep->plan) &&
+      cache_->WouldAnswer(ResultCache::Fingerprint(prep->plan), prep->plan,
+                          CacheEpoch(prep->shards))) {
+    est.predicted_cache_hit = true;
   }
   return est;
 }

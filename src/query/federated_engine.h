@@ -26,6 +26,7 @@
 #include "catalog/object_store.h"
 #include "core/thread_pool.h"
 #include "query/query_engine.h"
+#include "query/result_cache.h"
 
 namespace sdss::query {
 
@@ -82,6 +83,10 @@ struct ExecContext {
   /// nothing. Explain and EstimateCost always accept INTO (they only
   /// describe / price the select).
   bool into_sink = false;
+  /// Opt out of the semantic result cache for this run: neither consult
+  /// it nor install into it (e.g. a caller that must observe real scan
+  /// counters, or wants to force a fresh fleet pass).
+  bool no_result_cache = false;
 };
 
 /// The admission-relevant slice of the fleet-wide Explain prediction:
@@ -96,8 +101,15 @@ struct CostEstimate {
   /// INTO mydb.<name> target parsed from the query ("" = plain select),
   /// surfaced so admission needs no second parse.
   std::string into_mydb;
+  /// The engine's result cache would answer this query right now (at
+  /// the epoch observed while estimating) without any fleet scan.
+  bool predicted_cache_hit = false;
 
-  uint64_t TotalBytes() const { return bytes_to_scan + bytes_shipped; }
+  /// Admission-relevant byte cost: a predicted cache hit scans nothing,
+  /// so it prices at zero and lands in the QUICK lane.
+  uint64_t TotalBytes() const {
+    return predicted_cache_hit ? 0 : bytes_to_scan + bytes_shipped;
+  }
 };
 
 /// Parses, plans, and executes queries against a fleet of shards.
@@ -112,10 +124,22 @@ class FederatedQueryEngine {
     /// `executor.scan_threads` sizes the ONE pool every shard
     /// sub-executor scans on -- the fan-out never multiplies pools.
     Executor::Options executor;
+    /// Byte budget of the semantic result cache (query::ResultCache).
+    /// 0 = caching off (the default: callers that assert on scan
+    /// counters or drive the heat loop with repeated queries opt in
+    /// explicitly).
+    size_t result_cache_bytes = 0;
+    /// Mutation-generation source the cache keys entries by. The fleet
+    /// owner wires this to archive::ShardedStore::Epoch so cached
+    /// answers survive failover (routing changes which stores are
+    /// listed live; the full fleet's epoch sum does not move). Unset,
+    /// the engine sums the distinct live shard stores' epochs.
+    std::function<uint64_t()> cache_epoch_source;
   };
 
-  explicit FederatedQueryEngine(std::vector<Shard> shards,
-                                Options options = {});
+  explicit FederatedQueryEngine(std::vector<Shard> shards)
+      : FederatedQueryEngine(std::move(shards), Options()) {}
+  FederatedQueryEngine(std::vector<Shard> shards, Options options);
 
   /// Runs `sql` across the fleet and materializes the merged result.
   /// FROM mydb.<name> plans run on one local executor (a personal store
@@ -159,10 +183,21 @@ class FederatedQueryEngine {
   size_t num_shards() const;
   const Options& options() const { return options_; }
 
+  /// The semantic result cache, or null when Options::result_cache_bytes
+  /// is 0. Exposed for instrumentation (hit counters, tests).
+  ResultCache* result_cache() { return cache_.get(); }
+
  private:
   struct Prepared;
 
   std::vector<Shard> SnapshotShards() const;
+  /// The cache-keying epoch for a run's shard snapshot.
+  uint64_t CacheEpoch(const std::vector<Shard>& shards) const;
+  /// RunPrepared behind the result cache: consult before fan-out,
+  /// install after a clean, complete run.
+  Result<ExecStats> RunPreparedCached(
+      Prepared& prep, const ExecContext& ctx,
+      const std::function<bool(RowBatch&&)>& sink);
   Result<Prepared> Prepare(const std::string& sql,
                            const ExecContext& ctx = {}) const;
   Result<ExecStats> RunFederated(
@@ -189,6 +224,7 @@ class FederatedQueryEngine {
 
   Options options_;
   ThreadPool pool_;  ///< Shared scan pool for every shard sub-executor.
+  std::unique_ptr<ResultCache> cache_;  ///< Null when caching is off.
   mutable std::mutex mu_;
   std::vector<Shard> shards_;
 };

@@ -37,6 +37,12 @@ namespace sdss::query {
 struct ResultRow {
   uint64_t obj_id = 0;
   uint64_t obj_id_b = 0;
+  /// Unit position of the object, carried verbatim from the scan leaf
+  /// (row path: PhotoObj/TagObj pos; columnar: ColumnarBlock::Position).
+  /// Lets spatial predicates be re-evaluated over a materialized row
+  /// bit-identically to the original scan -- the hook query::ResultCache
+  /// containment filtering hangs off. Zero for pair-join rows.
+  Vec3 pos;
   std::vector<double> values;
 };
 

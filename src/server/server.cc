@@ -163,6 +163,9 @@ ServerStats QueryServer::stats() const {
   stats.busy_shed = counters_.busy_shed.load();
   stats.protocol_errors = counters_.protocol_errors.load();
   stats.accept_retries = counters_.accept_retries.load();
+  stats.cache_hits = counters_.cache_hits.load();
+  stats.cache_containment = counters_.cache_containment.load();
+  stats.cache_misses = counters_.cache_misses.load();
   {
     std::lock_guard<std::mutex> lock(sessions_mu_);
     stats.sessions_active = sessions_.size();

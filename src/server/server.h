@@ -73,6 +73,12 @@ struct ServerStats {
   uint64_t queries_failed = 0;     ///< Terminal failure or cancel.
   uint64_t busy_shed = 0;          ///< BUSY frames sent for QUERYs.
   uint64_t protocol_errors = 0;    ///< Fatal ERROR closes.
+  /// Result-cache verdicts of succeeded queries: answered verbatim from
+  /// the cache, answered by containment-filtering a cached superset, or
+  /// answered by a real run (which includes fleets with caching off).
+  uint64_t cache_hits = 0;
+  uint64_t cache_containment = 0;
+  uint64_t cache_misses = 0;
   /// Transient accept(2) failures (fd/buffer exhaustion) survived with
   /// a short backoff instead of killing the accept loop.
   uint64_t accept_retries = 0;
@@ -133,6 +139,9 @@ class QueryServer {
     std::atomic<uint64_t> busy_shed{0};
     std::atomic<uint64_t> protocol_errors{0};
     std::atomic<uint64_t> accept_retries{0};
+    std::atomic<uint64_t> cache_hits{0};
+    std::atomic<uint64_t> cache_containment{0};
+    std::atomic<uint64_t> cache_misses{0};
   };
 
   workbench::JobScheduler* const scheduler_;

@@ -179,6 +179,8 @@ bool Session::HandleQuery(std::string_view payload) {
       std::lock_guard<std::mutex> lock(pending->mu);
       pending->done = true;
       pending->state = snap.state;
+      pending->cache_hit = snap.exec.cache_hit;
+      pending->cache_containment = snap.exec.cache_containment;
       pending->cv.notify_all();
     }
     if (snap.state == workbench::JobState::kSucceeded) {
@@ -297,6 +299,13 @@ bool Session::DrainInFlight(const std::shared_ptr<Pending>& pending,
 
   if (pending->state == workbench::JobState::kSucceeded) {
     ++server_->counters_.queries_succeeded;
+    if (pending->cache_hit) {
+      ++server_->counters_.cache_hits;
+    } else if (pending->cache_containment) {
+      ++server_->counters_.cache_containment;
+    } else {
+      ++server_->counters_.cache_misses;
+    }
   } else {
     ++server_->counters_.queries_failed;
   }

@@ -81,6 +81,10 @@ class Session {
     workbench::Lane lane = workbench::Lane::kQuick;
     bool done = false;
     workbench::JobState state = workbench::JobState::kQueued;
+    /// Result-cache verdict of the terminal snapshot (at most one set);
+    /// the drain loop folds it into the server's cache counters.
+    bool cache_hit = false;
+    bool cache_containment = false;
   };
 
   bool RunLoop();  ///< Returns true for an orderly (BYE) close.

@@ -229,6 +229,46 @@ void JobScheduler::NotifyComplete(Job* job, JobSnapshot snap) {
   if (job->hooks.on_complete) job->hooks.on_complete(snap);
 }
 
+void JobScheduler::NotifyAndPrune(Job* job, JobSnapshot snap) {
+  NotifyComplete(job, std::move(snap));
+  std::lock_guard<std::mutex> lock(mu_);
+  // Only now -- with the hook returned -- is the job reapable; pruning
+  // an un-notified job would free it out from under its own callback.
+  job->notified = true;
+  // Shutdown teardown is the destructor's job (it holds no retention
+  // expectations and must not race the final sweep).
+  if (!shutting_down_.load()) AutoPruneLocked();
+}
+
+void JobScheduler::AutoPruneLocked() {
+  const size_t cap = options_.max_retained_terminal_jobs;
+  if (cap == 0) return;
+  size_t terminal = 0;
+  for (const auto& [id, job] : jobs_) {
+    JobState state = job->snap.state;
+    if (state == JobState::kSucceeded || state == JobState::kFailed ||
+        state == JobState::kCancelled) {
+      ++terminal;
+    }
+  }
+  // Oldest first (jobs_ is ascending by id). A terminal job still
+  // awaiting its hook or holding parked Wait() calls is skipped -- it
+  // counts against the cap but cannot be freed yet.
+  for (auto it = jobs_.begin(); it != jobs_.end() && terminal > cap;) {
+    Job* job = it->second.get();
+    JobState state = job->snap.state;
+    bool done = state == JobState::kSucceeded ||
+                state == JobState::kFailed ||
+                state == JobState::kCancelled;
+    if (done && job->notified && job->waiters == 0) {
+      it = jobs_.erase(it);
+      --terminal;
+    } else {
+      ++it;
+    }
+  }
+}
+
 QueueDepths JobScheduler::LaneDepths() const {
   QueueDepths depths;
   std::lock_guard<std::mutex> lock(mu_);
@@ -377,8 +417,11 @@ Result<SchedulerRecoveryReport> JobScheduler::RecoverFrom(
       job->snap = rj.snap;
       job->submitted = now;
       if (rj.terminal) {
-        // Bookkeeping survives; the result rows do not.
+        // Bookkeeping survives; the result rows do not. No hook is
+        // pending (it belonged to the dead incarnation), so the job is
+        // immediately reapable.
         job->result_taken = true;
+        job->notified = true;
         ++report.terminal_restored;
       } else if (rj.started) {
         // RUNNING at the crash: whether it finished is unknowable, so
@@ -391,6 +434,7 @@ Result<SchedulerRecoveryReport> JobScheduler::RecoverFrom(
             "retry");
         job->snap.retryable = true;
         job->result_taken = true;
+        job->notified = true;
         ++report.failed_running;
         // Fold the verdict into the journal so the next recovery (and
         // any journal inspection) sees a terminal job, not a phantom
@@ -465,7 +509,7 @@ Status JobScheduler::Cancel(uint64_t job_id) {
   // The terminal hook fires outside mu_ (it may write to a socket or
   // call back into Snapshot).
   if (completed != nullptr) {
-    NotifyComplete(completed, std::move(completed_snap));
+    NotifyAndPrune(completed, std::move(completed_snap));
   }
   return result;
 }
@@ -486,11 +530,15 @@ Result<JobSnapshot> JobScheduler::Wait(uint64_t job_id) {
     return Status::NotFound("no job " + std::to_string(job_id));
   }
   Job* job = it->second.get();
+  // Parked waiters pin the job: neither retention cap nor manual prune
+  // may free it while this predicate still dereferences it.
+  ++job->waiters;
   done_cv_.wait(lock, [job] {
     return job->snap.state == JobState::kSucceeded ||
            job->snap.state == JobState::kFailed ||
            job->snap.state == JobState::kCancelled;
   });
+  --job->waiters;
   return job->snap;
 }
 
@@ -528,9 +576,13 @@ size_t JobScheduler::PruneTerminalJobs() {
   std::lock_guard<std::mutex> lock(mu_);
   size_t pruned = 0;
   for (auto it = jobs_.begin(); it != jobs_.end();) {
-    JobState state = it->second->snap.state;
-    if (state == JobState::kSucceeded || state == JobState::kFailed ||
-        state == JobState::kCancelled) {
+    Job* job = it->second.get();
+    JobState state = job->snap.state;
+    // Same eligibility as the retention cap: a terminal job whose hook
+    // has not returned, or with Wait() calls parked on it, stays.
+    if ((state == JobState::kSucceeded || state == JobState::kFailed ||
+         state == JobState::kCancelled) &&
+        job->notified && job->waiters == 0) {
       it = jobs_.erase(it);
       ++pruned;
     } else {
@@ -578,7 +630,7 @@ void JobScheduler::WorkerLoop(Lane lane) {
         run = true;
       }
     }
-    if (cancelled_here) NotifyComplete(job, job->snap);
+    if (cancelled_here) NotifyAndPrune(job, job->snap);
     if (run) RunJob(job);
     queue_.OnJobFinished(user);
     done_cv_.notify_all();
@@ -670,7 +722,7 @@ void JobScheduler::RunJob(Job* job) {
     if (!shutting_down_.load()) JournalTerminal(job->snap);
     final_snap = job->snap;
   }
-  NotifyComplete(job, std::move(final_snap));
+  NotifyAndPrune(job, std::move(final_snap));
 }
 
 Status JobScheduler::ExecuteInto(Job* job, const query::ExecContext& base,

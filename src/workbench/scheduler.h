@@ -158,6 +158,14 @@ class JobScheduler {
     /// instead of letting the queue grow into accept-queue collapse.
     size_t max_queued_quick = 0;
     size_t max_queued_long = 0;
+    /// Retention cap on terminal bookkeeping (0 = unlimited, the
+    /// in-process default). When set, every terminal transition prunes
+    /// the oldest completed jobs -- and their untaken results -- down
+    /// to this many, so a long-lived service no longer needs to call
+    /// PruneTerminalJobs() on a timer to stay bounded. Jobs whose
+    /// completion hook has not fired yet, or that a Wait() is still
+    /// parked on, are never pruned out from under their observers.
+    size_t max_retained_terminal_jobs = 0;
   };
 
   JobScheduler(query::FederatedQueryEngine* engine, archive::MyDb* mydb,
@@ -234,6 +242,12 @@ class JobScheduler {
     /// Set for SubmitStreaming jobs; such a job never materializes.
     bool streaming = false;
     StreamHooks hooks;
+    /// Terminal hook has returned (set under mu_): the job is safe for
+    /// the retention cap to reap.
+    bool notified = false;
+    /// Wait() calls currently parked on this job (guarded by mu_);
+    /// pruning skips jobs with observers.
+    int waiters = 0;
   };
 
   Result<uint64_t> SubmitInternal(const std::string& user,
@@ -244,6 +258,13 @@ class JobScheduler {
   /// Fires a terminal job's on_complete hook. Must be called without
   /// mu_ held (hooks may write to sockets or call Snapshot/Cancel).
   static void NotifyComplete(Job* job, JobSnapshot snap);
+  /// NotifyComplete, then marks the job reapable and applies the
+  /// terminal retention cap (Options::max_retained_terminal_jobs).
+  /// Skipped wholesale during shutdown (the destructor owns teardown).
+  void NotifyAndPrune(Job* job, JobSnapshot snap);
+  /// Erases the oldest completed jobs beyond the retention cap. Only
+  /// notified, observer-free jobs are eligible. Requires mu_.
+  void AutoPruneLocked();
   /// Appends a terminal-transition record; no-op when not journaling.
   /// Callers skip this for shutdown-driven terminals (see the file
   /// comment: shutdown must look like a crash to recovery).

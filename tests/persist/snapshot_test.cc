@@ -120,11 +120,35 @@ TEST(PersistSnapshotTest, HeaderPeekReportsTheStore) {
   std::string encoded = EncodeSnapshot(store);
   auto header = DecodeSnapshotHeader(encoded);
   ASSERT_TRUE(header.ok());
-  EXPECT_EQ(header->version, 1u);
+  EXPECT_EQ(header->version, 2u);
   EXPECT_EQ(header->cluster_level, store.cluster_level());
   EXPECT_TRUE(header->build_tags);
   EXPECT_EQ(header->container_count, store.container_count());
   EXPECT_EQ(header->object_count, store.object_count());
+  // A fresh BulkLoad is one mutation: epoch 1, carried by the header.
+  EXPECT_EQ(header->epoch, 1u);
+  EXPECT_EQ(store.epoch(), 1u);
+}
+
+TEST(PersistSnapshotTest, EpochSurvivesTheRoundTrip) {
+  // The store epoch is the result cache's invalidation clock; recovery
+  // must restore it exactly or cached answers from before a crash could
+  // be served over different data.
+  catalog::ObjectStore store = MakeStore(/*build_tags=*/false);
+  catalog::PhotoObj extra = store.containers().begin()->second.rows()[0];
+  extra.obj_id = 99'999'999;
+  ASSERT_TRUE(store.Insert(extra).ok());
+  ASSERT_TRUE(store.Insert(extra).ok());
+  EXPECT_EQ(store.epoch(), 3u);  // BulkLoad + two inserts.
+
+  auto decoded = DecodeSnapshot(EncodeSnapshot(store));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->epoch(), 3u);
+
+  // Decoding a v1 snapshot (no epoch field) yields epoch 0: distinct
+  // from any live store's, so stale entries can never match.
+  persist::SnapshotHeader v1;
+  EXPECT_EQ(v1.epoch, 0u);
 }
 
 TEST(PersistSnapshotTest, EveryTruncationIsRejectedWhole) {

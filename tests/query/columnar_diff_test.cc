@@ -125,9 +125,16 @@ std::vector<DiffQuery> DiffQueries() {
       {"SELECT obj_id, r FROM tag WHERE r < 20 ORDER BY r LIMIT 40",
        M::kOrdered, false},
       {"SELECT AVG(r) FROM tag WHERE g - r < 1.0", M::kAggregate, false},
-      // Division forces the kernel to decline the leaf (divide-by-zero
-      // detection is order-dependent); the fallback must be seamless.
+      // Division runs on the kernel too, with the row path's exact
+      // divide-by-zero semantics (these divisors never hit zero; the
+      // erroring cases get their own test below).
       {"SELECT obj_id FROM photo WHERE r / 2 < 10.2", M::kRows},
+      {"SELECT obj_id, g FROM photo WHERE (g - r) / (r + 1) < 0.04",
+       M::kRows},
+      {"SELECT obj_id FROM photo WHERE CIRCLE('GAL', 30, 70, 8) AND "
+       "u / (g + 1) < 1.2",
+       M::kRows},
+      {"SELECT AVG(r) FROM photo WHERE u / (g + 1) < 1.2", M::kAggregate},
   };
 }
 
@@ -231,28 +238,41 @@ TEST_F(ColumnarDiffTest, KernelMatchesRowPathBitExactly) {
     // (except for tag scans and leaves the kernel declines).
     EXPECT_EQ(want->exec.containers_columnar, 0u) << q.sql;
     EXPECT_EQ(via_fallback->exec.containers_columnar, 0u) << q.sql;
-    const bool division = q.sql.find('/') != std::string::npos;
-    if (q.photo_scan && !division) {
+    if (q.photo_scan) {
       EXPECT_GT(via_kernel->exec.containers_columnar, 0u) << q.sql;
-    }
-    if (!q.photo_scan || division) {
+    } else {
       EXPECT_EQ(via_kernel->exec.containers_columnar, 0u) << q.sql;
     }
   }
 }
 
 TEST_F(ColumnarDiffTest, RuntimeErrorsSurfaceIdentically) {
-  // The kernel declines division leaves, so divide-by-zero diagnostics
-  // come from the row path on both stores -- same code, same message.
+  // The kernel runs division leaves itself now, so its divide-by-zero
+  // must surface with the row path's exact status -- whether the zero
+  // divisor hits on the very first row or midway through a container's
+  // chunked predicate loop.
   QueryEngine rows(row_store_, SingleThreaded(false));
   QueryEngine kernel(mapped_store_, SingleThreaded(true));
-  const std::string sql = "SELECT obj_id FROM photo WHERE 1 / (r - r) > 0";
-  auto a = rows.Execute(sql);
-  auto b = kernel.Execute(sql);
-  ASSERT_FALSE(a.ok());
-  ASSERT_FALSE(b.ok());
-  EXPECT_EQ(a.status().code(), b.status().code());
-  EXPECT_EQ(a.status().message(), b.status().message());
+  for (const char* sql : {
+           // Every row divides by zero: the first chunk errors at k=0.
+           "SELECT obj_id FROM photo WHERE 1 / (r - r) > 0",
+           // Stars carry class = 1, so the divisor zeroes only on star
+           // rows -- partway through a chunk, after galaxy survivors
+           // were already marked.
+           "SELECT obj_id FROM photo WHERE 1 / (class - 1) > 0",
+           // Same mid-container zero divisor behind a spatial conjunct:
+           // AND short-circuiting decides which rows divide at all.
+           "SELECT obj_id FROM photo WHERE CIRCLE('GAL', 30, 70, 20) "
+           "AND 1 / (class - 1) > 0",
+       }) {
+    SCOPED_TRACE(sql);
+    auto a = rows.Execute(sql);
+    auto b = kernel.Execute(sql);
+    ASSERT_FALSE(a.ok());
+    ASSERT_FALSE(b.ok());
+    EXPECT_EQ(a.status().code(), b.status().code());
+    EXPECT_EQ(a.status().message(), b.status().message());
+  }
 }
 
 TEST_F(ColumnarDiffTest, ParallelScansStillAgreeAsMultisets) {

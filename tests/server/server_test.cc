@@ -353,5 +353,60 @@ TEST_F(ServerTest, StopJoinsEverySessionAndCancelsInFlightWork) {
   EXPECT_NE(AwaitTerminal(blocked), JobState::kRunning);
 }
 
+TEST_F(ServerTest, CacheVerdictCountersTrackEveryQuery) {
+  // A cache-enabled engine local to this test (the shared fixture
+  // engine keeps caching off so scan-counter assertions stay exact).
+  query::FederatedQueryEngine::Options opt;
+  opt.result_cache_bytes = 8u << 20;
+  opt.cache_epoch_source = [] { return sharded_->Epoch(); };
+  auto shards = sharded_->LiveShards();
+  ASSERT_TRUE(shards.ok());
+  query::FederatedQueryEngine cached(*shards, opt);
+  scheduler_ = std::make_unique<workbench::JobScheduler>(
+      &cached, mydb_.get(), DefaultLanes());
+  server_ = std::make_unique<QueryServer>(scheduler_.get(), ServerOptions());
+  ASSERT_TRUE(server_->Start().ok());
+
+  auto client = Connect("alice");
+  ASSERT_TRUE(client.ok());
+  // Miss (cold), hit (verbatim replay), containment (narrower cone
+  // re-filtered from the first query's rows).
+  auto cold = client->Query(kQuickSql);
+  ASSERT_TRUE(cold.ok());
+  ASSERT_EQ(cold->kind, QueryOutcome::Kind::kDone);
+  auto warm = client->Query(kQuickSql);
+  ASSERT_TRUE(warm.ok());
+  ASSERT_EQ(warm->kind, QueryOutcome::Kind::kDone);
+  EXPECT_EQ(warm->rows.size(), cold->rows.size());
+  auto narrower = client->Query(
+      "SELECT obj_id, r FROM photo WHERE CIRCLE('GAL', 30, 70, 4) "
+      "AND r < 21");
+  ASSERT_TRUE(narrower.ok());
+  ASSERT_EQ(narrower->kind, QueryOutcome::Kind::kDone);
+  EXPECT_TRUE(client->Bye().ok());
+
+  // The session thread folds verdicts into the counters after the DONE
+  // frame is on the wire; poll for the last one to land.
+  ServerStats stats;
+  auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  do {
+    stats = server_->stats();
+    if (stats.cache_hits + stats.cache_misses + stats.cache_containment >=
+        3) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  } while (std::chrono::steady_clock::now() < deadline);
+  EXPECT_EQ(stats.queries_succeeded, 3u);
+  EXPECT_EQ(stats.cache_misses, 1u);
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_EQ(stats.cache_containment, 1u);
+
+  // The local engine must outlive the scheduler: tear down in order.
+  server_.reset();
+  scheduler_.reset();
+}
+
 }  // namespace
 }  // namespace sdss::server

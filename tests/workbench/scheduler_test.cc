@@ -616,5 +616,53 @@ TEST_F(WorkbenchSchedulerTest, DestructorCancelsOutstandingJobs) {
   SUCCEED();
 }
 
+TEST_F(WorkbenchSchedulerTest, TerminalRetentionCapPrunesOldestJobs) {
+  JobScheduler::Options opt = TwoLaneOptions();
+  opt.max_retained_terminal_jobs = 2;
+  JobScheduler sched(engine_, mydb_.get(), opt);
+
+  const std::string sql =
+      "SELECT COUNT(*) FROM photo WHERE CIRCLE('GAL', 30, 70, 5)";
+  std::vector<uint64_t> ids;
+  for (int i = 0; i < 5; ++i) {
+    auto id = sched.Submit("load", sql);
+    ASSERT_TRUE(id.ok());
+    ASSERT_EQ(sched.Wait(*id)->state, JobState::kSucceeded);
+    ids.push_back(*id);
+  }
+
+  // Wait() can return between the terminal transition and the worker's
+  // prune; poll briefly for the bookkeeping to settle at the cap.
+  auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (sched.Jobs().size() > 2 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(sched.Jobs().size(), 2u);
+
+  // The newest two survive; the oldest three are gone -- results and
+  // all, which is exactly what a bounded long-lived service wants.
+  EXPECT_FALSE(sched.Snapshot(ids[0]).ok());
+  EXPECT_FALSE(sched.Snapshot(ids[1]).ok());
+  EXPECT_FALSE(sched.Snapshot(ids[2]).ok());
+  EXPECT_TRUE(sched.Snapshot(ids[3]).ok());
+  EXPECT_TRUE(sched.Snapshot(ids[4]).ok());
+  auto result = sched.TakeResult(ids[4]);
+  EXPECT_TRUE(result.ok());
+
+  // A cap of 0 (the default) retains everything -- the manual sweep is
+  // then the only reaper.
+  JobScheduler unbounded(engine_, mydb_.get(), TwoLaneOptions());
+  for (int i = 0; i < 3; ++i) {
+    auto id = unbounded.Submit("load", sql);
+    ASSERT_TRUE(id.ok());
+    ASSERT_EQ(unbounded.Wait(*id)->state, JobState::kSucceeded);
+  }
+  EXPECT_EQ(unbounded.Jobs().size(), 3u);
+  EXPECT_EQ(unbounded.PruneTerminalJobs(), 3u);
+  EXPECT_TRUE(unbounded.Jobs().empty());
+}
+
 }  // namespace
 }  // namespace sdss::workbench
