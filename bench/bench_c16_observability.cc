@@ -1,0 +1,269 @@
+// C16 -- the cost of watching: metrics registry and query tracing
+// overhead on the C9-style scan mix.
+//
+// The observability layer (ISSUE 9) promises that a process which does
+// NOT opt in pays nothing measurable: the engine's metric sites are
+// null-guarded pointer bumps and the trace sites branch once per stage,
+// never per row. The artifact section runs the same federated scan mix
+// three ways -- bare engine, metrics registry wired, metrics + per-query
+// span tracing -- and reports median latency deltas. Microbenchmarks
+// price the primitives themselves (histogram record, registry snapshot,
+// span open/close, chrome JSON export).
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "archive/sharded_store.h"
+#include "bench_util.h"
+#include "core/metrics.h"
+#include "query/federated_engine.h"
+#include "query/trace.h"
+
+namespace sdss::bench {
+namespace {
+
+using archive::ReplicationOptions;
+using archive::ShardedStore;
+using query::ExecContext;
+using query::FederatedQueryEngine;
+using query::QueryTrace;
+using query::RowBatch;
+
+/// The C9-style mix: a pruned cone, a color-cut scan, an aggregate.
+const std::vector<std::string>& MixQueries() {
+  static const std::vector<std::string> queries = {
+      "SELECT obj_id, r FROM photo WHERE CIRCLE('GAL', 30, 70, 6) "
+      "AND r < 22",
+      "SELECT obj_id, g, r FROM photo WHERE g - r < 0.8 AND r < 21",
+      "SELECT COUNT(*) FROM photo WHERE class = 'QSO' AND r < 22",
+  };
+  return queries;
+}
+
+uint64_t RunMix(FederatedQueryEngine& engine, const ExecContext& ctx) {
+  uint64_t rows = 0;
+  for (const std::string& sql : MixQueries()) {
+    auto stats = engine.ExecuteStreaming(
+        sql,
+        [&rows](const RowBatch& batch) {
+          rows += batch.size();
+          return true;
+        },
+        ctx);
+    if (!stats.ok()) std::abort();
+  }
+  return rows;
+}
+
+double MedianMixSeconds(FederatedQueryEngine& engine, bool traced,
+                        int rounds) {
+  std::vector<double> seconds;
+  seconds.reserve(rounds);
+  for (int i = 0; i < rounds; ++i) {
+    QueryTrace trace;
+    ExecContext ctx;
+    if (traced) ctx.trace = &trace;
+    auto t0 = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(RunMix(engine, ctx));
+    seconds.push_back(std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count());
+  }
+  std::sort(seconds.begin(), seconds.end());
+  return seconds[seconds.size() / 2];
+}
+
+void PrintC16() {
+  auto store = MakeBenchStore(0.3);
+  ReplicationOptions repl;
+  repl.num_servers = 2;
+  repl.base_replicas = 1;
+  ShardedStore sharded(store, repl);
+  auto shards = sharded.LiveShards();
+  if (!shards.ok()) std::abort();
+
+  FederatedQueryEngine bare(*shards);
+  metrics::Registry registry;
+  FederatedQueryEngine::Options instrumented;
+  instrumented.metrics = &registry;
+  FederatedQueryEngine wired(*shards, instrumented);
+
+  PrintHeader("C16  Observability overhead on the C9-style scan mix");
+  std::printf("catalog: %llu objects on a 2-shard fleet; mix = cone + "
+              "color cut + aggregate\n\n",
+              static_cast<unsigned long long>(store.object_count()));
+
+  constexpr int kRounds = 31;
+  (void)MedianMixSeconds(bare, false, 3);  // Warm the page cache.
+  const double off = MedianMixSeconds(bare, false, kRounds);
+  const double metrics_on = MedianMixSeconds(wired, false, kRounds);
+  const double traced = MedianMixSeconds(wired, true, kRounds);
+
+  auto delta = [off](double s) { return 100.0 * (s - off) / off; };
+  std::printf("median mix latency over %d rounds:\n", kRounds);
+  std::printf("  engine, no observability     %8.3f ms\n", off * 1e3);
+  std::printf("  + metrics registry wired     %8.3f ms  (%+.2f%%)\n",
+              metrics_on * 1e3, delta(metrics_on));
+  std::printf("  + per-query span tracing     %8.3f ms  (%+.2f%%)\n",
+              traced * 1e3, delta(traced));
+
+  // One traced run, shown: the span forest and what the registry holds.
+  QueryTrace trace;
+  ExecContext ctx;
+  ctx.trace = &trace;
+  (void)RunMix(wired, ctx);
+  std::printf("\none traced mix run: %zu spans, %zu bytes of chrome "
+              "JSON\n",
+              trace.span_count(), trace.ToChromeJson().size());
+  const auto snaps = registry.Snapshot();
+  std::printf("registry after the runs: %zu instruments, e.g.\n",
+              snaps.size());
+  for (const auto& s : snaps) {
+    if (s.kind == metrics::Kind::kHistogram && s.hist.count > 0) {
+      std::printf("  %s: n=%llu p50=%llu us p99=%llu us\n",
+                  s.name.c_str(),
+                  static_cast<unsigned long long>(s.hist.count),
+                  static_cast<unsigned long long>(s.hist.P50()),
+                  static_cast<unsigned long long>(s.hist.P99()));
+    }
+  }
+  std::printf(
+      "\nShape check: wiring the registry moves scan medians by noise "
+      "(the off path\nis a null-guarded pointer test), and full span "
+      "tracing stays in low single\ndigits -- spans are per stage, "
+      "never per row.\n");
+}
+
+// ---------------------------------------------------------------------
+// Microbenchmarks: the primitives.
+
+void BM_HistogramRecord(benchmark::State& state) {
+  metrics::Histogram h;
+  uint64_t v = 1;
+  for (auto _ : state) {
+    h.Record(v++);
+  }
+  benchmark::DoNotOptimize(h.Count());
+}
+BENCHMARK(BM_HistogramRecord)->Unit(benchmark::kNanosecond);
+
+void BM_CounterInc(benchmark::State& state) {
+  metrics::Counter c;
+  for (auto _ : state) {
+    c.Inc();
+  }
+  benchmark::DoNotOptimize(c.Value());
+}
+BENCHMARK(BM_CounterInc)->Unit(benchmark::kNanosecond);
+
+void BM_RegistrySnapshot(benchmark::State& state) {
+  metrics::Registry reg;
+  for (int i = 0; i < 32; ++i) {
+    reg.GetCounter("counter_" + std::to_string(i))->Inc(i);
+    reg.GetHistogram("hist_" + std::to_string(i))->Record(i * 100);
+  }
+  for (auto _ : state) {
+    auto snaps = reg.Snapshot();
+    benchmark::DoNotOptimize(snaps.size());
+  }
+}
+BENCHMARK(BM_RegistrySnapshot)->Unit(benchmark::kMicrosecond);
+
+void BM_TraceSpanOpenClose(benchmark::State& state) {
+  QueryTrace trace;
+  for (auto _ : state) {
+    int span = trace.Begin("stage");
+    trace.Num(span, "rows", 1);
+    trace.End(span);
+  }
+  benchmark::DoNotOptimize(trace.span_count());
+}
+BENCHMARK(BM_TraceSpanOpenClose)->Unit(benchmark::kNanosecond);
+
+void BM_TraceChromeExport(benchmark::State& state) {
+  QueryTrace trace;
+  int root = trace.Begin("fan_out");
+  for (int i = 0; i < 16; ++i) {
+    int shard = trace.Begin("shard", root, 1 + i);
+    trace.Num(shard, "rows", i * 100);
+    trace.Note(shard, "kernel", "columnar");
+    trace.End(shard);
+  }
+  trace.End(root);
+  for (auto _ : state) {
+    std::string json = trace.ToChromeJson();
+    benchmark::DoNotOptimize(json.size());
+  }
+}
+BENCHMARK(BM_TraceChromeExport)->Unit(benchmark::kMicrosecond);
+
+/// The macro path, for the record: one mix round off vs on.
+struct MixFixture {
+  catalog::ObjectStore store = MakeBenchStore(0.15);
+  ShardedStore sharded;
+  std::vector<query::Shard> shards;
+  MixFixture() : sharded(store, TwoShards()) {
+    auto live = sharded.LiveShards();
+    if (!live.ok()) std::abort();
+    shards = *live;
+  }
+  static ReplicationOptions TwoShards() {
+    ReplicationOptions repl;
+    repl.num_servers = 2;
+    repl.base_replicas = 1;
+    return repl;
+  }
+};
+
+void BM_MixObservabilityOff(benchmark::State& state) {
+  MixFixture fx;
+  FederatedQueryEngine engine(fx.shards);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunMix(engine, {}));
+  }
+}
+BENCHMARK(BM_MixObservabilityOff)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_MixMetricsOn(benchmark::State& state) {
+  MixFixture fx;
+  metrics::Registry registry;
+  FederatedQueryEngine::Options options;
+  options.metrics = &registry;
+  FederatedQueryEngine engine(fx.shards, options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunMix(engine, {}));
+  }
+}
+BENCHMARK(BM_MixMetricsOn)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_MixTracedOn(benchmark::State& state) {
+  MixFixture fx;
+  metrics::Registry registry;
+  FederatedQueryEngine::Options options;
+  options.metrics = &registry;
+  FederatedQueryEngine engine(fx.shards, options);
+  for (auto _ : state) {
+    QueryTrace trace;
+    ExecContext ctx;
+    ctx.trace = &trace;
+    benchmark::DoNotOptimize(RunMix(engine, ctx));
+  }
+}
+BENCHMARK(BM_MixTracedOn)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+}  // namespace
+}  // namespace sdss::bench
+
+int main(int argc, char** argv) {
+  sdss::bench::PrintC16();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

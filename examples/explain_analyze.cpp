@@ -1,0 +1,62 @@
+// EXPLAIN ANALYZE: the optimizer's predictions held against a real run.
+//
+// Builds a 3-server fleet, runs two statements under EXPLAIN ANALYZE,
+// and prints the stitched report: per shard, the density-map prediction
+// (containers, bytes) next to what the scan actually touched, plus the
+// per-stage time breakdown. Pass a path as argv[1] to also dump the
+// run's trace as chrome://tracing JSON (open it at ui.perfetto.dev).
+
+#include <cstdio>
+#include <string>
+
+#include "archive/sharded_store.h"
+#include "catalog/sky_generator.h"
+#include "core/io.h"
+#include "query/federated_engine.h"
+
+using sdss::archive::ReplicationOptions;
+using sdss::archive::ShardedStore;
+using sdss::query::FederatedQueryEngine;
+
+int main(int argc, char** argv) {
+  sdss::catalog::SkyModel model;
+  model.seed = 11;
+  model.num_galaxies = 40'000;
+  model.num_stars = 30'000;
+  model.num_quasars = 400;
+  sdss::catalog::ObjectStore source;
+  if (!source.BulkLoad(sdss::catalog::SkyGenerator(model).Generate()).ok()) {
+    return 1;
+  }
+  ReplicationOptions repl;
+  repl.num_servers = 3;
+  repl.base_replicas = 1;
+  ShardedStore sharded(source, repl);
+  auto shards = sharded.LiveShards();
+  if (!shards.ok()) return 1;
+  FederatedQueryEngine engine(*shards);
+
+  const char* statements[] = {
+      "SELECT obj_id, r FROM photo WHERE CIRCLE('GAL', 40, 60, 8) "
+      "AND r < 21 ORDER BY r ASC LIMIT 100",
+      "SELECT AVG(redshift) FROM photo WHERE class = 'QSO' AND r < 22",
+  };
+
+  std::string last_trace;
+  for (const char* sql : statements) {
+    std::printf("=== %s\n", sql);
+    auto analysis = engine.ExplainAnalyze(sql);
+    if (!analysis.ok()) {
+      std::printf("  ERROR: %s\n", analysis.status().message().c_str());
+      return 1;
+    }
+    std::printf("%s\n", analysis->report.c_str());
+    last_trace = analysis->trace_json;
+  }
+
+  if (argc > 1 && !last_trace.empty()) {
+    if (!sdss::WriteFileDurable(argv[1], last_trace).ok()) return 1;
+    std::printf("trace written to %s\n", argv[1]);
+  }
+  return 0;
+}

@@ -14,6 +14,7 @@
 #include "archive/mydb.h"
 #include "archive/sharded_store.h"
 #include "catalog/sky_generator.h"
+#include "core/metrics.h"
 #include "query/federated_engine.h"
 #include "server/client.h"
 #include "server/server.h"
@@ -71,16 +72,26 @@ int main() {
   ShardedStore sharded(source, repl);
   auto shards = sharded.LiveShards();
   if (!shards.ok()) return 1;
-  FederatedQueryEngine engine(*shards);
+
+  // One registry wired through every layer: the engine's query/cache
+  // counters, the scheduler's lane gauges, and the server's session
+  // counters all land in it, so a single STATS frame reports the whole
+  // process.
+  sdss::metrics::Registry registry;
+  FederatedQueryEngine::Options engine_options;
+  engine_options.metrics = &registry;
+  FederatedQueryEngine engine(*shards, engine_options);
   MyDb mydb;
 
   JobScheduler::Options lanes;
   lanes.quick_workers = 2;
   lanes.long_workers = 1;
+  lanes.metrics = &registry;
   JobScheduler scheduler(&engine, &mydb, lanes);
 
   ServerOptions options;
   options.users = {{"ana", "tycho"}};
+  options.metrics = &registry;
   QueryServer server(&scheduler, options);
   if (!server.Start().ok()) return 1;
   std::printf("query server listening on 127.0.0.1:%u\n\n", server.port());
@@ -135,6 +146,36 @@ int main() {
   std::printf("%-28s %s\n", "bad token:",
               intruder.ok() ? "accepted?!"
                             : intruder.status().message().c_str());
+
+  // The metrics snapshot, fetched over the wire (STATS frame): every
+  // instrument the process registered, from engine to server.
+  auto report = client->Stats();
+  if (!report.ok()) return 1;
+  std::printf("\nmetrics over the wire (%zu instruments):\n",
+              report->instruments.size());
+  for (const auto& inst : report->instruments) {
+    switch (inst.kind) {
+      case sdss::metrics::Kind::kCounter:
+        if (inst.counter > 0) {
+          std::printf("  %-28s %llu\n", inst.name.c_str(),
+                      static_cast<unsigned long long>(inst.counter));
+        }
+        break;
+      case sdss::metrics::Kind::kGauge:
+        std::printf("  %-28s %lld\n", inst.name.c_str(),
+                    static_cast<long long>(inst.gauge));
+        break;
+      case sdss::metrics::Kind::kHistogram:
+        if (inst.hist.count > 0) {
+          std::printf("  %-28s n=%llu p50=%llu us p99=%llu us\n",
+                      inst.name.c_str(),
+                      static_cast<unsigned long long>(inst.hist.count),
+                      static_cast<unsigned long long>(inst.hist.P50()),
+                      static_cast<unsigned long long>(inst.hist.P99()));
+        }
+        break;
+    }
+  }
 
   if (!client->Bye().ok()) return 1;
   auto stats = server.stats();

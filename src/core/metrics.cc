@@ -1,0 +1,185 @@
+#include "core/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+namespace sdss::metrics {
+
+namespace {
+
+size_t BucketIndex(uint64_t v) {
+  return static_cast<size_t>(std::bit_width(v));  // bit_width(0) == 0.
+}
+
+}  // namespace
+
+uint64_t HistogramBucketUpperBound(size_t i) {
+  if (i == 0) return 0;
+  if (i >= 64) return ~0ull;
+  return (1ull << i) - 1;
+}
+
+void Histogram::Record(uint64_t v) {
+  buckets_[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  // Bucket counts are monotonic; reading them while writers record
+  // yields a value at least as old as `count` read afterwards, so the
+  // snapshot is a consistent-enough point in time for quantiles.
+  for (size_t i = 0; i < kHistogramBuckets; ++i) {
+    uint64_t c = buckets_[i].load(std::memory_order_relaxed);
+    if (c > 0) snap.buckets.emplace_back(static_cast<uint8_t>(i), c);
+  }
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+uint64_t HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return 0;
+  q = std::min(1.0, std::max(0.0, q));
+  uint64_t rank = static_cast<uint64_t>(
+      std::ceil(q * static_cast<double>(count)));
+  rank = std::min(count, std::max<uint64_t>(1, rank));
+  uint64_t seen = 0;
+  for (const auto& [index, bucket_count] : buckets) {
+    seen += bucket_count;
+    if (seen >= rank) return HistogramBucketUpperBound(index);
+  }
+  // Sparse buckets summed short of `count`: a racing snapshot; report
+  // the largest populated bucket.
+  return buckets.empty() ? 0 : HistogramBucketUpperBound(buckets.back().first);
+}
+
+Counter* Registry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    counters_.emplace_back();
+    Entry entry;
+    entry.kind = Kind::kCounter;
+    entry.counter = &counters_.back();
+    it = by_name_.emplace(std::string(name), entry).first;
+  }
+  if (it->second.kind != Kind::kCounter) {
+    // Kind clash: hand out a detached instrument instead of aliasing
+    // the registered one (the snapshot keeps the first registration).
+    counters_.emplace_back();
+    return &counters_.back();
+  }
+  return it->second.counter;
+}
+
+Gauge* Registry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    gauges_.emplace_back();
+    Entry entry;
+    entry.kind = Kind::kGauge;
+    entry.gauge = &gauges_.back();
+    it = by_name_.emplace(std::string(name), entry).first;
+  }
+  if (it->second.kind != Kind::kGauge) {
+    gauges_.emplace_back();
+    return &gauges_.back();
+  }
+  return it->second.gauge;
+}
+
+Histogram* Registry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    histograms_.emplace_back();
+    Entry entry;
+    entry.kind = Kind::kHistogram;
+    entry.histogram = &histograms_.back();
+    it = by_name_.emplace(std::string(name), entry).first;
+  }
+  if (it->second.kind != Kind::kHistogram) {
+    histograms_.emplace_back();
+    return &histograms_.back();
+  }
+  return it->second.histogram;
+}
+
+std::vector<InstrumentSnapshot> Registry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<InstrumentSnapshot> out;
+  out.reserve(by_name_.size());
+  for (const auto& [name, entry] : by_name_) {
+    InstrumentSnapshot snap;
+    snap.name = name;
+    snap.kind = entry.kind;
+    switch (entry.kind) {
+      case Kind::kCounter:
+        snap.counter = entry.counter->Value();
+        break;
+      case Kind::kGauge:
+        snap.gauge = entry.gauge->Value();
+        break;
+      case Kind::kHistogram:
+        snap.hist = entry.histogram->Snapshot();
+        break;
+    }
+    out.push_back(std::move(snap));
+  }
+  return out;
+}
+
+std::string Registry::TextExposition() const {
+  std::vector<InstrumentSnapshot> snaps = Snapshot();
+  std::string out;
+  char buf[160];
+  for (const InstrumentSnapshot& s : snaps) {
+    switch (s.kind) {
+      case Kind::kCounter:
+        std::snprintf(buf, sizeof(buf), "# TYPE %s counter\n%s %" PRIu64 "\n",
+                      s.name.c_str(), s.name.c_str(), s.counter);
+        out += buf;
+        break;
+      case Kind::kGauge:
+        std::snprintf(buf, sizeof(buf), "# TYPE %s gauge\n%s %" PRId64 "\n",
+                      s.name.c_str(), s.name.c_str(), s.gauge);
+        out += buf;
+        break;
+      case Kind::kHistogram: {
+        std::snprintf(buf, sizeof(buf), "# TYPE %s histogram\n",
+                      s.name.c_str());
+        out += buf;
+        uint64_t cumulative = 0;
+        for (const auto& [index, count] : s.hist.buckets) {
+          cumulative += count;
+          std::snprintf(buf, sizeof(buf),
+                        "%s_bucket{le=\"%" PRIu64 "\"} %" PRIu64 "\n",
+                        s.name.c_str(), HistogramBucketUpperBound(index),
+                        cumulative);
+          out += buf;
+        }
+        std::snprintf(buf, sizeof(buf),
+                      "%s_bucket{le=\"+Inf\"} %" PRIu64 "\n%s_sum %" PRIu64
+                      "\n%s_count %" PRIu64 "\n",
+                      s.name.c_str(), s.hist.count, s.name.c_str(),
+                      s.hist.sum, s.name.c_str(), s.hist.count);
+        out += buf;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+Registry& DefaultRegistry() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+}  // namespace sdss::metrics

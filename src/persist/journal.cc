@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <vector>
@@ -45,6 +46,13 @@ uint64_t SegmentNumber(const std::string& name) {
     n = n * 10 + static_cast<uint64_t>(name[i] - '0');
   }
   return n;
+}
+
+uint64_t ElapsedUs(std::chrono::steady_clock::time_point t0) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
 }
 
 /// CRC of a frame: the len field followed by the payload.
@@ -91,7 +99,15 @@ Result<std::unique_ptr<Journal>> Journal::Open(const std::string& dir,
 }
 
 Journal::Journal(std::string dir, Options options, uint64_t first_segment)
-    : dir_(std::move(dir)), options_(options), segment_(first_segment) {}
+    : dir_(std::move(dir)), options_(options), segment_(first_segment) {
+  if (options_.metrics != nullptr) {
+    m_appends_ = options_.metrics->GetCounter("persist_journal_appends");
+    m_append_us_ =
+        options_.metrics->GetHistogram("persist_journal_append_us");
+    m_fsync_us_ =
+        options_.metrics->GetHistogram("persist_journal_fsync_us");
+  }
+}
 
 Journal::~Journal() {
   std::lock_guard<std::mutex> lock(mu_);
@@ -150,6 +166,7 @@ Status Journal::Append(std::string_view record) {
   std::lock_guard<std::mutex> lock(mu_);
   if (!poisoned_.ok()) return poisoned_;
   if (fd_ < 0) return Status::FailedPrecondition("journal is closed");
+  const auto t0 = std::chrono::steady_clock::now();
   if (segment_bytes_written_ >= options_.segment_bytes) {
     SDSS_RETURN_IF_ERROR(RotateLocked());
   }
@@ -167,14 +184,20 @@ Status Journal::Append(std::string_view record) {
     written += static_cast<size_t>(n);
   }
   segment_bytes_written_ += frame.size();
-  if (options_.sync_each_append && ::fdatasync(fd_) != 0) {
-    // The record was written but not acknowledged durable -- yet the
-    // kernel may still flush it later. The only safe stance is to stop
-    // appending: the record stays un-acked AND nothing lands behind it.
-    return PoisonLocked(Status::IOError(
-        "journal sync: " + std::string(std::strerror(errno))));
+  if (options_.sync_each_append) {
+    const auto f0 = std::chrono::steady_clock::now();
+    if (::fdatasync(fd_) != 0) {
+      // The record was written but not acknowledged durable -- yet the
+      // kernel may still flush it later. The only safe stance is to stop
+      // appending: the record stays un-acked AND nothing lands behind it.
+      return PoisonLocked(Status::IOError(
+          "journal sync: " + std::string(std::strerror(errno))));
+    }
+    if (m_fsync_us_ != nullptr) m_fsync_us_->Record(ElapsedUs(f0));
   }
   ++records_;
+  if (m_appends_ != nullptr) m_appends_->Inc();
+  if (m_append_us_ != nullptr) m_append_us_->Record(ElapsedUs(t0));
   return Status::OK();
 }
 
@@ -182,10 +205,12 @@ Status Journal::Sync() {
   std::lock_guard<std::mutex> lock(mu_);
   if (!poisoned_.ok()) return poisoned_;
   if (fd_ < 0) return Status::FailedPrecondition("journal is closed");
+  const auto f0 = std::chrono::steady_clock::now();
   if (::fdatasync(fd_) != 0) {
     return PoisonLocked(Status::IOError(
         "journal sync: " + std::string(std::strerror(errno))));
   }
+  if (m_fsync_us_ != nullptr) m_fsync_us_->Record(ElapsedUs(f0));
   return Status::OK();
 }
 

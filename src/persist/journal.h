@@ -31,6 +31,7 @@
 #include <string>
 #include <string_view>
 
+#include "core/metrics.h"
 #include "core/status.h"
 
 namespace sdss::persist {
@@ -47,6 +48,11 @@ class Journal {
     /// calls (faster, but a crash can lose un-synced suffix records --
     /// replay still stops cleanly, it just stops earlier).
     bool sync_each_append = true;
+    /// Metrics registry the journal publishes into
+    /// (persist_journal_appends counter, persist_journal_append_us /
+    /// persist_journal_fsync_us latency histograms). Null = no
+    /// instrumentation; must outlive the journal when set.
+    metrics::Registry* metrics = nullptr;
   };
 
   /// Opens `dir` for appending (creating it if needed). Existing
@@ -90,6 +96,11 @@ class Journal {
 
   const std::string dir_;
   const Options options_;
+  // Instruments resolved once at construction; all null when
+  // Options::metrics is unset.
+  metrics::Counter* m_appends_ = nullptr;
+  metrics::Histogram* m_append_us_ = nullptr;
+  metrics::Histogram* m_fsync_us_ = nullptr;
   mutable std::mutex mu_;
   Status poisoned_;  ///< Non-OK once an append/sync failed.
   int fd_ = -1;

@@ -49,6 +49,15 @@ struct ExecStats {
   bool cache_hit = false;          ///< Answered verbatim from the cache.
   bool cache_containment = false;  ///< Answered by filtering a superset
                                    ///< entry's rows (cover containment).
+
+  // Per-stage wall-clock breakdown (seconds), filled by the federated
+  // engine and surfaced in the wire protocol's DONE frame. Stages that
+  // did not run (no cache configured, no join, personal store) stay 0.
+  double seconds_plan = 0.0;           ///< Parse + plan (Prepare).
+  double seconds_cache_probe = 0.0;    ///< Result-cache consult.
+  double seconds_ghost_harvest = 0.0;  ///< Join boundary-ghost exchange.
+  double seconds_fan_out = 0.0;        ///< Shard fan-out + merge, wall.
+  double seconds_stream_out = 0.0;     ///< Time inside the row sink.
 };
 
 /// Decomposed aggregate state: the executor's scan-side fold, the

@@ -1,6 +1,7 @@
 #include "query/federated_engine.h"
 
 #include <algorithm>
+#include <cctype>
 #include <chrono>
 #include <cstdio>
 #include <iterator>
@@ -18,6 +19,31 @@ namespace {
 double SecondsSince(std::chrono::steady_clock::time_point t0) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
       .count();
+}
+
+/// Strips an optional leading "EXPLAIN ANALYZE" (case-insensitive) so
+/// callers can hand the whole wire statement through unchanged.
+std::string StripExplainAnalyze(const std::string& sql) {
+  size_t pos = sql.find_first_not_of(" \t\r\n");
+  if (pos == std::string::npos) return sql;
+  for (std::string_view word : {std::string_view("EXPLAIN"),
+                                std::string_view("ANALYZE")}) {
+    if (sql.size() - pos < word.size()) return sql;
+    for (size_t k = 0; k < word.size(); ++k) {
+      if (std::toupper(static_cast<unsigned char>(sql[pos + k])) !=
+          word[k]) {
+        return sql;
+      }
+    }
+    pos += word.size();
+    if (pos >= sql.size() ||
+        !std::isspace(static_cast<unsigned char>(sql[pos]))) {
+      return sql;
+    }
+    pos = sql.find_first_not_of(" \t\r\n", pos);
+    if (pos == std::string::npos) return sql;
+  }
+  return sql.substr(pos);
 }
 
 /// ORDER/LIMIT wrappers at the top of a plan chain. The federated merge
@@ -242,6 +268,9 @@ struct FederatedQueryEngine::Prepared {
   /// The job's heat feedback hook (points into the caller's ExecContext,
   /// which outlives the run). Null when the job does not record heat.
   const AccessRecorder* access = nullptr;
+  /// The run's span tree (from ExecContext::trace); null = tracing off.
+  QueryTrace* trace = nullptr;
+  double seconds_plan = 0.0;  ///< Parse + plan wall time (Prepare).
 };
 
 FederatedQueryEngine::FederatedQueryEngine(std::vector<Shard> shards,
@@ -253,6 +282,14 @@ FederatedQueryEngine::FederatedQueryEngine(std::vector<Shard> shards,
     ResultCache::Options cache_options;
     cache_options.max_bytes = options_.result_cache_bytes;
     cache_ = std::make_unique<ResultCache>(cache_options);
+  }
+  if (options_.metrics != nullptr) {
+    m_queries_ = options_.metrics->GetCounter("query_total");
+    m_cache_hits_ = options_.metrics->GetCounter("query_cache_hits");
+    m_cache_containment_ =
+        options_.metrics->GetCounter("query_cache_containment");
+    m_cache_misses_ = options_.metrics->GetCounter("query_cache_misses");
+    m_exec_us_ = options_.metrics->GetHistogram("query_exec_us");
   }
 }
 
@@ -276,15 +313,29 @@ Result<ExecStats> FederatedQueryEngine::RunPreparedCached(
     const std::function<bool(RowBatch&&)>& sink) {
   if (cache_ == nullptr || ctx.no_result_cache || ctx.into_sink ||
       prep.mydb || !ResultCache::Cacheable(prep.parsed, prep.plan)) {
-    return RunPrepared(prep, sink, ctx.cancel);
+    auto st = RunPrepared(prep, sink, ctx.cancel);
+    if (st.ok()) st->seconds_plan = prep.seconds_plan;
+    return st;
   }
   auto t0 = std::chrono::steady_clock::now();
+  const int probe_span = TraceBegin(prep.trace, "cache_probe");
   const std::string fingerprint = ResultCache::Fingerprint(prep.plan);
   const uint64_t epoch = CacheEpoch(prep.shards);
 
   ResultCache::Answer answer;
   if (cache_->TryAnswer(fingerprint, prep.plan, epoch, &answer)) {
+    const double probe_seconds = SecondsSince(t0);
+    TraceNote(prep.trace, probe_span, "verdict",
+              answer.containment ? "containment" : "hit");
+    TraceEnd(prep.trace, probe_span);
+    if (answer.containment) {
+      if (m_cache_containment_ != nullptr) m_cache_containment_->Inc();
+    } else {
+      if (m_cache_hits_ != nullptr) m_cache_hits_->Inc();
+    }
     ExecStats stats;
+    stats.seconds_plan = prep.seconds_plan;
+    stats.seconds_cache_probe = probe_seconds;
     stats.cache_hit = !answer.containment;
     stats.cache_containment = answer.containment;
     const size_t batch_size = options_.executor.batch_size;
@@ -310,6 +361,10 @@ Result<ExecStats> FederatedQueryEngine::RunPreparedCached(
   // Miss: run the fleet, teeing the output rows for installation. The
   // buffer is abandoned (and the run left uncached) the moment it
   // outgrows the per-entry budget.
+  const double probe_seconds = SecondsSince(t0);
+  TraceNote(prep.trace, probe_span, "verdict", "miss");
+  TraceEnd(prep.trace, probe_span);
+  if (m_cache_misses_ != nullptr) m_cache_misses_->Inc();
   std::vector<ResultRow> buffer;
   size_t buffer_bytes = 0;
   bool overflow = false;
@@ -339,6 +394,10 @@ Result<ExecStats> FederatedQueryEngine::RunPreparedCached(
       CacheEpoch(prep.shards) == epoch) {
     cache_->Install(fingerprint, prep.plan, epoch, std::move(buffer));
   }
+  if (st.ok()) {
+    st->seconds_plan = prep.seconds_plan;
+    st->seconds_cache_probe = probe_seconds;
+  }
   return st;
 }
 
@@ -359,12 +418,19 @@ std::vector<Shard> FederatedQueryEngine::SnapshotShards() const {
 
 Result<FederatedQueryEngine::Prepared> FederatedQueryEngine::Prepare(
     const std::string& sql, const ExecContext& ctx) const {
+  auto t0 = std::chrono::steady_clock::now();
+  const int plan_span = TraceBegin(ctx.trace, "plan");
   Prepared prep;
+  prep.trace = ctx.trace;
   auto parsed = Parse(sql);
-  if (!parsed.ok()) return parsed.status();
+  if (!parsed.ok()) {
+    TraceEnd(ctx.trace, plan_span);
+    return parsed.status();
+  }
   prep.parsed = std::move(parsed).value();
   prep.shards = SnapshotShards();
   if (prep.shards.empty()) {
+    TraceEnd(ctx.trace, plan_span);
     return Status::FailedPrecondition("federation has no live shards");
   }
   // One plan for the whole fleet: planner decisions (tag selection,
@@ -375,7 +441,10 @@ Result<FederatedQueryEngine::Prepared> FederatedQueryEngine::Prepare(
   if (ctx.mydb) planner.mydb = ctx.mydb;
   if (ctx.access_recorder) prep.access = &ctx.access_recorder;
   auto plan = BuildPlan(prep.parsed, *prep.shards[0].store, planner);
-  if (!plan.ok()) return plan.status();
+  if (!plan.ok()) {
+    TraceEnd(ctx.trace, plan_span);
+    return plan.status();
+  }
   prep.plan = std::move(plan).value();
   prep.mydb = AnyNodeOfType(prep.plan.root.get(), PlanNodeType::kMyDbScan);
 
@@ -391,11 +460,17 @@ Result<FederatedQueryEngine::Prepared> FederatedQueryEngine::Prepare(
       }
     }
     if (!tag_on_some_shard) {
+      TraceEnd(ctx.trace, plan_span);
       return Status::NotFound(
           "table 'tag' exists on no live shard (fleet stores hold no tag "
           "partition)");
     }
   }
+  prep.seconds_plan = SecondsSince(t0);
+  TraceNum(ctx.trace, plan_span, "shards",
+           static_cast<double>(prep.shards.size()));
+  if (prep.mydb) TraceNote(ctx.trace, plan_span, "store", "mydb");
+  TraceEnd(ctx.trace, plan_span);
   return prep;
 }
 
@@ -404,9 +479,12 @@ Result<ExecStats> FederatedQueryEngine::RunFederated(
     size_t order_col, bool order_desc, int64_t global_limit,
     const std::function<bool(RowBatch&&)>& sink,
     const std::vector<PairJoinGhosts>* join_ghosts, bool dedupe_pairs,
-    const std::atomic<bool>* cancel, const AccessRecorder* access) {
+    const std::atomic<bool>* cancel, const AccessRecorder* access,
+    QueryTrace* trace) {
   auto t0 = std::chrono::steady_clock::now();
   const size_t n = shards.size();
+  const int fan_span = TraceBegin(trace, "fan_out");
+  TraceNum(trace, fan_span, "shards", static_cast<double>(n));
 
   // One channel per shard when the merge must preserve order; one shared
   // channel (ASAP arrival order) otherwise.
@@ -432,15 +510,42 @@ Result<ExecStats> FederatedQueryEngine::RunFederated(
     Result<ExecStats>* slot = &shard_stats[i];
     const PairJoinGhosts* ghosts =
         join_ghosts != nullptr ? &(*join_ghosts)[i] : nullptr;
-    threads.Spawn([this, root, shard, ch, slot, ghosts, cancel, access] {
+    // Shard spans open here, on the launch thread, so their Begin order
+    // (= span index order) is deterministic regardless of how the shard
+    // threads interleave; each shard thread closes and annotates its own.
+    const int sspan =
+        TraceBegin(trace, "shard", fan_span, /*lane=*/1 + static_cast<int>(i));
+    TraceNum(trace, sspan, "server", static_cast<double>(shard.server));
+    threads.Spawn([this, root, shard, ch, slot, ghosts, cancel, access, trace,
+                   sspan] {
       Executor executor(shard.store, options_.executor, &pool_);
       *slot = executor.RunTree(
           root, [&ch](RowBatch&& batch) { return ch->Push(std::move(batch)); },
           shard.assigned ? shard.assigned.get() : nullptr, ghosts, cancel,
           access);
       ch->CloseWriter();
+      if (trace != nullptr && slot->ok()) {
+        const ExecStats& s = **slot;
+        trace->Num(sspan, "containers",
+                   static_cast<double>(s.containers_scanned));
+        trace->Num(sspan, "columnar",
+                   static_cast<double>(s.containers_columnar));
+        trace->Num(sspan, "bytes", static_cast<double>(s.bytes_touched));
+        trace->Num(sspan, "bytes_shipped",
+                   static_cast<double>(s.bytes_shipped));
+        trace->Num(sspan, "rows", static_cast<double>(s.rows_emitted));
+        trace->Num(sspan, "seconds", s.seconds_total);
+        trace->Note(sspan, "kernel",
+                    s.containers_columnar > 0
+                        ? (s.containers_columnar == s.containers_scanned
+                               ? "columnar"
+                               : "mixed")
+                        : "row");
+      }
+      TraceEnd(trace, sspan);
     });
   }
+  const int merge_span = TraceBegin(trace, "merge", fan_span);
 
   ExecStats stats;
   int64_t remaining = global_limit < 0
@@ -448,6 +553,7 @@ Result<ExecStats> FederatedQueryEngine::RunFederated(
                           : global_limit;
   bool first = true;
   bool sink_cancelled = false;
+  double sink_seconds = 0.0;  ///< Wall time spent inside the row sink.
 
   // Drops pairs already delivered by another shard's stream. The
   // emission discipline makes fleet-wide duplicates impossible by
@@ -481,7 +587,10 @@ Result<ExecStats> FederatedQueryEngine::RunFederated(
       first = false;
     }
     stats.rows_emitted += batch.size();
-    if (!sink(std::move(batch))) {
+    auto s0 = std::chrono::steady_clock::now();
+    const bool keep_going = sink(std::move(batch));
+    sink_seconds += SecondsSince(s0);
+    if (!keep_going) {
       sink_cancelled = true;
       return false;
     }
@@ -531,11 +640,15 @@ Result<ExecStats> FederatedQueryEngine::RunFederated(
 
   // Stop any still-producing shard (no-op on clean completion) and wait.
   for (auto& ch : channels) ch->Cancel();
+  TraceNum(trace, merge_span, "sink_seconds", sink_seconds);
+  TraceEnd(trace, merge_span);
   threads.JoinAll();
 
   stats.seconds_total = SecondsSince(t0);
   if (first) stats.seconds_to_first_row = stats.seconds_total;
   stats.cancelled_early = sink_cancelled;
+  stats.seconds_fan_out = stats.seconds_total;
+  stats.seconds_stream_out = sink_seconds;
 
   for (auto& r : shard_stats) {
     if (!r.ok()) return r.status();
@@ -546,6 +659,8 @@ Result<ExecStats> FederatedQueryEngine::RunFederated(
     stats.bytes_touched += r->bytes_touched;
     stats.bytes_shipped += r->bytes_shipped;
   }
+  TraceNum(trace, fan_span, "rows", static_cast<double>(stats.rows_emitted));
+  TraceEnd(trace, fan_span);
   return stats;
 }
 
@@ -568,9 +683,20 @@ Result<ExecStats> FederatedQueryEngine::RunJoinFederated(
 
   // Phase A: boundary ghost exchange between the shards. Its time is
   // part of the join (it delays every row), so fold it into the stats.
+  const int ghost_span = TraceBegin(prep.trace, "ghost_harvest");
   auto ghosts = HarvestJoinGhosts(prep.shards, join, cancel);
-  if (!ghosts.ok()) return ghosts.status();
+  if (!ghosts.ok()) {
+    TraceEnd(prep.trace, ghost_span);
+    return ghosts.status();
+  }
   double harvest_seconds = SecondsSince(t0);
+  if (prep.trace != nullptr && ghost_span != QueryTrace::kNoSpan) {
+    uint64_t shipped = 0;
+    for (const PairJoinGhosts& g : *ghosts) shipped += g.objects.size();
+    prep.trace->Num(ghost_span, "ghost_objects",
+                    static_cast<double>(shipped));
+  }
+  TraceEnd(prep.trace, ghost_span);
 
   // Phase B: fan out the join chain; every shard emits exactly the
   // pairs whose lower-id member it serves, merged and deduped here.
@@ -578,11 +704,12 @@ Result<ExecStats> FederatedQueryEngine::RunJoinFederated(
     auto st = RunFederated(prep.shards, root, chain.ordered,
                            chain.order_col, chain.order_desc, chain.limit,
                            sink, &*ghosts, /*dedupe_pairs=*/true, cancel,
-                           prep.access);
+                           prep.access, prep.trace);
     if (!st.ok()) return st.status();
     ExecStats stats = *st;
     stats.seconds_total += harvest_seconds;
     stats.seconds_to_first_row += harvest_seconds;
+    stats.seconds_ghost_harvest = harvest_seconds;
     return stats;
   }
   AggFold fold;
@@ -596,15 +723,18 @@ Result<ExecStats> FederatedQueryEngine::RunJoinFederated(
                            return true;
                          },
                          &*ghosts, /*dedupe_pairs=*/true, cancel,
-                         prep.access);
+                         prep.access, prep.trace);
   if (!st.ok()) return st.status();
   ExecStats stats = *st;
+  const int fold_span = TraceBegin(prep.trace, "fold");
   RowBatch batch;
   batch.push_back(FinishAggregate(agg->agg, false, fold));
   stats.rows_emitted = 1;
   stats.cancelled_early = !sink(std::move(batch));
+  TraceEnd(prep.trace, fold_span);
   stats.seconds_total = SecondsSince(t0);
   stats.seconds_to_first_row = stats.seconds_total;
+  stats.seconds_ghost_harvest = harvest_seconds;
   return stats;
 }
 
@@ -642,7 +772,7 @@ Result<ExecStats> FederatedQueryEngine::RunSetWithBranchLimits(
                              }
                              return true;
                            },
-                           nullptr, false, cancel, prep.access);
+                           nullptr, false, cancel, prep.access, prep.trace);
     if (!st.ok()) return st.status();
     stats.containers_scanned += st->containers_scanned;
     stats.containers_columnar += st->containers_columnar;
@@ -713,9 +843,17 @@ Result<ExecStats> FederatedQueryEngine::RunMyDbLocal(
   // A personal store is never sharded: the whole tree (including set
   // operations, branch limits, and aggregates) runs on one local
   // executor with single-store semantics, sharing the fleet's scan pool.
+  const int span = TraceBegin(prep.trace, "local_scan");
   Executor executor(prep.shards[0].store, options_.executor, &pool_);
-  return executor.RunTree(prep.plan.root.get(), sink, nullptr, nullptr,
-                          cancel);
+  auto st = executor.RunTree(prep.plan.root.get(), sink, nullptr, nullptr,
+                             cancel);
+  if (st.ok()) {
+    TraceNum(prep.trace, span, "rows", static_cast<double>(st->rows_emitted));
+    TraceNum(prep.trace, span, "bytes",
+             static_cast<double>(st->bytes_touched));
+  }
+  TraceEnd(prep.trace, span);
+  return st;
 }
 
 Result<ExecStats> FederatedQueryEngine::RunPrepared(
@@ -755,7 +893,7 @@ Result<ExecStats> FederatedQueryEngine::RunPrepared(
                                }
                                return true;
                              },
-                             nullptr, false, cancel, prep.access);
+                             nullptr, false, cancel, prep.access, prep.trace);
       if (!st.ok()) return st.status();
       stats = *st;
     } else {
@@ -776,16 +914,18 @@ Result<ExecStats> FederatedQueryEngine::RunPrepared(
                                }
                                return true;
                              },
-                             nullptr, false, cancel, prep.access);
+                             nullptr, false, cancel, prep.access, prep.trace);
       agg->agg_partial = false;
       if (!st.ok()) return st.status();
       stats = *st;
     }
 
+    const int fold_span = TraceBegin(prep.trace, "fold");
     RowBatch batch;
     batch.push_back(FinishAggregate(agg->agg, false, fold));
     stats.rows_emitted = 1;
     stats.cancelled_early = !sink(std::move(batch));
+    TraceEnd(prep.trace, fold_span);
     stats.seconds_total = SecondsSince(t0);
     stats.seconds_to_first_row = stats.seconds_total;
     return stats;
@@ -794,7 +934,7 @@ Result<ExecStats> FederatedQueryEngine::RunPrepared(
   ChainInfo chain = AnalyzeChain(prep.plan.root.get());
   return RunFederated(prep.shards, prep.plan.root.get(), chain.ordered,
                       chain.order_col, chain.order_desc, chain.limit, sink,
-                      nullptr, false, cancel, prep.access);
+                      nullptr, false, cancel, prep.access, prep.trace);
 }
 
 Result<QueryResult> FederatedQueryEngine::Execute(const std::string& sql,
@@ -837,6 +977,11 @@ Result<QueryResult> FederatedQueryEngine::Execute(const std::string& sql,
                                  });
   if (!stats.ok()) return stats.status();
   result.exec = *stats;
+  if (m_queries_ != nullptr) m_queries_->Inc();
+  if (m_exec_us_ != nullptr) {
+    m_exec_us_->Record(
+        static_cast<uint64_t>(result.exec.seconds_total * 1e6));
+  }
   if (result.is_aggregate && !result.rows.empty() &&
       !result.rows[0].values.empty()) {
     result.aggregate_value = result.rows[0].values[0];
@@ -870,9 +1015,16 @@ Result<ExecStats> FederatedQueryEngine::ExecuteStreaming(
     header.is_aggregate = prep->plan.is_aggregate;
     on_header(header);
   }
-  return RunPreparedCached(
+  auto st = RunPreparedCached(
       *prep, ctx,
       [&on_batch](RowBatch&& batch) { return on_batch(batch); });
+  if (st.ok()) {
+    if (m_queries_ != nullptr) m_queries_->Inc();
+    if (m_exec_us_ != nullptr) {
+      m_exec_us_->Record(static_cast<uint64_t>(st->seconds_total * 1e6));
+    }
+  }
+  return st;
 }
 
 Result<CostEstimate> FederatedQueryEngine::EstimateCost(
@@ -964,6 +1116,117 @@ Result<std::string> FederatedQueryEngine::Explain(const std::string& sql,
                   static_cast<unsigned long long>(total_shipped));
     out += buf;
   }
+  return out;
+}
+
+Result<FederatedQueryEngine::ExplainAnalysis>
+FederatedQueryEngine::ExplainAnalyze(const std::string& sql,
+                                     const ExecContext& ctx) {
+  // The analysis always runs on its own trace: a caller-provided one
+  // could carry shard spans from an earlier run and corrupt the ledger.
+  // The capture comes back as ExplainAnalysis::trace_json instead.
+  QueryTrace trace;
+  ExecContext run_ctx = ctx;
+  run_ctx.trace = &trace;
+  // Bypass the result cache both ways: EXPLAIN ANALYZE exists to
+  // measure the fleet scan the density map predicted, and its drained
+  // rows must not displace real cached answers.
+  run_ctx.no_result_cache = true;
+
+  const std::string stmt = StripExplainAnalyze(sql);
+  auto prep = Prepare(stmt, run_ctx);
+  if (!prep.ok()) return prep.status();
+  if (!prep->parsed.first.into_mydb.empty()) {
+    return Status::InvalidArgument(
+        "EXPLAIN ANALYZE does not run INTO statements (the analysis "
+        "drains rows without materializing the target)");
+  }
+  std::vector<ShardPrediction> preds;
+  if (!prep->mydb) preds = PredictShards(prep->shards, prep->plan);
+
+  ExplainAnalysis out;
+  auto stats =
+      RunPreparedCached(*prep, run_ctx, [](RowBatch&&) { return true; });
+  if (!stats.ok()) return stats.status();
+  out.exec = *stats;
+
+  // Stitch prediction against measurement by server id. Branch-limited
+  // set queries fan out once per branch, so a server may own several
+  // shard spans: actuals sum, wall time takes the longest leg.
+  const std::vector<TraceSpan> shard_spans = trace.Find("shard");
+  for (const ShardPrediction& p : preds) {
+    ShardAnalysis row;
+    row.server = p.server;
+    row.containers_predicted = p.containers;
+    row.predicted_bytes = p.bytes_to_scan;
+    for (const TraceSpan& s : shard_spans) {
+      if (s.Num("server", -1.0) != static_cast<double>(p.server)) continue;
+      row.containers_scanned +=
+          static_cast<uint64_t>(s.Num("containers"));
+      row.containers_columnar += static_cast<uint64_t>(s.Num("columnar"));
+      row.actual_bytes += static_cast<uint64_t>(s.Num("bytes"));
+      row.rows += static_cast<uint64_t>(s.Num("rows"));
+      row.seconds = std::max(row.seconds, s.Num("seconds"));
+    }
+    out.shards.push_back(row);
+  }
+
+  std::string report = prep->plan.Explain();
+  char buf[224];
+  if (prep->mydb) {
+    report += "personal store: mydb (no fleet fan-out)\n";
+  } else {
+    std::snprintf(buf, sizeof(buf),
+                  "federation: %zu live shards (analyzed run, result "
+                  "cache bypassed)\n",
+                  prep->shards.size());
+    report += buf;
+  }
+  uint64_t predicted_total = 0;
+  uint64_t actual_total = 0;
+  for (const ShardAnalysis& r : out.shards) {
+    std::snprintf(
+        buf, sizeof(buf),
+        "  shard %zu: predicted %llu bytes / %llu containers; actual "
+        "%llu bytes / %llu containers (%llu columnar), %llu rows, %.6f s\n",
+        r.server, static_cast<unsigned long long>(r.predicted_bytes),
+        static_cast<unsigned long long>(r.containers_predicted),
+        static_cast<unsigned long long>(r.actual_bytes),
+        static_cast<unsigned long long>(r.containers_scanned),
+        static_cast<unsigned long long>(r.containers_columnar),
+        static_cast<unsigned long long>(r.rows), r.seconds);
+    report += buf;
+    predicted_total += r.predicted_bytes;
+    actual_total += r.actual_bytes;
+  }
+  if (!out.shards.empty()) {
+    const double err =
+        predicted_total == 0
+            ? 0.0
+            : 100.0 *
+                  (static_cast<double>(actual_total) -
+                   static_cast<double>(predicted_total)) /
+                  static_cast<double>(predicted_total);
+    std::snprintf(buf, sizeof(buf),
+                  "bytes: predicted %llu, actual %llu (%+.1f%%)\n",
+                  static_cast<unsigned long long>(predicted_total),
+                  static_cast<unsigned long long>(actual_total), err);
+    report += buf;
+  }
+  std::snprintf(buf, sizeof(buf),
+                "stages: plan %.6f s, cache probe %.6f s, ghost harvest "
+                "%.6f s, fan-out %.6f s, stream %.6f s\n",
+                out.exec.seconds_plan, out.exec.seconds_cache_probe,
+                out.exec.seconds_ghost_harvest, out.exec.seconds_fan_out,
+                out.exec.seconds_stream_out);
+  report += buf;
+  std::snprintf(buf, sizeof(buf),
+                "actual: %llu rows in %.6f s (first row %.6f s)\n",
+                static_cast<unsigned long long>(out.exec.rows_emitted),
+                out.exec.seconds_total, out.exec.seconds_to_first_row);
+  report += buf;
+  out.report = std::move(report);
+  out.trace_json = trace.ToChromeJson();
   return out;
 }
 

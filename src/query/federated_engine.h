@@ -24,9 +24,11 @@
 #include <vector>
 
 #include "catalog/object_store.h"
+#include "core/metrics.h"
 #include "core/thread_pool.h"
 #include "query/query_engine.h"
 #include "query/result_cache.h"
+#include "query/trace.h"
 
 namespace sdss::query {
 
@@ -87,6 +89,13 @@ struct ExecContext {
   /// it nor install into it (e.g. a caller that must observe real scan
   /// counters, or wants to force a fresh fleet pass).
   bool no_result_cache = false;
+  /// Per-query span tree, null (tracing off) by default. When set, the
+  /// engine opens one span per pipeline stage -- plan, cache_probe,
+  /// ghost_harvest, fan_out with a child per shard, merge, fold -- and
+  /// annotates them with stage-local detail (containers, columnar
+  /// split, bytes scanned/shipped). Must outlive the run. The disabled
+  /// path allocates nothing.
+  QueryTrace* trace = nullptr;
 };
 
 /// The admission-relevant slice of the fleet-wide Explain prediction:
@@ -135,6 +144,11 @@ class FederatedQueryEngine {
     /// listed live; the full fleet's epoch sum does not move). Unset,
     /// the engine sums the distinct live shard stores' epochs.
     std::function<uint64_t()> cache_epoch_source;
+    /// Metrics registry the engine publishes into (query_cache_hits /
+    /// query_cache_containment / query_cache_misses counters and the
+    /// query_exec_us latency histogram). Null = no metrics; must
+    /// outlive the engine when set.
+    metrics::Registry* metrics = nullptr;
   };
 
   explicit FederatedQueryEngine(std::vector<Shard> shards)
@@ -170,6 +184,34 @@ class FederatedQueryEngine {
   /// The plan explanation plus per-shard container/byte predictions.
   Result<std::string> Explain(const std::string& sql,
                               const ExecContext& ctx = {});
+
+  /// One shard's predicted-vs-actual ledger from an EXPLAIN ANALYZE run.
+  struct ShardAnalysis {
+    size_t server = 0;
+    uint64_t containers_predicted = 0;
+    uint64_t containers_scanned = 0;
+    uint64_t containers_columnar = 0;
+    uint64_t predicted_bytes = 0;  ///< Density-map prediction.
+    uint64_t actual_bytes = 0;     ///< Bytes the scan really touched.
+    uint64_t rows = 0;             ///< Rows this shard emitted.
+    double seconds = 0.0;          ///< Shard wall time (RunTree).
+  };
+
+  /// EXPLAIN ANALYZE: runs the query for real (bypassing the result
+  /// cache so the fleet actually scans) with tracing on, and reports the
+  /// density-map prediction next to what each shard measured.
+  struct ExplainAnalysis {
+    std::string report;             ///< Human-readable side-by-side.
+    ExecStats exec;                 ///< Folded stats of the real run.
+    std::vector<ShardAnalysis> shards;
+    std::string trace_json;         ///< chrome://tracing export.
+  };
+
+  /// Accepts either the bare statement or one prefixed with
+  /// "EXPLAIN ANALYZE". Rows are drained internally; only the ledger
+  /// comes back.
+  Result<ExplainAnalysis> ExplainAnalyze(const std::string& sql,
+                                         const ExecContext& ctx = {});
 
   /// Plans `sql` and returns the fleet-wide cost prediction without
   /// executing -- the workbench's admission estimate.
@@ -207,7 +249,8 @@ class FederatedQueryEngine {
       const std::vector<PairJoinGhosts>* join_ghosts = nullptr,
       bool dedupe_pairs = false,
       const std::atomic<bool>* cancel = nullptr,
-      const AccessRecorder* access = nullptr);
+      const AccessRecorder* access = nullptr,
+      QueryTrace* trace = nullptr);
   Result<ExecStats> RunPrepared(
       Prepared& prep, const std::function<bool(RowBatch&&)>& sink,
       const std::atomic<bool>* cancel = nullptr);
@@ -225,6 +268,13 @@ class FederatedQueryEngine {
   Options options_;
   ThreadPool pool_;  ///< Shared scan pool for every shard sub-executor.
   std::unique_ptr<ResultCache> cache_;  ///< Null when caching is off.
+  // Engine-level instruments, resolved once in the constructor. All
+  // null when Options::metrics is unset.
+  metrics::Counter* m_queries_ = nullptr;
+  metrics::Counter* m_cache_hits_ = nullptr;
+  metrics::Counter* m_cache_containment_ = nullptr;
+  metrics::Counter* m_cache_misses_ = nullptr;
+  metrics::Histogram* m_exec_us_ = nullptr;
   mutable std::mutex mu_;
   std::vector<Shard> shards_;
 };

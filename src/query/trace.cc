@@ -1,0 +1,195 @@
+#include "query/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+namespace sdss::query {
+
+namespace {
+
+/// JSON string escaping for span names, annotation keys/values, and
+/// SQL text carried in the trace metadata.
+void AppendJsonString(std::string* out, std::string_view s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+double TraceSpan::Num(std::string_view key, double dflt) const {
+  for (const auto& [k, v] : nums) {
+    if (k == key) return v;
+  }
+  return dflt;
+}
+
+std::string_view TraceSpan::Note(std::string_view key) const {
+  for (const auto& [k, v] : notes) {
+    if (k == key) return v;
+  }
+  return {};
+}
+
+QueryTrace::QueryTrace() = default;
+
+QueryTrace::QueryTrace(NowFn now) : now_(std::move(now)) {}
+
+uint64_t QueryTrace::SteadyNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+int QueryTrace::Begin(std::string_view name, int parent, int lane) {
+  const uint64_t now = NowNs();
+  std::lock_guard<std::mutex> lock(mu_);
+  TraceSpan span;
+  span.name.assign(name);
+  span.parent =
+      parent >= 0 && parent < static_cast<int>(spans_.size()) ? parent
+                                                              : kNoSpan;
+  span.start_ns = now;
+  span.lane = lane;
+  spans_.push_back(std::move(span));
+  return static_cast<int>(spans_.size()) - 1;
+}
+
+void QueryTrace::End(int span) {
+  const uint64_t now = NowNs();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (span < 0 || span >= static_cast<int>(spans_.size())) return;
+  spans_[static_cast<size_t>(span)].end_ns = now;
+}
+
+void QueryTrace::Num(int span, std::string_view key, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (span < 0 || span >= static_cast<int>(spans_.size())) return;
+  spans_[static_cast<size_t>(span)].nums.emplace_back(std::string(key),
+                                                      value);
+}
+
+void QueryTrace::Note(int span, std::string_view key,
+                      std::string_view value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (span < 0 || span >= static_cast<int>(spans_.size())) return;
+  spans_[static_cast<size_t>(span)].notes.emplace_back(std::string(key),
+                                                       std::string(value));
+}
+
+void QueryTrace::SetMeta(std::string_view key, std::string_view value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  meta_.emplace_back(std::string(key), std::string(value));
+}
+
+size_t QueryTrace::span_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_.size();
+}
+
+std::vector<TraceSpan> QueryTrace::Spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+std::vector<TraceSpan> QueryTrace::Find(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceSpan> out;
+  for (const TraceSpan& s : spans_) {
+    if (s.name == name) out.push_back(s);
+  }
+  return out;
+}
+
+std::string QueryTrace::ToChromeJson() const {
+  std::vector<TraceSpan> spans;
+  std::vector<std::pair<std::string, std::string>> meta;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    spans = spans_;
+    meta = meta_;
+  }
+  // Timestamps are exported relative to the earliest span so the trace
+  // starts at t=0 regardless of the clock's epoch.
+  uint64_t origin_ns = ~0ull;
+  for (const TraceSpan& s : spans) origin_ns = std::min(origin_ns, s.start_ns);
+  if (spans.empty()) origin_ns = 0;
+
+  std::string out = "{\"traceEvents\":[";
+  char buf[96];
+  bool first = true;
+  for (const TraceSpan& s : spans) {
+    if (!first) out += ",";
+    first = false;
+    const double ts_us =
+        static_cast<double>(s.start_ns - origin_ns) / 1000.0;
+    const uint64_t end_ns = s.end_ns >= s.start_ns ? s.end_ns : s.start_ns;
+    const double dur_us =
+        static_cast<double>(end_ns - s.start_ns) / 1000.0;
+    out += "{\"name\":";
+    AppendJsonString(&out, s.name);
+    std::snprintf(buf, sizeof(buf),
+                  ",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,"
+                  "\"tid\":%d,\"args\":{",
+                  ts_us, dur_us, s.lane + 1);
+    out += buf;
+    bool first_arg = true;
+    for (const auto& [k, v] : s.nums) {
+      if (!first_arg) out += ",";
+      first_arg = false;
+      AppendJsonString(&out, k);
+      std::snprintf(buf, sizeof(buf), ":%.6g", v);
+      out += buf;
+    }
+    for (const auto& [k, v] : s.notes) {
+      if (!first_arg) out += ",";
+      first_arg = false;
+      AppendJsonString(&out, k);
+      out += ":";
+      AppendJsonString(&out, v);
+    }
+    out += "}}";
+  }
+  out += "],\"displayTimeUnit\":\"ms\",\"otherData\":{";
+  bool first_meta = true;
+  for (const auto& [k, v] : meta) {
+    if (!first_meta) out += ",";
+    first_meta = false;
+    AppendJsonString(&out, k);
+    out += ":";
+    AppendJsonString(&out, v);
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace sdss::query

@@ -118,6 +118,26 @@ Result<QueryOutcome> Client::Query(
   }
 }
 
+Result<StatsMsg> Client::Stats() {
+  SDSS_RETURN_IF_ERROR(conn_.WriteAll(EncodeStatsRequest()));
+  Result<Frame> frame = ReadFrame(&conn_, max_frame_bytes_);
+  if (!frame.ok()) return frame.status();
+  switch (frame->type) {
+    case MsgType::kStatsReport:
+      return DecodeStatsReport(frame->payload);
+    case MsgType::kError: {
+      Result<ErrorMsg> error = DecodeError(frame->payload);
+      if (!error.ok()) return error.status();
+      if (error->fatal) conn_.Shutdown();
+      return error->ToStatus();
+    }
+    default:
+      return Status::InvalidArgument(
+          std::string("expected STATS_REPORT, got ") +
+          MsgTypeName(frame->type));
+  }
+}
+
 Status Client::Bye() {
   Status sent = conn_.WriteAll(EncodeBye());
   conn_.Shutdown();

@@ -72,6 +72,11 @@ class Client {
       const std::string& sql,
       const std::function<bool(const query::RowBatch&)>& on_rows);
 
+  /// Fetches the server's metrics snapshot (a STATS / STATS_REPORT
+  /// exchange). Legal only between statements -- STATS while a query is
+  /// in flight is a protocol violation the server closes on.
+  Result<StatsMsg> Stats();
+
   /// Orderly close: sends BYE and shuts the connection down. The Client
   /// is unusable afterwards.
   Status Bye();

@@ -65,6 +65,10 @@ const char* MsgTypeName(MsgType type) {
       return "CANCEL";
     case MsgType::kBye:
       return "BYE";
+    case MsgType::kStats:
+      return "STATS";
+    case MsgType::kStatsReport:
+      return "STATS_REPORT";
   }
   return "?";
 }
@@ -159,6 +163,13 @@ std::string EncodeDone(const DoneMsg& msg) {
   PutF64(&body, msg.seconds_running);
   PutFixed64(&body, msg.containers_scanned);
   PutFixed64(&body, msg.bytes_touched);
+  // Revision 1.1 trailing block: the per-stage breakdown. Always
+  // emitted as a unit; old decoders skip it wholesale.
+  PutF64(&body, msg.seconds_plan);
+  PutF64(&body, msg.seconds_cache_probe);
+  PutF64(&body, msg.seconds_ghost_harvest);
+  PutF64(&body, msg.seconds_fan_out);
+  PutF64(&body, msg.seconds_stream_out);
   return Finish(MsgType::kDone, body);
 }
 
@@ -181,6 +192,38 @@ std::string EncodeBusy(const BusyMsg& msg) {
 std::string EncodeCancel() { return Finish(MsgType::kCancel, {}); }
 
 std::string EncodeBye() { return Finish(MsgType::kBye, {}); }
+
+std::string EncodeStatsRequest() { return Finish(MsgType::kStats, {}); }
+
+std::string EncodeStatsReport(const StatsMsg& msg) {
+  std::string body;
+  PutFixed32(&body, msg.version);
+  PutFixed32(&body, static_cast<uint32_t>(msg.instruments.size()));
+  for (const metrics::InstrumentSnapshot& ins : msg.instruments) {
+    PutLengthPrefixed(&body, ins.name);
+    PutFixed8(&body, static_cast<uint8_t>(ins.kind));
+    switch (ins.kind) {
+      case metrics::Kind::kCounter:
+        PutFixed64(&body, ins.counter);
+        break;
+      case metrics::Kind::kGauge:
+        PutFixed64(&body, static_cast<uint64_t>(ins.gauge));
+        break;
+      case metrics::Kind::kHistogram:
+        PutFixed64(&body, ins.hist.count);
+        PutFixed64(&body, ins.hist.sum);
+        // Sparse buckets: (index, count) pairs, ascending index.
+        PutFixed32(&body,
+                   static_cast<uint32_t>(ins.hist.buckets.size()));
+        for (const auto& [index, count] : ins.hist.buckets) {
+          PutFixed8(&body, index);
+          PutFixed64(&body, count);
+        }
+        break;
+    }
+  }
+  return Finish(MsgType::kStatsReport, body);
+}
 
 Result<HelloMsg> DecodeHello(std::string_view payload) {
   Cursor cur(payload);
@@ -277,6 +320,19 @@ Result<DoneMsg> DecodeDone(std::string_view payload) {
       !cur.GetFixed64(&msg.bytes_touched)) {
     return Truncated(MsgType::kDone);
   }
+  // The revision 1.1 per-stage block is all-or-nothing: read it only
+  // when the full 40 bytes are present, so a frame from an older
+  // encoder (or one with unrelated trailing extensions shorter than the
+  // block) decodes with the stage fields at 0 rather than garbage.
+  if (cur.remaining() >= 40) {
+    if (!GetF64(&cur, &msg.seconds_plan) ||
+        !GetF64(&cur, &msg.seconds_cache_probe) ||
+        !GetF64(&cur, &msg.seconds_ghost_harvest) ||
+        !GetF64(&cur, &msg.seconds_fan_out) ||
+        !GetF64(&cur, &msg.seconds_stream_out)) {
+      return Truncated(MsgType::kDone);
+    }
+  }
   return msg;
 }
 
@@ -305,6 +361,84 @@ Result<BusyMsg> DecodeBusy(std::string_view payload) {
       !cur.GetFixed32(&msg.quick_queued) ||
       !cur.GetFixed32(&msg.long_queued)) {
     return Truncated(MsgType::kBusy);
+  }
+  return msg;
+}
+
+Result<StatsMsg> DecodeStatsReport(std::string_view payload) {
+  Cursor cur(payload);
+  StatsMsg msg;
+  uint32_t count = 0;
+  if (!cur.GetFixed32(&msg.version) || !cur.GetFixed32(&count)) {
+    return Truncated(MsgType::kStatsReport);
+  }
+  // An instrument record is at least 13 bytes (name length prefix +
+  // kind byte + one u64 value), so a hostile count larger than the
+  // remaining payload could carry is rejected before allocation.
+  if (count > cur.remaining() / 13) {
+    return Status::InvalidArgument(
+        "STATS_REPORT instrument count exceeds payload size");
+  }
+  msg.instruments.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    metrics::InstrumentSnapshot ins;
+    std::string_view name;
+    uint8_t kind = 0;
+    if (!cur.GetLengthPrefixed(&name) || !cur.GetFixed8(&kind)) {
+      return Truncated(MsgType::kStatsReport);
+    }
+    ins.name.assign(name);
+    switch (kind) {
+      case static_cast<uint8_t>(metrics::Kind::kCounter):
+        ins.kind = metrics::Kind::kCounter;
+        if (!cur.GetFixed64(&ins.counter)) {
+          return Truncated(MsgType::kStatsReport);
+        }
+        break;
+      case static_cast<uint8_t>(metrics::Kind::kGauge): {
+        ins.kind = metrics::Kind::kGauge;
+        uint64_t bits = 0;
+        if (!cur.GetFixed64(&bits)) {
+          return Truncated(MsgType::kStatsReport);
+        }
+        ins.gauge = static_cast<int64_t>(bits);
+        break;
+      }
+      case static_cast<uint8_t>(metrics::Kind::kHistogram): {
+        ins.kind = metrics::Kind::kHistogram;
+        uint32_t nbuckets = 0;
+        if (!cur.GetFixed64(&ins.hist.count) ||
+            !cur.GetFixed64(&ins.hist.sum) ||
+            !cur.GetFixed32(&nbuckets)) {
+          return Truncated(MsgType::kStatsReport);
+        }
+        // A bucket entry is 9 bytes; there are only 65 distinct
+        // buckets, so both bounds guard a hostile count.
+        if (nbuckets > metrics::kHistogramBuckets ||
+            nbuckets > cur.remaining() / 9) {
+          return Status::InvalidArgument(
+              "STATS_REPORT bucket count exceeds payload size");
+        }
+        ins.hist.buckets.reserve(nbuckets);
+        for (uint32_t b = 0; b < nbuckets; ++b) {
+          uint8_t index = 0;
+          uint64_t bucket_count = 0;
+          if (!cur.GetFixed8(&index) || !cur.GetFixed64(&bucket_count)) {
+            return Truncated(MsgType::kStatsReport);
+          }
+          if (index >= metrics::kHistogramBuckets) {
+            return Status::InvalidArgument(
+                "STATS_REPORT bucket index out of range");
+          }
+          ins.hist.buckets.emplace_back(index, bucket_count);
+        }
+        break;
+      }
+      default:
+        return Status::InvalidArgument(
+            "STATS_REPORT carries an unknown instrument kind");
+    }
+    msg.instruments.push_back(std::move(ins));
   }
   return msg;
 }

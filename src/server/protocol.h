@@ -24,6 +24,7 @@
 #include <string_view>
 #include <vector>
 
+#include "core/metrics.h"
 #include "core/net.h"
 #include "core/status.h"
 #include "query/qet.h"
@@ -37,8 +38,9 @@ inline constexpr uint32_t kProtocolVersion = 1;
 /// Bytes of framing around a payload: the u32 length plus the type byte.
 inline constexpr size_t kFrameOverheadBytes = 5;
 
-/// Message vocabulary. Client-to-server: HELLO, QUERY, CANCEL, BYE.
-/// Server-to-client: WELCOME, HEADER, ROWS, DONE, ERROR, BUSY.
+/// Message vocabulary. Client-to-server: HELLO, QUERY, CANCEL, BYE,
+/// STATS. Server-to-client: WELCOME, HEADER, ROWS, DONE, ERROR, BUSY,
+/// STATS_REPORT.
 enum class MsgType : uint8_t {
   kHello = 1,    ///< version | user | token -- opens a session.
   kWelcome = 2,  ///< version | session_id | banner -- auth accepted.
@@ -50,6 +52,8 @@ enum class MsgType : uint8_t {
   kBusy = 8,     ///< retry_after_ms | lane depths -- backpressure.
   kCancel = 9,   ///< empty -- cancel the in-flight query.
   kBye = 10,     ///< empty -- orderly session close.
+  kStats = 11,   ///< empty -- request the server's metrics snapshot.
+  kStatsReport = 12,  ///< version | instruments -- the snapshot.
 };
 
 const char* MsgTypeName(MsgType type);
@@ -88,6 +92,15 @@ struct DoneMsg {
   double seconds_running = 0.0;
   uint64_t containers_scanned = 0;
   uint64_t bytes_touched = 0;
+  // Per-stage breakdown of seconds_running, appended in protocol
+  // revision 1.1 as a trailing all-or-nothing block: old decoders
+  // ignore it (the trailing-bytes rule), and a new decoder reading an
+  // old frame leaves all five at 0.
+  double seconds_plan = 0.0;
+  double seconds_cache_probe = 0.0;
+  double seconds_ghost_harvest = 0.0;
+  double seconds_fan_out = 0.0;
+  double seconds_stream_out = 0.0;
 };
 
 struct ErrorMsg {
@@ -105,6 +118,15 @@ struct BusyMsg {
   uint32_t retry_after_ms = 0;
   uint32_t quick_queued = 0;
   uint32_t long_queued = 0;
+};
+
+/// The server's metrics snapshot, shipped in a STATS_REPORT frame.
+/// `version` is the report encoding's own minor revision (starts at 1);
+/// per the trailing-bytes rule, a future revision may append fields to
+/// each instrument record only behind a version bump.
+struct StatsMsg {
+  uint32_t version = 1;
+  std::vector<metrics::InstrumentSnapshot> instruments;
 };
 
 /// One decoded frame: the type byte plus its raw payload.
@@ -128,6 +150,8 @@ std::string EncodeError(const ErrorMsg& msg);
 std::string EncodeBusy(const BusyMsg& msg);
 std::string EncodeCancel();
 std::string EncodeBye();
+std::string EncodeStatsRequest();
+std::string EncodeStatsReport(const StatsMsg& msg);
 
 /// Decoders take the frame payload (everything after the type byte).
 Result<HelloMsg> DecodeHello(std::string_view payload);
@@ -138,6 +162,7 @@ Result<RowsMsg> DecodeRows(std::string_view payload);
 Result<DoneMsg> DecodeDone(std::string_view payload);
 Result<ErrorMsg> DecodeError(std::string_view payload);
 Result<BusyMsg> DecodeBusy(std::string_view payload);
+Result<StatsMsg> DecodeStatsReport(std::string_view payload);
 
 /// True iff `a == b`, in time that depends only on the lengths (every
 /// byte of both strings is always visited). Token checks must use this

@@ -11,7 +11,33 @@ namespace sdss::server {
 
 QueryServer::QueryServer(workbench::JobScheduler* scheduler,
                          ServerOptions options)
-    : scheduler_(scheduler), options_(std::move(options)) {}
+    : scheduler_(scheduler), options_(std::move(options)) {
+  if (options_.metrics != nullptr) {
+    metrics_ = options_.metrics;
+  } else {
+    owned_metrics_ = std::make_unique<metrics::Registry>();
+    metrics_ = owned_metrics_.get();
+  }
+  counters_.sessions_accepted =
+      metrics_->GetCounter("server_sessions_accepted");
+  counters_.sessions_refused =
+      metrics_->GetCounter("server_sessions_refused");
+  counters_.auth_failures = metrics_->GetCounter("server_auth_failures");
+  counters_.queries_submitted =
+      metrics_->GetCounter("server_queries_submitted");
+  counters_.queries_succeeded =
+      metrics_->GetCounter("server_queries_succeeded");
+  counters_.queries_failed = metrics_->GetCounter("server_queries_failed");
+  counters_.busy_shed = metrics_->GetCounter("server_busy_shed");
+  counters_.protocol_errors =
+      metrics_->GetCounter("server_protocol_errors");
+  counters_.accept_retries = metrics_->GetCounter("server_accept_retries");
+  counters_.cache_hits = metrics_->GetCounter("server_cache_hits");
+  counters_.cache_containment =
+      metrics_->GetCounter("server_cache_containment");
+  counters_.cache_misses = metrics_->GetCounter("server_cache_misses");
+  counters_.sessions_active = metrics_->GetGauge("server_sessions_active");
+}
 
 QueryServer::~QueryServer() { Stop(); }
 
@@ -68,7 +94,7 @@ void QueryServer::AcceptLoop() {
       // temporary, and pending connections are still queued in the
       // backlog. Sleep a beat and take them when resources return.
       if (conn.status().code() != StatusCode::kUnavailable) return;
-      ++counters_.accept_retries;
+      counters_.accept_retries->Inc();
       for (int waited = 0; waited < backoff_ms && !stopped_.load();
            ++waited) {
         std::this_thread::sleep_for(std::chrono::milliseconds(1));
@@ -80,7 +106,7 @@ void QueryServer::AcceptLoop() {
       continue;
     }
     backoff_ms = kBackoffMinMs;
-    ++counters_.sessions_accepted;
+    counters_.sessions_accepted->Inc();
     ReapFinishedThreads();
 
     size_t active;
@@ -92,7 +118,7 @@ void QueryServer::AcceptLoop() {
       // Shed at the door: a BUSY verdict and an orderly close keep the
       // accept queue draining -- refusing cheaply is what prevents the
       // backlog (and every client's connect latency) from collapsing.
-      ++counters_.sessions_refused;
+      counters_.sessions_refused->Inc();
       workbench::QueueDepths depths = scheduler_->LaneDepths();
       BusyMsg busy;
       busy.retry_after_ms = options_.busy_retry_ms;
@@ -112,6 +138,8 @@ void QueryServer::AcceptLoop() {
       id = next_session_id_++;
       session = std::make_shared<Session>(id, std::move(*conn), this);
       sessions_.emplace(id, session);
+      counters_.sessions_active->Set(
+          static_cast<int64_t>(sessions_.size()));
       session_threads_.emplace(
           id, std::thread([session] { session->Run(); }));
     }
@@ -131,6 +159,7 @@ bool QueryServer::Authenticate(const std::string& user,
 void QueryServer::OnSessionClosed(uint64_t id) {
   std::lock_guard<std::mutex> lock(sessions_mu_);
   sessions_.erase(id);
+  counters_.sessions_active->Set(static_cast<int64_t>(sessions_.size()));
   // Park this thread's own handle for the reaper (moving a std::thread
   // from the thread it names is fine; joining it is what must happen
   // elsewhere). Stop() may already have taken the whole map.
@@ -154,18 +183,18 @@ void QueryServer::ReapFinishedThreads() {
 
 ServerStats QueryServer::stats() const {
   ServerStats stats;
-  stats.sessions_accepted = counters_.sessions_accepted.load();
-  stats.sessions_refused = counters_.sessions_refused.load();
-  stats.auth_failures = counters_.auth_failures.load();
-  stats.queries_submitted = counters_.queries_submitted.load();
-  stats.queries_succeeded = counters_.queries_succeeded.load();
-  stats.queries_failed = counters_.queries_failed.load();
-  stats.busy_shed = counters_.busy_shed.load();
-  stats.protocol_errors = counters_.protocol_errors.load();
-  stats.accept_retries = counters_.accept_retries.load();
-  stats.cache_hits = counters_.cache_hits.load();
-  stats.cache_containment = counters_.cache_containment.load();
-  stats.cache_misses = counters_.cache_misses.load();
+  stats.sessions_accepted = counters_.sessions_accepted->Value();
+  stats.sessions_refused = counters_.sessions_refused->Value();
+  stats.auth_failures = counters_.auth_failures->Value();
+  stats.queries_submitted = counters_.queries_submitted->Value();
+  stats.queries_succeeded = counters_.queries_succeeded->Value();
+  stats.queries_failed = counters_.queries_failed->Value();
+  stats.busy_shed = counters_.busy_shed->Value();
+  stats.protocol_errors = counters_.protocol_errors->Value();
+  stats.accept_retries = counters_.accept_retries->Value();
+  stats.cache_hits = counters_.cache_hits->Value();
+  stats.cache_containment = counters_.cache_containment->Value();
+  stats.cache_misses = counters_.cache_misses->Value();
   {
     std::lock_guard<std::mutex> lock(sessions_mu_);
     stats.sessions_active = sessions_.size();

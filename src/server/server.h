@@ -33,6 +33,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/metrics.h"
 #include "core/net.h"
 #include "core/status.h"
 #include "server/session.h"
@@ -60,6 +61,11 @@ struct ServerOptions {
   std::map<std::string, std::string> users;
   /// Human-readable server identification carried in WELCOME.
   std::string banner = "sdss-archive";
+  /// Registry the server's counters live in (must outlive the server).
+  /// Null = the server creates and owns a private registry. Pass the
+  /// same registry the scheduler/engine/journal use so one STATS frame
+  /// reports the whole process (see QueryServer::metrics()).
+  metrics::Registry* metrics = nullptr;
 };
 
 /// Monotonic counters (and one gauge) of server activity.
@@ -108,6 +114,10 @@ class QueryServer {
   ServerStats stats() const;
   const ServerOptions& options() const { return options_; }
   workbench::JobScheduler* scheduler() const { return scheduler_; }
+  /// The registry every server_* instrument lives in: the caller's
+  /// (ServerOptions::metrics) or the server's own private fallback.
+  /// Snapshot() of this is what a STATS frame ships.
+  metrics::Registry* metrics() const { return metrics_; }
 
  private:
   friend class Session;
@@ -129,23 +139,31 @@ class QueryServer {
   /// zombie thread per session ever served) and by Stop().
   void ReapFinishedThreads();
 
+  /// Registry-backed instruments, resolved once in the constructor
+  /// (names: server_*). Pointers are stable for the registry's
+  /// lifetime, so sessions bump them lock-free.
   struct Counters {
-    std::atomic<uint64_t> sessions_accepted{0};
-    std::atomic<uint64_t> sessions_refused{0};
-    std::atomic<uint64_t> auth_failures{0};
-    std::atomic<uint64_t> queries_submitted{0};
-    std::atomic<uint64_t> queries_succeeded{0};
-    std::atomic<uint64_t> queries_failed{0};
-    std::atomic<uint64_t> busy_shed{0};
-    std::atomic<uint64_t> protocol_errors{0};
-    std::atomic<uint64_t> accept_retries{0};
-    std::atomic<uint64_t> cache_hits{0};
-    std::atomic<uint64_t> cache_containment{0};
-    std::atomic<uint64_t> cache_misses{0};
+    metrics::Counter* sessions_accepted = nullptr;
+    metrics::Counter* sessions_refused = nullptr;
+    metrics::Counter* auth_failures = nullptr;
+    metrics::Counter* queries_submitted = nullptr;
+    metrics::Counter* queries_succeeded = nullptr;
+    metrics::Counter* queries_failed = nullptr;
+    metrics::Counter* busy_shed = nullptr;
+    metrics::Counter* protocol_errors = nullptr;
+    metrics::Counter* accept_retries = nullptr;
+    metrics::Counter* cache_hits = nullptr;
+    metrics::Counter* cache_containment = nullptr;
+    metrics::Counter* cache_misses = nullptr;
+    metrics::Gauge* sessions_active = nullptr;
   };
 
   workbench::JobScheduler* const scheduler_;
   const ServerOptions options_;
+  /// Fallback registry when ServerOptions::metrics is null; `metrics_`
+  /// points at whichever registry is in use.
+  std::unique_ptr<metrics::Registry> owned_metrics_;
+  metrics::Registry* metrics_ = nullptr;
   TcpListener listener_;
   uint16_t port_ = 0;
   std::thread accept_thread_;

@@ -42,13 +42,13 @@ bool Session::RunLoop() {
   Result<Frame> first = ReadFrame(&conn_, opts.max_frame_bytes);
   if (!first.ok()) {
     if (first.status().code() != StatusCode::kAborted) {
-      ++server_->counters_.protocol_errors;
+      server_->counters_.protocol_errors->Inc();
       SendError(first.status(), /*fatal=*/true);
     }
     return false;
   }
   if (first->type != MsgType::kHello) {
-    ++server_->counters_.protocol_errors;
+    server_->counters_.protocol_errors->Inc();
     SendError(Status::InvalidArgument(
                   std::string("expected HELLO, got ") +
                   MsgTypeName(first->type)),
@@ -57,12 +57,12 @@ bool Session::RunLoop() {
   }
   Result<HelloMsg> hello = DecodeHello(first->payload);
   if (!hello.ok()) {
-    ++server_->counters_.protocol_errors;
+    server_->counters_.protocol_errors->Inc();
     SendError(hello.status(), /*fatal=*/true);
     return false;
   }
   if (hello->version != kProtocolVersion) {
-    ++server_->counters_.protocol_errors;
+    server_->counters_.protocol_errors->Inc();
     SendError(Status::FailedPrecondition(
                   "protocol version " + std::to_string(hello->version) +
                   " not supported (server speaks " +
@@ -71,7 +71,7 @@ bool Session::RunLoop() {
     return false;
   }
   if (!server_->Authenticate(hello->user, hello->token)) {
-    ++server_->counters_.auth_failures;
+    server_->counters_.auth_failures->Inc();
     SendError(Status::InvalidArgument("unknown user or bad token"),
               /*fatal=*/true);
     return false;
@@ -88,7 +88,7 @@ bool Session::RunLoop() {
       // kAborted = the client hung up without BYE; anything else is a
       // torn or oversized frame -- the stream cannot be re-synced.
       if (frame.status().code() != StatusCode::kAborted) {
-        ++server_->counters_.protocol_errors;
+        server_->counters_.protocol_errors->Inc();
         SendError(frame.status(), /*fatal=*/true);
       }
       return false;
@@ -101,10 +101,20 @@ bool Session::RunLoop() {
         // Nothing in flight (completion may have raced the CANCEL onto
         // the wire): a no-op by protocol.
         break;
+      case MsgType::kStats:
+        // A point-in-time snapshot of the whole registry: when the
+        // caller wired one registry through scheduler, engine, journal,
+        // and server, this one frame reports the full process.
+        if (!wire_->Write(EncodeStatsReport(
+                 StatsMsg{1, server_->metrics()->Snapshot()}))
+                 .ok()) {
+          return false;
+        }
+        break;
       case MsgType::kBye:
         return true;
       default:
-        ++server_->counters_.protocol_errors;
+        server_->counters_.protocol_errors->Inc();
         SendError(Status::InvalidArgument(
                       std::string("unexpected ") +
                       MsgTypeName(frame->type) + " frame"),
@@ -120,7 +130,7 @@ bool Session::HandleQuery(std::string_view payload) {
 
   Result<QueryMsg> query = DecodeQuery(payload);
   if (!query.ok()) {
-    ++server_->counters_.protocol_errors;
+    server_->counters_.protocol_errors->Inc();
     SendError(query.status(), /*fatal=*/true);
     return false;
   }
@@ -191,6 +201,11 @@ bool Session::HandleQuery(std::string_view payload) {
       done.seconds_running = snap.seconds_running;
       done.containers_scanned = snap.exec.containers_scanned;
       done.bytes_touched = snap.exec.bytes_touched;
+      done.seconds_plan = snap.exec.seconds_plan;
+      done.seconds_cache_probe = snap.exec.seconds_cache_probe;
+      done.seconds_ghost_harvest = snap.exec.seconds_ghost_harvest;
+      done.seconds_fan_out = snap.exec.seconds_fan_out;
+      done.seconds_stream_out = snap.exec.seconds_stream_out;
       wire->Write(EncodeDone(done));
     } else {
       ErrorMsg error;
@@ -213,7 +228,7 @@ bool Session::HandleQuery(std::string_view payload) {
     }
     return true;
   }
-  ++server_->counters_.queries_submitted;
+  server_->counters_.queries_submitted->Inc();
   {
     std::lock_guard<std::mutex> lock(pending->mu);
     pending->job_id = *submitted;
@@ -264,7 +279,7 @@ bool Session::DrainInFlight(const std::shared_ptr<Pending>& pending,
     if (!frame.ok()) {
       // Mid-stream disconnect (or torn frame): cancel the job, close.
       if (frame.status().code() != StatusCode::kAborted) {
-        ++server_->counters_.protocol_errors;
+        server_->counters_.protocol_errors->Inc();
       }
       scheduler->Cancel(job_id);
       keep_session = false;
@@ -283,7 +298,7 @@ bool Session::DrainInFlight(const std::shared_ptr<Pending>& pending,
         abandoned = true;
         break;
       default:
-        ++server_->counters_.protocol_errors;
+        server_->counters_.protocol_errors->Inc();
         SendError(Status::FailedPrecondition(
                       std::string("unexpected ") +
                       MsgTypeName(frame->type) +
@@ -298,16 +313,16 @@ bool Session::DrainInFlight(const std::shared_ptr<Pending>& pending,
   }
 
   if (pending->state == workbench::JobState::kSucceeded) {
-    ++server_->counters_.queries_succeeded;
+    server_->counters_.queries_succeeded->Inc();
     if (pending->cache_hit) {
-      ++server_->counters_.cache_hits;
+      server_->counters_.cache_hits->Inc();
     } else if (pending->cache_containment) {
-      ++server_->counters_.cache_containment;
+      server_->counters_.cache_containment->Inc();
     } else {
-      ++server_->counters_.cache_misses;
+      server_->counters_.cache_misses->Inc();
     }
   } else {
-    ++server_->counters_.queries_failed;
+    server_->counters_.queries_failed->Inc();
   }
   return keep_session;
 }
@@ -319,7 +334,7 @@ void Session::SendBusy() {
   busy.retry_after_ms = opts.busy_retry_ms;
   busy.quick_queued = SaturatingU32(depths.quick_queued);
   busy.long_queued = SaturatingU32(depths.long_queued);
-  ++server_->counters_.busy_shed;
+  server_->counters_.busy_shed->Inc();
   wire_->Write(EncodeBusy(busy));
 }
 

@@ -1,9 +1,12 @@
 #include "workbench/scheduler.h"
 
+#include <algorithm>
+#include <cstdio>
 #include <map>
 #include <utility>
 
 #include "catalog/photo_obj.h"
+#include "core/io.h"
 #include "persist/coding.h"
 
 namespace sdss::workbench {
@@ -187,6 +190,22 @@ JobScheduler::JobScheduler(query::FederatedQueryEngine* engine,
       mydb_(mydb),
       options_(options),
       queue_(JobQueue::Options{options.per_user_running}) {
+  if (options_.metrics != nullptr) {
+    g_quick_queued_ =
+        options_.metrics->GetGauge("workbench_quick_queued");
+    g_quick_running_ =
+        options_.metrics->GetGauge("workbench_quick_running");
+    g_long_queued_ = options_.metrics->GetGauge("workbench_long_queued");
+    g_long_running_ =
+        options_.metrics->GetGauge("workbench_long_running");
+    m_queue_wait_us_ =
+        options_.metrics->GetHistogram("workbench_queue_wait_us");
+    m_run_us_ = options_.metrics->GetHistogram("workbench_run_us");
+    m_jobs_finished_ =
+        options_.metrics->GetCounter("workbench_jobs_finished");
+    m_slowlog_writes_ =
+        options_.metrics->GetCounter("workbench_slowlog_writes");
+  }
   for (size_t i = 0; i < options_.quick_workers; ++i) {
     workers_.Spawn([this] { WorkerLoop(Lane::kQuick); });
   }
@@ -380,6 +399,7 @@ Result<uint64_t> JobScheduler::SubmitInternal(const std::string& user,
     // the same.)
     queue_.Push(lane, id, user);
   }
+  UpdateLaneGauges();
   return id;
 }
 
@@ -404,9 +424,17 @@ Result<SchedulerRecoveryReport> JobScheduler::RecoverFrom(
         });
     if (!replay.ok()) return replay.status();
     report.journal = *replay;
-    auto journal = persist::Journal::Open(dir);
+    persist::Journal::Options journal_options;
+    journal_options.metrics = options_.metrics;
+    auto journal = persist::Journal::Open(dir, journal_options);
     if (!journal.ok()) return journal.status();
     journal_ = std::move(*journal);
+    // A durable scheduler gets the slow-query log for free, co-located
+    // with its journal. (Safe to set here: RecoverFrom must precede the
+    // first Submit, so no job is reading the option concurrently.)
+    if (options_.slowlog_dir.empty()) {
+      options_.slowlog_dir = dir + "/slowlog";
+    }
 
     report.jobs_seen = replayed.size();
     uint64_t max_id = 0;
@@ -630,6 +658,7 @@ void JobScheduler::WorkerLoop(Lane lane) {
         run = true;
       }
     }
+    UpdateLaneGauges();
     if (cancelled_here) NotifyAndPrune(job, job->snap);
     if (run) RunJob(job);
     queue_.OnJobFinished(user);
@@ -638,9 +667,32 @@ void JobScheduler::WorkerLoop(Lane lane) {
 }
 
 void JobScheduler::RunJob(Job* job) {
+  if (m_queue_wait_us_ != nullptr) {
+    m_queue_wait_us_->Record(
+        static_cast<uint64_t>(job->snap.seconds_queued * 1e6));
+  }
   query::ExecContext ctx;
   ctx.cancel = &job->cancel;
   ctx.mydb = mydb_->ResolverFor(job->snap.user);
+  // Tracing rides the slow-query log: when the log is configured every
+  // job runs traced (the spans are a handful of mutex-guarded appends,
+  // not per-row work) and the capture is persisted only if the job
+  // turns out slow. The admission wait predates the trace, so it is
+  // recorded as an annotated zero-length span.
+  std::unique_ptr<query::QueryTrace> trace;
+  if (!options_.slowlog_dir.empty()) {
+    trace = std::make_unique<query::QueryTrace>();
+    char idbuf[32];
+    std::snprintf(idbuf, sizeof(idbuf), "%llu",
+                  static_cast<unsigned long long>(job->snap.id));
+    trace->SetMeta("job", idbuf);
+    trace->SetMeta("user", job->snap.user);
+    trace->SetMeta("sql", job->snap.sql);
+    const int wait_span = trace->Begin("admission_wait");
+    trace->Num(wait_span, "seconds_queued", job->snap.seconds_queued);
+    trace->End(wait_span);
+    ctx.trace = trace.get();
+  }
   if (options_.heat != nullptr) {
     // Scheduler-driven heat: every container this job's scans touch
     // counts one access, so mining workloads (not just interactive
@@ -722,7 +774,58 @@ void JobScheduler::RunJob(Job* job) {
     if (!shutting_down_.load()) JournalTerminal(job->snap);
     final_snap = job->snap;
   }
+  if (m_jobs_finished_ != nullptr) m_jobs_finished_->Inc();
+  if (m_run_us_ != nullptr) {
+    m_run_us_->Record(
+        static_cast<uint64_t>(final_snap.seconds_running * 1e6));
+  }
+  if (trace != nullptr &&
+      final_snap.seconds_running >= options_.slow_query_seconds) {
+    WriteSlowLog(final_snap.id, *trace);
+  }
+  UpdateLaneGauges();
   NotifyAndPrune(job, std::move(final_snap));
+}
+
+void JobScheduler::UpdateLaneGauges() {
+  if (g_quick_queued_ == nullptr) return;
+  const QueueDepths d = LaneDepths();
+  g_quick_queued_->Set(static_cast<int64_t>(d.quick_queued));
+  g_quick_running_->Set(static_cast<int64_t>(d.quick_running));
+  g_long_queued_->Set(static_cast<int64_t>(d.long_queued));
+  g_long_running_->Set(static_cast<int64_t>(d.long_running));
+}
+
+void JobScheduler::WriteSlowLog(uint64_t job_id,
+                                const query::QueryTrace& trace) {
+  if (!CreateDirs(options_.slowlog_dir).ok()) return;
+  // Fixed-width ids: lexicographic name order == age order, which is
+  // what the pruning below sorts by.
+  char name[48];
+  std::snprintf(name, sizeof(name), "slow-%08llu.json",
+                static_cast<unsigned long long>(job_id));
+  if (!WriteFileDurable(options_.slowlog_dir + "/" + name,
+                        trace.ToChromeJson())
+           .ok()) {
+    return;
+  }
+  if (m_slowlog_writes_ != nullptr) m_slowlog_writes_->Inc();
+
+  auto entries = ListDir(options_.slowlog_dir);
+  if (!entries.ok()) return;
+  std::vector<std::string> captures;
+  for (const std::string& entry : *entries) {
+    if (entry.rfind("slow-", 0) == 0 && entry.size() > 10 &&
+        entry.compare(entry.size() - 5, 5, ".json") == 0) {
+      captures.push_back(entry);
+    }
+  }
+  if (captures.size() <= options_.slowlog_max_files) return;
+  std::sort(captures.begin(), captures.end());
+  const size_t excess = captures.size() - options_.slowlog_max_files;
+  for (size_t i = 0; i < excess; ++i) {
+    (void)RemoveFile(options_.slowlog_dir + "/" + captures[i]);
+  }
 }
 
 Status JobScheduler::ExecuteInto(Job* job, const query::ExecContext& base,

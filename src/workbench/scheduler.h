@@ -166,6 +166,22 @@ class JobScheduler {
     /// completion hook has not fired yet, or that a Wait() is still
     /// parked on, are never pruned out from under their observers.
     size_t max_retained_terminal_jobs = 0;
+    /// Metrics registry the scheduler publishes into: per-lane
+    /// queued/running gauges, workbench_queue_wait_us and
+    /// workbench_run_us latency histograms, job and slow-log counters.
+    /// Also forwarded to the recovery journal
+    /// (persist_journal_append_us / fsync_us). Null = no metrics; must
+    /// outlive the scheduler.
+    metrics::Registry* metrics = nullptr;
+    /// Slow-query log: a finished job whose run time reaches
+    /// slow_query_seconds persists its trace as chrome://tracing JSON
+    /// (slow-<jobid>.json) under this directory, which is pruned to the
+    /// slowlog_max_files newest captures. Empty = off; RecoverFrom
+    /// defaults it to "<dir>/slowlog" so a durable scheduler gets the
+    /// log for free. Tracing is only ever enabled when this is set.
+    std::string slowlog_dir;
+    double slow_query_seconds = 1.0;
+    size_t slowlog_max_files = 32;
   };
 
   JobScheduler(query::FederatedQueryEngine* engine, archive::MyDb* mydb,
@@ -275,6 +291,13 @@ class JobScheduler {
   /// failed or cancelled job stores nothing (no partial container).
   Status ExecuteInto(Job* job, const query::ExecContext& ctx,
                      query::ExecStats* exec, uint64_t* rows);
+  /// Refreshes the per-lane queued/running gauges from LaneDepths().
+  /// Takes mu_ (via LaneDepths) -- call without the lock held.
+  void UpdateLaneGauges();
+  /// Persists one slow job's trace to Options::slowlog_dir and prunes
+  /// the directory to slowlog_max_files newest captures. Best-effort:
+  /// I/O failures are swallowed (the job already finished).
+  void WriteSlowLog(uint64_t job_id, const query::QueryTrace& trace);
 
   query::FederatedQueryEngine* engine_;
   archive::MyDb* mydb_;
@@ -286,6 +309,16 @@ class JobScheduler {
   uint64_t next_id_ = 1;
   std::atomic<bool> shutting_down_{false};
   std::unique_ptr<persist::Journal> journal_;  ///< Null until recovered.
+  // Instruments resolved once in the constructor; all null when
+  // Options::metrics is unset.
+  metrics::Gauge* g_quick_queued_ = nullptr;
+  metrics::Gauge* g_quick_running_ = nullptr;
+  metrics::Gauge* g_long_queued_ = nullptr;
+  metrics::Gauge* g_long_running_ = nullptr;
+  metrics::Histogram* m_queue_wait_us_ = nullptr;
+  metrics::Histogram* m_run_us_ = nullptr;
+  metrics::Counter* m_jobs_finished_ = nullptr;
+  metrics::Counter* m_slowlog_writes_ = nullptr;
   ThreadGroup workers_;
 };
 

@@ -1,0 +1,187 @@
+#include "core/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace sdss::metrics {
+namespace {
+
+TEST(Counter, StartsAtZeroAndAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Inc();
+  c.Inc(41);
+  EXPECT_EQ(c.Value(), 42u);
+}
+
+TEST(Gauge, SetAddAndNegativeValues) {
+  Gauge g;
+  g.Set(7);
+  EXPECT_EQ(g.Value(), 7);
+  g.Add(-10);
+  EXPECT_EQ(g.Value(), -3);
+}
+
+TEST(Histogram, BucketBoundaries) {
+  // Bucket 0 holds zeros; bucket i (i >= 1) holds values with
+  // bit_width == i, i.e. [2^(i-1), 2^i).
+  Histogram h;
+  h.Record(0);                         // bucket 0
+  h.Record(1);                         // bucket 1
+  h.Record(2);                         // bucket 2
+  h.Record(3);                         // bucket 2
+  h.Record(4);                         // bucket 3
+  h.Record(1023);                      // bucket 10
+  h.Record(1024);                      // bucket 11
+  h.Record(UINT64_MAX);                // bucket 64
+  HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 8u);
+
+  auto bucket_count = [&snap](uint8_t index) -> uint64_t {
+    for (const auto& [i, n] : snap.buckets) {
+      if (i == index) return n;
+    }
+    return 0;
+  };
+  EXPECT_EQ(bucket_count(0), 1u);
+  EXPECT_EQ(bucket_count(1), 1u);
+  EXPECT_EQ(bucket_count(2), 2u);
+  EXPECT_EQ(bucket_count(3), 1u);
+  EXPECT_EQ(bucket_count(10), 1u);
+  EXPECT_EQ(bucket_count(11), 1u);
+  EXPECT_EQ(bucket_count(64), 1u);
+
+  // Sparse invariants: ascending indexes, no zero-count entries.
+  for (size_t i = 1; i < snap.buckets.size(); ++i) {
+    EXPECT_LT(snap.buckets[i - 1].first, snap.buckets[i].first);
+  }
+  for (const auto& [index, n] : snap.buckets) EXPECT_GT(n, 0u);
+}
+
+TEST(Histogram, BucketUpperBounds) {
+  EXPECT_EQ(HistogramBucketUpperBound(0), 0u);
+  EXPECT_EQ(HistogramBucketUpperBound(1), 1u);
+  EXPECT_EQ(HistogramBucketUpperBound(2), 3u);
+  EXPECT_EQ(HistogramBucketUpperBound(10), 1023u);
+  EXPECT_EQ(HistogramBucketUpperBound(64), UINT64_MAX);
+}
+
+TEST(Histogram, QuantilesAtBucketResolution) {
+  Histogram h;
+  // 90 observations of ~100us, 9 of ~1000us, 1 of ~10000us: a classic
+  // latency tail.
+  for (int i = 0; i < 90; ++i) h.Record(100);
+  for (int i = 0; i < 9; ++i) h.Record(1000);
+  h.Record(10000);
+  HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 100u);
+  EXPECT_EQ(snap.sum, 90u * 100 + 9u * 1000 + 10000);
+  // p50 and p90 land in the 100-bucket (bit_width(100)=7, bound 127);
+  // p95 in the 1000-bucket (bit_width=10, bound 1023); p99 rank 99 is
+  // still a 1000 observation; the max lands in the 10000 bucket.
+  EXPECT_EQ(snap.Quantile(0.50), 127u);
+  EXPECT_EQ(snap.Quantile(0.90), 127u);
+  EXPECT_EQ(snap.P95(), 1023u);
+  EXPECT_EQ(snap.P99(), 1023u);
+  EXPECT_EQ(snap.Quantile(1.0), 16383u);
+}
+
+TEST(Histogram, QuantileOfEmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.Snapshot().Quantile(0.5), 0u);
+}
+
+TEST(Registry, GetOrCreateReturnsStableAddress) {
+  Registry reg;
+  Counter* a = reg.GetCounter("x_total");
+  Counter* b = reg.GetCounter("x_total");
+  EXPECT_EQ(a, b);
+  a->Inc(3);
+  EXPECT_EQ(b->Value(), 3u);
+}
+
+TEST(Registry, KindClashReturnsDetachedInstrument) {
+  Registry reg;
+  Counter* c = reg.GetCounter("clash");
+  Gauge* g = reg.GetGauge("clash");  // Wrong kind: detached dummy.
+  ASSERT_NE(g, nullptr);
+  g->Set(99);
+  c->Inc();
+  auto snaps = reg.Snapshot();
+  ASSERT_EQ(snaps.size(), 1u);
+  EXPECT_EQ(snaps[0].kind, Kind::kCounter);
+  EXPECT_EQ(snaps[0].counter, 1u);
+}
+
+TEST(Registry, SnapshotSortedByName) {
+  Registry reg;
+  reg.GetCounter("zeta");
+  reg.GetGauge("alpha");
+  reg.GetHistogram("mid");
+  auto snaps = reg.Snapshot();
+  ASSERT_EQ(snaps.size(), 3u);
+  EXPECT_EQ(snaps[0].name, "alpha");
+  EXPECT_EQ(snaps[1].name, "mid");
+  EXPECT_EQ(snaps[2].name, "zeta");
+}
+
+TEST(Registry, TextExpositionShape) {
+  Registry reg;
+  reg.GetCounter("reqs_total")->Inc(5);
+  reg.GetGauge("depth")->Set(-2);
+  Histogram* h = reg.GetHistogram("lat_us");
+  h->Record(3);
+  h->Record(100);
+  std::string text = reg.TextExposition();
+  EXPECT_NE(text.find("# TYPE reqs_total counter"), std::string::npos);
+  EXPECT_NE(text.find("reqs_total 5"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("depth -2"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE lat_us histogram"), std::string::npos);
+  EXPECT_NE(text.find("lat_us_count 2"), std::string::npos);
+  EXPECT_NE(text.find("lat_us_sum 103"), std::string::npos);
+  // Cumulative buckets end with the +Inf catch-all.
+  EXPECT_NE(text.find("lat_us_bucket{le=\"+Inf\"} 2"), std::string::npos);
+}
+
+TEST(Registry, ConcurrentRecordingIsExact) {
+  // Satellite 1 (data-race audit): hammer one counter, one gauge, and
+  // one histogram from several threads; under TSAN this is the race
+  // detector's probe, and in any build the totals must be exact --
+  // relaxed ordering may not lose increments.
+  Registry reg;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20'000;
+  Counter* c = reg.GetCounter("stress_total");
+  Gauge* g = reg.GetGauge("stress_depth");
+  Histogram* h = reg.GetHistogram("stress_us");
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c->Inc();
+        g->Add(1);
+        h->Record(static_cast<uint64_t>(t * kPerThread + i));
+        // Concurrent registration of the same names must also be safe.
+        if (i % 4096 == 0) reg.GetCounter("stress_total");
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(c->Value(), uint64_t{kThreads} * kPerThread);
+  EXPECT_EQ(g->Value(), int64_t{kThreads} * kPerThread);
+  HistogramSnapshot snap = h->Snapshot();
+  EXPECT_EQ(snap.count, uint64_t{kThreads} * kPerThread);
+  uint64_t bucket_total = 0;
+  for (const auto& [index, n] : snap.buckets) bucket_total += n;
+  EXPECT_EQ(bucket_total, snap.count);
+}
+
+}  // namespace
+}  // namespace sdss::metrics

@@ -1,0 +1,144 @@
+#include "query/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/sim_clock.h"
+
+namespace sdss::query {
+namespace {
+
+/// A QueryTrace clocked by a SimClock: every Begin/End reads simulated
+/// nanoseconds, so span trees are bit-for-bit deterministic.
+struct SimTraced {
+  sdss::SimClock clock;
+  QueryTrace trace;
+  SimTraced()
+      : trace([this] {
+          return static_cast<uint64_t>(clock.now() * 1e9);
+        }) {}
+};
+
+TEST(QueryTrace, DeterministicTreeUnderSimClock) {
+  SimTraced t;
+  int root = t.trace.Begin("fan_out");
+  t.clock.Advance(0.001);
+  int shard0 = t.trace.Begin("shard", root, /*lane=*/1);
+  int shard1 = t.trace.Begin("shard", root, /*lane=*/2);
+  t.clock.Advance(0.002);
+  t.trace.End(shard0);
+  t.clock.Advance(0.001);
+  t.trace.End(shard1);
+  int merge = t.trace.Begin("merge", root);
+  t.clock.Advance(0.0005);
+  t.trace.End(merge);
+  t.trace.End(root);
+
+  ASSERT_EQ(t.trace.span_count(), 4u);
+  std::vector<TraceSpan> spans = t.trace.Spans();
+  // Begin order is the vector order; parent indices point into it.
+  EXPECT_EQ(spans[0].name, "fan_out");
+  EXPECT_EQ(spans[0].parent, -1);
+  EXPECT_EQ(spans[1].name, "shard");
+  EXPECT_EQ(spans[1].parent, root);
+  EXPECT_EQ(spans[1].lane, 1);
+  EXPECT_EQ(spans[2].lane, 2);
+  EXPECT_EQ(spans[3].name, "merge");
+  EXPECT_EQ(spans[3].parent, root);
+
+  // Exact simulated timestamps.
+  EXPECT_EQ(spans[0].start_ns, 0u);
+  EXPECT_EQ(spans[0].end_ns, 4'500'000u);
+  EXPECT_EQ(spans[1].start_ns, 1'000'000u);
+  EXPECT_EQ(spans[1].end_ns, 3'000'000u);
+  EXPECT_EQ(spans[2].start_ns, 1'000'000u);
+  EXPECT_EQ(spans[2].end_ns, 4'000'000u);
+  EXPECT_EQ(spans[3].start_ns, 4'000'000u);
+  EXPECT_EQ(spans[3].end_ns, 4'500'000u);
+}
+
+TEST(QueryTrace, AnnotationsRoundTrip) {
+  SimTraced t;
+  int s = t.trace.Begin("shard");
+  t.trace.Num(s, "rows", 42);
+  t.trace.Num(s, "bytes", 1e6);
+  t.trace.Note(s, "kernel", "columnar");
+  t.trace.End(s);
+  TraceSpan span = t.trace.Spans()[0];
+  EXPECT_EQ(span.Num("rows"), 42.0);
+  EXPECT_EQ(span.Num("bytes"), 1e6);
+  EXPECT_EQ(span.Num("absent", -1.0), -1.0);
+  EXPECT_EQ(span.Note("kernel"), "columnar");
+  EXPECT_EQ(span.Note("absent"), "");
+}
+
+TEST(QueryTrace, FindByName) {
+  SimTraced t;
+  int root = t.trace.Begin("fan_out");
+  t.trace.Begin("shard", root, 1);
+  t.trace.Begin("shard", root, 2);
+  t.trace.Begin("merge", root);
+  EXPECT_EQ(t.trace.Find("shard").size(), 2u);
+  EXPECT_EQ(t.trace.Find("merge").size(), 1u);
+  EXPECT_EQ(t.trace.Find("nope").size(), 0u);
+}
+
+TEST(QueryTrace, ChromeJsonShape) {
+  SimTraced t;
+  t.trace.SetMeta("sql", "SELECT 1");
+  t.trace.SetMeta("user", "ana");
+  int root = t.trace.Begin("plan");
+  t.clock.Advance(0.001);
+  t.trace.Num(root, "shards", 3);
+  t.trace.Note(root, "store", "mydb");
+  t.trace.End(root);
+  std::string json = t.trace.ToChromeJson();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"plan\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":1000.000"), std::string::npos);
+  EXPECT_NE(json.find("\"shards\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"store\":\"mydb\""), std::string::npos);
+  EXPECT_NE(json.find("\"sql\":\"SELECT 1\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+}
+
+TEST(QueryTrace, JsonEscapesMetaAndNotes) {
+  SimTraced t;
+  t.trace.SetMeta("sql", "SELECT \"x\"\nFROM t\\u");
+  int s = t.trace.Begin("plan");
+  t.trace.Note(s, "detail", "a\"b\\c");
+  t.trace.End(s);
+  std::string json = t.trace.ToChromeJson();
+  EXPECT_NE(json.find("SELECT \\\"x\\\"\\nFROM t\\\\u"), std::string::npos);
+  EXPECT_NE(json.find("a\\\"b\\\\c"), std::string::npos);
+}
+
+TEST(QueryTrace, NullSafeHelpersAreNoOps) {
+  QueryTrace* none = nullptr;
+  int s = TraceBegin(none, "plan");
+  EXPECT_EQ(s, QueryTrace::kNoSpan);
+  TraceNum(none, s, "rows", 1);   // Must not crash.
+  TraceNote(none, s, "k", "v");
+  TraceEnd(none, s);
+
+  // With a live trace but an invalid span id, the helpers still no-op.
+  QueryTrace trace;
+  TraceNum(&trace, QueryTrace::kNoSpan, "rows", 1);
+  TraceEnd(&trace, QueryTrace::kNoSpan);
+  EXPECT_EQ(trace.span_count(), 0u);
+}
+
+TEST(QueryTrace, UnendedSpanExportsZeroLength) {
+  SimTraced t;
+  t.clock.Advance(0.002);
+  t.trace.Begin("admission_wait");
+  std::string json = t.trace.ToChromeJson();
+  EXPECT_NE(json.find("\"dur\":0.000"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sdss::query

@@ -384,5 +384,191 @@ TEST_F(ServerProtocolSocketTest, ZeroAndOversizedLengthsAreViolations) {
   EXPECT_EQ(oversized.status().code(), StatusCode::kInvalidArgument);
 }
 
+// ---------------------------------------------------------------------
+// STATS / STATS_REPORT (revision 1.1) and the DONE stage extension.
+
+TEST(ServerProtocolLayout, StatsRequestIsAnEmptyFrame) {
+  EXPECT_EQ(EncodeStatsRequest(), Bytes({0x01, 0x00, 0x00, 0x00, 0x0b}));
+}
+
+TEST(ServerProtocolLayout, StatsReportMatchesTheSpecExample) {
+  // One counter "q" = 7: version 1, count 1, lp("q"), kind 1, u64 7.
+  StatsMsg msg;
+  metrics::InstrumentSnapshot ins;
+  ins.name = "q";
+  ins.kind = metrics::Kind::kCounter;
+  ins.counter = 7;
+  msg.instruments.push_back(ins);
+  EXPECT_EQ(EncodeStatsReport(msg),
+            Bytes({0x17, 0x00, 0x00, 0x00,                    // len = 23
+                   0x0c,                                      // STATS_REPORT
+                   0x01, 0x00, 0x00, 0x00,                    // version
+                   0x01, 0x00, 0x00, 0x00,                    // count
+                   0x01, 0x00, 0x00, 0x00, 0x71,              // "q"
+                   0x01,                                      // kind counter
+                   0x07, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,  // value
+                   0x00}));
+}
+
+TEST(ServerProtocolRoundTrip, StatsReportAllThreeKinds) {
+  StatsMsg in;
+  metrics::InstrumentSnapshot counter;
+  counter.name = "server_queries_submitted";
+  counter.kind = metrics::Kind::kCounter;
+  counter.counter = 12345678901234ull;
+  metrics::InstrumentSnapshot gauge;
+  gauge.name = "workbench_quick_queued";
+  gauge.kind = metrics::Kind::kGauge;
+  gauge.gauge = -42;
+  metrics::InstrumentSnapshot hist;
+  hist.name = "query_exec_us";
+  hist.kind = metrics::Kind::kHistogram;
+  hist.hist.count = 100;
+  hist.hist.sum = 99000;
+  hist.hist.buckets = {{7, 90}, {10, 9}, {14, 1}};
+  in.instruments = {counter, gauge, hist};
+
+  Frame f = Parse(EncodeStatsReport(in));
+  ASSERT_EQ(f.type, MsgType::kStatsReport);
+  auto out = DecodeStatsReport(f.payload);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->version, 1u);
+  ASSERT_EQ(out->instruments.size(), 3u);
+  EXPECT_EQ(out->instruments[0].name, "server_queries_submitted");
+  EXPECT_EQ(out->instruments[0].counter, 12345678901234ull);
+  EXPECT_EQ(out->instruments[1].kind, metrics::Kind::kGauge);
+  EXPECT_EQ(out->instruments[1].gauge, -42);
+  const auto& h = out->instruments[2].hist;
+  EXPECT_EQ(h.count, 100u);
+  EXPECT_EQ(h.sum, 99000u);
+  ASSERT_EQ(h.buckets.size(), 3u);
+  EXPECT_EQ(h.buckets[1], (std::pair<uint8_t, uint64_t>{10, 9}));
+  // Quantiles survive the wire: the snapshot is reconstructed whole.
+  EXPECT_EQ(h.P50(), 127u);
+  EXPECT_EQ(h.P99(), 1023u);
+}
+
+TEST(ServerProtocolDecode, StatsReportToleratesTrailingBytes) {
+  StatsMsg in;
+  metrics::InstrumentSnapshot ins;
+  ins.name = "x";
+  ins.kind = metrics::Kind::kCounter;
+  ins.counter = 1;
+  in.instruments.push_back(ins);
+  std::string payload =
+      Parse(EncodeStatsReport(in)).payload + "future-field";
+  auto out = DecodeStatsReport(payload);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->instruments.size(), 1u);
+  EXPECT_EQ(out->instruments[0].counter, 1u);
+}
+
+TEST(ServerProtocolDecode, StatsReportHostileCountsAreRejected) {
+  // Instrument count far beyond what the payload could carry.
+  {
+    std::string payload;
+    payload += Bytes({0x01, 0x00, 0x00, 0x00});  // version
+    payload += Bytes({0xff, 0xff, 0xff, 0x7f});  // count = 2^31 - 1
+    auto out = DecodeStatsReport(payload);
+    ASSERT_FALSE(out.ok());
+    EXPECT_EQ(out.status().code(), StatusCode::kInvalidArgument);
+  }
+  // Histogram bucket count beyond the 65-bucket layout.
+  {
+    std::string payload;
+    payload += Bytes({0x01, 0x00, 0x00, 0x00});  // version
+    payload += Bytes({0x01, 0x00, 0x00, 0x00});  // count = 1
+    payload += Bytes({0x01, 0x00, 0x00, 0x00, 'h'});  // name "h"
+    payload += Bytes({0x03});                    // kind histogram
+    payload += std::string(16, '\0');            // count, sum
+    payload += Bytes({0xff, 0x00, 0x00, 0x00});  // nbuckets = 255
+    auto out = DecodeStatsReport(payload);
+    ASSERT_FALSE(out.ok());
+    EXPECT_EQ(out.status().code(), StatusCode::kInvalidArgument);
+  }
+  // A bucket index outside the fixed layout.
+  {
+    std::string payload;
+    payload += Bytes({0x01, 0x00, 0x00, 0x00});
+    payload += Bytes({0x01, 0x00, 0x00, 0x00});
+    payload += Bytes({0x01, 0x00, 0x00, 0x00, 'h'});
+    payload += Bytes({0x03});
+    payload += std::string(16, '\0');
+    payload += Bytes({0x01, 0x00, 0x00, 0x00});  // nbuckets = 1
+    payload += Bytes({0x41});                    // index 65: out of range
+    payload += std::string(8, '\0');
+    auto out = DecodeStatsReport(payload);
+    ASSERT_FALSE(out.ok());
+    EXPECT_EQ(out.status().code(), StatusCode::kInvalidArgument);
+  }
+  // An unknown instrument kind.
+  {
+    std::string payload;
+    payload += Bytes({0x01, 0x00, 0x00, 0x00});
+    payload += Bytes({0x01, 0x00, 0x00, 0x00});
+    payload += Bytes({0x01, 0x00, 0x00, 0x00, 'x'});
+    payload += Bytes({0x09});                    // kind 9: unknown
+    payload += std::string(8, '\0');
+    auto out = DecodeStatsReport(payload);
+    ASSERT_FALSE(out.ok());
+    EXPECT_EQ(out.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(ServerProtocolRoundTrip, DoneCarriesTheStageBreakdown) {
+  DoneMsg in;
+  in.job_id = 9;
+  in.rows = 10;
+  in.seconds_queued = 0.5;
+  in.seconds_running = 2.0;
+  in.containers_scanned = 3;
+  in.bytes_touched = 4096;
+  in.seconds_plan = 0.01;
+  in.seconds_cache_probe = 0.002;
+  in.seconds_ghost_harvest = 0.25;
+  in.seconds_fan_out = 1.5;
+  in.seconds_stream_out = 0.125;
+  Frame f = Parse(EncodeDone(in));
+  auto out = DecodeDone(f.payload);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->seconds_plan, 0.01);
+  EXPECT_EQ(out->seconds_cache_probe, 0.002);
+  EXPECT_EQ(out->seconds_ghost_harvest, 0.25);
+  EXPECT_EQ(out->seconds_fan_out, 1.5);
+  EXPECT_EQ(out->seconds_stream_out, 0.125);
+}
+
+TEST(ServerProtocolDecode, DoneFromAnOldEncoderLeavesStagesZero) {
+  // A revision-1.0 DONE payload is the new one minus the trailing
+  // 40-byte stage block; the decoder must accept it and default the
+  // five stage fields to zero (the all-or-nothing trailing-block rule).
+  DoneMsg in;
+  in.job_id = 9;
+  in.rows = 10;
+  in.seconds_running = 2.0;
+  in.seconds_plan = 0.75;  // Must NOT survive the truncation.
+  std::string payload = Parse(EncodeDone(in)).payload;
+  ASSERT_GT(payload.size(), 40u);
+  std::string old_payload = payload.substr(0, payload.size() - 40);
+  auto out = DecodeDone(old_payload);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->job_id, 9u);
+  EXPECT_EQ(out->rows, 10u);
+  EXPECT_EQ(out->seconds_running, 2.0);
+  EXPECT_EQ(out->seconds_plan, 0.0);
+  EXPECT_EQ(out->seconds_cache_probe, 0.0);
+  EXPECT_EQ(out->seconds_ghost_harvest, 0.0);
+  EXPECT_EQ(out->seconds_fan_out, 0.0);
+  EXPECT_EQ(out->seconds_stream_out, 0.0);
+
+  // A partial stage block (not the full 40 bytes) is also treated as
+  // absent, never half-read.
+  std::string torn = payload.substr(0, payload.size() - 8);
+  auto torn_out = DecodeDone(torn);
+  ASSERT_TRUE(torn_out.ok());
+  EXPECT_EQ(torn_out->seconds_plan, 0.0);
+  EXPECT_EQ(torn_out->seconds_stream_out, 0.0);
+}
+
 }  // namespace
 }  // namespace sdss::server

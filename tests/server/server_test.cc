@@ -247,6 +247,78 @@ TEST_F(ServerTest, StatsCountTheConversation) {
   EXPECT_EQ(stats.queries_failed, 0u);
 }
 
+TEST_F(ServerTest, StatsFrameShipsTheMetricsSnapshot) {
+  StartServer(DefaultLanes(), ServerOptions());
+  auto client = Connect("alice");
+  ASSERT_TRUE(client.ok());
+  ASSERT_EQ(client->Query(kQuickSql)->kind, QueryOutcome::Kind::kDone);
+
+  auto report = client->Stats();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->version, 1u);
+  auto value = [&report](const std::string& name) -> uint64_t {
+    for (const auto& ins : report->instruments) {
+      if (ins.name == name) return ins.counter;
+    }
+    ADD_FAILURE() << "instrument " << name << " missing from report";
+    return 0;
+  };
+  EXPECT_EQ(value("server_queries_submitted"), 1u);
+  EXPECT_EQ(value("server_queries_succeeded"), 1u);
+  EXPECT_GE(value("server_sessions_accepted"), 1u);
+
+  // The session stays usable after the STATS exchange.
+  ASSERT_EQ(client->Query(kQuickSql)->kind, QueryOutcome::Kind::kDone);
+  auto again = client->Stats();
+  ASSERT_TRUE(again.ok());
+  ASSERT_TRUE(client->Bye().ok());
+}
+
+TEST_F(ServerTest, SharedRegistryReportsEveryLayer) {
+  // Wire one registry through scheduler and server: the STATS frame
+  // must then carry workbench_* and server_* instruments side by side.
+  metrics::Registry registry;
+  auto lanes = DefaultLanes();
+  lanes.metrics = &registry;
+  ServerOptions options;
+  options.metrics = &registry;
+  StartServer(lanes, options);
+  auto client = Connect("alice");
+  ASSERT_TRUE(client.ok());
+  ASSERT_EQ(client->Query(kQuickSql)->kind, QueryOutcome::Kind::kDone);
+
+  auto report = client->Stats();
+  ASSERT_TRUE(report.ok());
+  bool saw_server = false, saw_workbench = false;
+  for (const auto& ins : report->instruments) {
+    if (ins.name == "server_queries_succeeded" && ins.counter == 1) {
+      saw_server = true;
+    }
+    if (ins.name == "workbench_jobs_finished" && ins.counter == 1) {
+      saw_workbench = true;
+    }
+  }
+  EXPECT_TRUE(saw_server);
+  EXPECT_TRUE(saw_workbench);
+  ASSERT_TRUE(client->Bye().ok());
+}
+
+TEST_F(ServerTest, DoneCarriesStageSeconds) {
+  StartServer(DefaultLanes(), ServerOptions());
+  auto client = Connect("alice");
+  ASSERT_TRUE(client.ok());
+  auto outcome = client->Query(kQuickSql);
+  ASSERT_TRUE(outcome.ok());
+  ASSERT_EQ(outcome->kind, QueryOutcome::Kind::kDone);
+  // Planning happened and is accounted; the stage sum stays within the
+  // job's total running time.
+  EXPECT_GT(outcome->done.seconds_plan, 0.0);
+  EXPECT_GT(outcome->done.seconds_fan_out, 0.0);
+  EXPECT_LE(outcome->done.seconds_plan + outcome->done.seconds_fan_out,
+            outcome->done.seconds_running + 0.001);
+  ASSERT_TRUE(client->Bye().ok());
+}
+
 TEST_F(ServerTest, ConcurrentSessionsAllComplete) {
   StartServer(DefaultLanes(), ServerOptions());
   constexpr int kSessions = 8;

@@ -1,0 +1,182 @@
+// The slow-query log: a scheduler with slowlog_dir set traces every
+// job and persists chrome://tracing captures for jobs at or over the
+// slow_query_seconds threshold, pruned to slowlog_max_files newest.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "archive/mydb.h"
+#include "archive/sharded_store.h"
+#include "catalog/sky_generator.h"
+#include "core/io.h"
+#include "core/metrics.h"
+#include "query/federated_engine.h"
+#include "workbench/scheduler.h"
+
+namespace sdss::workbench {
+namespace {
+
+using archive::MyDb;
+using archive::ReplicationOptions;
+using archive::ShardedStore;
+using query::FederatedQueryEngine;
+
+class SlowLogTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    catalog::SkyModel m;
+    m.seed = 2200;
+    m.num_galaxies = 6000;
+    m.num_stars = 5000;
+    m.num_quasars = 100;
+    source_ = new catalog::ObjectStore();
+    ASSERT_TRUE(
+        source_->BulkLoad(catalog::SkyGenerator(m).Generate()).ok());
+    ReplicationOptions repl;
+    repl.num_servers = 2;
+    repl.base_replicas = 1;
+    sharded_ = new ShardedStore(*source_, repl);
+    auto shards = sharded_->LiveShards();
+    ASSERT_TRUE(shards.ok());
+    engine_ = new FederatedQueryEngine(*shards);
+  }
+  static void TearDownTestSuite() {
+    delete engine_;
+    delete sharded_;
+    delete source_;
+    engine_ = nullptr;
+    sharded_ = nullptr;
+    source_ = nullptr;
+  }
+
+  std::string TempDir(const char* tag) {
+    std::string dir = ::testing::TempDir() + "slowlog_" + tag + "_" +
+                      std::to_string(::getpid());
+    std::remove(dir.c_str());
+    return dir;
+  }
+
+  std::vector<std::string> Captures(const std::string& dir) {
+    std::vector<std::string> names;
+    auto entries = ListDir(dir);
+    if (!entries.ok()) return names;
+    for (const std::string& name : *entries) {
+      if (name.rfind("slow-", 0) == 0) names.push_back(name);
+    }
+    std::sort(names.begin(), names.end());
+    return names;
+  }
+
+  static catalog::ObjectStore* source_;
+  static ShardedStore* sharded_;
+  static FederatedQueryEngine* engine_;
+};
+
+catalog::ObjectStore* SlowLogTest::source_ = nullptr;
+ShardedStore* SlowLogTest::sharded_ = nullptr;
+FederatedQueryEngine* SlowLogTest::engine_ = nullptr;
+
+TEST_F(SlowLogTest, ThresholdZeroCapturesEveryJob) {
+  const std::string dir = TempDir("all");
+  metrics::Registry registry;
+  JobScheduler::Options opt;
+  opt.quick_workers = 1;
+  opt.long_workers = 1;
+  opt.slowlog_dir = dir;
+  opt.slow_query_seconds = 0.0;  // Every job is "slow".
+  opt.metrics = &registry;
+  MyDb mydb;
+  JobScheduler scheduler(engine_, &mydb, opt);
+
+  auto job = scheduler.Submit(
+      "ana", "SELECT COUNT(*) FROM photo WHERE r < 23");
+  ASSERT_TRUE(job.ok());
+  auto snap = scheduler.Wait(*job);
+  ASSERT_TRUE(snap.ok());
+  EXPECT_EQ(snap->state, JobState::kSucceeded);
+
+  auto captures = Captures(dir);
+  ASSERT_EQ(captures.size(), 1u);
+  // The capture is chrome://tracing JSON carrying the job's identity
+  // and its stage spans.
+  auto json = ReadFileToString(dir + "/" + captures[0]);
+  ASSERT_TRUE(json.ok());
+  EXPECT_NE(json->find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json->find("\"admission_wait\""), std::string::npos);
+  EXPECT_NE(json->find("\"fan_out\""), std::string::npos);
+  EXPECT_NE(json->find("COUNT(*)"), std::string::npos);
+  EXPECT_NE(json->find("\"user\":\"ana\""), std::string::npos);
+  EXPECT_EQ(registry.GetCounter("workbench_slowlog_writes")->Value(), 1u);
+}
+
+TEST_F(SlowLogTest, HighThresholdWritesNothing) {
+  const std::string dir = TempDir("none");
+  JobScheduler::Options opt;
+  opt.quick_workers = 1;
+  opt.long_workers = 1;
+  opt.slowlog_dir = dir;
+  opt.slow_query_seconds = 3600.0;  // Nothing is that slow.
+  MyDb mydb;
+  JobScheduler scheduler(engine_, &mydb, opt);
+
+  auto job = scheduler.Submit("ana", "SELECT COUNT(*) FROM photo");
+  ASSERT_TRUE(job.ok());
+  ASSERT_TRUE(scheduler.Wait(*job).ok());
+  EXPECT_TRUE(Captures(dir).empty());
+}
+
+TEST_F(SlowLogTest, PrunesToMaxFilesNewestSurvive) {
+  const std::string dir = TempDir("prune");
+  JobScheduler::Options opt;
+  opt.quick_workers = 1;
+  opt.long_workers = 1;
+  opt.slowlog_dir = dir;
+  opt.slow_query_seconds = 0.0;
+  opt.slowlog_max_files = 3;
+  MyDb mydb;
+  JobScheduler scheduler(engine_, &mydb, opt);
+
+  std::vector<uint64_t> ids;
+  for (int i = 0; i < 6; ++i) {
+    auto job = scheduler.Submit(
+        "ana", "SELECT COUNT(*) FROM photo WHERE r < " +
+                   std::to_string(18 + i));
+    ASSERT_TRUE(job.ok());
+    auto snap = scheduler.Wait(*job);
+    ASSERT_TRUE(snap.ok());
+    ids.push_back(*job);
+  }
+
+  auto captures = Captures(dir);
+  ASSERT_EQ(captures.size(), 3u);
+  // Fixed-width naming makes lexicographic order age order: the three
+  // survivors must be the three newest job ids.
+  for (size_t i = 0; i < 3; ++i) {
+    char expected[32];
+    std::snprintf(expected, sizeof(expected), "slow-%08llu.json",
+                  static_cast<unsigned long long>(ids[ids.size() - 3 + i]));
+    EXPECT_EQ(captures[i], expected);
+  }
+}
+
+TEST_F(SlowLogTest, NoSlowlogDirMeansNoTracingNoFiles) {
+  JobScheduler::Options opt;
+  opt.quick_workers = 1;
+  opt.long_workers = 1;
+  MyDb mydb;
+  JobScheduler scheduler(engine_, &mydb, opt);
+  auto job = scheduler.Submit("ana", "SELECT COUNT(*) FROM photo");
+  ASSERT_TRUE(job.ok());
+  auto snap = scheduler.Wait(*job);
+  ASSERT_TRUE(snap.ok());
+  EXPECT_EQ(snap->state, JobState::kSucceeded);
+}
+
+}  // namespace
+}  // namespace sdss::workbench

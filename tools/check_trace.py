@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Validates a chrome://tracing JSON capture produced by QueryTrace.
+
+Usage: tools/check_trace.py <trace.json> [<trace.json> ...]
+
+Checks the Trace Event Format invariants our exporter promises
+(src/query/trace.cc ToChromeJson):
+
+  - top level: traceEvents list, displayTimeUnit "ms", otherData object
+  - every event is a complete ("X") event with name/ts/dur/pid/tid/args
+  - timestamps are origin-relative: min(ts) == 0, every ts/dur >= 0
+  - tids (display lanes) are positive integers
+
+Exit 0 when every file validates; 1 with a diagnostic otherwise. Used
+by the CI trace-smoke step against examples/explain_analyze's output.
+"""
+
+import json
+import sys
+
+
+def fail(path, message):
+    print(f"{path}: {message}", file=sys.stderr)
+    return 1
+
+
+def check(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            trace = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail(path, f"not readable JSON: {e}")
+
+    if not isinstance(trace, dict):
+        return fail(path, "top level is not an object")
+    events = trace.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        return fail(path, "traceEvents missing or empty")
+    if trace.get("displayTimeUnit") != "ms":
+        return fail(path, "displayTimeUnit is not 'ms'")
+    if not isinstance(trace.get("otherData"), dict):
+        return fail(path, "otherData missing")
+
+    min_ts = None
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            return fail(path, f"{where} is not an object")
+        if ev.get("ph") != "X":
+            return fail(path, f"{where}: ph is not 'X'")
+        name = ev.get("name")
+        if not isinstance(name, str) or not name:
+            return fail(path, f"{where}: missing span name")
+        for key in ("ts", "dur"):
+            v = ev.get(key)
+            if not isinstance(v, (int, float)) or v < 0:
+                return fail(path, f"{where} ({name}): bad {key}: {v!r}")
+        if ev.get("pid") != 1:
+            return fail(path, f"{where} ({name}): pid is not 1")
+        tid = ev.get("tid")
+        if not isinstance(tid, int) or tid < 1:
+            return fail(path, f"{where} ({name}): bad tid: {tid!r}")
+        if not isinstance(ev.get("args"), dict):
+            return fail(path, f"{where} ({name}): args missing")
+        min_ts = ev["ts"] if min_ts is None else min(min_ts, ev["ts"])
+
+    if min_ts != 0:
+        return fail(path, f"timestamps not origin-relative: min ts {min_ts}")
+
+    print(f"{path}: ok ({len(events)} spans)")
+    return 0
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    return max(check(path) for path in argv[1:])
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
