@@ -15,12 +15,15 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <string>
 #include <vector>
 
 #include "archive/sharded_store.h"
 #include "bench_util.h"
+#include "core/eventlog.h"
 #include "core/metrics.h"
+#include "core/metrics_history.h"
 #include "query/federated_engine.h"
 #include "query/trace.h"
 
@@ -173,6 +176,57 @@ void BM_RegistrySnapshot(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RegistrySnapshot)->Unit(benchmark::kMicrosecond);
+
+/// What a /metrics scrape renders: the full Prometheus text page of a
+/// registry about the size a loaded server carries.
+void BM_TextExposition(benchmark::State& state) {
+  metrics::Registry reg;
+  for (int i = 0; i < 32; ++i) {
+    reg.GetCounter("counter_" + std::to_string(i))->Inc(i);
+    reg.GetHistogram("hist_" + std::to_string(i))->Record(i * 100);
+  }
+  for (auto _ : state) {
+    std::string page = reg.TextExposition();
+    benchmark::DoNotOptimize(page.size());
+  }
+}
+BENCHMARK(BM_TextExposition)->Unit(benchmark::kMicrosecond);
+
+/// What the monitoring plane's sampler pays every period: one registry
+/// snapshot into the history ring.
+void BM_HistorySample(benchmark::State& state) {
+  metrics::Registry reg;
+  for (int i = 0; i < 32; ++i) {
+    reg.GetCounter("counter_" + std::to_string(i))->Inc(i);
+    reg.GetHistogram("hist_" + std::to_string(i))->Record(i * 100);
+  }
+  metrics::History history(&reg);
+  double now = 0.0;
+  for (auto _ : state) {
+    history.Sample(now += 1.0);
+  }
+  benchmark::DoNotOptimize(history.samples_taken());
+}
+BENCHMARK(BM_HistorySample)->Unit(benchmark::kMicrosecond);
+
+/// One structured event, formatted and appended (no fsync by design).
+void BM_EventLogEmit(benchmark::State& state) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "sdss_bench_eventlog")
+          .string();
+  std::filesystem::remove_all(dir);
+  auto log = EventLog::Open(dir);
+  if (!log.ok()) std::abort();
+  for (auto _ : state) {
+    (*log)->Emit(EventSeverity::kWarn, "workbench", "slow_query", 42,
+                 {{"user", "ana"}, {"seconds", "2.171"}});
+  }
+  benchmark::DoNotOptimize((*log)->events_written());
+  state.counters["write_errors"] =
+      static_cast<double>((*log)->write_errors());
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_EventLogEmit)->Unit(benchmark::kMicrosecond);
 
 void BM_TraceSpanOpenClose(benchmark::State& state) {
   QueryTrace trace;

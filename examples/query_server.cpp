@@ -6,17 +6,38 @@
 // follow-up query, a mid-stream cancellation, and a refused login.
 // The same walkthrough, narrated, lives in BUILDING.md; the byte-level
 // protocol is docs/PROTOCOL.md.
+//
+// Flags (all optional; without them the walkthrough runs as before):
+//   --admin-port=N     also start the HTTP admin endpoint on port N
+//                      (0 = ephemeral): /metrics /healthz /statusz
+//                      /varz /tracez, plus the metric history sampler,
+//                      health watchdog, trace ring, and event log.
+//   --serve-seconds=S  keep both servers up S seconds after the
+//                      walkthrough so a scraper (or CI's monitoring
+//                      smoke job) can pull the endpoints.
+//   --trip-watchdog    force the journal_poisoned rule to fire so
+//                      /healthz demonstrably flips to 503.
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
 #include <memory>
 #include <string>
+#include <thread>
 
 #include "archive/mydb.h"
 #include "archive/sharded_store.h"
 #include "catalog/sky_generator.h"
+#include "core/eventlog.h"
 #include "core/metrics.h"
+#include "core/metrics_history.h"
+#include "core/watchdog.h"
 #include "query/federated_engine.h"
+#include "query/trace.h"
 #include "server/client.h"
+#include "server/http_admin.h"
 #include "server/server.h"
 #include "workbench/scheduler.h"
 
@@ -30,6 +51,7 @@ using sdss::server::Client;
 using sdss::server::QueryOutcome;
 using sdss::server::QueryServer;
 using sdss::server::ServerOptions;
+using sdss::server::HttpAdmin;
 using sdss::workbench::JobScheduler;
 
 void ShowOutcome(const char* what, const QueryOutcome& out) {
@@ -55,7 +77,28 @@ void ShowOutcome(const char* what, const QueryOutcome& out) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  int admin_port = -1;  // -1 = monitoring plane off.
+  int serve_seconds = 0;
+  bool trip_watchdog = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--admin-port=", 0) == 0) {
+      admin_port = std::atoi(arg.c_str() + std::strlen("--admin-port="));
+    } else if (arg.rfind("--serve-seconds=", 0) == 0) {
+      serve_seconds =
+          std::atoi(arg.c_str() + std::strlen("--serve-seconds="));
+    } else if (arg == "--trip-watchdog") {
+      trip_watchdog = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--admin-port=N] [--serve-seconds=S] "
+                   "[--trip-watchdog]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
   // A small synthetic sky on a 4-server fleet.
   sdss::catalog::SkyModel model;
   model.seed = 7;
@@ -83,18 +126,84 @@ int main() {
   FederatedQueryEngine engine(*shards, engine_options);
   MyDb mydb;
 
+  // The monitoring plane, when --admin-port asked for it: structured
+  // events on disk, a 2 s metric-history sampler (so short runs still
+  // accumulate /varz windows), the stock watchdog rules, and a trace
+  // ring fed by every finished job (trace_sample_every = 1).
+  std::unique_ptr<sdss::EventLog> events;
+  std::unique_ptr<sdss::metrics::History> history;
+  std::unique_ptr<sdss::HealthWatchdog> watchdog;
+  sdss::query::TraceRing traces(64);
+  if (admin_port >= 0) {
+    const std::string events_dir =
+        (std::filesystem::temp_directory_path() / "sdss_query_server_events")
+            .string();
+    auto opened = sdss::EventLog::Open(events_dir);
+    if (opened.ok()) {
+      events = std::move(*opened);
+      std::printf("event log: %s\n", events_dir.c_str());
+    }
+    sdss::metrics::History::Options hopt;
+    hopt.period_seconds = 2.0;
+    hopt.capacity = 1800;  // Still an hour of history.
+    history = std::make_unique<sdss::metrics::History>(&registry, hopt);
+    sdss::HealthWatchdog::Options wopt;
+    wopt.rules = sdss::HealthWatchdog::DefaultRules(/*quick_depth_max=*/16);
+    wopt.events = events.get();
+    watchdog =
+        std::make_unique<sdss::HealthWatchdog>(history.get(), wopt);
+  }
+
   JobScheduler::Options lanes;
   lanes.quick_workers = 2;
   lanes.long_workers = 1;
   lanes.metrics = &registry;
+  lanes.events = events.get();
+  lanes.trace_ring = &traces;
+  lanes.trace_sample_every = 1;
   JobScheduler scheduler(&engine, &mydb, lanes);
 
   ServerOptions options;
   options.users = {{"ana", "tycho"}};
   options.metrics = &registry;
+  options.events = events.get();
   QueryServer server(&scheduler, options);
   if (!server.Start().ok()) return 1;
   std::printf("query server listening on 127.0.0.1:%u\n\n", server.port());
+
+  std::unique_ptr<HttpAdmin> admin;
+  if (admin_port >= 0) {
+    HttpAdmin::Options aopt;
+    aopt.port = static_cast<uint16_t>(admin_port);
+    aopt.metrics = &registry;
+    aopt.history = history.get();
+    aopt.watchdog = watchdog.get();
+    aopt.traces = &traces;
+    aopt.scheduler = &scheduler;
+    aopt.events = events.get();
+    aopt.build_info = "sdss-archive example_query_server";
+    admin = std::make_unique<HttpAdmin>(aopt);
+    if (!admin->Start().ok()) return 1;
+    // The watchdog evaluates after every history sample, so readiness
+    // flips within one sampler period of a condition appearing.
+    history->Start([&watchdog] { watchdog->Evaluate(); });
+    std::printf("admin endpoint on 127.0.0.1:%u -- try:\n", admin->port());
+    std::printf("  curl http://127.0.0.1:%u/metrics\n", admin->port());
+    std::printf("  curl http://127.0.0.1:%u/healthz\n", admin->port());
+    std::printf("  curl http://127.0.0.1:%u/statusz\n", admin->port());
+    std::printf("  curl http://127.0.0.1:%u/varz?window=60s\n",
+                admin->port());
+    std::printf("  curl http://127.0.0.1:%u/tracez?latest=1\n\n",
+                admin->port());
+    if (trip_watchdog) {
+      // Fake the one latched failure an operator can stage without a
+      // sick disk: the journal_poisoned rule reads this gauge.
+      registry.GetGauge("persist_journal_poisoned")->Set(1);
+      std::printf("tripped watchdog: persist_journal_poisoned = 1, "
+                  "/healthz goes 503 within ~%.0f s\n\n",
+                  history->period_seconds());
+    }
+  }
 
   auto client = Client::Connect("127.0.0.1", server.port(), "ana", "tycho");
   if (!client.ok()) return 1;
@@ -186,6 +295,15 @@ int main() {
               static_cast<unsigned long long>(stats.queries_succeeded),
               static_cast<unsigned long long>(stats.queries_failed),
               static_cast<unsigned long long>(stats.auth_failures));
+  if (serve_seconds > 0) {
+    std::printf("\nserving %d more seconds for scrapers...\n",
+                serve_seconds);
+    std::this_thread::sleep_for(std::chrono::seconds(serve_seconds));
+  }
+  if (admin != nullptr) {
+    history->Stop();
+    admin->Stop();
+  }
   server.Stop();
   return 0;
 }

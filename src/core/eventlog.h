@@ -1,0 +1,148 @@
+// Structured, machine-parseable operational event log (JSONL).
+//
+// The archive's monitoring plane needs a stream a human can tail and a
+// pipeline can parse: one JSON object per line, rotated by size, with a
+// fixed envelope (timestamp, severity, component, event name, optional
+// query/job id) plus free-form key=value fields. The query server
+// (refused sessions, auth failures, protocol errors), the workbench
+// (slow queries), the journal (poisoning), and the health watchdog
+// (rule fire/clear transitions) all write to one EventLog, so "what
+// happened around 03:12" is a single grep instead of four.
+//
+// Deliberately not the write-ahead journal: events are best-effort
+// observability, never durability. Writes are appended without fsync;
+// an I/O failure is counted (eventlog_write_errors) and swallowed --
+// losing an event must never take a query down with it.
+
+#ifndef SDSS_CORE_EVENTLOG_H_
+#define SDSS_CORE_EVENTLOG_H_
+
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/metrics.h"
+#include "core/status.h"
+
+namespace sdss {
+
+enum class EventSeverity : uint8_t { kInfo = 0, kWarn = 1, kError = 2 };
+
+const char* EventSeverityName(EventSeverity severity);
+
+/// One structured event. `fields` become top-level JSON keys, so they
+/// must not collide with the envelope keys (ts_ms, severity, component,
+/// event, id); colliding keys would produce duplicate-key JSON, which
+/// parsers resolve unpredictably.
+struct Event {
+  EventSeverity severity = EventSeverity::kInfo;
+  std::string component;  ///< "server", "workbench", "persist", "watchdog".
+  std::string name;       ///< "slow_query", "journal_poisoned", ...
+  uint64_t id = 0;        ///< Job/session id; 0 = not tied to one.
+  std::vector<std::pair<std::string, std::string>> fields;
+};
+
+/// Append side of the event log. Thread-safe: Emit may be called from
+/// any thread; one mutex serializes the write and rotation check (event
+/// volume is operational, not per-row).
+///
+/// On-disk layout mirrors the journal's segment discipline:
+///
+///   <dir>/events-000001.jsonl, events-000002.jsonl, ...
+///
+/// A reopened log never appends to an old file (its tail may be a torn
+/// line); it always starts max+1. A file exceeding rotate_bytes after a
+/// write is closed, the next Emit opens a fresh one, and files beyond
+/// max_files are pruned oldest-first.
+class EventLog {
+ public:
+  struct Options {
+    /// Roll to the next file once the current one exceeds this.
+    uint64_t rotate_bytes = 1ull << 20;
+    /// Files kept after rotation (oldest pruned). Minimum 1.
+    size_t max_files = 8;
+    /// Wall-clock milliseconds for the ts_ms envelope field; injectable
+    /// so tests pin byte-exact lines. Default: system_clock.
+    std::function<uint64_t()> now_ms;
+    /// When set, the log publishes eventlog_events_emitted,
+    /// eventlog_write_errors, and eventlog_rotations counters. Must
+    /// outlive the log.
+    metrics::Registry* metrics = nullptr;
+  };
+
+  /// Opens `dir` for appending (creating it if needed).
+  static Result<std::unique_ptr<EventLog>> Open(const std::string& dir,
+                                                Options options);
+  static Result<std::unique_ptr<EventLog>> Open(const std::string& dir) {
+    return Open(dir, Options());
+  }
+
+  ~EventLog();
+  EventLog(const EventLog&) = delete;
+  EventLog& operator=(const EventLog&) = delete;
+
+  /// Appends one event as a JSONL line. Best-effort: failures are
+  /// counted, never returned (see the file comment).
+  void Emit(const Event& event);
+
+  /// Convenience form building the Event in place.
+  void Emit(EventSeverity severity, std::string_view component,
+            std::string_view name, uint64_t id,
+            std::initializer_list<std::pair<std::string_view, std::string_view>>
+                fields = {});
+
+  /// The exact line Emit writes (sans trailing newline), exposed so
+  /// tests pin the format without filesystem round trips.
+  static std::string FormatLine(const Event& event, uint64_t ts_ms);
+
+  const std::string& dir() const { return dir_; }
+  uint64_t events_written() const;
+  uint64_t write_errors() const;
+  uint64_t current_file() const;
+
+ private:
+  EventLog(std::string dir, Options options, uint64_t first_file);
+
+  /// Opens events-<file>.jsonl for appending. Needs mu_.
+  Status OpenFileLocked(uint64_t file);
+  /// Closes the current file, opens the next, prunes old ones. Needs mu_.
+  void RotateLocked();
+
+  const std::string dir_;
+  const Options options_;
+  // Instruments resolved once at construction; null when
+  // Options::metrics is unset.
+  metrics::Counter* m_emitted_ = nullptr;
+  metrics::Counter* m_write_errors_ = nullptr;
+  metrics::Counter* m_rotations_ = nullptr;
+  mutable std::mutex mu_;
+  int fd_ = -1;
+  uint64_t file_ = 0;
+  uint64_t file_bytes_ = 0;
+  uint64_t events_ = 0;
+  uint64_t errors_ = 0;
+};
+
+/// Null-safe emit: call sites hold an optional EventLog* and must not
+/// branch at every site.
+inline void LogEvent(
+    EventLog* log, EventSeverity severity, std::string_view component,
+    std::string_view name, uint64_t id,
+    std::initializer_list<std::pair<std::string_view, std::string_view>>
+        fields = {}) {
+  if (log != nullptr) log->Emit(severity, component, name, id, fields);
+}
+
+/// Names of the event log files in `dir`, ascending. Empty when the
+/// directory does not exist.
+std::vector<std::string> ListEventLogFiles(const std::string& dir);
+
+}  // namespace sdss
+
+#endif  // SDSS_CORE_EVENTLOG_H_

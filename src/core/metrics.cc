@@ -2,9 +2,7 @@
 
 #include <algorithm>
 #include <bit>
-#include <cinttypes>
 #include <cmath>
-#include <cstdio>
 
 namespace sdss::metrics {
 
@@ -135,41 +133,58 @@ std::vector<InstrumentSnapshot> Registry::Snapshot() const {
   return out;
 }
 
+std::string PrometheusMetricName(std::string_view name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       c == '_' || c == ':';
+    const bool digit = c >= '0' && c <= '9';
+    if (alpha || (digit && i > 0)) {
+      out.push_back(c);
+    } else if (digit) {
+      out.push_back('_');  // Leading digit: "2fast" -> "_2fast".
+      out.push_back(c);
+    } else {
+      out.push_back('_');
+    }
+  }
+  if (out.empty()) out.push_back('_');
+  return out;
+}
+
 std::string Registry::TextExposition() const {
   std::vector<InstrumentSnapshot> snaps = Snapshot();
   std::string out;
-  char buf[160];
+  // Two registry names may sanitize to the same exposition name; the
+  // page then carries duplicate series, which strict parsers reject.
+  // Registry names follow the convention already, so this stays a
+  // theoretical wrinkle rather than a dedup pass.
   for (const InstrumentSnapshot& s : snaps) {
+    const std::string name = PrometheusMetricName(s.name);
     switch (s.kind) {
       case Kind::kCounter:
-        std::snprintf(buf, sizeof(buf), "# TYPE %s counter\n%s %" PRIu64 "\n",
-                      s.name.c_str(), s.name.c_str(), s.counter);
-        out += buf;
+        out += "# TYPE " + name + " counter\n";
+        out += name + " " + std::to_string(s.counter) + "\n";
         break;
       case Kind::kGauge:
-        std::snprintf(buf, sizeof(buf), "# TYPE %s gauge\n%s %" PRId64 "\n",
-                      s.name.c_str(), s.name.c_str(), s.gauge);
-        out += buf;
+        out += "# TYPE " + name + " gauge\n";
+        out += name + " " + std::to_string(s.gauge) + "\n";
         break;
       case Kind::kHistogram: {
-        std::snprintf(buf, sizeof(buf), "# TYPE %s histogram\n",
-                      s.name.c_str());
-        out += buf;
+        out += "# TYPE " + name + " histogram\n";
         uint64_t cumulative = 0;
         for (const auto& [index, count] : s.hist.buckets) {
           cumulative += count;
-          std::snprintf(buf, sizeof(buf),
-                        "%s_bucket{le=\"%" PRIu64 "\"} %" PRIu64 "\n",
-                        s.name.c_str(), HistogramBucketUpperBound(index),
-                        cumulative);
-          out += buf;
+          out += name + "_bucket{le=\"" +
+                 std::to_string(HistogramBucketUpperBound(index)) + "\"} " +
+                 std::to_string(cumulative) + "\n";
         }
-        std::snprintf(buf, sizeof(buf),
-                      "%s_bucket{le=\"+Inf\"} %" PRIu64 "\n%s_sum %" PRIu64
-                      "\n%s_count %" PRIu64 "\n",
-                      s.name.c_str(), s.hist.count, s.name.c_str(),
-                      s.hist.sum, s.name.c_str(), s.hist.count);
-        out += buf;
+        out += name + "_bucket{le=\"+Inf\"} " + std::to_string(s.hist.count) +
+               "\n";
+        out += name + "_sum " + std::to_string(s.hist.sum) + "\n";
+        out += name + "_count " + std::to_string(s.hist.count) + "\n";
         break;
       }
     }

@@ -131,8 +131,11 @@ class Registry {
   /// Every instrument, sorted by name.
   std::vector<InstrumentSnapshot> Snapshot() const;
 
-  /// Prometheus-style text exposition: `# TYPE` comments, cumulative
-  /// `_bucket{le="..."}` series plus `_sum`/`_count` for histograms.
+  /// Prometheus text exposition (text format 0.0.4): `# TYPE` comments,
+  /// cumulative `_bucket{le="..."}` series plus `_sum`/`_count` for
+  /// histograms. Instrument names are passed through
+  /// PrometheusMetricName, so a registry name that strays outside the
+  /// Prometheus charset still yields a scrapeable page.
   std::string TextExposition() const;
 
  private:
@@ -149,6 +152,13 @@ class Registry {
   std::deque<Histogram> histograms_;
   std::map<std::string, Entry, std::less<>> by_name_;
 };
+
+/// `name` coerced into the Prometheus metric-name charset
+/// ([a-zA-Z_:][a-zA-Z0-9_:]*): invalid characters become '_', and a
+/// leading digit gets a '_' prefix. The exposition format has no name
+/// escaping, so sanitizing is the only way a stray name stays
+/// parseable. Empty input yields "_".
+std::string PrometheusMetricName(std::string_view name);
 
 /// The process-wide default registry, for callers that do not wire an
 /// explicit one. Components with per-instance semantics (one

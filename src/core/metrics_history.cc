@@ -1,0 +1,228 @@
+#include "core/metrics_history.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+namespace sdss::metrics {
+
+namespace {
+
+/// Baseline lookup: `instruments` is sorted by name (Registry::Snapshot
+/// order). Returns null when absent.
+const InstrumentSnapshot* FindInstrument(
+    const std::vector<InstrumentSnapshot>& instruments,
+    const std::string& name) {
+  auto it = std::lower_bound(
+      instruments.begin(), instruments.end(), name,
+      [](const InstrumentSnapshot& s, const std::string& n) {
+        return s.name < n;
+      });
+  if (it == instruments.end() || it->name != name) return nullptr;
+  return &*it;
+}
+
+/// new - old per bucket, sparse; counts that went backwards clamp to 0.
+HistogramSnapshot HistogramDelta(const HistogramSnapshot& now,
+                                 const HistogramSnapshot& base) {
+  HistogramSnapshot delta;
+  delta.count = now.count >= base.count ? now.count - base.count : 0;
+  delta.sum = now.sum >= base.sum ? now.sum - base.sum : 0;
+  size_t b = 0;
+  for (const auto& [index, count] : now.buckets) {
+    while (b < base.buckets.size() && base.buckets[b].first < index) ++b;
+    uint64_t old_count =
+        b < base.buckets.size() && base.buckets[b].first == index
+            ? base.buckets[b].second
+            : 0;
+    if (count > old_count) delta.buckets.emplace_back(index, count - old_count);
+  }
+  return delta;
+}
+
+}  // namespace
+
+const WindowEntry* WindowStats::Find(std::string_view name) const {
+  for (const WindowEntry& entry : entries) {
+    if (entry.name == name) return &entry;
+  }
+  return nullptr;
+}
+
+History::History(Registry* registry, Options options)
+    : registry_(registry), options_(options) {
+  ring_.resize(std::max<size_t>(2, options_.capacity));
+}
+
+History::~History() { Stop(); }
+
+void History::Sample(double now_seconds) {
+  std::vector<InstrumentSnapshot> instruments = registry_->Snapshot();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (size_ > 0 && SlotFromNewestLocked(0).ts >= now_seconds) {
+    return;  // The timeline only moves forward.
+  }
+  SampleSlot& slot = ring_[next_];
+  slot.ts = now_seconds;
+  slot.instruments = std::move(instruments);
+  next_ = (next_ + 1) % ring_.size();
+  size_ = std::min(size_ + 1, ring_.size());
+  ++taken_;
+}
+
+const History::SampleSlot& History::SlotFromNewestLocked(size_t back) const {
+  // next_ points one past the newest; walk backwards through the ring.
+  size_t index = (next_ + ring_.size() - 1 - back) % ring_.size();
+  return ring_[index];
+}
+
+size_t History::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return size_;
+}
+
+uint64_t History::samples_taken() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return taken_;
+}
+
+Result<WindowStats> History::Window(double window_seconds) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (size_ < 2) {
+    return Status::FailedPrecondition(
+        "metrics history needs at least two samples");
+  }
+  const SampleSlot& newest = SlotFromNewestLocked(0);
+  const double target = newest.ts - std::max(0.0, window_seconds);
+  // Baseline: the newest retained sample at least `window_seconds` old,
+  // clamped to the oldest retained; always strictly older than the
+  // newest sample so the elapsed span is positive.
+  size_t base_back = 1;
+  for (size_t back = 1; back < size_; ++back) {
+    base_back = back;
+    if (SlotFromNewestLocked(back).ts <= target) break;
+  }
+  const SampleSlot& base = SlotFromNewestLocked(base_back);
+
+  WindowStats stats;
+  stats.seconds = newest.ts - base.ts;
+  stats.samples = base_back + 1;
+  stats.entries.reserve(newest.instruments.size());
+  for (const InstrumentSnapshot& now : newest.instruments) {
+    const InstrumentSnapshot* old = FindInstrument(base.instruments, now.name);
+    if (old != nullptr && old->kind != now.kind) old = nullptr;
+    WindowEntry entry;
+    entry.name = now.name;
+    entry.kind = now.kind;
+    switch (now.kind) {
+      case Kind::kCounter: {
+        const uint64_t before = old != nullptr ? old->counter : 0;
+        entry.delta = now.counter >= before ? now.counter - before : 0;
+        entry.rate_per_sec =
+            stats.seconds > 0.0
+                ? static_cast<double>(entry.delta) / stats.seconds
+                : 0.0;
+        break;
+      }
+      case Kind::kGauge: {
+        entry.gauge_last = now.gauge;
+        entry.gauge_min = now.gauge;
+        entry.gauge_max = now.gauge;
+        // Envelope over every sample inside the window (instruments
+        // registered mid-window contribute from their first sample).
+        for (size_t back = 1; back <= base_back; ++back) {
+          const InstrumentSnapshot* s = FindInstrument(
+              SlotFromNewestLocked(back).instruments, now.name);
+          if (s == nullptr || s->kind != Kind::kGauge) continue;
+          entry.gauge_min = std::min(entry.gauge_min, s->gauge);
+          entry.gauge_max = std::max(entry.gauge_max, s->gauge);
+        }
+        break;
+      }
+      case Kind::kHistogram: {
+        static const HistogramSnapshot kEmpty;
+        entry.hist_delta =
+            HistogramDelta(now.hist, old != nullptr ? old->hist : kEmpty);
+        break;
+      }
+    }
+    stats.entries.push_back(std::move(entry));
+  }
+  return stats;
+}
+
+Result<std::string> History::TextWindow(double window_seconds) const {
+  auto window = Window(window_seconds);
+  if (!window.ok()) return window.status();
+  std::string out;
+  char buf[96];
+  std::snprintf(buf, sizeof(buf),
+                "# window %.1fs (%llu samples, period %.1fs)\n",
+                window->seconds,
+                static_cast<unsigned long long>(window->samples),
+                options_.period_seconds);
+  out += buf;
+  for (const WindowEntry& entry : window->entries) {
+    out += entry.name;
+    switch (entry.kind) {
+      case Kind::kCounter:
+        std::snprintf(buf, sizeof(buf), " rate=%.2f/s delta=%llu\n",
+                      entry.rate_per_sec,
+                      static_cast<unsigned long long>(entry.delta));
+        break;
+      case Kind::kGauge:
+        std::snprintf(buf, sizeof(buf), " value=%lld min=%lld max=%lld\n",
+                      static_cast<long long>(entry.gauge_last),
+                      static_cast<long long>(entry.gauge_min),
+                      static_cast<long long>(entry.gauge_max));
+        break;
+      case Kind::kHistogram:
+        std::snprintf(buf, sizeof(buf),
+                      " count=%llu p50=%lluus p95=%lluus p99=%lluus\n",
+                      static_cast<unsigned long long>(entry.hist_delta.count),
+                      static_cast<unsigned long long>(entry.hist_delta.P50()),
+                      static_cast<unsigned long long>(entry.hist_delta.P95()),
+                      static_cast<unsigned long long>(entry.hist_delta.P99()));
+        break;
+    }
+    out += buf;
+  }
+  return out;
+}
+
+void History::Start(std::function<void()> on_sample) {
+  std::lock_guard<std::mutex> lock(sampler_mu_);
+  if (sampler_running_) return;
+  sampler_running_ = true;
+  sampler_stop_ = false;
+  sampler_ = std::thread([this, on_sample = std::move(on_sample)] {
+    const auto origin = std::chrono::steady_clock::now();
+    for (;;) {
+      const double now_s = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - origin)
+                               .count();
+      Sample(now_s);
+      if (on_sample) on_sample();
+      std::unique_lock<std::mutex> lock(sampler_mu_);
+      sampler_cv_.wait_for(
+          lock,
+          std::chrono::duration<double>(options_.period_seconds),
+          [this] { return sampler_stop_; });
+      if (sampler_stop_) return;
+    }
+  });
+}
+
+void History::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(sampler_mu_);
+    if (!sampler_running_) return;
+    sampler_stop_ = true;
+  }
+  sampler_cv_.notify_all();
+  sampler_.join();
+  std::lock_guard<std::mutex> lock(sampler_mu_);
+  sampler_running_ = false;
+}
+
+}  // namespace sdss::metrics

@@ -1,0 +1,142 @@
+// Fixed-size ring of registry snapshots: rate history for /varz and
+// the health watchdog.
+//
+// A Registry answers "how many, ever"; operators ask "how fast, lately".
+// History samples the registry on a fixed period into a ring (default
+// 360 samples x 10 s = one hour) and answers windowed questions:
+// counter rates (delta / elapsed), gauge last/min/max over the window,
+// and histogram *deltas* (the window's own count/sum/buckets, so a p99
+// over the last minute is not drowned by a week of history).
+//
+// Time is injectable: Sample(now_seconds) takes one sample stamped with
+// a caller-supplied monotonic timestamp, so tests drive the ring with a
+// SimClock and pin rates deterministically. Production wires the
+// built-in sampler thread (Start/Stop), which stamps samples from
+// steady_clock and invokes an optional per-sample hook -- where the
+// health watchdog evaluates its rules.
+
+#ifndef SDSS_CORE_METRICS_HISTORY_H_
+#define SDSS_CORE_METRICS_HISTORY_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "core/metrics.h"
+#include "core/status.h"
+
+namespace sdss::metrics {
+
+/// One instrument's change over a trailing window.
+struct WindowEntry {
+  std::string name;
+  Kind kind = Kind::kCounter;
+  // kCounter: raw increase and per-second rate over the window. A
+  // counter that went backwards (registry swapped under the sampler)
+  // reads as delta 0, never negative.
+  uint64_t delta = 0;
+  double rate_per_sec = 0.0;
+  // kGauge: the newest value plus the window's envelope -- "pinned at
+  // max" is min == max == bound over every sample, which a last-value
+  // read alone cannot distinguish from one unlucky instant.
+  int64_t gauge_last = 0;
+  int64_t gauge_min = 0;
+  int64_t gauge_max = 0;
+  // kHistogram: the window's own distribution (count/sum/buckets are
+  // deltas between the window's edges); quantiles answer "p99 lately".
+  HistogramSnapshot hist_delta;
+};
+
+/// Every instrument's WindowEntry over one trailing window, sorted by
+/// name (the registry snapshot order).
+struct WindowStats {
+  double seconds = 0.0;  ///< Actual elapsed span between the edge samples.
+  uint64_t samples = 0;  ///< Samples inside the window (>= 2).
+  std::vector<WindowEntry> entries;
+
+  const WindowEntry* Find(std::string_view name) const;
+};
+
+/// The sampler + ring. All methods are thread-safe.
+class History {
+ public:
+  struct Options {
+    /// Ring capacity in samples; with the default period this retains
+    /// one hour.
+    size_t capacity = 360;
+    /// Sampler-thread period (also the /varz resolution floor). Tests
+    /// that call Sample() directly stamp their own timeline and never
+    /// consult this.
+    double period_seconds = 10.0;
+  };
+
+  History(Registry* registry, Options options);
+  explicit History(Registry* registry) : History(registry, Options()) {}
+  ~History();
+
+  History(const History&) = delete;
+  History& operator=(const History&) = delete;
+
+  /// Takes one sample stamped `now_seconds` (monotonic, caller-chosen
+  /// origin). A stamp not later than the newest retained sample is
+  /// ignored -- the ring's timeline only moves forward.
+  void Sample(double now_seconds);
+
+  /// Starts the built-in sampler thread: one Sample per period (stamped
+  /// from steady_clock), then `on_sample` (may be null) -- the hook the
+  /// health watchdog evaluates from. No-op if already started.
+  void Start(std::function<void()> on_sample = nullptr);
+  /// Stops and joins the sampler thread. Idempotent; the destructor
+  /// calls it.
+  void Stop();
+
+  size_t size() const;            ///< Samples currently retained.
+  uint64_t samples_taken() const; ///< Total, including overwritten ones.
+  double period_seconds() const { return options_.period_seconds; }
+  size_t capacity() const { return options_.capacity; }
+
+  /// Stats over the trailing `window_seconds`: delta between the newest
+  /// sample and the newest sample at least that old (clamped to the
+  /// oldest retained). FailedPrecondition until two samples exist.
+  Result<WindowStats> Window(double window_seconds) const;
+
+  /// /varz rendering of Window(): one line per instrument --
+  ///   counter:   `name rate=12.40/s delta=744`
+  ///   gauge:     `name value=3 min=0 max=5`
+  ///   histogram: `name count=120 p50=512us p95=2047us p99=4095us`
+  /// headed by a `# window ...` comment line.
+  Result<std::string> TextWindow(double window_seconds) const;
+
+ private:
+  struct SampleSlot {
+    double ts = 0.0;
+    std::vector<InstrumentSnapshot> instruments;
+  };
+
+  /// The retained samples oldest -> newest. Needs mu_.
+  const SampleSlot& SlotFromNewestLocked(size_t back) const;
+
+  Registry* const registry_;
+  const Options options_;
+  mutable std::mutex mu_;
+  std::vector<SampleSlot> ring_;  ///< Fixed capacity, circular.
+  size_t next_ = 0;               ///< Ring slot the next sample lands in.
+  size_t size_ = 0;
+  uint64_t taken_ = 0;
+  // Sampler thread state.
+  std::mutex sampler_mu_;
+  std::condition_variable sampler_cv_;
+  std::thread sampler_;
+  bool sampler_running_ = false;
+  bool sampler_stop_ = false;
+};
+
+}  // namespace sdss::metrics
+
+#endif  // SDSS_CORE_METRICS_HISTORY_H_

@@ -1,0 +1,74 @@
+#include "core/proc_stats.h"
+
+#include <cstdlib>
+#include <string>
+
+#include "core/io.h"
+
+namespace sdss {
+
+namespace {
+
+/// "<key>:   <number> ..." value of one /proc/self/status line, or -1.
+int64_t StatusLineValue(const std::string& status, const char* key) {
+  size_t pos = status.find(key);
+  if (pos == std::string::npos) return -1;
+  pos += std::string(key).size();
+  while (pos < status.size() && (status[pos] == ' ' || status[pos] == '\t')) {
+    ++pos;
+  }
+  size_t end = pos;
+  while (end < status.size() && status[end] >= '0' && status[end] <= '9') {
+    ++end;
+  }
+  if (end == pos) return -1;
+  return std::strtoll(status.substr(pos, end - pos).c_str(), nullptr, 10);
+}
+
+}  // namespace
+
+Result<int64_t> ReadOpenFdCount() {
+  auto entries = ListDir("/proc/self/fd");
+  if (!entries.ok()) return entries.status();
+  // The directory fd ListDir itself held is counted; that off-by-one is
+  // constant and irrelevant at EMFILE scale.
+  return static_cast<int64_t>(entries->size());
+}
+
+Result<int64_t> ReadThreadCount() {
+  auto status = ReadFileToString("/proc/self/status");
+  if (!status.ok()) return status.status();
+  int64_t threads = StatusLineValue(*status, "Threads:");
+  if (threads < 0) {
+    return Status::NotFound("no Threads: line in /proc/self/status");
+  }
+  return threads;
+}
+
+Result<int64_t> ReadRssBytes() {
+  auto status = ReadFileToString("/proc/self/status");
+  if (!status.ok()) return status.status();
+  int64_t rss_kb = StatusLineValue(*status, "VmRSS:");
+  if (rss_kb < 0) {
+    return Status::NotFound("no VmRSS: line in /proc/self/status");
+  }
+  return rss_kb * 1024;
+}
+
+void UpdateProcessMetrics(metrics::Registry* registry,
+                          double uptime_seconds) {
+  if (registry == nullptr) return;
+  if (auto fds = ReadOpenFdCount(); fds.ok()) {
+    registry->GetGauge("process_open_fds")->Set(*fds);
+  }
+  if (auto threads = ReadThreadCount(); threads.ok()) {
+    registry->GetGauge("process_threads")->Set(*threads);
+  }
+  if (auto rss = ReadRssBytes(); rss.ok()) {
+    registry->GetGauge("process_rss_bytes")->Set(*rss);
+  }
+  registry->GetGauge("process_uptime_seconds")
+      ->Set(static_cast<int64_t>(uptime_seconds));
+}
+
+}  // namespace sdss

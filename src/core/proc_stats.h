@@ -1,0 +1,40 @@
+// Process self-metrics from /proc/self: the gauges an operator checks
+// before blaming the workload.
+//
+// Open fd count (the accept loop's EMFILE backoff has a cause), thread
+// count (session threads are reaped, not leaked -- this gauge is the
+// proof in production, as the /proc test is in CI), resident set size,
+// and uptime. UpdateProcessMetrics refreshes them into a registry; the
+// monitoring plane calls it on every history sample and on every
+// /metrics scrape, so the values are at most one period stale.
+
+#ifndef SDSS_CORE_PROC_STATS_H_
+#define SDSS_CORE_PROC_STATS_H_
+
+#include <cstdint>
+
+#include "core/metrics.h"
+#include "core/status.h"
+
+namespace sdss {
+
+/// Number of open file descriptors (entries of /proc/self/fd).
+Result<int64_t> ReadOpenFdCount();
+
+/// Threads of this process (/proc/self/status "Threads:" line).
+Result<int64_t> ReadThreadCount();
+
+/// Resident set size in bytes (/proc/self/status "VmRSS:" line).
+Result<int64_t> ReadRssBytes();
+
+/// Refreshes the process self-gauges in `registry`:
+///   process_open_fds, process_threads, process_rss_bytes,
+///   process_uptime_seconds (from the caller's `uptime_seconds`).
+/// A /proc read that fails (non-Linux platform) leaves that gauge at
+/// its previous value; uptime always updates.
+void UpdateProcessMetrics(metrics::Registry* registry,
+                          double uptime_seconds);
+
+}  // namespace sdss
+
+#endif  // SDSS_CORE_PROC_STATS_H_

@@ -1,0 +1,139 @@
+#include "core/watchdog.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace sdss {
+
+namespace {
+
+std::string FormatDouble(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", v);
+  return buf;
+}
+
+}  // namespace
+
+HealthWatchdog::HealthWatchdog(metrics::History* history, Options options)
+    : history_(history), options_(std::move(options)) {
+  states_.resize(options_.rules.size());
+}
+
+bool HealthWatchdog::ConditionHolds(const HealthRule& rule) {
+  switch (rule.kind) {
+    case HealthRule::Kind::kCounterRateAbove: {
+      auto window = history_->Window(rule.window_seconds);
+      if (!window.ok()) return false;  // Too young to judge.
+      const metrics::WindowEntry* entry = window->Find(rule.metric);
+      return entry != nullptr && entry->kind == metrics::Kind::kCounter &&
+             entry->rate_per_sec > rule.threshold;
+    }
+    case HealthRule::Kind::kGaugeAtLeast:
+    case HealthRule::Kind::kGaugeNonZero: {
+      // The newest sample alone decides; the streak (below) adds the
+      // "pinned for N periods" persistence for kGaugeAtLeast.
+      auto window = history_->Window(0.0);
+      if (!window.ok()) return false;
+      const metrics::WindowEntry* entry = window->Find(rule.metric);
+      if (entry == nullptr || entry->kind != metrics::Kind::kGauge) {
+        return false;
+      }
+      if (rule.kind == HealthRule::Kind::kGaugeNonZero) {
+        return entry->gauge_last != 0;
+      }
+      return static_cast<double>(entry->gauge_last) >= rule.threshold;
+    }
+    case HealthRule::Kind::kHistogramP99Above: {
+      auto window = history_->Window(rule.window_seconds);
+      if (!window.ok()) return false;
+      const metrics::WindowEntry* entry = window->Find(rule.metric);
+      if (entry == nullptr || entry->kind != metrics::Kind::kHistogram ||
+          entry->hist_delta.count == 0) {
+        return false;  // No observations this window: nothing to judge.
+      }
+      return static_cast<double>(entry->hist_delta.P99()) > rule.threshold;
+    }
+  }
+  return false;
+}
+
+void HealthWatchdog::Evaluate() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++evaluations_;
+  bool all_ok = true;
+  for (size_t i = 0; i < options_.rules.size(); ++i) {
+    const HealthRule& rule = options_.rules[i];
+    RuleState& state = states_[i];
+    const bool hit = ConditionHolds(rule);
+    state.hit_streak = hit ? state.hit_streak + 1 : 0;
+    const bool firing = state.hit_streak >= std::max(1, rule.consecutive);
+    if (firing != state.firing) {
+      LogEvent(options_.events,
+               firing ? EventSeverity::kError : EventSeverity::kInfo,
+               "watchdog", firing ? "rule_fired" : "rule_cleared", 0,
+               {{"rule", rule.name},
+                {"metric", rule.metric},
+                {"threshold", FormatDouble(rule.threshold)}});
+    }
+    state.firing = firing;
+    all_ok = all_ok && !firing;
+  }
+  ready_.store(all_ok, std::memory_order_release);
+}
+
+std::vector<std::string> HealthWatchdog::failing() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  for (size_t i = 0; i < options_.rules.size(); ++i) {
+    if (states_[i].firing) out.push_back(options_.rules[i].name);
+  }
+  return out;
+}
+
+uint64_t HealthWatchdog::evaluations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evaluations_;
+}
+
+std::vector<HealthRule> HealthWatchdog::DefaultRules(size_t quick_depth_max,
+                                                     uint64_t fsync_p99_us) {
+  std::vector<HealthRule> rules;
+  // The front door is surviving on backoff: fds or socket buffers are
+  // exhausted and connections are waiting in the backlog.
+  HealthRule accept;
+  accept.name = "accept_retries_climbing";
+  accept.kind = HealthRule::Kind::kCounterRateAbove;
+  accept.metric = "server_accept_retries";
+  accept.threshold = 1.0;
+  accept.window_seconds = 60.0;
+  rules.push_back(std::move(accept));
+  // The interactive lane has been at its admission bound for three
+  // straight periods: every new QUERY is being shed with BUSY.
+  HealthRule lane;
+  lane.name = "quick_lane_pinned";
+  lane.kind = HealthRule::Kind::kGaugeAtLeast;
+  lane.metric = "workbench_quick_queued";
+  lane.threshold = static_cast<double>(quick_depth_max);
+  lane.consecutive = 3;
+  rules.push_back(std::move(lane));
+  // A poisoned journal means writes are no longer durable; nothing
+  // state-changing should be routed here until an operator intervenes.
+  HealthRule journal;
+  journal.name = "journal_poisoned";
+  journal.kind = HealthRule::Kind::kGaugeNonZero;
+  journal.metric = "persist_journal_poisoned";
+  rules.push_back(std::move(journal));
+  // Sync latency through the floor: admission throughput is bounded by
+  // the synced append, so a sick disk shows up here first.
+  HealthRule fsync;
+  fsync.name = "fsync_p99_high";
+  fsync.kind = HealthRule::Kind::kHistogramP99Above;
+  fsync.metric = "persist_journal_fsync_us";
+  fsync.threshold = static_cast<double>(fsync_p99_us);
+  fsync.window_seconds = 60.0;
+  rules.push_back(std::move(fsync));
+  return rules;
+}
+
+}  // namespace sdss

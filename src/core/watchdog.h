@@ -1,0 +1,112 @@
+// Health watchdog: readiness rules evaluated over the metric history.
+//
+// Liveness ("the process answers") is cheap; readiness ("the process
+// should receive traffic") needs judgment: a front door surviving on
+// accept-retries, a quick lane pinned at its admission bound, a
+// poisoned journal, or fsync latency through the floor are all states
+// where a load balancer should drain us even though every thread is
+// alive. The watchdog encodes those judgments as declarative rules over
+// metrics::History windows and folds them into one ready() bit the
+// admin endpoint's /healthz serves.
+//
+// Evaluate() runs after every history sample (wired as the sampler's
+// on_sample hook), so readiness flips within one sampler period of the
+// condition appearing -- and clears the same way. Transitions (fire and
+// clear, never steady state) are emitted to the EventLog.
+
+#ifndef SDSS_CORE_WATCHDOG_H_
+#define SDSS_CORE_WATCHDOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/eventlog.h"
+#include "core/metrics_history.h"
+
+namespace sdss {
+
+/// One readiness rule over a single instrument.
+struct HealthRule {
+  enum class Kind {
+    /// Counter rate over `window_seconds` exceeds `threshold` (per
+    /// second).
+    kCounterRateAbove,
+    /// Gauge >= `threshold` on `consecutive` successive evaluations --
+    /// "pinned", not "spiked".
+    kGaugeAtLeast,
+    /// Gauge != 0 right now (latched conditions: journal poisoned).
+    kGaugeNonZero,
+    /// p99 of the histogram's delta over `window_seconds` exceeds
+    /// `threshold` (same unit the histogram records, typically us).
+    /// Windows with no observations pass.
+    kHistogramP99Above,
+  };
+
+  std::string name;    ///< Rule name in /healthz bodies and events.
+  Kind kind = Kind::kGaugeNonZero;
+  std::string metric;  ///< Instrument name in the registry.
+  double threshold = 0.0;
+  double window_seconds = 60.0;  ///< Rate / p99 kinds.
+  int consecutive = 1;           ///< kGaugeAtLeast.
+};
+
+/// Evaluates rules against a History and keeps the readiness verdict.
+/// Thread-safety: Evaluate is serialized internally; ready()/failing()
+/// may be called from any thread (the admin endpoint's).
+class HealthWatchdog {
+ public:
+  struct Options {
+    std::vector<HealthRule> rules;
+    /// Fire/clear transition events land here (component "watchdog").
+    /// Null = no events; must outlive the watchdog.
+    EventLog* events = nullptr;
+  };
+
+  HealthWatchdog(metrics::History* history, Options options);
+
+  HealthWatchdog(const HealthWatchdog&) = delete;
+  HealthWatchdog& operator=(const HealthWatchdog&) = delete;
+
+  /// Re-evaluates every rule against the current history. Call after
+  /// each History::Sample (the sampler hook does).
+  void Evaluate();
+
+  /// True when no rule is firing. Starts true: a watchdog that has not
+  /// evaluated yet must not fail its process's first health check.
+  bool ready() const { return ready_.load(std::memory_order_acquire); }
+
+  /// Names of the rules currently firing, in Options order.
+  std::vector<std::string> failing() const;
+
+  uint64_t evaluations() const;
+
+  /// The archive's stock rules (thresholds documented in BUILDING.md's
+  /// Monitoring plane section): accept-retries climbing, the quick lane
+  /// pinned at >= `quick_depth_max` queued jobs, a poisoned journal,
+  /// and journal fsync p99 above `fsync_p99_us`.
+  static std::vector<HealthRule> DefaultRules(size_t quick_depth_max,
+                                              uint64_t fsync_p99_us = 200000);
+
+ private:
+  struct RuleState {
+    int hit_streak = 0;  ///< Consecutive evaluations over threshold.
+    bool firing = false;
+  };
+
+  /// True when `rule`'s condition holds right now. Needs mu_.
+  bool ConditionHolds(const HealthRule& rule);
+
+  metrics::History* const history_;
+  const Options options_;
+  mutable std::mutex mu_;
+  std::vector<RuleState> states_;
+  uint64_t evaluations_ = 0;
+  std::atomic<bool> ready_{true};
+};
+
+}  // namespace sdss
+
+#endif  // SDSS_CORE_WATCHDOG_H_

@@ -106,6 +106,10 @@ Journal::Journal(std::string dir, Options options, uint64_t first_segment)
         options_.metrics->GetHistogram("persist_journal_append_us");
     m_fsync_us_ =
         options_.metrics->GetHistogram("persist_journal_fsync_us");
+    // Register at 0 so the watchdog's journal_poisoned rule sees a
+    // healthy gauge from the first sample, not a missing instrument.
+    g_poisoned_ = options_.metrics->GetGauge("persist_journal_poisoned");
+    g_poisoned_->Set(0);
   }
 }
 
@@ -149,7 +153,16 @@ Status Journal::PoisonLocked(Status error) {
     ::close(fd_);
     fd_ = -1;
   }
+  if (g_poisoned_ != nullptr) g_poisoned_->Set(1);
+  LogEvent(options_.events, EventSeverity::kError, "persist",
+           "journal_poisoned", 0,
+           {{"dir", dir_}, {"error", error.ToString()}});
   return error;
+}
+
+Status Journal::health() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return poisoned_;
 }
 
 Status Journal::Append(std::string_view record) {
@@ -168,7 +181,13 @@ Status Journal::Append(std::string_view record) {
   if (fd_ < 0) return Status::FailedPrecondition("journal is closed");
   const auto t0 = std::chrono::steady_clock::now();
   if (segment_bytes_written_ >= options_.segment_bytes) {
-    SDSS_RETURN_IF_ERROR(RotateLocked());
+    Status rotated = RotateLocked();
+    if (!rotated.ok()) {
+      // The old segment is closed and no new one opened: there is
+      // nowhere correct to append. Latch it like any other I/O failure
+      // so callers (and the watchdog's gauge) see one consistent state.
+      return PoisonLocked(std::move(rotated));
+    }
   }
   size_t written = 0;
   while (written < frame.size()) {

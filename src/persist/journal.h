@@ -31,6 +31,7 @@
 #include <string>
 #include <string_view>
 
+#include "core/eventlog.h"
 #include "core/metrics.h"
 #include "core/status.h"
 
@@ -51,8 +52,15 @@ class Journal {
     /// Metrics registry the journal publishes into
     /// (persist_journal_appends counter, persist_journal_append_us /
     /// persist_journal_fsync_us latency histograms). Null = no
-    /// instrumentation; must outlive the journal when set.
+    /// instrumentation; must outlive the journal when set. When set,
+    /// the journal also registers a persist_journal_poisoned gauge
+    /// (0 healthy, 1 poisoned) -- the latched signal the health
+    /// watchdog's journal_poisoned rule reads.
     metrics::Registry* metrics = nullptr;
+    /// Operational events (component "persist"): poisoning emits one
+    /// kError journal_poisoned event carrying the error. Null = no
+    /// events; must outlive the journal.
+    EventLog* events = nullptr;
   };
 
   /// Opens `dir` for appending (creating it if needed). Existing
@@ -84,6 +92,12 @@ class Journal {
   uint64_t records_appended() const;
   uint64_t current_segment() const;
 
+  /// OK while the journal is healthy; the poisoning error afterwards.
+  /// The monitoring plane's /statusz and the watchdog's gauge-based
+  /// rule both key off this latch.
+  Status health() const;
+  bool poisoned() const { return !health().ok(); }
+
  private:
   Journal(std::string dir, Options options, uint64_t first_segment);
 
@@ -101,6 +115,7 @@ class Journal {
   metrics::Counter* m_appends_ = nullptr;
   metrics::Histogram* m_append_us_ = nullptr;
   metrics::Histogram* m_fsync_us_ = nullptr;
+  metrics::Gauge* g_poisoned_ = nullptr;
   mutable std::mutex mu_;
   Status poisoned_;  ///< Non-OK once an append/sync failed.
   int fd_ = -1;

@@ -192,4 +192,44 @@ std::string QueryTrace::ToChromeJson() const {
   return out;
 }
 
+TraceRing::TraceRing(size_t capacity)
+    : capacity_(std::max<size_t>(1, capacity)) {
+  ring_.resize(capacity_);
+}
+
+uint64_t TraceRing::Push(TraceCapture capture) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capture.id = ++pushes_;
+  const uint64_t id = capture.id;
+  ring_[next_] = std::move(capture);
+  next_ = (next_ + 1) % capacity_;
+  return id;
+}
+
+std::vector<TraceCapture> TraceRing::List() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceCapture> out;
+  out.reserve(std::min<uint64_t>(pushes_, capacity_));
+  for (size_t back = 1; back <= capacity_; ++back) {
+    const TraceCapture& capture =
+        ring_[(next_ + capacity_ - back) % capacity_];
+    if (capture.id == 0) break;  // Ran past the populated region.
+    out.push_back(capture);
+  }
+  return out;
+}
+
+TraceCapture TraceRing::Find(uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const TraceCapture& capture : ring_) {
+    if (capture.id == id) return capture;
+  }
+  return TraceCapture{};
+}
+
+uint64_t TraceRing::pushes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pushes_;
+}
+
 }  // namespace sdss::query

@@ -96,6 +96,49 @@ class QueryTrace {
   std::vector<std::pair<std::string, std::string>> meta_;
 };
 
+/// One finished query's trace, as retained by a TraceRing: enough
+/// context to list it in /tracez and the full chrome://tracing JSON to
+/// download it.
+struct TraceCapture {
+  uint64_t id = 0;       ///< Ring-assigned, monotonically increasing.
+  uint64_t job_id = 0;
+  std::string user;
+  std::string sql;
+  double seconds = 0.0;  ///< Wall-clock run time.
+  bool slow = false;     ///< Crossed the slow-query threshold (vs sampled).
+  std::string chrome_json;
+};
+
+/// Fixed-capacity ring of the last N completed query traces, the store
+/// behind the admin endpoint's /tracez. Push overwrites the oldest;
+/// List returns newest-first. Thread-safe.
+class TraceRing {
+ public:
+  explicit TraceRing(size_t capacity = 32);
+
+  TraceRing(const TraceRing&) = delete;
+  TraceRing& operator=(const TraceRing&) = delete;
+
+  /// Stores a capture and returns its assigned id (ids start at 1).
+  uint64_t Push(TraceCapture capture);
+
+  /// Retained captures, newest first.
+  std::vector<TraceCapture> List() const;
+  /// The capture with ring id `id`, or an empty capture (id 0) when it
+  /// has been overwritten or never existed.
+  TraceCapture Find(uint64_t id) const;
+
+  size_t capacity() const { return capacity_; }
+  uint64_t pushes() const;
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<TraceCapture> ring_;  ///< Circular, `next_` is the oldest.
+  size_t next_ = 0;
+  uint64_t pushes_ = 0;
+};
+
 /// Null-safe helpers: every engine call site guards on `trace` once via
 /// these instead of open-coding the branch.
 inline int TraceBegin(QueryTrace* t, std::string_view name,

@@ -1,0 +1,439 @@
+#include "server/http_admin.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+#include "core/proc_stats.h"
+
+namespace sdss::server {
+namespace {
+
+/// "/varz?window=60s" -> ("/varz", "window=60s").
+void SplitTarget(std::string_view target, std::string_view* path,
+                 std::string_view* query) {
+  const size_t q = target.find('?');
+  *path = target.substr(0, q);
+  *query = q == std::string_view::npos ? std::string_view()
+                                       : target.substr(q + 1);
+}
+
+/// Value of `key` in a "k=v&k=v" query string, or "" when absent. Admin
+/// parameters are plain tokens ("60s", "live", a trace id), so no
+/// percent-decoding.
+std::string_view QueryParam(std::string_view query, std::string_view key) {
+  while (!query.empty()) {
+    const size_t amp = query.find('&');
+    std::string_view pair = query.substr(0, amp);
+    const size_t eq = pair.find('=');
+    if (eq != std::string_view::npos && pair.substr(0, eq) == key) {
+      return pair.substr(eq + 1);
+    }
+    if (amp == std::string_view::npos) break;
+    query.remove_prefix(amp + 1);
+  }
+  return {};
+}
+
+/// "60s" / "5m" / "1h" / "120" -> seconds; <= 0 on anything else.
+double ParseWindowSeconds(std::string_view text) {
+  if (text.empty()) return 0.0;
+  double scale = 1.0;
+  const char last = text.back();
+  if (last == 's' || last == 'm' || last == 'h') {
+    scale = last == 's' ? 1.0 : last == 'm' ? 60.0 : 3600.0;
+    text.remove_suffix(1);
+  }
+  if (text.empty()) return 0.0;
+  double value = 0.0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return 0.0;
+    value = value * 10.0 + (c - '0');
+  }
+  return value * scale;
+}
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+const char* ReasonPhrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 503: return "Service Unavailable";
+    default: return "Internal Server Error";
+  }
+}
+
+std::string Fmt(const char* format, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), format, value);
+  return buf;
+}
+
+HttpResponse TextResponse(int status, std::string body) {
+  HttpResponse response;
+  response.status = status;
+  response.body = std::move(body);
+  return response;
+}
+
+}  // namespace
+
+HttpAdmin::HttpAdmin(Options options)
+    : options_(std::move(options)),
+      started_at_(std::chrono::steady_clock::now()) {
+  if (options_.metrics != nullptr) {
+    m_requests_ = options_.metrics->GetCounter("admin_http_requests");
+  }
+}
+
+HttpAdmin::~HttpAdmin() { Stop(); }
+
+Status HttpAdmin::Start() {
+  if (options_.metrics == nullptr) {
+    return Status::InvalidArgument("HttpAdmin requires Options::metrics");
+  }
+  if (started_.load()) {
+    return Status::FailedPrecondition("HttpAdmin already started");
+  }
+  auto listener =
+      TcpListener::Listen(options_.host, options_.port, options_.backlog);
+  SDSS_RETURN_IF_ERROR(listener.status());
+  listener_ = std::move(*listener);
+  port_ = listener_.port();
+  started_.store(true);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  LogEvent(options_.events, EventSeverity::kInfo, "admin", "admin_started",
+           0, {{"host", options_.host}, {"port", std::to_string(port_)}});
+  return Status::OK();
+}
+
+void HttpAdmin::Stop() {
+  if (!started_.load() || stopped_.exchange(true)) return;
+  listener_.Shutdown();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  LogEvent(options_.events, EventSeverity::kInfo, "admin", "admin_stopped",
+           0, {{"requests", std::to_string(requests_.load())}});
+}
+
+uint64_t HttpAdmin::requests_served() const { return requests_.load(); }
+
+double HttpAdmin::UptimeSeconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       started_at_)
+      .count();
+}
+
+void HttpAdmin::AcceptLoop() {
+  while (true) {
+    auto conn = listener_.Accept();
+    if (!conn.ok()) {
+      if (conn.status().code() == StatusCode::kAborted) return;  // Shutdown.
+      continue;  // Transient (EMFILE, ECONNABORTED): keep serving.
+    }
+    // One request per connection, served inline: the admin plane's
+    // traffic is scrapers and operators, and a bounded read timeout
+    // caps how long any one connection can hold the loop.
+    ServeConn(std::move(*conn));
+  }
+}
+
+void HttpAdmin::ServeConn(TcpConn conn) {
+  std::string head;
+  bool overflow = false;
+  while (head.size() < 4 ||
+         head.compare(head.size() - 4, 4, "\r\n\r\n") != 0) {
+    // A request line alone is enough to route, so also accept a bare
+    // newline terminator (printf | nc style probes).
+    if (!head.empty() && head.back() == '\n' &&
+        (head.size() < 2 || head[head.size() - 2] == '\n')) {
+      break;
+    }
+    if (head.size() >= options_.max_request_bytes) {
+      overflow = true;
+      break;
+    }
+    auto readable = conn.WaitReadable(options_.read_timeout_ms);
+    if (!readable.ok() || !*readable) return;  // Timeout: drop silently.
+    char c = 0;
+    if (!conn.ReadExact(&c, 1).ok()) return;
+    head.push_back(c);
+  }
+
+  HttpResponse response;
+  if (overflow) {
+    response = TextResponse(400, "request too large\n");
+  } else {
+    const size_t line_end = head.find_first_of("\r\n");
+    std::string_view line(head.data(),
+                          line_end == std::string::npos ? head.size()
+                                                        : line_end);
+    const size_t sp1 = line.find(' ');
+    const size_t sp2 =
+        sp1 == std::string_view::npos ? sp1 : line.find(' ', sp1 + 1);
+    if (sp1 == std::string_view::npos) {
+      response = TextResponse(400, "malformed request line\n");
+    } else {
+      std::string_view method = line.substr(0, sp1);
+      std::string_view target =
+          sp2 == std::string_view::npos
+              ? line.substr(sp1 + 1)
+              : line.substr(sp1 + 1, sp2 - sp1 - 1);
+      response = Handle(method, target);
+    }
+  }
+
+  std::string wire = "HTTP/1.0 " + std::to_string(response.status) + " " +
+                     ReasonPhrase(response.status) + "\r\n";
+  wire += "Content-Type: " + response.content_type + "\r\n";
+  wire += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  wire += "Connection: close\r\n\r\n";
+  wire += response.body;
+  (void)conn.WriteAll(wire);  // Best-effort: the client may have gone.
+}
+
+HttpResponse HttpAdmin::Handle(std::string_view method,
+                               std::string_view target) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  if (m_requests_ != nullptr) m_requests_->Inc();
+  if (method != "GET") {
+    return TextResponse(405, "only GET is served here\n");
+  }
+  std::string_view path, query;
+  SplitTarget(target, &path, &query);
+  if (path == "/metrics") return HandleMetrics();
+  if (path == "/healthz") return HandleHealthz(query);
+  if (path == "/statusz") return HandleStatusz();
+  if (path == "/varz") return HandleVarz(query);
+  if (path == "/tracez") return HandleTracez(query);
+  return TextResponse(
+      404,
+      "not found; endpoints: /metrics /healthz /statusz /varz /tracez\n");
+}
+
+HttpResponse HttpAdmin::HandleMetrics() {
+  if (options_.metrics == nullptr) {
+    return TextResponse(503, "metrics registry not configured\n");
+  }
+  // Refresh the process self-gauges so every scrape carries current
+  // fd/thread/RSS numbers, not the last sampler period's.
+  UpdateProcessMetrics(options_.metrics, UptimeSeconds());
+  HttpResponse response;
+  response.content_type = "text/plain; version=0.0.4";
+  response.body = options_.metrics->TextExposition();
+  return response;
+}
+
+HttpResponse HttpAdmin::HandleHealthz(std::string_view query) {
+  if (QueryParam(query, "mode") == "live") {
+    // Liveness: answering at all is the whole check.
+    return TextResponse(200, "live\n");
+  }
+  if (options_.watchdog == nullptr) {
+    return TextResponse(200, "ok (no watchdog configured)\n");
+  }
+  if (options_.watchdog->ready()) return TextResponse(200, "ok\n");
+  std::string body = "unready\n";
+  for (const std::string& rule : options_.watchdog->failing()) {
+    body += "rule: " + rule + "\n";
+  }
+  return TextResponse(503, std::move(body));
+}
+
+HttpResponse HttpAdmin::HandleStatusz() {
+  std::string body = "sdss archive statusz\n";
+  body += "build: " +
+          (options_.build_info.empty() ? std::string("unknown")
+                                       : options_.build_info) +
+          "\n";
+  body += "uptime_seconds: " + Fmt("%.1f", UptimeSeconds()) + "\n";
+  body += "admin_requests: " + std::to_string(requests_.load()) + "\n";
+
+  if (options_.metrics != nullptr) {
+    // One consistent snapshot for every figure below.
+    const auto snapshot = options_.metrics->Snapshot();
+    auto counter = [&snapshot](std::string_view name) -> uint64_t {
+      for (const auto& s : snapshot) {
+        if (s.name == name) return s.counter;
+      }
+      return 0;
+    };
+    auto gauge = [&snapshot](std::string_view name) -> int64_t {
+      for (const auto& s : snapshot) {
+        if (s.name == name) return s.gauge;
+      }
+      return 0;
+    };
+    body += "\n[server]\n";
+    body += "sessions_active: " +
+            std::to_string(gauge("server_sessions_active")) + "\n";
+    body += "sessions_accepted: " +
+            std::to_string(counter("server_sessions_accepted")) + "\n";
+    body += "sessions_refused: " +
+            std::to_string(counter("server_sessions_refused")) + "\n";
+    body += "busy_shed: " + std::to_string(counter("server_busy_shed")) +
+            "\n";
+    body += "protocol_errors: " +
+            std::to_string(counter("server_protocol_errors")) + "\n";
+    body += "cache: hits=" + std::to_string(counter("server_cache_hits")) +
+            " containment=" +
+            std::to_string(counter("server_cache_containment")) +
+            " misses=" + std::to_string(counter("server_cache_misses")) +
+            "\n";
+    body += "\n[journal]\n";
+    body += "poisoned: " +
+            std::to_string(gauge("persist_journal_poisoned")) + "\n";
+  }
+
+  if (options_.scheduler != nullptr) {
+    const auto depths = options_.scheduler->LaneDepths();
+    body += "\n[lanes]\n";
+    body += "quick: queued=" + std::to_string(depths.quick_queued) +
+            " running=" + std::to_string(depths.quick_running) + "\n";
+    body += "long: queued=" + std::to_string(depths.long_queued) +
+            " running=" + std::to_string(depths.long_running) + "\n";
+
+    // Per-user job accounting: the paper's community usage question
+    // ("who is mining, who is browsing") answered from live bookkeeping.
+    struct UserStat {
+      size_t total = 0, queued = 0, running = 0, succeeded = 0, failed = 0,
+             cancelled = 0;
+    };
+    std::map<std::string, UserStat> users;
+    for (const auto& job : options_.scheduler->Jobs()) {
+      UserStat& u = users[job.user];
+      ++u.total;
+      switch (job.state) {
+        case workbench::JobState::kQueued: ++u.queued; break;
+        case workbench::JobState::kRunning: ++u.running; break;
+        case workbench::JobState::kSucceeded: ++u.succeeded; break;
+        case workbench::JobState::kFailed: ++u.failed; break;
+        case workbench::JobState::kCancelled: ++u.cancelled; break;
+      }
+    }
+    body += "\n[jobs]\n";
+    for (const auto& [user, u] : users) {
+      body += user + ": total=" + std::to_string(u.total) +
+              " queued=" + std::to_string(u.queued) +
+              " running=" + std::to_string(u.running) +
+              " succeeded=" + std::to_string(u.succeeded) +
+              " failed=" + std::to_string(u.failed) +
+              " cancelled=" + std::to_string(u.cancelled) + "\n";
+    }
+    if (users.empty()) body += "(no jobs yet)\n";
+  }
+
+  if (options_.history != nullptr) {
+    body += "\n[history]\n";
+    body += "samples_retained: " + std::to_string(options_.history->size()) +
+            " of " + std::to_string(options_.history->capacity()) +
+            " (period " +
+            Fmt("%.1fs", options_.history->period_seconds()) + ")\n";
+  }
+  if (options_.traces != nullptr) {
+    body += "\n[traces]\n";
+    body += "ring: " + std::to_string(options_.traces->List().size()) +
+            " of " + std::to_string(options_.traces->capacity()) +
+            " retained, " + std::to_string(options_.traces->pushes()) +
+            " pushed\n";
+  }
+  return TextResponse(200, std::move(body));
+}
+
+HttpResponse HttpAdmin::HandleVarz(std::string_view query) {
+  if (options_.history == nullptr) {
+    return TextResponse(503, "varz: metric history not configured\n");
+  }
+  double window = 60.0;
+  const std::string_view param = QueryParam(query, "window");
+  if (!param.empty()) {
+    window = ParseWindowSeconds(param);
+    if (window <= 0.0) {
+      return TextResponse(400,
+                          "varz: bad window '" + std::string(param) +
+                              "' (want 60s / 5m / 1h / seconds)\n");
+    }
+  }
+  auto text = options_.history->TextWindow(window);
+  if (!text.ok()) {
+    // A freshly started server has < 2 samples; that is a state, not a
+    // scrape error.
+    return TextResponse(200,
+                        "# varz unavailable: " + text.status().ToString() +
+                            "\n");
+  }
+  return TextResponse(200, std::move(*text));
+}
+
+HttpResponse HttpAdmin::HandleTracez(std::string_view query) {
+  if (options_.traces == nullptr) {
+    return TextResponse(503, "tracez: trace ring not configured\n");
+  }
+  const std::string_view id_param = QueryParam(query, "id");
+  const bool latest = QueryParam(query, "latest") == "1";
+  if (!id_param.empty() || latest) {
+    query::TraceCapture capture;
+    if (latest) {
+      auto captures = options_.traces->List();
+      if (!captures.empty()) capture = std::move(captures.front());
+    } else {
+      capture = options_.traces->Find(
+          std::strtoull(std::string(id_param).c_str(), nullptr, 10));
+    }
+    if (capture.id == 0) {
+      return TextResponse(404, "tracez: no such trace (overwritten?)\n");
+    }
+    HttpResponse response;
+    response.content_type = "application/json";
+    response.body = std::move(capture.chrome_json);
+    return response;
+  }
+  // The index: everything but the span payload, newest first.
+  std::string json = "{\"capacity\":" +
+                     std::to_string(options_.traces->capacity()) +
+                     ",\"pushes\":" +
+                     std::to_string(options_.traces->pushes()) +
+                     ",\"traces\":[";
+  bool first = true;
+  for (const auto& capture : options_.traces->List()) {
+    if (!first) json += ",";
+    first = false;
+    json += "{\"id\":" + std::to_string(capture.id) +
+            ",\"job_id\":" + std::to_string(capture.job_id) +
+            ",\"user\":\"" + JsonEscape(capture.user) +
+            "\",\"sql\":\"" + JsonEscape(capture.sql) +
+            "\",\"seconds\":" + Fmt("%.6f", capture.seconds) +
+            ",\"slow\":" + (capture.slow ? "true" : "false") + "}";
+  }
+  json += "]}";
+  HttpResponse response;
+  response.content_type = "application/json";
+  response.body = std::move(json);
+  return response;
+}
+
+}  // namespace sdss::server

@@ -1,0 +1,125 @@
+// The monitoring plane's HTTP front door: a minimal HTTP/1.0 admin
+// listener on its own port, deliberately separate from the query
+// protocol's port so operators and scrapers never compete with query
+// traffic for sessions -- and so a wedged query server can still answer
+// "are you healthy".
+//
+// Endpoints (all GET, Connection: close):
+//   /metrics   Prometheus text exposition of the wired registry, with
+//              the process self-gauges refreshed on every scrape.
+//   /healthz   Liveness/readiness. 200 when the watchdog says ready,
+//              503 listing the firing rules otherwise; ?mode=live is
+//              the pure liveness probe and always answers 200.
+//   /statusz   Human-readable status: build info, uptime, sessions,
+//              lane depths, cache and BUSY counters, journal health,
+//              per-user job accounting.
+//   /varz      Windowed rates from the metric history ring
+//              (?window=60s, accepts Ns / Nm / plain seconds).
+//   /tracez    JSON index of the recent-query trace ring; ?id=N or
+//              ?latest=1 downloads one capture as chrome://tracing
+//              JSON.
+//
+// Scope: one accept thread serving one request per connection, no
+// keep-alive, no TLS, bounded request size and read timeout. This is an
+// operator surface on localhost, not a web server.
+
+#ifndef SDSS_SERVER_HTTP_ADMIN_H_
+#define SDSS_SERVER_HTTP_ADMIN_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <thread>
+
+#include "core/eventlog.h"
+#include "core/metrics.h"
+#include "core/metrics_history.h"
+#include "core/net.h"
+#include "core/status.h"
+#include "core/watchdog.h"
+#include "query/trace.h"
+#include "workbench/scheduler.h"
+
+namespace sdss::server {
+
+/// One rendered admin response, exposed so tests exercise the routing
+/// and rendering without sockets.
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+class HttpAdmin {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    /// 0 = pick an ephemeral port (readable via port()).
+    uint16_t port = 0;
+    int backlog = 16;
+    /// Request lines beyond this are answered 400 and closed.
+    size_t max_request_bytes = 8192;
+    /// Per-connection budget to produce a full request head.
+    int read_timeout_ms = 2000;
+    /// The registry /metrics exposes. Required; must outlive the admin.
+    metrics::Registry* metrics = nullptr;
+    /// Everything below is optional wiring: endpoints degrade to "not
+    /// configured" when null. All must outlive the admin when set.
+    metrics::History* history = nullptr;      ///< /varz.
+    HealthWatchdog* watchdog = nullptr;       ///< /healthz readiness.
+    query::TraceRing* traces = nullptr;       ///< /tracez.
+    workbench::JobScheduler* scheduler = nullptr;  ///< /statusz lanes+jobs.
+    EventLog* events = nullptr;               ///< Start/stop breadcrumbs.
+    /// Shown on /statusz ("git describe" moral equivalent).
+    std::string build_info;
+  };
+
+  explicit HttpAdmin(Options options);
+  ~HttpAdmin();
+
+  HttpAdmin(const HttpAdmin&) = delete;
+  HttpAdmin& operator=(const HttpAdmin&) = delete;
+
+  /// Binds the listener and spawns the accept thread.
+  Status Start();
+  /// Shuts the listener and joins. Idempotent; the destructor calls it.
+  void Stop();
+
+  /// The bound port, valid after Start() succeeded.
+  uint16_t port() const { return port_; }
+
+  /// Routes one request. `target` is the request-target as it appears
+  /// on the request line ("/varz?window=60s"). Public for tests.
+  HttpResponse Handle(std::string_view method, std::string_view target);
+
+  uint64_t requests_served() const;
+
+ private:
+  void AcceptLoop();
+  /// Reads the request head, routes it, writes the response.
+  void ServeConn(TcpConn conn);
+
+  HttpResponse HandleMetrics();
+  HttpResponse HandleHealthz(std::string_view query);
+  HttpResponse HandleStatusz();
+  HttpResponse HandleVarz(std::string_view query);
+  HttpResponse HandleTracez(std::string_view query);
+
+  double UptimeSeconds() const;
+
+  const Options options_;
+  metrics::Counter* m_requests_ = nullptr;
+  const std::chrono::steady_clock::time_point started_at_;
+  TcpListener listener_;
+  uint16_t port_ = 0;
+  std::thread accept_thread_;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopped_{false};
+  std::atomic<uint64_t> requests_{0};
+};
+
+}  // namespace sdss::server
+
+#endif  // SDSS_SERVER_HTTP_ADMIN_H_

@@ -119,6 +119,10 @@ void QueryServer::AcceptLoop() {
       // accept queue draining -- refusing cheaply is what prevents the
       // backlog (and every client's connect latency) from collapsing.
       counters_.sessions_refused->Inc();
+      LogEvent(options_.events, EventSeverity::kWarn, "server",
+               "session_refused", 0,
+               {{"active", std::to_string(active)},
+                {"max", std::to_string(options_.max_sessions)}});
       workbench::QueueDepths depths = scheduler_->LaneDepths();
       BusyMsg busy;
       busy.retry_after_ms = options_.busy_retry_ms;

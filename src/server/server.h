@@ -33,6 +33,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/eventlog.h"
 #include "core/metrics.h"
 #include "core/net.h"
 #include "core/status.h"
@@ -66,6 +67,10 @@ struct ServerOptions {
   /// same registry the scheduler/engine/journal use so one STATS frame
   /// reports the whole process (see QueryServer::metrics()).
   metrics::Registry* metrics = nullptr;
+  /// Operational events (component "server"): refused sessions, auth
+  /// failures, and fatal protocol errors. Null = no events; must
+  /// outlive the server.
+  EventLog* events = nullptr;
 };
 
 /// Monotonic counters (and one gauge) of server activity.

@@ -22,6 +22,13 @@ Session::Session(uint64_t id, TcpConn conn, QueryServer* server)
   wire_->conn = &conn_;
 }
 
+void Session::NoteProtocolError(const Status& error) {
+  server_->counters_.protocol_errors->Inc();
+  LogEvent(server_->options().events, EventSeverity::kError, "server",
+           "protocol_error", id_,
+           {{"user", user_}, {"error", error.ToString()}});
+}
+
 void Session::Run() {
   RunLoop();
   // From here no frame may touch the socket: terminal-job bookkeeping
@@ -42,36 +49,37 @@ bool Session::RunLoop() {
   Result<Frame> first = ReadFrame(&conn_, opts.max_frame_bytes);
   if (!first.ok()) {
     if (first.status().code() != StatusCode::kAborted) {
-      server_->counters_.protocol_errors->Inc();
+      NoteProtocolError(first.status());
       SendError(first.status(), /*fatal=*/true);
     }
     return false;
   }
   if (first->type != MsgType::kHello) {
-    server_->counters_.protocol_errors->Inc();
-    SendError(Status::InvalidArgument(
-                  std::string("expected HELLO, got ") +
-                  MsgTypeName(first->type)),
-              /*fatal=*/true);
+    Status error = Status::InvalidArgument(
+        std::string("expected HELLO, got ") + MsgTypeName(first->type));
+    NoteProtocolError(error);
+    SendError(error, /*fatal=*/true);
     return false;
   }
   Result<HelloMsg> hello = DecodeHello(first->payload);
   if (!hello.ok()) {
-    server_->counters_.protocol_errors->Inc();
+    NoteProtocolError(hello.status());
     SendError(hello.status(), /*fatal=*/true);
     return false;
   }
   if (hello->version != kProtocolVersion) {
-    server_->counters_.protocol_errors->Inc();
-    SendError(Status::FailedPrecondition(
-                  "protocol version " + std::to_string(hello->version) +
-                  " not supported (server speaks " +
-                  std::to_string(kProtocolVersion) + ")"),
-              /*fatal=*/true);
+    Status error = Status::FailedPrecondition(
+        "protocol version " + std::to_string(hello->version) +
+        " not supported (server speaks " +
+        std::to_string(kProtocolVersion) + ")");
+    NoteProtocolError(error);
+    SendError(error, /*fatal=*/true);
     return false;
   }
   if (!server_->Authenticate(hello->user, hello->token)) {
     server_->counters_.auth_failures->Inc();
+    LogEvent(server_->options().events, EventSeverity::kWarn, "server",
+             "auth_failure", id_, {{"user", hello->user}});
     SendError(Status::InvalidArgument("unknown user or bad token"),
               /*fatal=*/true);
     return false;
@@ -88,7 +96,7 @@ bool Session::RunLoop() {
       // kAborted = the client hung up without BYE; anything else is a
       // torn or oversized frame -- the stream cannot be re-synced.
       if (frame.status().code() != StatusCode::kAborted) {
-        server_->counters_.protocol_errors->Inc();
+        NoteProtocolError(frame.status());
         SendError(frame.status(), /*fatal=*/true);
       }
       return false;
@@ -113,13 +121,14 @@ bool Session::RunLoop() {
         break;
       case MsgType::kBye:
         return true;
-      default:
-        server_->counters_.protocol_errors->Inc();
-        SendError(Status::InvalidArgument(
-                      std::string("unexpected ") +
-                      MsgTypeName(frame->type) + " frame"),
-                  /*fatal=*/true);
+      default: {
+        Status error = Status::InvalidArgument(
+            std::string("unexpected ") + MsgTypeName(frame->type) +
+            " frame");
+        NoteProtocolError(error);
+        SendError(error, /*fatal=*/true);
         return false;
+      }
     }
   }
 }
@@ -130,7 +139,7 @@ bool Session::HandleQuery(std::string_view payload) {
 
   Result<QueryMsg> query = DecodeQuery(payload);
   if (!query.ok()) {
-    server_->counters_.protocol_errors->Inc();
+    NoteProtocolError(query.status());
     SendError(query.status(), /*fatal=*/true);
     return false;
   }
@@ -279,7 +288,7 @@ bool Session::DrainInFlight(const std::shared_ptr<Pending>& pending,
     if (!frame.ok()) {
       // Mid-stream disconnect (or torn frame): cancel the job, close.
       if (frame.status().code() != StatusCode::kAborted) {
-        server_->counters_.protocol_errors->Inc();
+        NoteProtocolError(frame.status());
       }
       scheduler->Cancel(job_id);
       keep_session = false;
@@ -297,18 +306,18 @@ bool Session::DrainInFlight(const std::shared_ptr<Pending>& pending,
         keep_session = false;
         abandoned = true;
         break;
-      default:
-        server_->counters_.protocol_errors->Inc();
-        SendError(Status::FailedPrecondition(
-                      std::string("unexpected ") +
-                      MsgTypeName(frame->type) +
-                      " frame while a query is in flight (one statement "
-                      "per session at a time)"),
-                  /*fatal=*/true);
+      default: {
+        Status error = Status::FailedPrecondition(
+            std::string("unexpected ") + MsgTypeName(frame->type) +
+            " frame while a query is in flight (one statement per "
+            "session at a time)");
+        NoteProtocolError(error);
+        SendError(error, /*fatal=*/true);
         scheduler->Cancel(job_id);
         keep_session = false;
         abandoned = true;
         break;
+      }
     }
   }
 

@@ -97,6 +97,8 @@ class Session {
                      uint64_t job_id);
   void SendBusy();
   void SendError(const Status& error, bool fatal);
+  /// Counts a protocol violation and emits its operational event.
+  void NoteProtocolError(const Status& error);
 
   const uint64_t id_;
   TcpConn conn_;

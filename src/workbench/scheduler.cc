@@ -426,6 +426,7 @@ Result<SchedulerRecoveryReport> JobScheduler::RecoverFrom(
     report.journal = *replay;
     persist::Journal::Options journal_options;
     journal_options.metrics = options_.metrics;
+    journal_options.events = options_.events;
     auto journal = persist::Journal::Open(dir, journal_options);
     if (!journal.ok()) return journal.status();
     journal_ = std::move(*journal);
@@ -674,13 +675,14 @@ void JobScheduler::RunJob(Job* job) {
   query::ExecContext ctx;
   ctx.cancel = &job->cancel;
   ctx.mydb = mydb_->ResolverFor(job->snap.user);
-  // Tracing rides the slow-query log: when the log is configured every
-  // job runs traced (the spans are a handful of mutex-guarded appends,
-  // not per-row work) and the capture is persisted only if the job
-  // turns out slow. The admission wait predates the trace, so it is
-  // recorded as an annotated zero-length span.
+  // Tracing rides the slow-query log and the /tracez ring: when either
+  // is configured every job runs traced (the spans are a handful of
+  // mutex-guarded appends, not per-row work) and the capture is
+  // persisted only if the job turns out slow or is sampled. The
+  // admission wait predates the trace, so it is recorded as an
+  // annotated zero-length span.
   std::unique_ptr<query::QueryTrace> trace;
-  if (!options_.slowlog_dir.empty()) {
+  if (!options_.slowlog_dir.empty() || options_.trace_ring != nullptr) {
     trace = std::make_unique<query::QueryTrace>();
     char idbuf[32];
     std::snprintf(idbuf, sizeof(idbuf), "%llu",
@@ -779,9 +781,38 @@ void JobScheduler::RunJob(Job* job) {
     m_run_us_->Record(
         static_cast<uint64_t>(final_snap.seconds_running * 1e6));
   }
-  if (trace != nullptr &&
-      final_snap.seconds_running >= options_.slow_query_seconds) {
-    WriteSlowLog(final_snap.id, *trace);
+  if (trace != nullptr) {
+    const bool slow =
+        final_snap.seconds_running >= options_.slow_query_seconds;
+    if (slow) {
+      if (!options_.slowlog_dir.empty()) {
+        WriteSlowLog(final_snap.id, *trace);
+      }
+      char seconds[32];
+      std::snprintf(seconds, sizeof(seconds), "%.3f",
+                    final_snap.seconds_running);
+      LogEvent(options_.events, EventSeverity::kWarn, "workbench",
+               "slow_query", final_snap.id,
+               {{"user", final_snap.user},
+                {"sql", final_snap.sql},
+                {"seconds", seconds}});
+    }
+    // Every slow trace lands in the ring; a healthy server contributes
+    // every trace_sample_every-th traced job so /tracez is never empty.
+    const uint64_t nth =
+        traced_finished_.fetch_add(1, std::memory_order_relaxed) + 1;
+    const bool sampled = options_.trace_sample_every > 0 &&
+                         nth % options_.trace_sample_every == 0;
+    if (options_.trace_ring != nullptr && (slow || sampled)) {
+      query::TraceCapture capture;
+      capture.job_id = final_snap.id;
+      capture.user = final_snap.user;
+      capture.sql = final_snap.sql;
+      capture.seconds = final_snap.seconds_running;
+      capture.slow = slow;
+      capture.chrome_json = trace->ToChromeJson();
+      options_.trace_ring->Push(std::move(capture));
+    }
   }
   UpdateLaneGauges();
   NotifyAndPrune(job, std::move(final_snap));

@@ -42,6 +42,7 @@
 
 #include "archive/mydb.h"
 #include "archive/sharded_store.h"
+#include "core/eventlog.h"
 #include "core/status.h"
 #include "core/thread_pool.h"
 #include "persist/journal.h"
@@ -182,6 +183,18 @@ class JobScheduler {
     std::string slowlog_dir;
     double slow_query_seconds = 1.0;
     size_t slowlog_max_files = 32;
+    /// Operational events (component "workbench"): slow queries emit a
+    /// kWarn slow_query event with user/sql/seconds. Also forwarded to
+    /// the recovery journal (journal_poisoned). Null = no events; must
+    /// outlive the scheduler.
+    EventLog* events = nullptr;
+    /// In-memory ring the admin endpoint's /tracez lists. Slow jobs
+    /// always push their capture; with trace_sample_every = N > 0 every
+    /// Nth finished traced job is pushed too (slow = false), so /tracez
+    /// has content on a healthy server. Tracing is enabled when either
+    /// this or slowlog_dir is set. Must outlive the scheduler.
+    query::TraceRing* trace_ring = nullptr;
+    size_t trace_sample_every = 0;
   };
 
   JobScheduler(query::FederatedQueryEngine* engine, archive::MyDb* mydb,
@@ -308,6 +321,8 @@ class JobScheduler {
   std::map<uint64_t, std::unique_ptr<Job>> jobs_;
   uint64_t next_id_ = 1;
   std::atomic<bool> shutting_down_{false};
+  /// Traced jobs finished, the modulus trace sampling counts on.
+  std::atomic<uint64_t> traced_finished_{0};
   std::unique_ptr<persist::Journal> journal_;  ///< Null until recovered.
   // Instruments resolved once in the constructor; all null when
   // Options::metrics is unset.

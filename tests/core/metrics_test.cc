@@ -149,6 +149,171 @@ TEST(Registry, TextExpositionShape) {
   EXPECT_NE(text.find("lat_us_bucket{le=\"+Inf\"} 2"), std::string::npos);
 }
 
+TEST(Histogram, AllCountsInOneBucketQuantiles) {
+  // Every observation identical: all quantiles collapse to that
+  // bucket's bound.
+  Histogram h;
+  for (int i = 0; i < 1000; ++i) h.Record(500);  // bit_width = 9.
+  HistogramSnapshot snap = h.Snapshot();
+  ASSERT_EQ(snap.buckets.size(), 1u);
+  EXPECT_EQ(snap.Quantile(0.0), 511u);
+  EXPECT_EQ(snap.P50(), 511u);
+  EXPECT_EQ(snap.P99(), 511u);
+  EXPECT_EQ(snap.Quantile(1.0), 511u);
+}
+
+TEST(Histogram, TopBucketOverflowQuantile) {
+  // UINT64_MAX lands in bucket 64, whose inclusive upper bound is
+  // UINT64_MAX itself -- the quantile must not wrap to 0 via 1 << 64.
+  Histogram h;
+  h.Record(UINT64_MAX);
+  h.Record(UINT64_MAX - 1);
+  HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.Quantile(1.0), UINT64_MAX);
+  EXPECT_EQ(snap.P50(), UINT64_MAX);
+  // Sum wraps modulo 2^64 by design of uint64_t accumulation.
+  EXPECT_EQ(snap.count, 2u);
+}
+
+TEST(PrometheusName, SanitizesToCharset) {
+  EXPECT_EQ(PrometheusMetricName("server_reqs_total"), "server_reqs_total");
+  EXPECT_EQ(PrometheusMetricName("ns:reqs"), "ns:reqs");
+  EXPECT_EQ(PrometheusMetricName("bad-name.with spaces"),
+            "bad_name_with_spaces");
+  EXPECT_EQ(PrometheusMetricName("2fast"), "_2fast");
+  EXPECT_EQ(PrometheusMetricName(""), "_");
+}
+
+// A strict line-level parser for the Prometheus text format (0.0.4),
+// scoped to what TextExposition emits: # TYPE comments, bare samples,
+// and histogram series. Fails the test on any malformed line.
+void CheckPrometheusText(const std::string& text) {
+  ASSERT_FALSE(text.empty());
+  ASSERT_EQ(text.back(), '\n') << "exposition must end with a newline";
+  auto valid_name = [](const std::string& name) {
+    if (name.empty()) return false;
+    for (size_t i = 0; i < name.size(); ++i) {
+      const char c = name[i];
+      const bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                         c == '_' || c == ':';
+      const bool digit = c >= '0' && c <= '9';
+      if (!alpha && !(digit && i > 0)) return false;
+    }
+    return true;
+  };
+  size_t start = 0;
+  std::string last_type_name;
+  std::string last_type;
+  uint64_t last_bucket_cumulative = 0;
+  bool saw_inf = false;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    ASSERT_NE(end, std::string::npos);
+    std::string line = text.substr(start, end - start);
+    start = end + 1;
+    if (line.rfind("# TYPE ", 0) == 0) {
+      // "# TYPE <name> <counter|gauge|histogram>"
+      std::string rest = line.substr(7);
+      size_t sp = rest.find(' ');
+      ASSERT_NE(sp, std::string::npos) << line;
+      last_type_name = rest.substr(0, sp);
+      last_type = rest.substr(sp + 1);
+      EXPECT_TRUE(valid_name(last_type_name)) << line;
+      EXPECT_TRUE(last_type == "counter" || last_type == "gauge" ||
+                  last_type == "histogram")
+          << line;
+      last_bucket_cumulative = 0;
+      saw_inf = false;
+      continue;
+    }
+    ASSERT_NE(line.find(' '), std::string::npos) << line;
+    // "<name>[{le="<bound>"}] <value>"
+    size_t sp = line.rfind(' ');
+    std::string series = line.substr(0, sp);
+    std::string value = line.substr(sp + 1);
+    ASSERT_FALSE(value.empty()) << line;
+    for (size_t i = 0; i < value.size(); ++i) {
+      const char c = value[i];
+      EXPECT_TRUE((c >= '0' && c <= '9') || (i == 0 && c == '-')) << line;
+    }
+    std::string name = series;
+    if (size_t brace = series.find('{'); brace != std::string::npos) {
+      name = series.substr(0, brace);
+      ASSERT_EQ(series.back(), '}') << line;
+      std::string labels = series.substr(brace + 1,
+                                         series.size() - brace - 2);
+      // TextExposition only emits the `le` label on _bucket series.
+      ASSERT_EQ(labels.rfind("le=\"", 0), 0u) << line;
+      ASSERT_EQ(labels.back(), '"') << line;
+      std::string bound = labels.substr(4, labels.size() - 5);
+      EXPECT_FALSE(bound.empty()) << line;
+      ASSERT_EQ(name.size() >= 7 &&
+                    name.compare(name.size() - 7, 7, "_bucket") == 0,
+                true)
+          << line;
+      // Cumulative: counts never decrease as `le` rises.
+      uint64_t v = std::stoull(value);
+      EXPECT_GE(v, last_bucket_cumulative) << line;
+      last_bucket_cumulative = v;
+      if (bound == "+Inf") saw_inf = true;
+    }
+    EXPECT_TRUE(valid_name(name)) << line;
+    // Samples must follow their own TYPE comment.
+    ASSERT_FALSE(last_type_name.empty()) << line;
+    if (last_type == "histogram") {
+      EXPECT_TRUE(name == last_type_name + "_bucket" ||
+                  name == last_type_name + "_sum" ||
+                  name == last_type_name + "_count")
+          << line;
+      if (name == last_type_name + "_count") {
+        EXPECT_TRUE(saw_inf) << "histogram without +Inf bucket: " << line;
+        EXPECT_EQ(std::stoull(value), last_bucket_cumulative)
+            << "_count must equal the +Inf bucket: " << line;
+      }
+    } else {
+      EXPECT_EQ(name, last_type_name) << line;
+    }
+  }
+}
+
+TEST(Registry, TextExpositionIsStrictlyConformant) {
+  Registry reg;
+  reg.GetCounter("reqs_total")->Inc(7);
+  reg.GetGauge("depth")->Set(-3);
+  Histogram* h = reg.GetHistogram("lat_us");
+  h->Record(0);
+  h->Record(5);
+  h->Record(100);
+  h->Record(UINT64_MAX);  // Top bucket: le bound must not wrap.
+  Histogram* empty = reg.GetHistogram("never_us");  // No observations.
+  (void)empty;
+  CheckPrometheusText(reg.TextExposition());
+  std::string text = reg.TextExposition();
+  // Empty histogram still exposes the full series family.
+  EXPECT_NE(text.find("never_us_bucket{le=\"+Inf\"} 0"), std::string::npos);
+  EXPECT_NE(text.find("never_us_sum 0"), std::string::npos);
+  EXPECT_NE(text.find("never_us_count 0"), std::string::npos);
+  // The top bucket's bound is UINT64_MAX in decimal, not 0.
+  EXPECT_NE(text.find("lat_us_bucket{le=\"18446744073709551615\"}"),
+            std::string::npos);
+}
+
+TEST(Registry, TextExpositionLongAndHostileNames) {
+  // The old formatter built lines in a 160-byte stack buffer; a long
+  // name silently truncated mid-line and corrupted the page. Names are
+  // also sanitized, so a hostile registry name cannot break a scraper.
+  Registry reg;
+  std::string long_name(300, 'a');
+  reg.GetCounter(long_name)->Inc(1);
+  reg.GetHistogram("weird name-with.dots")->Record(42);
+  std::string text = reg.TextExposition();
+  EXPECT_NE(text.find("# TYPE " + long_name + " counter"),
+            std::string::npos);
+  EXPECT_NE(text.find(long_name + " 1"), std::string::npos);
+  EXPECT_NE(text.find("weird_name_with_dots_count 1"), std::string::npos);
+  CheckPrometheusText(text);
+}
+
 TEST(Registry, ConcurrentRecordingIsExact) {
   // Satellite 1 (data-race audit): hammer one counter, one gauge, and
   // one histogram from several threads; under TSAN this is the race

@@ -1,0 +1,53 @@
+// Process self-metrics: /proc/self readers return sane values and the
+// gauges land in the registry.
+
+#include "core/proc_stats.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "core/metrics.h"
+
+namespace sdss {
+namespace {
+
+TEST(ProcStats, ReadersReturnPlausibleValues) {
+  auto fds = ReadOpenFdCount();
+  ASSERT_TRUE(fds.ok()) << fds.status().ToString();
+  EXPECT_GE(*fds, 3);  // stdin/stdout/stderr at minimum.
+
+  auto threads = ReadThreadCount();
+  ASSERT_TRUE(threads.ok()) << threads.status().ToString();
+  EXPECT_GE(*threads, 1);
+
+  auto rss = ReadRssBytes();
+  ASSERT_TRUE(rss.ok()) << rss.status().ToString();
+  EXPECT_GT(*rss, 0);
+}
+
+TEST(ProcStats, ThreadCountSeesNewThreads) {
+  auto before = ReadThreadCount();
+  ASSERT_TRUE(before.ok());
+  std::thread parked([] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  });
+  auto during = ReadThreadCount();
+  ASSERT_TRUE(during.ok());
+  EXPECT_GT(*during, *before);
+  parked.join();
+}
+
+TEST(ProcStats, UpdateProcessMetricsSetsGauges) {
+  metrics::Registry registry;
+  UpdateProcessMetrics(&registry, 12.7);
+  EXPECT_GE(registry.GetGauge("process_open_fds")->Value(), 3);
+  EXPECT_GE(registry.GetGauge("process_threads")->Value(), 1);
+  EXPECT_GT(registry.GetGauge("process_rss_bytes")->Value(), 0);
+  EXPECT_EQ(registry.GetGauge("process_uptime_seconds")->Value(), 12);
+  UpdateProcessMetrics(nullptr, 1.0);  // Null-safe.
+}
+
+}  // namespace
+}  // namespace sdss

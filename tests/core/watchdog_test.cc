@@ -1,0 +1,208 @@
+// HealthWatchdog: rule kinds firing and clearing against an injected
+// sample timeline, streak persistence, and transition events.
+
+#include "core/watchdog.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/eventlog.h"
+#include "core/metrics.h"
+#include "core/metrics_history.h"
+
+namespace sdss {
+namespace {
+
+namespace fs = std::filesystem;
+
+HealthRule GaugeNonZeroRule(const std::string& metric) {
+  HealthRule rule;
+  rule.name = metric + "_rule";
+  rule.kind = HealthRule::Kind::kGaugeNonZero;
+  rule.metric = metric;
+  return rule;
+}
+
+TEST(Watchdog, StartsReadyBeforeAnyEvaluation) {
+  metrics::Registry registry;
+  metrics::History history(&registry);
+  HealthWatchdog::Options options;
+  options.rules = {GaugeNonZeroRule("persist_journal_poisoned")};
+  HealthWatchdog watchdog(&history, options);
+  EXPECT_TRUE(watchdog.ready());
+  // Too few samples: rules cannot judge, readiness holds.
+  watchdog.Evaluate();
+  EXPECT_TRUE(watchdog.ready());
+}
+
+TEST(Watchdog, GaugeNonZeroFiresAndClears) {
+  metrics::Registry registry;
+  metrics::Gauge* poisoned = registry.GetGauge("persist_journal_poisoned");
+  metrics::History history(&registry);
+  HealthWatchdog::Options options;
+  options.rules = {GaugeNonZeroRule("persist_journal_poisoned")};
+  HealthWatchdog watchdog(&history, options);
+
+  history.Sample(0.0);
+  history.Sample(10.0);
+  watchdog.Evaluate();
+  EXPECT_TRUE(watchdog.ready());
+
+  poisoned->Set(1);
+  history.Sample(20.0);
+  watchdog.Evaluate();  // One sampler period later: not ready.
+  EXPECT_FALSE(watchdog.ready());
+  ASSERT_EQ(watchdog.failing().size(), 1u);
+  EXPECT_EQ(watchdog.failing()[0], "persist_journal_poisoned_rule");
+
+  poisoned->Set(0);
+  history.Sample(30.0);
+  watchdog.Evaluate();
+  EXPECT_TRUE(watchdog.ready());
+  EXPECT_TRUE(watchdog.failing().empty());
+}
+
+TEST(Watchdog, GaugeAtLeastNeedsConsecutiveStreak) {
+  metrics::Registry registry;
+  metrics::Gauge* depth = registry.GetGauge("workbench_quick_queued");
+  metrics::History history(&registry);
+  HealthRule rule;
+  rule.name = "quick_lane_pinned";
+  rule.kind = HealthRule::Kind::kGaugeAtLeast;
+  rule.metric = "workbench_quick_queued";
+  rule.threshold = 4.0;
+  rule.consecutive = 3;
+  HealthWatchdog::Options options;
+  options.rules = {rule};
+  HealthWatchdog watchdog(&history, options);
+
+  depth->Set(4);
+  double now = 0.0;
+  history.Sample(now);
+  history.Sample(now += 10.0);
+  watchdog.Evaluate();  // Streak 1.
+  EXPECT_TRUE(watchdog.ready());
+  history.Sample(now += 10.0);
+  watchdog.Evaluate();  // Streak 2.
+  EXPECT_TRUE(watchdog.ready());
+  history.Sample(now += 10.0);
+  watchdog.Evaluate();  // Streak 3: pinned.
+  EXPECT_FALSE(watchdog.ready());
+
+  // One dip below the bound resets the streak and clears the rule.
+  depth->Set(3);
+  history.Sample(now += 10.0);
+  watchdog.Evaluate();
+  EXPECT_TRUE(watchdog.ready());
+}
+
+TEST(Watchdog, CounterRateAboveFires) {
+  metrics::Registry registry;
+  metrics::Counter* retries = registry.GetCounter("server_accept_retries");
+  metrics::History history(&registry);
+  HealthRule rule;
+  rule.name = "accept_retries_climbing";
+  rule.kind = HealthRule::Kind::kCounterRateAbove;
+  rule.metric = "server_accept_retries";
+  rule.threshold = 1.0;  // Per second.
+  rule.window_seconds = 60.0;
+  HealthWatchdog::Options options;
+  options.rules = {rule};
+  HealthWatchdog watchdog(&history, options);
+
+  history.Sample(0.0);
+  retries->Inc(5);  // 0.5/s over 10s: under threshold.
+  history.Sample(10.0);
+  watchdog.Evaluate();
+  EXPECT_TRUE(watchdog.ready());
+
+  retries->Inc(100);  // 10/s over the last 10s.
+  history.Sample(20.0);
+  watchdog.Evaluate();
+  EXPECT_FALSE(watchdog.ready());
+}
+
+TEST(Watchdog, HistogramP99AboveFiresOnlyWithObservations) {
+  metrics::Registry registry;
+  metrics::Histogram* fsync = registry.GetHistogram("persist_journal_fsync_us");
+  metrics::History history(&registry);
+  HealthRule rule;
+  rule.name = "fsync_p99_high";
+  rule.kind = HealthRule::Kind::kHistogramP99Above;
+  rule.metric = "persist_journal_fsync_us";
+  rule.threshold = 200000.0;
+  rule.window_seconds = 60.0;
+  HealthWatchdog::Options options;
+  options.rules = {rule};
+  HealthWatchdog watchdog(&history, options);
+
+  history.Sample(0.0);
+  history.Sample(10.0);
+  watchdog.Evaluate();  // No observations: passes.
+  EXPECT_TRUE(watchdog.ready());
+
+  for (int i = 0; i < 100; ++i) fsync->Record(1'000'000);  // A sick disk.
+  history.Sample(20.0);
+  watchdog.Evaluate();
+  EXPECT_FALSE(watchdog.ready());
+
+  // A healthy window (new observations all fast) clears it.
+  for (int i = 0; i < 100; ++i) fsync->Record(500);
+  history.Sample(90.0);
+  watchdog.Evaluate();
+  EXPECT_TRUE(watchdog.ready());
+}
+
+TEST(Watchdog, TransitionsEmitEvents) {
+  fs::path dir = fs::path(::testing::TempDir()) / "watchdog_events";
+  fs::remove_all(dir);
+  auto log = EventLog::Open(dir.string());
+  ASSERT_TRUE(log.ok());
+
+  metrics::Registry registry;
+  metrics::Gauge* poisoned = registry.GetGauge("persist_journal_poisoned");
+  metrics::History history(&registry);
+  HealthWatchdog::Options options;
+  options.rules = {GaugeNonZeroRule("persist_journal_poisoned")};
+  options.events = log->get();
+  HealthWatchdog watchdog(&history, options);
+
+  history.Sample(0.0);
+  history.Sample(10.0);
+  watchdog.Evaluate();
+  EXPECT_EQ((*log)->events_written(), 0u);  // Steady state: silent.
+
+  poisoned->Set(1);
+  history.Sample(20.0);
+  watchdog.Evaluate();  // Fire transition.
+  watchdog.Evaluate();  // Still firing: no duplicate event.
+  EXPECT_EQ((*log)->events_written(), 1u);
+
+  poisoned->Set(0);
+  history.Sample(30.0);
+  watchdog.Evaluate();  // Clear transition.
+  EXPECT_EQ((*log)->events_written(), 2u);
+  fs::remove_all(dir);
+}
+
+TEST(Watchdog, DefaultRulesCoverTheStockConditions) {
+  std::vector<HealthRule> rules = HealthWatchdog::DefaultRules(8);
+  ASSERT_EQ(rules.size(), 4u);
+  std::vector<std::string> names;
+  for (const HealthRule& rule : rules) names.push_back(rule.name);
+  EXPECT_NE(std::find(names.begin(), names.end(), "accept_retries_climbing"),
+            names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "quick_lane_pinned"),
+            names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "journal_poisoned"),
+            names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "fsync_p99_high"),
+            names.end());
+}
+
+}  // namespace
+}  // namespace sdss

@@ -10,7 +10,9 @@
 #include <string>
 #include <vector>
 
+#include "core/eventlog.h"
 #include "core/io.h"
+#include "core/metrics.h"
 
 namespace sdss::persist {
 namespace {
@@ -188,6 +190,55 @@ TEST_F(PersistJournalTest, ApplyErrorAbortsReplay) {
   });
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(PersistJournalTest, RotationFailurePoisonsWithGaugeAndEvent) {
+  // Sabotage rotation by replacing the journal directory with a plain
+  // file: the next append must rotate, cannot open a segment, and the
+  // journal latches POISONED -- flipping the gauge the health watchdog
+  // reads and emitting the journal_poisoned event.
+  metrics::Registry registry;
+  const std::string events_dir = dir_.string() + "_events";
+  fs::remove_all(events_dir);
+  auto events = EventLog::Open(events_dir);
+  ASSERT_TRUE(events.ok());
+
+  Journal::Options options;
+  options.segment_bytes = 1;  // Rotate on every append.
+  options.metrics = &registry;
+  options.events = events->get();
+  auto journal = Journal::Open(dir_.string(), options);
+  ASSERT_TRUE(journal.ok());
+  EXPECT_EQ(registry.GetGauge("persist_journal_poisoned")->Value(), 0);
+  EXPECT_TRUE((*journal)->health().ok());
+  EXPECT_FALSE((*journal)->poisoned());
+  ASSERT_TRUE((*journal)->Append("healthy").ok());
+
+  fs::remove_all(dir_);
+  { std::ofstream block(dir_.string()); block << "not a directory"; }
+
+  Status failed = (*journal)->Append("doomed");
+  ASSERT_FALSE(failed.ok());
+  EXPECT_TRUE((*journal)->poisoned());
+  EXPECT_EQ((*journal)->health().code(), failed.code());
+  EXPECT_EQ(registry.GetGauge("persist_journal_poisoned")->Value(), 1);
+  // Latched: every later append answers the original error.
+  EXPECT_FALSE((*journal)->Append("still doomed").ok());
+  EXPECT_EQ((*events)->events_written(), 1u);
+  bool found = false;
+  for (const std::string& name : ListEventLogFiles(events_dir)) {
+    std::ifstream in(fs::path(events_dir) / name);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.find("\"event\":\"journal_poisoned\"") != std::string::npos &&
+          line.find("\"severity\":\"ERROR\"") != std::string::npos) {
+        found = true;
+      }
+    }
+  }
+  EXPECT_TRUE(found);
+  fs::remove_all(events_dir);
+  fs::remove_all(dir_.string());
 }
 
 TEST_F(PersistJournalTest, SegmentNamesAreOrderedAndDurable) {

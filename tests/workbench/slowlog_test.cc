@@ -14,8 +14,10 @@
 #include "archive/mydb.h"
 #include "archive/sharded_store.h"
 #include "catalog/sky_generator.h"
+#include "core/eventlog.h"
 #include "core/io.h"
 #include "core/metrics.h"
+#include "query/trace.h"
 #include "query/federated_engine.h"
 #include "workbench/scheduler.h"
 
@@ -162,6 +164,83 @@ TEST_F(SlowLogTest, PrunesToMaxFilesNewestSurvive) {
     std::snprintf(expected, sizeof(expected), "slow-%08llu.json",
                   static_cast<unsigned long long>(ids[ids.size() - 3 + i]));
     EXPECT_EQ(captures[i], expected);
+  }
+}
+
+TEST_F(SlowLogTest, SlowJobEmitsEventAndLandsInTraceRing) {
+  const std::string dir = TempDir("ring");
+  auto events = EventLog::Open(TempDir("ring_events"));
+  ASSERT_TRUE(events.ok());
+  query::TraceRing ring(8);
+  JobScheduler::Options opt;
+  opt.quick_workers = 1;
+  opt.long_workers = 1;
+  opt.slowlog_dir = dir;
+  opt.slow_query_seconds = 0.0;  // Every job is "slow".
+  opt.events = events->get();
+  opt.trace_ring = &ring;
+  MyDb mydb;
+  JobScheduler scheduler(engine_, &mydb, opt);
+
+  auto job = scheduler.Submit(
+      "ana", "SELECT COUNT(*) FROM photo WHERE r < 22");
+  ASSERT_TRUE(job.ok());
+  ASSERT_TRUE(scheduler.Wait(*job).ok());
+
+  // The slow_query event carries user, SQL, and run time.
+  EXPECT_EQ((*events)->events_written(), 1u);
+  bool found = false;
+  for (const std::string& name :
+       ListEventLogFiles((*events)->dir())) {
+    auto data = ReadFileToString((*events)->dir() + "/" + name);
+    ASSERT_TRUE(data.ok());
+    if (data->find("\"event\":\"slow_query\"") != std::string::npos &&
+        data->find("\"user\":\"ana\"") != std::string::npos) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+
+  // The capture is in the /tracez ring, flagged slow, with the full
+  // chrome JSON.
+  auto captures = ring.List();
+  ASSERT_EQ(captures.size(), 1u);
+  EXPECT_EQ(captures[0].job_id, *job);
+  EXPECT_EQ(captures[0].user, "ana");
+  EXPECT_TRUE(captures[0].slow);
+  EXPECT_GT(captures[0].seconds, 0.0);
+  EXPECT_NE(captures[0].chrome_json.find("\"traceEvents\""),
+            std::string::npos);
+  EXPECT_EQ(ring.Find(captures[0].id).job_id, *job);
+  EXPECT_EQ(ring.Find(9999).id, 0u);  // Unknown id: empty capture.
+}
+
+TEST_F(SlowLogTest, TraceRingSamplingWithoutSlowlogDir) {
+  // No slowlog_dir: tracing is still enabled by the ring, and with
+  // trace_sample_every=1 every job is pushed (slow=false under a high
+  // threshold).
+  query::TraceRing ring(4);
+  JobScheduler::Options opt;
+  opt.quick_workers = 1;
+  opt.long_workers = 1;
+  opt.slow_query_seconds = 3600.0;
+  opt.trace_ring = &ring;
+  opt.trace_sample_every = 1;
+  MyDb mydb;
+  JobScheduler scheduler(engine_, &mydb, opt);
+
+  for (int i = 0; i < 6; ++i) {
+    auto job = scheduler.Submit("ana", "SELECT COUNT(*) FROM photo");
+    ASSERT_TRUE(job.ok());
+    ASSERT_TRUE(scheduler.Wait(*job).ok());
+  }
+  EXPECT_EQ(ring.pushes(), 6u);
+  auto captures = ring.List();
+  ASSERT_EQ(captures.size(), 4u);  // Ring capacity bounds retention.
+  for (const auto& capture : captures) EXPECT_FALSE(capture.slow);
+  // Newest first: ids descend.
+  for (size_t i = 1; i < captures.size(); ++i) {
+    EXPECT_GT(captures[i - 1].id, captures[i].id);
   }
 }
 

@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Strict validator for a Prometheus text-format (0.0.4) exposition.
+
+Reads the exposition from a file argument (or stdin) and exits nonzero
+on the first malformed line. Scoped to what the archive's
+Registry::TextExposition emits -- `# TYPE` comments, bare samples, and
+histogram families -- but every check is a real text-format rule, so a
+conforming general exposition also passes:
+
+  - metric names match [a-zA-Z_:][a-zA-Z0-9_:]*
+  - every sample is preceded by its family's # TYPE comment
+  - TYPE is one of counter / gauge / histogram
+  - histogram families expose _bucket (cumulative, ending in le="+Inf"),
+    _sum, and _count, with _count == the +Inf bucket
+  - sample values parse as numbers
+
+Usage: check_prometheus.py [metrics.txt]
+"""
+
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+BUCKET_RE = re.compile(r'^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)'
+                       r'\{le="(?P<le>[^"]+)"\}$')
+
+
+def fail(lineno, line, why):
+    print(f"check_prometheus: line {lineno}: {why}: {line!r}",
+          file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) > 1:
+        text = open(sys.argv[1], "r", encoding="utf-8").read()
+    else:
+        text = sys.stdin.read()
+    if not text:
+        print("check_prometheus: empty exposition", file=sys.stderr)
+        sys.exit(1)
+    if not text.endswith("\n"):
+        print("check_prometheus: exposition must end with a newline",
+              file=sys.stderr)
+        sys.exit(1)
+
+    families = 0
+    samples = 0
+    fam_name = None
+    fam_type = None
+    bucket_cumulative = None
+    saw_inf = False
+    prev_le = None
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if line.startswith("# TYPE "):
+            parts = line[len("# TYPE "):].split(" ")
+            if len(parts) != 2:
+                fail(lineno, line, "malformed TYPE comment")
+            fam_name, fam_type = parts
+            if not NAME_RE.match(fam_name):
+                fail(lineno, line, f"invalid metric name {fam_name!r}")
+            if fam_type not in ("counter", "gauge", "histogram", "summary",
+                                "untyped"):
+                fail(lineno, line, f"invalid type {fam_type!r}")
+            families += 1
+            bucket_cumulative = 0
+            saw_inf = False
+            prev_le = None
+            continue
+        if line.startswith("#"):
+            continue  # Other comments (HELP) are legal free text.
+        if not line.strip():
+            continue
+        if fam_name is None:
+            fail(lineno, line, "sample before any TYPE comment")
+        left, _, value = line.rpartition(" ")
+        if not left:
+            fail(lineno, line, "no sample value")
+        try:
+            num = float(value) if value in ("+Inf", "-Inf", "NaN") \
+                else int(value)
+        except ValueError:
+            try:
+                num = float(value)
+            except ValueError:
+                fail(lineno, line, f"unparseable value {value!r}")
+        samples += 1
+
+        m = BUCKET_RE.match(left)
+        if m:
+            name = m.group("name")
+            le = m.group("le")
+            if not name.endswith("_bucket"):
+                fail(lineno, line, "le label on a non-_bucket series")
+            if fam_type != "histogram" or name != fam_name + "_bucket":
+                fail(lineno, line,
+                     f"bucket outside histogram family {fam_name!r}")
+            bound = float("inf") if le == "+Inf" else float(le)
+            if prev_le is not None and bound <= prev_le:
+                fail(lineno, line, "le bounds must strictly increase")
+            prev_le = bound
+            if num < bucket_cumulative:
+                fail(lineno, line, "bucket counts must be cumulative")
+            bucket_cumulative = num
+            if le == "+Inf":
+                saw_inf = True
+            continue
+
+        if not NAME_RE.match(left):
+            fail(lineno, line, f"invalid series name {left!r}")
+        if fam_type == "histogram":
+            if left == fam_name + "_count":
+                if not saw_inf:
+                    fail(lineno, line, "histogram without +Inf bucket")
+                if num != bucket_cumulative:
+                    fail(lineno, line,
+                         f"_count {num} != +Inf bucket {bucket_cumulative}")
+            elif left != fam_name + "_sum":
+                fail(lineno, line,
+                     f"unexpected series in histogram family {fam_name!r}")
+        elif left != fam_name:
+            fail(lineno, line,
+                 f"series {left!r} does not match family {fam_name!r}")
+
+    if families == 0 or samples == 0:
+        print("check_prometheus: no metric families found", file=sys.stderr)
+        sys.exit(1)
+    print(f"check_prometheus: OK ({families} families, {samples} samples)")
+
+
+if __name__ == "__main__":
+    main()
